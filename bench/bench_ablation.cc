@@ -1,0 +1,106 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  A. Request batching (BFT-SMaRt style) — sweep the batch cap. The paper's
+//     throughput levels are unreachable without batching.
+//  B. Unsigned Lion accepts (§5.1) — price the accept phase as signed
+//     messages and measure what the trusted-primary optimization saves.
+//  C. Cross-cloud distance (§5.3's Peacock motivation) — as the latency gap
+//     between the private and public cloud grows, modes that keep agreement
+//     inside the public cloud (Dog, and Peacock with its public primary)
+//     overtake Lion, whose every phase crosses the clouds.
+//  D. Dog proxy-set size — the paper notes "the public cloud might have
+//     more than 3m+1 replicas, however 3m+1 is enough... any additional
+//     replicas may degrade the performance"; compare P = 3m+1 with larger
+//     rented fleets.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace seemore {
+namespace bench {
+namespace {
+
+RunResult OnePoint(ClusterOptions options, int clients, SimTime measure) {
+  Cluster cluster(options);
+  return RunClosedLoop(cluster, clients, EchoWorkload(0, 0), Millis(150),
+                       measure);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seemore
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  using namespace seemore::bench;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const SimTime measure = quick ? Millis(250) : Millis(600);
+  const int clients = quick ? 32 : 64;
+
+  std::printf("=== Ablation A: batching (Lion, c=m=1, %d clients) ===\n",
+              clients);
+  for (int batch : {1, 4, 16, 64, 512}) {
+    ClusterOptions options = SeeMoReOptions(SeeMoReMode::kLion, 1, 1, 11);
+    options.config.batch_max = batch;
+    options.config.pipeline_max = batch == 1 ? 8 : 2;
+    RunResult r = OnePoint(options, clients, measure);
+    std::printf("  batch_max=%-4d thrpt=%7.2f kreq/s  lat=%.2f ms\n", batch,
+                r.throughput_kreqs, r.mean_latency_ms);
+  }
+
+  std::printf(
+      "\n=== Ablation B: unsigned vs signed Lion accepts (§5.1, %d clients) "
+      "===\n",
+      clients);
+  for (bool signed_accepts : {false, true}) {
+    ClusterOptions options = SeeMoReOptions(SeeMoReMode::kLion, 1, 1, 11);
+    options.config.lion_sign_accepts = signed_accepts;
+    // Make the asymmetric-crypto price realistic for this ablation (the
+    // trusted-primary saving is precisely NOT paying these).
+    options.costs.sign = Micros(18);
+    options.costs.verify = Micros(45);
+    RunResult r = OnePoint(options, clients, measure);
+    std::printf("  accepts=%-8s thrpt=%7.2f kreq/s  lat=%.2f ms\n",
+                signed_accepts ? "signed" : "unsigned", r.throughput_kreqs,
+                r.mean_latency_ms);
+  }
+
+  std::printf(
+      "\n=== Ablation C: cross-cloud distance (c=m=1, %d clients) ===\n",
+      clients);
+  std::printf("  %-18s %10s %10s %10s   (mean latency ms)\n",
+              "cross-cloud (ms)", "Lion", "Dog", "Peacock");
+  for (int64_t cross_us : {90, 1000, 3000, 8000}) {
+    double lat[3];
+    int i = 0;
+    for (SeeMoReMode mode :
+         {SeeMoReMode::kLion, SeeMoReMode::kDog, SeeMoReMode::kPeacock}) {
+      ClusterOptions options = SeeMoReOptions(mode, 1, 1, 11);
+      options.net.cross_cloud = {Micros(cross_us), Micros(cross_us / 10)};
+      // Clients sit next to the public cloud (the paper's motivating case).
+      options.net.client_link = {Micros(100), Micros(25)};
+      RunResult r = OnePoint(options, quick ? 8 : 16, measure);
+      lat[i++] = r.mean_latency_ms;
+    }
+    std::printf("  %-18.2f %10.2f %10.2f %10.2f\n",
+                static_cast<double>(cross_us) / 1000.0, lat[0], lat[1],
+                lat[2]);
+  }
+  std::printf(
+      "  (expected: Lion's latency grows with every cross-cloud phase; "
+      "Peacock pays the gap once, so it wins at large distances — §5.3)\n");
+
+  std::printf(
+      "\n=== Ablation D: Dog public-cloud size (m=1 => 3m+1=4 proxies; "
+      "extra rented nodes are passive) ===\n");
+  for (int p : {4, 6, 8, 12}) {
+    ClusterOptions options = SeeMoReOptions(SeeMoReMode::kDog, 1, 1, 11);
+    options.config.p = p;
+    RunResult r = OnePoint(options, clients, measure);
+    std::printf("  P=%-3d (N=%d)  thrpt=%7.2f kreq/s  lat=%.2f ms\n", p,
+                options.config.n(), r.throughput_kreqs, r.mean_latency_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Shared configuration for the paper-reproduction benchmarks (§6).
+//
+// Topologies follow §6.1 exactly: for a failure budget (c, m), SeeMoRe and
+// S-UpRight deploy 2c private + 3m+1 public nodes (N = 3m+2c+1), CFT uses
+// 2f+1 and BFT 3f+1 with f = c+m. Both clouds sit in one datacenter (the
+// paper uses a single AWS region), so all link classes share one profile.
+//
+// The cost model is calibrated so peak throughputs land in the paper's
+// range (tens of Kreq/s) with BFT-SMaRt-like MAC-vector message
+// authentication; see DESIGN.md §1 for the substitution argument.
+
+#ifndef SEEMORE_BENCH_BENCH_COMMON_H_
+#define SEEMORE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/runner.h"
+
+namespace seemore {
+namespace bench {
+
+inline CostModel PaperCostModel() {
+  CostModel costs;
+  costs.recv_fixed = Micros(14);
+  costs.send_fixed = Micros(6);
+  costs.per_kib = Micros(2);
+  // BFT-SMaRt authenticates with HMAC vectors rather than public-key
+  // signatures; "sign"/"verify" here price one MAC-vector operation.
+  costs.sign = Micros(4);
+  costs.verify = Micros(4);
+  costs.mac = Micros(1);
+  costs.hash_per_kib = Micros(2);
+  costs.hash_fixed = Micros(1);
+  costs.execute = Micros(2);
+  return costs;
+}
+
+inline NetworkConfig PaperNetwork() {
+  NetworkConfig net;
+  // One datacenter: ~80us one-way with jitter, 10 Gbit/s NICs.
+  net.intra_private = {Micros(80), Micros(25)};
+  net.intra_public = {Micros(80), Micros(25)};
+  net.cross_cloud = {Micros(90), Micros(25)};
+  net.client_link = {Micros(90), Micros(25)};
+  return net;
+}
+
+/// One line of Figure 2/3: a system under test.
+struct SystemUnderTest {
+  std::string name;
+  std::function<ClusterOptions(uint64_t seed)> make_options;
+};
+
+inline ClusterOptions BaseOptions(uint64_t seed) {
+  ClusterOptions options;
+  options.net = PaperNetwork();
+  options.costs = PaperCostModel();
+  options.seed = seed;
+  options.client_retransmit_timeout = Millis(100);
+  options.config.checkpoint_period = 1024;
+  // BFT-SMaRt style: essentially one consensus instance in flight at a time
+  // with everything pending folded into the next batch. This is what makes
+  // closed-loop throughput scale with the client population (§6).
+  options.config.batch_max = 512;
+  options.config.pipeline_max = 2;
+  options.config.view_change_timeout = Millis(40);
+  return options;
+}
+
+inline ClusterOptions CftOptions(int f, uint64_t seed) {
+  ClusterOptions options = BaseOptions(seed);
+  options.config.kind = ProtocolKind::kCft;
+  options.config.f = f;
+  return options;
+}
+
+inline ClusterOptions BftOptions(int f, uint64_t seed) {
+  ClusterOptions options = BaseOptions(seed);
+  options.config.kind = ProtocolKind::kBft;
+  options.config.f = f;
+  return options;
+}
+
+inline ClusterOptions SUpRightOptions(int c, int m, uint64_t seed) {
+  ClusterOptions options = BaseOptions(seed);
+  options.config.kind = ProtocolKind::kSUpRight;
+  options.config.c = c;
+  options.config.m = m;
+  options.config.s = 2 * c;
+  options.config.p = HybridNetworkSize(m, c) - options.config.s;
+  return options;
+}
+
+inline ClusterOptions SeeMoReOptions(SeeMoReMode mode, int c, int m,
+                                     uint64_t seed) {
+  ClusterOptions options = BaseOptions(seed);
+  options.config.kind = ProtocolKind::kSeeMoRe;
+  options.config.c = c;
+  options.config.m = m;
+  options.config.s = 2 * c;  // §6.1: 2c private + 3m+1 public
+  options.config.p = 3 * m + 1;
+  options.config.initial_mode = mode;
+  return options;
+}
+
+/// The six systems compared throughout §6 for failure budget (c, m).
+inline std::vector<SystemUnderTest> PaperSystems(int c, int m) {
+  const int f = c + m;
+  return {
+      {"BFT", [f](uint64_t seed) { return BftOptions(f, seed); }},
+      {"S-UpRight",
+       [c, m](uint64_t seed) { return SUpRightOptions(c, m, seed); }},
+      {"Peacock",
+       [c, m](uint64_t seed) {
+         return SeeMoReOptions(SeeMoReMode::kPeacock, c, m, seed);
+       }},
+      {"Dog",
+       [c, m](uint64_t seed) {
+         return SeeMoReOptions(SeeMoReMode::kDog, c, m, seed);
+       }},
+      {"Lion",
+       [c, m](uint64_t seed) {
+         return SeeMoReOptions(SeeMoReMode::kLion, c, m, seed);
+       }},
+      {"CFT", [f](uint64_t seed) { return CftOptions(f, seed); }},
+  };
+}
+
+/// Sweep client counts and print one throughput/latency series.
+inline std::vector<RunResult> RunCurve(const SystemUnderTest& sut,
+                                       const OpFactory& ops,
+                                       const std::vector<int>& client_counts,
+                                       SimTime warmup, SimTime measure,
+                                       uint64_t seed = 17) {
+  std::vector<RunResult> curve;
+  for (int clients : client_counts) {
+    Cluster cluster(sut.make_options(seed));
+    curve.push_back(RunClosedLoop(cluster, clients, ops, warmup, measure));
+  }
+  return curve;
+}
+
+inline void PrintCurve(const std::string& label,
+                       const std::vector<RunResult>& curve) {
+  for (const RunResult& point : curve) {
+    std::printf("%-10s %s\n", label.c_str(), point.ToString().c_str());
+  }
+}
+
+inline double PeakThroughput(const std::vector<RunResult>& curve) {
+  double best = 0.0;
+  for (const RunResult& point : curve) {
+    if (point.throughput_kreqs > best) best = point.throughput_kreqs;
+  }
+  return best;
+}
+
+}  // namespace bench
+}  // namespace seemore
+
+#endif  // SEEMORE_BENCH_BENCH_COMMON_H_

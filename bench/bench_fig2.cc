@@ -1,0 +1,70 @@
+// Figure 2 (§6.1, fault-tolerance scalability): throughput/latency curves
+// for the 0/0 micro-benchmark under four failure budgets:
+//   (a) f=2: c=1, m=1   N: SeeMoRe/S-UpRight 6, CFT 5, BFT 7
+//   (b) f=4: c=2, m=2   N: 11, 9, 13
+//   (c) f=4: c=1, m=3   N: 12, 9, 13
+//   (d) f=4: c=3, m=1   N: 10, 9, 13
+// Each curve point is one closed-loop client population; x = throughput
+// (Kreq/s), y = mean latency (ms), exactly the paper's axes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace seemore {
+namespace bench {
+namespace {
+
+struct Scenario {
+  const char* label;
+  int c;
+  int m;
+};
+
+void RunScenario(const Scenario& scenario, const std::vector<int>& clients,
+                 SimTime warmup, SimTime measure) {
+  std::printf("\n=== Fig 2(%s): f=%d (c=%d, m=%d) ===\n", scenario.label,
+              scenario.c + scenario.m, scenario.c, scenario.m);
+  std::printf("%-10s %s\n", "system", "curve points (0/0 payload)");
+  const OpFactory ops = EchoWorkload(0, 0);
+  struct Peak {
+    std::string name;
+    double kreqs;
+  };
+  std::vector<Peak> peaks;
+  for (const SystemUnderTest& sut : PaperSystems(scenario.c, scenario.m)) {
+    std::vector<RunResult> curve = RunCurve(sut, ops, clients, warmup, measure);
+    PrintCurve(sut.name, curve);
+    peaks.push_back({sut.name, PeakThroughput(curve)});
+  }
+  std::printf("--- peak throughput (Kreq/s): ");
+  for (const Peak& peak : peaks) {
+    std::printf("%s=%.1f ", peak.name.c_str(), peak.kreqs);
+  }
+  std::printf("---\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seemore
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  using namespace seemore::bench;
+  // --quick shrinks the sweep for smoke runs.
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::vector<int> clients =
+      quick ? std::vector<int>{4, 32}
+            : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 96};
+  const SimTime warmup = quick ? Millis(100) : Millis(150);
+  const SimTime measure = quick ? Millis(300) : Millis(500);
+
+  std::printf("Figure 2 reproduction: throughput vs latency, 0/0 payload\n");
+  const Scenario scenarios[] = {
+      {"a", 1, 1}, {"b", 2, 2}, {"c", 1, 3}, {"d", 3, 1}};
+  for (const Scenario& scenario : scenarios) {
+    RunScenario(scenario, clients, warmup, measure);
+  }
+  (void)argc;
+  return 0;
+}

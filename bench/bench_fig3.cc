@@ -1,0 +1,43 @@
+// Figure 3 (§6.2, changing payload size): the base case c=m=1 re-run with
+// the 0/4 micro-benchmark (0 KB requests, 4 KB replies) and the 4/0
+// micro-benchmark (4 KB requests, 0 KB replies). The paper's observation to
+// reproduce: request size hurts every protocol more than reply size
+// (requests are re-transmitted between replicas; replies travel once), and
+// the relative ordering of Figure 2(a) persists.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  using namespace seemore::bench;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::vector<int> clients =
+      quick ? std::vector<int>{4, 32} : std::vector<int>{2, 8, 32, 64, 96};
+  const SimTime warmup = quick ? Millis(100) : Millis(150);
+  const SimTime measure = quick ? Millis(300) : Millis(500);
+
+  struct PayloadCase {
+    const char* label;
+    uint32_t request_kb;
+    uint32_t reply_kb;
+  };
+  const PayloadCase cases[] = {{"0/4 (4 KB replies)", 0, 4},
+                               {"4/0 (4 KB requests)", 4, 0}};
+
+  std::printf("Figure 3 reproduction: payload benchmarks, c=1 m=1\n");
+  for (const PayloadCase& payload : cases) {
+    std::printf("\n=== Fig 3: benchmark %s ===\n", payload.label);
+    const OpFactory ops = EchoWorkload(payload.request_kb, payload.reply_kb);
+    for (const SystemUnderTest& sut : PaperSystems(1, 1)) {
+      std::vector<RunResult> curve =
+          RunCurve(sut, ops, clients, warmup, measure);
+      PrintCurve(sut.name, curve);
+      std::printf("%-10s peak=%.2f kreq/s\n", sut.name.c_str(),
+                  PeakThroughput(curve));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// §4 reproduction: the public-cloud sizing methods, including the paper's
+// worked example (S=2, c=1, alpha=0.3 => rent 10 nodes, N=12) and tables
+// over the feasible parameter band c < S < 2c+1, alpha < 1/3.
+
+#include <cstdio>
+
+#include "consensus/config.h"
+
+int main() {
+  using namespace seemore;
+
+  std::printf("Public-cloud sizing (paper §4)\n\n");
+
+  std::printf("Worked example: S=2, c=1, alpha=0.3\n");
+  SizingResult example = PublicCloudSizeByRatio(2, 1, 0.3);
+  std::printf("  -> rent P=%d public nodes, network N=%d (%s)\n\n",
+              example.public_nodes, example.network_size,
+              example.explanation.c_str());
+
+  std::printf("Method 1 (Eq. 2): P = ceil((S-(2c+1))/(3a-1))\n");
+  std::printf("%-4s %-4s", "S", "c");
+  const double alphas[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  for (double alpha : alphas) std::printf("  a=%.2f", alpha);
+  std::printf("\n");
+  for (int c = 1; c <= 3; ++c) {
+    for (int s = c + 1; s <= 2 * c; ++s) {
+      std::printf("%-4d %-4d", s, c);
+      for (double alpha : alphas) {
+        SizingResult r = PublicCloudSizeByRatio(s, c, alpha);
+        if (r.feasible) {
+          std::printf("  %6d", r.public_nodes);
+        } else {
+          std::printf("  %6s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nMethod 1 extended (Eq. 3) with crash ratio beta, S=2, c=1:\n");
+  std::printf("%-8s", "alpha");
+  const double betas[] = {0.0, 0.05, 0.10, 0.15};
+  for (double beta : betas) std::printf("  b=%.2f", beta);
+  std::printf("\n");
+  for (double alpha : {0.10, 0.15, 0.20, 0.25}) {
+    std::printf("%-8.2f", alpha);
+    for (double beta : betas) {
+      SizingResult r = PublicCloudSizeByRatios(2, 1, alpha, beta);
+      if (r.feasible) {
+        std::printf("  %6d", r.public_nodes);
+      } else {
+        std::printf("  %6s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nMethod 2 (explicit concurrent-failure bound): P = (3M+2c+1)-S\n");
+  std::printf("%-4s %-4s %-4s %-8s %-8s\n", "S", "c", "M", "P", "N");
+  for (int c = 1; c <= 2; ++c) {
+    for (int s = c + 1; s <= 2 * c; ++s) {
+      for (int M = 1; M <= 3; ++M) {
+        SizingResult r = PublicCloudSizeByBound(s, c, M);
+        std::printf("%-4d %-4d %-4d %-8d %-8d\n", s, c, M, r.public_nodes,
+                    r.network_size);
+      }
+    }
+  }
+
+  std::printf(
+      "\nMethod 2 extended (public crash bound C): P = (3M+2C+2c+1)-S, "
+      "S=2, c=1\n");
+  std::printf("%-4s %-4s %-8s %-8s\n", "M", "C", "P", "N");
+  for (int M = 1; M <= 2; ++M) {
+    for (int C = 0; C <= 2; ++C) {
+      SizingResult r = PublicCloudSizeByBounds(2, 1, M, C);
+      std::printf("%-4d %-4d %-8d %-8d\n", M, C, r.public_nodes,
+                  r.network_size);
+    }
+  }
+
+  std::printf(
+      "\nBoundary behaviour:\n"
+      "  S >= 2c+1          -> %s\n"
+      "  S <= c             -> %s\n"
+      "  alpha >= 1/3       -> %s\n",
+      PublicCloudSizeByRatio(3, 1, 0.3).explanation.c_str(),
+      PublicCloudSizeByRatio(1, 1, 0.3).explanation.c_str(),
+      PublicCloudSizeByRatio(2, 1, 0.4).explanation.c_str());
+  return 0;
+}

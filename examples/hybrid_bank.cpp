@@ -1,0 +1,168 @@
+// A small banking service on the hybrid cloud: account balances in the
+// replicated KV store, transfers via compare-and-swap, concurrent tellers,
+// and the full §3 failure model exercised live — a private node crashes and
+// a public node turns Byzantine mid-run, yet no money is created or
+// destroyed and every replica converges to the same books.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+
+using namespace seemore;
+
+namespace {
+
+constexpr int kAccounts = 8;
+constexpr int kInitialBalance = 1000;
+
+std::string AccountKey(int account) {
+  return "acct-" + std::to_string(account);
+}
+
+/// One teller: repeatedly moves 1 unit between random accounts using
+/// optimistic CAS loops (read -> CAS, retry on conflict).
+class Teller {
+ public:
+  Teller(Cluster& cluster, uint64_t seed)
+      : cluster_(cluster), client_(cluster.AddClient()), rng_(seed) {}
+
+  void Start() { BeginTransfer(); }
+  void Stop() { stopped_ = true; }
+  int transfers_done() const { return transfers_done_; }
+
+ private:
+  void BeginTransfer() {
+    if (stopped_) return;
+    from_ = static_cast<int>(rng_.NextBounded(kAccounts));
+    to_ = static_cast<int>(rng_.NextBounded(kAccounts));
+    if (to_ == from_) to_ = (to_ + 1) % kAccounts;
+    ReadSource();
+  }
+
+  void ReadSource() {
+    if (stopped_) return;
+    client_->SubmitOne(MakeGet(AccountKey(from_)), [this](const Bytes& r) {
+      KvReply reply = ParseKvReply(r);
+      if (reply.status != KvResult::kOk) return BeginTransfer();
+      const int balance = std::stoi(reply.value);
+      if (balance <= 0) return BeginTransfer();
+      DebitSource(balance);
+    });
+  }
+
+  void DebitSource(int balance) {
+    if (stopped_) return;
+    client_->SubmitOne(
+        MakeCas(AccountKey(from_), std::to_string(balance),
+                std::to_string(balance - 1)),
+        [this](const Bytes& r) {
+          if (ParseKvReply(r).status != KvResult::kOk) {
+            return BeginTransfer();  // lost the race; retry
+          }
+          CreditDestination();
+        });
+  }
+
+  void CreditDestination() {
+    client_->SubmitOne(MakeGet(AccountKey(to_)), [this](const Bytes& r) {
+      KvReply reply = ParseKvReply(r);
+      if (reply.status != KvResult::kOk) return;  // should not happen
+      const int balance = std::stoi(reply.value);
+      client_->SubmitOne(MakeCas(AccountKey(to_), std::to_string(balance),
+                                 std::to_string(balance + 1)),
+                         [this](const Bytes& r2) {
+                           if (ParseKvReply(r2).status == KvResult::kOk) {
+                             ++transfers_done_;
+                             BeginTransfer();
+                           } else {
+                             // Credit conflicted; retry the credit only —
+                             // the debit already happened exactly once.
+                             CreditDestination();
+                           }
+                         });
+    });
+  }
+
+  Cluster& cluster_;
+  SimClient* client_;
+  Rng rng_;
+  bool stopped_ = false;
+  int from_ = 0;
+  int to_ = 0;
+  int transfers_done_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.config.kind = ProtocolKind::kSeeMoRe;
+  options.config.s = 2;
+  options.config.p = 4;
+  options.config.c = 1;
+  options.config.m = 1;
+  options.config.initial_mode = SeeMoReMode::kLion;
+  options.seed = 7;
+  Cluster cluster(options);
+
+  // Fund the accounts.
+  SimClient* admin = cluster.AddClient();
+  for (int account = 0; account < kAccounts; ++account) {
+    admin->SubmitOne(
+        MakePut(AccountKey(account), std::to_string(kInitialBalance)),
+        [](const Bytes&) {});
+  }
+  cluster.sim().Run();
+  std::printf("funded %d accounts with %d each (total %d)\n", kAccounts,
+              kInitialBalance, kAccounts * kInitialBalance);
+
+  // Four concurrent tellers.
+  std::vector<std::unique_ptr<Teller>> tellers;
+  for (int i = 0; i < 4; ++i) {
+    tellers.push_back(std::make_unique<Teller>(cluster, 100 + i));
+    tellers.back()->Start();
+  }
+
+  // Let them run, then inject the paper's full failure budget.
+  cluster.sim().RunUntil(cluster.sim().now() + Millis(100));
+  std::printf("t=%.0fms: crashing private replica 1 (within c=1)\n",
+              ToMillis(cluster.sim().now()));
+  cluster.Crash(1);
+  cluster.sim().RunUntil(cluster.sim().now() + Millis(100));
+  std::printf("t=%.0fms: public replica 5 turns Byzantine (within m=1)\n",
+              ToMillis(cluster.sim().now()));
+  cluster.SetByzantine(5, kByzWrongVotes | kByzLieToClients);
+  cluster.sim().RunUntil(cluster.sim().now() + Millis(200));
+
+  for (auto& teller : tellers) teller->Stop();
+  cluster.sim().RunUntil(cluster.sim().now() + Millis(300));
+
+  // Audit the books.
+  int total = 0;
+  std::printf("\nfinal balances:");
+  for (int account = 0; account < kAccounts; ++account) {
+    bool done = false;
+    int balance = -1;
+    admin->SubmitOne(MakeGet(AccountKey(account)),
+                     [&done, &balance](const Bytes& r) {
+                       balance = std::stoi(ParseKvReply(r).value);
+                       done = true;
+                     });
+    while (!done && cluster.sim().Step()) {
+    }
+    std::printf(" %d", balance);
+    total += balance;
+  }
+  int transfers = 0;
+  for (auto& teller : tellers) transfers += teller->transfers_done();
+  std::printf("\ntotal = %d (expected %d), transfers completed = %d\n", total,
+              kAccounts * kInitialBalance, transfers);
+
+  Status agreement = cluster.CheckAgreement();
+  std::printf("agreement across replicas: %s\n", agreement.ToString().c_str());
+  const bool conserved = total == kAccounts * kInitialBalance;
+  std::printf("money conserved: %s\n", conserved ? "yes" : "NO");
+  return (agreement.ok() && conserved && transfers > 0) ? 0 : 1;
+}

@@ -1,0 +1,616 @@
+#include "baselines/paxos/paxos_replica.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace seemore {
+
+PaxosReplica::PaxosReplica(Simulator* sim, SimNetwork* net,
+                           const KeyStore* keystore, PrincipalId id,
+                           const ClusterConfig& config,
+                           std::unique_ptr<StateMachine> state_machine,
+                           const CostModel& costs)
+    : ReplicaBase(sim, net, keystore, id, config, std::move(state_machine),
+                  costs) {
+  current_vc_timeout_ = config_.view_change_timeout;
+}
+
+void PaxosReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
+  Decoder dec(bytes);
+  const uint8_t tag = dec.GetU8();
+  if (!dec.ok()) return;
+  // Channels are pairwise authenticated: protocol-internal messages are only
+  // ever legitimate on replica-to-replica channels. (In the crash model this
+  // is the ONLY defense — there are no signatures to reject forgeries.)
+  if (tag != kMsgRequest && (from < 0 || from >= config_.n())) return;
+  // Channel MAC check on every protocol message.
+  ChargeMac();
+  switch (tag) {
+    case kMsgRequest:
+      HandleRequest(from, dec);
+      break;
+    case kAccept:
+      HandleAccept(from, dec);
+      break;
+    case kAck:
+      HandleAck(from, dec);
+      break;
+    case kCommit:
+      HandleCommit(from, dec);
+      break;
+    case kViewChange:
+      HandleViewChange(from, dec);
+      break;
+    case kNewView:
+      HandleNewView(from, dec);
+      break;
+    case kCheckpoint:
+      HandleCheckpoint(from, dec);
+      break;
+    case kStateRequest:
+      HandleStateRequest(from, dec);
+      break;
+    case kStateResponse:
+      HandleStateResponse(from, dec);
+      break;
+    default:
+      break;  // unknown tag: ignore
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+// ---------------------------------------------------------------------------
+
+void PaxosReplica::HandleRequest(PrincipalId from, Decoder& dec) {
+  Result<Request> request_or = Request::DecodeFrom(dec);
+  if (!request_or.ok()) return;
+  Request request = std::move(request_or).value();
+
+  // Channel authentication (§3.1): a request arriving directly from a
+  // client channel must name that client. Without this, a rogue client
+  // could impersonate another and poison its timestamp sequence — the
+  // crash-model baseline has no signatures to catch it otherwise.
+  if (IsClientPrincipal(from) && from != request.client) return;
+
+  // Retransmission of an executed request: resend the cached reply.
+  if (exec_.SeenTimestamp(request.client, request.timestamp)) {
+    auto cached = exec_.CachedReply(request.client, request.timestamp);
+    if (cached.has_value()) {
+      Reply reply;
+      reply.mode = 0;
+      reply.view = view_;
+      reply.timestamp = request.timestamp;
+      reply.replica = id_;
+      reply.result = *cached;
+      reply.Sign(signer_);
+      ChargeMac();
+      SendTo(request.client, reply.ToMessage());
+    }
+    return;
+  }
+
+  if (IsLeader() && !in_view_change_) {
+    LeaderEnqueue(std::move(request));
+  } else if (!in_view_change_) {
+    // Clients multicast to the whole receiving network, so the primary has
+    // its own copy on the first transmission. Seeing the SAME timestamp
+    // again means the client timed out: relay to the primary (its copy may
+    // have been lost or the client cannot reach it) and arm the liveness
+    // timer — if the request still never commits, a view change follows.
+    if (from == request.client) {
+      auto seen = relay_seen_ts_.find(request.client);
+      const bool retransmission =
+          seen != relay_seen_ts_.end() && seen->second >= request.timestamp;
+      relay_seen_ts_[request.client] = request.timestamp;
+      if (retransmission) {
+        SendTo(config_.FlatPrimary(view_), request.ToMessage());
+      }
+    }
+    ArmViewTimer();
+  }
+}
+
+void PaxosReplica::LeaderEnqueue(Request request) {
+  auto it = leader_seen_ts_.find(request.client);
+  if (it != leader_seen_ts_.end() && request.timestamp <= it->second) {
+    return;  // already queued or proposed
+  }
+  leader_seen_ts_[request.client] = request.timestamp;
+  pending_.push_back(std::move(request));
+  TryPropose();
+}
+
+int PaxosReplica::UncommittedSlots() const {
+  int count = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.has_batch && !slot.committed) ++count;
+  }
+  return count;
+}
+
+void PaxosReplica::TryPropose() {
+  while (!pending_.empty() && UncommittedSlots() < config_.pipeline_max) {
+    Batch batch;
+    while (!pending_.empty() &&
+           batch.size() < static_cast<size_t>(config_.batch_max)) {
+      batch.requests.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    const uint64_t seq = next_seq_++;
+    Slot& slot = slots_[seq];
+    slot.batch = std::move(batch);
+    slot.has_batch = true;
+    const Bytes encoded = slot.batch.Encode();
+    ChargeHash(encoded.size());
+    slot.digest = Digest::Of(encoded);
+    slot.view = view_;
+    slot.acks.insert(id_);
+
+    Encoder enc;
+    enc.PutU8(kAccept);
+    enc.PutU64(view_);
+    enc.PutU64(seq);
+    enc.PutBytes(encoded);
+    SendToMany(config_.AllReplicas(), enc.bytes());
+  }
+}
+
+void PaxosReplica::HandleAccept(PrincipalId from, Decoder& dec) {
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  Bytes batch_bytes = dec.GetBytes();
+  if (!dec.ok()) return;
+  // Crash model: a claimed higher view from its rightful leader is honest.
+  if (view > view_ && config_.FlatPrimary(view) == from) EnterView(view);
+  if (view != view_ || in_view_change_) return;
+  if (from != config_.FlatPrimary(view_)) return;
+  if (seq <= stable_seq_) return;
+
+  Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  if (!batch_or.ok()) return;
+
+  Slot& slot = slots_[seq];
+  if (!slot.has_batch) {
+    slot.batch = std::move(batch_or).value();
+    slot.has_batch = true;
+    ChargeHash(batch_bytes.size());
+    slot.digest = Digest::Of(batch_bytes);
+    slot.view = view;
+  }
+
+  Encoder enc;
+  enc.PutU8(kAck);
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  slot.digest.EncodeTo(enc);
+  SendTo(from, enc.bytes());
+  if (slot.commit_seen && !slot.committed) {
+    CommitSlot(seq, slot, /*send_replies=*/false);
+  } else {
+    ArmViewTimer();
+  }
+}
+
+void PaxosReplica::HandleAck(PrincipalId from, Decoder& dec) {
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (view != view_ || !IsLeader() || in_view_change_) return;
+  auto it = slots_.find(seq);
+  if (it == slots_.end() || !it->second.has_batch) return;
+  Slot& slot = it->second;
+  if (digest != slot.digest || slot.commit_broadcast) return;
+  slot.acks.insert(from);
+  if (static_cast<int>(slot.acks.size()) >=
+      config_.CommitQuorum(config_.initial_mode)) {
+    slot.commit_broadcast = true;
+    Encoder enc;
+    enc.PutU8(kCommit);
+    enc.PutU64(view_);
+    enc.PutU64(seq);
+    slot.digest.EncodeTo(enc);
+    SendToMany(config_.AllReplicas(), enc.bytes());
+    if (!slot.committed) CommitSlot(seq, slot, /*send_replies=*/true);
+  }
+}
+
+void PaxosReplica::HandleCommit(PrincipalId from, Decoder& dec) {
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (view > view_ && config_.FlatPrimary(view) == from) EnterView(view);
+  if (from != config_.FlatPrimary(view)) return;
+  if (seq <= stable_seq_) return;
+  auto it = slots_.find(seq);
+  if (it == slots_.end() || !it->second.has_batch) {
+    // COMMIT outran the ACCEPT (jitter reordering); remember it.
+    slots_[seq].commit_seen = true;
+    return;
+  }
+  Slot& slot = it->second;
+  if (slot.committed || digest != slot.digest) return;
+  CommitSlot(seq, slot, /*send_replies=*/false);
+}
+
+void PaxosReplica::CommitSlot(uint64_t seq, Slot& slot, bool send_replies) {
+  slot.committed = true;
+  ++stats_.batches_committed;
+  std::vector<ExecutedRequest> executed = exec_.Commit(seq, slot.batch);
+  ChargeExecute(static_cast<int>(executed.size()));
+  for (const ExecutedRequest& ex : executed) {
+    ++stats_.requests_executed;
+    if (send_replies && !(ex.duplicate && ex.result.empty())) {
+      SendReply(ex);
+    }
+  }
+  MaybeCheckpoint();
+  RestartOrDisarmViewTimer();
+  if (IsLeader() && !in_view_change_) TryPropose();
+}
+
+void PaxosReplica::SendReply(const ExecutedRequest& executed) {
+  Reply reply;
+  reply.mode = 0;
+  reply.view = view_;
+  reply.timestamp = executed.request.timestamp;
+  reply.replica = id_;
+  reply.result = executed.result;
+  reply.Sign(signer_);
+  ChargeMac();  // crash model: replies carry MACs, not signatures
+  SendTo(executed.request.client, reply.ToMessage());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints and state transfer
+// ---------------------------------------------------------------------------
+
+void PaxosReplica::MaybeCheckpoint() {
+  const uint64_t executed = exec_.last_executed();
+  if (executed < last_checkpoint_seq_ +
+                     static_cast<uint64_t>(config_.checkpoint_period)) {
+    return;
+  }
+  last_checkpoint_seq_ = executed;
+  Bytes snapshot = exec_.Snapshot();
+  ChargeHash(snapshot.size());
+  const Digest digest = Digest::Of(snapshot);
+  snapshot_buffer_[executed] = {digest, std::move(snapshot)};
+
+  Encoder enc;
+  enc.PutU8(kCheckpoint);
+  enc.PutU64(executed);
+  digest.EncodeTo(enc);
+  SendToMany(config_.AllReplicas(), enc.bytes());
+  CountCheckpointVote(executed, digest, id_);
+}
+
+void PaxosReplica::HandleCheckpoint(PrincipalId from, Decoder& dec) {
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (seq <= stable_seq_) return;
+  CountCheckpointVote(seq, digest, from);
+  // Crash model: a single announcer is honest. If it is ahead of us we fell
+  // behind (lost commits have no protocol-level retransmission); fetch its
+  // checkpointed state directly.
+  if (seq > exec_.last_executed()) RequestStateFrom(from);
+}
+
+void PaxosReplica::CountCheckpointVote(uint64_t seq, const Digest& digest,
+                                       PrincipalId voter) {
+  auto& voters = checkpoint_votes_[seq][digest];
+  voters.insert(voter);
+  if (static_cast<int>(voters.size()) >= config_.f + 1) {
+    // Prefer fetching state from another voter, not ourselves.
+    PrincipalId helper = id_;
+    for (PrincipalId v : voters) {
+      if (v != id_) {
+        helper = v;
+        break;
+      }
+    }
+    AdvanceStable(seq, digest, helper);
+  }
+}
+
+void PaxosReplica::AdvanceStable(uint64_t seq, const Digest& digest,
+                                 PrincipalId helper) {
+  if (seq <= stable_seq_) return;
+  stable_seq_ = seq;
+  stable_digest_ = digest;
+  auto it = snapshot_buffer_.find(seq);
+  if (it != snapshot_buffer_.end() && it->second.first == digest) {
+    stable_snapshot_ = std::move(it->second.second);
+  } else if (exec_.last_executed() < seq && helper != id_) {
+    // We fell behind the cluster; fetch the checkpointed state.
+    RequestStateFrom(helper);
+  }
+  // Garbage collection (paper §5.1 "State Transfer").
+  for (auto s = slots_.begin(); s != slots_.end();) {
+    s = s->first <= seq ? slots_.erase(s) : std::next(s);
+  }
+  for (auto s = snapshot_buffer_.begin(); s != snapshot_buffer_.end();) {
+    s = s->first <= seq ? snapshot_buffer_.erase(s) : std::next(s);
+  }
+  for (auto s = checkpoint_votes_.begin(); s != checkpoint_votes_.end();) {
+    s = s->first <= seq ? checkpoint_votes_.erase(s) : std::next(s);
+  }
+}
+
+void PaxosReplica::RequestStateFrom(PrincipalId target) {
+  if (target == id_) return;
+  if (sim_->now() - last_state_request_ < Millis(20)) return;
+  last_state_request_ = sim_->now();
+  Encoder enc;
+  enc.PutU8(kStateRequest);
+  enc.PutU64(exec_.last_executed());
+  SendTo(target, enc.bytes());
+}
+
+void PaxosReplica::HandleStateRequest(PrincipalId from, Decoder& dec) {
+  const uint64_t their_executed = dec.GetU64();
+  if (!dec.ok()) return;
+  // Serve the newest snapshot we hold: a buffered (not yet stable) one beats
+  // the stable one. In the crash model our own claim is trustworthy.
+  uint64_t seq = stable_seq_;
+  const Digest* digest = &stable_digest_;
+  const Bytes* snapshot = &stable_snapshot_;
+  if (!snapshot_buffer_.empty() && snapshot_buffer_.rbegin()->first > seq) {
+    seq = snapshot_buffer_.rbegin()->first;
+    digest = &snapshot_buffer_.rbegin()->second.first;
+    snapshot = &snapshot_buffer_.rbegin()->second.second;
+  }
+  if (snapshot->empty() || seq <= their_executed) return;
+  Encoder enc;
+  enc.PutU8(kStateResponse);
+  enc.PutU64(seq);
+  digest->EncodeTo(enc);
+  enc.PutBytes(*snapshot);
+  SendTo(from, enc.bytes());
+}
+
+void PaxosReplica::HandleStateResponse(PrincipalId from, Decoder& dec) {
+  (void)from;
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  Bytes snapshot = dec.GetBytes();
+  if (!dec.ok()) return;
+  if (seq <= exec_.last_executed()) return;
+  ChargeHash(snapshot.size());
+  if (Digest::Of(snapshot) != digest) return;
+  if (!exec_.Restore(snapshot, seq).ok()) return;
+  ++stats_.state_transfers;
+  stable_seq_ = std::max(stable_seq_, seq);
+  stable_digest_ = digest;
+  stable_snapshot_ = std::move(snapshot);
+  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, seq);
+}
+
+// ---------------------------------------------------------------------------
+// View changes
+// ---------------------------------------------------------------------------
+
+void PaxosReplica::ArmViewTimer() {
+  if (view_timer_ != 0 || in_view_change_) return;
+  // Do not count our own CPU backlog against the primary (see the SeeMoRe
+  // replica for the full rationale: timers that ignore post-view-change
+  // re-agreement work livelock the cluster).
+  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
+  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+    view_timer_ = 0;
+    StartViewChange(view_ + 1);
+  });
+}
+
+void PaxosReplica::RestartOrDisarmViewTimer() {
+  CancelTimer(view_timer_);
+  current_vc_timeout_ = config_.view_change_timeout;
+  if (UncommittedSlots() > 0) ArmViewTimer();
+}
+
+void PaxosReplica::StartViewChange(uint64_t new_view) {
+  if (new_view <= view_ || (in_view_change_ && new_view <= vc_target_)) return;
+  in_view_change_ = true;
+  vc_target_ = new_view;
+  ++stats_.view_changes_started;
+  CancelTimer(view_timer_);
+
+  ViewChangeRecord record;
+  record.stable_seq = stable_seq_;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.has_batch) record.entries[seq] = {slot.view, slot.batch};
+  }
+
+  Encoder enc;
+  enc.PutU8(kViewChange);
+  enc.PutU64(new_view);
+  enc.PutU64(record.stable_seq);
+  enc.PutVarint(record.entries.size());
+  for (const auto& [seq, entry] : record.entries) {
+    enc.PutU64(seq);
+    enc.PutU64(entry.first);
+    enc.PutBytes(entry.second.Encode());
+  }
+  SendToMany(config_.AllReplicas(), enc.bytes());
+
+  vc_msgs_[new_view][id_] = std::move(record);
+  if (config_.FlatPrimary(new_view) == id_) MaybeFormNewView(new_view);
+
+  // Escalate if this view change stalls (next leader may be dead too).
+  current_vc_timeout_ = std::min<SimTime>(current_vc_timeout_ * 2, Seconds(2));
+  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
+  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+    view_timer_ = 0;
+    if (in_view_change_) StartViewChange(vc_target_ + 1);
+  });
+}
+
+void PaxosReplica::HandleViewChange(PrincipalId from, Decoder& dec) {
+  const uint64_t new_view = dec.GetU64();
+  ViewChangeRecord record;
+  record.stable_seq = dec.GetU64();
+  const uint64_t count = dec.GetVarint();
+  // Sanity bounds: no honest replica holds more in-flight entries than two
+  // checkpoint periods, nor entries far above its own stable point. Without
+  // these limits a malformed record could drive the new-view construction
+  // loop over an astronomically large sequence range.
+  const uint64_t window = static_cast<uint64_t>(config_.checkpoint_period) *
+                              2 +
+                          static_cast<uint64_t>(config_.pipeline_max);
+  if (!dec.ok() || count > window + 1) return;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t seq = dec.GetU64();
+    const uint64_t entry_view = dec.GetU64();
+    Bytes batch_bytes = dec.GetBytes();
+    if (!dec.ok()) return;
+    if (seq <= record.stable_seq || seq > record.stable_seq + window) return;
+    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+    if (!batch_or.ok()) return;
+    record.entries[seq] = {entry_view, std::move(batch_or).value()};
+  }
+  if (new_view <= view_) return;
+  vc_msgs_[new_view][from] = std::move(record);
+  // Join the view change (crash model: a peer's suspicion is honest).
+  StartViewChange(new_view);
+  if (config_.FlatPrimary(new_view) == id_) MaybeFormNewView(new_view);
+}
+
+void PaxosReplica::MaybeFormNewView(uint64_t new_view) {
+  auto it = vc_msgs_.find(new_view);
+  if (it == vc_msgs_.end()) return;
+  const auto& records = it->second;
+  if (static_cast<int>(records.size()) < config_.f + 1) return;
+  if (view_ >= new_view) return;
+
+  // Highest stable checkpoint and re-proposal set: per seq, the batch
+  // accepted in the highest view wins (Paxos invariant); holes get no-ops.
+  uint64_t max_stable = 0;
+  PrincipalId best_helper = id_;
+  uint64_t max_seq = 0;
+  for (const auto& [sender, record] : records) {
+    if (record.stable_seq > max_stable) {
+      max_stable = record.stable_seq;
+      best_helper = sender;
+    }
+    if (!record.entries.empty()) {
+      max_seq = std::max(max_seq, record.entries.rbegin()->first);
+    }
+  }
+
+  std::map<uint64_t, std::pair<uint64_t, Batch>> chosen;
+  for (const auto& [sender, record] : records) {
+    for (const auto& [seq, entry] : record.entries) {
+      if (seq <= max_stable) continue;
+      auto existing = chosen.find(seq);
+      if (existing == chosen.end() || entry.first > existing->second.first) {
+        chosen[seq] = entry;
+      }
+    }
+  }
+
+  Encoder enc;
+  enc.PutU8(kNewView);
+  enc.PutU64(new_view);
+  enc.PutU64(max_stable);
+  uint64_t entry_count = max_seq > max_stable ? max_seq - max_stable : 0;
+  enc.PutVarint(entry_count);
+  for (uint64_t seq = max_stable + 1; seq <= max_seq; ++seq) {
+    enc.PutU64(seq);
+    auto chosen_it = chosen.find(seq);
+    Batch batch =
+        chosen_it != chosen.end() ? chosen_it->second.second : Batch::Noop();
+    enc.PutBytes(batch.Encode());
+  }
+  SendToMany(config_.AllReplicas(), enc.bytes());
+
+  // Install locally: the new leader treats every entry as freshly accepted.
+  EnterView(new_view);
+  if (max_stable > exec_.last_executed() && best_helper != id_) {
+    RequestStateFrom(best_helper);
+  }
+  for (uint64_t seq = max_stable + 1; seq <= max_seq; ++seq) {
+    Slot slot;  // fresh: stale ACK sets must not count toward the new view
+    auto chosen_it = chosen.find(seq);
+    slot.batch =
+        chosen_it != chosen.end() ? chosen_it->second.second : Batch::Noop();
+    slot.has_batch = true;
+    slot.digest = slot.batch.ComputeDigest();
+    slot.view = new_view;
+    slot.committed = slots_[seq].committed || exec_.HasCommitted(seq);
+    slot.acks.insert(id_);
+    slots_[seq] = std::move(slot);
+  }
+  stable_seq_ = std::max(stable_seq_, max_stable);
+  next_seq_ = std::max(next_seq_, max_seq + 1);
+  if (next_seq_ <= stable_seq_) next_seq_ = stable_seq_ + 1;
+  ++stats_.view_changes_completed;
+  TryPropose();
+}
+
+void PaxosReplica::HandleNewView(PrincipalId from, Decoder& dec) {
+  const uint64_t new_view = dec.GetU64();
+  const uint64_t stable = dec.GetU64();
+  const uint64_t count = dec.GetVarint();
+  if (!dec.ok() || count > (1u << 20)) return;
+  if (config_.FlatPrimary(new_view) != from || new_view <= view_) return;
+
+  EnterView(new_view);
+  ++stats_.view_changes_completed;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t seq = dec.GetU64();
+    Bytes batch_bytes = dec.GetBytes();
+    if (!dec.ok()) return;
+    if (seq <= stable_seq_) continue;
+    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+    if (!batch_or.ok()) return;
+    // Already-committed slots still get ACKed: the new leader needs f+1
+    // ACKs even for entries some replicas committed before the view change.
+    Slot fresh;
+    fresh.batch = std::move(batch_or).value();
+    fresh.has_batch = true;
+    ChargeHash(batch_bytes.size());
+    fresh.digest = Digest::Of(batch_bytes);
+    fresh.view = new_view;
+    fresh.committed = slots_[seq].committed || exec_.HasCommitted(seq);
+    slots_[seq] = std::move(fresh);
+    Slot& slot = slots_[seq];
+
+    Encoder ack;
+    ack.PutU8(kAck);
+    ack.PutU64(new_view);
+    ack.PutU64(seq);
+    slot.digest.EncodeTo(ack);
+    SendTo(from, ack.bytes());
+  }
+  (void)stable;
+  if (UncommittedSlots() > 0) ArmViewTimer();
+}
+
+void PaxosReplica::EnterView(uint64_t view) {
+  view_ = view;
+  in_view_change_ = false;
+  vc_target_ = 0;
+  CancelTimer(view_timer_);
+  // Grace period: the re-proposed log needs a full re-agreement round under
+  // post-view-change backlog before anyone may suspect the new primary.
+  current_vc_timeout_ = config_.view_change_timeout * 3;
+  // A view change may have nooped requests this map says were handled;
+  // client retransmissions must be accepted afresh (the execution engine
+  // still deduplicates anything that really committed).
+  leader_seen_ts_.clear();
+  // Uncommitted slots are superseded by the NEW-VIEW's re-proposals (which
+  // the caller installs after this); keeping them would leave phantom
+  // "uncommitted work" that re-arms the view timer forever.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = !it->second.committed ? slots_.erase(it) : std::next(it);
+  }
+  for (auto it = vc_msgs_.begin(); it != vc_msgs_.end();) {
+    it = it->first <= view ? vc_msgs_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace seemore

@@ -1,0 +1,141 @@
+// Crash fault-tolerant baseline ("CFT" in the paper's §6): a Multi-Paxos /
+// Viewstamped-Replication style protocol matching Table 1's Paxos row —
+// 2 communication phases, O(n) messages, network 2f+1, quorum f+1.
+//
+// Normal case:   client -> leader; leader ACCEPT(v,n,batch) -> all;
+//                replicas ACK -> leader; on f+1 (incl. self) leader sends
+//                COMMIT -> all, executes and replies to the client.
+// View change:   backup timers; VIEW-CHANGE(v+1, stable seq, accepted
+//                entries) broadcast; new leader collects f+1 => NEW-VIEW
+//                carrying re-proposals, which backups ACK like fresh
+//                ACCEPTs.
+// Checkpoints:   taken when execution advances checkpoint_period past the
+//                previous one; stable at f+1 matching CHECKPOINT messages;
+//                the stable point garbage-collects the log.
+//
+// Crash model only: messages are channel-authenticated but carry no
+// public-key signatures (nodes never lie), mirroring BFT-SMaRt's CFT mode;
+// reply signatures stand in for client MACs and are charged at MAC cost.
+
+#ifndef SEEMORE_BASELINES_PAXOS_PAXOS_REPLICA_H_
+#define SEEMORE_BASELINES_PAXOS_PAXOS_REPLICA_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "consensus/quorum.h"
+#include "consensus/replica_base.h"
+
+namespace seemore {
+
+class PaxosReplica : public ReplicaBase {
+ public:
+  /// Message tags (>= 10; 1/2 are the shared REQUEST/REPLY).
+  enum MsgType : uint8_t {
+    kAccept = 10,
+    kAck = 11,
+    kCommit = 12,
+    kViewChange = 13,
+    kNewView = 14,
+    kCheckpoint = 15,
+    kStateRequest = 16,
+    kStateResponse = 17,
+  };
+
+  PaxosReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
+               PrincipalId id, const ClusterConfig& config,
+               std::unique_ptr<StateMachine> state_machine,
+               const CostModel& costs);
+
+  uint64_t view() const { return view_; }
+  bool IsLeader() const { return config_.FlatPrimary(view_) == id_; }
+  uint64_t last_executed() const { return exec_.last_executed(); }
+  uint64_t stable_checkpoint() const { return stable_seq_; }
+  bool in_view_change() const { return in_view_change_; }
+
+ protected:
+  void HandleMessage(PrincipalId from, const Bytes& bytes) override;
+
+ private:
+  struct Slot {
+    Batch batch;
+    bool has_batch = false;
+    Digest digest;
+    uint64_t view = 0;           // view in which the batch was accepted
+    std::set<PrincipalId> acks;  // leader side
+    bool committed = false;
+    bool commit_broadcast = false;  // leader sent COMMIT for this slot
+    bool commit_seen = false;  // COMMIT raced ahead of the ACCEPT
+  };
+
+  // ----- normal case -----
+  void HandleRequest(PrincipalId from, Decoder& dec);
+  void LeaderEnqueue(Request request);
+  void TryPropose();
+  void HandleAccept(PrincipalId from, Decoder& dec);
+  void HandleAck(PrincipalId from, Decoder& dec);
+  void HandleCommit(PrincipalId from, Decoder& dec);
+  void CommitSlot(uint64_t seq, Slot& slot, bool send_replies);
+  void SendReply(const ExecutedRequest& executed);
+  int UncommittedSlots() const;
+
+  // ----- checkpoints / state transfer -----
+  void MaybeCheckpoint();
+  void HandleCheckpoint(PrincipalId from, Decoder& dec);
+  void CountCheckpointVote(uint64_t seq, const Digest& digest,
+                           PrincipalId voter);
+  void AdvanceStable(uint64_t seq, const Digest& digest, PrincipalId helper);
+  void HandleStateRequest(PrincipalId from, Decoder& dec);
+  void HandleStateResponse(PrincipalId from, Decoder& dec);
+  void RequestStateFrom(PrincipalId target);
+
+  // ----- view change -----
+  void ArmViewTimer();
+  void RestartOrDisarmViewTimer();
+  void StartViewChange(uint64_t new_view);
+  void HandleViewChange(PrincipalId from, Decoder& dec);
+  void MaybeFormNewView(uint64_t new_view);
+  void HandleNewView(PrincipalId from, Decoder& dec);
+  void EnterView(uint64_t view);
+
+  uint64_t view_ = 0;
+  bool in_view_change_ = false;
+  uint64_t vc_target_ = 0;  // view we are trying to move to
+  uint64_t next_seq_ = 1;   // leader only
+  std::map<uint64_t, Slot> slots_;
+  std::deque<Request> pending_;  // leader-side batching queue
+  std::map<PrincipalId, uint64_t> leader_seen_ts_;
+  /// Timestamps seen directly from clients (detects retransmissions that
+  /// must be relayed to the primary).
+  std::map<PrincipalId, uint64_t> relay_seen_ts_;
+
+  uint64_t stable_seq_ = 0;
+  Digest stable_digest_;
+  Bytes stable_snapshot_;
+  uint64_t last_checkpoint_seq_ = 0;
+  /// Snapshots taken at checkpoint points, awaiting stability.
+  std::map<uint64_t, std::pair<Digest, Bytes>> snapshot_buffer_;
+  /// seq -> digest -> voters.
+  std::map<uint64_t, std::map<Digest, std::set<PrincipalId>>> checkpoint_votes_;
+
+  struct ViewChangeRecord {
+    uint64_t stable_seq = 0;
+    /// seq -> (view it was accepted in, batch).
+    std::map<uint64_t, std::pair<uint64_t, Batch>> entries;
+  };
+  std::map<uint64_t, std::map<PrincipalId, ViewChangeRecord>> vc_msgs_;
+
+  EventId view_timer_ = 0;
+  SimTime current_vc_timeout_ = 0;
+  /// Last time we asked a peer for a snapshot (rate limit; a lost response
+  /// must not wedge recovery).
+  SimTime last_state_request_ = -Seconds(1);
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_BASELINES_PAXOS_PAXOS_REPLICA_H_

@@ -1,0 +1,850 @@
+#include "baselines/pbft/pbft_replica.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace seemore {
+
+PbftCoreReplica::PbftCoreReplica(Simulator* sim, SimNetwork* net,
+                                 const KeyStore* keystore, PrincipalId id,
+                                 const ClusterConfig& config,
+                                 std::unique_ptr<StateMachine> state_machine,
+                                 const CostModel& costs,
+                                 const PbftQuorums& quorums)
+    : ReplicaBase(sim, net, keystore, id, config, std::move(state_machine),
+                  costs),
+      quorums_(quorums) {
+  current_vc_timeout_ = config_.view_change_timeout;
+  window_ = static_cast<uint64_t>(config_.checkpoint_period) * 2 +
+            static_cast<uint64_t>(config_.pipeline_max);
+}
+
+void PbftCoreReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
+  Decoder dec(bytes);
+  const uint8_t tag = dec.GetU8();
+  if (!dec.ok()) return;
+  ChargeMac();  // channel authentication
+  // Protocol-internal messages are only legitimate on replica channels.
+  if (tag != kMsgRequest && (from < 0 || from >= config_.n())) return;
+  switch (tag) {
+    case kMsgRequest:
+      HandleRequest(from, dec);
+      break;
+    case kPrePrepare:
+      HandlePrePrepare(from, dec);
+      break;
+    case kPrepare:
+      HandlePrepare(from, dec);
+      break;
+    case kCommit:
+      HandleCommit(from, dec);
+      break;
+    case kCheckpoint:
+      HandleCheckpoint(from, dec);
+      break;
+    case kViewChange:
+      HandleViewChange(from, dec, bytes);
+      break;
+    case kNewView:
+      HandleNewView(from, dec);
+      break;
+    case kStateRequest:
+      HandleStateRequest(from, dec);
+      break;
+    case kStateResponse:
+      HandleStateResponse(from, dec);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+// ---------------------------------------------------------------------------
+
+void PbftCoreReplica::HandleRequest(PrincipalId from, Decoder& dec) {
+  Result<Request> request_or = Request::DecodeFrom(dec);
+  if (!request_or.ok()) return;
+  Request request = std::move(request_or).value();
+
+  // Channel authentication (§3.1): a request arriving directly from a
+  // client channel must name that client. Without this, a rogue client
+  // could impersonate another and poison its timestamp sequence — the
+  // crash-model baseline has no signatures to catch it otherwise.
+  if (IsClientPrincipal(from) && from != request.client) return;
+
+  if (exec_.SeenTimestamp(request.client, request.timestamp)) {
+    auto cached = exec_.CachedReply(request.client, request.timestamp);
+    if (cached.has_value()) {
+      Reply reply;
+      reply.view = view_;
+      reply.timestamp = request.timestamp;
+      reply.replica = id_;
+      reply.result = *cached;
+      reply.Sign(signer_);
+      ChargeMac();
+      SendTo(request.client, reply.ToMessage());
+    }
+    return;
+  }
+
+  ChargeVerify();  // client signature
+  if (!request.VerifySignature(*keystore_)) return;
+
+  if (IsPrimary() && !in_view_change_) {
+    PrimaryEnqueue(std::move(request));
+  } else if (!in_view_change_) {
+    // Clients multicast to the whole receiving network, so the primary has
+    // its own copy on the first transmission. Seeing the SAME timestamp
+    // again means the client timed out: relay to the primary (its copy may
+    // have been lost or the client cannot reach it) and arm the liveness
+    // timer — if the request still never commits, a view change follows.
+    if (from == request.client) {
+      auto seen = relay_seen_ts_.find(request.client);
+      const bool retransmission =
+          seen != relay_seen_ts_.end() && seen->second >= request.timestamp;
+      relay_seen_ts_[request.client] = request.timestamp;
+      if (retransmission) {
+        SendTo(config_.FlatPrimary(view_), request.ToMessage());
+      }
+    }
+    ArmViewTimer();
+  }
+}
+
+void PbftCoreReplica::PrimaryEnqueue(Request request) {
+  auto it = primary_seen_ts_.find(request.client);
+  if (it != primary_seen_ts_.end() && request.timestamp <= it->second) return;
+  primary_seen_ts_[request.client] = request.timestamp;
+  pending_.push_back(std::move(request));
+  TryPropose();
+}
+
+int PbftCoreReplica::UncommittedSlots() const {
+  int count = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.has_batch && !slot.committed) ++count;
+  }
+  return count;
+}
+
+void PbftCoreReplica::TryPropose() {
+  while (!pending_.empty() && UncommittedSlots() < config_.pipeline_max &&
+         next_seq_ <= stable_seq_ + window_) {
+    Batch batch;
+    while (!pending_.empty() &&
+           batch.size() < static_cast<size_t>(config_.batch_max)) {
+      batch.requests.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    const uint64_t seq = next_seq_++;
+
+    if (HasByz(kByzEquivocate) && batch.size() >= 1) {
+      // Equivocating primary: propose different batches to different halves
+      // of the cluster. Honest replicas will fail to assemble a prepare
+      // quorum for either value; the view change recovers liveness.
+      Batch alt;
+      alt.requests.assign(batch.requests.rbegin() + (batch.size() > 1 ? 0 : 0),
+                          batch.requests.rend());
+      if (alt.size() == batch.size() && batch.size() == 1) {
+        alt = Batch::Noop();
+      }
+      const Bytes enc_a = batch.Encode();
+      const Bytes enc_b = alt.Encode();
+      const Digest dig_a = Digest::Of(enc_a);
+      const Digest dig_b = Digest::Of(enc_b);
+      const Signature sig_a = signer_.Sign(
+          ProposalHeader(kDomainPrePrepare, 0, view_, seq, dig_a));
+      const Signature sig_b = signer_.Sign(
+          ProposalHeader(kDomainPrePrepare, 0, view_, seq, dig_b));
+      ChargeSign(2);
+      const std::vector<PrincipalId> all = config_.AllReplicas();
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (all[i] == id_) continue;
+        const bool first_half = i < all.size() / 2;
+        Encoder enc;
+        enc.PutU8(kPrePrepare);
+        enc.PutU64(view_);
+        enc.PutU64(seq);
+        (first_half ? dig_a : dig_b).EncodeTo(enc);
+        (first_half ? sig_a : sig_b).EncodeTo(enc);
+        enc.PutBytes(first_half ? enc_a : enc_b);
+        SendTo(all[i], enc.bytes());
+      }
+      continue;  // keep no honest slot; we are lying anyway
+    }
+
+    const Bytes encoded = batch.Encode();
+    EmitPrePrepare(seq, batch, encoded);
+  }
+}
+
+void PbftCoreReplica::EmitPrePrepare(uint64_t seq, const Batch& batch,
+                                     const Bytes& encoded) {
+  ChargeHash(encoded.size());
+  const Digest digest = Digest::Of(encoded);
+  ChargeSign();
+  const Signature sig =
+      signer_.Sign(ProposalHeader(kDomainPrePrepare, 0, view_, seq, digest));
+
+  Slot& slot = slots_[seq];
+  slot.batch = batch;
+  slot.has_batch = true;
+  slot.digest = digest;
+  slot.view = view_;
+  slot.primary_sig = sig;
+
+  Encoder enc;
+  enc.PutU8(kPrePrepare);
+  enc.PutU64(view_);
+  enc.PutU64(seq);
+  digest.EncodeTo(enc);
+  sig.EncodeTo(enc);
+  enc.PutBytes(encoded);
+  SendToMany(config_.AllReplicas(), enc.bytes());
+}
+
+void PbftCoreReplica::HandlePrePrepare(PrincipalId from, Decoder& dec) {
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const Signature sig = Signature::DecodeFrom(dec);
+  Bytes batch_bytes = dec.GetBytes();
+  if (!dec.ok()) return;
+  if (view != view_ || in_view_change_) return;
+  if (from != config_.FlatPrimary(view_)) return;
+  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+
+  ChargeVerify();
+  if (!keystore_->Verify(from,
+                         ProposalHeader(kDomainPrePrepare, 0, view, seq, digest),
+                         sig)) {
+    return;
+  }
+  ChargeHash(batch_bytes.size());
+  if (Digest::Of(batch_bytes) != digest) return;
+  Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  if (!batch_or.ok()) return;
+  Batch batch = std::move(batch_or).value();
+  // Authenticate every client request in the batch.
+  ChargeVerify(static_cast<int>(batch.size()));
+  for (const Request& request : batch.requests) {
+    if (!request.VerifySignature(*keystore_)) return;
+  }
+
+  Slot& slot = slots_[seq];
+  if (slot.has_batch) {
+    // Equivocation defense: at most one pre-prepare per (view, seq).
+    if (slot.view == view && slot.digest != digest) return;
+    if (slot.digest == digest) return;  // duplicate
+  }
+  slot.batch = std::move(batch);
+  slot.has_batch = true;
+  slot.digest = digest;
+  slot.view = view;
+  slot.primary_sig = sig;
+
+  SendPrepare(seq, slot);
+  ArmViewTimer();
+  CheckPrepared(seq, slot);
+}
+
+void PbftCoreReplica::SendPrepare(uint64_t seq, Slot& slot) {
+  Digest vote_digest = slot.digest;
+  if (HasByz(kByzWrongVotes)) vote_digest.data()[0] ^= 0xff;
+  ChargeSign();
+  const Signature sig = signer_.Sign(
+      VoteHeader(kDomainPrepare, 0, view_, seq, vote_digest, id_));
+  Encoder enc;
+  enc.PutU8(kPrepare);
+  enc.PutU64(view_);
+  enc.PutU64(seq);
+  vote_digest.EncodeTo(enc);
+  enc.PutU32(static_cast<uint32_t>(id_));
+  sig.EncodeTo(enc);
+  SendToMany(config_.AllReplicas(), enc.bytes());
+  slot.prepare_votes.Add(vote_digest, id_, sig);
+}
+
+void PbftCoreReplica::HandlePrepare(PrincipalId from, Decoder& dec) {
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
+  const Signature sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (view != view_ || in_view_change_) return;
+  if (voter != from || !IsReplicaId(voter)) return;
+  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+  ChargeVerify();
+  if (!keystore_->Verify(voter,
+                         VoteHeader(kDomainPrepare, 0, view, seq, digest, voter),
+                         sig)) {
+    return;
+  }
+  Slot& slot = slots_[seq];
+  slot.prepare_votes.Add(digest, voter, sig);
+  CheckPrepared(seq, slot);
+}
+
+void PbftCoreReplica::CheckPrepared(uint64_t seq, Slot& slot) {
+  if (slot.prepared || !slot.has_batch) return;
+  if (static_cast<int>(slot.prepare_votes.Count(slot.digest)) <
+      quorums_.agreement) {
+    return;
+  }
+  slot.prepared = true;
+  if (!slot.commit_sent) {
+    slot.commit_sent = true;
+    Digest vote_digest = slot.digest;
+    if (HasByz(kByzWrongVotes)) vote_digest.data()[0] ^= 0xff;
+    ChargeSign();
+    const Signature sig = signer_.Sign(
+        VoteHeader(kDomainCommit, 0, view_, seq, vote_digest, id_));
+    Encoder enc;
+    enc.PutU8(kCommit);
+    enc.PutU64(view_);
+    enc.PutU64(seq);
+    vote_digest.EncodeTo(enc);
+    enc.PutU32(static_cast<uint32_t>(id_));
+    sig.EncodeTo(enc);
+    SendToMany(config_.AllReplicas(), enc.bytes());
+    slot.commit_votes.Add(vote_digest, id_, sig);
+  }
+  CheckCommitted(seq, slot);
+}
+
+void PbftCoreReplica::HandleCommit(PrincipalId from, Decoder& dec) {
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
+  const Signature sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (view != view_ || in_view_change_) return;
+  if (voter != from || !IsReplicaId(voter)) return;
+  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+  ChargeVerify();
+  if (!keystore_->Verify(voter,
+                         VoteHeader(kDomainCommit, 0, view, seq, digest, voter),
+                         sig)) {
+    return;
+  }
+  Slot& slot = slots_[seq];
+  slot.commit_votes.Add(digest, voter, sig);
+  CheckCommitted(seq, slot);
+}
+
+void PbftCoreReplica::CheckCommitted(uint64_t seq, Slot& slot) {
+  if (slot.committed || !slot.prepared) return;
+  if (static_cast<int>(slot.commit_votes.Count(slot.digest)) <
+      quorums_.commit) {
+    return;
+  }
+  slot.committed = true;
+  ++stats_.batches_committed;
+  std::vector<ExecutedRequest> executed = exec_.Commit(seq, slot.batch);
+  ChargeExecute(static_cast<int>(executed.size()));
+  for (const ExecutedRequest& ex : executed) {
+    ++stats_.requests_executed;
+    if (!(ex.duplicate && ex.result.empty())) SendReply(ex);
+  }
+  MaybeCheckpoint();
+  RestartOrDisarmViewTimer();
+  if (IsPrimary() && !in_view_change_) TryPropose();
+}
+
+void PbftCoreReplica::SendReply(const ExecutedRequest& executed) {
+  Reply reply;
+  reply.view = view_;
+  reply.timestamp = executed.request.timestamp;
+  reply.replica = id_;
+  reply.result = executed.result;
+  if (HasByz(kByzLieToClients) && !reply.result.empty()) {
+    reply.result[0] ^= 0xff;
+  }
+  reply.Sign(signer_);
+  ChargeMac();
+  SendTo(executed.request.client, reply.ToMessage());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints / state transfer
+// ---------------------------------------------------------------------------
+
+void PbftCoreReplica::MaybeCheckpoint() {
+  const uint64_t executed = exec_.last_executed();
+  if (executed < last_checkpoint_seq_ +
+                     static_cast<uint64_t>(config_.checkpoint_period)) {
+    return;
+  }
+  last_checkpoint_seq_ = executed;
+  Bytes snapshot = exec_.Snapshot();
+  ChargeHash(snapshot.size());
+  const Digest digest = Digest::Of(snapshot);
+  snapshot_buffer_[executed] = {digest, std::move(snapshot)};
+
+  CheckpointMsg msg;
+  msg.seq = executed;
+  msg.state_digest = digest;
+  msg.replica = id_;
+  ChargeSign();
+  msg.Sign(signer_);
+  Encoder enc;
+  enc.PutU8(kCheckpoint);
+  msg.EncodeTo(enc);
+  SendToMany(config_.AllReplicas(), enc.bytes());
+  CountCheckpointVote(msg);
+}
+
+void PbftCoreReplica::HandleCheckpoint(PrincipalId from, Decoder& dec) {
+  Result<CheckpointMsg> msg_or = CheckpointMsg::DecodeFrom(dec);
+  if (!msg_or.ok()) return;
+  const CheckpointMsg& msg = msg_or.value();
+  if (msg.replica != from || !IsReplicaId(from)) return;
+  if (msg.seq <= stable_seq_) return;
+  ChargeVerify();
+  if (!msg.Verify(*keystore_)) return;
+  CountCheckpointVote(msg);
+  // If many peers checkpoint far ahead of us we fell behind; the vote path
+  // (quorum then AdvanceStable) normally handles it, but when our own vote
+  // can never arrive (we are stuck), fetch once the gap exceeds a period.
+  if (msg.seq > exec_.last_executed() +
+                    static_cast<uint64_t>(config_.checkpoint_period)) {
+    RequestStateFrom(msg.replica);
+  }
+}
+
+void PbftCoreReplica::CountCheckpointVote(const CheckpointMsg& msg) {
+  auto& signers = checkpoint_votes_[msg.seq][msg.state_digest];
+  signers[msg.replica] = msg;
+  if (static_cast<int>(signers.size()) >= quorums_.checkpoint) {
+    CheckpointCert cert;
+    PrincipalId helper = id_;
+    for (const auto& [signer, m] : signers) {
+      cert.Add(m);
+      if (signer != id_) helper = signer;
+    }
+    AdvanceStable(msg.seq, msg.state_digest, std::move(cert), helper);
+  }
+}
+
+void PbftCoreReplica::AdvanceStable(uint64_t seq, const Digest& digest,
+                                    CheckpointCert cert, PrincipalId helper) {
+  if (seq <= stable_seq_) return;
+  stable_seq_ = seq;
+  stable_cert_ = std::move(cert);
+  auto it = snapshot_buffer_.find(seq);
+  if (it != snapshot_buffer_.end() && it->second.first == digest) {
+    stable_snapshot_ = std::move(it->second.second);
+  } else if (exec_.last_executed() < seq && helper != id_) {
+    RequestStateFrom(helper);
+  }
+  for (auto s = slots_.begin(); s != slots_.end();) {
+    s = s->first <= seq ? slots_.erase(s) : std::next(s);
+  }
+  for (auto s = snapshot_buffer_.begin(); s != snapshot_buffer_.end();) {
+    s = s->first <= seq ? snapshot_buffer_.erase(s) : std::next(s);
+  }
+  for (auto s = checkpoint_votes_.begin(); s != checkpoint_votes_.end();) {
+    s = s->first <= seq ? checkpoint_votes_.erase(s) : std::next(s);
+  }
+  if (IsPrimary() && !in_view_change_) TryPropose();  // window may have moved
+}
+
+void PbftCoreReplica::RequestStateFrom(PrincipalId target) {
+  if (target == id_) return;
+  if (sim_->now() - last_state_request_ < Millis(20)) return;
+  last_state_request_ = sim_->now();
+  ++stats_.state_transfers;
+  Encoder enc;
+  enc.PutU8(kStateRequest);
+  enc.PutU64(exec_.last_executed());
+  SendTo(target, enc.bytes());
+}
+
+void PbftCoreReplica::HandleStateRequest(PrincipalId from, Decoder& dec) {
+  const uint64_t their_executed = dec.GetU64();
+  if (!dec.ok()) return;
+  if (stable_snapshot_.empty() || stable_seq_ <= their_executed) return;
+  Encoder enc;
+  enc.PutU8(kStateResponse);
+  stable_cert_.EncodeTo(enc);
+  enc.PutBytes(stable_snapshot_);
+  SendTo(from, enc.bytes());
+}
+
+void PbftCoreReplica::HandleStateResponse(PrincipalId from, Decoder& dec) {
+  (void)from;
+  Result<CheckpointCert> cert_or = CheckpointCert::DecodeFrom(dec);
+  if (!cert_or.ok()) return;
+  Bytes snapshot = dec.GetBytes();
+  if (!dec.ok()) return;
+  CheckpointCert cert = std::move(cert_or).value();
+  if (cert.IsGenesis() || cert.seq() <= exec_.last_executed()) return;
+  ChargeVerify(static_cast<int>(cert.msgs().size()));
+  if (!cert.Verify(*keystore_, quorums_.checkpoint,
+                   [this](PrincipalId r) { return IsReplicaId(r); })) {
+    return;
+  }
+  ChargeHash(snapshot.size());
+  if (Digest::Of(snapshot) != cert.state_digest()) return;
+  const uint64_t seq = cert.seq();
+  if (!exec_.Restore(snapshot, seq).ok()) return;
+  stable_seq_ = std::max(stable_seq_, seq);
+  stable_cert_ = std::move(cert);
+  stable_snapshot_ = std::move(snapshot);
+  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, seq);
+  for (auto s = slots_.begin(); s != slots_.end();) {
+    s = s->first <= seq ? slots_.erase(s) : std::next(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View change
+// ---------------------------------------------------------------------------
+
+void PbftCoreReplica::ArmViewTimer() {
+  if (view_timer_ != 0 || in_view_change_) return;
+  // Do not count our own CPU backlog against the primary (see the SeeMoRe
+  // replica for the full rationale: timers that ignore post-view-change
+  // re-agreement work livelock the cluster).
+  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
+  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+    view_timer_ = 0;
+    StartViewChange(view_ + 1);
+  });
+}
+
+void PbftCoreReplica::RestartOrDisarmViewTimer() {
+  CancelTimer(view_timer_);
+  current_vc_timeout_ = config_.view_change_timeout;
+  if (UncommittedSlots() > 0) ArmViewTimer();
+}
+
+void PbftCoreReplica::StartViewChange(uint64_t new_view) {
+  if (new_view <= view_ || (in_view_change_ && new_view <= vc_target_)) return;
+  in_view_change_ = true;
+  vc_target_ = new_view;
+  ++stats_.view_changes_started;
+  CancelTimer(view_timer_);
+
+  Encoder enc;
+  enc.PutU8(kViewChange);
+  enc.PutU64(new_view);
+  enc.PutU64(stable_seq_);
+  stable_cert_.EncodeTo(enc);
+  uint64_t proof_count = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.prepared && seq > stable_seq_) ++proof_count;
+  }
+  enc.PutVarint(proof_count);
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.prepared || seq <= stable_seq_) continue;
+    PreparedProof proof;
+    proof.view = slot.view;
+    proof.seq = seq;
+    proof.digest = slot.digest;
+    proof.batch = slot.batch;
+    proof.primary_sig = slot.primary_sig;
+    const auto* sigs = slot.prepare_votes.SignaturesFor(slot.digest);
+    if (sigs != nullptr) proof.prepares = *sigs;
+    proof.EncodeTo(enc);
+  }
+  enc.PutU32(static_cast<uint32_t>(id_));
+  // Sign the body (everything so far).
+  ChargeSign();
+  const Signature sig = signer_.Sign(enc.bytes());
+  sig.EncodeTo(enc);
+  const Bytes raw = enc.Take();
+  SendToMany(config_.AllReplicas(), raw);
+
+  Result<ViewChangeRecord> record = ParseViewChange(raw, id_);
+  if (record.ok()) {
+    vc_msgs_[new_view][id_] = std::move(record).value();
+  }
+  if (config_.FlatPrimary(new_view) == id_) MaybeFormNewView(new_view);
+
+  current_vc_timeout_ = std::min<SimTime>(current_vc_timeout_ * 2, Seconds(2));
+  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
+  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+    view_timer_ = 0;
+    if (in_view_change_) StartViewChange(vc_target_ + 1);
+  });
+}
+
+Result<PbftCoreReplica::ViewChangeRecord> PbftCoreReplica::ParseViewChange(
+    const Bytes& raw, PrincipalId from) {
+  Decoder dec(raw);
+  if (dec.GetU8() != kViewChange) return Status::Corruption("not a VC");
+  const uint64_t new_view = dec.GetU64();
+  (void)new_view;
+  ViewChangeRecord record;
+  record.raw = raw;
+  record.stable_seq = dec.GetU64();
+  SEEMORE_ASSIGN_OR_RETURN(record.cert, CheckpointCert::DecodeFrom(dec));
+  const uint64_t proof_count = dec.GetVarint();
+  if (!dec.ok()) return dec.status();
+  if (proof_count > window_ + 1) return Status::Corruption("too many proofs");
+  for (uint64_t i = 0; i < proof_count; ++i) {
+    SEEMORE_ASSIGN_OR_RETURN(PreparedProof proof,
+                             PreparedProof::DecodeFrom(dec));
+    record.proofs.emplace(proof.seq, std::move(proof));
+  }
+  const PrincipalId sender = static_cast<PrincipalId>(dec.GetU32());
+  if (!dec.ok()) return dec.status();
+  const size_t body_len = raw.size() - dec.remaining();
+  const Signature sig = Signature::DecodeFrom(dec);
+  SEEMORE_RETURN_IF_ERROR(dec.Finish());
+  if (sender != from) return Status::Corruption("sender mismatch");
+  if (!keystore_->Verify(sender, raw.data(), body_len, sig)) {
+    return Status::Corruption("bad VC signature");
+  }
+  // Validate the embedded certificates now so the new-view computation can
+  // trust every stored record.
+  if (!record.cert.Verify(*keystore_, quorums_.checkpoint,
+                          [this](PrincipalId r) { return IsReplicaId(r); })) {
+    return Status::Corruption("bad checkpoint cert in VC");
+  }
+  for (const auto& [seq, proof] : record.proofs) {
+    if (proof.seq != seq || seq <= record.stable_seq) {
+      return Status::Corruption("inconsistent proof seq");
+    }
+    if (!proof.Verify(*keystore_, config_.FlatPrimary(proof.view),
+                      quorums_.agreement,
+                      [this](PrincipalId r) { return IsReplicaId(r); })) {
+      return Status::Corruption("invalid prepared proof");
+    }
+  }
+  return record;
+}
+
+void PbftCoreReplica::HandleViewChange(PrincipalId from, Decoder& dec,
+                                       const Bytes& raw) {
+  const uint64_t new_view = dec.GetU64();
+  if (!dec.ok() || new_view <= view_) return;
+  // Full parse + signature + certificate verification.
+  ChargeVerify(2);
+  Result<ViewChangeRecord> record_or = ParseViewChange(raw, from);
+  if (!record_or.ok()) return;
+  vc_msgs_[new_view][from] = std::move(record_or).value();
+  MaybeJoinViewChange();
+  if (config_.FlatPrimary(new_view) == id_) MaybeFormNewView(new_view);
+}
+
+void PbftCoreReplica::MaybeJoinViewChange() {
+  // Join the lowest view > view_ for which vc_join distinct replicas have
+  // asked — prevents a lone Byzantine node from forcing view changes while
+  // guaranteeing we follow the honest majority.
+  for (const auto& [target, records] : vc_msgs_) {
+    if (target <= view_) continue;
+    if (static_cast<int>(records.size()) >= quorums_.vc_join &&
+        (!in_view_change_ || target > vc_target_)) {
+      StartViewChange(target);
+      return;
+    }
+  }
+}
+
+std::pair<uint64_t, std::map<uint64_t, PbftCoreReplica::Proposal>>
+PbftCoreReplica::ComputeNewViewProposals(
+    const std::map<PrincipalId, ViewChangeRecord>& records) const {
+  uint64_t max_stable = 0;
+  uint64_t max_seq = 0;
+  for (const auto& [sender, record] : records) {
+    max_stable = std::max(max_stable, record.stable_seq);
+    if (!record.proofs.empty()) {
+      max_seq = std::max(max_seq, record.proofs.rbegin()->first);
+    }
+  }
+  std::map<uint64_t, Proposal> proposals;
+  std::map<uint64_t, uint64_t> proposal_views;
+  for (const auto& [sender, record] : records) {
+    for (const auto& [seq, proof] : record.proofs) {
+      if (seq <= max_stable) continue;
+      auto it = proposal_views.find(seq);
+      if (it == proposal_views.end() || proof.view > it->second) {
+        proposal_views[seq] = proof.view;
+        proposals[seq] = Proposal{proof.digest, proof.batch};
+      }
+    }
+  }
+  // Fill holes with no-ops.
+  for (uint64_t seq = max_stable + 1; seq <= max_seq; ++seq) {
+    if (proposals.count(seq) == 0) {
+      Batch noop = Batch::Noop();
+      proposals[seq] = Proposal{noop.ComputeDigest(), std::move(noop)};
+    }
+  }
+  return {max_stable, std::move(proposals)};
+}
+
+void PbftCoreReplica::MaybeFormNewView(uint64_t new_view) {
+  if (view_ >= new_view) return;
+  auto it = vc_msgs_.find(new_view);
+  if (it == vc_msgs_.end()) return;
+  const auto& records = it->second;
+  if (static_cast<int>(records.size()) < quorums_.view_change) return;
+
+  auto [max_stable, proposals] = ComputeNewViewProposals(records);
+
+  Encoder enc;
+  enc.PutU8(kNewView);
+  enc.PutU64(new_view);
+  enc.PutVarint(records.size());
+  for (const auto& [sender, record] : records) {
+    enc.PutBytes(record.raw);
+  }
+  enc.PutVarint(proposals.size());
+  for (auto& [seq, proposal] : proposals) {
+    ChargeSign();
+    const Signature sig = signer_.Sign(
+        ProposalHeader(kDomainPrePrepare, 0, new_view, seq, proposal.digest));
+    enc.PutU64(seq);
+    proposal.digest.EncodeTo(enc);
+    sig.EncodeTo(enc);
+  }
+  SendToMany(config_.AllReplicas(), enc.bytes());
+
+  // Install locally.
+  PrincipalId helper = id_;
+  for (const auto& [sender, record] : records) {
+    if (record.stable_seq == max_stable && sender != id_) helper = sender;
+  }
+  EnterView(new_view);
+  ++stats_.view_changes_completed;
+  uint64_t max_seq = max_stable;
+  for (auto& [seq, proposal] : proposals) {
+    max_seq = std::max(max_seq, seq);
+    Slot slot;  // fresh: stale votes must not count toward the new view
+    slot.batch = std::move(proposal.batch);
+    slot.has_batch = true;
+    slot.digest = proposal.digest;
+    slot.view = new_view;
+    slot.primary_sig = signer_.Sign(
+        ProposalHeader(kDomainPrePrepare, 0, new_view, seq, proposal.digest));
+    slot.committed = slots_[seq].committed || exec_.HasCommitted(seq);
+    slots_[seq] = std::move(slot);
+  }
+  if (max_stable > stable_seq_ && max_stable > exec_.last_executed() &&
+      helper != id_) {
+    RequestStateFrom(helper);
+  }
+  next_seq_ = max_seq + 1;
+  if (UncommittedSlots() > 0) ArmViewTimer();
+  TryPropose();
+}
+
+void PbftCoreReplica::HandleNewView(PrincipalId from, Decoder& dec) {
+  const uint64_t new_view = dec.GetU64();
+  if (!dec.ok()) return;
+  if (config_.FlatPrimary(new_view) != from) return;
+  if (new_view <= view_) return;
+
+  // Re-validate the embedded view-change quorum.
+  const uint64_t vc_count = dec.GetVarint();
+  if (!dec.ok() || vc_count > static_cast<uint64_t>(config_.n())) return;
+  std::map<PrincipalId, ViewChangeRecord> records;
+  ChargeVerify(static_cast<int>(vc_count) * 2);
+  for (uint64_t i = 0; i < vc_count; ++i) {
+    Bytes raw = dec.GetBytes();
+    if (!dec.ok()) return;
+    // Determine the sender from the message body (second-to-last field).
+    Decoder peek(raw);
+    if (peek.GetU8() != kViewChange) return;
+    if (peek.GetU64() != new_view) return;  // VC for a different view
+    // Re-parse fully below; sender id sits before the trailing signature.
+    if (raw.size() < Signature::kSize + 4) return;
+    const size_t sender_off = raw.size() - Signature::kSize - 4;
+    uint32_t sender_raw = 0;
+    for (int b = 0; b < 4; ++b) {
+      sender_raw |= static_cast<uint32_t>(raw[sender_off + b]) << (8 * b);
+    }
+    const PrincipalId sender = static_cast<PrincipalId>(sender_raw);
+    Result<ViewChangeRecord> record_or = ParseViewChange(raw, sender);
+    if (!record_or.ok()) return;
+    records[sender] = std::move(record_or).value();
+  }
+  if (static_cast<int>(records.size()) < quorums_.view_change) return;
+
+  auto [max_stable, proposals] = ComputeNewViewProposals(records);
+
+  const uint64_t entry_count = dec.GetVarint();
+  if (!dec.ok() || entry_count != proposals.size()) return;
+  struct Entry {
+    uint64_t seq;
+    Digest digest;
+    Signature sig;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    Entry entry;
+    entry.seq = dec.GetU64();
+    entry.digest = Digest::DecodeFrom(dec);
+    entry.sig = Signature::DecodeFrom(dec);
+    if (!dec.ok()) return;
+    auto expect = proposals.find(entry.seq);
+    if (expect == proposals.end() || expect->second.digest != entry.digest) {
+      return;  // primary diverged from the deterministic computation
+    }
+    ChargeVerify();
+    if (!keystore_->Verify(from,
+                           ProposalHeader(kDomainPrePrepare, 0, new_view,
+                                          entry.seq, entry.digest),
+                           entry.sig)) {
+      return;
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  EnterView(new_view);
+  ++stats_.view_changes_completed;
+  PrincipalId helper = from;
+  if (max_stable > exec_.last_executed()) RequestStateFrom(helper);
+  for (Entry& entry : entries) {
+    if (entry.seq <= stable_seq_) continue;
+    // Already-committed sequence numbers still run the prepare/commit vote
+    // exchange so peers that missed them pre-view-change can assemble their
+    // quorums; the committed flag prevents re-execution.
+    Slot fresh;
+    fresh.batch = std::move(proposals[entry.seq].batch);
+    fresh.has_batch = true;
+    fresh.digest = entry.digest;
+    fresh.view = new_view;
+    fresh.primary_sig = entry.sig;
+    fresh.committed = slots_[entry.seq].committed ||
+                      exec_.HasCommitted(entry.seq);
+    slots_[entry.seq] = std::move(fresh);
+    Slot& slot = slots_[entry.seq];
+    SendPrepare(entry.seq, slot);
+    CheckPrepared(entry.seq, slot);
+  }
+  if (UncommittedSlots() > 0) ArmViewTimer();
+}
+
+void PbftCoreReplica::EnterView(uint64_t view) {
+  view_ = view;
+  in_view_change_ = false;
+  vc_target_ = 0;
+  CancelTimer(view_timer_);
+  // Grace period: the re-proposed log needs a full re-agreement round under
+  // post-view-change backlog before anyone may suspect the new primary.
+  current_vc_timeout_ = config_.view_change_timeout * 3;
+  // A view change may have nooped requests this map says were handled;
+  // client retransmissions must be accepted afresh (the execution engine
+  // still deduplicates anything that really committed).
+  primary_seen_ts_.clear();
+  // Uncommitted slots are superseded by the NEW-VIEW the caller installs
+  // next; keeping them would re-arm the view timer forever.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = !it->second.committed ? slots_.erase(it) : std::next(it);
+  }
+  for (auto it = vc_msgs_.begin(); it != vc_msgs_.end();) {
+    it = it->first <= view ? vc_msgs_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace seemore

@@ -1,0 +1,180 @@
+// PBFT baseline (Castro & Liskov, OSDI'99), the paper's "BFT" comparator:
+// 3 communication phases (pre-prepare, prepare, commit), O(n²) messages,
+// network 3f+1, quorum 2f+1, full view change with prepared certificates,
+// quorum checkpoints and state transfer.
+//
+// The implementation is written as a quorum-parameterized core
+// (PbftCoreReplica) because the paper's S-UpRight comparator is "a PBFT-like
+// protocol with fewer nodes": identical message flow over N = 3m+2c+1
+// replicas with quorums of 2m+c+1 (see supright_replica.h).
+
+#ifndef SEEMORE_BASELINES_PBFT_PBFT_REPLICA_H_
+#define SEEMORE_BASELINES_PBFT_PBFT_REPLICA_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "consensus/checkpoint.h"
+#include "consensus/proofs.h"
+#include "consensus/quorum.h"
+#include "consensus/replica_base.h"
+
+namespace seemore {
+
+/// Quorum thresholds that differentiate PBFT from S-UpRight.
+struct PbftQuorums {
+  int agreement;   // matching PREPAREs to become prepared (PBFT: 2f)
+  int commit;      // matching COMMITs to commit           (PBFT: 2f+1)
+  int view_change; // VIEW-CHANGE messages for a new view  (PBFT: 2f+1)
+  int checkpoint;  // matching CHECKPOINTs for stability   (PBFT: 2f+1)
+  int vc_join;     // VCs for higher views that force us to join (PBFT: f+1)
+};
+
+class PbftCoreReplica : public ReplicaBase {
+ public:
+  enum MsgType : uint8_t {
+    kPrePrepare = 10,
+    kPrepare = 11,
+    kCommit = 12,
+    kCheckpoint = 13,
+    kViewChange = 14,
+    kNewView = 15,
+    kStateRequest = 16,
+    kStateResponse = 17,
+  };
+
+  PbftCoreReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
+                  PrincipalId id, const ClusterConfig& config,
+                  std::unique_ptr<StateMachine> state_machine,
+                  const CostModel& costs, const PbftQuorums& quorums);
+
+  uint64_t view() const { return view_; }
+  bool IsPrimary() const { return config_.FlatPrimary(view_) == id_; }
+  uint64_t last_executed() const { return exec_.last_executed(); }
+  uint64_t stable_checkpoint() const { return stable_seq_; }
+  bool in_view_change() const { return in_view_change_; }
+
+ protected:
+  void HandleMessage(PrincipalId from, const Bytes& bytes) override;
+
+ private:
+  struct Slot {
+    Batch batch;
+    bool has_batch = false;
+    Digest digest;
+    uint64_t view = 0;      // view of the accepted pre-prepare
+    Signature primary_sig;  // the pre-prepare signature (for proofs)
+    SignedVoteSet<Digest> prepare_votes;
+    SignedVoteSet<Digest> commit_votes;
+    bool prepared = false;
+    bool committed = false;
+    bool commit_sent = false;
+  };
+
+  struct ViewChangeRecord {
+    Bytes raw;  // full message, embedded into NEW-VIEW as proof
+    uint64_t stable_seq = 0;
+    CheckpointCert cert;
+    std::map<uint64_t, PreparedProof> proofs;
+  };
+
+  /// Chosen value for one re-proposed sequence number.
+  struct Proposal {
+    Digest digest;
+    Batch batch;
+  };
+
+  // ----- normal case -----
+  void HandleRequest(PrincipalId from, Decoder& dec);
+  void PrimaryEnqueue(Request request);
+  void TryPropose();
+  void EmitPrePrepare(uint64_t seq, const Batch& batch, const Bytes& encoded);
+  void HandlePrePrepare(PrincipalId from, Decoder& dec);
+  void HandlePrepare(PrincipalId from, Decoder& dec);
+  void HandleCommit(PrincipalId from, Decoder& dec);
+  void SendPrepare(uint64_t seq, Slot& slot);
+  void CheckPrepared(uint64_t seq, Slot& slot);
+  void CheckCommitted(uint64_t seq, Slot& slot);
+  void SendReply(const ExecutedRequest& executed);
+  int UncommittedSlots() const;
+
+  // ----- checkpoints / state transfer -----
+  void MaybeCheckpoint();
+  void HandleCheckpoint(PrincipalId from, Decoder& dec);
+  void CountCheckpointVote(const CheckpointMsg& msg);
+  void AdvanceStable(uint64_t seq, const Digest& digest, CheckpointCert cert,
+                     PrincipalId helper);
+  void HandleStateRequest(PrincipalId from, Decoder& dec);
+  void HandleStateResponse(PrincipalId from, Decoder& dec);
+  void RequestStateFrom(PrincipalId target);
+
+  // ----- view change -----
+  void ArmViewTimer();
+  void RestartOrDisarmViewTimer();
+  void StartViewChange(uint64_t new_view);
+  Result<ViewChangeRecord> ParseViewChange(const Bytes& raw, PrincipalId from);
+  void HandleViewChange(PrincipalId from, Decoder& dec, const Bytes& raw);
+  void MaybeJoinViewChange();
+  void MaybeFormNewView(uint64_t new_view);
+  /// Deterministic re-proposal computation shared by the new primary and by
+  /// backups validating a NEW-VIEW: (max stable, proposals per seq).
+  std::pair<uint64_t, std::map<uint64_t, Proposal>> ComputeNewViewProposals(
+      const std::map<PrincipalId, ViewChangeRecord>& records) const;
+  void HandleNewView(PrincipalId from, Decoder& dec);
+  void EnterView(uint64_t view);
+  bool IsReplicaId(PrincipalId id) const { return id >= 0 && id < config_.n(); }
+
+  const PbftQuorums quorums_;
+  uint64_t view_ = 0;
+  bool in_view_change_ = false;
+  uint64_t vc_target_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t window_;  // max seqs above the stable checkpoint we accept
+  std::map<uint64_t, Slot> slots_;
+  std::deque<Request> pending_;
+  std::map<PrincipalId, uint64_t> primary_seen_ts_;
+  /// Timestamps seen directly from clients (detects retransmissions that
+  /// must be relayed to the primary).
+  std::map<PrincipalId, uint64_t> relay_seen_ts_;
+
+  uint64_t stable_seq_ = 0;
+  CheckpointCert stable_cert_;
+  Bytes stable_snapshot_;
+  uint64_t last_checkpoint_seq_ = 0;
+  std::map<uint64_t, std::pair<Digest, Bytes>> snapshot_buffer_;
+  /// seq -> digest -> signer -> message (for certificate assembly).
+  std::map<uint64_t, std::map<Digest, std::map<PrincipalId, CheckpointMsg>>>
+      checkpoint_votes_;
+
+  std::map<uint64_t, std::map<PrincipalId, ViewChangeRecord>> vc_msgs_;
+
+  EventId view_timer_ = 0;
+  SimTime current_vc_timeout_ = 0;
+  /// Last time we asked a peer for a snapshot (rate limit; a lost response
+  /// must not wedge recovery).
+  SimTime last_state_request_ = -Seconds(1);
+};
+
+/// PBFT proper: N = 3f+1, quorums per Castro & Liskov.
+class PbftReplica : public PbftCoreReplica {
+ public:
+  PbftReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
+              PrincipalId id, const ClusterConfig& config,
+              std::unique_ptr<StateMachine> state_machine,
+              const CostModel& costs)
+      : PbftCoreReplica(sim, net, keystore, id, config,
+                        std::move(state_machine), costs,
+                        PbftQuorums{/*agreement=*/2 * config.f,
+                                    /*commit=*/2 * config.f + 1,
+                                    /*view_change=*/2 * config.f + 1,
+                                    /*checkpoint=*/2 * config.f + 1,
+                                    /*vc_join=*/config.f + 1}) {}
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_BASELINES_PBFT_PBFT_REPLICA_H_

@@ -1,0 +1,6 @@
+#include "baselines/supright/supright_replica.h"
+
+// S-UpRight is PbftCoreReplica with hybrid-model quorums; all behaviour
+// lives in the core. This translation unit exists so the class has a home
+// for future S-UpRight-specific extensions (e.g. UpRight's separation of
+// ordering and execution).

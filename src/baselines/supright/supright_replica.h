@@ -1,0 +1,40 @@
+// S-UpRight: the paper's simplified UpRight comparator (§6).
+//
+// UpRight's *model* — tolerate c crash plus m Byzantine failures with
+// N = 3m + 2c + 1 replicas and quorums of 2m + c + 1 — combined with a
+// pessimistic PBFT-style agreement protocol instead of UpRight's speculative
+// stack, exactly as the paper describes: "we use a PBFT-like protocol
+// (i.e., PBFT protocol with less number of nodes)".
+//
+// Unlike SeeMoRe, S-UpRight does NOT know where crash or Byzantine faults
+// can occur: any replica may be the primary, every phase runs over all
+// N replicas, and all signatures/verifications of full PBFT are paid.
+
+#ifndef SEEMORE_BASELINES_SUPRIGHT_SUPRIGHT_REPLICA_H_
+#define SEEMORE_BASELINES_SUPRIGHT_SUPRIGHT_REPLICA_H_
+
+#include <memory>
+#include <utility>
+
+#include "baselines/pbft/pbft_replica.h"
+
+namespace seemore {
+
+class SUpRightReplica : public PbftCoreReplica {
+ public:
+  SUpRightReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
+                  PrincipalId id, const ClusterConfig& config,
+                  std::unique_ptr<StateMachine> state_machine,
+                  const CostModel& costs)
+      : PbftCoreReplica(
+            sim, net, keystore, id, config, std::move(state_machine), costs,
+            PbftQuorums{/*agreement=*/2 * config.m + config.c,
+                        /*commit=*/2 * config.m + config.c + 1,
+                        /*view_change=*/2 * config.m + config.c + 1,
+                        /*checkpoint=*/2 * config.m + config.c + 1,
+                        /*vc_join=*/config.m + 1}) {}
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_BASELINES_SUPRIGHT_SUPRIGHT_REPLICA_H_

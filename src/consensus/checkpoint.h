@@ -1,0 +1,70 @@
+// Checkpoint messages and transferable checkpoint certificates ξ.
+//
+// Two certificate shapes exist in the paper:
+//   - Lion/Dog (§5.1, §5.2): the trusted primary's single signed
+//     <CHECKPOINT, n, d>_σp message IS the certificate.
+//   - Peacock / PBFT / S-UpRight: a quorum of matching signed checkpoint
+//     messages from the participants (2m+1 proxies / 2f+1 replicas /
+//     2m+c+1 replicas respectively).
+// CheckpointCert covers both: a set of matching signed messages verified
+// against a required count and an authorized-signer predicate.
+
+#ifndef SEEMORE_CONSENSUS_CHECKPOINT_H_
+#define SEEMORE_CONSENSUS_CHECKPOINT_H_
+
+#include <functional>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+#include "util/status.h"
+#include "wire/wire.h"
+
+namespace seemore {
+
+struct CheckpointMsg {
+  uint64_t seq = 0;
+  Digest state_digest;
+  PrincipalId replica = 0;
+  Signature sig;
+
+  Bytes SignedPayload() const;
+  void Sign(const Signer& signer);
+  bool Verify(const KeyStore& keystore) const;
+
+  void EncodeTo(Encoder& enc) const;
+  static Result<CheckpointMsg> DecodeFrom(Decoder& dec);
+};
+
+class CheckpointCert {
+ public:
+  CheckpointCert() = default;
+
+  /// The genesis certificate: sequence 0, no messages, always valid.
+  static CheckpointCert Genesis() { return CheckpointCert(); }
+
+  void Add(CheckpointMsg msg) { msgs_.push_back(std::move(msg)); }
+
+  uint64_t seq() const { return msgs_.empty() ? 0 : msgs_.front().seq; }
+  Digest state_digest() const {
+    return msgs_.empty() ? Digest() : msgs_.front().state_digest;
+  }
+  bool IsGenesis() const { return msgs_.empty(); }
+  const std::vector<CheckpointMsg>& msgs() const { return msgs_; }
+
+  /// Valid iff: all messages agree on (seq, digest), every signature
+  /// verifies, and at least `required` distinct signers satisfy
+  /// `authorized`. A genesis cert is always valid.
+  bool Verify(const KeyStore& keystore, size_t required,
+              const std::function<bool(PrincipalId)>& authorized) const;
+
+  void EncodeTo(Encoder& enc) const;
+  static Result<CheckpointCert> DecodeFrom(Decoder& dec);
+
+ private:
+  std::vector<CheckpointMsg> msgs_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_CHECKPOINT_H_

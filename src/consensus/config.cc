@@ -1,0 +1,312 @@
+#include "consensus/config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace seemore {
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kCft:
+      return "CFT";
+    case ProtocolKind::kBft:
+      return "BFT";
+    case ProtocolKind::kSUpRight:
+      return "S-UpRight";
+    case ProtocolKind::kSeeMoRe:
+      return "SeeMoRe";
+  }
+  return "?";
+}
+
+const char* SeeMoReModeName(SeeMoReMode mode) {
+  switch (mode) {
+    case SeeMoReMode::kLion:
+      return "Lion";
+    case SeeMoReMode::kDog:
+      return "Dog";
+    case SeeMoReMode::kPeacock:
+      return "Peacock";
+  }
+  return "?";
+}
+
+int ClusterConfig::n() const {
+  switch (kind) {
+    case ProtocolKind::kCft:
+      return 2 * f + 1;
+    case ProtocolKind::kBft:
+      return 3 * f + 1;
+    case ProtocolKind::kSUpRight:
+    case ProtocolKind::kSeeMoRe:
+      return s + p;
+  }
+  return 0;
+}
+
+int ClusterConfig::CommitQuorum(SeeMoReMode mode) const {
+  switch (kind) {
+    case ProtocolKind::kCft:
+      return f + 1;
+    case ProtocolKind::kBft:
+      return 2 * f + 1;
+    case ProtocolKind::kSUpRight:
+      return 2 * m + c + 1;
+    case ProtocolKind::kSeeMoRe:
+      return mode == SeeMoReMode::kLion ? 2 * m + c + 1 : 2 * m + 1;
+  }
+  return 0;
+}
+
+Zone ClusterConfig::ReplicaZone(PrincipalId id) const {
+  switch (kind) {
+    case ProtocolKind::kCft:
+    case ProtocolKind::kBft:
+      // Flat protocols run inside one cloud; placement does not affect the
+      // protocol and the default latency profiles are symmetric.
+      return Zone::kPrivate;
+    case ProtocolKind::kSUpRight:
+    case ProtocolKind::kSeeMoRe:
+      return IsTrusted(id) ? Zone::kPrivate : Zone::kPublic;
+  }
+  return Zone::kPrivate;
+}
+
+std::vector<PrincipalId> ClusterConfig::AllReplicas() const {
+  std::vector<PrincipalId> out;
+  out.reserve(n());
+  for (int i = 0; i < n(); ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<PrincipalId> ClusterConfig::PublicReplicas() const {
+  std::vector<PrincipalId> out;
+  for (int i = s; i < n(); ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<PrincipalId> ClusterConfig::PrivateReplicas() const {
+  std::vector<PrincipalId> out;
+  for (int i = 0; i < s && i < n(); ++i) out.push_back(i);
+  return out;
+}
+
+PrincipalId ClusterConfig::TrustedPrimary(uint64_t view) const {
+  return static_cast<PrincipalId>(view % static_cast<uint64_t>(s));
+}
+
+PrincipalId ClusterConfig::PeacockPrimary(uint64_t view) const {
+  return static_cast<PrincipalId>(s + view % static_cast<uint64_t>(p));
+}
+
+PrincipalId ClusterConfig::PrimaryOf(SeeMoReMode mode, uint64_t view) const {
+  return mode == SeeMoReMode::kPeacock ? PeacockPrimary(view)
+                                       : TrustedPrimary(view);
+}
+
+PrincipalId ClusterConfig::Transferer(uint64_t view) const {
+  return TrustedPrimary(view);
+}
+
+std::vector<PrincipalId> ClusterConfig::ProxySet(uint64_t view) const {
+  // {S + ((v + k) mod P) | k in [0, 3m]}: a rotating window of 3m+1 public
+  // replicas; always contains the Peacock primary S + (v mod P).
+  std::vector<PrincipalId> out;
+  const int count = 3 * m + 1;
+  out.reserve(count);
+  for (int k = 0; k < count && k < p; ++k) {
+    out.push_back(static_cast<PrincipalId>(
+        s + (view + static_cast<uint64_t>(k)) % static_cast<uint64_t>(p)));
+  }
+  return out;
+}
+
+bool ClusterConfig::IsProxy(PrincipalId id, uint64_t view) const {
+  if (id < s || id >= n()) return false;
+  const uint64_t offset =
+      (static_cast<uint64_t>(id - s) + static_cast<uint64_t>(p) -
+       view % static_cast<uint64_t>(p)) %
+      static_cast<uint64_t>(p);
+  return offset <= static_cast<uint64_t>(3 * m);
+}
+
+Status ClusterConfig::Validate() const {
+  switch (kind) {
+    case ProtocolKind::kCft:
+    case ProtocolKind::kBft:
+      if (f < 1) return Status::InvalidArgument("f must be >= 1");
+      return Status::Ok();
+    case ProtocolKind::kSUpRight:
+      if (m < 0 || c < 0 || m + c < 1) {
+        return Status::InvalidArgument("need m + c >= 1");
+      }
+      if (s + p < HybridNetworkSize(m, c)) {
+        return Status::InvalidArgument("network smaller than 3m+2c+1");
+      }
+      return Status::Ok();
+    case ProtocolKind::kSeeMoRe:
+      if (m < 0 || c < 0 || m + c < 1) {
+        return Status::InvalidArgument("need m + c >= 1");
+      }
+      if (s < c + 1) {
+        return Status::InvalidArgument(
+            "private cloud must outlive its crashes (S >= c+1)");
+      }
+      if (p < 3 * m + 1) {
+        return Status::InvalidArgument(
+            "public cloud must hold 3m+1 proxies (P >= 3m+1)");
+      }
+      if (s + p < HybridNetworkSize(m, c)) {
+        return Status::InvalidArgument("network smaller than 3m+2c+1");
+      }
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown protocol kind");
+}
+
+std::string ClusterConfig::ToString() const {
+  char buf[160];
+  if (kind == ProtocolKind::kCft || kind == ProtocolKind::kBft) {
+    std::snprintf(buf, sizeof(buf), "%s{n=%d f=%d}", ProtocolKindName(kind),
+                  n(), f);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s{n=%d s=%d p=%d c=%d m=%d%s%s}",
+                  ProtocolKindName(kind), n(), s, p, c, m,
+                  kind == ProtocolKind::kSeeMoRe ? " mode=" : "",
+                  kind == ProtocolKind::kSeeMoRe
+                      ? SeeMoReModeName(initial_mode)
+                      : "");
+  }
+  return buf;
+}
+
+namespace {
+SizingResult Infeasible(std::string why) {
+  SizingResult r;
+  r.feasible = false;
+  r.explanation = std::move(why);
+  return r;
+}
+}  // namespace
+
+SizingResult PublicCloudSizeByRatio(int s, int c, double alpha) {
+  return PublicCloudSizeByRatios(s, c, alpha, 0.0);
+}
+
+SizingResult PublicCloudSizeByRatios(int s, int c, double alpha, double beta) {
+  if (s >= 2 * c + 1) {
+    SizingResult r;
+    r.feasible = true;
+    r.public_nodes = 0;
+    r.network_size = s;
+    r.explanation =
+        "S >= 2c+1: the private cloud can run a crash fault-tolerant "
+        "protocol (e.g. Paxos) by itself";
+    return r;
+  }
+  if (s <= c) {
+    return Infeasible(
+        "S <= c: the private cloud adds no value; rent everything and run a "
+        "Byzantine fault-tolerant protocol in the public cloud");
+  }
+  const double denom = 3.0 * alpha + 2.0 * beta - 1.0;
+  if (denom >= 0.0) {
+    return Infeasible(
+        "3*alpha + 2*beta >= 1: the public cloud cannot satisfy the "
+        "Byzantine network-size constraint (need alpha < 1/3 when beta = 0)");
+  }
+  // Eq. 2 / Eq. 3: P = ceil((S - (2c+1)) / (3a + 2b - 1)). Numerator and
+  // denominator are both negative in the feasible band c < S < 2c+1.
+  const double numer = static_cast<double>(s) - (2.0 * c + 1.0);
+  const double exact = numer / denom;
+  SizingResult r;
+  r.feasible = true;
+  r.public_nodes = static_cast<int>(std::ceil(exact - 1e-9));
+  r.network_size = s + r.public_nodes;
+  r.explanation = beta > 0.0 ? "Eq. 3: P = ceil((S-(2c+1))/(3a+2b-1))"
+                             : "Eq. 2: P = ceil((S-(2c+1))/(3a-1))";
+  return r;
+}
+
+MultiCloudPlan PlanMultiCloud(int s, int c,
+                              const std::vector<CloudOffer>& offers) {
+  MultiCloudPlan plan;
+  plan.rented.assign(offers.size(), 0);
+  if (s >= 2 * c + 1) {
+    plan.feasible = true;
+    plan.network_size = s;
+    plan.explanation = "private cloud is self-sufficient (S >= 2c+1)";
+    return plan;
+  }
+  if (s <= c) {
+    plan.explanation =
+        "S <= c: run a Byzantine fault-tolerant protocol fully in public";
+    return plan;
+  }
+  // Greedy: rent from the lowest-alpha provider first. Track the implied
+  // malicious bound m_i = floor(alpha_i * p_i) and stop as soon as
+  // s + sum(p) >= 3*sum(m) + 2c + 1.
+  std::vector<size_t> order(offers.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&offers](size_t a, size_t b) {
+    return offers[a].alpha < offers[b].alpha;
+  });
+  int rented_total = 0;
+  // Conservative malicious bound: ceil(alpha_i * p_i). The paper's worked
+  // example (S=2, c=1, alpha=0.3 -> P=10, m=3) satisfies this exactly, and
+  // rounding down would let a single rented node from a 30%-malicious cloud
+  // count as fully trustworthy.
+  auto satisfied = [&]() {
+    int malicious = 0;
+    for (size_t i = 0; i < offers.size(); ++i) {
+      malicious += static_cast<int>(
+          std::ceil(offers[i].alpha * plan.rented[i] - 1e-9));
+    }
+    return s + rented_total >= 3 * malicious + 2 * c + 1;
+  };
+  while (!satisfied()) {
+    bool progressed = false;
+    for (size_t idx : order) {
+      if (plan.rented[idx] >= offers[idx].max_nodes) continue;
+      ++plan.rented[idx];
+      ++rented_total;
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      plan.rented.assign(offers.size(), 0);
+      plan.explanation =
+          "offered capacity cannot satisfy N >= 3m + 2c + 1 at these ratios";
+      return plan;
+    }
+  }
+  plan.feasible = true;
+  plan.total_rented = rented_total;
+  plan.network_size = s + rented_total;
+  plan.explanation = "greedy lowest-alpha-first allocation";
+  return plan;
+}
+
+SizingResult PublicCloudSizeByBound(int s, int c, int max_malicious) {
+  SizingResult r;
+  r.feasible = true;
+  r.public_nodes = (3 * max_malicious + 2 * c + 1) - s;
+  if (r.public_nodes < 0) r.public_nodes = 0;
+  r.network_size = s + r.public_nodes;
+  r.explanation = "P = (3M + 2c + 1) - S";
+  return r;
+}
+
+SizingResult PublicCloudSizeByBounds(int s, int c, int max_malicious,
+                                     int max_crash) {
+  SizingResult r;
+  r.feasible = true;
+  r.public_nodes = (3 * max_malicious + 2 * max_crash + 2 * c + 1) - s;
+  if (r.public_nodes < 0) r.public_nodes = 0;
+  r.network_size = s + r.public_nodes;
+  r.explanation = "P = (3M + 2C + 2c + 1) - S";
+  return r;
+}
+
+}  // namespace seemore

@@ -1,0 +1,163 @@
+// Cluster topology, failure bounds, role assignment and quorum arithmetic
+// for every protocol in the repository.
+//
+// Replica identifiers follow the paper (§5): integers [0, N); trusted
+// (private-cloud) replicas are [0, S), untrusted (public-cloud) replicas are
+// [S, N). All replicas and clients know which ids are trusted.
+
+#ifndef SEEMORE_CONSENSUS_CONFIG_H_
+#define SEEMORE_CONSENSUS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace seemore {
+
+enum class ProtocolKind : uint8_t {
+  kCft = 1,       // Paxos-style crash fault tolerance (BFT-SMaRt "CFT")
+  kBft = 2,       // PBFT
+  kSUpRight = 3,  // simplified UpRight: PBFT over 3m+2c+1, quorum 2m+c+1
+  kSeeMoRe = 4,
+};
+
+const char* ProtocolKindName(ProtocolKind kind);
+
+/// SeeMoRe operating mode π (paper §5). Values match the paper's π ∈ {1,2,3}.
+enum class SeeMoReMode : uint8_t {
+  kLion = 1,     // trusted primary, all replicas participate
+  kDog = 2,      // trusted primary, 3m+1 public proxies run agreement
+  kPeacock = 3,  // untrusted primary, PBFT among 3m+1 public proxies
+};
+
+const char* SeeMoReModeName(SeeMoReMode mode);
+
+struct ClusterConfig {
+  ProtocolKind kind = ProtocolKind::kSeeMoRe;
+
+  /// Hybrid topology (SeeMoRe / S-UpRight): S private replicas, P public.
+  int s = 2;
+  int p = 4;
+  /// Failure bounds: c crashes in the private cloud, m Byzantine in the
+  /// public cloud.
+  int c = 1;
+  int m = 1;
+  /// Flat bound for CFT (crashes) and BFT (Byzantine): f.
+  int f = 1;
+
+  SeeMoReMode initial_mode = SeeMoReMode::kLion;
+
+  /// Checkpoint period in sequence numbers (paper §6.3 uses 10000).
+  int checkpoint_period = 128;
+  /// Maximum requests folded into one consensus instance.
+  int batch_max = 16;
+  /// Maximum concurrently outstanding consensus instances at the primary.
+  int pipeline_max = 8;
+  /// Backup timer τ before suspecting the primary.
+  SimTime view_change_timeout = Millis(20);
+  /// Ablation knob: price Lion accepts as signed messages instead of the
+  /// paper's unsigned accepts (§5.1 notes they need no signature because
+  /// they flow only to the trusted primary). Protocol behaviour is
+  /// unchanged; only CPU cost accounting differs.
+  bool lion_sign_accepts = false;
+
+  /// Total number of replicas.
+  int n() const;
+  /// Quorum of participants needed to commit (per protocol / mode).
+  int CommitQuorum(SeeMoReMode mode) const;
+
+  /// --- role predicates -------------------------------------------------
+  bool IsTrusted(PrincipalId id) const { return id >= 0 && id < s; }
+  Zone ReplicaZone(PrincipalId id) const;
+
+  /// All replica ids [0, n).
+  std::vector<PrincipalId> AllReplicas() const;
+  /// Public-cloud replica ids [S, N).
+  std::vector<PrincipalId> PublicReplicas() const;
+  /// Private-cloud replica ids [0, S).
+  std::vector<PrincipalId> PrivateReplicas() const;
+
+  /// --- SeeMoRe role assignment (paper §5.1-§5.3) -----------------------
+  /// Lion/Dog primary of view v: v mod S (trusted).
+  PrincipalId TrustedPrimary(uint64_t view) const;
+  /// Peacock primary of view v: S + (v mod P) (always a proxy).
+  PrincipalId PeacockPrimary(uint64_t view) const;
+  /// Primary under a given mode.
+  PrincipalId PrimaryOf(SeeMoReMode mode, uint64_t view) const;
+  /// Transferer of view v (Peacock view changes): v mod S.
+  PrincipalId Transferer(uint64_t view) const;
+  /// The 3m+1 public proxies of view v: {S + ((v + k) mod P) | k in [0,3m]}.
+  std::vector<PrincipalId> ProxySet(uint64_t view) const;
+  bool IsProxy(PrincipalId id, uint64_t view) const;
+
+  /// --- flat-protocol roles ---------------------------------------------
+  /// CFT leader / PBFT primary of view v: v mod N.
+  PrincipalId FlatPrimary(uint64_t view) const { return static_cast<PrincipalId>(view % static_cast<uint64_t>(n())); }
+
+  /// Validate internal consistency (sizes vs. bounds). Used by builders.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// --- public-cloud sizing (paper §4) -------------------------------------
+/// These helpers answer "how many servers must I rent?".
+struct SizingResult {
+  bool feasible = false;
+  int public_nodes = 0;     // P
+  int network_size = 0;     // N = S + P
+  std::string explanation;  // why infeasible / which rule produced P
+};
+
+/// Method 1 (Eq. 2): uniform malicious ratio α = m/P in the public cloud.
+/// Requires c < S < 2c+1 to be useful and α < 1/3 to be satisfiable.
+SizingResult PublicCloudSizeByRatio(int s, int c, double alpha);
+
+/// Method 1 extended (Eq. 3): both malicious (α) and crash (β) ratios known.
+SizingResult PublicCloudSizeByRatios(int s, int c, double alpha, double beta);
+
+/// Method 2: explicit bound of M concurrent malicious failures in the rented
+/// cluster: P = (3M + 2c + 1) - S.
+SizingResult PublicCloudSizeByBound(int s, int c, int max_malicious);
+
+/// Method 2 extended: explicit malicious (M) and crash (C) bounds in the
+/// public cluster: P = (3M + 2C + 2c + 1) - S.
+SizingResult PublicCloudSizeByBounds(int s, int c, int max_malicious,
+                                     int max_crash);
+
+/// §4 generalization to multiple public clouds: different providers offer
+/// different malicious ratios and capacities; pick a per-cloud rental that
+/// satisfies N = S + sum(P_i) >= 3*sum(m_i) + 2c + 1 with m_i = floor(a_i
+/// P_i) while renting as few nodes as possible (greedy by ratio, which is
+/// optimal because a node from a lower-alpha cloud never requires more
+/// companions than one from a higher-alpha cloud).
+struct CloudOffer {
+  std::string name;
+  double alpha = 0.0;  // malicious ratio in this provider's cluster
+  int max_nodes = 0;   // rentable capacity
+};
+
+struct MultiCloudPlan {
+  bool feasible = false;
+  int total_rented = 0;
+  int network_size = 0;
+  /// Per-offer allocation, same order as the input offers.
+  std::vector<int> rented;
+  std::string explanation;
+};
+
+MultiCloudPlan PlanMultiCloud(int s, int c,
+                              const std::vector<CloudOffer>& offers);
+
+/// Hybrid minimum network size N = 3m + 2c + 1 (Eq. 1).
+inline int HybridNetworkSize(int m, int c) { return 3 * m + 2 * c + 1; }
+/// Hybrid quorum size 2m + c + 1 (§3.2).
+inline int HybridQuorumSize(int m, int c) { return 2 * m + c + 1; }
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_CONFIG_H_

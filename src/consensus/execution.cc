@@ -1,0 +1,119 @@
+#include "consensus/execution.h"
+
+#include "util/logging.h"
+
+namespace seemore {
+
+ExecutionEngine::ExecutionEngine(std::unique_ptr<StateMachine> state_machine)
+    : state_machine_(std::move(state_machine)) {}
+
+std::vector<ExecutedRequest> ExecutionEngine::Commit(uint64_t seq,
+                                                     Batch batch) {
+  std::vector<ExecutedRequest> out;
+  if (seq <= last_executed_ || pending_.count(seq) > 0) return out;
+  pending_.emplace(seq, std::move(batch));
+  // Drain every batch that is now in order.
+  while (true) {
+    auto it = pending_.find(last_executed_ + 1);
+    if (it == pending_.end()) break;
+    std::vector<ExecutedRequest> executed = ExecuteBatch(it->first, it->second);
+    out.insert(out.end(), std::make_move_iterator(executed.begin()),
+               std::make_move_iterator(executed.end()));
+    executed_digests_[it->first] = it->second.ComputeDigest();
+    last_executed_ = it->first;
+    ++batches_executed_;
+    pending_.erase(it);
+  }
+  return out;
+}
+
+std::vector<ExecutedRequest> ExecutionEngine::ExecuteBatch(uint64_t seq,
+                                                           const Batch& batch) {
+  std::vector<ExecutedRequest> out;
+  out.reserve(batch.requests.size());
+  for (const Request& request : batch.requests) {
+    ExecutedRequest result;
+    result.seq = seq;
+    result.request = request;
+    auto cache_it = reply_cache_.find(request.client);
+    if (cache_it != reply_cache_.end() &&
+        request.timestamp <= cache_it->second.timestamp) {
+      // Duplicate of an already-executed request: never re-execute
+      // (exactly-once semantics). Reply only reproducible for the latest
+      // timestamp.
+      result.duplicate = true;
+      if (request.timestamp == cache_it->second.timestamp) {
+        result.result = cache_it->second.reply;
+      }
+    } else {
+      result.result = state_machine_->Execute(request.op);
+      reply_cache_[request.client] =
+          CacheEntry{request.timestamp, result.result};
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+std::optional<Bytes> ExecutionEngine::CachedReply(PrincipalId client,
+                                                  uint64_t timestamp) const {
+  auto it = reply_cache_.find(client);
+  if (it == reply_cache_.end() || it->second.timestamp != timestamp) {
+    return std::nullopt;
+  }
+  return it->second.reply;
+}
+
+bool ExecutionEngine::SeenTimestamp(PrincipalId client,
+                                    uint64_t timestamp) const {
+  auto it = reply_cache_.find(client);
+  return it != reply_cache_.end() && timestamp <= it->second.timestamp;
+}
+
+Bytes ExecutionEngine::Snapshot() const {
+  Encoder enc;
+  enc.PutU64(last_executed_);
+  enc.PutBytes(state_machine_->Snapshot());
+  enc.PutVarint(reply_cache_.size());
+  for (const auto& [client, entry] : reply_cache_) {
+    enc.PutU32(static_cast<uint32_t>(client));
+    enc.PutU64(entry.timestamp);
+    enc.PutBytes(entry.reply);
+  }
+  return enc.Take();
+}
+
+Status ExecutionEngine::Restore(const Bytes& snapshot, uint64_t seq) {
+  Decoder dec(snapshot);
+  const uint64_t snapshot_seq = dec.GetU64();
+  Bytes sm_snapshot = dec.GetBytes();
+  const uint64_t cache_size = dec.GetVarint();
+  std::map<PrincipalId, CacheEntry> cache;
+  for (uint64_t i = 0; i < cache_size && dec.ok(); ++i) {
+    PrincipalId client = static_cast<PrincipalId>(dec.GetU32());
+    CacheEntry entry;
+    entry.timestamp = dec.GetU64();
+    entry.reply = dec.GetBytes();
+    cache.emplace(client, std::move(entry));
+  }
+  SEEMORE_RETURN_IF_ERROR(dec.Finish());
+  if (snapshot_seq != seq) {
+    return Status::Corruption("snapshot sequence number mismatch");
+  }
+  SEEMORE_RETURN_IF_ERROR(state_machine_->Restore(sm_snapshot));
+  last_executed_ = snapshot_seq;
+  reply_cache_ = std::move(cache);
+  // Drop buffered batches at or below the restored point.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->first <= last_executed_) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+Digest ExecutionEngine::StateDigest() const { return Digest::Of(Snapshot()); }
+
+}  // namespace seemore

@@ -1,0 +1,85 @@
+#include "consensus/proofs.h"
+
+#include <set>
+
+namespace seemore {
+
+Bytes ProposalHeader(SigDomain domain, uint8_t mode, uint64_t view,
+                     uint64_t seq, const Digest& digest) {
+  Encoder enc;
+  enc.PutU8(domain);
+  enc.PutU8(mode);
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  digest.EncodeTo(enc);
+  return enc.Take();
+}
+
+Bytes VoteHeader(SigDomain domain, uint8_t mode, uint64_t view, uint64_t seq,
+                 const Digest& digest, PrincipalId voter) {
+  Encoder enc;
+  enc.PutU8(domain);
+  enc.PutU8(mode);
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  digest.EncodeTo(enc);
+  enc.PutU32(static_cast<uint32_t>(voter));
+  return enc.Take();
+}
+
+void PreparedProof::EncodeTo(Encoder& enc) const {
+  enc.PutU8(mode);
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  digest.EncodeTo(enc);
+  enc.PutBytes(batch.Encode());
+  primary_sig.EncodeTo(enc);
+  enc.PutVarint(prepares.size());
+  for (const auto& [voter, sig] : prepares) {
+    enc.PutU32(static_cast<uint32_t>(voter));
+    sig.EncodeTo(enc);
+  }
+}
+
+Result<PreparedProof> PreparedProof::DecodeFrom(Decoder& dec) {
+  PreparedProof proof;
+  proof.mode = dec.GetU8();
+  proof.view = dec.GetU64();
+  proof.seq = dec.GetU64();
+  proof.digest = Digest::DecodeFrom(dec);
+  Bytes batch_bytes = dec.GetBytes();
+  if (!dec.ok()) return dec.status();
+  SEEMORE_ASSIGN_OR_RETURN(proof.batch, Batch::Decode(batch_bytes));
+  proof.primary_sig = Signature::DecodeFrom(dec);
+  const uint64_t count = dec.GetVarint();
+  if (!dec.ok()) return dec.status();
+  constexpr uint64_t kMaxVotes = 4096;
+  if (count > kMaxVotes) return Status::Corruption("oversized prepared proof");
+  for (uint64_t i = 0; i < count; ++i) {
+    PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
+    Signature sig = Signature::DecodeFrom(dec);
+    if (!dec.ok()) return dec.status();
+    proof.prepares.emplace(voter, sig);
+  }
+  return proof;
+}
+
+bool PreparedProof::Verify(
+    const KeyStore& keystore, PrincipalId primary, size_t prepares_needed,
+    const std::function<bool(PrincipalId)>& authorized) const {
+  if (batch.ComputeDigest() != digest) return false;
+  const Bytes proposal =
+      ProposalHeader(kDomainPrePrepare, mode, view, seq, digest);
+  if (!keystore.Verify(primary, proposal, primary_sig)) return false;
+  std::set<PrincipalId> valid;
+  for (const auto& [voter, sig] : prepares) {
+    if (!authorized(voter)) return false;
+    const Bytes vote =
+        VoteHeader(kDomainPrepare, mode, view, seq, digest, voter);
+    if (!keystore.Verify(voter, vote, sig)) return false;
+    valid.insert(voter);
+  }
+  return valid.size() >= prepares_needed;
+}
+
+}  // namespace seemore

@@ -1,0 +1,67 @@
+// Signed consensus-message headers and transferable "prepared" certificates.
+//
+// Every signed protocol message signs a domain-separated header so a
+// signature for one message type (or one protocol phase) can never be
+// replayed as another. PreparedProof is PBFT's prepared certificate —
+// pre-prepare + quorum of matching prepares — carried inside view-change
+// messages by PBFT, S-UpRight and SeeMoRe's Peacock mode.
+
+#ifndef SEEMORE_CONSENSUS_PROOFS_H_
+#define SEEMORE_CONSENSUS_PROOFS_H_
+
+#include <functional>
+#include <map>
+
+#include "consensus/batch.h"
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+
+namespace seemore {
+
+/// Domain-separation tags for signed headers.
+enum SigDomain : uint8_t {
+  kDomainPrePrepare = 0xA1,  // also Lion/Dog PREPARE (primary proposal)
+  kDomainPrepare = 0xA2,     // PBFT/Peacock prepare echo; Dog signed accept
+  kDomainCommit = 0xA3,
+  kDomainViewChange = 0xA4,
+  kDomainNewView = 0xA5,
+  kDomainInform = 0xA6,
+  kDomainModeChange = 0xA7,
+};
+
+/// Header signed by a proposal's author: (domain, mode, view, seq, digest).
+/// `mode` is the SeeMoRe mode π (0 for baselines) so a message from one mode
+/// cannot be replayed into another.
+Bytes ProposalHeader(SigDomain domain, uint8_t mode, uint64_t view,
+                     uint64_t seq, const Digest& digest);
+
+/// Header signed by a voter: ProposalHeader + the voter's id (PBFT's
+/// <PREPARE, v, n, d, i>).
+Bytes VoteHeader(SigDomain domain, uint8_t mode, uint64_t view, uint64_t seq,
+                 const Digest& digest, PrincipalId voter);
+
+/// PBFT "prepared" certificate for one sequence number.
+struct PreparedProof {
+  uint8_t mode = 0;
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  Digest digest;
+  Batch batch;
+  Signature primary_sig;  // over ProposalHeader(kDomainPrePrepare, ...)
+  /// Voter id -> signature over VoteHeader(kDomainPrepare, ..., voter).
+  std::map<PrincipalId, Signature> prepares;
+
+  void EncodeTo(Encoder& enc) const;
+  static Result<PreparedProof> DecodeFrom(Decoder& dec);
+
+  /// Checks: the batch matches `digest`; `primary_sig` is `primary`'s
+  /// signature; at least `prepares_needed` distinct authorized voters signed
+  /// matching prepare headers.
+  bool Verify(const KeyStore& keystore, PrincipalId primary,
+              size_t prepares_needed,
+              const std::function<bool(PrincipalId)>& authorized) const;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_PROOFS_H_

@@ -1,0 +1,84 @@
+// Vote accounting. Byzantine senders may vote for different values, so every
+// tracker keys votes by value (digest) and counts *distinct* signers per
+// value — a node's second vote for the same value is ignored, and votes for
+// conflicting values accumulate independently.
+
+#ifndef SEEMORE_CONSENSUS_QUORUM_H_
+#define SEEMORE_CONSENSUS_QUORUM_H_
+
+#include <map>
+#include <set>
+
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+
+namespace seemore {
+
+/// Counts distinct voters per candidate value.
+template <typename Value = Digest>
+class VoteSet {
+ public:
+  /// Record a vote. Returns true if it was new (voter had not yet voted for
+  /// this value).
+  bool Add(const Value& value, PrincipalId voter) {
+    return votes_[value].insert(voter).second;
+  }
+
+  size_t Count(const Value& value) const {
+    auto it = votes_.find(value);
+    return it == votes_.end() ? 0 : it->second.size();
+  }
+
+  bool Reached(const Value& value, size_t quorum) const {
+    return Count(value) >= quorum;
+  }
+
+  bool HasVoted(const Value& value, PrincipalId voter) const {
+    auto it = votes_.find(value);
+    return it != votes_.end() && it->second.count(voter) > 0;
+  }
+
+  const std::set<PrincipalId>* VotersFor(const Value& value) const {
+    auto it = votes_.find(value);
+    return it == votes_.end() ? nullptr : &it->second;
+  }
+
+  void Clear() { votes_.clear(); }
+
+ private:
+  std::map<Value, std::set<PrincipalId>> votes_;
+};
+
+/// Votes that must be remembered with their signatures (to later assemble a
+/// transferable certificate, e.g. Peacock/PBFT prepared proofs).
+template <typename Value = Digest>
+class SignedVoteSet {
+ public:
+  bool Add(const Value& value, PrincipalId voter, const Signature& sig) {
+    return votes_[value].emplace(voter, sig).second;
+  }
+
+  size_t Count(const Value& value) const {
+    auto it = votes_.find(value);
+    return it == votes_.end() ? 0 : it->second.size();
+  }
+
+  bool Reached(const Value& value, size_t quorum) const {
+    return Count(value) >= quorum;
+  }
+
+  const std::map<PrincipalId, Signature>* SignaturesFor(
+      const Value& value) const {
+    auto it = votes_.find(value);
+    return it == votes_.end() ? nullptr : &it->second;
+  }
+
+  void Clear() { votes_.clear(); }
+
+ private:
+  std::map<Value, std::map<PrincipalId, Signature>> votes_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_QUORUM_H_

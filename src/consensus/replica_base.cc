@@ -1,0 +1,76 @@
+#include "consensus/replica_base.h"
+
+#include "util/logging.h"
+
+namespace seemore {
+
+ReplicaBase::ReplicaBase(Simulator* sim, SimNetwork* net,
+                         const KeyStore* keystore, PrincipalId id,
+                         const ClusterConfig& config,
+                         std::unique_ptr<StateMachine> state_machine,
+                         const CostModel& costs)
+    : sim_(sim),
+      net_(net),
+      keystore_(keystore),
+      id_(id),
+      config_(config),
+      costs_(costs),
+      signer_(id, *keystore),
+      cpu_(sim),
+      exec_(std::move(state_machine)) {
+  net_->AddNode(id_, config_.ReplicaZone(id_), this, &cpu_);
+}
+
+ReplicaBase::~ReplicaBase() = default;
+
+void ReplicaBase::Crash() {
+  crashed_ = true;
+  ++epoch_;  // invalidates all outstanding timers
+  net_->SetNodeUp(id_, false);
+}
+
+void ReplicaBase::Recover() {
+  crashed_ = false;
+  net_->SetNodeUp(id_, true);
+  OnRecover();
+}
+
+void ReplicaBase::OnMessage(PrincipalId from, Bytes bytes) {
+  if (crashed_) return;
+  if (HasByz(kByzSilent)) return;
+  ++stats_.messages_handled;
+  Charge(costs_.recv_fixed + costs_.PayloadCost(bytes.size()));
+  HandleMessage(from, bytes);
+}
+
+void ReplicaBase::SendTo(PrincipalId to, const Bytes& msg) {
+  if (crashed_) return;
+  Charge(costs_.send_fixed + costs_.PayloadCost(msg.size()));
+  net_->Send(id_, to, msg);
+}
+
+void ReplicaBase::SendToMany(const std::vector<PrincipalId>& targets,
+                             const Bytes& msg) {
+  if (crashed_) return;
+  for (PrincipalId to : targets) {
+    if (to == id_) continue;
+    SendTo(to, msg);
+  }
+}
+
+EventId ReplicaBase::StartTimer(SimTime delay, std::function<void()> fn) {
+  const uint64_t epoch = epoch_;
+  return sim_->Schedule(delay, [this, epoch, fn = std::move(fn)] {
+    if (crashed_ || epoch != epoch_) return;
+    fn();
+  });
+}
+
+void ReplicaBase::CancelTimer(EventId& id) {
+  if (id != 0) {
+    sim_->Cancel(id);
+    id = 0;
+  }
+}
+
+}  // namespace seemore

@@ -1,0 +1,126 @@
+// Common plumbing for every protocol replica: network registration, CPU cost
+// accounting, signing, timers that die with the replica, crash/recover fault
+// injection, and Byzantine-behaviour flags consulted by the protocol logic.
+
+#ifndef SEEMORE_CONSENSUS_REPLICA_BASE_H_
+#define SEEMORE_CONSENSUS_REPLICA_BASE_H_
+
+#include <functional>
+#include <memory>
+
+#include "consensus/config.h"
+#include "consensus/execution.h"
+#include "net/network.h"
+#include "smr/command.h"
+
+namespace seemore {
+
+/// Misbehaviours a (public-cloud) replica can be configured to exhibit.
+/// kSilent is enforced by the base class; the rest are consulted by
+/// protocol code at the relevant decision points.
+enum ByzantineFlag : uint32_t {
+  kByzNone = 0,
+  /// Drop all incoming messages (fail-stop-looking Byzantine node).
+  kByzSilent = 1u << 0,
+  /// As primary, send conflicting proposals for the same sequence number to
+  /// different replicas (equivocation).
+  kByzEquivocate = 1u << 1,
+  /// Vote (accept/prepare/commit) for a corrupted digest.
+  kByzWrongVotes = 1u << 2,
+  /// Send clients corrupted results.
+  kByzLieToClients = 1u << 3,
+};
+
+struct ReplicaStats {
+  uint64_t requests_executed = 0;
+  uint64_t batches_committed = 0;
+  uint64_t view_changes_started = 0;
+  uint64_t view_changes_completed = 0;
+  uint64_t mode_changes = 0;
+  uint64_t messages_handled = 0;
+  uint64_t state_transfers = 0;
+};
+
+class ReplicaBase : public MessageHandler {
+ public:
+  ReplicaBase(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
+              PrincipalId id, const ClusterConfig& config,
+              std::unique_ptr<StateMachine> state_machine,
+              const CostModel& costs);
+  ~ReplicaBase() override;
+
+  ReplicaBase(const ReplicaBase&) = delete;
+  ReplicaBase& operator=(const ReplicaBase&) = delete;
+
+  PrincipalId id() const { return id_; }
+  const ClusterConfig& config() const { return config_; }
+  ExecutionEngine& exec() { return exec_; }
+  const ExecutionEngine& exec() const { return exec_; }
+  const ReplicaStats& stats() const { return stats_; }
+  NodeCpu* cpu() { return &cpu_; }
+  bool crashed() const { return crashed_; }
+
+  /// Fault injection: stop processing and detach from the network. State is
+  /// retained in memory (a restart models a reboot with a durable log).
+  void Crash();
+  void Recover();
+
+  /// Fault injection: configure Byzantine behaviour (only meaningful for
+  /// untrusted replicas; tests assert trusted replicas are never flagged).
+  void SetByzantine(uint32_t flags) { byzantine_flags_ = flags; }
+  bool HasByz(ByzantineFlag flag) const {
+    return (byzantine_flags_ & flag) != 0;
+  }
+
+  /// MessageHandler: charges receive costs, filters crashed/silent states,
+  /// then dispatches to HandleMessage.
+  void OnMessage(PrincipalId from, Bytes bytes) final;
+
+ protected:
+  /// Protocol logic entry point. Runs on the replica's (virtual) CPU;
+  /// charge crypto/execution work via the Charge* helpers.
+  virtual void HandleMessage(PrincipalId from, const Bytes& bytes) = 0;
+
+  /// Hook invoked after Recover() re-attaches the replica.
+  virtual void OnRecover() {}
+
+  /// --- CPU accounting ---------------------------------------------------
+  void Charge(SimTime cost) { cpu_.Charge(cost); }
+  void ChargeVerify(int count = 1) { cpu_.Charge(costs_.verify * count); }
+  void ChargeSign(int count = 1) { cpu_.Charge(costs_.sign * count); }
+  void ChargeMac(int count = 1) { cpu_.Charge(costs_.mac * count); }
+  void ChargeHash(size_t bytes) { cpu_.Charge(costs_.HashCost(bytes)); }
+  void ChargeExecute(int requests) { cpu_.Charge(costs_.execute * requests); }
+
+  /// --- network ----------------------------------------------------------
+  /// Send one message (charges the fixed + payload send cost).
+  void SendTo(PrincipalId to, const Bytes& msg);
+  /// Send `msg` to every target except this replica.
+  void SendToMany(const std::vector<PrincipalId>& targets, const Bytes& msg);
+
+  /// --- timers -----------------------------------------------------------
+  /// Timers are invalidated by Crash(); callbacks never fire on a crashed
+  /// replica or across a Crash()/Recover() cycle.
+  EventId StartTimer(SimTime delay, std::function<void()> fn);
+  void CancelTimer(EventId& id);
+
+  Simulator* sim_;
+  SimNetwork* net_;
+  const KeyStore* keystore_;
+  const PrincipalId id_;
+  const ClusterConfig config_;
+  const CostModel costs_;
+  Signer signer_;
+  NodeCpu cpu_;
+  ExecutionEngine exec_;
+  ReplicaStats stats_;
+
+ private:
+  bool crashed_ = false;
+  uint32_t byzantine_flags_ = kByzNone;
+  uint64_t epoch_ = 0;  // bumped by Crash(); stale timers are ignored
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_REPLICA_BASE_H_

@@ -1,0 +1,15 @@
+#include "crypto/digest.h"
+
+#include "util/hex.h"
+
+namespace seemore {
+
+std::string Digest::ShortHex() const {
+  return HexEncode(bytes_.data(), 4);
+}
+
+std::string Digest::ToHex() const {
+  return HexEncode(bytes_.data(), kSize);
+}
+
+}  // namespace seemore

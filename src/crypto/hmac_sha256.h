@@ -1,0 +1,52 @@
+// HMAC-SHA256 (RFC 2104), built on the local SHA-256. Used both for
+// pairwise channel MACs and as the primitive behind the simulated signature
+// scheme (see keystore.h). Verified against RFC 4231 vectors in tests.
+
+#ifndef SEEMORE_CRYPTO_HMAC_SHA256_H_
+#define SEEMORE_CRYPTO_HMAC_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace seemore {
+
+class HmacSha256 {
+ public:
+  static constexpr size_t kTagSize = Sha256::kDigestSize;
+
+  /// Begin a MAC computation keyed with `key` (any length; keys longer than
+  /// the block size are hashed first, per RFC 2104).
+  HmacSha256(const uint8_t* key, size_t key_len);
+  explicit HmacSha256(const std::vector<uint8_t>& key)
+      : HmacSha256(key.data(), key.size()) {}
+
+  void Update(const uint8_t* data, size_t len) { inner_.Update(data, len); }
+  void Update(const std::vector<uint8_t>& data) {
+    inner_.Update(data.data(), data.size());
+  }
+
+  void Final(uint8_t out[kTagSize]);
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kTagSize> Mac(const uint8_t* key, size_t key_len,
+                                           const uint8_t* data, size_t len);
+  static std::array<uint8_t, kTagSize> Mac(const std::vector<uint8_t>& key,
+                                           const std::vector<uint8_t>& data) {
+    return Mac(key.data(), key.size(), data.data(), data.size());
+  }
+
+  /// Constant-time tag comparison.
+  static bool Equal(const uint8_t* a, const uint8_t* b, size_t len);
+
+ private:
+  Sha256 inner_;
+  uint8_t opad_key_[Sha256::kBlockSize];
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CRYPTO_HMAC_SHA256_H_

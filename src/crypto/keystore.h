@@ -1,0 +1,112 @@
+// Simulated digital-signature scheme.
+//
+// The paper assumes standard PKI: every machine holds the public keys of all
+// other machines, and "the adversary cannot produce a valid signature of a
+// non-faulty node" (§3.1). In a real deployment this would be Ed25519/ECDSA.
+// Here we substitute an HMAC-based scheme mediated by a KeyStore:
+//
+//   key_p   = HMAC(master_seed, p)          -- per-principal secret
+//   Sign    = HMAC(key_p, message)
+//   Verify  = recompute and compare
+//
+// The trust model is preserved because each node only ever receives a Signer
+// handle for its *own* principal id; the KeyStore (verification oracle) plays
+// the role of the public-key directory. Byzantine replica implementations in
+// this repo deviate in protocol logic but cannot mint other nodes'
+// signatures, exactly matching the paper's adversary. The CPU cost of
+// public-key sign/verify is charged separately by the network cost model
+// (src/net/cost_model.h) so performance experiments still reflect
+// asymmetric-crypto prices.
+
+#ifndef SEEMORE_CRYPTO_KEYSTORE_H_
+#define SEEMORE_CRYPTO_KEYSTORE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac_sha256.h"
+#include "wire/wire.h"
+
+namespace seemore {
+
+/// Identifies a replica (0..N-1) or a client (>= kClientIdBase).
+using PrincipalId = int32_t;
+
+/// Client principal ids start here so replica ids stay small and dense.
+inline constexpr PrincipalId kClientIdBase = 1 << 20;
+
+inline bool IsClientPrincipal(PrincipalId id) { return id >= kClientIdBase; }
+
+/// Fixed-size signature value type.
+class Signature {
+ public:
+  static constexpr size_t kSize = HmacSha256::kTagSize;
+
+  Signature() { bytes_.fill(0); }
+  explicit Signature(const std::array<uint8_t, kSize>& bytes)
+      : bytes_(bytes) {}
+
+  const std::array<uint8_t, kSize>& bytes() const { return bytes_; }
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  void EncodeTo(Encoder& enc) const { enc.PutRaw(bytes_.data(), kSize); }
+  static Signature DecodeFrom(Decoder& dec) {
+    Signature s;
+    dec.GetRawInto(s.bytes_.data(), kSize);
+    return s;
+  }
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return HmacSha256::Equal(a.bytes_.data(), b.bytes_.data(), kSize);
+  }
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+/// Verification oracle shared by every node (stands in for the public-key
+/// directory). Thread-compatible: const after construction.
+class KeyStore {
+ public:
+  explicit KeyStore(uint64_t master_seed);
+
+  /// Verify that `sig` is principal `signer`'s signature over `msg`.
+  bool Verify(PrincipalId signer, const uint8_t* msg, size_t len,
+              const Signature& sig) const;
+  bool Verify(PrincipalId signer, const Bytes& msg, const Signature& sig) const {
+    return Verify(signer, msg.data(), msg.size(), sig);
+  }
+
+  /// Derive the secret key for a principal. Only the Signer factory below
+  /// should call this; protocol code never touches raw keys.
+  std::vector<uint8_t> DeriveKey(PrincipalId id) const;
+
+ private:
+  std::vector<uint8_t> master_;
+};
+
+/// Per-principal signing handle. A node owns exactly one.
+class Signer {
+ public:
+  Signer(PrincipalId id, const KeyStore& store)
+      : id_(id), key_(store.DeriveKey(id)) {}
+
+  PrincipalId id() const { return id_; }
+
+  Signature Sign(const uint8_t* msg, size_t len) const {
+    return Signature(HmacSha256::Mac(key_.data(), key_.size(), msg, len));
+  }
+  Signature Sign(const Bytes& msg) const { return Sign(msg.data(), msg.size()); }
+
+ private:
+  PrincipalId id_;
+  std::vector<uint8_t> key_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CRYPTO_KEYSTORE_H_

@@ -1,0 +1,59 @@
+// SHA-256 (FIPS 180-4), implemented from scratch so the repository has no
+// external crypto dependency. Incremental (Init/Update/Final) and one-shot
+// interfaces. Verified against the NIST test vectors in the test suite.
+
+#ifndef SEEMORE_CRYPTO_SHA256_H_
+#define SEEMORE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace seemore {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  /// Restart the hash computation.
+  void Reset();
+
+  /// Absorb `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::vector<uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+  void Update(const std::string& data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finish and write the 32-byte digest. The object must be Reset() before
+  /// reuse.
+  void Final(uint8_t out[kDigestSize]);
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(const uint8_t* data, size_t len);
+  static std::array<uint8_t, kDigestSize> Hash(const std::vector<uint8_t>& d) {
+    return Hash(d.data(), d.size());
+  }
+  static std::array<uint8_t, kDigestSize> Hash(const std::string& s) {
+    return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CRYPTO_SHA256_H_

@@ -1,0 +1,138 @@
+#include "harness/cluster.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace seemore {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  SEEMORE_CHECK(options_.config.Validate().ok())
+      << "invalid cluster config: " << options_.config.Validate().ToString();
+  if (!options_.state_machine_factory) {
+    options_.state_machine_factory = [] {
+      return std::make_unique<KvStateMachine>();
+    };
+  }
+  sim_ = std::make_unique<Simulator>(options_.seed);
+  keystore_ = std::make_unique<KeyStore>(options_.seed ^ 0x5eed'c0de'5eed'c0deULL);
+  net_ = std::make_unique<SimNetwork>(sim_.get(), options_.net);
+
+  const ClusterConfig& config = options_.config;
+  for (int i = 0; i < config.n(); ++i) {
+    switch (config.kind) {
+      case ProtocolKind::kCft:
+        replicas_.push_back(std::make_unique<PaxosReplica>(
+            sim_.get(), net_.get(), keystore_.get(), i, config,
+            options_.state_machine_factory(), options_.costs));
+        break;
+      case ProtocolKind::kBft:
+        replicas_.push_back(std::make_unique<PbftReplica>(
+            sim_.get(), net_.get(), keystore_.get(), i, config,
+            options_.state_machine_factory(), options_.costs));
+        break;
+      case ProtocolKind::kSUpRight:
+        replicas_.push_back(std::make_unique<SUpRightReplica>(
+            sim_.get(), net_.get(), keystore_.get(), i, config,
+            options_.state_machine_factory(), options_.costs));
+        break;
+      case ProtocolKind::kSeeMoRe:
+        replicas_.push_back(std::make_unique<SeeMoReReplica>(
+            sim_.get(), net_.get(), keystore_.get(), i, config,
+            options_.state_machine_factory(), options_.costs));
+        break;
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+SeeMoReReplica* Cluster::seemore(int i) {
+  SEEMORE_CHECK(options_.config.kind == ProtocolKind::kSeeMoRe);
+  return static_cast<SeeMoReReplica*>(replicas_[i].get());
+}
+
+PaxosReplica* Cluster::paxos(int i) {
+  SEEMORE_CHECK(options_.config.kind == ProtocolKind::kCft);
+  return static_cast<PaxosReplica*>(replicas_[i].get());
+}
+
+PbftCoreReplica* Cluster::pbft(int i) {
+  SEEMORE_CHECK(options_.config.kind == ProtocolKind::kBft ||
+                options_.config.kind == ProtocolKind::kSUpRight);
+  return static_cast<PbftCoreReplica*>(replicas_[i].get());
+}
+
+SimClient* Cluster::AddClient() {
+  ClientOptions client_options;
+  client_options.id = next_client_id_++;
+  client_options.retransmit_timeout = options_.client_retransmit_timeout;
+  clients_.push_back(std::make_unique<SimClient>(
+      sim_.get(), net_.get(), keystore_.get(), client_options,
+      MakeReplyPolicy(options_.config)));
+  return clients_.back().get();
+}
+
+void Cluster::SetByzantine(int i, uint32_t flags) {
+  if (options_.config.kind == ProtocolKind::kSeeMoRe) {
+    // The model only admits Byzantine behaviour in the public cloud (§3.1).
+    SEEMORE_CHECK(!options_.config.IsTrusted(i) || flags == kByzNone)
+        << "cannot make trusted replica " << i << " Byzantine";
+  }
+  replicas_[i]->SetByzantine(flags);
+}
+
+Status Cluster::CheckAgreement() const {
+  for (size_t a = 0; a < replicas_.size(); ++a) {
+    const auto& da = replicas_[a]->exec().executed_digests();
+    for (size_t b = a + 1; b < replicas_.size(); ++b) {
+      const auto& db = replicas_[b]->exec().executed_digests();
+      for (const auto& [seq, digest] : da) {
+        auto it = db.find(seq);
+        if (it != db.end() && it->second != digest) {
+          char buf[128];
+          std::snprintf(buf, sizeof(buf),
+                        "replicas %zu and %zu disagree at seq %llu", a, b,
+                        static_cast<unsigned long long>(seq));
+          return Status::Internal(buf);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::CheckConvergence(const std::vector<int>& replicas) const {
+  if (replicas.empty()) return Status::Ok();
+  const Digest expected =
+      replicas_[replicas.front()]->exec().StateDigest();
+  const uint64_t expected_seq =
+      replicas_[replicas.front()]->exec().last_executed();
+  for (int i : replicas) {
+    if (replicas_[i]->exec().last_executed() != expected_seq) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "replica %d executed %llu, expected %llu", i,
+                    static_cast<unsigned long long>(
+                        replicas_[i]->exec().last_executed()),
+                    static_cast<unsigned long long>(expected_seq));
+      return Status::Internal(buf);
+    }
+    if (!(replicas_[i]->exec().StateDigest() == expected)) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "replica %d state digest diverged", i);
+      return Status::Internal(buf);
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t Cluster::TotalExecuted() const {
+  uint64_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->stats().requests_executed;
+  }
+  return total;
+}
+
+}  // namespace seemore

@@ -1,0 +1,105 @@
+#include "harness/runner.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace seemore {
+
+std::string RunResult::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "clients=%-4d thrpt=%7.2f kreq/s  lat(mean/p50/p99)="
+                "%6.2f/%6.2f/%6.2f ms  completed=%llu retx=%llu",
+                clients, throughput_kreqs, mean_latency_ms, p50_latency_ms,
+                p99_latency_ms, static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(retransmissions));
+  return buf;
+}
+
+OpFactory EchoWorkload(uint32_t request_kb, uint32_t reply_kb) {
+  const uint32_t request_bytes = request_kb * 1024;
+  const uint32_t reply_bytes = reply_kb * 1024;
+  return [request_bytes, reply_bytes](uint64_t) {
+    return MakeEcho(reply_bytes, request_bytes);
+  };
+}
+
+OpFactory KvWorkload(uint64_t seed, int key_space, double put_fraction) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng, key_space, put_fraction](uint64_t n) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key-%llu",
+                  static_cast<unsigned long long>(
+                      rng->NextBounded(static_cast<uint64_t>(key_space))));
+    if (rng->NextBool(put_fraction)) {
+      char value[48];
+      std::snprintf(value, sizeof(value), "value-%llu",
+                    static_cast<unsigned long long>(n));
+      return MakePut(key, value);
+    }
+    return MakeGet(key);
+  };
+}
+
+RunResult RunClosedLoop(Cluster& cluster, int num_clients, OpFactory ops,
+                        SimTime warmup, SimTime measure) {
+  while (cluster.num_clients() < num_clients) cluster.AddClient();
+  for (int i = 0; i < num_clients; ++i) {
+    cluster.client(i)->Start(ops);
+  }
+  const SimTime start = cluster.sim().now();
+  cluster.sim().RunUntil(start + warmup);
+  for (int i = 0; i < num_clients; ++i) cluster.client(i)->ResetStats();
+
+  cluster.sim().RunUntil(start + warmup + measure);
+
+  RunResult result;
+  result.clients = num_clients;
+  Histogram merged;
+  for (int i = 0; i < num_clients; ++i) {
+    const SimClient& client = *cluster.client(i);
+    result.completed += client.completed();
+    result.retransmissions += client.retransmissions();
+    merged.Merge(client.latencies());
+    cluster.client(i)->Stop();
+  }
+  const double seconds =
+      static_cast<double>(measure) / static_cast<double>(kNanosPerSecond);
+  result.throughput_kreqs =
+      static_cast<double>(result.completed) / seconds / 1000.0;
+  result.mean_latency_ms = merged.Mean() / static_cast<double>(kNanosPerMilli);
+  result.p50_latency_ms =
+      merged.Percentile(50.0) / static_cast<double>(kNanosPerMilli);
+  result.p99_latency_ms =
+      merged.Percentile(99.0) / static_cast<double>(kNanosPerMilli);
+  return result;
+}
+
+std::vector<RunResult> SweepClients(
+    const std::function<std::unique_ptr<Cluster>()>& make_cluster,
+    const std::vector<int>& client_counts, const OpFactory& ops,
+    SimTime warmup, SimTime measure) {
+  std::vector<RunResult> results;
+  results.reserve(client_counts.size());
+  for (int count : client_counts) {
+    std::unique_ptr<Cluster> cluster = make_cluster();
+    results.push_back(RunClosedLoop(*cluster, count, ops, warmup, measure));
+  }
+  return results;
+}
+
+void ThroughputTimeline::Record(SimTime when) {
+  const size_t bucket = static_cast<size_t>(when / bucket_width);
+  if (buckets.size() <= bucket) buckets.resize(bucket + 1, 0);
+  buckets[bucket] += 1;
+}
+
+double ThroughputTimeline::KreqsAt(size_t i) const {
+  if (i >= buckets.size()) return 0.0;
+  const double seconds =
+      static_cast<double>(bucket_width) / static_cast<double>(kNanosPerSecond);
+  return static_cast<double>(buckets[i]) / seconds / 1000.0;
+}
+
+}  // namespace seemore

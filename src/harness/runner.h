@@ -1,0 +1,64 @@
+// Closed-loop experiment runner reproducing the paper's methodology (§6):
+// a population of clients, each waiting for its reply before issuing the
+// next request; measured end-to-end throughput and latency after a warmup.
+
+#ifndef SEEMORE_HARNESS_RUNNER_H_
+#define SEEMORE_HARNESS_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+
+namespace seemore {
+
+struct RunResult {
+  int clients = 0;
+  uint64_t completed = 0;
+  double throughput_kreqs = 0.0;  // thousands of requests per second
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  uint64_t retransmissions = 0;
+
+  std::string ToString() const;
+};
+
+/// Operation factory: n-th op issued by a client.
+using OpFactory = std::function<Bytes(uint64_t)>;
+
+/// The paper's x/y micro-benchmark: x-KB requests, y-KB replies (0/0, 0/4,
+/// 4/0 in §6). Implemented as an ECHO op against the KV state machine.
+OpFactory EchoWorkload(uint32_t request_kb, uint32_t reply_kb);
+
+/// A mixed KV workload (PUT/GET over a keyspace) for the examples and
+/// integration tests.
+OpFactory KvWorkload(uint64_t seed, int key_space, double put_fraction);
+
+/// Run `num_clients` closed-loop clients for warmup + measure, then report.
+/// Creates the clients on the cluster (reusing any already added).
+RunResult RunClosedLoop(Cluster& cluster, int num_clients, OpFactory ops,
+                        SimTime warmup, SimTime measure);
+
+/// Sweep the client count and collect one RunResult per population size,
+/// producing one throughput/latency curve (one line of Figure 2/3). A fresh
+/// cluster is built per point via `make_cluster`.
+std::vector<RunResult> SweepClients(
+    const std::function<std::unique_ptr<Cluster>()>& make_cluster,
+    const std::vector<int>& client_counts, const OpFactory& ops,
+    SimTime warmup, SimTime measure);
+
+/// Timeline of completions in fixed buckets (Figure 4).
+struct ThroughputTimeline {
+  SimTime bucket_width = Millis(1);
+  std::vector<uint64_t> buckets;
+
+  void Record(SimTime when);
+  /// Throughput in Kreq/s for bucket i.
+  double KreqsAt(size_t i) const;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_HARNESS_RUNNER_H_

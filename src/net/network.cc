@@ -1,0 +1,164 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace seemore {
+
+const char* ZoneName(Zone zone) {
+  switch (zone) {
+    case Zone::kPrivate:
+      return "private";
+    case Zone::kPublic:
+      return "public";
+    case Zone::kClient:
+      return "client";
+  }
+  return "?";
+}
+
+const LinkProfile& NetworkConfig::ProfileFor(Zone from, Zone to) const {
+  if (from == Zone::kClient || to == Zone::kClient) return client_link;
+  if (from == Zone::kPrivate && to == Zone::kPrivate) return intra_private;
+  if (from == Zone::kPublic && to == Zone::kPublic) return intra_public;
+  return cross_cloud;
+}
+
+void NodeCpu::Submit(std::function<void()> task) {
+  queue_.push_back(std::move(task));
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    SimTime start = AvailableAt();
+    sim_->ScheduleAt(start, [this] { DrainOne(); });
+  }
+}
+
+void NodeCpu::DrainOne() {
+  drain_scheduled_ = false;
+  if (queue_.empty()) return;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  // The task starts now; Charge() calls during the task extend busy_until_.
+  SimTime start = sim_->now();
+  if (busy_until_ < start) busy_until_ = start;
+  task();
+  total_busy_ += busy_until_ - start;
+  if (!queue_.empty()) {
+    drain_scheduled_ = true;
+    sim_->ScheduleAt(AvailableAt(), [this] { DrainOne(); });
+  }
+}
+
+uint64_t SimNetwork::LinkKey(PrincipalId a, PrincipalId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+void SimNetwork::AddNode(PrincipalId id, Zone zone, MessageHandler* handler,
+                         NodeCpu* cpu) {
+  SEEMORE_CHECK(nodes_.count(id) == 0) << "duplicate node id " << id;
+  nodes_[id] = NodeEntry{zone, handler, cpu, /*up=*/true};
+}
+
+Zone SimNetwork::ZoneOf(PrincipalId id) const {
+  auto it = nodes_.find(id);
+  SEEMORE_CHECK(it != nodes_.end()) << "unknown node " << id;
+  return it->second.zone;
+}
+
+void SimNetwork::SetLinkUp(PrincipalId a, PrincipalId b, bool up) {
+  if (up) {
+    cut_links_.erase(LinkKey(a, b));
+  } else {
+    cut_links_.insert(LinkKey(a, b));
+  }
+}
+
+void SimNetwork::SetNodeUp(PrincipalId id, bool up) {
+  auto it = nodes_.find(id);
+  SEEMORE_CHECK(it != nodes_.end()) << "unknown node " << id;
+  it->second.up = up;
+}
+
+void SimNetwork::HealAll() {
+  cut_links_.clear();
+  for (auto& [id, entry] : nodes_) entry.up = true;
+}
+
+void SimNetwork::Send(PrincipalId from, PrincipalId to, Bytes bytes) {
+  auto from_it = nodes_.find(from);
+  auto to_it = nodes_.find(to);
+  SEEMORE_CHECK(from_it != nodes_.end()) << "send from unknown node " << from;
+  if (to_it == nodes_.end()) return;  // receiver never registered: drop
+  const NodeEntry& src = from_it->second;
+  const NodeEntry& dst = to_it->second;
+
+  counters_.messages += 1;
+  counters_.bytes += bytes.size();
+  const bool inter_replica =
+      !IsClientPrincipal(from) && !IsClientPrincipal(to);
+  if (inter_replica) {
+    counters_.replica_to_replica_messages += 1;
+    counters_.replica_to_replica_bytes += bytes.size();
+  }
+
+  if (!src.up || !dst.up || cut_links_.count(LinkKey(from, to)) > 0) {
+    counters_.dropped += 1;
+    return;
+  }
+  if (config_.drop_probability > 0.0 &&
+      sim_->rng().NextBool(config_.drop_probability)) {
+    counters_.dropped += 1;
+    return;
+  }
+
+  const LinkProfile& link = config_.ProfileFor(src.zone, dst.zone);
+  const int64_t wire_bytes =
+      static_cast<int64_t>(bytes.size()) + config_.per_message_overhead_bytes;
+  const SimTime transmission =
+      wire_bytes * kNanosPerSecond / config_.bandwidth_bytes_per_sec;
+
+  int copies = 1;
+  if (config_.duplicate_probability > 0.0 &&
+      sim_->rng().NextBool(config_.duplicate_probability)) {
+    copies = 2;
+  }
+
+  // Departure waits for the sender's CPU to finish the work charged so far.
+  const SimTime departure =
+      src.cpu != nullptr ? src.cpu->AvailableAt() : sim_->now();
+
+  for (int i = 0; i < copies; ++i) {
+    SimTime jitter = link.jitter > 0
+                         ? static_cast<SimTime>(sim_->rng().NextBounded(
+                               static_cast<uint64_t>(link.jitter) + 1))
+                         : 0;
+    SimTime arrival = departure + link.base + jitter + transmission;
+    MessageHandler* handler = dst.handler;
+    NodeCpu* cpu = dst.cpu;
+    sim_->ScheduleAt(arrival, [this, handler, cpu, from, to, bytes] {
+      // Re-check liveness at delivery time: the receiver may have crashed
+      // while the message was in flight.
+      auto it = nodes_.find(to);
+      if (it == nodes_.end() || !it->second.up) return;
+      if (cpu != nullptr) {
+        cpu->Submit([handler, from, bytes] { handler->OnMessage(from, bytes); });
+      } else {
+        handler->OnMessage(from, bytes);
+      }
+    });
+  }
+}
+
+void SimNetwork::Multicast(PrincipalId from,
+                           const std::vector<PrincipalId>& targets,
+                           const Bytes& bytes) {
+  for (PrincipalId to : targets) {
+    if (to == from) continue;
+    Send(from, to, bytes);
+  }
+}
+
+}  // namespace seemore

@@ -1,0 +1,175 @@
+// Simulated cloud network: zone-aware latency, bandwidth, loss, duplication,
+// partitions, plus a single-threaded CPU queue per node.
+//
+// Properties mirrored from the paper's model (§3.1):
+//   - Point-to-point, pairwise-authenticated channels: delivery always
+//     reports the true sender id; a Byzantine node cannot forge another
+//     node's identity (it *can* send different payloads to different peers).
+//   - Asynchrony: messages may be dropped, delayed, duplicated or reordered
+//     (jitter + drops + dups are all seedable knobs).
+//   - Liveness experiments use bounded jitter, i.e. partial synchrony.
+
+#ifndef SEEMORE_NET_NETWORK_H_
+#define SEEMORE_NET_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "net/cost_model.h"
+#include "sim/simulator.h"
+#include "wire/wire.h"
+
+namespace seemore {
+
+/// Where a node lives; decides link latency and trust class.
+enum class Zone {
+  kPrivate,  // enterprise-owned, crash-only
+  kPublic,   // rented, possibly Byzantine
+  kClient,
+};
+
+const char* ZoneName(Zone zone);
+
+/// Latency profile of one link class: base + uniform jitter in [0, jitter].
+struct LinkProfile {
+  SimTime base = Micros(100);
+  SimTime jitter = Micros(30);
+};
+
+struct NetworkConfig {
+  LinkProfile intra_private{Micros(80), Micros(20)};
+  LinkProfile intra_public{Micros(80), Micros(20)};
+  /// Private <-> public. The paper's evaluation places both clouds in one
+  /// AWS region, so the default is close to intra-cloud; the Peacock
+  /// motivation experiments raise it.
+  LinkProfile cross_cloud{Micros(120), Micros(30)};
+  LinkProfile client_link{Micros(120), Micros(30)};
+
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  /// NIC bandwidth per node (10 Gbit/s default).
+  int64_t bandwidth_bytes_per_sec = 1250LL * 1000 * 1000;
+  /// Framing overhead added to every message for transmission-time purposes.
+  int64_t per_message_overhead_bytes = 64;
+
+  const LinkProfile& ProfileFor(Zone from, Zone to) const;
+};
+
+/// Receives messages delivered by the network.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void OnMessage(PrincipalId from, Bytes bytes) = 0;
+};
+
+/// Single-threaded CPU of one node: tasks submitted while busy queue up.
+/// Protocol handlers call Charge() to account for the work they perform;
+/// subsequent tasks (and outgoing messages) see the accumulated delay.
+class NodeCpu {
+ public:
+  explicit NodeCpu(Simulator* sim) : sim_(sim) {}
+
+  NodeCpu(const NodeCpu&) = delete;
+  NodeCpu& operator=(const NodeCpu&) = delete;
+
+  /// Enqueue a task that arrived now; it runs when the CPU frees up.
+  void Submit(std::function<void()> task);
+
+  /// Account CPU time to the currently running task.
+  void Charge(SimTime cost) {
+    if (cost > 0) busy_until_ += cost;
+  }
+
+  /// Earliest time new work (or an outgoing message) can leave this node.
+  SimTime AvailableAt() const {
+    return busy_until_ > sim_->now() ? busy_until_ : sim_->now();
+  }
+
+  SimTime total_busy() const { return total_busy_; }
+
+ private:
+  void DrainOne();
+
+  Simulator* sim_;
+  SimTime busy_until_ = 0;
+  SimTime total_busy_ = 0;
+  bool drain_scheduled_ = false;
+  std::deque<std::function<void()>> queue_;
+};
+
+/// Message/byte counters, separable by replica vs. client traffic so the
+/// Table 1 experiment can count only inter-replica protocol messages.
+struct NetCounters {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t replica_to_replica_messages = 0;
+  uint64_t replica_to_replica_bytes = 0;
+  uint64_t dropped = 0;
+
+  void Reset() { *this = NetCounters{}; }
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(Simulator* sim, NetworkConfig config)
+      : sim_(sim), config_(config) {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Register a node. `cpu` may be null (zero-cost node, used in unit
+  /// tests); `handler` must outlive the network.
+  void AddNode(PrincipalId id, Zone zone, MessageHandler* handler,
+               NodeCpu* cpu);
+
+  /// Send `bytes` from `from` to `to`. Departure waits for the sender's CPU;
+  /// delivery is submitted to the receiver's CPU queue.
+  void Send(PrincipalId from, PrincipalId to, Bytes bytes);
+
+  /// Send the same payload to every id in `targets` (copies per receiver —
+  /// this is point-to-point, not true multicast).
+  void Multicast(PrincipalId from, const std::vector<PrincipalId>& targets,
+                 const Bytes& bytes);
+
+  /// Administratively cut / restore both directions of a link.
+  void SetLinkUp(PrincipalId a, PrincipalId b, bool up);
+  /// Detach / reattach a node entirely (models a crashed machine's NIC).
+  void SetNodeUp(PrincipalId id, bool up);
+  /// Restore all links and nodes.
+  void HealAll();
+
+  Zone ZoneOf(PrincipalId id) const;
+  bool HasNode(PrincipalId id) const { return nodes_.count(id) > 0; }
+
+  const NetCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_.Reset(); }
+
+  const NetworkConfig& config() const { return config_; }
+  NetworkConfig& mutable_config() { return config_; }
+
+ private:
+  struct NodeEntry {
+    Zone zone;
+    MessageHandler* handler;
+    NodeCpu* cpu;
+    bool up = true;
+  };
+
+  static uint64_t LinkKey(PrincipalId a, PrincipalId b);
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  std::unordered_map<PrincipalId, NodeEntry> nodes_;
+  std::unordered_set<uint64_t> cut_links_;
+  NetCounters counters_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_NET_NETWORK_H_

@@ -1,0 +1,845 @@
+// Normal-case agreement (Algorithms 1 & 2, §5.3), checkpointing and state
+// transfer. View changes and mode switching live in seemore_view_change.cc.
+
+#include "seemore/seemore_replica.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace seemore {
+
+SeeMoReReplica::SeeMoReReplica(Simulator* sim, SimNetwork* net,
+                               const KeyStore* keystore, PrincipalId id,
+                               const ClusterConfig& config,
+                               std::unique_ptr<StateMachine> state_machine,
+                               const CostModel& costs)
+    : ReplicaBase(sim, net, keystore, id, config, std::move(state_machine),
+                  costs),
+      mode_(config.initial_mode) {
+  current_vc_timeout_ = config_.view_change_timeout;
+  window_ = static_cast<uint64_t>(config_.checkpoint_period) * 2 +
+            static_cast<uint64_t>(config_.pipeline_max);
+}
+
+std::vector<PrincipalId> SeeMoReReplica::PassiveNodes() const {
+  std::vector<PrincipalId> out;
+  for (PrincipalId r = 0; r < config_.n(); ++r) {
+    if (!config_.IsProxy(r, view_)) out.push_back(r);
+  }
+  return out;
+}
+
+bool SeeMoReReplica::ParticipatesInAgreement() const {
+  switch (mode_) {
+    case SeeMoReMode::kLion:
+      return true;
+    case SeeMoReMode::kDog:
+      return IsPrimary() || IsProxyNow();
+    case SeeMoReMode::kPeacock:
+      return IsProxyNow();
+  }
+  return false;
+}
+
+bool SeeMoReReplica::VerifyVcPrepareEntry(const VcEntry& entry) const {
+  if (entry.mode == SeeMoReMode::kPeacock) {
+    // A bare Peacock pre-prepare is signed by an UNTRUSTED primary and is
+    // not self-certifying (it must travel as a PreparedProof). Only the
+    // trusted transferer's NEW-VIEW re-proposals are acceptable here.
+    const PrincipalId authority =
+        SwitchAuthority(SeeMoReMode::kPeacock, entry.view);
+    const Bytes header =
+        ProposalHeader(kDomainPrePrepare, static_cast<uint8_t>(entry.mode),
+                       entry.view, entry.seq, entry.digest);
+    return keystore_->Verify(authority, header, entry.sig);
+  }
+  return VerifyProposalSig(entry.mode, entry.view, entry.seq, entry.digest,
+                           entry.sig);
+}
+
+bool SeeMoReReplica::VerifyProposalSig(SeeMoReMode mode, uint64_t view,
+                                       uint64_t seq, const Digest& digest,
+                                       const Signature& sig) const {
+  const PrincipalId proposer = config_.PrimaryOf(mode, view);
+  const Bytes header = ProposalHeader(
+      kDomainPrePrepare, static_cast<uint8_t>(mode), view, seq, digest);
+  if (keystore_->Verify(proposer, header, sig)) return true;
+  // Entries re-proposed by a NEW-VIEW are signed by the trusted authority of
+  // that view (Peacock: the transferer) instead of the primary.
+  const PrincipalId authority = SwitchAuthority(mode, view);
+  return authority != proposer && keystore_->Verify(authority, header, sig);
+}
+
+void SeeMoReReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
+  Decoder dec(bytes);
+  const uint8_t tag = dec.GetU8();
+  if (!dec.ok()) return;
+  ChargeMac();  // pairwise channel authentication (§3.1)
+  // Protocol-internal messages are only legitimate on replica channels.
+  if (tag != kMsgRequest && (from < 0 || from >= config_.n())) return;
+  switch (tag) {
+    case kMsgRequest:
+      HandleRequest(from, dec);
+      break;
+    case kPrepare:
+      HandlePrepare(from, dec);
+      break;
+    case kAcceptPlain:
+      HandleAcceptPlain(from, dec);
+      break;
+    case kAcceptSigned:
+      HandleAcceptSigned(from, dec);
+      break;
+    case kCommitPrimary:
+      HandleCommitPrimary(from, dec);
+      break;
+    case kCommitVote:
+      HandleCommitVote(from, dec);
+      break;
+    case kInform:
+      HandleInform(from, dec);
+      break;
+    case kCheckpoint:
+      HandleCheckpoint(from, dec);
+      break;
+    case kViewChange:
+      HandleViewChange(from, dec);
+      break;
+    case kNewView:
+      HandleNewView(from, dec);
+      break;
+    case kModeChange:
+      HandleModeChange(from, dec);
+      break;
+    case kStateRequest:
+      HandleStateRequest(from, dec);
+      break;
+    case kStateResponse:
+      HandleStateResponse(from, dec);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+// ---------------------------------------------------------------------------
+
+void SeeMoReReplica::HandleRequest(PrincipalId from, Decoder& dec) {
+  Result<Request> request_or = Request::DecodeFrom(dec);
+  if (!request_or.ok()) return;
+  Request request = std::move(request_or).value();
+
+  // Channel authentication (§3.1): a request arriving directly from a
+  // client channel must name that client. Without this, a rogue client
+  // could impersonate another and poison its timestamp sequence — the
+  // crash-model baseline has no signatures to catch it otherwise.
+  if (IsClientPrincipal(from) && from != request.client) return;
+
+  // Retransmission of an executed request: any replica resends the cached
+  // reply (§5.1); the client's reply policy decides how many it needs.
+  if (exec_.SeenTimestamp(request.client, request.timestamp)) {
+    auto cached = exec_.CachedReply(request.client, request.timestamp);
+    if (cached.has_value()) {
+      Reply reply;
+      reply.mode = static_cast<uint8_t>(mode_);
+      reply.view = view_;
+      reply.timestamp = request.timestamp;
+      reply.replica = id_;
+      reply.result = *cached;
+      if (HasByz(kByzLieToClients) && !reply.result.empty()) {
+        reply.result[0] ^= 0xff;
+      }
+      reply.Sign(signer_);
+      ChargeSign();
+      SendTo(request.client, reply.ToMessage());
+    }
+    return;
+  }
+
+  if (IsPrimary() && !in_view_change_) {
+    // The (trusted or Peacock) primary validates the client signature and
+    // timestamp before ordering (Algorithm 1 lines 5-8).
+    ChargeVerify();
+    if (!request.VerifySignature(*keystore_)) return;
+    PrimaryEnqueue(std::move(request));
+    return;
+  }
+  if (in_view_change_) return;
+  // Clients multicast to the mode's receiving network (Table 1), so the
+  // primary has its own copy on the first transmission. A repeated
+  // timestamp is a client retransmission: relay it to the primary (the
+  // paper's liveness path, §5.1) and let participants arm the timer that
+  // eventually suspects a dead primary.
+  if (from == request.client) {
+    auto seen = relay_seen_ts_.find(request.client);
+    const bool retransmission =
+        seen != relay_seen_ts_.end() && seen->second >= request.timestamp;
+    relay_seen_ts_[request.client] = request.timestamp;
+    if (retransmission) {
+      SendTo(current_primary(), request.ToMessage());
+    }
+  }
+  if (ParticipatesInAgreement()) ArmViewTimer();
+}
+
+void SeeMoReReplica::PrimaryEnqueue(Request request) {
+  auto it = primary_seen_ts_.find(request.client);
+  if (it != primary_seen_ts_.end() && request.timestamp <= it->second) return;
+  primary_seen_ts_[request.client] = request.timestamp;
+  pending_.push_back(std::move(request));
+  TryPropose();
+}
+
+int SeeMoReReplica::UncommittedSlots() const {
+  int count = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.has_batch && !slot.committed) ++count;
+  }
+  return count;
+}
+
+void SeeMoReReplica::TryPropose() {
+  while (!pending_.empty() && UncommittedSlots() < config_.pipeline_max &&
+         next_seq_ <= stable_seq_ + window_) {
+    Batch batch;
+    while (!pending_.empty() &&
+           batch.size() < static_cast<size_t>(config_.batch_max)) {
+      batch.requests.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    const uint64_t seq = next_seq_++;
+    const Bytes encoded = batch.Encode();
+    ChargeHash(encoded.size());
+    Digest digest = Digest::Of(encoded);
+
+    // A Byzantine Peacock primary may equivocate; trusted primaries cannot
+    // be flagged (tests assert this invariant).
+    if (HasByz(kByzEquivocate) && mode_ == SeeMoReMode::kPeacock) {
+      Batch alt = Batch::Noop();
+      const Bytes alt_encoded = alt.Encode();
+      const Digest alt_digest = Digest::Of(alt_encoded);
+      const uint8_t mode8 = static_cast<uint8_t>(mode_);
+      const Signature sig_a = signer_.Sign(
+          ProposalHeader(kDomainPrePrepare, mode8, view_, seq, digest));
+      const Signature sig_b = signer_.Sign(
+          ProposalHeader(kDomainPrePrepare, mode8, view_, seq, alt_digest));
+      ChargeSign(2);
+      const std::vector<PrincipalId> all = config_.AllReplicas();
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (all[i] == id_) continue;
+        const bool first_half = i % 2 == 0;
+        Encoder enc;
+        enc.PutU8(kPrepare);
+        enc.PutU8(mode8);
+        enc.PutU64(view_);
+        enc.PutU64(seq);
+        (first_half ? digest : alt_digest).EncodeTo(enc);
+        (first_half ? sig_a : sig_b).EncodeTo(enc);
+        enc.PutBytes(first_half ? encoded : alt_encoded);
+        SendTo(all[i], enc.bytes());
+      }
+      continue;
+    }
+
+    ChargeSign();
+    const Signature sig = signer_.Sign(ProposalHeader(
+        kDomainPrePrepare, static_cast<uint8_t>(mode_), view_, seq, digest));
+
+    Slot& slot = slots_[seq];
+    slot.batch = std::move(batch);
+    slot.has_batch = true;
+    slot.digest = digest;
+    slot.view = view_;
+    slot.mode = mode_;
+    slot.primary_sig = sig;
+
+    Encoder enc;
+    enc.PutU8(kPrepare);
+    enc.PutU8(static_cast<uint8_t>(mode_));
+    enc.PutU64(view_);
+    enc.PutU64(seq);
+    digest.EncodeTo(enc);
+    sig.EncodeTo(enc);
+    enc.PutBytes(encoded);
+    // In every mode the proposal is multicast to ALL replicas (Algorithm 1
+    // line 8, Algorithm 2 line 9, §5.3 change #1).
+    SendToMany(config_.AllReplicas(), enc.bytes());
+
+    if (mode_ == SeeMoReMode::kLion) {
+      slot.plain_accepts.insert(id_);  // the primary counts itself
+    } else if (mode_ == SeeMoReMode::kPeacock) {
+      // Peacock primary's pre-prepare does not count as a prepare echo;
+      // it waits for 2m echoes from the other proxies.
+    }
+  }
+}
+
+void SeeMoReReplica::HandlePrepare(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const Signature sig = Signature::DecodeFrom(dec);
+  Bytes batch_bytes = dec.GetBytes();
+  if (!dec.ok()) return;
+  if (from != config_.PrimaryOf(msg_mode, view)) return;
+  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+
+  // Fast-forward: a valid prepare signed by the TRUSTED primary of a higher
+  // view proves that view became active (Lion/Dog only; a Peacock primary is
+  // untrusted, so backups wait for the transferer's NEW-VIEW instead).
+  if (msg_mode != SeeMoReMode::kPeacock && view > view_ &&
+      ModeForView(view) == msg_mode) {
+    ChargeVerify();
+    if (!VerifyProposalSig(msg_mode, view, seq, digest, sig)) return;
+    EnterView(view, msg_mode);
+  } else if (msg_mode != mode_ || view != view_ || in_view_change_) {
+    return;
+  } else {
+    ChargeVerify();
+    if (!VerifyProposalSig(msg_mode, view, seq, digest, sig)) return;
+  }
+
+  ChargeHash(batch_bytes.size());
+  if (Digest::Of(batch_bytes) != digest) return;
+  Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  if (!batch_or.ok()) return;
+  Batch batch = std::move(batch_or).value();
+
+  // Peacock proxies re-validate client requests (the primary is untrusted).
+  // Lion/Dog backups trust the primary's validation (§5.1) — one of
+  // SeeMoRe's savings over PBFT.
+  if (mode_ == SeeMoReMode::kPeacock && IsProxyNow()) {
+    ChargeVerify(static_cast<int>(batch.size()));
+    for (const Request& request : batch.requests) {
+      if (!request.VerifySignature(*keystore_)) return;
+    }
+  }
+
+  Slot& slot = slots_[seq];
+  if (slot.has_batch) {
+    // At most one proposal per (view, seq): equivocation defense.
+    if (slot.view == view && slot.digest != digest) return;
+    if (slot.view == view && slot.digest == digest) return;  // duplicate
+  }
+  slot.batch = std::move(batch);
+  slot.has_batch = true;
+  slot.digest = digest;
+  slot.view = view;
+  slot.mode = mode_;
+  slot.primary_sig = sig;
+
+  switch (mode_) {
+    case SeeMoReMode::kLion: {
+      // <ACCEPT, v, n, d, r>: unsigned, to the trusted primary only
+      // (Algorithm 1 line 11).
+      Digest vote = slot.digest;
+      if (HasByz(kByzWrongVotes)) vote.data()[0] ^= 0xff;
+      if (config_.lion_sign_accepts) {
+        ChargeSign();  // ablation: what unsigned accepts save (§5.1)
+      } else {
+        ChargeMac();
+      }
+      Encoder enc;
+      enc.PutU8(kAcceptPlain);
+      enc.PutU8(static_cast<uint8_t>(mode_));
+      enc.PutU64(view_);
+      enc.PutU64(seq);
+      vote.EncodeTo(enc);
+      enc.PutU32(static_cast<uint32_t>(id_));
+      SendTo(current_primary(), enc.bytes());
+      ArmViewTimer();
+      break;
+    }
+    case SeeMoReMode::kDog:
+    case SeeMoReMode::kPeacock: {
+      if (IsProxyNow()) {
+        SendSignedAccept(seq, slot);
+        ArmViewTimer();
+        CheckProxyCommit(seq, slot);
+      }
+      // Passive nodes just keep the batch; they execute on INFORMs.
+      break;
+    }
+  }
+}
+
+void SeeMoReReplica::SendSignedAccept(uint64_t seq, Slot& slot) {
+  if (slot.accept_sent) return;
+  slot.accept_sent = true;
+  Digest vote = slot.digest;
+  if (HasByz(kByzWrongVotes)) vote.data()[0] ^= 0xff;
+  ChargeSign();
+  const Signature sig = signer_.Sign(VoteHeader(
+      kDomainPrepare, static_cast<uint8_t>(mode_), view_, seq, vote, id_));
+  Encoder enc;
+  enc.PutU8(kAcceptSigned);
+  enc.PutU8(static_cast<uint8_t>(mode_));
+  enc.PutU64(view_);
+  enc.PutU64(seq);
+  vote.EncodeTo(enc);
+  enc.PutU32(static_cast<uint32_t>(id_));
+  sig.EncodeTo(enc);
+  SendToMany(Proxies(), enc.bytes());
+  slot.accept_votes.Add(vote, id_, sig);
+}
+
+void SeeMoReReplica::HandleAcceptPlain(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
+  if (!dec.ok()) return;
+  if (msg_mode != SeeMoReMode::kLion || mode_ != SeeMoReMode::kLion) return;
+  if (view != view_ || !IsPrimary() || in_view_change_) return;
+  if (voter != from || !IsReplicaId(voter)) return;
+  auto it = slots_.find(seq);
+  if (it == slots_.end() || !it->second.has_batch) return;
+  Slot& slot = it->second;
+  if (digest != slot.digest) return;
+  if (config_.lion_sign_accepts) ChargeVerify();  // ablation (§5.1)
+  slot.plain_accepts.insert(voter);
+  if (static_cast<int>(slot.plain_accepts.size()) < CommitQuorum()) return;
+  if (slot.has_commit_sig) return;  // commit already broadcast in this view
+
+  // <<COMMIT, v, n, d>_σp, µ> to all replicas (Algorithm 1 lines 13-15).
+  ChargeSign();
+  const Signature commit_sig = signer_.Sign(ProposalHeader(
+      kDomainCommit, static_cast<uint8_t>(mode_), view_, seq, slot.digest));
+  slot.commit_sig = commit_sig;
+  slot.has_commit_sig = true;
+  Encoder enc;
+  enc.PutU8(kCommitPrimary);
+  enc.PutU8(static_cast<uint8_t>(mode_));
+  enc.PutU64(view_);
+  enc.PutU64(seq);
+  slot.digest.EncodeTo(enc);
+  commit_sig.EncodeTo(enc);
+  enc.PutBytes(slot.batch.Encode());
+  SendToMany(config_.AllReplicas(), enc.bytes());
+  CommitSlot(seq, slot, /*replies=*/true, /*informs=*/false);
+}
+
+void SeeMoReReplica::HandleCommitPrimary(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const Signature sig = Signature::DecodeFrom(dec);
+  Bytes batch_bytes = dec.GetBytes();
+  if (!dec.ok()) return;
+  if (msg_mode != SeeMoReMode::kLion) return;
+  if (from != config_.TrustedPrimary(view)) return;
+  if (seq <= stable_seq_) return;
+
+  ChargeVerify();
+  const Bytes header = ProposalHeader(
+      kDomainCommit, static_cast<uint8_t>(msg_mode), view, seq, digest);
+  if (!keystore_->Verify(from, header, sig)) return;
+
+  // A signed commit from the trusted primary of a higher view also proves
+  // that view is active.
+  if (view > view_ && ModeForView(view) == msg_mode) {
+    EnterView(view, msg_mode);
+  } else if (mode_ != SeeMoReMode::kLion || view != view_) {
+    return;
+  }
+
+  Slot& slot = slots_[seq];
+  if (slot.committed) return;
+  // "Even if the replica has not received a prepare message ... it considers
+  // the request as committed" — the commit carries µ (§5.1).
+  if (!slot.has_batch || slot.digest != digest) {
+    ChargeHash(batch_bytes.size());
+    if (Digest::Of(batch_bytes) != digest) return;
+    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+    if (!batch_or.ok()) return;
+    slot.batch = std::move(batch_or).value();
+    slot.has_batch = true;
+    slot.digest = digest;
+    slot.view = view;
+    slot.mode = msg_mode;
+  }
+  slot.commit_sig = sig;
+  slot.has_commit_sig = true;
+  CommitSlot(seq, slot, /*replies=*/false, /*informs=*/false);
+}
+
+void SeeMoReReplica::HandleAcceptSigned(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
+  const Signature sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (msg_mode != mode_ || view != view_ || in_view_change_) return;
+  if (mode_ == SeeMoReMode::kLion) return;
+  if (voter != from || !config_.IsProxy(voter, view)) return;
+  if (!IsProxyNow() && !(mode_ == SeeMoReMode::kDog && IsPrimary())) return;
+  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+  ChargeVerify();
+  if (!keystore_->Verify(voter,
+                         VoteHeader(kDomainPrepare,
+                                    static_cast<uint8_t>(msg_mode), view, seq,
+                                    digest, voter),
+                         sig)) {
+    return;
+  }
+  Slot& slot = slots_[seq];
+  slot.accept_votes.Add(digest, voter, sig);
+  CheckProxyCommit(seq, slot);
+}
+
+void SeeMoReReplica::CheckProxyCommit(uint64_t seq, Slot& slot) {
+  if (!slot.has_batch) return;
+  const int quorum = CommitQuorum();  // 2m+1
+
+  if (mode_ == SeeMoReMode::kDog) {
+    // Dog commits directly at 2m+1 signed accepts (2 phases; the commit
+    // message only helps lagging proxies catch up, Algorithm 2 lines 13-17).
+    if (static_cast<int>(slot.accept_votes.Count(slot.digest)) < quorum) {
+      return;
+    }
+    // NOTE: fall through even when slot.committed — the commit vote below
+    // must still go out for peers running the catch-up path.
+    if (!slot.commit_sent) {
+      slot.commit_sent = true;
+      ChargeSign();
+      const Signature sig = signer_.Sign(
+          VoteHeader(kDomainCommit, static_cast<uint8_t>(mode_), view_, seq,
+                     slot.digest, id_));
+      Encoder enc;
+      enc.PutU8(kCommitVote);
+      enc.PutU8(static_cast<uint8_t>(mode_));
+      enc.PutU64(view_);
+      enc.PutU64(seq);
+      slot.digest.EncodeTo(enc);
+      enc.PutU32(static_cast<uint32_t>(id_));
+      sig.EncodeTo(enc);
+      SendToMany(Proxies(), enc.bytes());
+    }
+    CommitSlot(seq, slot, /*replies=*/true, /*informs=*/true);
+    return;
+  }
+
+  // Peacock: PBFT phases among the proxies.
+  if (!slot.prepared) {
+    // pre-prepare + 2m matching prepare echoes => prepared.
+    if (static_cast<int>(slot.accept_votes.Count(slot.digest)) <
+        2 * config_.m) {
+      return;
+    }
+    slot.prepared = true;
+    if (!slot.commit_sent) {
+      slot.commit_sent = true;
+      Digest vote = slot.digest;
+      if (HasByz(kByzWrongVotes)) vote.data()[0] ^= 0xff;
+      ChargeSign();
+      const Signature sig = signer_.Sign(VoteHeader(
+          kDomainCommit, static_cast<uint8_t>(mode_), view_, seq, vote, id_));
+      Encoder enc;
+      enc.PutU8(kCommitVote);
+      enc.PutU8(static_cast<uint8_t>(mode_));
+      enc.PutU64(view_);
+      enc.PutU64(seq);
+      vote.EncodeTo(enc);
+      enc.PutU32(static_cast<uint32_t>(id_));
+      sig.EncodeTo(enc);
+      SendToMany(Proxies(), enc.bytes());
+      slot.commit_votes.Add(vote, id_, sig);
+    }
+  }
+  if (slot.prepared &&
+      static_cast<int>(slot.commit_votes.Count(slot.digest)) >= quorum) {
+    CommitSlot(seq, slot, /*replies=*/true, /*informs=*/true);
+  }
+}
+
+void SeeMoReReplica::HandleCommitVote(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
+  const Signature sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (msg_mode != mode_ || view != view_ || in_view_change_) return;
+  if (mode_ == SeeMoReMode::kLion) return;
+  if (voter != from || !config_.IsProxy(voter, view)) return;
+  if (!IsProxyNow()) return;
+  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+  ChargeVerify();
+  if (!keystore_->Verify(voter,
+                         VoteHeader(kDomainCommit,
+                                    static_cast<uint8_t>(msg_mode), view, seq,
+                                    digest, voter),
+                         sig)) {
+    return;
+  }
+  Slot& slot = slots_[seq];
+  slot.commit_votes.Add(digest, voter, sig);
+
+  if (mode_ == SeeMoReMode::kDog) {
+    // Catch-up: m+1 matching commits prove at least one non-faulty proxy
+    // committed (§5.2).
+    if (!slot.committed && slot.has_batch && slot.digest == digest &&
+        static_cast<int>(slot.commit_votes.Count(digest)) >= config_.m + 1) {
+      CommitSlot(seq, slot, /*replies=*/true, /*informs=*/true);
+    }
+    return;
+  }
+  CheckProxyCommit(seq, slot);
+}
+
+void SeeMoReReplica::HandleInform(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t view = dec.GetU64();
+  const uint64_t seq = dec.GetU64();
+  const Digest digest = Digest::DecodeFrom(dec);
+  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
+  const Signature sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (msg_mode != mode_ || mode_ == SeeMoReMode::kLion) return;
+  if (view != view_) return;
+  if (voter != from || !config_.IsProxy(voter, view)) return;
+  if (seq <= stable_seq_) return;
+  ChargeVerify();
+  if (!keystore_->Verify(voter,
+                         VoteHeader(kDomainInform,
+                                    static_cast<uint8_t>(msg_mode), view, seq,
+                                    digest, voter),
+                         sig)) {
+    return;
+  }
+  Slot& slot = slots_[seq];
+  slot.inform_votes.Add(digest, voter);
+  // Dog: 2m+1 matching INFORMs; Peacock: m+1 (§5.2 / §5.3).
+  const int needed =
+      mode_ == SeeMoReMode::kDog ? 2 * config_.m + 1 : config_.m + 1;
+  if (!slot.committed && slot.has_batch && slot.digest == digest &&
+      static_cast<int>(slot.inform_votes.Count(digest)) >= needed) {
+    CommitSlot(seq, slot, /*replies=*/false, /*informs=*/false);
+  }
+}
+
+void SeeMoReReplica::CommitSlot(uint64_t seq, Slot& slot, bool replies,
+                                bool informs) {
+  if (slot.committed) return;
+  slot.committed = true;
+  ++stats_.batches_committed;
+  if (informs) SendInform(seq, slot);
+  std::vector<ExecutedRequest> executed = exec_.Commit(seq, slot.batch);
+  ChargeExecute(static_cast<int>(executed.size()));
+  for (const ExecutedRequest& ex : executed) {
+    ++stats_.requests_executed;
+    if (replies && !(ex.duplicate && ex.result.empty())) SendReply(ex);
+  }
+  MaybeCheckpoint();
+  RestartOrDisarmViewTimer();
+  if (IsPrimary() && !in_view_change_) TryPropose();
+}
+
+void SeeMoReReplica::SendReply(const ExecutedRequest& executed) {
+  Reply reply;
+  reply.mode = static_cast<uint8_t>(mode_);
+  reply.view = view_;
+  reply.timestamp = executed.request.timestamp;
+  reply.replica = id_;
+  reply.result = executed.result;
+  if (HasByz(kByzLieToClients) && !reply.result.empty()) {
+    reply.result[0] ^= 0xff;
+  }
+  reply.Sign(signer_);
+  ChargeSign();  // replies are signed in every SeeMoRe mode (§5.1)
+  SendTo(executed.request.client, reply.ToMessage());
+}
+
+void SeeMoReReplica::SendInform(uint64_t seq, const Slot& slot) {
+  ChargeSign();
+  const Signature sig = signer_.Sign(VoteHeader(
+      kDomainInform, static_cast<uint8_t>(mode_), view_, seq, slot.digest,
+      id_));
+  Encoder enc;
+  enc.PutU8(kInform);
+  enc.PutU8(static_cast<uint8_t>(mode_));
+  enc.PutU64(view_);
+  enc.PutU64(seq);
+  slot.digest.EncodeTo(enc);
+  enc.PutU32(static_cast<uint32_t>(id_));
+  sig.EncodeTo(enc);
+  SendToMany(PassiveNodes(), enc.bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints / state transfer
+// ---------------------------------------------------------------------------
+
+void SeeMoReReplica::MaybeCheckpoint() {
+  const uint64_t executed = exec_.last_executed();
+  if (executed < last_checkpoint_seq_ +
+                     static_cast<uint64_t>(config_.checkpoint_period)) {
+    return;
+  }
+  last_checkpoint_seq_ = executed;
+  Bytes snapshot = exec_.Snapshot();
+  ChargeHash(snapshot.size());
+  const Digest digest = Digest::Of(snapshot);
+  snapshot_buffer_[executed] = {digest, std::move(snapshot)};
+
+  // Lion/Dog: only the trusted primary's signed checkpoint certifies
+  // (§5.1 "State Transfer"). Peacock: proxies run quorum checkpoints.
+  const bool emitter = mode_ == SeeMoReMode::kPeacock
+                           ? IsProxyNow()
+                           : IsPrimary();
+  if (!emitter) return;
+  CheckpointMsg msg;
+  msg.seq = executed;
+  msg.state_digest = digest;
+  msg.replica = id_;
+  ChargeSign();
+  msg.Sign(signer_);
+  Encoder enc;
+  enc.PutU8(kCheckpoint);
+  msg.EncodeTo(enc);
+  SendToMany(config_.AllReplicas(), enc.bytes());
+  CountCheckpointVote(msg);
+}
+
+void SeeMoReReplica::HandleCheckpoint(PrincipalId from, Decoder& dec) {
+  Result<CheckpointMsg> msg_or = CheckpointMsg::DecodeFrom(dec);
+  if (!msg_or.ok()) return;
+  const CheckpointMsg& msg = msg_or.value();
+  if (msg.replica != from || !IsReplicaId(from)) return;
+  if (msg.seq <= stable_seq_) return;
+  ChargeVerify();
+  if (!msg.Verify(*keystore_)) return;
+  CountCheckpointVote(msg);
+  // A trusted signer's checkpoint ahead of us is authoritative evidence we
+  // fell behind; untrusted signers only trigger a fetch when the stability
+  // quorum path (CountCheckpointVote -> AdvanceStable) already ran.
+  if (config_.IsTrusted(msg.replica) && msg.seq > exec_.last_executed()) {
+    RequestStateFrom(msg.replica);
+  }
+}
+
+void SeeMoReReplica::CountCheckpointVote(const CheckpointMsg& msg) {
+  auto& signers = checkpoint_votes_[msg.seq][msg.state_digest];
+  signers[msg.replica] = msg;
+
+  // Stability rule: one trusted signer suffices (it cannot lie), else a
+  // 2m+1 quorum of public signers (at least m+1 honest).
+  bool stable = false;
+  for (const auto& [signer, m] : signers) {
+    if (config_.IsTrusted(signer)) {
+      stable = true;
+      break;
+    }
+  }
+  if (!stable && static_cast<int>(signers.size()) >= 2 * config_.m + 1) {
+    stable = true;
+  }
+  if (!stable) return;
+
+  CheckpointCert cert;
+  PrincipalId helper = id_;
+  for (const auto& [signer, m] : signers) {
+    cert.Add(m);
+    if (signer != id_) helper = signer;
+  }
+  AdvanceStable(msg.seq, msg.state_digest, std::move(cert), helper);
+}
+
+bool SeeMoReReplica::VerifyCheckpointCert(const CheckpointCert& cert) const {
+  if (cert.IsGenesis()) return true;
+  if (!cert.Verify(*keystore_, 1,
+                   [this](PrincipalId r) { return IsReplicaId(r); })) {
+    return false;
+  }
+  int trusted = 0;
+  int untrusted = 0;
+  std::set<PrincipalId> seen;
+  for (const CheckpointMsg& msg : cert.msgs()) {
+    if (!seen.insert(msg.replica).second) continue;
+    if (config_.IsTrusted(msg.replica)) {
+      ++trusted;
+    } else {
+      ++untrusted;
+    }
+  }
+  return trusted >= 1 || untrusted >= 2 * config_.m + 1;
+}
+
+void SeeMoReReplica::AdvanceStable(uint64_t seq, const Digest& digest,
+                                   CheckpointCert cert, PrincipalId helper) {
+  if (seq <= stable_seq_) return;
+  stable_seq_ = seq;
+  stable_cert_ = std::move(cert);
+  auto it = snapshot_buffer_.find(seq);
+  if (it != snapshot_buffer_.end() && it->second.first == digest) {
+    stable_snapshot_ = std::move(it->second.second);
+  } else if (exec_.last_executed() < seq && helper != id_) {
+    RequestStateFrom(helper);
+  }
+  for (auto s = slots_.begin(); s != slots_.end();) {
+    s = s->first <= seq ? slots_.erase(s) : std::next(s);
+  }
+  for (auto s = snapshot_buffer_.begin(); s != snapshot_buffer_.end();) {
+    s = s->first <= seq ? snapshot_buffer_.erase(s) : std::next(s);
+  }
+  for (auto s = checkpoint_votes_.begin(); s != checkpoint_votes_.end();) {
+    s = s->first <= seq ? checkpoint_votes_.erase(s) : std::next(s);
+  }
+  if (IsPrimary() && !in_view_change_) TryPropose();
+}
+
+void SeeMoReReplica::RequestStateFrom(PrincipalId target) {
+  if (target == id_) return;
+  if (sim_->now() - last_state_request_ < Millis(20)) return;
+  last_state_request_ = sim_->now();
+  ++stats_.state_transfers;
+  Encoder enc;
+  enc.PutU8(kStateRequest);
+  enc.PutU64(exec_.last_executed());
+  SendTo(target, enc.bytes());
+}
+
+void SeeMoReReplica::HandleStateRequest(PrincipalId from, Decoder& dec) {
+  const uint64_t their_executed = dec.GetU64();
+  if (!dec.ok()) return;
+  if (stable_snapshot_.empty() || stable_seq_ <= their_executed) return;
+  Encoder enc;
+  enc.PutU8(kStateResponse);
+  stable_cert_.EncodeTo(enc);
+  enc.PutBytes(stable_snapshot_);
+  SendTo(from, enc.bytes());
+}
+
+void SeeMoReReplica::HandleStateResponse(PrincipalId from, Decoder& dec) {
+  (void)from;
+  Result<CheckpointCert> cert_or = CheckpointCert::DecodeFrom(dec);
+  if (!cert_or.ok()) return;
+  Bytes snapshot = dec.GetBytes();
+  if (!dec.ok()) return;
+  CheckpointCert cert = std::move(cert_or).value();
+  if (cert.IsGenesis() || cert.seq() <= exec_.last_executed()) return;
+  ChargeVerify(static_cast<int>(cert.msgs().size()));
+  if (!VerifyCheckpointCert(cert)) return;
+  ChargeHash(snapshot.size());
+  if (Digest::Of(snapshot) != cert.state_digest()) return;
+  const uint64_t seq = cert.seq();
+  if (!exec_.Restore(snapshot, seq).ok()) return;
+  stable_seq_ = std::max(stable_seq_, seq);
+  stable_cert_ = std::move(cert);
+  stable_snapshot_ = std::move(snapshot);
+  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, seq);
+  for (auto s = slots_.begin(); s != slots_.end();) {
+    s = s->first <= seq ? slots_.erase(s) : std::next(s);
+  }
+}
+
+}  // namespace seemore

@@ -1,0 +1,238 @@
+// SeeMoRe replica: the paper's hybrid fault-tolerant protocol (§5) in all
+// three operating modes, with dynamic mode switching (§5.4).
+//
+//   Lion (§5.1)    trusted primary, all N = 3m+2c+1 replicas participate,
+//                  2 phases, O(n) messages, quorum 2m+c+1. Accepts are
+//                  UNSIGNED (they flow only to the trusted primary);
+//                  prepares/commits are signed by the primary.
+//   Dog (§5.2)     trusted primary assigns sequence numbers, then 3m+1
+//                  public proxies agree among themselves (signed accepts,
+//                  quorum 2m+1, 2 phases, O(n²) in the proxy set). Other
+//                  nodes execute after 2m+1 matching INFORMs.
+//   Peacock (§5.3) PBFT among the 3m+1 proxies (untrusted primary,
+//                  3 phases, quorum 2m+1), pre-prepare broadcast to all
+//                  nodes, m+1 matching INFORMs at passive nodes, and a
+//                  trusted *transferer* running view changes.
+//
+// View changes follow §5.1-§5.3: trusted new primaries (Lion/Dog) and the
+// trusted transferer (Peacock) do not embed view-change proof sets in
+// NEW-VIEW messages — the paper's headline saving — because their own
+// signature on each re-proposed entry is sufficient authority.
+//
+// Mode switching (§5.4): a trusted replica multicasts a signed
+// <MODE-CHANGE, v+1, π'> and the protocol performs a view change whose
+// NEW-VIEW is issued under the new mode by the new mode's authority.
+
+#ifndef SEEMORE_SEEMORE_SEEMORE_REPLICA_H_
+#define SEEMORE_SEEMORE_SEEMORE_REPLICA_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "consensus/checkpoint.h"
+#include "consensus/proofs.h"
+#include "consensus/quorum.h"
+#include "consensus/replica_base.h"
+
+namespace seemore {
+
+class SeeMoReReplica : public ReplicaBase {
+ public:
+  enum MsgType : uint8_t {
+    kPrepare = 10,        // Lion/Dog proposal; Peacock pre-prepare
+    kAcceptPlain = 11,    // Lion accept (unsigned, replica -> primary)
+    kAcceptSigned = 12,   // Dog accept / Peacock prepare echo (proxy n-to-n)
+    kCommitPrimary = 13,  // Lion commit (signed by primary, carries batch)
+    kCommitVote = 14,     // Dog/Peacock commit vote (proxy n-to-n)
+    kInform = 15,         // proxies -> passive nodes
+    kCheckpoint = 16,
+    kViewChange = 17,
+    kNewView = 18,
+    kModeChange = 19,
+    kStateRequest = 20,
+    kStateResponse = 21,
+  };
+
+  SeeMoReReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
+                 PrincipalId id, const ClusterConfig& config,
+                 std::unique_ptr<StateMachine> state_machine,
+                 const CostModel& costs);
+
+  SeeMoReMode mode() const { return mode_; }
+  uint64_t view() const { return view_; }
+  bool in_view_change() const { return in_view_change_; }
+  uint64_t last_executed() const { return exec_.last_executed(); }
+  uint64_t stable_checkpoint() const { return stable_seq_; }
+  PrincipalId current_primary() const {
+    return config_.PrimaryOf(mode_, view_);
+  }
+  /// Diagnostics: slots proposed but not yet committed (tests, debugging).
+  int uncommitted_slots() const { return UncommittedSlots(); }
+  bool IsPrimary() const { return current_primary() == id_; }
+
+  /// Dynamic mode switching (§5.4). Must be invoked on the trusted replica
+  /// that is the authority for view v+1 under `new_mode` (the new primary
+  /// for Lion/Dog, the transferer for Peacock); returns
+  /// FailedPrecondition otherwise. The switch multicasts a signed
+  /// MODE-CHANGE and drives a view change into the new mode.
+  Status RequestModeSwitch(SeeMoReMode new_mode);
+
+  /// The trusted authority for view `v` under `mode` (primary or transferer).
+  PrincipalId SwitchAuthority(SeeMoReMode mode, uint64_t v) const {
+    return mode == SeeMoReMode::kPeacock ? config_.Transferer(v)
+                                         : config_.TrustedPrimary(v);
+  }
+
+ protected:
+  void HandleMessage(PrincipalId from, const Bytes& bytes) override;
+
+ private:
+  struct Slot {
+    Batch batch;
+    bool has_batch = false;
+    Digest digest;
+    uint64_t view = 0;
+    /// Mode under which this slot's proposal was signed (signature domain).
+    SeeMoReMode mode = SeeMoReMode::kLion;
+    Signature primary_sig;  // over the prepare/pre-prepare header
+    // Lion: unsigned accepts counted by the trusted primary.
+    std::set<PrincipalId> plain_accepts;
+    // Dog accepts / Peacock prepare echoes.
+    SignedVoteSet<Digest> accept_votes;
+    // Dog/Peacock commit votes.
+    SignedVoteSet<Digest> commit_votes;
+    // INFORMs received by passive nodes.
+    VoteSet<Digest> inform_votes;
+    bool accept_sent = false;
+    bool prepared = false;     // Peacock only
+    bool commit_sent = false;  // Dog/Peacock
+    bool committed = false;
+    // Lion: the primary's signed commit (view-change C set evidence).
+    bool has_commit_sig = false;
+    Signature commit_sig;
+  };
+
+  /// One re-proposable entry carried in a view-change message.
+  struct VcEntry {
+    SeeMoReMode mode = SeeMoReMode::kLion;  // signature domain of `sig`
+    uint64_t view = 0;
+    uint64_t seq = 0;
+    Digest digest;
+    Batch batch;
+    Signature sig;  // primary's prepare sig (P set) or commit sig (C set)
+  };
+
+  struct VcRecord {
+    SeeMoReMode mode = SeeMoReMode::kLion;
+    uint64_t stable_seq = 0;
+    CheckpointCert cert;
+    std::map<uint64_t, VcEntry> prepares;        // Lion/Dog P set
+    std::map<uint64_t, VcEntry> commits;         // Lion C set
+    std::map<uint64_t, PreparedProof> proofs;    // Peacock prepared certs
+    /// Highest view with evidence created under `mode` (for "last active
+    /// view" determination within the current mode epoch).
+    uint64_t LastActiveView(SeeMoReMode mode) const;
+  };
+
+  // ----- role helpers ----------------------------------------------------
+  bool IsProxyNow() const {
+    return config_.IsProxy(id_, view_);
+  }
+  std::vector<PrincipalId> Proxies() const { return config_.ProxySet(view_); }
+  std::vector<PrincipalId> PassiveNodes() const;
+  bool ParticipatesInAgreement() const;
+  int CommitQuorum() const { return config_.CommitQuorum(mode_); }
+  bool VerifyProposalSig(SeeMoReMode mode, uint64_t view, uint64_t seq,
+                         const Digest& digest, const Signature& sig) const;
+  /// Validity of a P-set entry: Lion/Dog entries are signed by that view's
+  /// trusted primary (or new-view authority); Peacock entries are only
+  /// self-certifying when signed by the trusted transferer — an untrusted
+  /// Peacock primary's bare pre-prepare must come as a PreparedProof.
+  bool VerifyVcPrepareEntry(const VcEntry& entry) const;
+
+  // ----- normal case -----
+  void HandleRequest(PrincipalId from, Decoder& dec);
+  void PrimaryEnqueue(Request request);
+  void TryPropose();
+  void HandlePrepare(PrincipalId from, Decoder& dec);
+  void HandleAcceptPlain(PrincipalId from, Decoder& dec);
+  void HandleAcceptSigned(PrincipalId from, Decoder& dec);
+  void HandleCommitPrimary(PrincipalId from, Decoder& dec);
+  void HandleCommitVote(PrincipalId from, Decoder& dec);
+  void HandleInform(PrincipalId from, Decoder& dec);
+  void SendSignedAccept(uint64_t seq, Slot& slot);
+  void CheckProxyCommit(uint64_t seq, Slot& slot);
+  void CommitSlot(uint64_t seq, Slot& slot, bool replies, bool informs);
+  void SendReply(const ExecutedRequest& executed);
+  void SendInform(uint64_t seq, const Slot& slot);
+  int UncommittedSlots() const;
+
+  // ----- checkpoints / state transfer -----
+  void MaybeCheckpoint();
+  void HandleCheckpoint(PrincipalId from, Decoder& dec);
+  void CountCheckpointVote(const CheckpointMsg& msg);
+  bool VerifyCheckpointCert(const CheckpointCert& cert) const;
+  void AdvanceStable(uint64_t seq, const Digest& digest, CheckpointCert cert,
+                     PrincipalId helper);
+  void HandleStateRequest(PrincipalId from, Decoder& dec);
+  void HandleStateResponse(PrincipalId from, Decoder& dec);
+  void RequestStateFrom(PrincipalId target);
+
+  // ----- view change / mode switch -----
+  void ArmViewTimer();
+  void RestartOrDisarmViewTimer();
+  void StartViewChange(uint64_t new_view);
+  Bytes BuildViewChangeMessage(uint64_t new_view) const;
+  Result<VcRecord> ParseViewChange(Decoder& dec, PrincipalId from);
+  void HandleViewChange(PrincipalId from, Decoder& dec);
+  void MaybeJoinViewChange();
+  /// Mode the protocol will run in view `v` (honours pending MODE-CHANGE).
+  SeeMoReMode ModeForView(uint64_t v) const;
+  /// Whether this replica issues the NEW-VIEW for `new_view`.
+  bool IsNewViewAuthority(uint64_t new_view) const;
+  bool ViewChangeQuorumReached(uint64_t new_view) const;
+  void MaybeFormNewView(uint64_t new_view);
+  void HandleNewView(PrincipalId from, Decoder& dec);
+  void HandleModeChange(PrincipalId from, Decoder& dec);
+  void EnterView(uint64_t view, SeeMoReMode mode);
+  bool IsReplicaId(PrincipalId r) const { return r >= 0 && r < config_.n(); }
+
+  SeeMoReMode mode_;
+  uint64_t view_ = 0;
+  bool in_view_change_ = false;
+  uint64_t vc_target_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t window_;
+  std::map<uint64_t, Slot> slots_;
+  std::deque<Request> pending_;
+  std::map<PrincipalId, uint64_t> primary_seen_ts_;
+  /// Timestamps seen directly from clients (detects retransmissions that
+  /// must be relayed to the primary).
+  std::map<PrincipalId, uint64_t> relay_seen_ts_;
+
+  uint64_t stable_seq_ = 0;
+  CheckpointCert stable_cert_;
+  Bytes stable_snapshot_;
+  uint64_t last_checkpoint_seq_ = 0;
+  std::map<uint64_t, std::pair<Digest, Bytes>> snapshot_buffer_;
+  std::map<uint64_t, std::map<Digest, std::map<PrincipalId, CheckpointMsg>>>
+      checkpoint_votes_;
+
+  std::map<uint64_t, std::map<PrincipalId, VcRecord>> vc_msgs_;
+  /// view -> mode requested by a signed MODE-CHANGE for that view.
+  std::map<uint64_t, SeeMoReMode> pending_mode_;
+
+  EventId view_timer_ = 0;
+  SimTime current_vc_timeout_ = 0;
+  /// Last time we asked a peer for a snapshot (rate limit; a lost response
+  /// must not wedge recovery).
+  SimTime last_state_request_ = -Seconds(1);
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_SEEMORE_SEEMORE_REPLICA_H_

@@ -1,0 +1,794 @@
+// View changes (§5.1-§5.3) and dynamic mode switching (§5.4).
+//
+// Who sends VIEW-CHANGE messages depends on the current mode:
+//   Lion:    every replica; the new trusted primary collects 2m+c+1
+//            (including its own) and issues NEW-VIEW.
+//   Dog:     every public-cloud node; the new trusted primary collects 2m+1
+//            from the proxies of the last active view.
+//   Peacock: the proxies; the trusted *transferer* t = v' mod S collects
+//            2m+1 from the proxies of the last active view and issues the
+//            NEW-VIEW itself (minimising new-view size and primary-shuffle
+//            latency, §5.3).
+//
+// "Last active view" is derived from evidence: prepares/proofs are signed by
+// the (trusted or quorum-backed) proposer of their view, so the highest view
+// appearing in any collected entry is a sound lower bound that Byzantine
+// senders cannot inflate.
+
+#include "seemore/seemore_replica.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace seemore {
+
+namespace {
+
+void EncodeVcEntry(Encoder& enc, SeeMoReMode mode, uint64_t view,
+                   uint64_t seq, const Digest& digest, const Batch& batch,
+                   const Signature& sig) {
+  enc.PutU8(static_cast<uint8_t>(mode));
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  digest.EncodeTo(enc);
+  enc.PutBytes(batch.Encode());
+  sig.EncodeTo(enc);
+}
+
+}  // namespace
+
+uint64_t SeeMoReReplica::VcRecord::LastActiveView(SeeMoReMode mode) const {
+  uint64_t last = 0;
+  for (const auto& [seq, entry] : prepares) {
+    if (entry.mode == mode) last = std::max(last, entry.view);
+  }
+  for (const auto& [seq, entry] : commits) {
+    if (entry.mode == mode) last = std::max(last, entry.view);
+  }
+  for (const auto& [seq, proof] : proofs) {
+    if (static_cast<SeeMoReMode>(proof.mode) == mode) {
+      last = std::max(last, proof.view);
+    }
+  }
+  return last;
+}
+
+SeeMoReMode SeeMoReReplica::ModeForView(uint64_t v) const {
+  auto it = pending_mode_.find(v);
+  return it != pending_mode_.end() ? it->second : mode_;
+}
+
+bool SeeMoReReplica::IsNewViewAuthority(uint64_t new_view) const {
+  return SwitchAuthority(ModeForView(new_view), new_view) == id_;
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void SeeMoReReplica::ArmViewTimer() {
+  if (view_timer_ != 0 || in_view_change_) return;
+  if (!ParticipatesInAgreement() || IsPrimary()) return;
+  // Failure detection must not count our own CPU backlog against the
+  // primary: right after a view change every node burns milliseconds
+  // re-running agreement on the re-proposed log, and a timer that ignores
+  // that work self-destructs the new view (view-change livelock).
+  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
+  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+    view_timer_ = 0;
+    StartViewChange(view_ + 1);
+  });
+}
+
+void SeeMoReReplica::RestartOrDisarmViewTimer() {
+  CancelTimer(view_timer_);
+  // Progress observed: drop back from the post-view-change grace timeout.
+  current_vc_timeout_ = config_.view_change_timeout;
+  if (UncommittedSlots() > 0) ArmViewTimer();
+}
+
+// ---------------------------------------------------------------------------
+// VIEW-CHANGE emission and parsing
+// ---------------------------------------------------------------------------
+
+Bytes SeeMoReReplica::BuildViewChangeMessage(uint64_t new_view) const {
+  Encoder enc;
+  enc.PutU8(kViewChange);
+  enc.PutU8(static_cast<uint8_t>(mode_));
+  enc.PutU64(new_view);
+  enc.PutU64(stable_seq_);
+  stable_cert_.EncodeTo(enc);
+
+  // Classify every live slot by the mode it was created under. Slots can
+  // outlive a mode switch (committed entries kept as evidence), so the sets
+  // may mix modes; each entry is verified against its own signature domain.
+  //   P set: trusted-primary/transferer-signed proposals (Lion, Dog, and
+  //          transferer-re-proposed Peacock entries). The paper transmits
+  //          them "without the request message µ"; we carry µ so the new
+  //          primary can always re-propose without a fetch round (the same
+  //          pragmatic choice BFT-SMaRt makes).
+  //   C set: Lion primary-signed commits (§5.1).
+  //   Proofs: Peacock prepared certificates (§5.3).
+  auto is_proof_slot = [](const Slot& slot) {
+    return slot.mode == SeeMoReMode::kPeacock && slot.prepared;
+  };
+  uint64_t n_prepares = 0;
+  uint64_t n_commits = 0;
+  uint64_t n_proofs = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.has_batch || seq <= stable_seq_) continue;
+    if (slot.mode == SeeMoReMode::kPeacock) {
+      if (is_proof_slot(slot)) ++n_proofs;
+    } else {
+      ++n_prepares;
+      if (slot.mode == SeeMoReMode::kLion && slot.has_commit_sig) ++n_commits;
+    }
+  }
+  enc.PutVarint(n_prepares);
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.has_batch || seq <= stable_seq_) continue;
+    if (slot.mode == SeeMoReMode::kPeacock) continue;
+    EncodeVcEntry(enc, slot.mode, slot.view, seq, slot.digest, slot.batch,
+                  slot.primary_sig);
+  }
+  enc.PutVarint(n_commits);
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.has_batch || seq <= stable_seq_ ||
+        slot.mode != SeeMoReMode::kLion || !slot.has_commit_sig) {
+      continue;
+    }
+    EncodeVcEntry(enc, slot.mode, slot.view, seq, slot.digest, slot.batch,
+                  slot.commit_sig);
+  }
+  enc.PutVarint(n_proofs);
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.has_batch || seq <= stable_seq_ ||
+        slot.mode != SeeMoReMode::kPeacock || !is_proof_slot(slot)) {
+      continue;
+    }
+    PreparedProof proof;
+    proof.mode = static_cast<uint8_t>(slot.mode);
+    proof.view = slot.view;
+    proof.seq = seq;
+    proof.digest = slot.digest;
+    proof.batch = slot.batch;
+    proof.primary_sig = slot.primary_sig;
+    const auto* sigs = slot.accept_votes.SignaturesFor(slot.digest);
+    if (sigs != nullptr) proof.prepares = *sigs;
+    proof.EncodeTo(enc);
+  }
+  enc.PutU32(static_cast<uint32_t>(id_));
+  return enc.Take();
+}
+
+Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ParseViewChange(
+    Decoder& dec, PrincipalId from) {
+  VcRecord record;
+  record.mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t new_view = dec.GetU64();
+  (void)new_view;
+  record.stable_seq = dec.GetU64();
+  SEEMORE_ASSIGN_OR_RETURN(record.cert, CheckpointCert::DecodeFrom(dec));
+  if (!VerifyCheckpointCert(record.cert)) {
+    return Status::Corruption("invalid checkpoint cert in view-change");
+  }
+  if (!record.cert.IsGenesis() && record.cert.seq() < record.stable_seq) {
+    return Status::Corruption("checkpoint cert below claimed stable seq");
+  }
+
+  const uint64_t n_prepares = dec.GetVarint();
+  if (!dec.ok() || n_prepares > window_ + 1) {
+    return Status::Corruption("bad prepare count");
+  }
+  for (uint64_t i = 0; i < n_prepares; ++i) {
+    VcEntry entry;
+    entry.mode = static_cast<SeeMoReMode>(dec.GetU8());
+    entry.view = dec.GetU64();
+    entry.seq = dec.GetU64();
+    entry.digest = Digest::DecodeFrom(dec);
+    Bytes batch_bytes = dec.GetBytes();
+    entry.sig = Signature::DecodeFrom(dec);
+    if (!dec.ok()) return dec.status();
+    if (Digest::Of(batch_bytes) != entry.digest) {
+      return Status::Corruption("prepare entry digest mismatch");
+    }
+    SEEMORE_ASSIGN_OR_RETURN(entry.batch, Batch::Decode(batch_bytes));
+    if (!VerifyVcPrepareEntry(entry)) {
+      return Status::Corruption("invalid prepare entry signature");
+    }
+    record.prepares.emplace(entry.seq, std::move(entry));
+  }
+
+  const uint64_t n_commits = dec.GetVarint();
+  if (!dec.ok() || n_commits > window_ + 1) {
+    return Status::Corruption("bad commit count");
+  }
+  for (uint64_t i = 0; i < n_commits; ++i) {
+    VcEntry entry;
+    entry.mode = static_cast<SeeMoReMode>(dec.GetU8());
+    entry.view = dec.GetU64();
+    entry.seq = dec.GetU64();
+    entry.digest = Digest::DecodeFrom(dec);
+    Bytes batch_bytes = dec.GetBytes();
+    entry.sig = Signature::DecodeFrom(dec);
+    if (!dec.ok()) return dec.status();
+    if (entry.mode != SeeMoReMode::kLion) {
+      return Status::Corruption("commit entries only exist in Lion");
+    }
+    if (Digest::Of(batch_bytes) != entry.digest) {
+      return Status::Corruption("commit entry digest mismatch");
+    }
+    SEEMORE_ASSIGN_OR_RETURN(entry.batch, Batch::Decode(batch_bytes));
+    const Bytes header =
+        ProposalHeader(kDomainCommit, static_cast<uint8_t>(entry.mode),
+                       entry.view, entry.seq, entry.digest);
+    if (!keystore_->Verify(config_.TrustedPrimary(entry.view), header,
+                           entry.sig)) {
+      return Status::Corruption("invalid commit entry signature");
+    }
+    record.commits.emplace(entry.seq, std::move(entry));
+  }
+
+  const uint64_t n_proofs = dec.GetVarint();
+  if (!dec.ok() || n_proofs > window_ + 1) {
+    return Status::Corruption("bad proof count");
+  }
+  for (uint64_t i = 0; i < n_proofs; ++i) {
+    SEEMORE_ASSIGN_OR_RETURN(PreparedProof proof,
+                             PreparedProof::DecodeFrom(dec));
+    const SeeMoReMode proof_mode = static_cast<SeeMoReMode>(proof.mode);
+    const PrincipalId proposer = config_.PrimaryOf(proof_mode, proof.view);
+    const PrincipalId authority = SwitchAuthority(proof_mode, proof.view);
+    const auto authorized = [this, &proof](PrincipalId r) {
+      return config_.IsProxy(r, proof.view);
+    };
+    // Re-proposed entries are signed by the transferer, fresh ones by the
+    // primary; accept either (see VerifyProposalSig).
+    const bool ok =
+        proof.Verify(*keystore_, proposer, 2 * config_.m, authorized) ||
+        (authority != proposer &&
+         proof.Verify(*keystore_, authority, 2 * config_.m, authorized));
+    if (!ok) return Status::Corruption("invalid prepared proof");
+    record.proofs.emplace(proof.seq, std::move(proof));
+  }
+
+  const PrincipalId sender = static_cast<PrincipalId>(dec.GetU32());
+  SEEMORE_RETURN_IF_ERROR(dec.Finish());
+  if (sender != from) return Status::Corruption("view-change sender mismatch");
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// View-change protocol
+// ---------------------------------------------------------------------------
+
+void SeeMoReReplica::StartViewChange(uint64_t new_view) {
+  if (new_view <= view_ || (in_view_change_ && new_view <= vc_target_)) return;
+  in_view_change_ = true;
+  vc_target_ = new_view;
+  ++stats_.view_changes_started;
+  CancelTimer(view_timer_);
+
+  // Who multicasts VIEW-CHANGE depends on the current mode (header comment).
+  const bool sender_role =
+      mode_ == SeeMoReMode::kLion
+          ? true
+          : (mode_ == SeeMoReMode::kDog ? !config_.IsTrusted(id_)
+                                        : IsProxyNow());
+  if (sender_role) {
+    const Bytes msg = BuildViewChangeMessage(new_view);
+    SendToMany(config_.AllReplicas(), msg);
+    Decoder dec(msg);
+    dec.GetU8();  // tag
+    Result<VcRecord> own = ParseViewChange(dec, id_);
+    if (own.ok()) vc_msgs_[new_view][id_] = std::move(own).value();
+  }
+  if (IsNewViewAuthority(new_view)) MaybeFormNewView(new_view);
+
+  current_vc_timeout_ = std::min<SimTime>(current_vc_timeout_ * 2, Seconds(2));
+  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
+  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+    view_timer_ = 0;
+    if (in_view_change_) StartViewChange(vc_target_ + 1);
+  });
+}
+
+void SeeMoReReplica::HandleViewChange(PrincipalId from, Decoder& dec) {
+  // Peek the target view before paying full validation.
+  Decoder peek = dec;
+  peek.GetU8();  // mode
+  const uint64_t new_view = peek.GetU64();
+  if (!peek.ok() || new_view <= view_) return;
+
+  ChargeVerify(2);  // cert + entry validation (amortized)
+  Result<VcRecord> record_or = ParseViewChange(dec, from);
+  if (!record_or.ok()) {
+    SEEMORE_LOG(Debug) << "replica " << id_ << ": rejecting view-change from "
+                       << from << ": " << record_or.status().ToString();
+    return;
+  }
+  vc_msgs_[new_view][from] = std::move(record_or).value();
+  MaybeJoinViewChange();
+  if (IsNewViewAuthority(new_view)) MaybeFormNewView(new_view);
+}
+
+void SeeMoReReplica::MaybeJoinViewChange() {
+  for (const auto& [target, records] : vc_msgs_) {
+    if (target <= view_) continue;
+    if (in_view_change_ && target <= vc_target_) continue;
+    // One trusted suspicion suffices (trusted nodes never lie); otherwise
+    // m+1 public senders guarantee at least one honest suspicion.
+    int trusted = 0;
+    int untrusted = 0;
+    for (const auto& [sender, record] : records) {
+      if (config_.IsTrusted(sender)) {
+        ++trusted;
+      } else {
+        ++untrusted;
+      }
+    }
+    if (trusted >= 1 || untrusted >= config_.m + 1) {
+      if (ParticipatesInAgreement() || config_.IsTrusted(id_)) {
+        StartViewChange(target);
+      }
+      return;
+    }
+  }
+}
+
+bool SeeMoReReplica::ViewChangeQuorumReached(uint64_t new_view) const {
+  auto it = vc_msgs_.find(new_view);
+  if (it == vc_msgs_.end()) return false;
+  const auto& records = it->second;
+
+  if (mode_ == SeeMoReMode::kLion) {
+    return static_cast<int>(records.size()) >= 2 * config_.m + config_.c + 1;
+  }
+
+  // Dog/Peacock: 2m+1 view-changes from the proxies of the last active view
+  // (§5.2). Evidence views cannot be inflated by Byzantine nodes, so the
+  // maximum across records is a sound choice of "last active view".
+  uint64_t last_active = 0;
+  for (const auto& [sender, record] : records) {
+    last_active = std::max(last_active, record.LastActiveView(mode_));
+  }
+  int count = 0;
+  for (const auto& [sender, record] : records) {
+    const bool eligible = last_active > 0
+                              ? config_.IsProxy(sender, last_active)
+                              : !config_.IsTrusted(sender);
+    if (eligible) ++count;
+  }
+  return count >= 2 * config_.m + 1;
+}
+
+void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
+  if (view_ >= new_view || !IsNewViewAuthority(new_view)) return;
+  if (!ViewChangeQuorumReached(new_view)) {
+    SEEMORE_LOG(Debug) << "replica " << id_ << ": view-change quorum for "
+                       << new_view << " not yet reached ("
+                       << (vc_msgs_.count(new_view)
+                               ? vc_msgs_[new_view].size()
+                               : 0)
+                       << " records)";
+    return;
+  }
+  const SeeMoReMode target_mode = ModeForView(new_view);
+  const auto& records = vc_msgs_[new_view];
+
+  // l: latest stable checkpoint across the quorum; h: highest evidenced seq.
+  uint64_t low = 0;
+  PrincipalId helper = id_;
+  uint64_t high = 0;
+  for (const auto& [sender, record] : records) {
+    const uint64_t cert_seq = record.cert.seq();
+    if (cert_seq > low) {
+      low = cert_seq;
+      helper = sender;
+    }
+    if (!record.prepares.empty()) {
+      high = std::max(high, record.prepares.rbegin()->first);
+    }
+    if (!record.commits.empty()) {
+      high = std::max(high, record.commits.rbegin()->first);
+    }
+    if (!record.proofs.empty()) {
+      high = std::max(high, record.proofs.rbegin()->first);
+    }
+  }
+  low = std::max(low, stable_seq_);
+
+  // Candidate selection per sequence number (§5.1 steps 1-3, generalized
+  // across modes). Priority: commit evidence > quorum of prepares > highest-
+  // view prepare/proof > no-op.
+  struct Candidate {
+    bool committed = false;
+    uint64_t view = 0;
+    Digest digest;
+    Batch batch;
+    bool present = false;
+  };
+  std::map<uint64_t, Candidate> candidates;
+  std::map<uint64_t, std::map<Digest, std::set<PrincipalId>>> prepare_support;
+
+  for (const auto& [sender, record] : records) {
+    for (const auto& [seq, entry] : record.commits) {
+      if (seq <= low) continue;
+      Candidate& cand = candidates[seq];
+      if (!cand.committed || entry.view > cand.view) {
+        cand.committed = true;
+        cand.view = entry.view;
+        cand.digest = entry.digest;
+        cand.batch = entry.batch;
+        cand.present = true;
+      }
+    }
+    for (const auto& [seq, entry] : record.prepares) {
+      if (seq <= low) continue;
+      prepare_support[seq][entry.digest].insert(sender);
+      Candidate& cand = candidates[seq];
+      if (!cand.committed && (!cand.present || entry.view > cand.view)) {
+        cand.view = entry.view;
+        cand.digest = entry.digest;
+        cand.batch = entry.batch;
+        cand.present = true;
+      }
+    }
+    for (const auto& [seq, proof] : record.proofs) {
+      if (seq <= low) continue;
+      Candidate& cand = candidates[seq];
+      if (!cand.committed && (!cand.present || proof.view > cand.view)) {
+        cand.view = proof.view;
+        cand.digest = proof.digest;
+        cand.batch = proof.batch;
+        cand.present = true;
+      }
+    }
+  }
+  // Lion step 2: 2m+c+1 matching prepares imply the old primary may have
+  // committed — promote to commit evidence.
+  if (mode_ == SeeMoReMode::kLion) {
+    for (auto& [seq, cand] : candidates) {
+      if (cand.committed) continue;
+      auto sup = prepare_support.find(seq);
+      if (sup == prepare_support.end()) continue;
+      for (const auto& [digest, senders] : sup->second) {
+        if (static_cast<int>(senders.size()) >= 2 * config_.m + config_.c + 1 &&
+            digest == cand.digest) {
+          cand.committed = true;
+        }
+      }
+    }
+  }
+
+  // Build the NEW-VIEW. C' only exists when the target mode is Lion; in
+  // Dog/Peacock every entry is re-agreed by the proxies.
+  const uint8_t mode8 = static_cast<uint8_t>(target_mode);
+  std::vector<std::pair<uint64_t, Candidate>> commit_entries;
+  std::vector<std::pair<uint64_t, Candidate>> prepare_entries;
+  for (uint64_t seq = low + 1; seq <= high; ++seq) {
+    auto it2 = candidates.find(seq);
+    Candidate cand;
+    if (it2 != candidates.end() && it2->second.present) {
+      cand = it2->second;
+    } else {
+      cand.batch = Batch::Noop();
+      cand.digest = cand.batch.ComputeDigest();
+      cand.present = true;
+    }
+    if (target_mode == SeeMoReMode::kLion && cand.committed) {
+      commit_entries.emplace_back(seq, std::move(cand));
+    } else {
+      prepare_entries.emplace_back(seq, std::move(cand));
+    }
+  }
+
+  Encoder enc;
+  enc.PutU8(kNewView);
+  enc.PutU8(mode8);
+  enc.PutU64(new_view);
+  enc.PutU64(low);
+  ChargeSign();
+  const Signature header_sig = signer_.Sign(
+      ProposalHeader(kDomainNewView, mode8, new_view, low, Digest()));
+  header_sig.EncodeTo(enc);
+  auto encode_entry = [&enc, new_view](uint64_t seq, const Candidate& cand,
+                                       const Signature& sig) {
+    enc.PutU64(new_view);
+    enc.PutU64(seq);
+    cand.digest.EncodeTo(enc);
+    enc.PutBytes(cand.batch.Encode());
+    sig.EncodeTo(enc);
+  };
+  enc.PutVarint(commit_entries.size());
+  for (auto& [seq, cand] : commit_entries) {
+    ChargeSign();
+    const Signature sig = signer_.Sign(
+        ProposalHeader(kDomainCommit, mode8, new_view, seq, cand.digest));
+    encode_entry(seq, cand, sig);
+  }
+  enc.PutVarint(prepare_entries.size());
+  for (auto& [seq, cand] : prepare_entries) {
+    ChargeSign();
+    const Signature sig = signer_.Sign(
+        ProposalHeader(kDomainPrePrepare, mode8, new_view, seq, cand.digest));
+    encode_entry(seq, cand, sig);
+  }
+  SendToMany(config_.AllReplicas(), enc.bytes());
+
+  // Install locally.
+  EnterView(new_view, target_mode);
+  ++stats_.view_changes_completed;
+  if (target_mode != mode_) ++stats_.mode_changes;
+  if (low > exec_.last_executed() && helper != id_) RequestStateFrom(helper);
+
+  for (auto& [seq, cand] : commit_entries) {
+    if (seq <= stable_seq_ || exec_.HasCommitted(seq)) continue;
+    // Re-proposed slots start from a clean sheet: votes from earlier views
+    // or modes were signed under different headers and must never count
+    // toward (or leak into proofs of) the new view.
+    Slot slot;
+    slot.batch = std::move(cand.batch);
+    slot.has_batch = true;
+    slot.digest = cand.digest;
+    slot.view = new_view;
+    slot.mode = target_mode;
+    slot.commit_sig = signer_.Sign(
+        ProposalHeader(kDomainCommit, mode8, new_view, seq, cand.digest));
+    slot.has_commit_sig = true;
+    slots_[seq] = std::move(slot);
+    CommitSlot(seq, slots_[seq], /*replies=*/IsPrimary(), /*informs=*/false);
+  }
+  for (auto& [seq, cand] : prepare_entries) {
+    if (seq <= stable_seq_) continue;
+    Slot slot;
+    slot.batch = std::move(cand.batch);
+    slot.has_batch = true;
+    slot.digest = cand.digest;
+    slot.view = new_view;
+    slot.mode = target_mode;
+    slot.primary_sig = signer_.Sign(
+        ProposalHeader(kDomainPrePrepare, mode8, new_view, seq, cand.digest));
+    slot.committed = slots_[seq].committed || exec_.HasCommitted(seq);
+    if (target_mode == SeeMoReMode::kLion) {
+      slot.plain_accepts.insert(id_);
+    }
+    slots_[seq] = std::move(slot);
+    if (target_mode != SeeMoReMode::kLion && IsProxyNow()) {
+      SendSignedAccept(seq, slots_[seq]);
+    }
+  }
+  next_seq_ = std::max<uint64_t>(high + 1, stable_seq_ + 1);
+  if (UncommittedSlots() > 0) ArmViewTimer();
+  if (IsPrimary()) TryPropose();
+}
+
+void SeeMoReReplica::HandleNewView(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode new_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t new_view = dec.GetU64();
+  const uint64_t low = dec.GetU64();
+  const Signature header_sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (new_view <= view_) return;
+  // Only the trusted authority of the new (view, mode) may issue NEW-VIEW.
+  if (from != SwitchAuthority(new_mode, new_view) || !config_.IsTrusted(from)) {
+    return;
+  }
+  const uint8_t mode8 = static_cast<uint8_t>(new_mode);
+  ChargeVerify();
+  if (!keystore_->Verify(
+          from, ProposalHeader(kDomainNewView, mode8, new_view, low, Digest()),
+          header_sig)) {
+    return;
+  }
+
+  struct Entry {
+    uint64_t seq;
+    Digest digest;
+    Batch batch;
+    Signature sig;
+  };
+  const uint64_t n_commits = dec.GetVarint();
+  if (!dec.ok() || n_commits > window_ + 1) return;
+  std::vector<Entry> commit_entries;
+  for (uint64_t i = 0; i < n_commits; ++i) {
+    Entry entry;
+    const uint64_t entry_view = dec.GetU64();
+    entry.seq = dec.GetU64();
+    entry.digest = Digest::DecodeFrom(dec);
+    Bytes batch_bytes = dec.GetBytes();
+    entry.sig = Signature::DecodeFrom(dec);
+    if (!dec.ok() || entry_view != new_view) return;
+    ChargeHash(batch_bytes.size());
+    if (Digest::Of(batch_bytes) != entry.digest) return;
+    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+    if (!batch_or.ok()) return;
+    entry.batch = std::move(batch_or).value();
+    ChargeVerify();
+    if (!keystore_->Verify(from,
+                           ProposalHeader(kDomainCommit, mode8, new_view,
+                                          entry.seq, entry.digest),
+                           entry.sig)) {
+      return;
+    }
+    commit_entries.push_back(std::move(entry));
+  }
+  const uint64_t n_prepares = dec.GetVarint();
+  if (!dec.ok() || n_prepares > window_ + 1) return;
+  std::vector<Entry> prepare_entries;
+  for (uint64_t i = 0; i < n_prepares; ++i) {
+    Entry entry;
+    const uint64_t entry_view = dec.GetU64();
+    entry.seq = dec.GetU64();
+    entry.digest = Digest::DecodeFrom(dec);
+    Bytes batch_bytes = dec.GetBytes();
+    entry.sig = Signature::DecodeFrom(dec);
+    if (!dec.ok() || entry_view != new_view) return;
+    ChargeHash(batch_bytes.size());
+    if (Digest::Of(batch_bytes) != entry.digest) return;
+    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+    if (!batch_or.ok()) return;
+    entry.batch = std::move(batch_or).value();
+    ChargeVerify();
+    if (!keystore_->Verify(from,
+                           ProposalHeader(kDomainPrePrepare, mode8, new_view,
+                                          entry.seq, entry.digest),
+                           entry.sig)) {
+      return;
+    }
+    prepare_entries.push_back(std::move(entry));
+  }
+
+  EnterView(new_view, new_mode);
+  ++stats_.view_changes_completed;
+  if (low > exec_.last_executed()) RequestStateFrom(from);
+
+  uint64_t high = low;
+  for (Entry& entry : commit_entries) {
+    high = std::max(high, entry.seq);
+    if (entry.seq <= stable_seq_ || exec_.HasCommitted(entry.seq)) continue;
+    Slot slot;
+    slot.batch = std::move(entry.batch);
+    slot.has_batch = true;
+    slot.digest = entry.digest;
+    slot.view = new_view;
+    slot.mode = new_mode;
+    slot.commit_sig = entry.sig;
+    slot.has_commit_sig = true;
+    slots_[entry.seq] = std::move(slot);
+    CommitSlot(entry.seq, slots_[entry.seq], /*replies=*/false,
+               /*informs=*/false);
+  }
+  for (Entry& entry : prepare_entries) {
+    high = std::max(high, entry.seq);
+    if (entry.seq <= stable_seq_) continue;
+    // Already-committed sequence numbers still take part in the new view's
+    // agreement (echoes/accepts/informs): peers that had NOT committed them
+    // before the view change can only assemble their quorums if committed
+    // nodes keep voting. The committed flag prevents re-execution.
+    const bool already_committed = exec_.HasCommitted(entry.seq);
+    Slot fresh;
+    fresh.batch = std::move(entry.batch);
+    fresh.has_batch = true;
+    fresh.digest = entry.digest;
+    fresh.view = new_view;
+    fresh.mode = new_mode;
+    fresh.primary_sig = entry.sig;
+    fresh.committed = slots_[entry.seq].committed || already_committed;
+    slots_[entry.seq] = std::move(fresh);
+    Slot& slot = slots_[entry.seq];
+    if (already_committed && IsProxyNow() && mode_ != SeeMoReMode::kLion) {
+      SendInform(entry.seq, slot);  // passive nodes may have missed them
+    }
+    switch (mode_) {
+      case SeeMoReMode::kLion: {
+        if (!IsPrimary()) {
+          ChargeMac();
+          Encoder acc;
+          acc.PutU8(kAcceptPlain);
+          acc.PutU8(mode8);
+          acc.PutU64(view_);
+          acc.PutU64(entry.seq);
+          slot.digest.EncodeTo(acc);
+          acc.PutU32(static_cast<uint32_t>(id_));
+          SendTo(current_primary(), acc.bytes());
+        }
+        break;
+      }
+      case SeeMoReMode::kDog:
+      case SeeMoReMode::kPeacock:
+        if (IsProxyNow()) {
+          SendSignedAccept(entry.seq, slot);
+          CheckProxyCommit(entry.seq, slot);
+        }
+        break;
+    }
+  }
+  if (IsPrimary()) next_seq_ = std::max<uint64_t>(next_seq_, high + 1);
+  if (UncommittedSlots() > 0 && !IsPrimary()) ArmViewTimer();
+  if (IsPrimary()) TryPropose();
+}
+
+// ---------------------------------------------------------------------------
+// Mode switching (§5.4)
+// ---------------------------------------------------------------------------
+
+Status SeeMoReReplica::RequestModeSwitch(SeeMoReMode new_mode) {
+  if (crashed()) return Status::FailedPrecondition("replica crashed");
+  if (new_mode == mode_) return Status::InvalidArgument("already in mode");
+  const uint64_t new_view = view_ + 1;
+  if (SwitchAuthority(new_mode, new_view) != id_) {
+    return Status::FailedPrecondition(
+        "mode switch must be requested on the new view's trusted authority");
+  }
+  ChargeSign();
+  const uint8_t mode8 = static_cast<uint8_t>(new_mode);
+  const Signature sig = signer_.Sign(
+      ProposalHeader(kDomainModeChange, mode8, new_view, 0, Digest()));
+  Encoder enc;
+  enc.PutU8(kModeChange);
+  enc.PutU8(mode8);
+  enc.PutU64(new_view);
+  enc.PutU32(static_cast<uint32_t>(id_));
+  sig.EncodeTo(enc);
+  SendToMany(config_.AllReplicas(), enc.bytes());
+
+  pending_mode_[new_view] = new_mode;
+  StartViewChange(new_view);
+  return Status::Ok();
+}
+
+void SeeMoReReplica::HandleModeChange(PrincipalId from, Decoder& dec) {
+  const SeeMoReMode new_mode = static_cast<SeeMoReMode>(dec.GetU8());
+  const uint64_t new_view = dec.GetU64();
+  const PrincipalId sender = static_cast<PrincipalId>(dec.GetU32());
+  const Signature sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return;
+  if (new_view <= view_) return;
+  if (sender != from || !config_.IsTrusted(sender)) return;
+  if (SwitchAuthority(new_mode, new_view) != sender) return;
+  if (new_mode != SeeMoReMode::kLion && new_mode != SeeMoReMode::kDog &&
+      new_mode != SeeMoReMode::kPeacock) {
+    return;
+  }
+  ChargeVerify();
+  if (!keystore_->Verify(sender,
+                         ProposalHeader(kDomainModeChange,
+                                        static_cast<uint8_t>(new_mode),
+                                        new_view, 0, Digest()),
+                         sig)) {
+    return;
+  }
+  pending_mode_[new_view] = new_mode;
+  // A trusted replica ordered the switch: join the view change immediately.
+  StartViewChange(new_view);
+}
+
+void SeeMoReReplica::EnterView(uint64_t view, SeeMoReMode mode) {
+  view_ = view;
+  mode_ = mode;
+  in_view_change_ = false;
+  vc_target_ = 0;
+  CancelTimer(view_timer_);
+  // Grace period: the re-proposed log needs a full re-agreement round under
+  // post-view-change backlog before anyone may suspect the new primary.
+  current_vc_timeout_ = config_.view_change_timeout * 3;
+  // A view change may have nooped requests this map says were handled;
+  // client retransmissions must be accepted afresh (the execution engine
+  // still deduplicates anything that really committed).
+  primary_seen_ts_.clear();
+  // Uncommitted slots from older views are superseded by the NEW-VIEW's
+  // entries (or were re-proposed); drop them.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = !it->second.committed ? slots_.erase(it) : std::next(it);
+  }
+  for (auto it = vc_msgs_.begin(); it != vc_msgs_.end();) {
+    it = it->first <= view ? vc_msgs_.erase(it) : std::next(it);
+  }
+  for (auto it = pending_mode_.begin(); it != pending_mode_.end();) {
+    it = it->first <= view ? pending_mode_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace seemore

@@ -1,0 +1,70 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace seemore {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  SEEMORE_CHECK(when >= now_) << "event scheduled in the past";
+  EventId id = next_id_++;
+  queue_.push(QueueEntry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  return true;
+}
+
+void Simulator::Fire(const QueueEntry& entry) {
+  auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) return;  // cancelled
+  std::function<void()> fn = std::move(it->second);
+  callbacks_.erase(it);
+  --live_events_;
+  now_ = entry.when;
+  ++executed_events_;
+  fn();
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    Fire(entry);
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    Fire(entry);
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (callbacks_.find(entry.id) == callbacks_.end()) continue;  // cancelled
+    Fire(entry);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace seemore

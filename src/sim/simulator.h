@@ -1,0 +1,101 @@
+// Deterministic discrete-event simulator.
+//
+// All protocol experiments run on virtual time: events fire in (time,
+// insertion-order) order, so a given seed reproduces the exact same
+// interleaving on every run and platform. This is the substitution for the
+// paper's AWS testbed (see DESIGN.md §1).
+
+#ifndef SEEMORE_SIM_SIMULATOR_H_
+#define SEEMORE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace seemore {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kNanosPerMicro = 1000;
+inline constexpr SimTime kNanosPerMilli = 1000 * 1000;
+inline constexpr SimTime kNanosPerSecond = 1000 * 1000 * 1000;
+
+inline constexpr SimTime Micros(int64_t us) { return us * kNanosPerMicro; }
+inline constexpr SimTime Millis(int64_t ms) { return ms * kNanosPerMilli; }
+inline constexpr SimTime Seconds(int64_t s) { return s * kNanosPerSecond; }
+inline double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMilli);
+}
+
+/// Handle for cancelling a scheduled event. 0 is never a valid id.
+using EventId = uint64_t;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  EventId Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule `fn` at an absolute virtual time (>= now).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled.
+  bool Cancel(EventId id);
+
+  /// Run events until the queue is empty.
+  void Run();
+
+  /// Run events with time <= deadline; afterwards now() == deadline if any
+  /// event advanced that far (now() never exceeds deadline).
+  void RunUntil(SimTime deadline);
+
+  /// Run exactly one event. Returns false if the queue is empty.
+  bool Step();
+
+  bool Idle() const { return live_events_ == 0; }
+  size_t pending_events() const { return live_events_; }
+  uint64_t executed_events() const { return executed_events_; }
+
+ private:
+  struct QueueEntry {
+    SimTime when;
+    uint64_t seq;  // insertion order; breaks ties deterministically
+    EventId id;
+
+    bool operator>(const QueueEntry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void Fire(const QueueEntry& entry);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  size_t live_events_ = 0;
+  uint64_t executed_events_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  // Callbacks for still-live events; Cancel() erases, Fire() skips missing.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  Rng rng_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_SIM_SIMULATOR_H_

@@ -1,0 +1,142 @@
+#include "smr/client.h"
+
+#include "util/logging.h"
+
+namespace seemore {
+
+SimClient::SimClient(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
+                     ClientOptions options, std::unique_ptr<ReplyPolicy> policy)
+    : sim_(sim),
+      net_(net),
+      keystore_(keystore),
+      options_(options),
+      policy_(std::move(policy)),
+      signer_(options_.id, *keystore) {
+  net_->AddNode(options_.id, Zone::kClient, this, /*cpu=*/nullptr);
+}
+
+SimClient::~SimClient() = default;
+
+void SimClient::Start(OpFactory factory) {
+  running_ = true;
+  factory_ = std::move(factory);
+  MaybeIssueNext();
+}
+
+void SimClient::Stop() {
+  running_ = false;
+  factory_ = nullptr;
+}
+
+void SimClient::SubmitOne(Bytes op, DoneCallback done) {
+  queue_.push_back(PendingOp{std::move(op), std::move(done)});
+  MaybeIssueNext();
+}
+
+void SimClient::MaybeIssueNext() {
+  if (in_flight_) return;
+
+  Bytes op;
+  DoneCallback done;
+  if (!queue_.empty()) {
+    op = std::move(queue_.front().op);
+    done = std::move(queue_.front().done);
+    queue_.pop_front();
+  } else if (running_ && factory_) {
+    op = factory_(issued_);
+  } else {
+    return;
+  }
+
+  current_ = Request{};
+  current_.client = options_.id;
+  current_.timestamp = next_timestamp_++;
+  current_.op = std::move(op);
+  current_.Sign(signer_);
+  current_done_ = std::move(done);
+  in_flight_ = true;
+  retransmitted_ = false;
+  reply_groups_.clear();
+  ++issued_;
+  sent_at_ = sim_->now();
+  current_timeout_ = options_.retransmit_timeout;
+  Transmit(/*retransmit=*/false);
+  ArmTimer();
+}
+
+void SimClient::Transmit(bool retransmit) {
+  const std::vector<PrincipalId> targets =
+      retransmit ? policy_->RetransmitTargets() : policy_->InitialTargets();
+  const Bytes message = current_.ToMessage();
+  for (PrincipalId target : targets) {
+    net_->Send(options_.id, target, message);
+  }
+}
+
+void SimClient::ArmTimer() {
+  timer_ = sim_->Schedule(current_timeout_, [this] { HandleTimeout(); });
+}
+
+void SimClient::HandleTimeout() {
+  timer_ = 0;
+  if (!in_flight_) return;
+  retransmitted_ = true;
+  ++retransmissions_;
+  // Exponential backoff so a dead cluster does not flood the simulator.
+  current_timeout_ *= 2;
+  if (current_timeout_ > options_.max_retransmit_timeout) {
+    current_timeout_ = options_.max_retransmit_timeout;
+  }
+  Transmit(/*retransmit=*/true);
+  ArmTimer();
+}
+
+void SimClient::OnMessage(PrincipalId from, Bytes bytes) {
+  Decoder dec(bytes);
+  if (dec.GetU8() != kMsgReply) return;
+  Result<Reply> reply_or = Reply::DecodeFrom(dec);
+  if (!reply_or.ok() || !dec.AtEnd()) return;
+  const Reply& reply = reply_or.value();
+
+  // The network layer authenticates `from`; a Byzantine replica can lie in
+  // the body, so the signature must cover the replica id it claims.
+  if (reply.replica != from) return;
+  if (!reply.VerifySignature(*keystore_)) return;
+
+  policy_->Observe(reply);
+
+  if (!in_flight_ || reply.timestamp != current_.timestamp) return;
+
+  const Digest key = Digest::Of(reply.result);
+  auto& group = reply_groups_[key];
+  group[from] = reply;
+
+  std::vector<PrincipalId> senders;
+  senders.reserve(group.size());
+  for (const auto& [sender, r] : group) senders.push_back(sender);
+
+  if (policy_->Accepted(senders, retransmitted_)) {
+    Complete(group.begin()->second.result);
+  }
+}
+
+void SimClient::Complete(const Bytes& result) {
+  if (timer_ != 0) {
+    sim_->Cancel(timer_);
+    timer_ = 0;
+  }
+  in_flight_ = false;
+  const SimTime latency = sim_->now() - sent_at_;
+  latencies_.Record(latency);
+  ++completed_;
+  if (on_complete) on_complete(sim_->now(), latency);
+  if (current_done_) {
+    DoneCallback done = std::move(current_done_);
+    current_done_ = nullptr;
+    done(result);
+  }
+  reply_groups_.clear();
+  MaybeIssueNext();
+}
+
+}  // namespace seemore

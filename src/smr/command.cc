@@ -1,0 +1,89 @@
+#include "smr/command.h"
+
+namespace seemore {
+
+Bytes Request::SignedPayload() const {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(client));
+  enc.PutU64(timestamp);
+  enc.PutBytes(op);
+  return enc.Take();
+}
+
+Digest Request::ComputeDigest() const { return Digest::Of(SignedPayload()); }
+
+void Request::Sign(const Signer& signer) { sig = signer.Sign(SignedPayload()); }
+
+bool Request::VerifySignature(const KeyStore& keystore) const {
+  return keystore.Verify(client, SignedPayload(), sig);
+}
+
+void Request::EncodeTo(Encoder& enc) const {
+  enc.PutU32(static_cast<uint32_t>(client));
+  enc.PutU64(timestamp);
+  enc.PutBytes(op);
+  sig.EncodeTo(enc);
+}
+
+Result<Request> Request::DecodeFrom(Decoder& dec) {
+  Request req;
+  req.client = static_cast<PrincipalId>(dec.GetU32());
+  req.timestamp = dec.GetU64();
+  req.op = dec.GetBytes();
+  req.sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return dec.status();
+  return req;
+}
+
+Bytes Request::ToMessage() const {
+  Encoder enc;
+  enc.PutU8(kMsgRequest);
+  EncodeTo(enc);
+  return enc.Take();
+}
+
+Bytes Reply::SignedPayload() const {
+  Encoder enc;
+  enc.PutU8(mode);
+  enc.PutU64(view);
+  enc.PutU64(timestamp);
+  enc.PutU32(static_cast<uint32_t>(replica));
+  enc.PutBytes(result);
+  return enc.Take();
+}
+
+void Reply::Sign(const Signer& signer) { sig = signer.Sign(SignedPayload()); }
+
+bool Reply::VerifySignature(const KeyStore& keystore) const {
+  return keystore.Verify(replica, SignedPayload(), sig);
+}
+
+void Reply::EncodeTo(Encoder& enc) const {
+  enc.PutU8(mode);
+  enc.PutU64(view);
+  enc.PutU64(timestamp);
+  enc.PutU32(static_cast<uint32_t>(replica));
+  enc.PutBytes(result);
+  sig.EncodeTo(enc);
+}
+
+Result<Reply> Reply::DecodeFrom(Decoder& dec) {
+  Reply rep;
+  rep.mode = dec.GetU8();
+  rep.view = dec.GetU64();
+  rep.timestamp = dec.GetU64();
+  rep.replica = static_cast<PrincipalId>(dec.GetU32());
+  rep.result = dec.GetBytes();
+  rep.sig = Signature::DecodeFrom(dec);
+  if (!dec.ok()) return dec.status();
+  return rep;
+}
+
+Bytes Reply::ToMessage() const {
+  Encoder enc;
+  enc.PutU8(kMsgReply);
+  EncodeTo(enc);
+  return enc.Take();
+}
+
+}  // namespace seemore

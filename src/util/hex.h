@@ -1,0 +1,24 @@
+// Hex encoding/decoding for digests, keys, and debug output.
+
+#ifndef SEEMORE_UTIL_HEX_H_
+#define SEEMORE_UTIL_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace seemore {
+
+/// Lowercase hex encoding of `data`.
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const std::vector<uint8_t>& data);
+
+/// Decode a hex string (case-insensitive). Fails on odd length or non-hex
+/// characters.
+Result<std::vector<uint8_t>> HexDecode(const std::string& hex);
+
+}  // namespace seemore
+
+#endif  // SEEMORE_UTIL_HEX_H_

@@ -1,0 +1,140 @@
+// Exception-free error handling, in the spirit of absl::Status / rocksdb::Status.
+//
+// Library code in this repository never throws; fallible operations return
+// Status (no payload) or Result<T> (payload or error).
+
+#ifndef SEEMORE_UTIL_STATUS_H_
+#define SEEMORE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace seemore {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,    // malformed wire data, bad digest/signature
+  kUnavailable,   // transient: retry may succeed
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("Ok", "Corruption", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type error carrier. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Like absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define SEEMORE_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::seemore::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Assign the value of a Result<T> expression or propagate its error.
+#define SEEMORE_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto SEEMORE_CONCAT_(_res_, __LINE__) = (expr);                   \
+  if (!SEEMORE_CONCAT_(_res_, __LINE__).ok())                       \
+    return SEEMORE_CONCAT_(_res_, __LINE__).status();               \
+  lhs = std::move(SEEMORE_CONCAT_(_res_, __LINE__)).value()
+
+#define SEEMORE_CONCAT_INNER_(a, b) a##b
+#define SEEMORE_CONCAT_(a, b) SEEMORE_CONCAT_INNER_(a, b)
+
+}  // namespace seemore
+
+#endif  // SEEMORE_UTIL_STATUS_H_

@@ -1,0 +1,98 @@
+// Binary wire format for all protocol messages.
+//
+// Encoding rules (little-endian throughout):
+//   - u8 / u16 / u32 / u64: fixed width
+//   - varint: LEB128, for sequence numbers and lengths
+//   - bytes:  varint length prefix + raw bytes
+//   - string: same as bytes
+// The Decoder is bounds-checked and returns Status on any truncated or
+// malformed input: Byzantine replicas may send arbitrary bytes, so a decode
+// failure must never crash a correct replica.
+
+#ifndef SEEMORE_WIRE_WIRE_H_
+#define SEEMORE_WIRE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace seemore {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Appends primitive values to a growing byte buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutVarint(uint64_t v);
+  void PutBytes(const uint8_t* data, size_t len);
+  void PutBytes(const Bytes& data) { PutBytes(data.data(), data.size()); }
+  void PutString(const std::string& s) {
+    PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  /// Raw append with no length prefix (for fixed-size fields like digests).
+  void PutRaw(const uint8_t* data, size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+  void PutRaw(const Bytes& data) { PutRaw(data.data(), data.size()); }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked reader over a byte span. All getters fail with
+/// kCorruption once the input is exhausted or malformed; after a failure
+/// every subsequent getter also fails (sticky error), so callers may batch
+/// reads and check `status()` once.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit Decoder(const Bytes& data) : Decoder(data.data(), data.size()) {}
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  uint64_t GetVarint();
+  Bytes GetBytes();
+  std::string GetString();
+  /// Read exactly `len` raw bytes (no length prefix).
+  Bytes GetRaw(size_t len);
+  /// Copy exactly `len` raw bytes into `out`.
+  bool GetRawInto(uint8_t* out, size_t len);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  size_t remaining() const { return len_ - pos_; }
+  /// True if the whole input has been consumed and no error occurred.
+  bool AtEnd() const { return ok() && pos_ == len_; }
+  /// Fails the decoder unless the input was fully consumed.
+  Status Finish();
+
+ private:
+  bool Require(size_t n);
+  void Fail(const char* what);
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_WIRE_WIRE_H_

@@ -1,0 +1,241 @@
+// Consensus toolkit: batches, vote sets, checkpoint certificates, prepared
+// proofs, cluster-config role assignment.
+
+#include <gtest/gtest.h>
+
+#include "consensus/batch.h"
+#include "consensus/checkpoint.h"
+#include "consensus/config.h"
+#include "consensus/proofs.h"
+#include "consensus/quorum.h"
+#include "smr/kv_store.h"
+
+namespace seemore {
+namespace {
+
+Request TestRequest(uint64_t ts) {
+  Request r;
+  r.client = kClientIdBase;
+  r.timestamp = ts;
+  r.op = MakeNoop();
+  return r;
+}
+
+TEST(BatchTest, EncodeDecodeRoundTrip) {
+  Batch batch{{TestRequest(1), TestRequest(2)}};
+  Bytes encoded = batch.Encode();
+  auto decoded = Batch::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 2u);
+  EXPECT_EQ(decoded->ComputeDigest(), batch.ComputeDigest());
+}
+
+TEST(BatchTest, NoopIsEmptyAndStable) {
+  Batch noop = Batch::Noop();
+  EXPECT_TRUE(noop.IsNoop());
+  EXPECT_EQ(noop.ComputeDigest(), Batch::Noop().ComputeDigest());
+}
+
+TEST(BatchTest, OversizedCountRejected) {
+  Encoder enc;
+  enc.PutVarint(1 << 20);  // absurd request count
+  EXPECT_FALSE(Batch::Decode(enc.bytes()).ok());
+}
+
+TEST(VoteSetTest, CountsDistinctVoters) {
+  VoteSet<Digest> votes;
+  Digest a = Digest::Of(std::string("a"));
+  Digest b = Digest::Of(std::string("b"));
+  EXPECT_TRUE(votes.Add(a, 1));
+  EXPECT_FALSE(votes.Add(a, 1));  // duplicate voter ignored
+  votes.Add(a, 2);
+  votes.Add(b, 3);
+  EXPECT_EQ(votes.Count(a), 2u);
+  EXPECT_EQ(votes.Count(b), 1u);
+  EXPECT_TRUE(votes.Reached(a, 2));
+  EXPECT_FALSE(votes.Reached(a, 3));
+  EXPECT_TRUE(votes.HasVoted(a, 1));
+  EXPECT_FALSE(votes.HasVoted(b, 1));
+}
+
+TEST(SignedVoteSetTest, KeepsSignatures) {
+  KeyStore store(1);
+  Signer s1(1, store), s2(2, store);
+  SignedVoteSet<Digest> votes;
+  Digest d = Digest::Of(std::string("x"));
+  votes.Add(d, 1, s1.Sign(Bytes{1}));
+  votes.Add(d, 2, s2.Sign(Bytes{2}));
+  const auto* sigs = votes.SignaturesFor(d);
+  ASSERT_NE(sigs, nullptr);
+  EXPECT_EQ(sigs->size(), 2u);
+  EXPECT_TRUE(sigs->count(1));
+  EXPECT_TRUE(sigs->count(2));
+}
+
+TEST(CheckpointCertTest, VerifyQuorumAndTampering) {
+  KeyStore store(9);
+  const uint64_t seq = 100;
+  const Digest digest = Digest::Of(std::string("state"));
+  CheckpointCert cert;
+  for (PrincipalId r = 0; r < 3; ++r) {
+    CheckpointMsg msg;
+    msg.seq = seq;
+    msg.state_digest = digest;
+    msg.replica = r;
+    msg.Sign(Signer(r, store));
+    EXPECT_TRUE(msg.Verify(store));
+    cert.Add(msg);
+  }
+  auto any = [](PrincipalId) { return true; };
+  EXPECT_TRUE(cert.Verify(store, 3, any));
+  EXPECT_FALSE(cert.Verify(store, 4, any));  // not enough signers
+  // Authorization predicate filters signers.
+  EXPECT_FALSE(cert.Verify(store, 3, [](PrincipalId r) { return r < 2; }));
+
+  // A certificate with a mismatched digest fails.
+  CheckpointCert bad = cert;
+  CheckpointMsg liar;
+  liar.seq = seq;
+  liar.state_digest = Digest::Of(std::string("lie"));
+  liar.replica = 5;
+  liar.Sign(Signer(5, store));
+  bad.Add(liar);
+  EXPECT_FALSE(bad.Verify(store, 3, any));
+
+  // Encode/decode round trip.
+  Encoder enc;
+  cert.EncodeTo(enc);
+  Decoder dec(enc.bytes());
+  auto decoded = CheckpointCert::DecodeFrom(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->Verify(store, 3, any));
+  EXPECT_EQ(decoded->seq(), seq);
+
+  EXPECT_TRUE(CheckpointCert::Genesis().Verify(store, 99, any));
+}
+
+TEST(PreparedProofTest, VerifyAndReject) {
+  KeyStore store(4);
+  const PrincipalId primary = 2;
+  Batch batch{{TestRequest(1)}};
+  PreparedProof proof;
+  proof.mode = 3;
+  proof.view = 7;
+  proof.seq = 21;
+  proof.digest = batch.ComputeDigest();
+  proof.batch = batch;
+  proof.primary_sig = Signer(primary, store)
+                          .Sign(ProposalHeader(kDomainPrePrepare, 3, 7, 21,
+                                               proof.digest));
+  for (PrincipalId voter : {3, 4, 5}) {
+    proof.prepares[voter] = Signer(voter, store).Sign(
+        VoteHeader(kDomainPrepare, 3, 7, 21, proof.digest, voter));
+  }
+  auto any = [](PrincipalId) { return true; };
+  EXPECT_TRUE(proof.Verify(store, primary, 3, any));
+  EXPECT_FALSE(proof.Verify(store, primary, 4, any));
+  EXPECT_FALSE(proof.Verify(store, /*wrong primary=*/1, 3, any));
+  // A vote from an unauthorized replica invalidates the proof.
+  EXPECT_FALSE(proof.Verify(store, primary, 3,
+                            [](PrincipalId r) { return r != 4; }));
+
+  // Batch/digest mismatch rejected.
+  PreparedProof tampered = proof;
+  tampered.batch = Batch::Noop();
+  EXPECT_FALSE(tampered.Verify(store, primary, 3, any));
+
+  // Round trip.
+  Encoder enc;
+  proof.EncodeTo(enc);
+  Decoder dec(enc.bytes());
+  auto decoded = PreparedProof::DecodeFrom(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->Verify(store, primary, 3, any));
+}
+
+TEST(SigDomainTest, HeadersAreDomainSeparated) {
+  Digest d = Digest::Of(std::string("v"));
+  EXPECT_NE(ProposalHeader(kDomainPrePrepare, 1, 2, 3, d),
+            ProposalHeader(kDomainCommit, 1, 2, 3, d));
+  EXPECT_NE(ProposalHeader(kDomainPrePrepare, 1, 2, 3, d),
+            ProposalHeader(kDomainPrePrepare, 2, 2, 3, d));  // mode differs
+  EXPECT_NE(VoteHeader(kDomainPrepare, 1, 2, 3, d, 4),
+            VoteHeader(kDomainPrepare, 1, 2, 3, d, 5));  // voter differs
+}
+
+TEST(ClusterConfigTest, SizesAndQuorums) {
+  ClusterConfig cft;
+  cft.kind = ProtocolKind::kCft;
+  cft.f = 2;
+  EXPECT_EQ(cft.n(), 5);
+  EXPECT_EQ(cft.CommitQuorum(SeeMoReMode::kLion), 3);
+
+  ClusterConfig bft;
+  bft.kind = ProtocolKind::kBft;
+  bft.f = 2;
+  EXPECT_EQ(bft.n(), 7);
+  EXPECT_EQ(bft.CommitQuorum(SeeMoReMode::kLion), 5);
+
+  ClusterConfig seemore;
+  seemore.kind = ProtocolKind::kSeeMoRe;
+  seemore.s = 2;
+  seemore.p = 4;
+  seemore.c = 1;
+  seemore.m = 1;
+  EXPECT_EQ(seemore.n(), 6);
+  EXPECT_EQ(seemore.CommitQuorum(SeeMoReMode::kLion), 4);   // 2m+c+1
+  EXPECT_EQ(seemore.CommitQuorum(SeeMoReMode::kDog), 3);    // 2m+1
+  EXPECT_EQ(seemore.CommitQuorum(SeeMoReMode::kPeacock), 3);
+  EXPECT_TRUE(seemore.Validate().ok());
+}
+
+TEST(ClusterConfigTest, RoleAssignment) {
+  ClusterConfig config;
+  config.kind = ProtocolKind::kSeeMoRe;
+  config.s = 2;
+  config.p = 6;
+  config.c = 1;
+  config.m = 1;
+  EXPECT_TRUE(config.IsTrusted(0));
+  EXPECT_TRUE(config.IsTrusted(1));
+  EXPECT_FALSE(config.IsTrusted(2));
+
+  EXPECT_EQ(config.TrustedPrimary(0), 0);
+  EXPECT_EQ(config.TrustedPrimary(1), 1);
+  EXPECT_EQ(config.TrustedPrimary(2), 0);
+
+  EXPECT_EQ(config.PeacockPrimary(0), 2);
+  EXPECT_EQ(config.PeacockPrimary(5), 7);
+  EXPECT_EQ(config.PeacockPrimary(6), 2);  // wraps around P
+
+  // 3m+1 = 4 proxies; the window rotates with the view.
+  auto proxies0 = config.ProxySet(0);
+  EXPECT_EQ(proxies0, (std::vector<PrincipalId>{2, 3, 4, 5}));
+  auto proxies5 = config.ProxySet(5);
+  EXPECT_EQ(proxies5, (std::vector<PrincipalId>{7, 2, 3, 4}));
+  for (PrincipalId r : proxies5) EXPECT_TRUE(config.IsProxy(r, 5));
+  EXPECT_FALSE(config.IsProxy(5, 5));
+  EXPECT_FALSE(config.IsProxy(0, 5));  // trusted nodes are never proxies
+  // The Peacock primary is always a proxy (§5.3).
+  for (uint64_t v = 0; v < 20; ++v) {
+    EXPECT_TRUE(config.IsProxy(config.PeacockPrimary(v), v)) << "view " << v;
+  }
+}
+
+TEST(ClusterConfigTest, ValidationRejectsBadTopologies) {
+  ClusterConfig config;
+  config.kind = ProtocolKind::kSeeMoRe;
+  config.s = 1;
+  config.c = 1;  // S must be >= c+1
+  config.p = 4;
+  config.m = 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.s = 2;
+  config.p = 3;  // P must be >= 3m+1
+  EXPECT_FALSE(config.Validate().ok());
+  config.p = 4;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace seemore

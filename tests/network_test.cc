@@ -1,0 +1,187 @@
+// Simulated network: delivery, latency profiles, drops, duplication,
+// partitions, node detach, counters, sender authentication.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace seemore {
+namespace {
+
+class Recorder : public MessageHandler {
+ public:
+  void OnMessage(PrincipalId from, Bytes bytes) override {
+    messages.emplace_back(from, std::move(bytes));
+  }
+  std::vector<std::pair<PrincipalId, Bytes>> messages;
+};
+
+NetworkConfig QuietConfig() {
+  NetworkConfig config;
+  config.intra_private = {Micros(100), 0};
+  config.intra_public = {Micros(100), 0};
+  config.cross_cloud = {Micros(200), 0};
+  config.client_link = {Micros(300), 0};
+  return config;
+}
+
+TEST(NetworkTest, DeliversWithZoneLatency) {
+  Simulator sim;
+  SimNetwork net(&sim, QuietConfig());
+  Recorder a, b, c;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.AddNode(2, Zone::kPublic, &c, nullptr);
+
+  net.Send(0, 1, Bytes{1});
+  net.Send(0, 2, Bytes{2});
+  sim.Run();
+  ASSERT_EQ(b.messages.size(), 1u);
+  ASSERT_EQ(c.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].first, 0);  // true sender reported
+
+  // Latency ordering: intra < cross-cloud (delivery times reflect it).
+  Simulator sim2;
+  SimNetwork net2(&sim2, QuietConfig());
+  Recorder d, e, f;
+  net2.AddNode(0, Zone::kPrivate, &d, nullptr);
+  net2.AddNode(1, Zone::kPrivate, &e, nullptr);
+  net2.AddNode(2, Zone::kPublic, &f, nullptr);
+  SimTime intra_time = 0, cross_time = 0;
+  net2.Send(0, 1, Bytes{1});
+  sim2.Run();
+  intra_time = sim2.now();
+  net2.Send(0, 2, Bytes{2});
+  sim2.Run();
+  cross_time = sim2.now() - intra_time;
+  EXPECT_LT(intra_time, cross_time);
+}
+
+TEST(NetworkTest, DropProbabilityOneDropsEverything) {
+  Simulator sim;
+  NetworkConfig config = QuietConfig();
+  config.drop_probability = 1.0;
+  SimNetwork net(&sim, config);
+  Recorder a, b;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  for (int i = 0; i < 10; ++i) net.Send(0, 1, Bytes{1});
+  sim.Run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.counters().dropped, 10u);
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  Simulator sim;
+  NetworkConfig config = QuietConfig();
+  config.duplicate_probability = 1.0;
+  SimNetwork net(&sim, config);
+  Recorder a, b;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.Send(0, 1, Bytes{1});
+  sim.Run();
+  EXPECT_EQ(b.messages.size(), 2u);
+}
+
+TEST(NetworkTest, LinkCutBlocksBothDirections) {
+  Simulator sim;
+  SimNetwork net(&sim, QuietConfig());
+  Recorder a, b;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.SetLinkUp(0, 1, false);
+  net.Send(0, 1, Bytes{1});
+  net.Send(1, 0, Bytes{2});
+  sim.Run();
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_TRUE(b.messages.empty());
+  net.SetLinkUp(0, 1, true);
+  net.Send(0, 1, Bytes{3});
+  sim.Run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(NetworkTest, NodeDownDropsInFlight) {
+  Simulator sim;
+  SimNetwork net(&sim, QuietConfig());
+  Recorder a, b;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.Send(0, 1, Bytes{1});
+  // Crash the receiver while the message is in flight.
+  sim.Schedule(Micros(10), [&] { net.SetNodeUp(1, false); });
+  sim.Run();
+  EXPECT_TRUE(b.messages.empty());
+  net.HealAll();
+  net.Send(0, 1, Bytes{2});
+  sim.Run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(NetworkTest, MulticastSkipsSelf) {
+  Simulator sim;
+  SimNetwork net(&sim, QuietConfig());
+  Recorder handlers[3];
+  for (int i = 0; i < 3; ++i) {
+    net.AddNode(i, Zone::kPrivate, &handlers[i], nullptr);
+  }
+  net.Multicast(0, {0, 1, 2}, Bytes{7});
+  sim.Run();
+  EXPECT_TRUE(handlers[0].messages.empty());
+  EXPECT_EQ(handlers[1].messages.size(), 1u);
+  EXPECT_EQ(handlers[2].messages.size(), 1u);
+}
+
+TEST(NetworkTest, CountersSeparateClientTraffic) {
+  Simulator sim;
+  SimNetwork net(&sim, QuietConfig());
+  Recorder a, b, c;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.AddNode(kClientIdBase, Zone::kClient, &c, nullptr);
+  net.Send(0, 1, Bytes{1, 2});
+  net.Send(kClientIdBase, 0, Bytes{3});
+  net.Send(0, kClientIdBase, Bytes{4});
+  sim.Run();
+  EXPECT_EQ(net.counters().messages, 3u);
+  EXPECT_EQ(net.counters().replica_to_replica_messages, 1u);
+  EXPECT_EQ(net.counters().replica_to_replica_bytes, 2u);
+  net.ResetCounters();
+  EXPECT_EQ(net.counters().messages, 0u);
+}
+
+TEST(NetworkTest, BandwidthDelaysLargePayloads) {
+  Simulator sim;
+  NetworkConfig config = QuietConfig();
+  config.bandwidth_bytes_per_sec = 1000 * 1000;  // 1 MB/s: very slow
+  SimNetwork net(&sim, config);
+  Recorder a, b;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.Send(0, 1, Bytes(100 * 1000, 0xaa));  // 100 KB -> 100 ms transmission
+  sim.Run();
+  EXPECT_GE(sim.now(), Millis(100));
+}
+
+TEST(NetworkTest, SenderCpuDelaysDeparture) {
+  Simulator sim;
+  SimNetwork net(&sim, QuietConfig());
+  Recorder a, b;
+  NodeCpu cpu(&sim);
+  net.AddNode(0, Zone::kPrivate, &a, &cpu);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  // The sender is busy until t=1ms; the message departs then.
+  cpu.Submit([&] {
+    cpu.Charge(Millis(1));
+    net.Send(0, 1, Bytes{1});
+  });
+  sim.Run();
+  EXPECT_GE(sim.now(), Millis(1) + Micros(100));
+}
+
+}  // namespace
+}  // namespace seemore

@@ -1,0 +1,141 @@
+// Client reply-quorum policies (§5.1-§5.3 client rules), unit-tested
+// directly: targets per mode, acceptance thresholds, view/mode tracking.
+
+#include <gtest/gtest.h>
+
+#include "harness/policies.h"
+
+namespace seemore {
+namespace {
+
+ClusterConfig SeeMoReConfig() {
+  ClusterConfig config;
+  config.kind = ProtocolKind::kSeeMoRe;
+  config.s = 2;
+  config.p = 4;
+  config.c = 1;
+  config.m = 1;
+  return config;
+}
+
+Reply MakeObservedReply(uint8_t mode, uint64_t view) {
+  Reply reply;
+  reply.mode = mode;
+  reply.view = view;
+  return reply;
+}
+
+TEST(CftPolicyTest, SingleReplySuffices) {
+  ClusterConfig config;
+  config.kind = ProtocolKind::kCft;
+  config.f = 2;
+  CftReplyPolicy policy(config);
+  EXPECT_EQ(policy.InitialTargets().size(), 5u);  // receiving network 2f+1
+  EXPECT_FALSE(policy.Accepted({}, false));
+  EXPECT_TRUE(policy.Accepted({3}, false));
+}
+
+TEST(BftPolicyTest, NeedsFPlusOneMatching) {
+  ClusterConfig config;
+  config.kind = ProtocolKind::kBft;
+  config.f = 2;
+  BftReplyPolicy policy(config);
+  EXPECT_EQ(policy.InitialTargets().size(), 7u);  // 3f+1
+  EXPECT_FALSE(policy.Accepted({0, 1}, false));
+  EXPECT_TRUE(policy.Accepted({0, 1, 2}, false));  // f+1 = 3
+}
+
+TEST(SUpRightPolicyTest, NeedsMPlusOneMatching) {
+  ClusterConfig config;
+  config.kind = ProtocolKind::kSUpRight;
+  config.s = 2;
+  config.p = 4;
+  config.c = 1;
+  config.m = 1;
+  SUpRightReplyPolicy policy(config);
+  EXPECT_FALSE(policy.Accepted({2}, false));
+  EXPECT_TRUE(policy.Accepted({2, 3}, false));  // m+1 = 2
+}
+
+TEST(SeeMoRePolicyTest, LionAcceptsTrustedOrPublicQuorum) {
+  SeeMoReReplyPolicy policy(SeeMoReConfig());
+  // One trusted (private) reply completes the request.
+  EXPECT_TRUE(policy.Accepted({0}, false));
+  EXPECT_TRUE(policy.Accepted({1}, true));
+  // A single public reply does not; m+1 matching publics do.
+  EXPECT_FALSE(policy.Accepted({4}, false));
+  EXPECT_TRUE(policy.Accepted({4, 5}, false));
+}
+
+TEST(SeeMoRePolicyTest, LionTargetsWholeReceivingNetwork) {
+  SeeMoReReplyPolicy policy(SeeMoReConfig());
+  EXPECT_EQ(policy.InitialTargets().size(), 6u);  // 3m+2c+1
+}
+
+TEST(SeeMoRePolicyTest, DogNeeds2MPlus1ThenMPlus1OnRetry) {
+  ClusterConfig config = SeeMoReConfig();
+  config.initial_mode = SeeMoReMode::kDog;
+  SeeMoReReplyPolicy policy(config);
+  // Initial targets: 3m+1 proxies + the trusted primary.
+  EXPECT_EQ(policy.InitialTargets().size(), 5u);
+  // Normal case: 2m+1 = 3 matching public replies.
+  EXPECT_FALSE(policy.Accepted({2, 3}, false));
+  EXPECT_TRUE(policy.Accepted({2, 3, 4}, false));
+  // After a retransmission: m+1 = 2 suffice (§5.2).
+  EXPECT_TRUE(policy.Accepted({2, 3}, true));
+  // Trusted replies do not count toward Dog's proxy quorum.
+  EXPECT_FALSE(policy.Accepted({0, 1, 2}, false));
+}
+
+TEST(SeeMoRePolicyTest, PeacockNeedsMPlus1) {
+  ClusterConfig config = SeeMoReConfig();
+  config.initial_mode = SeeMoReMode::kPeacock;
+  SeeMoReReplyPolicy policy(config);
+  EXPECT_EQ(policy.InitialTargets().size(), 4u);  // 3m+1 proxies
+  EXPECT_FALSE(policy.Accepted({3}, false));
+  EXPECT_TRUE(policy.Accepted({3, 4}, false));
+}
+
+TEST(SeeMoRePolicyTest, TracksModeAndViewFromReplies) {
+  SeeMoReReplyPolicy policy(SeeMoReConfig());
+  EXPECT_EQ(policy.mode(), SeeMoReMode::kLion);
+
+  policy.Observe(MakeObservedReply(static_cast<uint8_t>(SeeMoReMode::kDog), 3));
+  EXPECT_EQ(policy.mode(), SeeMoReMode::kDog);
+  EXPECT_EQ(policy.view(), 3u);
+
+  // Older views never roll the estimate back.
+  policy.Observe(MakeObservedReply(static_cast<uint8_t>(SeeMoReMode::kLion), 1));
+  EXPECT_EQ(policy.mode(), SeeMoReMode::kDog);
+  EXPECT_EQ(policy.view(), 3u);
+
+  // Garbage mode bytes are ignored even at higher views.
+  policy.Observe(MakeObservedReply(99, 5));
+  EXPECT_EQ(policy.mode(), SeeMoReMode::kDog);
+  EXPECT_EQ(policy.view(), 5u);
+}
+
+TEST(SeeMoRePolicyTest, DogTargetsRotateWithView) {
+  ClusterConfig config = SeeMoReConfig();
+  config.p = 6;  // proxy window (4 of 6) actually rotates
+  config.initial_mode = SeeMoReMode::kDog;
+  SeeMoReReplyPolicy policy(config);
+  auto before = policy.InitialTargets();
+  policy.Observe(MakeObservedReply(static_cast<uint8_t>(SeeMoReMode::kDog), 3));
+  auto after = policy.InitialTargets();
+  EXPECT_NE(before, after);  // proxy set moved with the view
+}
+
+TEST(PolicyFactoryTest, BuildsMatchingPolicy) {
+  ClusterConfig config = SeeMoReConfig();
+  EXPECT_NE(MakeReplyPolicy(config), nullptr);
+  config.kind = ProtocolKind::kCft;
+  EXPECT_NE(MakeReplyPolicy(config), nullptr);
+  config.kind = ProtocolKind::kBft;
+  EXPECT_NE(MakeReplyPolicy(config), nullptr);
+  config.kind = ProtocolKind::kSUpRight;
+  EXPECT_NE(MakeReplyPolicy(config), nullptr);
+}
+
+}  // namespace
+}  // namespace seemore

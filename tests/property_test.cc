@@ -1,0 +1,129 @@
+// Property-based sweeps (parameterized gtest): for every protocol and many
+// seeds, run a randomized workload under message loss and duplication and
+// check the core SMR invariants:
+//   1. Agreement: no two replicas execute different batches at one seq.
+//   2. Progress: clients complete requests (liveness under partial synchrony).
+//   3. Durability: a value acknowledged to a client is readable afterwards.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "tests/test_util.h"
+
+namespace seemore {
+namespace {
+
+using testing::BftOptions;
+using testing::CftOptions;
+using testing::SeeMoReOptions;
+using testing::SubmitAndWait;
+using testing::SUpRightOptions;
+
+struct ProtocolCase {
+  const char* name;
+  ProtocolKind kind;
+  SeeMoReMode mode;  // only used for SeeMoRe
+};
+
+ClusterOptions MakeOptions(const ProtocolCase& pc, uint64_t seed) {
+  switch (pc.kind) {
+    case ProtocolKind::kCft:
+      return CftOptions(1, seed);
+    case ProtocolKind::kBft:
+      return BftOptions(1, seed);
+    case ProtocolKind::kSUpRight:
+      return SUpRightOptions(1, 1, seed);
+    case ProtocolKind::kSeeMoRe:
+      return SeeMoReOptions(pc.mode, 1, 1, seed);
+  }
+  return CftOptions(1, seed);
+}
+
+class ProtocolPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  static constexpr ProtocolCase kCases[] = {
+      {"CFT", ProtocolKind::kCft, SeeMoReMode::kLion},
+      {"BFT", ProtocolKind::kBft, SeeMoReMode::kLion},
+      {"S-UpRight", ProtocolKind::kSUpRight, SeeMoReMode::kLion},
+      {"SeeMoRe-Lion", ProtocolKind::kSeeMoRe, SeeMoReMode::kLion},
+      {"SeeMoRe-Dog", ProtocolKind::kSeeMoRe, SeeMoReMode::kDog},
+      {"SeeMoRe-Peacock", ProtocolKind::kSeeMoRe, SeeMoReMode::kPeacock},
+  };
+
+  const ProtocolCase& Case() const { return kCases[std::get<0>(GetParam())]; }
+  uint64_t Seed() const { return std::get<1>(GetParam()); }
+};
+
+constexpr ProtocolCase ProtocolPropertyTest::kCases[];
+
+TEST_P(ProtocolPropertyTest, AgreementAndProgressUnderLossyNetwork) {
+  ClusterOptions options = MakeOptions(Case(), Seed());
+  options.net.drop_probability = 0.02;
+  options.net.duplicate_probability = 0.01;
+  Cluster cluster(options);
+
+  const uint64_t completed =
+      testing::RunBurst(cluster, 4, Millis(300), /*seed=*/Seed() * 31 + 7);
+  cluster.sim().RunUntil(cluster.sim().now() + Millis(200));
+
+  EXPECT_GT(completed, 10u) << Case().name << " seed=" << Seed();
+  Status agreement = cluster.CheckAgreement();
+  EXPECT_TRUE(agreement.ok())
+      << Case().name << " seed=" << Seed() << ": " << agreement.ToString();
+}
+
+TEST_P(ProtocolPropertyTest, AcknowledgedWritesAreDurableAcrossPrimaryCrash) {
+  ClusterOptions options = MakeOptions(Case(), Seed());
+  Cluster cluster(options);
+  SimClient* client = cluster.AddClient();
+
+  auto put = SubmitAndWait(cluster, client, MakePut("durable", "yes"));
+  ASSERT_TRUE(put.ok()) << Case().name << ": " << put.status().ToString();
+
+  // Crash the current primary/leader, whatever node that is.
+  PrincipalId primary = 0;
+  if (Case().kind == ProtocolKind::kSeeMoRe) {
+    primary = cluster.seemore(0)->current_primary();
+  }
+  cluster.Crash(static_cast<int>(primary));
+
+  auto get = SubmitAndWait(cluster, client, MakeGet("durable"), Seconds(10));
+  ASSERT_TRUE(get.ok()) << Case().name << " seed=" << Seed() << ": "
+                        << get.status().ToString();
+  EXPECT_EQ(ParseKvReply(*get).value, "yes") << Case().name;
+  EXPECT_TRUE(cluster.CheckAgreement().ok()) << Case().name;
+}
+
+TEST_P(ProtocolPropertyTest, DeterministicGivenSeed) {
+  auto run_once = [this] {
+    ClusterOptions options = MakeOptions(Case(), Seed());
+    Cluster cluster(options);
+    testing::RunBurst(cluster, 3, Millis(150), /*seed=*/99);
+    uint64_t fingerprint = 0;
+    for (int i = 0; i < cluster.n(); ++i) {
+      fingerprint = fingerprint * 1000003 +
+                    cluster.replica(i)->exec().last_executed();
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run_once(), run_once()) << Case().name << " seed=" << Seed();
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
+  static constexpr const char* kNames[] = {"CFT",  "BFT", "SUpRight",
+                                           "Lion", "Dog", "Peacock"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocolsManySeeds, ProtocolPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(1u, 2u, 3u)),
+                         CaseName);
+
+}  // namespace
+}  // namespace seemore

@@ -1,0 +1,137 @@
+// Discrete-event simulator: ordering, determinism, cancellation, CPU queue.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace seemore {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(30), [&] { order.push_back(3); });
+  sim.Schedule(Millis(10), [&] { order.push_back(1); });
+  sim.Schedule(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Millis(30));
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(Millis(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel fails
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(Millis(5), [&] { ++count; });
+  sim.Schedule(Millis(15), [&] { ++count; });
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), Millis(10));
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(Millis(1), [&] {
+    times.push_back(sim.now());
+    sim.Schedule(Millis(1), [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Millis(1));
+  EXPECT_EQ(times[1], Millis(2));
+}
+
+TEST(SimulatorTest, StepRunsOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1, [&] { ++count; });
+  sim.Schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    uint64_t trace = 0;
+    for (int i = 0; i < 100; ++i) {
+      SimTime delay = static_cast<SimTime>(sim.rng().NextBounded(1000));
+      sim.Schedule(delay, [&trace, i] { trace = trace * 31 + i; });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(NodeCpuTest, SerializesTasks) {
+  Simulator sim;
+  NodeCpu cpu(&sim);
+  std::vector<SimTime> starts;
+  // Two tasks submitted at t=0, each charging 10us: the second must start
+  // at t=10us.
+  cpu.Submit([&] {
+    starts.push_back(sim.now());
+    cpu.Charge(Micros(10));
+  });
+  cpu.Submit([&] {
+    starts.push_back(sim.now());
+    cpu.Charge(Micros(10));
+  });
+  sim.Run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], Micros(10));
+  EXPECT_EQ(cpu.total_busy(), Micros(20));
+}
+
+TEST(NodeCpuTest, IdleCpuRunsImmediately) {
+  Simulator sim;
+  NodeCpu cpu(&sim);
+  SimTime ran_at = -1;
+  sim.Schedule(Millis(5), [&] {
+    cpu.Submit([&] { ran_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(ran_at, Millis(5));
+}
+
+TEST(NodeCpuTest, AvailableAtTracksBacklog) {
+  Simulator sim;
+  NodeCpu cpu(&sim);
+  cpu.Submit([&] { cpu.Charge(Micros(100)); });
+  sim.Run();
+  EXPECT_EQ(cpu.AvailableAt(), Micros(100));
+}
+
+}  // namespace
+}  // namespace seemore

@@ -1,0 +1,109 @@
+// Public-cloud sizing calculator (§4): Eq. 1-3, the explicit-bound method,
+// and the paper's worked example (S=2, c=1, α=0.3 ⇒ rent 10 nodes).
+
+#include <gtest/gtest.h>
+
+#include "consensus/config.h"
+
+namespace seemore {
+namespace {
+
+TEST(SizingTest, Equation1NetworkAndQuorum) {
+  EXPECT_EQ(HybridNetworkSize(1, 1), 6);
+  EXPECT_EQ(HybridNetworkSize(2, 2), 11);
+  EXPECT_EQ(HybridNetworkSize(3, 1), 12);
+  EXPECT_EQ(HybridNetworkSize(1, 3), 10);
+  EXPECT_EQ(HybridQuorumSize(1, 1), 4);
+  EXPECT_EQ(HybridQuorumSize(2, 2), 7);
+}
+
+TEST(SizingTest, PaperWorkedExample) {
+  // §4: S=2, c=1, α=0.3 ⇒ P = (2-3)/(0.9-1) = 10.
+  SizingResult r = PublicCloudSizeByRatio(2, 1, 0.3);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.public_nodes, 10);
+  EXPECT_EQ(r.network_size, 12);
+}
+
+TEST(SizingTest, SizedNetworkSatisfiesEquation1) {
+  // The rented network must hold: N >= 3m + 2c + 1 with m = ceil-free αP.
+  for (int s = 2; s <= 6; ++s) {
+    for (int c = 1; 2 * c + 1 > s && c < s; ++c) {
+      for (double alpha : {0.05, 0.1, 0.2, 0.3}) {
+        SizingResult r = PublicCloudSizeByRatio(s, c, alpha);
+        if (!r.feasible || r.public_nodes == 0) continue;
+        const int m = static_cast<int>(alpha * r.public_nodes);
+        EXPECT_GE(r.network_size, HybridNetworkSize(m, c))
+            << "s=" << s << " c=" << c << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(SizingTest, SelfSufficientPrivateCloud) {
+  // S >= 2c+1: no rental needed, run Paxos locally.
+  SizingResult r = PublicCloudSizeByRatio(5, 2, 0.3);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.public_nodes, 0);
+}
+
+TEST(SizingTest, UselessPrivateCloud) {
+  // S <= c: private cloud adds nothing; run BFT fully in public.
+  EXPECT_FALSE(PublicCloudSizeByRatio(1, 1, 0.2).feasible);
+  EXPECT_FALSE(PublicCloudSizeByRatio(2, 2, 0.2).feasible);
+}
+
+TEST(SizingTest, AlphaTooHighInfeasible) {
+  // α >= 1/3: the public cloud cannot meet the Byzantine bound.
+  EXPECT_FALSE(PublicCloudSizeByRatio(2, 1, 0.34).feasible);
+  EXPECT_FALSE(PublicCloudSizeByRatio(2, 1, 0.5).feasible);
+  // Just below 1/3 is feasible but expensive.
+  SizingResult r = PublicCloudSizeByRatio(2, 1, 0.32);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.public_nodes, 10);
+}
+
+TEST(SizingTest, Equation3WithCrashRatio) {
+  // β > 0 tightens the denominator: more nodes needed than with β = 0.
+  SizingResult without = PublicCloudSizeByRatios(2, 1, 0.2, 0.0);
+  SizingResult with_beta = PublicCloudSizeByRatios(2, 1, 0.2, 0.1);
+  ASSERT_TRUE(without.feasible);
+  ASSERT_TRUE(with_beta.feasible);
+  EXPECT_GT(with_beta.public_nodes, without.public_nodes);
+  // 3α + 2β >= 1 infeasible.
+  EXPECT_FALSE(PublicCloudSizeByRatios(2, 1, 0.2, 0.2).feasible);
+}
+
+TEST(SizingTest, ExplicitBoundMethod) {
+  // P = (3M + 2c + 1) - S.
+  SizingResult r = PublicCloudSizeByBound(2, 1, 2);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.public_nodes, 3 * 2 + 2 * 1 + 1 - 2);
+  EXPECT_EQ(r.network_size, HybridNetworkSize(2, 1));
+  // Already-sufficient private cloud: clamp at zero.
+  EXPECT_EQ(PublicCloudSizeByBound(10, 1, 1).public_nodes, 0);
+}
+
+TEST(SizingTest, ExplicitBoundsWithPublicCrashes) {
+  // P = (3M + 2C + 2c + 1) - S.
+  SizingResult r = PublicCloudSizeByBounds(2, 1, 1, 2);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.public_nodes, 3 * 1 + 2 * 2 + 2 * 1 + 1 - 2);
+}
+
+TEST(SizingTest, PaperBenchmarkTopologies) {
+  // §6.1 network sizes: SeeMoRe uses 2c private + 3m+1 public.
+  struct Case {
+    int c, m, expected_n;
+  };
+  // Fig 2(a): c=m=1 -> 6; (b): c=m=2 -> 11; (c): c=1,m=3 -> 12;
+  // (d): c=3,m=1 -> 10.
+  for (const Case& k :
+       {Case{1, 1, 6}, Case{2, 2, 11}, Case{1, 3, 12}, Case{3, 1, 10}}) {
+    EXPECT_EQ(2 * k.c + 3 * k.m + 1, k.expected_n);
+    EXPECT_EQ(HybridNetworkSize(k.m, k.c), k.expected_n);
+  }
+}
+
+}  // namespace
+}  // namespace seemore

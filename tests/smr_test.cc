@@ -1,0 +1,250 @@
+// State machines (KV, ledger), request/reply wire types, execution engine.
+
+#include <gtest/gtest.h>
+
+#include "consensus/execution.h"
+#include "smr/command.h"
+#include "smr/kv_store.h"
+#include "smr/ledger.h"
+
+namespace seemore {
+namespace {
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStateMachine kv;
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakePut("a", "1"))).status, KvResult::kOk);
+  KvReply get = ParseKvReply(kv.Execute(MakeGet("a")));
+  EXPECT_EQ(get.status, KvResult::kOk);
+  EXPECT_EQ(get.value, "1");
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakeDelete("a"))).status, KvResult::kOk);
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakeGet("a"))).status, KvResult::kNotFound);
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakeDelete("a"))).status,
+            KvResult::kNotFound);
+}
+
+TEST(KvStoreTest, CompareAndSwap) {
+  KvStateMachine kv;
+  kv.Execute(MakePut("x", "old"));
+  KvReply mismatch = ParseKvReply(kv.Execute(MakeCas("x", "wrong", "new")));
+  EXPECT_EQ(mismatch.status, KvResult::kMismatch);
+  EXPECT_EQ(mismatch.value, "old");  // current value reported
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakeCas("x", "old", "new"))).status,
+            KvResult::kOk);
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakeGet("x"))).value, "new");
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakeCas("nope", "a", "b"))).status,
+            KvResult::kNotFound);
+}
+
+TEST(KvStoreTest, EchoSizes) {
+  KvStateMachine kv;
+  KvReply reply = ParseKvReply(kv.Execute(MakeEcho(4096, 1024)));
+  EXPECT_EQ(reply.status, KvResult::kOk);
+  EXPECT_EQ(reply.value.size(), 4096u);
+  // Oversized echo rejected (Byzantine client defense).
+  EXPECT_EQ(ParseKvReply(kv.Execute(MakeEcho(1u << 30, 0))).status,
+            KvResult::kBadRequest);
+}
+
+TEST(KvStoreTest, MalformedOpIsRejectedNotFatal) {
+  KvStateMachine kv;
+  EXPECT_EQ(ParseKvReply(kv.Execute(Bytes{})).status, KvResult::kBadRequest);
+  EXPECT_EQ(ParseKvReply(kv.Execute(Bytes{99, 1, 2})).status,
+            KvResult::kBadRequest);
+  EXPECT_EQ(ParseKvReply(kv.Execute(Bytes{1 /*PUT, truncated*/})).status,
+            KvResult::kBadRequest);
+}
+
+TEST(KvStoreTest, SnapshotRestoreRoundTrip) {
+  KvStateMachine kv;
+  kv.Execute(MakePut("k1", "v1"));
+  kv.Execute(MakePut("k2", "v2"));
+  Bytes snapshot = kv.Snapshot();
+  Digest digest = kv.StateDigest();
+
+  KvStateMachine other;
+  ASSERT_TRUE(other.Restore(snapshot).ok());
+  EXPECT_EQ(other.StateDigest(), digest);
+  EXPECT_EQ(other.ops_applied(), kv.ops_applied());
+  EXPECT_EQ(ParseKvReply(other.Execute(MakeGet("k2"))).value, "v2");
+}
+
+TEST(KvStoreTest, RestoreRejectsCorruptSnapshot) {
+  KvStateMachine kv;
+  kv.Execute(MakePut("a", "b"));
+  Bytes snapshot = kv.Snapshot();
+  snapshot.resize(snapshot.size() / 2);
+  KvStateMachine other;
+  EXPECT_FALSE(other.Restore(snapshot).ok());
+}
+
+TEST(LedgerTest, AppendChainsHashes) {
+  LedgerStateMachine ledger;
+  LedgerReply r1 = ParseLedgerReply(ledger.Execute(MakeLedgerAppend("tx-1")));
+  EXPECT_TRUE(r1.ok);
+  EXPECT_EQ(r1.index, 0u);
+  LedgerReply r2 = ParseLedgerReply(ledger.Execute(MakeLedgerAppend("tx-2")));
+  EXPECT_EQ(r2.index, 1u);
+  EXPECT_NE(r1.chain_head, r2.chain_head);
+
+  LedgerReply head = ParseLedgerReply(ledger.Execute(MakeLedgerHead()));
+  EXPECT_EQ(head.index, 2u);  // length
+  EXPECT_EQ(head.chain_head, r2.chain_head);
+
+  LedgerReply read = ParseLedgerReply(ledger.Execute(MakeLedgerReadAt(0)));
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.data, "tx-1");
+  EXPECT_FALSE(ParseLedgerReply(ledger.Execute(MakeLedgerReadAt(9))).ok);
+}
+
+TEST(LedgerTest, DeterministicChain) {
+  LedgerStateMachine a, b;
+  for (const char* tx : {"t1", "t2", "t3"}) {
+    a.Execute(MakeLedgerAppend(tx));
+    b.Execute(MakeLedgerAppend(tx));
+  }
+  EXPECT_EQ(a.chain_head(), b.chain_head());
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(LedgerTest, SnapshotRestore) {
+  LedgerStateMachine ledger;
+  ledger.Execute(MakeLedgerAppend("entry"));
+  Bytes snapshot = ledger.Snapshot();
+  LedgerStateMachine other;
+  ASSERT_TRUE(other.Restore(snapshot).ok());
+  EXPECT_EQ(other.chain_head(), ledger.chain_head());
+  EXPECT_EQ(other.length(), 1u);
+}
+
+TEST(RequestTest, SignEncodeDecodeVerify) {
+  KeyStore store(3);
+  Signer client_signer(kClientIdBase, store);
+  Request request;
+  request.client = kClientIdBase;
+  request.timestamp = 17;
+  request.op = MakePut("k", "v");
+  request.Sign(client_signer);
+  EXPECT_TRUE(request.VerifySignature(store));
+
+  Bytes message = request.ToMessage();
+  Decoder dec(message);
+  EXPECT_EQ(dec.GetU8(), kMsgRequest);
+  auto decoded = Request::DecodeFrom(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(dec.AtEnd());
+  EXPECT_EQ(*decoded, request);
+  EXPECT_TRUE(decoded->VerifySignature(store));
+  EXPECT_EQ(decoded->ComputeDigest(), request.ComputeDigest());
+
+  // Tampering breaks the signature.
+  decoded->timestamp = 18;
+  EXPECT_FALSE(decoded->VerifySignature(store));
+}
+
+TEST(ReplyTest, SignEncodeDecodeVerify) {
+  KeyStore store(3);
+  Signer replica_signer(2, store);
+  Reply reply;
+  reply.mode = 1;
+  reply.view = 4;
+  reply.timestamp = 9;
+  reply.replica = 2;
+  reply.result = {1, 2, 3};
+  reply.Sign(replica_signer);
+
+  Bytes message = reply.ToMessage();
+  Decoder dec(message);
+  EXPECT_EQ(dec.GetU8(), kMsgReply);
+  auto decoded = Reply::DecodeFrom(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->VerifySignature(store));
+  decoded->result[0] ^= 1;
+  EXPECT_FALSE(decoded->VerifySignature(store));
+}
+
+Request MakeTestRequest(PrincipalId client, uint64_t ts) {
+  Request r;
+  r.client = client;
+  r.timestamp = ts;
+  r.op = MakeNoop();
+  return r;
+}
+
+TEST(ExecutionEngineTest, InOrderExecution) {
+  ExecutionEngine engine(std::make_unique<KvStateMachine>());
+  Batch b1{{MakeTestRequest(kClientIdBase, 1)}};
+  Batch b2{{MakeTestRequest(kClientIdBase, 2)}};
+  EXPECT_EQ(engine.Commit(1, b1).size(), 1u);
+  EXPECT_EQ(engine.last_executed(), 1u);
+  EXPECT_EQ(engine.Commit(2, b2).size(), 1u);
+  EXPECT_EQ(engine.last_executed(), 2u);
+}
+
+TEST(ExecutionEngineTest, BuffersGaps) {
+  ExecutionEngine engine(std::make_unique<KvStateMachine>());
+  Batch b1{{MakeTestRequest(kClientIdBase, 1)}};
+  Batch b3{{MakeTestRequest(kClientIdBase, 3)}};
+  EXPECT_TRUE(engine.Commit(3, b3).empty());  // gap: waits for 1, 2
+  EXPECT_EQ(engine.last_executed(), 0u);
+  EXPECT_TRUE(engine.HasCommitted(3));
+  Batch b2{{MakeTestRequest(kClientIdBase, 2)}};
+  EXPECT_EQ(engine.Commit(1, b1).size(), 1u);
+  // Committing 2 releases both 2 and 3.
+  EXPECT_EQ(engine.Commit(2, b2).size(), 2u);
+  EXPECT_EQ(engine.last_executed(), 3u);
+}
+
+TEST(ExecutionEngineTest, ExactlyOnceDeduplication) {
+  ExecutionEngine engine(std::make_unique<KvStateMachine>());
+  Request put = MakeTestRequest(kClientIdBase, 5);
+  put.op = MakePut("a", "1");
+  auto first = engine.Commit(1, Batch{{put}});
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_FALSE(first[0].duplicate);
+
+  // The same (client, timestamp) committed again at a later seq must NOT
+  // re-execute, and the cached reply is returned.
+  auto second = engine.Commit(2, Batch{{put}});
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second[0].duplicate);
+  EXPECT_EQ(second[0].result, first[0].result);
+  EXPECT_TRUE(engine.SeenTimestamp(kClientIdBase, 5));
+  EXPECT_TRUE(engine.CachedReply(kClientIdBase, 5).has_value());
+  EXPECT_FALSE(engine.CachedReply(kClientIdBase, 4).has_value());
+}
+
+TEST(ExecutionEngineTest, DuplicateSeqIgnored) {
+  ExecutionEngine engine(std::make_unique<KvStateMachine>());
+  Batch b{{MakeTestRequest(kClientIdBase, 1)}};
+  EXPECT_EQ(engine.Commit(1, b).size(), 1u);
+  EXPECT_TRUE(engine.Commit(1, b).empty());
+}
+
+TEST(ExecutionEngineTest, SnapshotRestoreCarriesReplyCache) {
+  ExecutionEngine engine(std::make_unique<KvStateMachine>());
+  Request put = MakeTestRequest(kClientIdBase, 1);
+  put.op = MakePut("k", "v");
+  engine.Commit(1, Batch{{put}});
+  Bytes snapshot = engine.Snapshot();
+  Digest digest = engine.StateDigest();
+
+  ExecutionEngine other(std::make_unique<KvStateMachine>());
+  ASSERT_TRUE(other.Restore(snapshot, 1).ok());
+  EXPECT_EQ(other.last_executed(), 1u);
+  EXPECT_EQ(other.StateDigest(), digest);
+  EXPECT_TRUE(other.SeenTimestamp(kClientIdBase, 1));
+  // Restore validates the claimed sequence number.
+  ExecutionEngine third(std::make_unique<KvStateMachine>());
+  EXPECT_FALSE(third.Restore(snapshot, 2).ok());
+}
+
+TEST(ExecutionEngineTest, ExecutedDigestsTrackHistory) {
+  ExecutionEngine engine(std::make_unique<KvStateMachine>());
+  Batch b1{{MakeTestRequest(kClientIdBase, 1)}};
+  engine.Commit(1, b1);
+  ASSERT_EQ(engine.executed_digests().size(), 1u);
+  EXPECT_EQ(engine.executed_digests().at(1), b1.ComputeDigest());
+}
+
+}  // namespace
+}  // namespace seemore

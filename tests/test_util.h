@@ -1,0 +1,110 @@
+// Shared helpers for protocol integration tests: canned cluster options,
+// convenience runners, and completion predicates.
+
+#ifndef SEEMORE_TESTS_TEST_UTIL_H_
+#define SEEMORE_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/runner.h"
+
+namespace seemore {
+namespace testing {
+
+/// Fast, deterministic network for tests (small latency, some jitter so
+/// message reordering happens).
+inline NetworkConfig TestNet() {
+  NetworkConfig net;
+  net.intra_private = {Micros(80), Micros(20)};
+  net.intra_public = {Micros(80), Micros(20)};
+  net.cross_cloud = {Micros(120), Micros(30)};
+  net.client_link = {Micros(120), Micros(30)};
+  return net;
+}
+
+inline ClusterOptions SeeMoReOptions(SeeMoReMode mode, int c, int m,
+                                     uint64_t seed = 1) {
+  ClusterOptions options;
+  options.config.kind = ProtocolKind::kSeeMoRe;
+  options.config.c = c;
+  options.config.m = m;
+  options.config.s = 2 * c;          // the paper's bench topology (§6.1)
+  options.config.p = 3 * m + 1;
+  if (options.config.s < c + 1) options.config.s = c + 1;
+  options.config.initial_mode = mode;
+  options.config.checkpoint_period = 16;
+  options.config.view_change_timeout = Millis(20);
+  options.net = TestNet();
+  options.seed = seed;
+  options.client_retransmit_timeout = Millis(60);
+  return options;
+}
+
+inline ClusterOptions CftOptions(int f, uint64_t seed = 1) {
+  ClusterOptions options;
+  options.config.kind = ProtocolKind::kCft;
+  options.config.f = f;
+  options.config.checkpoint_period = 16;
+  options.config.view_change_timeout = Millis(20);
+  options.net = TestNet();
+  options.seed = seed;
+  options.client_retransmit_timeout = Millis(60);
+  return options;
+}
+
+inline ClusterOptions BftOptions(int f, uint64_t seed = 1) {
+  ClusterOptions options = CftOptions(f, seed);
+  options.config.kind = ProtocolKind::kBft;
+  return options;
+}
+
+inline ClusterOptions SUpRightOptions(int c, int m, uint64_t seed = 1) {
+  ClusterOptions options;
+  options.config.kind = ProtocolKind::kSUpRight;
+  options.config.c = c;
+  options.config.m = m;
+  options.config.s = 2 * c;
+  options.config.p = HybridNetworkSize(m, c) - options.config.s;
+  options.config.checkpoint_period = 16;
+  options.config.view_change_timeout = Millis(20);
+  options.net = TestNet();
+  options.seed = seed;
+  options.client_retransmit_timeout = Millis(60);
+  return options;
+}
+
+/// Submit one KV op synchronously: drives the simulator until the reply
+/// quorum is reached (or `timeout` passes). Returns the result bytes.
+inline Result<Bytes> SubmitAndWait(Cluster& cluster, SimClient* client,
+                                   Bytes op, SimTime timeout = Seconds(5)) {
+  Bytes result;
+  bool done = false;
+  client->SubmitOne(std::move(op), [&](const Bytes& r) {
+    result = r;
+    done = true;
+  });
+  const SimTime deadline = cluster.sim().now() + timeout;
+  while (!done && cluster.sim().now() < deadline) {
+    if (!cluster.sim().Step()) break;
+    if (cluster.sim().now() > deadline) break;
+  }
+  if (!done) return Status::Timeout("request did not complete");
+  return result;
+}
+
+/// Run a closed-loop burst and return total completions.
+inline uint64_t RunBurst(Cluster& cluster, int clients, SimTime duration,
+                         uint64_t seed = 7) {
+  RunResult result = RunClosedLoop(cluster, clients,
+                                   KvWorkload(seed, 64, 0.5), /*warmup=*/0,
+                                   duration);
+  return result.completed;
+}
+
+}  // namespace testing
+}  // namespace seemore
+
+#endif  // SEEMORE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,134 @@
+// Encoder/Decoder round trips, bounds checking, and malformed-input safety
+// (a Byzantine peer can send arbitrary bytes; decoding must fail cleanly).
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "wire/wire.h"
+
+namespace seemore {
+namespace {
+
+TEST(WireTest, PrimitiveRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xab);
+  enc.PutU16(0xbeef);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  enc.PutI64(-42);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.GetU8(), 0xab);
+  EXPECT_EQ(dec.GetU16(), 0xbeef);
+  EXPECT_EQ(dec.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.GetI64(), -42);
+  EXPECT_TRUE(dec.AtEnd());
+  EXPECT_TRUE(dec.Finish().ok());
+}
+
+TEST(WireTest, VarintRoundTrip) {
+  const uint64_t values[] = {0,     1,       127,        128,
+                             16383, 16384,   (1ULL << 32),
+                             (1ULL << 63),   UINT64_MAX};
+  Encoder enc;
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.bytes());
+  for (uint64_t v : values) EXPECT_EQ(dec.GetVarint(), v);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(WireTest, BytesAndStrings) {
+  Encoder enc;
+  enc.PutBytes(Bytes{});
+  enc.PutBytes(Bytes{1, 2, 3});
+  enc.PutString("hello");
+  std::string big(100000, 'x');
+  enc.PutString(big);
+
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.GetBytes().empty());
+  EXPECT_EQ(dec.GetBytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(dec.GetString(), "hello");
+  EXPECT_EQ(dec.GetString(), big);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(WireTest, TruncatedInputFailsSticky) {
+  Encoder enc;
+  enc.PutU64(7);
+  Bytes data = enc.Take();
+  data.resize(4);  // truncate mid-field
+  Decoder dec(data);
+  dec.GetU64();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kCorruption);
+  // Sticky: everything after the failure also fails.
+  EXPECT_EQ(dec.GetU8(), 0);
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, BytesLengthExceedingInputFails) {
+  Encoder enc;
+  enc.PutVarint(1000);  // claims 1000 bytes follow
+  enc.PutU8(1);
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.GetBytes().empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, VarintOverflowFails) {
+  // 11 continuation bytes exceed a u64.
+  Bytes data(11, 0xff);
+  Decoder dec(data);
+  dec.GetVarint();
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, TrailingBytesDetectedByFinish) {
+  Encoder enc;
+  enc.PutU8(1);
+  enc.PutU8(2);
+  Decoder dec(enc.bytes());
+  dec.GetU8();
+  EXPECT_FALSE(dec.Finish().ok());
+}
+
+TEST(WireTest, RawFields) {
+  Encoder enc;
+  uint8_t raw[5] = {9, 8, 7, 6, 5};
+  enc.PutRaw(raw, sizeof(raw));
+  Decoder dec(enc.bytes());
+  Bytes out = dec.GetRaw(5);
+  EXPECT_EQ(out, (Bytes{9, 8, 7, 6, 5}));
+  EXPECT_TRUE(dec.AtEnd());
+
+  Decoder dec2(enc.bytes());
+  uint8_t into[5];
+  EXPECT_TRUE(dec2.GetRawInto(into, 5));
+  EXPECT_EQ(0, memcmp(into, raw, 5));
+  EXPECT_FALSE(dec2.GetRawInto(into, 1));  // exhausted
+}
+
+TEST(WireTest, RandomGarbageNeverCrashes) {
+  // Fuzz-ish: decode random byte strings with every getter; must fail or
+  // succeed without UB (run under the normal test harness).
+  uint64_t state = 12345;
+  for (int round = 0; round < 200; ++round) {
+    Bytes garbage;
+    const int len = static_cast<int>(SplitMix64(state) % 64);
+    for (int i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<uint8_t>(SplitMix64(state)));
+    }
+    Decoder dec(garbage);
+    dec.GetVarint();
+    dec.GetBytes();
+    dec.GetU32();
+    dec.GetString();
+    (void)dec.ok();
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace seemore

@@ -1,0 +1,361 @@
+// seemore_ctl: scriptable scenario driver for the simulated hybrid cloud,
+// in the spirit of RocksDB's db_bench. One invocation builds a cluster of
+// the chosen protocol, drives a workload, injects a fault/mode-switch
+// schedule, and reports throughput, latency, per-replica state and the
+// agreement invariant.
+//
+// Examples:
+//   seemore_ctl --protocol=seemore --mode=lion --c=1 --m=1 --clients=32
+//   seemore_ctl --protocol=seemore --mode=lion --crash=0@100 --recover=0@400
+//   seemore_ctl --protocol=seemore --switch=dog@150 --switch=peacock@400
+//   seemore_ctl --protocol=bft --f=2 --byzantine=5:wrongvotes@0 --drop=0.02
+//   seemore_ctl --protocol=cft --f=1 --workload=kv --timeline
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/runner.h"
+#include "util/flags.h"
+
+namespace seemore {
+namespace {
+
+struct ScheduledEvent {
+  SimTime at = 0;
+  enum Kind { kCrash, kRecover, kByzantine, kSwitch } kind = kCrash;
+  int replica = 0;
+  uint32_t byz_flags = 0;
+  SeeMoReMode target_mode = SeeMoReMode::kLion;
+};
+
+Result<uint32_t> ParseByzFlags(const std::string& spec) {
+  uint32_t flags = 0;
+  for (const std::string& part : SplitString(spec, '+')) {
+    if (part == "silent") {
+      flags |= kByzSilent;
+    } else if (part == "equivocate") {
+      flags |= kByzEquivocate;
+    } else if (part == "wrongvotes") {
+      flags |= kByzWrongVotes;
+    } else if (part == "lie") {
+      flags |= kByzLieToClients;
+    } else {
+      return Status::InvalidArgument("unknown byzantine behaviour: " + part);
+    }
+  }
+  return flags;
+}
+
+Result<SeeMoReMode> ParseMode(const std::string& name) {
+  if (name == "lion") return SeeMoReMode::kLion;
+  if (name == "dog") return SeeMoReMode::kDog;
+  if (name == "peacock") return SeeMoReMode::kPeacock;
+  return Status::InvalidArgument("unknown mode: " + name);
+}
+
+/// "<id>@<ms>" -> (id, time).
+Result<std::pair<int, SimTime>> ParseAt(const std::string& spec) {
+  const std::vector<std::string> parts = SplitString(spec, '@');
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("expected <what>@<ms>, got: " + spec);
+  }
+  return std::make_pair(std::atoi(parts[0].c_str()),
+                        Millis(std::atoll(parts[1].c_str())));
+}
+
+int Run(const FlagSet& flags) {
+  ClusterOptions options;
+  const std::string protocol = flags.GetString("protocol");
+  if (protocol == "seemore") {
+    options.config.kind = ProtocolKind::kSeeMoRe;
+  } else if (protocol == "cft") {
+    options.config.kind = ProtocolKind::kCft;
+  } else if (protocol == "bft") {
+    options.config.kind = ProtocolKind::kBft;
+  } else if (protocol == "supright") {
+    options.config.kind = ProtocolKind::kSUpRight;
+  } else {
+    std::fprintf(stderr, "unknown --protocol=%s\n", protocol.c_str());
+    return 2;
+  }
+
+  options.config.c = static_cast<int>(flags.GetInt("c"));
+  options.config.m = static_cast<int>(flags.GetInt("m"));
+  options.config.f = static_cast<int>(flags.GetInt("f"));
+  options.config.s = flags.WasSet("s") ? static_cast<int>(flags.GetInt("s"))
+                                       : 2 * options.config.c;
+  options.config.p = flags.WasSet("p")
+                         ? static_cast<int>(flags.GetInt("p"))
+                         : 3 * options.config.m + 1;
+  if (options.config.kind == ProtocolKind::kSUpRight && !flags.WasSet("p")) {
+    options.config.p =
+        HybridNetworkSize(options.config.m, options.config.c) -
+        options.config.s;
+  }
+  Result<SeeMoReMode> mode = ParseMode(flags.GetString("mode"));
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+    return 2;
+  }
+  options.config.initial_mode = *mode;
+  options.config.batch_max = static_cast<int>(flags.GetInt("batch"));
+  options.config.pipeline_max = static_cast<int>(flags.GetInt("pipeline"));
+  options.config.checkpoint_period =
+      static_cast<int>(flags.GetInt("checkpoint-period"));
+  options.config.view_change_timeout = Millis(flags.GetInt("vc-timeout-ms"));
+  options.net.drop_probability = flags.GetDouble("drop");
+  options.net.duplicate_probability = flags.GetDouble("duplicate");
+  options.net.cross_cloud.base = Micros(flags.GetInt("cross-cloud-us"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  Status valid = options.config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid topology: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  // Fault / switch schedule.
+  std::vector<ScheduledEvent> schedule;
+  for (const std::string& spec : SplitString(flags.GetString("crash"), ',')) {
+    auto at = ParseAt(spec);
+    if (!at.ok()) {
+      std::fprintf(stderr, "%s\n", at.status().ToString().c_str());
+      return 2;
+    }
+    schedule.push_back({at->second, ScheduledEvent::kCrash, at->first, 0,
+                        SeeMoReMode::kLion});
+  }
+  for (const std::string& spec :
+       SplitString(flags.GetString("recover"), ',')) {
+    auto at = ParseAt(spec);
+    if (!at.ok()) {
+      std::fprintf(stderr, "%s\n", at.status().ToString().c_str());
+      return 2;
+    }
+    schedule.push_back({at->second, ScheduledEvent::kRecover, at->first, 0,
+                        SeeMoReMode::kLion});
+  }
+  for (const std::string& spec :
+       SplitString(flags.GetString("byzantine"), ',')) {
+    // <id>:<behaviour[+behaviour]>@<ms>
+    const std::vector<std::string> head = SplitString(spec, ':');
+    if (head.size() != 2) {
+      std::fprintf(stderr, "expected --byzantine=<id>:<kind>@<ms>\n");
+      return 2;
+    }
+    auto at = ParseAt(head[0] + "@" + SplitString(head[1], '@').back());
+    auto behaviours = ParseByzFlags(SplitString(head[1], '@').front());
+    if (!at.ok() || !behaviours.ok()) {
+      std::fprintf(stderr, "bad --byzantine spec: %s\n", spec.c_str());
+      return 2;
+    }
+    schedule.push_back({at->second, ScheduledEvent::kByzantine, at->first,
+                        *behaviours, SeeMoReMode::kLion});
+  }
+  for (const std::string& spec : SplitString(flags.GetString("switch"), ',')) {
+    // <mode>@<ms>
+    const std::vector<std::string> parts = SplitString(spec, '@');
+    if (parts.size() != 2) {
+      std::fprintf(stderr, "expected --switch=<mode>@<ms>\n");
+      return 2;
+    }
+    auto target = ParseMode(parts[0]);
+    if (!target.ok()) {
+      std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+      return 2;
+    }
+    schedule.push_back({Millis(std::atoll(parts[1].c_str())),
+                        ScheduledEvent::kSwitch, 0, 0, *target});
+  }
+
+  Cluster cluster(options);
+  std::printf("cluster: %s  seed=%llu\n", cluster.config().ToString().c_str(),
+              static_cast<unsigned long long>(options.seed));
+
+  // Workload.
+  const int num_clients = static_cast<int>(flags.GetInt("clients"));
+  OpFactory ops;
+  if (flags.GetString("workload") == "kv") {
+    ops = KvWorkload(options.seed * 13 + 7,
+                     static_cast<int>(flags.GetInt("keys")), 0.5);
+  } else {
+    ops = EchoWorkload(static_cast<uint32_t>(flags.GetInt("req-kb")),
+                       static_cast<uint32_t>(flags.GetInt("rep-kb")));
+  }
+
+  ThroughputTimeline timeline;
+  timeline.bucket_width = Millis(flags.GetInt("timeline-bucket-ms"));
+  for (int i = 0; i < num_clients; ++i) {
+    SimClient* client = cluster.AddClient();
+    if (flags.GetBool("timeline")) {
+      client->on_complete = [&timeline](SimTime when, SimTime) {
+        timeline.Record(when);
+      };
+    }
+    client->Start(ops);
+  }
+
+  // Execute the schedule interleaved with the run.
+  const SimTime warmup = Millis(flags.GetInt("warmup-ms"));
+  const SimTime duration = Millis(flags.GetInt("duration-ms"));
+  for (const ScheduledEvent& event : schedule) {
+    cluster.sim().RunUntil(event.at);
+    switch (event.kind) {
+      case ScheduledEvent::kCrash:
+        std::printf("t=%.0fms crash replica %d\n", ToMillis(event.at),
+                    event.replica);
+        cluster.Crash(event.replica);
+        break;
+      case ScheduledEvent::kRecover:
+        std::printf("t=%.0fms recover replica %d\n", ToMillis(event.at),
+                    event.replica);
+        cluster.Recover(event.replica);
+        break;
+      case ScheduledEvent::kByzantine:
+        std::printf("t=%.0fms replica %d turns Byzantine (flags=0x%x)\n",
+                    ToMillis(event.at), event.replica, event.byz_flags);
+        cluster.SetByzantine(event.replica, event.byz_flags);
+        break;
+      case ScheduledEvent::kSwitch: {
+        SeeMoReReplica* any = nullptr;
+        for (int i = 0; i < cluster.n(); ++i) {
+          if (!cluster.replica(i)->crashed()) {
+            any = cluster.seemore(i);
+            break;
+          }
+        }
+        if (any == nullptr) break;
+        // The switch must be requested on the new view's trusted authority;
+        // if that node is crashed, aim one view further (the view change
+        // would skip the dead primary anyway).
+        Status status = Status::Unavailable("no live authority");
+        for (uint64_t ahead = 1; ahead <= static_cast<uint64_t>(
+                                              cluster.config().s);
+             ++ahead) {
+          const PrincipalId authority =
+              any->SwitchAuthority(event.target_mode, any->view() + ahead);
+          if (cluster.replica(authority)->crashed()) continue;
+          status =
+              cluster.seemore(authority)->RequestModeSwitch(event.target_mode);
+          std::printf("t=%.0fms switch to %s via replica %d: %s\n",
+                      ToMillis(event.at), SeeMoReModeName(event.target_mode),
+                      authority, status.ToString().c_str());
+          break;
+        }
+        if (!status.ok() && status.code() == StatusCode::kUnavailable) {
+          std::printf("t=%.0fms switch to %s skipped: %s\n",
+                      ToMillis(event.at), SeeMoReModeName(event.target_mode),
+                      status.ToString().c_str());
+        }
+        break;
+      }
+    }
+  }
+  cluster.sim().RunUntil(warmup);
+  for (int i = 0; i < num_clients; ++i) cluster.client(i)->ResetStats();
+  cluster.sim().RunUntil(warmup + duration);
+
+  // Report.
+  RunResult result;
+  result.clients = num_clients;
+  Histogram merged;
+  for (int i = 0; i < num_clients; ++i) {
+    result.completed += cluster.client(i)->completed();
+    result.retransmissions += cluster.client(i)->retransmissions();
+    merged.Merge(cluster.client(i)->latencies());
+    cluster.client(i)->Stop();
+  }
+  const double seconds = ToMillis(duration) / 1000.0;
+  result.throughput_kreqs = result.completed / seconds / 1000.0;
+  result.mean_latency_ms = merged.Mean() / 1e6;
+  result.p50_latency_ms = merged.Percentile(50) / 1e6;
+  result.p99_latency_ms = merged.Percentile(99) / 1e6;
+  std::printf("\n%s\n", result.ToString().c_str());
+
+  if (flags.GetBool("timeline")) {
+    std::printf("\ntimeline (Kreq/s per %lldms bucket):\n",
+                static_cast<long long>(ToMillis(timeline.bucket_width)));
+    for (size_t b = 0; b < timeline.buckets.size(); ++b) {
+      std::printf("  %6lld ms %8.1f\n",
+                  static_cast<long long>(b * ToMillis(timeline.bucket_width)),
+                  timeline.KreqsAt(b));
+    }
+  }
+
+  if (flags.GetBool("replica-stats")) {
+    std::printf("\nper-replica state:\n");
+    for (int i = 0; i < cluster.n(); ++i) {
+      const ReplicaBase* replica = cluster.replica(i);
+      std::printf(
+          "  %d%s: executed=%llu committed_batches=%llu view_changes=%llu "
+          "msgs=%llu cpu_busy=%.1fms%s\n",
+          i, cluster.config().IsTrusted(i) ? " (private)" : " (public) ",
+          static_cast<unsigned long long>(replica->stats().requests_executed),
+          static_cast<unsigned long long>(replica->stats().batches_committed),
+          static_cast<unsigned long long>(
+              replica->stats().view_changes_completed),
+          static_cast<unsigned long long>(replica->stats().messages_handled),
+          ToMillis(cluster.replica(i)->cpu()->total_busy()),
+          replica->crashed() ? " CRASHED" : "");
+    }
+  }
+
+  Status agreement = cluster.CheckAgreement();
+  std::printf("agreement: %s\n", agreement.ToString().c_str());
+  return agreement.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace seemore
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  FlagSet flags(
+      "seemore_ctl: drive a simulated hybrid-cloud replication cluster "
+      "through workloads, faults and mode switches");
+  flags.AddString("protocol", "seemore", "seemore | cft | bft | supright");
+  flags.AddString("mode", "lion", "initial SeeMoRe mode: lion | dog | peacock");
+  flags.AddInt("c", 1, "crash budget (private cloud)");
+  flags.AddInt("m", 1, "Byzantine budget (public cloud)");
+  flags.AddInt("f", 2, "flat failure budget for cft/bft");
+  flags.AddInt("s", 0, "private cloud size (default 2c)");
+  flags.AddInt("p", 0, "public cloud size (default 3m+1)");
+  flags.AddInt("clients", 16, "closed-loop client count");
+  flags.AddInt("warmup-ms", 150, "warmup before measurement");
+  flags.AddInt("duration-ms", 500, "measured duration");
+  flags.AddString("workload", "echo", "echo | kv");
+  flags.AddInt("req-kb", 0, "echo request payload (KiB)");
+  flags.AddInt("rep-kb", 0, "echo reply payload (KiB)");
+  flags.AddInt("keys", 128, "kv workload keyspace");
+  flags.AddInt("batch", 256, "max requests per consensus instance");
+  flags.AddInt("pipeline", 2, "max in-flight consensus instances");
+  flags.AddInt("checkpoint-period", 512, "checkpoint every N sequences");
+  flags.AddInt("vc-timeout-ms", 30, "primary-suspicion timer");
+  flags.AddDouble("drop", 0.0, "message drop probability");
+  flags.AddDouble("duplicate", 0.0, "message duplication probability");
+  flags.AddInt("cross-cloud-us", 90, "private<->public one-way latency (us)");
+  flags.AddInt("seed", 42, "simulation seed (deterministic replay)");
+  flags.AddString("crash", "", "schedule: <id>@<ms>[,<id>@<ms>...]");
+  flags.AddString("recover", "", "schedule: <id>@<ms>[,...]");
+  flags.AddString("byzantine", "",
+                  "schedule: <id>:<silent|equivocate|wrongvotes|lie>[+...]"
+                  "@<ms>[,...]");
+  flags.AddString("switch", "", "schedule: <mode>@<ms>[,...] (seemore only)");
+  flags.AddBool("timeline", false, "print per-bucket throughput timeline");
+  flags.AddInt("timeline-bucket-ms", 10, "timeline bucket width");
+  flags.AddBool("replica-stats", true, "print per-replica counters");
+
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+  return Run(flags);
+}
