@@ -160,6 +160,104 @@ inline double PeakThroughput(const std::vector<RunResult>& curve) {
   return best;
 }
 
+/// Accumulates results and writes a machine-readable BENCH_<name>.json so
+/// the performance trajectory is tracked across PRs. Labels must be plain
+/// ASCII without quotes/backslashes (all callers use fixed literals).
+class BenchResultsJson {
+ public:
+  explicit BenchResultsJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Record one curve (one system's client sweep) under a section label.
+  void AddCurve(const std::string& section, const std::string& system,
+                const std::vector<RunResult>& curve) {
+    Section& s = SectionFor(section);
+    s.curves.push_back({system, curve});
+  }
+
+  /// Record a single named scalar (a peak, one ablation point, ...).
+  void AddScalar(const std::string& section, const std::string& name,
+                 double value) {
+    Section& s = SectionFor(section);
+    s.scalars.push_back({name, value});
+  }
+
+  /// Write BENCH_<bench_name>.json in the working directory. Returns the
+  /// path ("" on I/O failure, which is reported but not fatal — benchmarks
+  /// still print their human-readable tables).
+  std::string Write() const {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"sections\": [\n",
+                 bench_name_.c_str());
+    for (size_t si = 0; si < sections_.size(); ++si) {
+      const Section& s = sections_[si];
+      std::fprintf(f, "    {\"label\": \"%s\",\n     \"curves\": [\n",
+                   s.label.c_str());
+      for (size_t ci = 0; ci < s.curves.size(); ++ci) {
+        const Curve& curve = s.curves[ci];
+        std::fprintf(f, "      {\"system\": \"%s\", \"points\": [",
+                     curve.system.c_str());
+        for (size_t pi = 0; pi < curve.points.size(); ++pi) {
+          const RunResult& p = curve.points[pi];
+          std::fprintf(
+              f,
+              "%s\n        {\"clients\": %d, \"throughput_kreqs\": %.4f, "
+              "\"mean_latency_ms\": %.4f, \"p50_latency_ms\": %.4f, "
+              "\"p99_latency_ms\": %.4f, \"completed\": %llu, "
+              "\"retransmissions\": %llu}",
+              pi == 0 ? "" : ",", p.clients, p.throughput_kreqs,
+              p.mean_latency_ms, p.p50_latency_ms, p.p99_latency_ms,
+              static_cast<unsigned long long>(p.completed),
+              static_cast<unsigned long long>(p.retransmissions));
+        }
+        std::fprintf(f, "]}%s\n", ci + 1 < s.curves.size() ? "," : "");
+      }
+      std::fprintf(f, "     ],\n     \"scalars\": [");
+      for (size_t vi = 0; vi < s.scalars.size(); ++vi) {
+        std::fprintf(f, "%s\n      {\"name\": \"%s\", \"value\": %.4f}",
+                     vi == 0 ? "" : ",", s.scalars[vi].name.c_str(),
+                     s.scalars[vi].value);
+      }
+      std::fprintf(f, "]}%s\n", si + 1 < sections_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  struct Curve {
+    std::string system;
+    std::vector<RunResult> points;
+  };
+  struct Scalar {
+    std::string name;
+    double value;
+  };
+  struct Section {
+    std::string label;
+    std::vector<Curve> curves;
+    std::vector<Scalar> scalars;
+  };
+
+  Section& SectionFor(const std::string& label) {
+    for (Section& s : sections_) {
+      if (s.label == label) return s;
+    }
+    sections_.push_back(Section{label, {}, {}});
+    return sections_.back();
+  }
+
+  std::string bench_name_;
+  std::vector<Section> sections_;
+};
+
 }  // namespace bench
 }  // namespace seemore
 

@@ -22,7 +22,7 @@ struct Scenario {
 };
 
 void RunScenario(const Scenario& scenario, const std::vector<int>& clients,
-                 SimTime warmup, SimTime measure) {
+                 SimTime warmup, SimTime measure, BenchResultsJson& json) {
   std::printf("\n=== Fig 2(%s): f=%d (c=%d, m=%d) ===\n", scenario.label,
               scenario.c + scenario.m, scenario.c, scenario.m);
   std::printf("%-10s %s\n", "system", "curve points (0/0 payload)");
@@ -35,6 +35,9 @@ void RunScenario(const Scenario& scenario, const std::vector<int>& clients,
   for (const SystemUnderTest& sut : PaperSystems(scenario.c, scenario.m)) {
     std::vector<RunResult> curve = RunCurve(sut, ops, clients, warmup, measure);
     PrintCurve(sut.name, curve);
+    json.AddCurve(scenario.label, sut.name, curve);
+    json.AddScalar(scenario.label, sut.name + "_peak_kreqs",
+                   PeakThroughput(curve));
     peaks.push_back({sut.name, PeakThroughput(curve)});
   }
   std::printf("--- peak throughput (Kreq/s): ");
@@ -60,11 +63,13 @@ int main(int argc, char** argv) {
   const SimTime measure = quick ? Millis(300) : Millis(500);
 
   std::printf("Figure 2 reproduction: throughput vs latency, 0/0 payload\n");
+  BenchResultsJson json("fig2");
   const Scenario scenarios[] = {
       {"a", 1, 1}, {"b", 2, 2}, {"c", 1, 3}, {"d", 3, 1}};
   for (const Scenario& scenario : scenarios) {
-    RunScenario(scenario, clients, warmup, measure);
+    RunScenario(scenario, clients, warmup, measure, json);
   }
+  json.Write();
   (void)argc;
   return 0;
 }

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                                {"4/0 (4 KB requests)", 4, 0}};
 
   std::printf("Figure 3 reproduction: payload benchmarks, c=1 m=1\n");
+  BenchResultsJson json("fig3");
   for (const PayloadCase& payload : cases) {
     std::printf("\n=== Fig 3: benchmark %s ===\n", payload.label);
     const OpFactory ops = EchoWorkload(payload.request_kb, payload.reply_kb);
@@ -37,7 +38,11 @@ int main(int argc, char** argv) {
       PrintCurve(sut.name, curve);
       std::printf("%-10s peak=%.2f kreq/s\n", sut.name.c_str(),
                   PeakThroughput(curve));
+      json.AddCurve(payload.label, sut.name, curve);
+      json.AddScalar(payload.label, sut.name + "_peak_kreqs",
+                     PeakThroughput(curve));
     }
   }
+  json.Write();
   return 0;
 }

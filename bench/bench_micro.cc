@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "consensus/batch.h"
 #include "crypto/hmac_sha256.h"
 #include "crypto/keystore.h"
@@ -133,4 +136,25 @@ BENCHMARK(BM_KvExecute);
 }  // namespace
 }  // namespace seemore
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default machine-readable output (BENCH_micro.json)
+// when the caller does not pass --benchmark_out themselves — the perf
+// trajectory of the substrates is tracked across PRs.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,13 +6,13 @@
 
 namespace seemore {
 
-PaxosReplica::PaxosReplica(Simulator* sim, SimNetwork* net,
+PaxosReplica::PaxosReplica(Transport* transport, TimerService* timers,
                            const KeyStore* keystore, PrincipalId id,
                            const ClusterConfig& config,
                            std::unique_ptr<StateMachine> state_machine,
                            const CostModel& costs)
-    : ReplicaBase(sim, net, keystore, id, config, std::move(state_machine),
-                  costs) {
+    : ReplicaBase(transport, timers, keystore, id, config,
+                  std::move(state_machine), costs) {
   current_vc_timeout_ = config_.view_change_timeout;
 }
 
@@ -28,31 +28,37 @@ void PaxosReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
   ChargeMac();
   switch (tag) {
     case kMsgRequest:
-      HandleRequest(from, dec);
+      DispatchTyped(this, from, dec, &PaxosReplica::HandleRequest);
       break;
-    case kAccept:
-      HandleAccept(from, dec);
+    case kPaxAccept:
+      DispatchTyped(this, from, dec, &PaxosReplica::HandleAccept);
       break;
-    case kAck:
-      HandleAck(from, dec);
+    case kPaxAck:
+      DispatchTyped(this, from, dec, &PaxosReplica::HandleAck);
       break;
-    case kCommit:
-      HandleCommit(from, dec);
+    case kPaxCommit:
+      DispatchTyped(this, from, dec, &PaxosReplica::HandleCommit);
       break;
-    case kViewChange:
-      HandleViewChange(from, dec);
+    case kPaxViewChange: {
+      Result<PaxosViewChangeMsg> msg =
+          PaxosViewChangeMsg::DecodeFrom(dec, Window());
+      if (msg.ok()) HandleViewChange(from, std::move(msg).value());
       break;
-    case kNewView:
-      HandleNewView(from, dec);
+    }
+    case kPaxNewView: {
+      Result<PaxosNewViewMsg> msg =
+          PaxosNewViewMsg::DecodeFrom(dec, 1u << 20);
+      if (msg.ok()) HandleNewView(from, std::move(msg).value());
       break;
-    case kCheckpoint:
-      HandleCheckpoint(from, dec);
+    }
+    case kPaxCheckpoint:
+      DispatchTyped(this, from, dec, &PaxosReplica::HandleCheckpoint);
       break;
-    case kStateRequest:
-      HandleStateRequest(from, dec);
+    case kPaxStateRequest:
+      DispatchTyped(this, from, dec, &PaxosReplica::HandleStateRequest);
       break;
-    case kStateResponse:
-      HandleStateResponse(from, dec);
+    case kPaxStateResponse:
+      DispatchTyped(this, from, dec, &PaxosReplica::HandleStateResponse);
       break;
     default:
       break;  // unknown tag: ignore
@@ -63,11 +69,7 @@ void PaxosReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
 // Normal case
 // ---------------------------------------------------------------------------
 
-void PaxosReplica::HandleRequest(PrincipalId from, Decoder& dec) {
-  Result<Request> request_or = Request::DecodeFrom(dec);
-  if (!request_or.ok()) return;
-  Request request = std::move(request_or).value();
-
+void PaxosReplica::HandleRequest(PrincipalId from, Request request) {
   // Channel authentication (§3.1): a request arriving directly from a
   // client channel must name that client. Without this, a rogue client
   // could impersonate another and poison its timestamp sequence — the
@@ -148,92 +150,72 @@ void PaxosReplica::TryPropose() {
     slot.view = view_;
     slot.acks.insert(id_);
 
-    Encoder enc;
-    enc.PutU8(kAccept);
-    enc.PutU64(view_);
-    enc.PutU64(seq);
-    enc.PutBytes(encoded);
-    SendToMany(config_.AllReplicas(), enc.bytes());
+    PaxosAcceptMsg accept{view_, seq, encoded};
+    SendToMany(config_.AllReplicas(), accept.ToMessage());
   }
 }
 
-void PaxosReplica::HandleAccept(PrincipalId from, Decoder& dec) {
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  Bytes batch_bytes = dec.GetBytes();
-  if (!dec.ok()) return;
+void PaxosReplica::HandleAccept(PrincipalId from, PaxosAcceptMsg msg) {
   // Crash model: a claimed higher view from its rightful leader is honest.
-  if (view > view_ && config_.FlatPrimary(view) == from) EnterView(view);
-  if (view != view_ || in_view_change_) return;
+  if (msg.view > view_ && config_.FlatPrimary(msg.view) == from) {
+    EnterView(msg.view);
+  }
+  if (msg.view != view_ || in_view_change_) return;
   if (from != config_.FlatPrimary(view_)) return;
-  if (seq <= stable_seq_) return;
+  if (msg.seq <= stable_seq_) return;
 
-  Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  Result<Batch> batch_or = Batch::Decode(msg.batch);
   if (!batch_or.ok()) return;
 
-  Slot& slot = slots_[seq];
+  Slot& slot = slots_[msg.seq];
   if (!slot.has_batch) {
     slot.batch = std::move(batch_or).value();
     slot.has_batch = true;
-    ChargeHash(batch_bytes.size());
-    slot.digest = Digest::Of(batch_bytes);
-    slot.view = view;
+    ChargeHash(msg.batch.size());
+    slot.digest = Digest::Of(msg.batch);
+    slot.view = msg.view;
   }
 
-  Encoder enc;
-  enc.PutU8(kAck);
-  enc.PutU64(view);
-  enc.PutU64(seq);
-  slot.digest.EncodeTo(enc);
-  SendTo(from, enc.bytes());
+  PaxosAckMsg ack{msg.view, msg.seq, slot.digest};
+  SendTo(from, ack.ToMessage());
   if (slot.commit_seen && !slot.committed) {
-    CommitSlot(seq, slot, /*send_replies=*/false);
+    CommitSlot(msg.seq, slot, /*send_replies=*/false);
   } else {
     ArmViewTimer();
   }
 }
 
-void PaxosReplica::HandleAck(PrincipalId from, Decoder& dec) {
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (view != view_ || !IsLeader() || in_view_change_) return;
-  auto it = slots_.find(seq);
+void PaxosReplica::HandleAck(PrincipalId from, PaxosAckMsg msg) {
+  if (msg.view != view_ || !IsLeader() || in_view_change_) return;
+  auto it = slots_.find(msg.seq);
   if (it == slots_.end() || !it->second.has_batch) return;
   Slot& slot = it->second;
-  if (digest != slot.digest || slot.commit_broadcast) return;
+  if (msg.digest != slot.digest || slot.commit_broadcast) return;
   slot.acks.insert(from);
   if (static_cast<int>(slot.acks.size()) >=
       config_.CommitQuorum(config_.initial_mode)) {
     slot.commit_broadcast = true;
-    Encoder enc;
-    enc.PutU8(kCommit);
-    enc.PutU64(view_);
-    enc.PutU64(seq);
-    slot.digest.EncodeTo(enc);
-    SendToMany(config_.AllReplicas(), enc.bytes());
-    if (!slot.committed) CommitSlot(seq, slot, /*send_replies=*/true);
+    PaxosCommitMsg commit{view_, msg.seq, slot.digest};
+    SendToMany(config_.AllReplicas(), commit.ToMessage());
+    if (!slot.committed) CommitSlot(msg.seq, slot, /*send_replies=*/true);
   }
 }
 
-void PaxosReplica::HandleCommit(PrincipalId from, Decoder& dec) {
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (view > view_ && config_.FlatPrimary(view) == from) EnterView(view);
-  if (from != config_.FlatPrimary(view)) return;
-  if (seq <= stable_seq_) return;
-  auto it = slots_.find(seq);
+void PaxosReplica::HandleCommit(PrincipalId from, PaxosCommitMsg msg) {
+  if (msg.view > view_ && config_.FlatPrimary(msg.view) == from) {
+    EnterView(msg.view);
+  }
+  if (from != config_.FlatPrimary(msg.view)) return;
+  if (msg.seq <= stable_seq_) return;
+  auto it = slots_.find(msg.seq);
   if (it == slots_.end() || !it->second.has_batch) {
     // COMMIT outran the ACCEPT (jitter reordering); remember it.
-    slots_[seq].commit_seen = true;
+    slots_[msg.seq].commit_seen = true;
     return;
   }
   Slot& slot = it->second;
-  if (slot.committed || digest != slot.digest) return;
-  CommitSlot(seq, slot, /*send_replies=*/false);
+  if (slot.committed || msg.digest != slot.digest) return;
+  CommitSlot(msg.seq, slot, /*send_replies=*/false);
 }
 
 void PaxosReplica::CommitSlot(uint64_t seq, Slot& slot, bool send_replies) {
@@ -280,24 +262,18 @@ void PaxosReplica::MaybeCheckpoint() {
   const Digest digest = Digest::Of(snapshot);
   snapshot_buffer_[executed] = {digest, std::move(snapshot)};
 
-  Encoder enc;
-  enc.PutU8(kCheckpoint);
-  enc.PutU64(executed);
-  digest.EncodeTo(enc);
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  PaxosCheckpointMsg msg{executed, digest};
+  SendToMany(config_.AllReplicas(), msg.ToMessage());
   CountCheckpointVote(executed, digest, id_);
 }
 
-void PaxosReplica::HandleCheckpoint(PrincipalId from, Decoder& dec) {
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (seq <= stable_seq_) return;
-  CountCheckpointVote(seq, digest, from);
+void PaxosReplica::HandleCheckpoint(PrincipalId from, PaxosCheckpointMsg msg) {
+  if (msg.seq <= stable_seq_) return;
+  CountCheckpointVote(msg.seq, msg.digest, from);
   // Crash model: a single announcer is honest. If it is ahead of us we fell
   // behind (lost commits have no protocol-level retransmission); fetch its
   // checkpointed state directly.
-  if (seq > exec_.last_executed()) RequestStateFrom(from);
+  if (msg.seq > exec_.last_executed()) RequestStateFrom(from);
 }
 
 void PaxosReplica::CountCheckpointVote(uint64_t seq, const Digest& digest,
@@ -343,17 +319,13 @@ void PaxosReplica::AdvanceStable(uint64_t seq, const Digest& digest,
 
 void PaxosReplica::RequestStateFrom(PrincipalId target) {
   if (target == id_) return;
-  if (sim_->now() - last_state_request_ < Millis(20)) return;
-  last_state_request_ = sim_->now();
-  Encoder enc;
-  enc.PutU8(kStateRequest);
-  enc.PutU64(exec_.last_executed());
-  SendTo(target, enc.bytes());
+  if (now() - last_state_request_ < Millis(20)) return;
+  last_state_request_ = now();
+  StateRequestMsg request{exec_.last_executed()};
+  SendTo(target, request.ToMessage(kPaxStateRequest));
 }
 
-void PaxosReplica::HandleStateRequest(PrincipalId from, Decoder& dec) {
-  const uint64_t their_executed = dec.GetU64();
-  if (!dec.ok()) return;
+void PaxosReplica::HandleStateRequest(PrincipalId from, StateRequestMsg msg) {
   // Serve the newest snapshot we hold: a buffered (not yet stable) one beats
   // the stable one. In the crash model our own claim is trustworthy.
   uint64_t seq = stable_seq_;
@@ -364,30 +336,23 @@ void PaxosReplica::HandleStateRequest(PrincipalId from, Decoder& dec) {
     digest = &snapshot_buffer_.rbegin()->second.first;
     snapshot = &snapshot_buffer_.rbegin()->second.second;
   }
-  if (snapshot->empty() || seq <= their_executed) return;
-  Encoder enc;
-  enc.PutU8(kStateResponse);
-  enc.PutU64(seq);
-  digest->EncodeTo(enc);
-  enc.PutBytes(*snapshot);
-  SendTo(from, enc.bytes());
+  if (snapshot->empty() || seq <= msg.last_executed) return;
+  PaxosStateResponseMsg response{seq, *digest, *snapshot};
+  SendTo(from, response.ToMessage());
 }
 
-void PaxosReplica::HandleStateResponse(PrincipalId from, Decoder& dec) {
+void PaxosReplica::HandleStateResponse(PrincipalId from,
+                                       PaxosStateResponseMsg msg) {
   (void)from;
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  Bytes snapshot = dec.GetBytes();
-  if (!dec.ok()) return;
-  if (seq <= exec_.last_executed()) return;
-  ChargeHash(snapshot.size());
-  if (Digest::Of(snapshot) != digest) return;
-  if (!exec_.Restore(snapshot, seq).ok()) return;
+  if (msg.seq <= exec_.last_executed()) return;
+  ChargeHash(msg.snapshot.size());
+  if (Digest::Of(msg.snapshot) != msg.digest) return;
+  if (!exec_.Restore(msg.snapshot, msg.seq).ok()) return;
   ++stats_.state_transfers;
-  stable_seq_ = std::max(stable_seq_, seq);
-  stable_digest_ = digest;
-  stable_snapshot_ = std::move(snapshot);
-  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, seq);
+  stable_seq_ = std::max(stable_seq_, msg.seq);
+  stable_digest_ = msg.digest;
+  stable_snapshot_ = std::move(msg.snapshot);
+  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, msg.seq);
 }
 
 // ---------------------------------------------------------------------------
@@ -399,8 +364,7 @@ void PaxosReplica::ArmViewTimer() {
   // Do not count our own CPU backlog against the primary (see the SeeMoRe
   // replica for the full rationale: timers that ignore post-view-change
   // re-agreement work livelock the cluster).
-  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
-  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+  view_timer_ = StartTimer(current_vc_timeout_ + CpuBacklog(), [this] {
     view_timer_ = 0;
     StartViewChange(view_ + 1);
   });
@@ -421,58 +385,39 @@ void PaxosReplica::StartViewChange(uint64_t new_view) {
 
   ViewChangeRecord record;
   record.stable_seq = stable_seq_;
+  PaxosViewChangeMsg msg;
+  msg.new_view = new_view;
+  msg.stable_seq = stable_seq_;
   for (const auto& [seq, slot] : slots_) {
-    if (slot.has_batch) record.entries[seq] = {slot.view, slot.batch};
+    if (!slot.has_batch) continue;
+    record.entries[seq] = {slot.view, slot.batch};
+    PaxosVcEntry entry;
+    entry.seq = seq;
+    entry.view = slot.view;
+    entry.batch = slot.batch;
+    msg.entries.push_back(std::move(entry));
   }
-
-  Encoder enc;
-  enc.PutU8(kViewChange);
-  enc.PutU64(new_view);
-  enc.PutU64(record.stable_seq);
-  enc.PutVarint(record.entries.size());
-  for (const auto& [seq, entry] : record.entries) {
-    enc.PutU64(seq);
-    enc.PutU64(entry.first);
-    enc.PutBytes(entry.second.Encode());
-  }
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SendToMany(config_.AllReplicas(), msg.ToMessage());
 
   vc_msgs_[new_view][id_] = std::move(record);
   if (config_.FlatPrimary(new_view) == id_) MaybeFormNewView(new_view);
 
   // Escalate if this view change stalls (next leader may be dead too).
   current_vc_timeout_ = std::min<SimTime>(current_vc_timeout_ * 2, Seconds(2));
-  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
-  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+  view_timer_ = StartTimer(current_vc_timeout_ + CpuBacklog(), [this] {
     view_timer_ = 0;
     if (in_view_change_) StartViewChange(vc_target_ + 1);
   });
 }
 
-void PaxosReplica::HandleViewChange(PrincipalId from, Decoder& dec) {
-  const uint64_t new_view = dec.GetU64();
+void PaxosReplica::HandleViewChange(PrincipalId from, PaxosViewChangeMsg msg) {
+  if (msg.new_view <= view_) return;
   ViewChangeRecord record;
-  record.stable_seq = dec.GetU64();
-  const uint64_t count = dec.GetVarint();
-  // Sanity bounds: no honest replica holds more in-flight entries than two
-  // checkpoint periods, nor entries far above its own stable point. Without
-  // these limits a malformed record could drive the new-view construction
-  // loop over an astronomically large sequence range.
-  const uint64_t window = static_cast<uint64_t>(config_.checkpoint_period) *
-                              2 +
-                          static_cast<uint64_t>(config_.pipeline_max);
-  if (!dec.ok() || count > window + 1) return;
-  for (uint64_t i = 0; i < count; ++i) {
-    const uint64_t seq = dec.GetU64();
-    const uint64_t entry_view = dec.GetU64();
-    Bytes batch_bytes = dec.GetBytes();
-    if (!dec.ok()) return;
-    if (seq <= record.stable_seq || seq > record.stable_seq + window) return;
-    Result<Batch> batch_or = Batch::Decode(batch_bytes);
-    if (!batch_or.ok()) return;
-    record.entries[seq] = {entry_view, std::move(batch_or).value()};
+  record.stable_seq = msg.stable_seq;
+  for (PaxosVcEntry& entry : msg.entries) {
+    record.entries[entry.seq] = {entry.view, std::move(entry.batch)};
   }
-  if (new_view <= view_) return;
+  const uint64_t new_view = msg.new_view;
   vc_msgs_[new_view][from] = std::move(record);
   // Join the view change (crash model: a peer's suspicion is honest).
   StartViewChange(new_view);
@@ -512,20 +457,19 @@ void PaxosReplica::MaybeFormNewView(uint64_t new_view) {
     }
   }
 
-  Encoder enc;
-  enc.PutU8(kNewView);
-  enc.PutU64(new_view);
-  enc.PutU64(max_stable);
-  uint64_t entry_count = max_seq > max_stable ? max_seq - max_stable : 0;
-  enc.PutVarint(entry_count);
+  PaxosNewViewMsg nv;
+  nv.new_view = new_view;
+  nv.stable_seq = max_stable;
   for (uint64_t seq = max_stable + 1; seq <= max_seq; ++seq) {
-    enc.PutU64(seq);
     auto chosen_it = chosen.find(seq);
     Batch batch =
         chosen_it != chosen.end() ? chosen_it->second.second : Batch::Noop();
-    enc.PutBytes(batch.Encode());
+    PaxosNewViewEntry entry;
+    entry.seq = seq;
+    entry.batch = batch.Encode();
+    nv.entries.push_back(std::move(entry));
   }
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SendToMany(config_.AllReplicas(), nv.ToMessage());
 
   // Install locally: the new leader treats every entry as freshly accepted.
   EnterView(new_view);
@@ -551,42 +495,34 @@ void PaxosReplica::MaybeFormNewView(uint64_t new_view) {
   TryPropose();
 }
 
-void PaxosReplica::HandleNewView(PrincipalId from, Decoder& dec) {
-  const uint64_t new_view = dec.GetU64();
-  const uint64_t stable = dec.GetU64();
-  const uint64_t count = dec.GetVarint();
-  if (!dec.ok() || count > (1u << 20)) return;
-  if (config_.FlatPrimary(new_view) != from || new_view <= view_) return;
+void PaxosReplica::HandleNewView(PrincipalId from, PaxosNewViewMsg msg) {
+  if (config_.FlatPrimary(msg.new_view) != from || msg.new_view <= view_) {
+    return;
+  }
+  const uint64_t new_view = msg.new_view;
 
   EnterView(new_view);
   ++stats_.view_changes_completed;
-  for (uint64_t i = 0; i < count; ++i) {
-    const uint64_t seq = dec.GetU64();
-    Bytes batch_bytes = dec.GetBytes();
-    if (!dec.ok()) return;
-    if (seq <= stable_seq_) continue;
-    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  for (PaxosNewViewEntry& wire_entry : msg.entries) {
+    if (wire_entry.seq <= stable_seq_) continue;
+    Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     // Already-committed slots still get ACKed: the new leader needs f+1
     // ACKs even for entries some replicas committed before the view change.
     Slot fresh;
     fresh.batch = std::move(batch_or).value();
     fresh.has_batch = true;
-    ChargeHash(batch_bytes.size());
-    fresh.digest = Digest::Of(batch_bytes);
+    ChargeHash(wire_entry.batch.size());
+    fresh.digest = Digest::Of(wire_entry.batch);
     fresh.view = new_view;
-    fresh.committed = slots_[seq].committed || exec_.HasCommitted(seq);
-    slots_[seq] = std::move(fresh);
-    Slot& slot = slots_[seq];
+    fresh.committed = slots_[wire_entry.seq].committed ||
+                      exec_.HasCommitted(wire_entry.seq);
+    slots_[wire_entry.seq] = std::move(fresh);
+    Slot& slot = slots_[wire_entry.seq];
 
-    Encoder ack;
-    ack.PutU8(kAck);
-    ack.PutU64(new_view);
-    ack.PutU64(seq);
-    slot.digest.EncodeTo(ack);
-    SendTo(from, ack.bytes());
+    PaxosAckMsg ack{new_view, wire_entry.seq, slot.digest};
+    SendTo(from, ack.ToMessage());
   }
-  (void)stable;
   if (UncommittedSlots() > 0) ArmViewTimer();
 }
 

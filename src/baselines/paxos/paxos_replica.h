@@ -29,25 +29,15 @@
 
 #include "consensus/quorum.h"
 #include "consensus/replica_base.h"
+#include "wire/messages.h"
 
 namespace seemore {
 
 class PaxosReplica : public ReplicaBase {
  public:
-  /// Message tags (>= 10; 1/2 are the shared REQUEST/REPLY).
-  enum MsgType : uint8_t {
-    kAccept = 10,
-    kAck = 11,
-    kCommit = 12,
-    kViewChange = 13,
-    kNewView = 14,
-    kCheckpoint = 15,
-    kStateRequest = 16,
-    kStateResponse = 17,
-  };
-
-  PaxosReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-               PrincipalId id, const ClusterConfig& config,
+  PaxosReplica(Transport* transport, TimerService* timers,
+               const KeyStore* keystore, PrincipalId id,
+               const ClusterConfig& config,
                std::unique_ptr<StateMachine> state_machine,
                const CostModel& costs);
 
@@ -73,34 +63,40 @@ class PaxosReplica : public ReplicaBase {
   };
 
   // ----- normal case -----
-  void HandleRequest(PrincipalId from, Decoder& dec);
+  void HandleRequest(PrincipalId from, Request request);
   void LeaderEnqueue(Request request);
   void TryPropose();
-  void HandleAccept(PrincipalId from, Decoder& dec);
-  void HandleAck(PrincipalId from, Decoder& dec);
-  void HandleCommit(PrincipalId from, Decoder& dec);
+  void HandleAccept(PrincipalId from, PaxosAcceptMsg msg);
+  void HandleAck(PrincipalId from, PaxosAckMsg msg);
+  void HandleCommit(PrincipalId from, PaxosCommitMsg msg);
   void CommitSlot(uint64_t seq, Slot& slot, bool send_replies);
   void SendReply(const ExecutedRequest& executed);
   int UncommittedSlots() const;
 
   // ----- checkpoints / state transfer -----
   void MaybeCheckpoint();
-  void HandleCheckpoint(PrincipalId from, Decoder& dec);
+  void HandleCheckpoint(PrincipalId from, PaxosCheckpointMsg msg);
   void CountCheckpointVote(uint64_t seq, const Digest& digest,
                            PrincipalId voter);
   void AdvanceStable(uint64_t seq, const Digest& digest, PrincipalId helper);
-  void HandleStateRequest(PrincipalId from, Decoder& dec);
-  void HandleStateResponse(PrincipalId from, Decoder& dec);
+  void HandleStateRequest(PrincipalId from, StateRequestMsg msg);
+  void HandleStateResponse(PrincipalId from, PaxosStateResponseMsg msg);
   void RequestStateFrom(PrincipalId target);
 
   // ----- view change -----
   void ArmViewTimer();
   void RestartOrDisarmViewTimer();
   void StartViewChange(uint64_t new_view);
-  void HandleViewChange(PrincipalId from, Decoder& dec);
+  void HandleViewChange(PrincipalId from, PaxosViewChangeMsg msg);
   void MaybeFormNewView(uint64_t new_view);
-  void HandleNewView(PrincipalId from, Decoder& dec);
+  void HandleNewView(PrincipalId from, PaxosNewViewMsg msg);
   void EnterView(uint64_t view);
+  /// Entry-count sanity bound shared by view-change parsing (see the wire
+  /// codec): two checkpoint periods of in-flight entries plus the pipeline.
+  uint64_t Window() const {
+    return static_cast<uint64_t>(config_.checkpoint_period) * 2 +
+           static_cast<uint64_t>(config_.pipeline_max);
+  }
 
   uint64_t view_ = 0;
   bool in_view_change_ = false;

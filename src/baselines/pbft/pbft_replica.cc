@@ -6,14 +6,14 @@
 
 namespace seemore {
 
-PbftCoreReplica::PbftCoreReplica(Simulator* sim, SimNetwork* net,
+PbftCoreReplica::PbftCoreReplica(Transport* transport, TimerService* timers,
                                  const KeyStore* keystore, PrincipalId id,
                                  const ClusterConfig& config,
                                  std::unique_ptr<StateMachine> state_machine,
                                  const CostModel& costs,
                                  const PbftQuorums& quorums)
-    : ReplicaBase(sim, net, keystore, id, config, std::move(state_machine),
-                  costs),
+    : ReplicaBase(transport, timers, keystore, id, config,
+                  std::move(state_machine), costs),
       quorums_(quorums) {
   current_vc_timeout_ = config_.view_change_timeout;
   window_ = static_cast<uint64_t>(config_.checkpoint_period) * 2 +
@@ -26,34 +26,39 @@ void PbftCoreReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
   if (!dec.ok()) return;
   ChargeMac();  // channel authentication
   // Protocol-internal messages are only legitimate on replica channels.
-  if (tag != kMsgRequest && (from < 0 || from >= config_.n())) return;
+  if (tag != kMsgRequest && !IsReplicaId(from)) return;
   switch (tag) {
     case kMsgRequest:
-      HandleRequest(from, dec);
+      DispatchTyped(this, from, dec, &PbftCoreReplica::HandleRequest);
       break;
-    case kPrePrepare:
-      HandlePrePrepare(from, dec);
+    case kPbftPrePrepare:
+      DispatchTyped(this, from, dec, &PbftCoreReplica::HandlePrePrepare);
       break;
-    case kPrepare:
-      HandlePrepare(from, dec);
+    case kPbftPrepare:
+      DispatchTyped(this, from, dec, &PbftCoreReplica::HandlePrepare);
       break;
-    case kCommit:
-      HandleCommit(from, dec);
+    case kPbftCommit:
+      DispatchTyped(this, from, dec, &PbftCoreReplica::HandleCommit);
       break;
-    case kCheckpoint:
-      HandleCheckpoint(from, dec);
+    case kPbftCheckpoint:
+      DispatchTyped(this, from, dec, &PbftCoreReplica::HandleCheckpoint);
       break;
-    case kViewChange:
-      HandleViewChange(from, dec, bytes);
+    case kPbftViewChange:
+      // The body signature covers the whole frame; validate from the raw
+      // bytes (ParseViewChange runs the typed decode internally).
+      HandleViewChange(from, bytes);
       break;
-    case kNewView:
-      HandleNewView(from, dec);
+    case kPbftNewView: {
+      Result<PbftNewViewMsg> msg = PbftNewViewMsg::DecodeFrom(
+          dec, static_cast<uint64_t>(config_.n()), window_ + 1);
+      if (msg.ok()) HandleNewView(from, std::move(msg).value());
       break;
-    case kStateRequest:
-      HandleStateRequest(from, dec);
+    }
+    case kPbftStateRequest:
+      DispatchTyped(this, from, dec, &PbftCoreReplica::HandleStateRequest);
       break;
-    case kStateResponse:
-      HandleStateResponse(from, dec);
+    case kPbftStateResponse:
+      DispatchTyped(this, from, dec, &PbftCoreReplica::HandleStateResponse);
       break;
     default:
       break;
@@ -64,11 +69,7 @@ void PbftCoreReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
 // Normal case
 // ---------------------------------------------------------------------------
 
-void PbftCoreReplica::HandleRequest(PrincipalId from, Decoder& dec) {
-  Result<Request> request_or = Request::DecodeFrom(dec);
-  if (!request_or.ok()) return;
-  Request request = std::move(request_or).value();
-
+void PbftCoreReplica::HandleRequest(PrincipalId from, Request request) {
   // Channel authentication (§3.1): a request arriving directly from a
   // client channel must name that client. Without this, a rogue client
   // could impersonate another and poison its timestamp sequence — the
@@ -151,27 +152,19 @@ void PbftCoreReplica::TryPropose() {
       if (alt.size() == batch.size() && batch.size() == 1) {
         alt = Batch::Noop();
       }
-      const Bytes enc_a = batch.Encode();
-      const Bytes enc_b = alt.Encode();
-      const Digest dig_a = Digest::Of(enc_a);
-      const Digest dig_b = Digest::Of(enc_b);
-      const Signature sig_a = signer_.Sign(
-          ProposalHeader(kDomainPrePrepare, 0, view_, seq, dig_a));
-      const Signature sig_b = signer_.Sign(
-          ProposalHeader(kDomainPrePrepare, 0, view_, seq, dig_b));
+      PbftPrePrepareMsg pp_a{view_, seq, Digest(), Signature(), batch.Encode()};
+      PbftPrePrepareMsg pp_b{view_, seq, Digest(), Signature(), alt.Encode()};
+      pp_a.digest = Digest::Of(pp_a.batch);
+      pp_b.digest = Digest::Of(pp_b.batch);
+      pp_a.sig = signer_.Sign(pp_a.Header());
+      pp_b.sig = signer_.Sign(pp_b.Header());
       ChargeSign(2);
+      const Bytes msg_a = pp_a.ToMessage();
+      const Bytes msg_b = pp_b.ToMessage();
       const std::vector<PrincipalId> all = config_.AllReplicas();
       for (size_t i = 0; i < all.size(); ++i) {
         if (all[i] == id_) continue;
-        const bool first_half = i < all.size() / 2;
-        Encoder enc;
-        enc.PutU8(kPrePrepare);
-        enc.PutU64(view_);
-        enc.PutU64(seq);
-        (first_half ? dig_a : dig_b).EncodeTo(enc);
-        (first_half ? sig_a : sig_b).EncodeTo(enc);
-        enc.PutBytes(first_half ? enc_a : enc_b);
-        SendTo(all[i], enc.bytes());
+        SendTo(all[i], i < all.size() / 2 ? msg_a : msg_b);
       }
       continue;  // keep no honest slot; we are lying anyway
     }
@@ -184,48 +177,30 @@ void PbftCoreReplica::TryPropose() {
 void PbftCoreReplica::EmitPrePrepare(uint64_t seq, const Batch& batch,
                                      const Bytes& encoded) {
   ChargeHash(encoded.size());
-  const Digest digest = Digest::Of(encoded);
+  PbftPrePrepareMsg pp{view_, seq, Digest::Of(encoded), Signature(), encoded};
   ChargeSign();
-  const Signature sig =
-      signer_.Sign(ProposalHeader(kDomainPrePrepare, 0, view_, seq, digest));
+  pp.sig = signer_.Sign(pp.Header());
 
   Slot& slot = slots_[seq];
   slot.batch = batch;
   slot.has_batch = true;
-  slot.digest = digest;
+  slot.digest = pp.digest;
   slot.view = view_;
-  slot.primary_sig = sig;
+  slot.primary_sig = pp.sig;
 
-  Encoder enc;
-  enc.PutU8(kPrePrepare);
-  enc.PutU64(view_);
-  enc.PutU64(seq);
-  digest.EncodeTo(enc);
-  sig.EncodeTo(enc);
-  enc.PutBytes(encoded);
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SendToMany(config_.AllReplicas(), pp.ToMessage());
 }
 
-void PbftCoreReplica::HandlePrePrepare(PrincipalId from, Decoder& dec) {
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const Signature sig = Signature::DecodeFrom(dec);
-  Bytes batch_bytes = dec.GetBytes();
-  if (!dec.ok()) return;
-  if (view != view_ || in_view_change_) return;
+void PbftCoreReplica::HandlePrePrepare(PrincipalId from, PbftPrePrepareMsg msg) {
+  if (msg.view != view_ || in_view_change_) return;
   if (from != config_.FlatPrimary(view_)) return;
-  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
 
   ChargeVerify();
-  if (!keystore_->Verify(from,
-                         ProposalHeader(kDomainPrePrepare, 0, view, seq, digest),
-                         sig)) {
-    return;
-  }
-  ChargeHash(batch_bytes.size());
-  if (Digest::Of(batch_bytes) != digest) return;
-  Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  if (!msg.VerifySignature(*keystore_, from)) return;
+  ChargeHash(msg.batch.size());
+  if (Digest::Of(msg.batch) != msg.digest) return;
+  Result<Batch> batch_or = Batch::Decode(msg.batch);
   if (!batch_or.ok()) return;
   Batch batch = std::move(batch_or).value();
   // Authenticate every client request in the batch.
@@ -234,59 +209,46 @@ void PbftCoreReplica::HandlePrePrepare(PrincipalId from, Decoder& dec) {
     if (!request.VerifySignature(*keystore_)) return;
   }
 
-  Slot& slot = slots_[seq];
+  Slot& slot = slots_[msg.seq];
   if (slot.has_batch) {
     // Equivocation defense: at most one pre-prepare per (view, seq).
-    if (slot.view == view && slot.digest != digest) return;
-    if (slot.digest == digest) return;  // duplicate
+    if (slot.view == msg.view && slot.digest != msg.digest) return;
+    if (slot.digest == msg.digest) return;  // duplicate
   }
   slot.batch = std::move(batch);
   slot.has_batch = true;
-  slot.digest = digest;
-  slot.view = view;
-  slot.primary_sig = sig;
+  slot.digest = msg.digest;
+  slot.view = msg.view;
+  slot.primary_sig = msg.sig;
 
-  SendPrepare(seq, slot);
+  SendPrepare(msg.seq, slot);
   ArmViewTimer();
-  CheckPrepared(seq, slot);
+  CheckPrepared(msg.seq, slot);
 }
 
 void PbftCoreReplica::SendPrepare(uint64_t seq, Slot& slot) {
   Digest vote_digest = slot.digest;
   if (HasByz(kByzWrongVotes)) vote_digest.data()[0] ^= 0xff;
   ChargeSign();
-  const Signature sig = signer_.Sign(
-      VoteHeader(kDomainPrepare, 0, view_, seq, vote_digest, id_));
-  Encoder enc;
-  enc.PutU8(kPrepare);
-  enc.PutU64(view_);
-  enc.PutU64(seq);
-  vote_digest.EncodeTo(enc);
-  enc.PutU32(static_cast<uint32_t>(id_));
-  sig.EncodeTo(enc);
-  SendToMany(config_.AllReplicas(), enc.bytes());
-  slot.prepare_votes.Add(vote_digest, id_, sig);
+  PbftPrepareMsg prepare;
+  prepare.view = view_;
+  prepare.seq = seq;
+  prepare.digest = vote_digest;
+  prepare.voter = id_;
+  prepare.sig = signer_.Sign(prepare.Header(PbftPrepareMsg::kDomain));
+  SendToMany(config_.AllReplicas(), prepare.ToMessage());
+  slot.prepare_votes.Add(vote_digest, id_, prepare.sig);
 }
 
-void PbftCoreReplica::HandlePrepare(PrincipalId from, Decoder& dec) {
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
-  const Signature sig = Signature::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (view != view_ || in_view_change_) return;
-  if (voter != from || !IsReplicaId(voter)) return;
-  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+void PbftCoreReplica::HandlePrepare(PrincipalId from, PbftPrepareMsg msg) {
+  if (msg.view != view_ || in_view_change_) return;
+  if (msg.voter != from || !IsReplicaId(msg.voter)) return;
+  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!keystore_->Verify(voter,
-                         VoteHeader(kDomainPrepare, 0, view, seq, digest, voter),
-                         sig)) {
-    return;
-  }
-  Slot& slot = slots_[seq];
-  slot.prepare_votes.Add(digest, voter, sig);
-  CheckPrepared(seq, slot);
+  if (!msg.Verify(*keystore_)) return;
+  Slot& slot = slots_[msg.seq];
+  slot.prepare_votes.Add(msg.digest, msg.voter, msg.sig);
+  CheckPrepared(msg.seq, slot);
 }
 
 void PbftCoreReplica::CheckPrepared(uint64_t seq, Slot& slot) {
@@ -301,40 +263,27 @@ void PbftCoreReplica::CheckPrepared(uint64_t seq, Slot& slot) {
     Digest vote_digest = slot.digest;
     if (HasByz(kByzWrongVotes)) vote_digest.data()[0] ^= 0xff;
     ChargeSign();
-    const Signature sig = signer_.Sign(
-        VoteHeader(kDomainCommit, 0, view_, seq, vote_digest, id_));
-    Encoder enc;
-    enc.PutU8(kCommit);
-    enc.PutU64(view_);
-    enc.PutU64(seq);
-    vote_digest.EncodeTo(enc);
-    enc.PutU32(static_cast<uint32_t>(id_));
-    sig.EncodeTo(enc);
-    SendToMany(config_.AllReplicas(), enc.bytes());
-    slot.commit_votes.Add(vote_digest, id_, sig);
+    PbftCommitMsg commit;
+    commit.view = view_;
+    commit.seq = seq;
+    commit.digest = vote_digest;
+    commit.voter = id_;
+    commit.sig = signer_.Sign(commit.Header(PbftCommitMsg::kDomain));
+    SendToMany(config_.AllReplicas(), commit.ToMessage());
+    slot.commit_votes.Add(vote_digest, id_, commit.sig);
   }
   CheckCommitted(seq, slot);
 }
 
-void PbftCoreReplica::HandleCommit(PrincipalId from, Decoder& dec) {
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
-  const Signature sig = Signature::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (view != view_ || in_view_change_) return;
-  if (voter != from || !IsReplicaId(voter)) return;
-  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+void PbftCoreReplica::HandleCommit(PrincipalId from, PbftCommitMsg msg) {
+  if (msg.view != view_ || in_view_change_) return;
+  if (msg.voter != from || !IsReplicaId(msg.voter)) return;
+  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!keystore_->Verify(voter,
-                         VoteHeader(kDomainCommit, 0, view, seq, digest, voter),
-                         sig)) {
-    return;
-  }
-  Slot& slot = slots_[seq];
-  slot.commit_votes.Add(digest, voter, sig);
-  CheckCommitted(seq, slot);
+  if (!msg.Verify(*keystore_)) return;
+  Slot& slot = slots_[msg.seq];
+  slot.commit_votes.Add(msg.digest, msg.voter, msg.sig);
+  CheckCommitted(msg.seq, slot);
 }
 
 void PbftCoreReplica::CheckCommitted(uint64_t seq, Slot& slot) {
@@ -392,17 +341,11 @@ void PbftCoreReplica::MaybeCheckpoint() {
   msg.replica = id_;
   ChargeSign();
   msg.Sign(signer_);
-  Encoder enc;
-  enc.PutU8(kCheckpoint);
-  msg.EncodeTo(enc);
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SendToMany(config_.AllReplicas(), FrameMessage(kPbftCheckpoint, msg));
   CountCheckpointVote(msg);
 }
 
-void PbftCoreReplica::HandleCheckpoint(PrincipalId from, Decoder& dec) {
-  Result<CheckpointMsg> msg_or = CheckpointMsg::DecodeFrom(dec);
-  if (!msg_or.ok()) return;
-  const CheckpointMsg& msg = msg_or.value();
+void PbftCoreReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
   if (msg.replica != from || !IsReplicaId(from)) return;
   if (msg.seq <= stable_seq_) return;
   ChargeVerify();
@@ -456,33 +399,26 @@ void PbftCoreReplica::AdvanceStable(uint64_t seq, const Digest& digest,
 
 void PbftCoreReplica::RequestStateFrom(PrincipalId target) {
   if (target == id_) return;
-  if (sim_->now() - last_state_request_ < Millis(20)) return;
-  last_state_request_ = sim_->now();
+  if (now() - last_state_request_ < Millis(20)) return;
+  last_state_request_ = now();
   ++stats_.state_transfers;
-  Encoder enc;
-  enc.PutU8(kStateRequest);
-  enc.PutU64(exec_.last_executed());
-  SendTo(target, enc.bytes());
+  StateRequestMsg request{exec_.last_executed()};
+  SendTo(target, request.ToMessage(kPbftStateRequest));
 }
 
-void PbftCoreReplica::HandleStateRequest(PrincipalId from, Decoder& dec) {
-  const uint64_t their_executed = dec.GetU64();
-  if (!dec.ok()) return;
-  if (stable_snapshot_.empty() || stable_seq_ <= their_executed) return;
-  Encoder enc;
-  enc.PutU8(kStateResponse);
-  stable_cert_.EncodeTo(enc);
-  enc.PutBytes(stable_snapshot_);
-  SendTo(from, enc.bytes());
+void PbftCoreReplica::HandleStateRequest(PrincipalId from, StateRequestMsg msg) {
+  if (stable_snapshot_.empty() || stable_seq_ <= msg.last_executed) return;
+  StateResponseMsg response;
+  response.cert = stable_cert_;
+  response.snapshot = stable_snapshot_;
+  SendTo(from, response.ToMessage(kPbftStateResponse));
 }
 
-void PbftCoreReplica::HandleStateResponse(PrincipalId from, Decoder& dec) {
+void PbftCoreReplica::HandleStateResponse(PrincipalId from,
+                                          StateResponseMsg msg) {
   (void)from;
-  Result<CheckpointCert> cert_or = CheckpointCert::DecodeFrom(dec);
-  if (!cert_or.ok()) return;
-  Bytes snapshot = dec.GetBytes();
-  if (!dec.ok()) return;
-  CheckpointCert cert = std::move(cert_or).value();
+  CheckpointCert cert = std::move(msg.cert);
+  Bytes snapshot = std::move(msg.snapshot);
   if (cert.IsGenesis() || cert.seq() <= exec_.last_executed()) return;
   ChargeVerify(static_cast<int>(cert.msgs().size()));
   if (!cert.Verify(*keystore_, quorums_.checkpoint,
@@ -511,8 +447,7 @@ void PbftCoreReplica::ArmViewTimer() {
   // Do not count our own CPU backlog against the primary (see the SeeMoRe
   // replica for the full rationale: timers that ignore post-view-change
   // re-agreement work livelock the cluster).
-  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
-  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+  view_timer_ = StartTimer(current_vc_timeout_ + CpuBacklog(), [this] {
     view_timer_ = 0;
     StartViewChange(view_ + 1);
   });
@@ -531,16 +466,7 @@ void PbftCoreReplica::StartViewChange(uint64_t new_view) {
   ++stats_.view_changes_started;
   CancelTimer(view_timer_);
 
-  Encoder enc;
-  enc.PutU8(kViewChange);
-  enc.PutU64(new_view);
-  enc.PutU64(stable_seq_);
-  stable_cert_.EncodeTo(enc);
-  uint64_t proof_count = 0;
-  for (const auto& [seq, slot] : slots_) {
-    if (slot.prepared && seq > stable_seq_) ++proof_count;
-  }
-  enc.PutVarint(proof_count);
+  std::vector<PreparedProof> proofs;
   for (const auto& [seq, slot] : slots_) {
     if (!slot.prepared || seq <= stable_seq_) continue;
     PreparedProof proof;
@@ -551,14 +477,11 @@ void PbftCoreReplica::StartViewChange(uint64_t new_view) {
     proof.primary_sig = slot.primary_sig;
     const auto* sigs = slot.prepare_votes.SignaturesFor(slot.digest);
     if (sigs != nullptr) proof.prepares = *sigs;
-    proof.EncodeTo(enc);
+    proofs.push_back(std::move(proof));
   }
-  enc.PutU32(static_cast<uint32_t>(id_));
-  // Sign the body (everything so far).
   ChargeSign();
-  const Signature sig = signer_.Sign(enc.bytes());
-  sig.EncodeTo(enc);
-  const Bytes raw = enc.Take();
+  const Bytes raw = PbftViewChangeMsg::Build(new_view, stable_seq_,
+                                             stable_cert_, proofs, signer_);
   SendToMany(config_.AllReplicas(), raw);
 
   Result<ViewChangeRecord> record = ParseViewChange(raw, id_);
@@ -568,8 +491,7 @@ void PbftCoreReplica::StartViewChange(uint64_t new_view) {
   if (config_.FlatPrimary(new_view) == id_) MaybeFormNewView(new_view);
 
   current_vc_timeout_ = std::min<SimTime>(current_vc_timeout_ * 2, Seconds(2));
-  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
-  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+  view_timer_ = StartTimer(current_vc_timeout_ + CpuBacklog(), [this] {
     view_timer_ = 0;
     if (in_view_change_) StartViewChange(vc_target_ + 1);
   });
@@ -577,39 +499,29 @@ void PbftCoreReplica::StartViewChange(uint64_t new_view) {
 
 Result<PbftCoreReplica::ViewChangeRecord> PbftCoreReplica::ParseViewChange(
     const Bytes& raw, PrincipalId from) {
-  Decoder dec(raw);
-  if (dec.GetU8() != kViewChange) return Status::Corruption("not a VC");
-  const uint64_t new_view = dec.GetU64();
-  (void)new_view;
-  ViewChangeRecord record;
-  record.raw = raw;
-  record.stable_seq = dec.GetU64();
-  SEEMORE_ASSIGN_OR_RETURN(record.cert, CheckpointCert::DecodeFrom(dec));
-  const uint64_t proof_count = dec.GetVarint();
-  if (!dec.ok()) return dec.status();
-  if (proof_count > window_ + 1) return Status::Corruption("too many proofs");
-  for (uint64_t i = 0; i < proof_count; ++i) {
-    SEEMORE_ASSIGN_OR_RETURN(PreparedProof proof,
-                             PreparedProof::DecodeFrom(dec));
-    record.proofs.emplace(proof.seq, std::move(proof));
-  }
-  const PrincipalId sender = static_cast<PrincipalId>(dec.GetU32());
-  if (!dec.ok()) return dec.status();
-  const size_t body_len = raw.size() - dec.remaining();
-  const Signature sig = Signature::DecodeFrom(dec);
-  SEEMORE_RETURN_IF_ERROR(dec.Finish());
-  if (sender != from) return Status::Corruption("sender mismatch");
-  if (!keystore_->Verify(sender, raw.data(), body_len, sig)) {
+  SEEMORE_ASSIGN_OR_RETURN(PbftViewChangeMsg msg,
+                           PbftViewChangeMsg::DecodeFrom(raw, window_ + 1));
+  return ValidateViewChange(std::move(msg), raw, from);
+}
+
+Result<PbftCoreReplica::ViewChangeRecord> PbftCoreReplica::ValidateViewChange(
+    PbftViewChangeMsg msg, const Bytes& raw, PrincipalId from) {
+  if (msg.sender != from) return Status::Corruption("sender mismatch");
+  if (!msg.VerifySignature(*keystore_, raw)) {
     return Status::Corruption("bad VC signature");
   }
+  ViewChangeRecord record;
+  record.raw = raw;
+  record.stable_seq = msg.stable_seq;
+  record.cert = std::move(msg.cert);
   // Validate the embedded certificates now so the new-view computation can
   // trust every stored record.
   if (!record.cert.Verify(*keystore_, quorums_.checkpoint,
                           [this](PrincipalId r) { return IsReplicaId(r); })) {
     return Status::Corruption("bad checkpoint cert in VC");
   }
-  for (const auto& [seq, proof] : record.proofs) {
-    if (proof.seq != seq || seq <= record.stable_seq) {
+  for (PreparedProof& proof : msg.proofs) {
+    if (proof.seq <= record.stable_seq) {
       return Status::Corruption("inconsistent proof seq");
     }
     if (!proof.Verify(*keystore_, config_.FlatPrimary(proof.view),
@@ -617,14 +529,18 @@ Result<PbftCoreReplica::ViewChangeRecord> PbftCoreReplica::ParseViewChange(
                       [this](PrincipalId r) { return IsReplicaId(r); })) {
       return Status::Corruption("invalid prepared proof");
     }
+    const uint64_t seq = proof.seq;
+    if (!record.proofs.emplace(seq, std::move(proof)).second) {
+      return Status::Corruption("duplicate proof seq");
+    }
   }
   return record;
 }
 
-void PbftCoreReplica::HandleViewChange(PrincipalId from, Decoder& dec,
-                                       const Bytes& raw) {
-  const uint64_t new_view = dec.GetU64();
-  if (!dec.ok() || new_view <= view_) return;
+void PbftCoreReplica::HandleViewChange(PrincipalId from, const Bytes& raw) {
+  // Peek the target view before paying full validation.
+  const uint64_t new_view = PbftViewChangeMsg::PeekNewView(raw);
+  if (new_view <= view_) return;
   // Full parse + signature + certificate verification.
   ChargeVerify(2);
   Result<ViewChangeRecord> record_or = ParseViewChange(raw, from);
@@ -690,23 +606,21 @@ void PbftCoreReplica::MaybeFormNewView(uint64_t new_view) {
 
   auto [max_stable, proposals] = ComputeNewViewProposals(records);
 
-  Encoder enc;
-  enc.PutU8(kNewView);
-  enc.PutU64(new_view);
-  enc.PutVarint(records.size());
+  PbftNewViewMsg nv;
+  nv.new_view = new_view;
   for (const auto& [sender, record] : records) {
-    enc.PutBytes(record.raw);
+    nv.view_changes.push_back(record.raw);
   }
-  enc.PutVarint(proposals.size());
   for (auto& [seq, proposal] : proposals) {
     ChargeSign();
-    const Signature sig = signer_.Sign(
+    PbftNewViewEntry entry;
+    entry.seq = seq;
+    entry.digest = proposal.digest;
+    entry.sig = signer_.Sign(
         ProposalHeader(kDomainPrePrepare, 0, new_view, seq, proposal.digest));
-    enc.PutU64(seq);
-    proposal.digest.EncodeTo(enc);
-    sig.EncodeTo(enc);
+    nv.entries.push_back(std::move(entry));
   }
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SendToMany(config_.AllReplicas(), nv.ToMessage());
 
   // Install locally.
   PrincipalId helper = id_;
@@ -737,55 +651,37 @@ void PbftCoreReplica::MaybeFormNewView(uint64_t new_view) {
   TryPropose();
 }
 
-void PbftCoreReplica::HandleNewView(PrincipalId from, Decoder& dec) {
-  const uint64_t new_view = dec.GetU64();
-  if (!dec.ok()) return;
+void PbftCoreReplica::HandleNewView(PrincipalId from, PbftNewViewMsg msg) {
+  const uint64_t new_view = msg.new_view;
   if (config_.FlatPrimary(new_view) != from) return;
   if (new_view <= view_) return;
 
   // Re-validate the embedded view-change quorum.
-  const uint64_t vc_count = dec.GetVarint();
-  if (!dec.ok() || vc_count > static_cast<uint64_t>(config_.n())) return;
   std::map<PrincipalId, ViewChangeRecord> records;
-  ChargeVerify(static_cast<int>(vc_count) * 2);
-  for (uint64_t i = 0; i < vc_count; ++i) {
-    Bytes raw = dec.GetBytes();
-    if (!dec.ok()) return;
-    // Determine the sender from the message body (second-to-last field).
-    Decoder peek(raw);
-    if (peek.GetU8() != kViewChange) return;
-    if (peek.GetU64() != new_view) return;  // VC for a different view
-    // Re-parse fully below; sender id sits before the trailing signature.
-    if (raw.size() < Signature::kSize + 4) return;
-    const size_t sender_off = raw.size() - Signature::kSize - 4;
-    uint32_t sender_raw = 0;
-    for (int b = 0; b < 4; ++b) {
-      sender_raw |= static_cast<uint32_t>(raw[sender_off + b]) << (8 * b);
-    }
-    const PrincipalId sender = static_cast<PrincipalId>(sender_raw);
-    Result<ViewChangeRecord> record_or = ParseViewChange(raw, sender);
+  ChargeVerify(static_cast<int>(msg.view_changes.size()) * 2);
+  for (const Bytes& raw : msg.view_changes) {
+    // The sender id is part of the signed body; decode it from the frame
+    // itself instead of trusting the new primary.
+    Result<PbftViewChangeMsg> vc_or =
+        PbftViewChangeMsg::DecodeFrom(raw, window_ + 1);
+    if (!vc_or.ok()) return;
+    if (vc_or.value().new_view != new_view) return;  // VC for another view
+    const PrincipalId sender = vc_or.value().sender;
+    Result<ViewChangeRecord> record_or =
+        ValidateViewChange(std::move(vc_or).value(), raw, sender);
     if (!record_or.ok()) return;
     records[sender] = std::move(record_or).value();
   }
   if (static_cast<int>(records.size()) < quorums_.view_change) return;
 
   auto [max_stable, proposals] = ComputeNewViewProposals(records);
-
-  const uint64_t entry_count = dec.GetVarint();
-  if (!dec.ok() || entry_count != proposals.size()) return;
-  struct Entry {
-    uint64_t seq;
-    Digest digest;
-    Signature sig;
-  };
-  std::vector<Entry> entries;
-  entries.reserve(entry_count);
-  for (uint64_t i = 0; i < entry_count; ++i) {
-    Entry entry;
-    entry.seq = dec.GetU64();
-    entry.digest = Digest::DecodeFrom(dec);
-    entry.sig = Signature::DecodeFrom(dec);
-    if (!dec.ok()) return;
+  if (msg.entries.size() != proposals.size()) return;
+  std::set<uint64_t> seen_seqs;
+  for (PbftNewViewEntry& entry : msg.entries) {
+    // Each proposal must be matched exactly once: a duplicated seq would
+    // let a Byzantine primary silently omit a required re-proposal while
+    // still passing the size check above.
+    if (!seen_seqs.insert(entry.seq).second) return;
     auto expect = proposals.find(entry.seq);
     if (expect == proposals.end() || expect->second.digest != entry.digest) {
       return;  // primary diverged from the deterministic computation
@@ -797,14 +693,13 @@ void PbftCoreReplica::HandleNewView(PrincipalId from, Decoder& dec) {
                            entry.sig)) {
       return;
     }
-    entries.push_back(std::move(entry));
   }
 
   EnterView(new_view);
   ++stats_.view_changes_completed;
   PrincipalId helper = from;
   if (max_stable > exec_.last_executed()) RequestStateFrom(helper);
-  for (Entry& entry : entries) {
+  for (PbftNewViewEntry& entry : msg.entries) {
     if (entry.seq <= stable_seq_) continue;
     // Already-committed sequence numbers still run the prepare/commit vote
     // exchange so peers that missed them pre-view-change can assemble their

@@ -22,6 +22,7 @@
 #include "consensus/proofs.h"
 #include "consensus/quorum.h"
 #include "consensus/replica_base.h"
+#include "wire/messages.h"
 
 namespace seemore {
 
@@ -36,19 +37,9 @@ struct PbftQuorums {
 
 class PbftCoreReplica : public ReplicaBase {
  public:
-  enum MsgType : uint8_t {
-    kPrePrepare = 10,
-    kPrepare = 11,
-    kCommit = 12,
-    kCheckpoint = 13,
-    kViewChange = 14,
-    kNewView = 15,
-    kStateRequest = 16,
-    kStateResponse = 17,
-  };
-
-  PbftCoreReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-                  PrincipalId id, const ClusterConfig& config,
+  PbftCoreReplica(Transport* transport, TimerService* timers,
+                  const KeyStore* keystore, PrincipalId id,
+                  const ClusterConfig& config,
                   std::unique_ptr<StateMachine> state_machine,
                   const CostModel& costs, const PbftQuorums& quorums);
 
@@ -89,13 +80,13 @@ class PbftCoreReplica : public ReplicaBase {
   };
 
   // ----- normal case -----
-  void HandleRequest(PrincipalId from, Decoder& dec);
+  void HandleRequest(PrincipalId from, Request request);
   void PrimaryEnqueue(Request request);
   void TryPropose();
   void EmitPrePrepare(uint64_t seq, const Batch& batch, const Bytes& encoded);
-  void HandlePrePrepare(PrincipalId from, Decoder& dec);
-  void HandlePrepare(PrincipalId from, Decoder& dec);
-  void HandleCommit(PrincipalId from, Decoder& dec);
+  void HandlePrePrepare(PrincipalId from, PbftPrePrepareMsg msg);
+  void HandlePrepare(PrincipalId from, PbftPrepareMsg msg);
+  void HandleCommit(PrincipalId from, PbftCommitMsg msg);
   void SendPrepare(uint64_t seq, Slot& slot);
   void CheckPrepared(uint64_t seq, Slot& slot);
   void CheckCommitted(uint64_t seq, Slot& slot);
@@ -104,27 +95,34 @@ class PbftCoreReplica : public ReplicaBase {
 
   // ----- checkpoints / state transfer -----
   void MaybeCheckpoint();
-  void HandleCheckpoint(PrincipalId from, Decoder& dec);
+  void HandleCheckpoint(PrincipalId from, CheckpointMsg msg);
   void CountCheckpointVote(const CheckpointMsg& msg);
   void AdvanceStable(uint64_t seq, const Digest& digest, CheckpointCert cert,
                      PrincipalId helper);
-  void HandleStateRequest(PrincipalId from, Decoder& dec);
-  void HandleStateResponse(PrincipalId from, Decoder& dec);
+  void HandleStateRequest(PrincipalId from, StateRequestMsg msg);
+  void HandleStateResponse(PrincipalId from, StateResponseMsg msg);
   void RequestStateFrom(PrincipalId target);
 
   // ----- view change -----
   void ArmViewTimer();
   void RestartOrDisarmViewTimer();
   void StartViewChange(uint64_t new_view);
+  /// Structural decode (wire/messages.h) + semantic validation of a raw
+  /// VIEW-CHANGE frame: body signature, checkpoint cert, prepared proofs.
   Result<ViewChangeRecord> ParseViewChange(const Bytes& raw, PrincipalId from);
-  void HandleViewChange(PrincipalId from, Decoder& dec, const Bytes& raw);
+  /// Semantic half of ParseViewChange for an already-decoded frame (avoids
+  /// double decoding when NEW-VIEW processing has the typed message).
+  Result<ViewChangeRecord> ValidateViewChange(PbftViewChangeMsg msg,
+                                              const Bytes& raw,
+                                              PrincipalId from);
+  void HandleViewChange(PrincipalId from, const Bytes& raw);
   void MaybeJoinViewChange();
   void MaybeFormNewView(uint64_t new_view);
   /// Deterministic re-proposal computation shared by the new primary and by
   /// backups validating a NEW-VIEW: (max stable, proposals per seq).
   std::pair<uint64_t, std::map<uint64_t, Proposal>> ComputeNewViewProposals(
       const std::map<PrincipalId, ViewChangeRecord>& records) const;
-  void HandleNewView(PrincipalId from, Decoder& dec);
+  void HandleNewView(PrincipalId from, PbftNewViewMsg msg);
   void EnterView(uint64_t view);
   bool IsReplicaId(PrincipalId id) const { return id >= 0 && id < config_.n(); }
 
@@ -162,11 +160,12 @@ class PbftCoreReplica : public ReplicaBase {
 /// PBFT proper: N = 3f+1, quorums per Castro & Liskov.
 class PbftReplica : public PbftCoreReplica {
  public:
-  PbftReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-              PrincipalId id, const ClusterConfig& config,
+  PbftReplica(Transport* transport, TimerService* timers,
+              const KeyStore* keystore, PrincipalId id,
+              const ClusterConfig& config,
               std::unique_ptr<StateMachine> state_machine,
               const CostModel& costs)
-      : PbftCoreReplica(sim, net, keystore, id, config,
+      : PbftCoreReplica(transport, timers, keystore, id, config,
                         std::move(state_machine), costs,
                         PbftQuorums{/*agreement=*/2 * config.f,
                                     /*commit=*/2 * config.f + 1,

@@ -14,7 +14,9 @@
 #define SEEMORE_BASELINES_SUPRIGHT_SUPRIGHT_REPLICA_H_
 
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "baselines/pbft/pbft_replica.h"
 
@@ -22,17 +24,23 @@ namespace seemore {
 
 class SUpRightReplica : public PbftCoreReplica {
  public:
-  SUpRightReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-                  PrincipalId id, const ClusterConfig& config,
+  SUpRightReplica(Transport* transport, TimerService* timers,
+                  const KeyStore* keystore, PrincipalId id,
+                  const ClusterConfig& config,
                   std::unique_ptr<StateMachine> state_machine,
-                  const CostModel& costs)
-      : PbftCoreReplica(
-            sim, net, keystore, id, config, std::move(state_machine), costs,
-            PbftQuorums{/*agreement=*/2 * config.m + config.c,
-                        /*commit=*/2 * config.m + config.c + 1,
-                        /*view_change=*/2 * config.m + config.c + 1,
-                        /*checkpoint=*/2 * config.m + config.c + 1,
-                        /*vc_join=*/config.m + 1}) {}
+                  const CostModel& costs);
+
+  /// The hybrid-model quorums this comparator runs with (all equal to
+  /// 2m+c+1 except the prepare threshold 2m+c and the join bound m+1).
+  static PbftQuorums QuorumsFor(const ClusterConfig& config);
+
+  /// UpRight-proper features deliberately NOT modeled by this comparator,
+  /// with the reason. Surfaced by tools/tests so nobody mistakes S-UpRight
+  /// for a faithful UpRight implementation.
+  static std::vector<std::string> UnimplementedFeatures();
+
+  /// One-line description for reports: topology, quorums, caveat count.
+  std::string Describe() const;
 };
 
 }  // namespace seemore

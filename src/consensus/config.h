@@ -13,8 +13,8 @@
 #include <vector>
 
 #include "crypto/keystore.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "net/transport.h"
+#include "util/time.h"
 
 namespace seemore {
 

@@ -4,21 +4,22 @@
 
 namespace seemore {
 
-ReplicaBase::ReplicaBase(Simulator* sim, SimNetwork* net,
+ReplicaBase::ReplicaBase(Transport* transport, TimerService* timers,
                          const KeyStore* keystore, PrincipalId id,
                          const ClusterConfig& config,
                          std::unique_ptr<StateMachine> state_machine,
                          const CostModel& costs)
-    : sim_(sim),
-      net_(net),
+    : transport_(transport),
+      timers_(timers),
       keystore_(keystore),
       id_(id),
       config_(config),
       costs_(costs),
       signer_(id, *keystore),
-      cpu_(sim),
+      cpu_(transport->Register(id, config.ReplicaZone(id), this,
+                               /*metered=*/true)),
       exec_(std::move(state_machine)) {
-  net_->AddNode(id_, config_.ReplicaZone(id_), this, &cpu_);
+  SEEMORE_CHECK(cpu_ != nullptr) << "transport returned no CPU meter";
 }
 
 ReplicaBase::~ReplicaBase() = default;
@@ -26,12 +27,12 @@ ReplicaBase::~ReplicaBase() = default;
 void ReplicaBase::Crash() {
   crashed_ = true;
   ++epoch_;  // invalidates all outstanding timers
-  net_->SetNodeUp(id_, false);
+  transport_->SetNodeUp(id_, false);
 }
 
 void ReplicaBase::Recover() {
   crashed_ = false;
-  net_->SetNodeUp(id_, true);
+  transport_->SetNodeUp(id_, true);
   OnRecover();
 }
 
@@ -46,7 +47,7 @@ void ReplicaBase::OnMessage(PrincipalId from, Bytes bytes) {
 void ReplicaBase::SendTo(PrincipalId to, const Bytes& msg) {
   if (crashed_) return;
   Charge(costs_.send_fixed + costs_.PayloadCost(msg.size()));
-  net_->Send(id_, to, msg);
+  transport_->Send(id_, to, msg);
 }
 
 void ReplicaBase::SendToMany(const std::vector<PrincipalId>& targets,
@@ -60,7 +61,7 @@ void ReplicaBase::SendToMany(const std::vector<PrincipalId>& targets,
 
 EventId ReplicaBase::StartTimer(SimTime delay, std::function<void()> fn) {
   const uint64_t epoch = epoch_;
-  return sim_->Schedule(delay, [this, epoch, fn = std::move(fn)] {
+  return timers_->ScheduleAfter(delay, [this, epoch, fn = std::move(fn)] {
     if (crashed_ || epoch != epoch_) return;
     fn();
   });
@@ -68,7 +69,7 @@ EventId ReplicaBase::StartTimer(SimTime delay, std::function<void()> fn) {
 
 void ReplicaBase::CancelTimer(EventId& id) {
   if (id != 0) {
-    sim_->Cancel(id);
+    timers_->CancelEvent(id);
     id = 0;
   }
 }

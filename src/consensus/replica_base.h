@@ -1,6 +1,11 @@
-// Common plumbing for every protocol replica: network registration, CPU cost
-// accounting, signing, timers that die with the replica, crash/recover fault
-// injection, and Byzantine-behaviour flags consulted by the protocol logic.
+// Common plumbing for every protocol replica: transport registration, CPU
+// cost accounting, signing, timers that die with the replica, crash/recover
+// fault injection, and Byzantine-behaviour flags consulted by the protocol
+// logic.
+//
+// Replicas see the outside world only through the Transport / TimerService /
+// CpuMeter interfaces (net/transport.h); no protocol code knows whether it
+// runs on the simulator or a real backend.
 
 #ifndef SEEMORE_CONSENSUS_REPLICA_BASE_H_
 #define SEEMORE_CONSENSUS_REPLICA_BASE_H_
@@ -10,7 +15,8 @@
 
 #include "consensus/config.h"
 #include "consensus/execution.h"
-#include "net/network.h"
+#include "net/cost_model.h"
+#include "net/transport.h"
 #include "smr/command.h"
 
 namespace seemore {
@@ -43,8 +49,9 @@ struct ReplicaStats {
 
 class ReplicaBase : public MessageHandler {
  public:
-  ReplicaBase(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-              PrincipalId id, const ClusterConfig& config,
+  ReplicaBase(Transport* transport, TimerService* timers,
+              const KeyStore* keystore, PrincipalId id,
+              const ClusterConfig& config,
               std::unique_ptr<StateMachine> state_machine,
               const CostModel& costs);
   ~ReplicaBase() override;
@@ -57,7 +64,7 @@ class ReplicaBase : public MessageHandler {
   ExecutionEngine& exec() { return exec_; }
   const ExecutionEngine& exec() const { return exec_; }
   const ReplicaStats& stats() const { return stats_; }
-  NodeCpu* cpu() { return &cpu_; }
+  CpuMeter* cpu() { return cpu_; }
   bool crashed() const { return crashed_; }
 
   /// Fault injection: stop processing and detach from the network. State is
@@ -84,13 +91,22 @@ class ReplicaBase : public MessageHandler {
   /// Hook invoked after Recover() re-attaches the replica.
   virtual void OnRecover() {}
 
+  /// --- time -------------------------------------------------------------
+  SimTime now() const { return timers_->Now(); }
+  /// CPU work charged but not yet drained. Failure detectors add this to
+  /// their timeouts so a replica's own backlog never counts against a peer.
+  SimTime CpuBacklog() const {
+    const SimTime backlog = cpu_->AvailableAt() - now();
+    return backlog > 0 ? backlog : 0;
+  }
+
   /// --- CPU accounting ---------------------------------------------------
-  void Charge(SimTime cost) { cpu_.Charge(cost); }
-  void ChargeVerify(int count = 1) { cpu_.Charge(costs_.verify * count); }
-  void ChargeSign(int count = 1) { cpu_.Charge(costs_.sign * count); }
-  void ChargeMac(int count = 1) { cpu_.Charge(costs_.mac * count); }
-  void ChargeHash(size_t bytes) { cpu_.Charge(costs_.HashCost(bytes)); }
-  void ChargeExecute(int requests) { cpu_.Charge(costs_.execute * requests); }
+  void Charge(SimTime cost) { cpu_->Charge(cost); }
+  void ChargeVerify(int count = 1) { cpu_->Charge(costs_.verify * count); }
+  void ChargeSign(int count = 1) { cpu_->Charge(costs_.sign * count); }
+  void ChargeMac(int count = 1) { cpu_->Charge(costs_.mac * count); }
+  void ChargeHash(size_t bytes) { cpu_->Charge(costs_.HashCost(bytes)); }
+  void ChargeExecute(int requests) { cpu_->Charge(costs_.execute * requests); }
 
   /// --- network ----------------------------------------------------------
   /// Send one message (charges the fixed + payload send cost).
@@ -104,14 +120,14 @@ class ReplicaBase : public MessageHandler {
   EventId StartTimer(SimTime delay, std::function<void()> fn);
   void CancelTimer(EventId& id);
 
-  Simulator* sim_;
-  SimNetwork* net_;
+  Transport* transport_;
+  TimerService* timers_;
   const KeyStore* keystore_;
   const PrincipalId id_;
   const ClusterConfig config_;
   const CostModel costs_;
   Signer signer_;
-  NodeCpu cpu_;
+  CpuMeter* cpu_;  // owned by the transport
   ExecutionEngine exec_;
   ReplicaStats stats_;
 

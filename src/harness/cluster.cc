@@ -18,27 +18,32 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   keystore_ = std::make_unique<KeyStore>(options_.seed ^ 0x5eed'c0de'5eed'c0deULL);
   net_ = std::make_unique<SimNetwork>(sim_.get(), options_.net);
 
+  // The cluster is the composition root: it owns the concrete simulator and
+  // simulated network, and hands replicas/clients only the Transport and
+  // TimerService interfaces they are written against.
+  Transport* transport = net_.get();
+  TimerService* timers = sim_.get();
   const ClusterConfig& config = options_.config;
   for (int i = 0; i < config.n(); ++i) {
     switch (config.kind) {
       case ProtocolKind::kCft:
         replicas_.push_back(std::make_unique<PaxosReplica>(
-            sim_.get(), net_.get(), keystore_.get(), i, config,
+            transport, timers, keystore_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
       case ProtocolKind::kBft:
         replicas_.push_back(std::make_unique<PbftReplica>(
-            sim_.get(), net_.get(), keystore_.get(), i, config,
+            transport, timers, keystore_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
       case ProtocolKind::kSUpRight:
         replicas_.push_back(std::make_unique<SUpRightReplica>(
-            sim_.get(), net_.get(), keystore_.get(), i, config,
+            transport, timers, keystore_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
       case ProtocolKind::kSeeMoRe:
         replicas_.push_back(std::make_unique<SeeMoReReplica>(
-            sim_.get(), net_.get(), keystore_.get(), i, config,
+            transport, timers, keystore_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
     }
@@ -68,7 +73,7 @@ SimClient* Cluster::AddClient() {
   client_options.id = next_client_id_++;
   client_options.retransmit_timeout = options_.client_retransmit_timeout;
   clients_.push_back(std::make_unique<SimClient>(
-      sim_.get(), net_.get(), keystore_.get(), client_options,
+      net_.get(), sim_.get(), keystore_.get(), client_options,
       MakeReplyPolicy(options_.config)));
   return clients_.back().get();
 }

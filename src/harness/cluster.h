@@ -15,7 +15,9 @@
 #include "baselines/supright/supright_replica.h"
 #include "consensus/config.h"
 #include "harness/policies.h"
+#include "net/network.h"
 #include "seemore/seemore_replica.h"
+#include "sim/simulator.h"
 #include "smr/client.h"
 #include "smr/kv_store.h"
 

@@ -9,9 +9,10 @@
 #ifndef SEEMORE_NET_COST_MODEL_H_
 #define SEEMORE_NET_COST_MODEL_H_
 
+#include <cstddef>
 #include <cstdint>
 
-#include "sim/simulator.h"
+#include "util/time.h"
 
 namespace seemore {
 

@@ -6,18 +6,6 @@
 
 namespace seemore {
 
-const char* ZoneName(Zone zone) {
-  switch (zone) {
-    case Zone::kPrivate:
-      return "private";
-    case Zone::kPublic:
-      return "public";
-    case Zone::kClient:
-      return "client";
-  }
-  return "?";
-}
-
 const LinkProfile& NetworkConfig::ProfileFor(Zone from, Zone to) const {
   if (from == Zone::kClient || to == Zone::kClient) return client_link;
   if (from == Zone::kPrivate && to == Zone::kPrivate) return intra_private;
@@ -60,6 +48,17 @@ void SimNetwork::AddNode(PrincipalId id, Zone zone, MessageHandler* handler,
                          NodeCpu* cpu) {
   SEEMORE_CHECK(nodes_.count(id) == 0) << "duplicate node id " << id;
   nodes_[id] = NodeEntry{zone, handler, cpu, /*up=*/true};
+}
+
+CpuMeter* SimNetwork::Register(PrincipalId id, Zone zone,
+                               MessageHandler* handler, bool metered) {
+  NodeCpu* cpu = nullptr;
+  if (metered) {
+    owned_cpus_.push_back(std::make_unique<NodeCpu>(sim_));
+    cpu = owned_cpus_.back().get();
+  }
+  AddNode(id, zone, handler, cpu);
+  return cpu;
 }
 
 Zone SimNetwork::ZoneOf(PrincipalId id) const {

@@ -22,19 +22,11 @@
 
 #include "crypto/keystore.h"
 #include "net/cost_model.h"
+#include "net/transport.h"
 #include "sim/simulator.h"
 #include "wire/wire.h"
 
 namespace seemore {
-
-/// Where a node lives; decides link latency and trust class.
-enum class Zone {
-  kPrivate,  // enterprise-owned, crash-only
-  kPublic,   // rented, possibly Byzantine
-  kClient,
-};
-
-const char* ZoneName(Zone zone);
 
 /// Latency profile of one link class: base + uniform jitter in [0, jitter].
 struct LinkProfile {
@@ -61,17 +53,10 @@ struct NetworkConfig {
   const LinkProfile& ProfileFor(Zone from, Zone to) const;
 };
 
-/// Receives messages delivered by the network.
-class MessageHandler {
- public:
-  virtual ~MessageHandler() = default;
-  virtual void OnMessage(PrincipalId from, Bytes bytes) = 0;
-};
-
 /// Single-threaded CPU of one node: tasks submitted while busy queue up.
 /// Protocol handlers call Charge() to account for the work they perform;
 /// subsequent tasks (and outgoing messages) see the accumulated delay.
-class NodeCpu {
+class NodeCpu : public CpuMeter {
  public:
   explicit NodeCpu(Simulator* sim) : sim_(sim) {}
 
@@ -82,16 +67,16 @@ class NodeCpu {
   void Submit(std::function<void()> task);
 
   /// Account CPU time to the currently running task.
-  void Charge(SimTime cost) {
+  void Charge(SimTime cost) override {
     if (cost > 0) busy_until_ += cost;
   }
 
   /// Earliest time new work (or an outgoing message) can leave this node.
-  SimTime AvailableAt() const {
+  SimTime AvailableAt() const override {
     return busy_until_ > sim_->now() ? busy_until_ : sim_->now();
   }
 
-  SimTime total_busy() const { return total_busy_; }
+  SimTime total_busy() const override { return total_busy_; }
 
  private:
   void DrainOne();
@@ -115,7 +100,7 @@ struct NetCounters {
   void Reset() { *this = NetCounters{}; }
 };
 
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
   SimNetwork(Simulator* sim, NetworkConfig config)
       : sim_(sim), config_(config) {}
@@ -128,19 +113,23 @@ class SimNetwork {
   void AddNode(PrincipalId id, Zone zone, MessageHandler* handler,
                NodeCpu* cpu);
 
+  /// Transport: AddNode with a network-owned NodeCpu when `metered`.
+  CpuMeter* Register(PrincipalId id, Zone zone, MessageHandler* handler,
+                     bool metered) override;
+
   /// Send `bytes` from `from` to `to`. Departure waits for the sender's CPU;
   /// delivery is submitted to the receiver's CPU queue.
-  void Send(PrincipalId from, PrincipalId to, Bytes bytes);
+  void Send(PrincipalId from, PrincipalId to, Bytes bytes) override;
 
   /// Send the same payload to every id in `targets` (copies per receiver —
   /// this is point-to-point, not true multicast).
   void Multicast(PrincipalId from, const std::vector<PrincipalId>& targets,
-                 const Bytes& bytes);
+                 const Bytes& bytes) override;
 
   /// Administratively cut / restore both directions of a link.
   void SetLinkUp(PrincipalId a, PrincipalId b, bool up);
   /// Detach / reattach a node entirely (models a crashed machine's NIC).
-  void SetNodeUp(PrincipalId id, bool up);
+  void SetNodeUp(PrincipalId id, bool up) override;
   /// Restore all links and nodes.
   void HealAll();
 
@@ -167,6 +156,8 @@ class SimNetwork {
   NetworkConfig config_;
   std::unordered_map<PrincipalId, NodeEntry> nodes_;
   std::unordered_set<uint64_t> cut_links_;
+  /// CPUs created by Register(); AddNode callers own theirs externally.
+  std::vector<std::unique_ptr<NodeCpu>> owned_cpus_;
   NetCounters counters_;
 };
 

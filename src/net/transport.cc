@@ -1,0 +1,17 @@
+#include "net/transport.h"
+
+namespace seemore {
+
+const char* ZoneName(Zone zone) {
+  switch (zone) {
+    case Zone::kPrivate:
+      return "private";
+    case Zone::kPublic:
+      return "public";
+    case Zone::kClient:
+      return "client";
+  }
+  return "?";
+}
+
+}  // namespace seemore

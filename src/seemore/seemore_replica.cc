@@ -9,13 +9,13 @@
 
 namespace seemore {
 
-SeeMoReReplica::SeeMoReReplica(Simulator* sim, SimNetwork* net,
+SeeMoReReplica::SeeMoReReplica(Transport* transport, TimerService* timers,
                                const KeyStore* keystore, PrincipalId id,
                                const ClusterConfig& config,
                                std::unique_ptr<StateMachine> state_machine,
                                const CostModel& costs)
-    : ReplicaBase(sim, net, keystore, id, config, std::move(state_machine),
-                  costs),
+    : ReplicaBase(transport, timers, keystore, id, config,
+                  std::move(state_machine), costs),
       mode_(config.initial_mode) {
   current_vc_timeout_ = config_.view_change_timeout;
   window_ = static_cast<uint64_t>(config_.checkpoint_period) * 2 +
@@ -42,7 +42,7 @@ bool SeeMoReReplica::ParticipatesInAgreement() const {
   return false;
 }
 
-bool SeeMoReReplica::VerifyVcPrepareEntry(const VcEntry& entry) const {
+bool SeeMoReReplica::VerifyVcPrepareEntry(const SmVcEntry& entry) const {
   if (entry.mode == SeeMoReMode::kPeacock) {
     // A bare Peacock pre-prepare is signed by an UNTRUSTED primary and is
     // not self-certifying (it must travel as a PreparedProof). Only the
@@ -77,46 +77,54 @@ void SeeMoReReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
   if (!dec.ok()) return;
   ChargeMac();  // pairwise channel authentication (§3.1)
   // Protocol-internal messages are only legitimate on replica channels.
-  if (tag != kMsgRequest && (from < 0 || from >= config_.n())) return;
+  if (tag != kMsgRequest && !IsReplicaId(from)) return;
   switch (tag) {
     case kMsgRequest:
-      HandleRequest(from, dec);
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleRequest);
       break;
-    case kPrepare:
-      HandlePrepare(from, dec);
+    case kSmPrepare:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandlePrepare);
       break;
-    case kAcceptPlain:
-      HandleAcceptPlain(from, dec);
+    case kSmAcceptPlain:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleAcceptPlain);
       break;
-    case kAcceptSigned:
-      HandleAcceptSigned(from, dec);
+    case kSmAcceptSigned:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleAcceptSigned);
       break;
-    case kCommitPrimary:
-      HandleCommitPrimary(from, dec);
+    case kSmCommitPrimary:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleCommitPrimary);
       break;
-    case kCommitVote:
-      HandleCommitVote(from, dec);
+    case kSmCommitVote:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleCommitVote);
       break;
-    case kInform:
-      HandleInform(from, dec);
+    case kSmInform:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleInform);
       break;
-    case kCheckpoint:
-      HandleCheckpoint(from, dec);
+    case kSmCheckpoint:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleCheckpoint);
       break;
-    case kViewChange:
-      HandleViewChange(from, dec);
+    case kSmViewChange: {
+      // Drop stale view-changes before paying the full structural decode
+      // (embedded batches are hashed during decode).
+      if (SmViewChangeMsg::PeekNewView(dec) <= view_) break;
+      Result<SmViewChangeMsg> msg =
+          SmViewChangeMsg::DecodeFrom(dec, window_ + 1);
+      if (msg.ok()) HandleViewChange(from, std::move(msg).value());
       break;
-    case kNewView:
-      HandleNewView(from, dec);
+    }
+    case kSmNewView: {
+      Result<SmNewViewMsg> msg = SmNewViewMsg::DecodeFrom(dec, window_ + 1);
+      if (msg.ok()) HandleNewView(from, std::move(msg).value());
       break;
-    case kModeChange:
-      HandleModeChange(from, dec);
+    }
+    case kSmModeChange:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleModeChange);
       break;
-    case kStateRequest:
-      HandleStateRequest(from, dec);
+    case kSmStateRequest:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleStateRequest);
       break;
-    case kStateResponse:
-      HandleStateResponse(from, dec);
+    case kSmStateResponse:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleStateResponse);
       break;
     default:
       break;
@@ -127,11 +135,7 @@ void SeeMoReReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
 // Normal case
 // ---------------------------------------------------------------------------
 
-void SeeMoReReplica::HandleRequest(PrincipalId from, Decoder& dec) {
-  Result<Request> request_or = Request::DecodeFrom(dec);
-  if (!request_or.ok()) return;
-  Request request = std::move(request_or).value();
-
+void SeeMoReReplica::HandleRequest(PrincipalId from, Request request) {
   // Channel authentication (§3.1): a request arriving directly from a
   // client channel must name that client. Without this, a rogue client
   // could impersonate another and poison its timestamp sequence — the
@@ -214,6 +218,7 @@ void SeeMoReReplica::TryPropose() {
     const Bytes encoded = batch.Encode();
     ChargeHash(encoded.size());
     Digest digest = Digest::Of(encoded);
+    const uint8_t mode8 = static_cast<uint8_t>(mode_);
 
     // A Byzantine Peacock primary may equivocate; trusted primaries cannot
     // be flagged (tests assert this invariant).
@@ -221,32 +226,25 @@ void SeeMoReReplica::TryPropose() {
       Batch alt = Batch::Noop();
       const Bytes alt_encoded = alt.Encode();
       const Digest alt_digest = Digest::Of(alt_encoded);
-      const uint8_t mode8 = static_cast<uint8_t>(mode_);
-      const Signature sig_a = signer_.Sign(
-          ProposalHeader(kDomainPrePrepare, mode8, view_, seq, digest));
-      const Signature sig_b = signer_.Sign(
-          ProposalHeader(kDomainPrePrepare, mode8, view_, seq, alt_digest));
+      SmPrepareMsg prep_a{mode8, view_, seq, digest, Signature(), encoded};
+      SmPrepareMsg prep_b{mode8, view_, seq, alt_digest, Signature(),
+                          alt_encoded};
+      prep_a.sig = signer_.Sign(prep_a.Header());
+      prep_b.sig = signer_.Sign(prep_b.Header());
       ChargeSign(2);
+      const Bytes msg_a = prep_a.ToMessage();
+      const Bytes msg_b = prep_b.ToMessage();
       const std::vector<PrincipalId> all = config_.AllReplicas();
       for (size_t i = 0; i < all.size(); ++i) {
         if (all[i] == id_) continue;
-        const bool first_half = i % 2 == 0;
-        Encoder enc;
-        enc.PutU8(kPrepare);
-        enc.PutU8(mode8);
-        enc.PutU64(view_);
-        enc.PutU64(seq);
-        (first_half ? digest : alt_digest).EncodeTo(enc);
-        (first_half ? sig_a : sig_b).EncodeTo(enc);
-        enc.PutBytes(first_half ? encoded : alt_encoded);
-        SendTo(all[i], enc.bytes());
+        SendTo(all[i], i % 2 == 0 ? msg_a : msg_b);
       }
       continue;
     }
 
     ChargeSign();
-    const Signature sig = signer_.Sign(ProposalHeader(
-        kDomainPrePrepare, static_cast<uint8_t>(mode_), view_, seq, digest));
+    SmPrepareMsg prepare{mode8, view_, seq, digest, Signature(), encoded};
+    prepare.sig = signer_.Sign(prepare.Header());
 
     Slot& slot = slots_[seq];
     slot.batch = std::move(batch);
@@ -254,19 +252,11 @@ void SeeMoReReplica::TryPropose() {
     slot.digest = digest;
     slot.view = view_;
     slot.mode = mode_;
-    slot.primary_sig = sig;
+    slot.primary_sig = prepare.sig;
 
-    Encoder enc;
-    enc.PutU8(kPrepare);
-    enc.PutU8(static_cast<uint8_t>(mode_));
-    enc.PutU64(view_);
-    enc.PutU64(seq);
-    digest.EncodeTo(enc);
-    sig.EncodeTo(enc);
-    enc.PutBytes(encoded);
     // In every mode the proposal is multicast to ALL replicas (Algorithm 1
     // line 8, Algorithm 2 line 9, §5.3 change #1).
-    SendToMany(config_.AllReplicas(), enc.bytes());
+    SendToMany(config_.AllReplicas(), prepare.ToMessage());
 
     if (mode_ == SeeMoReMode::kLion) {
       slot.plain_accepts.insert(id_);  // the primary counts itself
@@ -277,35 +267,33 @@ void SeeMoReReplica::TryPropose() {
   }
 }
 
-void SeeMoReReplica::HandlePrepare(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const Signature sig = Signature::DecodeFrom(dec);
-  Bytes batch_bytes = dec.GetBytes();
-  if (!dec.ok()) return;
-  if (from != config_.PrimaryOf(msg_mode, view)) return;
-  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+void SeeMoReReplica::HandlePrepare(PrincipalId from, SmPrepareMsg msg) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
+  if (from != config_.PrimaryOf(msg_mode, msg.view)) return;
+  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
 
   // Fast-forward: a valid prepare signed by the TRUSTED primary of a higher
   // view proves that view became active (Lion/Dog only; a Peacock primary is
   // untrusted, so backups wait for the transferer's NEW-VIEW instead).
-  if (msg_mode != SeeMoReMode::kPeacock && view > view_ &&
-      ModeForView(view) == msg_mode) {
+  if (msg_mode != SeeMoReMode::kPeacock && msg.view > view_ &&
+      ModeForView(msg.view) == msg_mode) {
     ChargeVerify();
-    if (!VerifyProposalSig(msg_mode, view, seq, digest, sig)) return;
-    EnterView(view, msg_mode);
-  } else if (msg_mode != mode_ || view != view_ || in_view_change_) {
+    if (!VerifyProposalSig(msg_mode, msg.view, msg.seq, msg.digest, msg.sig)) {
+      return;
+    }
+    EnterView(msg.view, msg_mode);
+  } else if (msg_mode != mode_ || msg.view != view_ || in_view_change_) {
     return;
   } else {
     ChargeVerify();
-    if (!VerifyProposalSig(msg_mode, view, seq, digest, sig)) return;
+    if (!VerifyProposalSig(msg_mode, msg.view, msg.seq, msg.digest, msg.sig)) {
+      return;
+    }
   }
 
-  ChargeHash(batch_bytes.size());
-  if (Digest::Of(batch_bytes) != digest) return;
-  Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  ChargeHash(msg.batch.size());
+  if (Digest::Of(msg.batch) != msg.digest) return;
+  Result<Batch> batch_or = Batch::Decode(msg.batch);
   if (!batch_or.ok()) return;
   Batch batch = std::move(batch_or).value();
 
@@ -319,18 +307,18 @@ void SeeMoReReplica::HandlePrepare(PrincipalId from, Decoder& dec) {
     }
   }
 
-  Slot& slot = slots_[seq];
+  Slot& slot = slots_[msg.seq];
   if (slot.has_batch) {
     // At most one proposal per (view, seq): equivocation defense.
-    if (slot.view == view && slot.digest != digest) return;
-    if (slot.view == view && slot.digest == digest) return;  // duplicate
+    if (slot.view == msg.view && slot.digest != msg.digest) return;
+    if (slot.view == msg.view && slot.digest == msg.digest) return;  // dup
   }
   slot.batch = std::move(batch);
   slot.has_batch = true;
-  slot.digest = digest;
-  slot.view = view;
+  slot.digest = msg.digest;
+  slot.view = msg.view;
   slot.mode = mode_;
-  slot.primary_sig = sig;
+  slot.primary_sig = msg.sig;
 
   switch (mode_) {
     case SeeMoReMode::kLion: {
@@ -343,23 +331,18 @@ void SeeMoReReplica::HandlePrepare(PrincipalId from, Decoder& dec) {
       } else {
         ChargeMac();
       }
-      Encoder enc;
-      enc.PutU8(kAcceptPlain);
-      enc.PutU8(static_cast<uint8_t>(mode_));
-      enc.PutU64(view_);
-      enc.PutU64(seq);
-      vote.EncodeTo(enc);
-      enc.PutU32(static_cast<uint32_t>(id_));
-      SendTo(current_primary(), enc.bytes());
+      SmAcceptPlainMsg accept{static_cast<uint8_t>(mode_), view_, msg.seq,
+                              vote, id_};
+      SendTo(current_primary(), accept.ToMessage());
       ArmViewTimer();
       break;
     }
     case SeeMoReMode::kDog:
     case SeeMoReMode::kPeacock: {
       if (IsProxyNow()) {
-        SendSignedAccept(seq, slot);
+        SendSignedAccept(msg.seq, slot);
         ArmViewTimer();
-        CheckProxyCommit(seq, slot);
+        CheckProxyCommit(msg.seq, slot);
       }
       // Passive nodes just keep the batch; they execute on INFORMs.
       break;
@@ -373,126 +356,97 @@ void SeeMoReReplica::SendSignedAccept(uint64_t seq, Slot& slot) {
   Digest vote = slot.digest;
   if (HasByz(kByzWrongVotes)) vote.data()[0] ^= 0xff;
   ChargeSign();
-  const Signature sig = signer_.Sign(VoteHeader(
-      kDomainPrepare, static_cast<uint8_t>(mode_), view_, seq, vote, id_));
-  Encoder enc;
-  enc.PutU8(kAcceptSigned);
-  enc.PutU8(static_cast<uint8_t>(mode_));
-  enc.PutU64(view_);
-  enc.PutU64(seq);
-  vote.EncodeTo(enc);
-  enc.PutU32(static_cast<uint32_t>(id_));
-  sig.EncodeTo(enc);
-  SendToMany(Proxies(), enc.bytes());
-  slot.accept_votes.Add(vote, id_, sig);
+  SmAcceptSignedMsg accept;
+  accept.mode = static_cast<uint8_t>(mode_);
+  accept.view = view_;
+  accept.seq = seq;
+  accept.digest = vote;
+  accept.voter = id_;
+  accept.sig = signer_.Sign(accept.Header(SmAcceptSignedMsg::kDomain));
+  SendToMany(Proxies(), accept.ToMessage());
+  slot.accept_votes.Add(vote, id_, accept.sig);
 }
 
-void SeeMoReReplica::HandleAcceptPlain(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
-  if (!dec.ok()) return;
+void SeeMoReReplica::HandleAcceptPlain(PrincipalId from, SmAcceptPlainMsg msg) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
   if (msg_mode != SeeMoReMode::kLion || mode_ != SeeMoReMode::kLion) return;
-  if (view != view_ || !IsPrimary() || in_view_change_) return;
-  if (voter != from || !IsReplicaId(voter)) return;
-  auto it = slots_.find(seq);
+  if (msg.view != view_ || !IsPrimary() || in_view_change_) return;
+  if (msg.voter != from || !IsReplicaId(msg.voter)) return;
+  auto it = slots_.find(msg.seq);
   if (it == slots_.end() || !it->second.has_batch) return;
   Slot& slot = it->second;
-  if (digest != slot.digest) return;
+  if (msg.digest != slot.digest) return;
   if (config_.lion_sign_accepts) ChargeVerify();  // ablation (§5.1)
-  slot.plain_accepts.insert(voter);
+  slot.plain_accepts.insert(msg.voter);
   if (static_cast<int>(slot.plain_accepts.size()) < CommitQuorum()) return;
   if (slot.has_commit_sig) return;  // commit already broadcast in this view
 
   // <<COMMIT, v, n, d>_σp, µ> to all replicas (Algorithm 1 lines 13-15).
   ChargeSign();
-  const Signature commit_sig = signer_.Sign(ProposalHeader(
-      kDomainCommit, static_cast<uint8_t>(mode_), view_, seq, slot.digest));
-  slot.commit_sig = commit_sig;
+  SmCommitPrimaryMsg commit;
+  commit.mode = static_cast<uint8_t>(mode_);
+  commit.view = view_;
+  commit.seq = msg.seq;
+  commit.digest = slot.digest;
+  commit.sig = signer_.Sign(commit.Header());
+  commit.batch = slot.batch.Encode();
+  slot.commit_sig = commit.sig;
   slot.has_commit_sig = true;
-  Encoder enc;
-  enc.PutU8(kCommitPrimary);
-  enc.PutU8(static_cast<uint8_t>(mode_));
-  enc.PutU64(view_);
-  enc.PutU64(seq);
-  slot.digest.EncodeTo(enc);
-  commit_sig.EncodeTo(enc);
-  enc.PutBytes(slot.batch.Encode());
-  SendToMany(config_.AllReplicas(), enc.bytes());
-  CommitSlot(seq, slot, /*replies=*/true, /*informs=*/false);
+  SendToMany(config_.AllReplicas(), commit.ToMessage());
+  CommitSlot(msg.seq, slot, /*replies=*/true, /*informs=*/false);
 }
 
-void SeeMoReReplica::HandleCommitPrimary(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const Signature sig = Signature::DecodeFrom(dec);
-  Bytes batch_bytes = dec.GetBytes();
-  if (!dec.ok()) return;
+void SeeMoReReplica::HandleCommitPrimary(PrincipalId from,
+                                         SmCommitPrimaryMsg msg) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
   if (msg_mode != SeeMoReMode::kLion) return;
-  if (from != config_.TrustedPrimary(view)) return;
-  if (seq <= stable_seq_) return;
+  if (from != config_.TrustedPrimary(msg.view)) return;
+  if (msg.seq <= stable_seq_) return;
 
   ChargeVerify();
-  const Bytes header = ProposalHeader(
-      kDomainCommit, static_cast<uint8_t>(msg_mode), view, seq, digest);
-  if (!keystore_->Verify(from, header, sig)) return;
+  if (!msg.VerifySignature(*keystore_, from)) return;
 
   // A signed commit from the trusted primary of a higher view also proves
   // that view is active.
-  if (view > view_ && ModeForView(view) == msg_mode) {
-    EnterView(view, msg_mode);
-  } else if (mode_ != SeeMoReMode::kLion || view != view_) {
+  if (msg.view > view_ && ModeForView(msg.view) == msg_mode) {
+    EnterView(msg.view, msg_mode);
+  } else if (mode_ != SeeMoReMode::kLion || msg.view != view_) {
     return;
   }
 
-  Slot& slot = slots_[seq];
+  Slot& slot = slots_[msg.seq];
   if (slot.committed) return;
   // "Even if the replica has not received a prepare message ... it considers
   // the request as committed" — the commit carries µ (§5.1).
-  if (!slot.has_batch || slot.digest != digest) {
-    ChargeHash(batch_bytes.size());
-    if (Digest::Of(batch_bytes) != digest) return;
-    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+  if (!slot.has_batch || slot.digest != msg.digest) {
+    ChargeHash(msg.batch.size());
+    if (Digest::Of(msg.batch) != msg.digest) return;
+    Result<Batch> batch_or = Batch::Decode(msg.batch);
     if (!batch_or.ok()) return;
     slot.batch = std::move(batch_or).value();
     slot.has_batch = true;
-    slot.digest = digest;
-    slot.view = view;
+    slot.digest = msg.digest;
+    slot.view = msg.view;
     slot.mode = msg_mode;
   }
-  slot.commit_sig = sig;
+  slot.commit_sig = msg.sig;
   slot.has_commit_sig = true;
-  CommitSlot(seq, slot, /*replies=*/false, /*informs=*/false);
+  CommitSlot(msg.seq, slot, /*replies=*/false, /*informs=*/false);
 }
 
-void SeeMoReReplica::HandleAcceptSigned(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
-  const Signature sig = Signature::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (msg_mode != mode_ || view != view_ || in_view_change_) return;
+void SeeMoReReplica::HandleAcceptSigned(PrincipalId from,
+                                        SmAcceptSignedMsg msg) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
+  if (msg_mode != mode_ || msg.view != view_ || in_view_change_) return;
   if (mode_ == SeeMoReMode::kLion) return;
-  if (voter != from || !config_.IsProxy(voter, view)) return;
+  if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
   if (!IsProxyNow() && !(mode_ == SeeMoReMode::kDog && IsPrimary())) return;
-  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!keystore_->Verify(voter,
-                         VoteHeader(kDomainPrepare,
-                                    static_cast<uint8_t>(msg_mode), view, seq,
-                                    digest, voter),
-                         sig)) {
-    return;
-  }
-  Slot& slot = slots_[seq];
-  slot.accept_votes.Add(digest, voter, sig);
-  CheckProxyCommit(seq, slot);
+  if (!msg.Verify(*keystore_)) return;
+  Slot& slot = slots_[msg.seq];
+  slot.accept_votes.Add(msg.digest, msg.voter, msg.sig);
+  CheckProxyCommit(msg.seq, slot);
 }
 
 void SeeMoReReplica::CheckProxyCommit(uint64_t seq, Slot& slot) {
@@ -510,18 +464,14 @@ void SeeMoReReplica::CheckProxyCommit(uint64_t seq, Slot& slot) {
     if (!slot.commit_sent) {
       slot.commit_sent = true;
       ChargeSign();
-      const Signature sig = signer_.Sign(
-          VoteHeader(kDomainCommit, static_cast<uint8_t>(mode_), view_, seq,
-                     slot.digest, id_));
-      Encoder enc;
-      enc.PutU8(kCommitVote);
-      enc.PutU8(static_cast<uint8_t>(mode_));
-      enc.PutU64(view_);
-      enc.PutU64(seq);
-      slot.digest.EncodeTo(enc);
-      enc.PutU32(static_cast<uint32_t>(id_));
-      sig.EncodeTo(enc);
-      SendToMany(Proxies(), enc.bytes());
+      SmCommitVoteMsg commit;
+      commit.mode = static_cast<uint8_t>(mode_);
+      commit.view = view_;
+      commit.seq = seq;
+      commit.digest = slot.digest;
+      commit.voter = id_;
+      commit.sig = signer_.Sign(commit.Header(SmCommitVoteMsg::kDomain));
+      SendToMany(Proxies(), commit.ToMessage());
     }
     CommitSlot(seq, slot, /*replies=*/true, /*informs=*/true);
     return;
@@ -540,18 +490,15 @@ void SeeMoReReplica::CheckProxyCommit(uint64_t seq, Slot& slot) {
       Digest vote = slot.digest;
       if (HasByz(kByzWrongVotes)) vote.data()[0] ^= 0xff;
       ChargeSign();
-      const Signature sig = signer_.Sign(VoteHeader(
-          kDomainCommit, static_cast<uint8_t>(mode_), view_, seq, vote, id_));
-      Encoder enc;
-      enc.PutU8(kCommitVote);
-      enc.PutU8(static_cast<uint8_t>(mode_));
-      enc.PutU64(view_);
-      enc.PutU64(seq);
-      vote.EncodeTo(enc);
-      enc.PutU32(static_cast<uint32_t>(id_));
-      sig.EncodeTo(enc);
-      SendToMany(Proxies(), enc.bytes());
-      slot.commit_votes.Add(vote, id_, sig);
+      SmCommitVoteMsg commit;
+      commit.mode = static_cast<uint8_t>(mode_);
+      commit.view = view_;
+      commit.seq = seq;
+      commit.digest = vote;
+      commit.voter = id_;
+      commit.sig = signer_.Sign(commit.Header(SmCommitVoteMsg::kDomain));
+      SendToMany(Proxies(), commit.ToMessage());
+      slot.commit_votes.Add(vote, id_, commit.sig);
     }
   }
   if (slot.prepared &&
@@ -560,70 +507,47 @@ void SeeMoReReplica::CheckProxyCommit(uint64_t seq, Slot& slot) {
   }
 }
 
-void SeeMoReReplica::HandleCommitVote(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
-  const Signature sig = Signature::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (msg_mode != mode_ || view != view_ || in_view_change_) return;
+void SeeMoReReplica::HandleCommitVote(PrincipalId from, SmCommitVoteMsg msg) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
+  if (msg_mode != mode_ || msg.view != view_ || in_view_change_) return;
   if (mode_ == SeeMoReMode::kLion) return;
-  if (voter != from || !config_.IsProxy(voter, view)) return;
+  if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
   if (!IsProxyNow()) return;
-  if (seq <= stable_seq_ || seq > stable_seq_ + window_) return;
+  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!keystore_->Verify(voter,
-                         VoteHeader(kDomainCommit,
-                                    static_cast<uint8_t>(msg_mode), view, seq,
-                                    digest, voter),
-                         sig)) {
-    return;
-  }
-  Slot& slot = slots_[seq];
-  slot.commit_votes.Add(digest, voter, sig);
+  if (!msg.Verify(*keystore_)) return;
+  Slot& slot = slots_[msg.seq];
+  slot.commit_votes.Add(msg.digest, msg.voter, msg.sig);
 
   if (mode_ == SeeMoReMode::kDog) {
     // Catch-up: m+1 matching commits prove at least one non-faulty proxy
     // committed (§5.2).
-    if (!slot.committed && slot.has_batch && slot.digest == digest &&
-        static_cast<int>(slot.commit_votes.Count(digest)) >= config_.m + 1) {
-      CommitSlot(seq, slot, /*replies=*/true, /*informs=*/true);
+    if (!slot.committed && slot.has_batch && slot.digest == msg.digest &&
+        static_cast<int>(slot.commit_votes.Count(msg.digest)) >=
+            config_.m + 1) {
+      CommitSlot(msg.seq, slot, /*replies=*/true, /*informs=*/true);
     }
     return;
   }
-  CheckProxyCommit(seq, slot);
+  CheckProxyCommit(msg.seq, slot);
 }
 
-void SeeMoReReplica::HandleInform(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t view = dec.GetU64();
-  const uint64_t seq = dec.GetU64();
-  const Digest digest = Digest::DecodeFrom(dec);
-  const PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
-  const Signature sig = Signature::DecodeFrom(dec);
-  if (!dec.ok()) return;
+void SeeMoReReplica::HandleInform(PrincipalId from, SmInformMsg msg) {
+  const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
   if (msg_mode != mode_ || mode_ == SeeMoReMode::kLion) return;
-  if (view != view_) return;
-  if (voter != from || !config_.IsProxy(voter, view)) return;
-  if (seq <= stable_seq_) return;
+  if (msg.view != view_) return;
+  if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
+  if (msg.seq <= stable_seq_) return;
   ChargeVerify();
-  if (!keystore_->Verify(voter,
-                         VoteHeader(kDomainInform,
-                                    static_cast<uint8_t>(msg_mode), view, seq,
-                                    digest, voter),
-                         sig)) {
-    return;
-  }
-  Slot& slot = slots_[seq];
-  slot.inform_votes.Add(digest, voter);
+  if (!msg.Verify(*keystore_)) return;
+  Slot& slot = slots_[msg.seq];
+  slot.inform_votes.Add(msg.digest, msg.voter);
   // Dog: 2m+1 matching INFORMs; Peacock: m+1 (§5.2 / §5.3).
   const int needed =
       mode_ == SeeMoReMode::kDog ? 2 * config_.m + 1 : config_.m + 1;
-  if (!slot.committed && slot.has_batch && slot.digest == digest &&
-      static_cast<int>(slot.inform_votes.Count(digest)) >= needed) {
-    CommitSlot(seq, slot, /*replies=*/false, /*informs=*/false);
+  if (!slot.committed && slot.has_batch && slot.digest == msg.digest &&
+      static_cast<int>(slot.inform_votes.Count(msg.digest)) >= needed) {
+    CommitSlot(msg.seq, slot, /*replies=*/false, /*informs=*/false);
   }
 }
 
@@ -661,18 +585,14 @@ void SeeMoReReplica::SendReply(const ExecutedRequest& executed) {
 
 void SeeMoReReplica::SendInform(uint64_t seq, const Slot& slot) {
   ChargeSign();
-  const Signature sig = signer_.Sign(VoteHeader(
-      kDomainInform, static_cast<uint8_t>(mode_), view_, seq, slot.digest,
-      id_));
-  Encoder enc;
-  enc.PutU8(kInform);
-  enc.PutU8(static_cast<uint8_t>(mode_));
-  enc.PutU64(view_);
-  enc.PutU64(seq);
-  slot.digest.EncodeTo(enc);
-  enc.PutU32(static_cast<uint32_t>(id_));
-  sig.EncodeTo(enc);
-  SendToMany(PassiveNodes(), enc.bytes());
+  SmInformMsg inform;
+  inform.mode = static_cast<uint8_t>(mode_);
+  inform.view = view_;
+  inform.seq = seq;
+  inform.digest = slot.digest;
+  inform.voter = id_;
+  inform.sig = signer_.Sign(inform.Header(SmInformMsg::kDomain));
+  SendToMany(PassiveNodes(), inform.ToMessage());
 }
 
 // ---------------------------------------------------------------------------
@@ -703,17 +623,11 @@ void SeeMoReReplica::MaybeCheckpoint() {
   msg.replica = id_;
   ChargeSign();
   msg.Sign(signer_);
-  Encoder enc;
-  enc.PutU8(kCheckpoint);
-  msg.EncodeTo(enc);
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SendToMany(config_.AllReplicas(), FrameMessage(kSmCheckpoint, msg));
   CountCheckpointVote(msg);
 }
 
-void SeeMoReReplica::HandleCheckpoint(PrincipalId from, Decoder& dec) {
-  Result<CheckpointMsg> msg_or = CheckpointMsg::DecodeFrom(dec);
-  if (!msg_or.ok()) return;
-  const CheckpointMsg& msg = msg_or.value();
+void SeeMoReReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
   if (msg.replica != from || !IsReplicaId(from)) return;
   if (msg.seq <= stable_seq_) return;
   ChargeVerify();
@@ -799,33 +713,26 @@ void SeeMoReReplica::AdvanceStable(uint64_t seq, const Digest& digest,
 
 void SeeMoReReplica::RequestStateFrom(PrincipalId target) {
   if (target == id_) return;
-  if (sim_->now() - last_state_request_ < Millis(20)) return;
-  last_state_request_ = sim_->now();
+  if (now() - last_state_request_ < Millis(20)) return;
+  last_state_request_ = now();
   ++stats_.state_transfers;
-  Encoder enc;
-  enc.PutU8(kStateRequest);
-  enc.PutU64(exec_.last_executed());
-  SendTo(target, enc.bytes());
+  StateRequestMsg request{exec_.last_executed()};
+  SendTo(target, request.ToMessage(kSmStateRequest));
 }
 
-void SeeMoReReplica::HandleStateRequest(PrincipalId from, Decoder& dec) {
-  const uint64_t their_executed = dec.GetU64();
-  if (!dec.ok()) return;
-  if (stable_snapshot_.empty() || stable_seq_ <= their_executed) return;
-  Encoder enc;
-  enc.PutU8(kStateResponse);
-  stable_cert_.EncodeTo(enc);
-  enc.PutBytes(stable_snapshot_);
-  SendTo(from, enc.bytes());
+void SeeMoReReplica::HandleStateRequest(PrincipalId from, StateRequestMsg msg) {
+  if (stable_snapshot_.empty() || stable_seq_ <= msg.last_executed) return;
+  StateResponseMsg response;
+  response.cert = stable_cert_;
+  response.snapshot = stable_snapshot_;
+  SendTo(from, response.ToMessage(kSmStateResponse));
 }
 
-void SeeMoReReplica::HandleStateResponse(PrincipalId from, Decoder& dec) {
+void SeeMoReReplica::HandleStateResponse(PrincipalId from,
+                                         StateResponseMsg msg) {
   (void)from;
-  Result<CheckpointCert> cert_or = CheckpointCert::DecodeFrom(dec);
-  if (!cert_or.ok()) return;
-  Bytes snapshot = dec.GetBytes();
-  if (!dec.ok()) return;
-  CheckpointCert cert = std::move(cert_or).value();
+  CheckpointCert cert = std::move(msg.cert);
+  Bytes snapshot = std::move(msg.snapshot);
   if (cert.IsGenesis() || cert.seq() <= exec_.last_executed()) return;
   ChargeVerify(static_cast<int>(cert.msgs().size()));
   if (!VerifyCheckpointCert(cert)) return;

@@ -22,6 +22,9 @@
 // Mode switching (§5.4): a trusted replica multicasts a signed
 // <MODE-CHANGE, v+1, π'> and the protocol performs a view change whose
 // NEW-VIEW is issued under the new mode by the new mode's authority.
+//
+// All wire parsing goes through the typed codecs in wire/messages.h; all
+// network/timer access goes through the interfaces in net/transport.h.
 
 #ifndef SEEMORE_SEEMORE_SEEMORE_REPLICA_H_
 #define SEEMORE_SEEMORE_SEEMORE_REPLICA_H_
@@ -37,28 +40,15 @@
 #include "consensus/proofs.h"
 #include "consensus/quorum.h"
 #include "consensus/replica_base.h"
+#include "wire/messages.h"
 
 namespace seemore {
 
 class SeeMoReReplica : public ReplicaBase {
  public:
-  enum MsgType : uint8_t {
-    kPrepare = 10,        // Lion/Dog proposal; Peacock pre-prepare
-    kAcceptPlain = 11,    // Lion accept (unsigned, replica -> primary)
-    kAcceptSigned = 12,   // Dog accept / Peacock prepare echo (proxy n-to-n)
-    kCommitPrimary = 13,  // Lion commit (signed by primary, carries batch)
-    kCommitVote = 14,     // Dog/Peacock commit vote (proxy n-to-n)
-    kInform = 15,         // proxies -> passive nodes
-    kCheckpoint = 16,
-    kViewChange = 17,
-    kNewView = 18,
-    kModeChange = 19,
-    kStateRequest = 20,
-    kStateResponse = 21,
-  };
-
-  SeeMoReReplica(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-                 PrincipalId id, const ClusterConfig& config,
+  SeeMoReReplica(Transport* transport, TimerService* timers,
+                 const KeyStore* keystore, PrincipalId id,
+                 const ClusterConfig& config,
                  std::unique_ptr<StateMachine> state_machine,
                  const CostModel& costs);
 
@@ -116,22 +106,14 @@ class SeeMoReReplica : public ReplicaBase {
     Signature commit_sig;
   };
 
-  /// One re-proposable entry carried in a view-change message.
-  struct VcEntry {
-    SeeMoReMode mode = SeeMoReMode::kLion;  // signature domain of `sig`
-    uint64_t view = 0;
-    uint64_t seq = 0;
-    Digest digest;
-    Batch batch;
-    Signature sig;  // primary's prepare sig (P set) or commit sig (C set)
-  };
-
+  /// A validated VIEW-CHANGE message, indexed for new-view computation.
+  /// Entries are the typed wire entries (wire/messages.h SmVcEntry).
   struct VcRecord {
     SeeMoReMode mode = SeeMoReMode::kLion;
     uint64_t stable_seq = 0;
     CheckpointCert cert;
-    std::map<uint64_t, VcEntry> prepares;        // Lion/Dog P set
-    std::map<uint64_t, VcEntry> commits;         // Lion C set
+    std::map<uint64_t, SmVcEntry> prepares;      // Lion/Dog P set
+    std::map<uint64_t, SmVcEntry> commits;       // Lion C set
     std::map<uint64_t, PreparedProof> proofs;    // Peacock prepared certs
     /// Highest view with evidence created under `mode` (for "last active
     /// view" determination within the current mode epoch).
@@ -152,18 +134,18 @@ class SeeMoReReplica : public ReplicaBase {
   /// trusted primary (or new-view authority); Peacock entries are only
   /// self-certifying when signed by the trusted transferer — an untrusted
   /// Peacock primary's bare pre-prepare must come as a PreparedProof.
-  bool VerifyVcPrepareEntry(const VcEntry& entry) const;
+  bool VerifyVcPrepareEntry(const SmVcEntry& entry) const;
 
   // ----- normal case -----
-  void HandleRequest(PrincipalId from, Decoder& dec);
+  void HandleRequest(PrincipalId from, Request request);
   void PrimaryEnqueue(Request request);
   void TryPropose();
-  void HandlePrepare(PrincipalId from, Decoder& dec);
-  void HandleAcceptPlain(PrincipalId from, Decoder& dec);
-  void HandleAcceptSigned(PrincipalId from, Decoder& dec);
-  void HandleCommitPrimary(PrincipalId from, Decoder& dec);
-  void HandleCommitVote(PrincipalId from, Decoder& dec);
-  void HandleInform(PrincipalId from, Decoder& dec);
+  void HandlePrepare(PrincipalId from, SmPrepareMsg msg);
+  void HandleAcceptPlain(PrincipalId from, SmAcceptPlainMsg msg);
+  void HandleAcceptSigned(PrincipalId from, SmAcceptSignedMsg msg);
+  void HandleCommitPrimary(PrincipalId from, SmCommitPrimaryMsg msg);
+  void HandleCommitVote(PrincipalId from, SmCommitVoteMsg msg);
+  void HandleInform(PrincipalId from, SmInformMsg msg);
   void SendSignedAccept(uint64_t seq, Slot& slot);
   void CheckProxyCommit(uint64_t seq, Slot& slot);
   void CommitSlot(uint64_t seq, Slot& slot, bool replies, bool informs);
@@ -173,22 +155,25 @@ class SeeMoReReplica : public ReplicaBase {
 
   // ----- checkpoints / state transfer -----
   void MaybeCheckpoint();
-  void HandleCheckpoint(PrincipalId from, Decoder& dec);
+  void HandleCheckpoint(PrincipalId from, CheckpointMsg msg);
   void CountCheckpointVote(const CheckpointMsg& msg);
   bool VerifyCheckpointCert(const CheckpointCert& cert) const;
   void AdvanceStable(uint64_t seq, const Digest& digest, CheckpointCert cert,
                      PrincipalId helper);
-  void HandleStateRequest(PrincipalId from, Decoder& dec);
-  void HandleStateResponse(PrincipalId from, Decoder& dec);
+  void HandleStateRequest(PrincipalId from, StateRequestMsg msg);
+  void HandleStateResponse(PrincipalId from, StateResponseMsg msg);
   void RequestStateFrom(PrincipalId target);
 
   // ----- view change / mode switch -----
   void ArmViewTimer();
   void RestartOrDisarmViewTimer();
   void StartViewChange(uint64_t new_view);
-  Bytes BuildViewChangeMessage(uint64_t new_view) const;
-  Result<VcRecord> ParseViewChange(Decoder& dec, PrincipalId from);
-  void HandleViewChange(PrincipalId from, Decoder& dec);
+  SmViewChangeMsg BuildViewChangeMessage(uint64_t new_view) const;
+  /// Semantic validation of a structurally-decoded VIEW-CHANGE (signatures,
+  /// certificates, sender binding); returns the indexed record.
+  Result<VcRecord> ValidateViewChange(SmViewChangeMsg msg,
+                                      PrincipalId from) const;
+  void HandleViewChange(PrincipalId from, SmViewChangeMsg msg);
   void MaybeJoinViewChange();
   /// Mode the protocol will run in view `v` (honours pending MODE-CHANGE).
   SeeMoReMode ModeForView(uint64_t v) const;
@@ -196,8 +181,8 @@ class SeeMoReReplica : public ReplicaBase {
   bool IsNewViewAuthority(uint64_t new_view) const;
   bool ViewChangeQuorumReached(uint64_t new_view) const;
   void MaybeFormNewView(uint64_t new_view);
-  void HandleNewView(PrincipalId from, Decoder& dec);
-  void HandleModeChange(PrincipalId from, Decoder& dec);
+  void HandleNewView(PrincipalId from, SmNewViewMsg msg);
+  void HandleModeChange(PrincipalId from, SmModeChangeMsg msg);
   void EnterView(uint64_t view, SeeMoReMode mode);
   bool IsReplicaId(PrincipalId r) const { return r >= 0 && r < config_.n(); }
 

@@ -23,21 +23,6 @@
 
 namespace seemore {
 
-namespace {
-
-void EncodeVcEntry(Encoder& enc, SeeMoReMode mode, uint64_t view,
-                   uint64_t seq, const Digest& digest, const Batch& batch,
-                   const Signature& sig) {
-  enc.PutU8(static_cast<uint8_t>(mode));
-  enc.PutU64(view);
-  enc.PutU64(seq);
-  digest.EncodeTo(enc);
-  enc.PutBytes(batch.Encode());
-  sig.EncodeTo(enc);
-}
-
-}  // namespace
-
 uint64_t SeeMoReReplica::VcRecord::LastActiveView(SeeMoReMode mode) const {
   uint64_t last = 0;
   for (const auto& [seq, entry] : prepares) {
@@ -74,8 +59,7 @@ void SeeMoReReplica::ArmViewTimer() {
   // primary: right after a view change every node burns milliseconds
   // re-running agreement on the re-proposed log, and a timer that ignores
   // that work self-destructs the new view (view-change livelock).
-  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
-  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+  view_timer_ = StartTimer(current_vc_timeout_ + CpuBacklog(), [this] {
     view_timer_ = 0;
     StartViewChange(view_ + 1);
   });
@@ -89,16 +73,16 @@ void SeeMoReReplica::RestartOrDisarmViewTimer() {
 }
 
 // ---------------------------------------------------------------------------
-// VIEW-CHANGE emission and parsing
+// VIEW-CHANGE emission and validation
 // ---------------------------------------------------------------------------
 
-Bytes SeeMoReReplica::BuildViewChangeMessage(uint64_t new_view) const {
-  Encoder enc;
-  enc.PutU8(kViewChange);
-  enc.PutU8(static_cast<uint8_t>(mode_));
-  enc.PutU64(new_view);
-  enc.PutU64(stable_seq_);
-  stable_cert_.EncodeTo(enc);
+SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
+    uint64_t new_view) const {
+  SmViewChangeMsg msg;
+  msg.mode = static_cast<uint8_t>(mode_);
+  msg.new_view = new_view;
+  msg.stable_seq = stable_seq_;
+  msg.cert = stable_cert_;
 
   // Classify every live slot by the mode it was created under. Slots can
   // outlive a mode switch (committed entries kept as evidence), so the sets
@@ -113,35 +97,32 @@ Bytes SeeMoReReplica::BuildViewChangeMessage(uint64_t new_view) const {
   auto is_proof_slot = [](const Slot& slot) {
     return slot.mode == SeeMoReMode::kPeacock && slot.prepared;
   };
-  uint64_t n_prepares = 0;
-  uint64_t n_commits = 0;
-  uint64_t n_proofs = 0;
-  for (const auto& [seq, slot] : slots_) {
-    if (!slot.has_batch || seq <= stable_seq_) continue;
-    if (slot.mode == SeeMoReMode::kPeacock) {
-      if (is_proof_slot(slot)) ++n_proofs;
-    } else {
-      ++n_prepares;
-      if (slot.mode == SeeMoReMode::kLion && slot.has_commit_sig) ++n_commits;
-    }
-  }
-  enc.PutVarint(n_prepares);
   for (const auto& [seq, slot] : slots_) {
     if (!slot.has_batch || seq <= stable_seq_) continue;
     if (slot.mode == SeeMoReMode::kPeacock) continue;
-    EncodeVcEntry(enc, slot.mode, slot.view, seq, slot.digest, slot.batch,
-                  slot.primary_sig);
+    SmVcEntry entry;
+    entry.mode = slot.mode;
+    entry.view = slot.view;
+    entry.seq = seq;
+    entry.digest = slot.digest;
+    entry.batch = slot.batch;
+    entry.sig = slot.primary_sig;
+    msg.prepares.push_back(std::move(entry));
   }
-  enc.PutVarint(n_commits);
   for (const auto& [seq, slot] : slots_) {
     if (!slot.has_batch || seq <= stable_seq_ ||
         slot.mode != SeeMoReMode::kLion || !slot.has_commit_sig) {
       continue;
     }
-    EncodeVcEntry(enc, slot.mode, slot.view, seq, slot.digest, slot.batch,
-                  slot.commit_sig);
+    SmVcEntry entry;
+    entry.mode = slot.mode;
+    entry.view = slot.view;
+    entry.seq = seq;
+    entry.digest = slot.digest;
+    entry.batch = slot.batch;
+    entry.sig = slot.commit_sig;
+    msg.commits.push_back(std::move(entry));
   }
-  enc.PutVarint(n_proofs);
   for (const auto& [seq, slot] : slots_) {
     if (!slot.has_batch || seq <= stable_seq_ ||
         slot.mode != SeeMoReMode::kPeacock || !is_proof_slot(slot)) {
@@ -156,70 +137,40 @@ Bytes SeeMoReReplica::BuildViewChangeMessage(uint64_t new_view) const {
     proof.primary_sig = slot.primary_sig;
     const auto* sigs = slot.accept_votes.SignaturesFor(slot.digest);
     if (sigs != nullptr) proof.prepares = *sigs;
-    proof.EncodeTo(enc);
+    msg.proofs.push_back(std::move(proof));
   }
-  enc.PutU32(static_cast<uint32_t>(id_));
-  return enc.Take();
+  msg.sender = id_;
+  return msg;
 }
 
-Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ParseViewChange(
-    Decoder& dec, PrincipalId from) {
+Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ValidateViewChange(
+    SmViewChangeMsg msg, PrincipalId from) const {
+  if (msg.sender != from) {
+    return Status::Corruption("view-change sender mismatch");
+  }
   VcRecord record;
-  record.mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t new_view = dec.GetU64();
-  (void)new_view;
-  record.stable_seq = dec.GetU64();
-  SEEMORE_ASSIGN_OR_RETURN(record.cert, CheckpointCert::DecodeFrom(dec));
-  if (!VerifyCheckpointCert(record.cert)) {
+  record.mode = static_cast<SeeMoReMode>(msg.mode);
+  record.stable_seq = msg.stable_seq;
+  if (!VerifyCheckpointCert(msg.cert)) {
     return Status::Corruption("invalid checkpoint cert in view-change");
   }
-  if (!record.cert.IsGenesis() && record.cert.seq() < record.stable_seq) {
+  if (!msg.cert.IsGenesis() && msg.cert.seq() < msg.stable_seq) {
     return Status::Corruption("checkpoint cert below claimed stable seq");
   }
+  record.cert = std::move(msg.cert);
 
-  const uint64_t n_prepares = dec.GetVarint();
-  if (!dec.ok() || n_prepares > window_ + 1) {
-    return Status::Corruption("bad prepare count");
-  }
-  for (uint64_t i = 0; i < n_prepares; ++i) {
-    VcEntry entry;
-    entry.mode = static_cast<SeeMoReMode>(dec.GetU8());
-    entry.view = dec.GetU64();
-    entry.seq = dec.GetU64();
-    entry.digest = Digest::DecodeFrom(dec);
-    Bytes batch_bytes = dec.GetBytes();
-    entry.sig = Signature::DecodeFrom(dec);
-    if (!dec.ok()) return dec.status();
-    if (Digest::Of(batch_bytes) != entry.digest) {
-      return Status::Corruption("prepare entry digest mismatch");
-    }
-    SEEMORE_ASSIGN_OR_RETURN(entry.batch, Batch::Decode(batch_bytes));
+  for (SmVcEntry& entry : msg.prepares) {
     if (!VerifyVcPrepareEntry(entry)) {
       return Status::Corruption("invalid prepare entry signature");
     }
-    record.prepares.emplace(entry.seq, std::move(entry));
+    const uint64_t seq = entry.seq;
+    record.prepares.emplace(seq, std::move(entry));
   }
 
-  const uint64_t n_commits = dec.GetVarint();
-  if (!dec.ok() || n_commits > window_ + 1) {
-    return Status::Corruption("bad commit count");
-  }
-  for (uint64_t i = 0; i < n_commits; ++i) {
-    VcEntry entry;
-    entry.mode = static_cast<SeeMoReMode>(dec.GetU8());
-    entry.view = dec.GetU64();
-    entry.seq = dec.GetU64();
-    entry.digest = Digest::DecodeFrom(dec);
-    Bytes batch_bytes = dec.GetBytes();
-    entry.sig = Signature::DecodeFrom(dec);
-    if (!dec.ok()) return dec.status();
+  for (SmVcEntry& entry : msg.commits) {
     if (entry.mode != SeeMoReMode::kLion) {
       return Status::Corruption("commit entries only exist in Lion");
     }
-    if (Digest::Of(batch_bytes) != entry.digest) {
-      return Status::Corruption("commit entry digest mismatch");
-    }
-    SEEMORE_ASSIGN_OR_RETURN(entry.batch, Batch::Decode(batch_bytes));
     const Bytes header =
         ProposalHeader(kDomainCommit, static_cast<uint8_t>(entry.mode),
                        entry.view, entry.seq, entry.digest);
@@ -227,16 +178,11 @@ Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ParseViewChange(
                            entry.sig)) {
       return Status::Corruption("invalid commit entry signature");
     }
-    record.commits.emplace(entry.seq, std::move(entry));
+    const uint64_t seq = entry.seq;
+    record.commits.emplace(seq, std::move(entry));
   }
 
-  const uint64_t n_proofs = dec.GetVarint();
-  if (!dec.ok() || n_proofs > window_ + 1) {
-    return Status::Corruption("bad proof count");
-  }
-  for (uint64_t i = 0; i < n_proofs; ++i) {
-    SEEMORE_ASSIGN_OR_RETURN(PreparedProof proof,
-                             PreparedProof::DecodeFrom(dec));
+  for (PreparedProof& proof : msg.proofs) {
     const SeeMoReMode proof_mode = static_cast<SeeMoReMode>(proof.mode);
     const PrincipalId proposer = config_.PrimaryOf(proof_mode, proof.view);
     const PrincipalId authority = SwitchAuthority(proof_mode, proof.view);
@@ -250,12 +196,9 @@ Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ParseViewChange(
         (authority != proposer &&
          proof.Verify(*keystore_, authority, 2 * config_.m, authorized));
     if (!ok) return Status::Corruption("invalid prepared proof");
-    record.proofs.emplace(proof.seq, std::move(proof));
+    const uint64_t seq = proof.seq;
+    record.proofs.emplace(seq, std::move(proof));
   }
-
-  const PrincipalId sender = static_cast<PrincipalId>(dec.GetU32());
-  SEEMORE_RETURN_IF_ERROR(dec.Finish());
-  if (sender != from) return Status::Corruption("view-change sender mismatch");
   return record;
 }
 
@@ -277,32 +220,27 @@ void SeeMoReReplica::StartViewChange(uint64_t new_view) {
           : (mode_ == SeeMoReMode::kDog ? !config_.IsTrusted(id_)
                                         : IsProxyNow());
   if (sender_role) {
-    const Bytes msg = BuildViewChangeMessage(new_view);
-    SendToMany(config_.AllReplicas(), msg);
-    Decoder dec(msg);
-    dec.GetU8();  // tag
-    Result<VcRecord> own = ParseViewChange(dec, id_);
+    SmViewChangeMsg msg = BuildViewChangeMessage(new_view);
+    SendToMany(config_.AllReplicas(), msg.ToMessage());
+    Result<VcRecord> own = ValidateViewChange(std::move(msg), id_);
     if (own.ok()) vc_msgs_[new_view][id_] = std::move(own).value();
   }
   if (IsNewViewAuthority(new_view)) MaybeFormNewView(new_view);
 
   current_vc_timeout_ = std::min<SimTime>(current_vc_timeout_ * 2, Seconds(2));
-  const SimTime backlog = cpu_.AvailableAt() - sim_->now();
-  view_timer_ = StartTimer(current_vc_timeout_ + backlog, [this] {
+  view_timer_ = StartTimer(current_vc_timeout_ + CpuBacklog(), [this] {
     view_timer_ = 0;
     if (in_view_change_) StartViewChange(vc_target_ + 1);
   });
 }
 
-void SeeMoReReplica::HandleViewChange(PrincipalId from, Decoder& dec) {
-  // Peek the target view before paying full validation.
-  Decoder peek = dec;
-  peek.GetU8();  // mode
-  const uint64_t new_view = peek.GetU64();
-  if (!peek.ok() || new_view <= view_) return;
+void SeeMoReReplica::HandleViewChange(PrincipalId from, SmViewChangeMsg msg) {
+  // Check the target view before paying full validation.
+  const uint64_t new_view = msg.new_view;
+  if (new_view <= view_) return;
 
   ChargeVerify(2);  // cert + entry validation (amortized)
-  Result<VcRecord> record_or = ParseViewChange(dec, from);
+  Result<VcRecord> record_or = ValidateViewChange(std::move(msg), from);
   if (!record_or.ok()) {
     SEEMORE_LOG(Debug) << "replica " << id_ << ": rejecting view-change from "
                        << from << ": " << record_or.status().ToString();
@@ -484,38 +422,35 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
     }
   }
 
-  Encoder enc;
-  enc.PutU8(kNewView);
-  enc.PutU8(mode8);
-  enc.PutU64(new_view);
-  enc.PutU64(low);
+  SmNewViewMsg nv;
+  nv.mode = mode8;
+  nv.new_view = new_view;
+  nv.low = low;
   ChargeSign();
-  const Signature header_sig = signer_.Sign(
-      ProposalHeader(kDomainNewView, mode8, new_view, low, Digest()));
-  header_sig.EncodeTo(enc);
-  auto encode_entry = [&enc, new_view](uint64_t seq, const Candidate& cand,
-                                       const Signature& sig) {
-    enc.PutU64(new_view);
-    enc.PutU64(seq);
-    cand.digest.EncodeTo(enc);
-    enc.PutBytes(cand.batch.Encode());
-    sig.EncodeTo(enc);
-  };
-  enc.PutVarint(commit_entries.size());
+  nv.header_sig = signer_.Sign(nv.Header());
   for (auto& [seq, cand] : commit_entries) {
     ChargeSign();
-    const Signature sig = signer_.Sign(
+    SmNewViewEntry entry;
+    entry.view = new_view;
+    entry.seq = seq;
+    entry.digest = cand.digest;
+    entry.batch = cand.batch.Encode();
+    entry.sig = signer_.Sign(
         ProposalHeader(kDomainCommit, mode8, new_view, seq, cand.digest));
-    encode_entry(seq, cand, sig);
+    nv.commits.push_back(std::move(entry));
   }
-  enc.PutVarint(prepare_entries.size());
   for (auto& [seq, cand] : prepare_entries) {
     ChargeSign();
-    const Signature sig = signer_.Sign(
+    SmNewViewEntry entry;
+    entry.view = new_view;
+    entry.seq = seq;
+    entry.digest = cand.digest;
+    entry.batch = cand.batch.Encode();
+    entry.sig = signer_.Sign(
         ProposalHeader(kDomainPrePrepare, mode8, new_view, seq, cand.digest));
-    encode_entry(seq, cand, sig);
+    nv.prepares.push_back(std::move(entry));
   }
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SendToMany(config_.AllReplicas(), nv.ToMessage());
 
   // Install locally.
   EnterView(new_view, target_mode);
@@ -564,24 +499,17 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
   if (IsPrimary()) TryPropose();
 }
 
-void SeeMoReReplica::HandleNewView(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode new_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t new_view = dec.GetU64();
-  const uint64_t low = dec.GetU64();
-  const Signature header_sig = Signature::DecodeFrom(dec);
-  if (!dec.ok()) return;
+void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
+  const SeeMoReMode new_mode = static_cast<SeeMoReMode>(msg.mode);
+  const uint64_t new_view = msg.new_view;
   if (new_view <= view_) return;
   // Only the trusted authority of the new (view, mode) may issue NEW-VIEW.
   if (from != SwitchAuthority(new_mode, new_view) || !config_.IsTrusted(from)) {
     return;
   }
-  const uint8_t mode8 = static_cast<uint8_t>(new_mode);
+  const uint8_t mode8 = msg.mode;
   ChargeVerify();
-  if (!keystore_->Verify(
-          from, ProposalHeader(kDomainNewView, mode8, new_view, low, Digest()),
-          header_sig)) {
-    return;
-  }
+  if (!msg.VerifySignature(*keystore_, from)) return;
 
   struct Entry {
     uint64_t seq;
@@ -589,20 +517,16 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, Decoder& dec) {
     Batch batch;
     Signature sig;
   };
-  const uint64_t n_commits = dec.GetVarint();
-  if (!dec.ok() || n_commits > window_ + 1) return;
   std::vector<Entry> commit_entries;
-  for (uint64_t i = 0; i < n_commits; ++i) {
+  for (SmNewViewEntry& wire_entry : msg.commits) {
     Entry entry;
-    const uint64_t entry_view = dec.GetU64();
-    entry.seq = dec.GetU64();
-    entry.digest = Digest::DecodeFrom(dec);
-    Bytes batch_bytes = dec.GetBytes();
-    entry.sig = Signature::DecodeFrom(dec);
-    if (!dec.ok() || entry_view != new_view) return;
-    ChargeHash(batch_bytes.size());
-    if (Digest::Of(batch_bytes) != entry.digest) return;
-    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+    entry.seq = wire_entry.seq;
+    entry.digest = wire_entry.digest;
+    entry.sig = wire_entry.sig;
+    if (wire_entry.view != new_view) return;
+    ChargeHash(wire_entry.batch.size());
+    if (Digest::Of(wire_entry.batch) != entry.digest) return;
+    Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();
     ChargeVerify();
@@ -614,20 +538,16 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, Decoder& dec) {
     }
     commit_entries.push_back(std::move(entry));
   }
-  const uint64_t n_prepares = dec.GetVarint();
-  if (!dec.ok() || n_prepares > window_ + 1) return;
   std::vector<Entry> prepare_entries;
-  for (uint64_t i = 0; i < n_prepares; ++i) {
+  for (SmNewViewEntry& wire_entry : msg.prepares) {
     Entry entry;
-    const uint64_t entry_view = dec.GetU64();
-    entry.seq = dec.GetU64();
-    entry.digest = Digest::DecodeFrom(dec);
-    Bytes batch_bytes = dec.GetBytes();
-    entry.sig = Signature::DecodeFrom(dec);
-    if (!dec.ok() || entry_view != new_view) return;
-    ChargeHash(batch_bytes.size());
-    if (Digest::Of(batch_bytes) != entry.digest) return;
-    Result<Batch> batch_or = Batch::Decode(batch_bytes);
+    entry.seq = wire_entry.seq;
+    entry.digest = wire_entry.digest;
+    entry.sig = wire_entry.sig;
+    if (wire_entry.view != new_view) return;
+    ChargeHash(wire_entry.batch.size());
+    if (Digest::Of(wire_entry.batch) != entry.digest) return;
+    Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();
     ChargeVerify();
@@ -642,9 +562,9 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, Decoder& dec) {
 
   EnterView(new_view, new_mode);
   ++stats_.view_changes_completed;
-  if (low > exec_.last_executed()) RequestStateFrom(from);
+  if (msg.low > exec_.last_executed()) RequestStateFrom(from);
 
-  uint64_t high = low;
+  uint64_t high = msg.low;
   for (Entry& entry : commit_entries) {
     high = std::max(high, entry.seq);
     if (entry.seq <= stable_seq_ || exec_.HasCommitted(entry.seq)) continue;
@@ -685,14 +605,8 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, Decoder& dec) {
       case SeeMoReMode::kLion: {
         if (!IsPrimary()) {
           ChargeMac();
-          Encoder acc;
-          acc.PutU8(kAcceptPlain);
-          acc.PutU8(mode8);
-          acc.PutU64(view_);
-          acc.PutU64(entry.seq);
-          slot.digest.EncodeTo(acc);
-          acc.PutU32(static_cast<uint32_t>(id_));
-          SendTo(current_primary(), acc.bytes());
+          SmAcceptPlainMsg accept{mode8, view_, entry.seq, slot.digest, id_};
+          SendTo(current_primary(), accept.ToMessage());
         }
         break;
       }
@@ -723,46 +637,32 @@ Status SeeMoReReplica::RequestModeSwitch(SeeMoReMode new_mode) {
         "mode switch must be requested on the new view's trusted authority");
   }
   ChargeSign();
-  const uint8_t mode8 = static_cast<uint8_t>(new_mode);
-  const Signature sig = signer_.Sign(
-      ProposalHeader(kDomainModeChange, mode8, new_view, 0, Digest()));
-  Encoder enc;
-  enc.PutU8(kModeChange);
-  enc.PutU8(mode8);
-  enc.PutU64(new_view);
-  enc.PutU32(static_cast<uint32_t>(id_));
-  sig.EncodeTo(enc);
-  SendToMany(config_.AllReplicas(), enc.bytes());
+  SmModeChangeMsg msg;
+  msg.mode = static_cast<uint8_t>(new_mode);
+  msg.new_view = new_view;
+  msg.sender = id_;
+  msg.sig = signer_.Sign(msg.Header());
+  SendToMany(config_.AllReplicas(), msg.ToMessage());
 
   pending_mode_[new_view] = new_mode;
   StartViewChange(new_view);
   return Status::Ok();
 }
 
-void SeeMoReReplica::HandleModeChange(PrincipalId from, Decoder& dec) {
-  const SeeMoReMode new_mode = static_cast<SeeMoReMode>(dec.GetU8());
-  const uint64_t new_view = dec.GetU64();
-  const PrincipalId sender = static_cast<PrincipalId>(dec.GetU32());
-  const Signature sig = Signature::DecodeFrom(dec);
-  if (!dec.ok()) return;
-  if (new_view <= view_) return;
-  if (sender != from || !config_.IsTrusted(sender)) return;
-  if (SwitchAuthority(new_mode, new_view) != sender) return;
+void SeeMoReReplica::HandleModeChange(PrincipalId from, SmModeChangeMsg msg) {
+  const SeeMoReMode new_mode = static_cast<SeeMoReMode>(msg.mode);
+  if (msg.new_view <= view_) return;
+  if (msg.sender != from || !config_.IsTrusted(msg.sender)) return;
+  if (SwitchAuthority(new_mode, msg.new_view) != msg.sender) return;
   if (new_mode != SeeMoReMode::kLion && new_mode != SeeMoReMode::kDog &&
       new_mode != SeeMoReMode::kPeacock) {
     return;
   }
   ChargeVerify();
-  if (!keystore_->Verify(sender,
-                         ProposalHeader(kDomainModeChange,
-                                        static_cast<uint8_t>(new_mode),
-                                        new_view, 0, Digest()),
-                         sig)) {
-    return;
-  }
-  pending_mode_[new_view] = new_mode;
+  if (!msg.VerifySignature(*keystore_)) return;
+  pending_mode_[msg.new_view] = new_mode;
   // A trusted replica ordered the switch: join the view change immediately.
-  StartViewChange(new_view);
+  StartViewChange(msg.new_view);
 }
 
 void SeeMoReReplica::EnterView(uint64_t view, SeeMoReMode mode) {

@@ -14,28 +14,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/transport.h"
 #include "util/rng.h"
+#include "util/time.h"
 
 namespace seemore {
 
-/// Virtual time in nanoseconds since simulation start.
-using SimTime = int64_t;
-
-inline constexpr SimTime kNanosPerMicro = 1000;
-inline constexpr SimTime kNanosPerMilli = 1000 * 1000;
-inline constexpr SimTime kNanosPerSecond = 1000 * 1000 * 1000;
-
-inline constexpr SimTime Micros(int64_t us) { return us * kNanosPerMicro; }
-inline constexpr SimTime Millis(int64_t ms) { return ms * kNanosPerMilli; }
-inline constexpr SimTime Seconds(int64_t s) { return s * kNanosPerSecond; }
-inline double ToMillis(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kNanosPerMilli);
-}
-
-/// Handle for cancelling a scheduled event. 0 is never a valid id.
-using EventId = uint64_t;
-
-class Simulator {
+/// The simulator is the TimerService implementation for simulated runs:
+/// Now() is virtual time and timers are simulation events.
+class Simulator : public TimerService {
  public:
   explicit Simulator(uint64_t seed = 1);
 
@@ -44,6 +31,13 @@ class Simulator {
 
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  /// --- TimerService ------------------------------------------------------
+  SimTime Now() const override { return now_; }
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) override {
+    return Schedule(delay, std::move(fn));
+  }
+  bool CancelEvent(EventId id) override { return Cancel(id); }
 
   /// Schedule `fn` to run `delay` from now (delay < 0 is clamped to 0).
   EventId Schedule(SimTime delay, std::function<void()> fn);

@@ -4,15 +4,16 @@
 
 namespace seemore {
 
-SimClient::SimClient(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-                     ClientOptions options, std::unique_ptr<ReplyPolicy> policy)
-    : sim_(sim),
-      net_(net),
+SimClient::SimClient(Transport* transport, TimerService* timers,
+                     const KeyStore* keystore, ClientOptions options,
+                     std::unique_ptr<ReplyPolicy> policy)
+    : transport_(transport),
+      timers_(timers),
       keystore_(keystore),
       options_(options),
       policy_(std::move(policy)),
       signer_(options_.id, *keystore) {
-  net_->AddNode(options_.id, Zone::kClient, this, /*cpu=*/nullptr);
+  transport_->Register(options_.id, Zone::kClient, this, /*metered=*/false);
 }
 
 SimClient::~SimClient() = default;
@@ -58,7 +59,7 @@ void SimClient::MaybeIssueNext() {
   retransmitted_ = false;
   reply_groups_.clear();
   ++issued_;
-  sent_at_ = sim_->now();
+  sent_at_ = timers_->Now();
   current_timeout_ = options_.retransmit_timeout;
   Transmit(/*retransmit=*/false);
   ArmTimer();
@@ -69,12 +70,12 @@ void SimClient::Transmit(bool retransmit) {
       retransmit ? policy_->RetransmitTargets() : policy_->InitialTargets();
   const Bytes message = current_.ToMessage();
   for (PrincipalId target : targets) {
-    net_->Send(options_.id, target, message);
+    transport_->Send(options_.id, target, message);
   }
 }
 
 void SimClient::ArmTimer() {
-  timer_ = sim_->Schedule(current_timeout_, [this] { HandleTimeout(); });
+  timer_ = timers_->ScheduleAfter(current_timeout_, [this] { HandleTimeout(); });
 }
 
 void SimClient::HandleTimeout() {
@@ -122,14 +123,14 @@ void SimClient::OnMessage(PrincipalId from, Bytes bytes) {
 
 void SimClient::Complete(const Bytes& result) {
   if (timer_ != 0) {
-    sim_->Cancel(timer_);
+    timers_->CancelEvent(timer_);
     timer_ = 0;
   }
   in_flight_ = false;
-  const SimTime latency = sim_->now() - sent_at_;
+  const SimTime latency = timers_->Now() - sent_at_;
   latencies_.Record(latency);
   ++completed_;
-  if (on_complete) on_complete(sim_->now(), latency);
+  if (on_complete) on_complete(timers_->Now(), latency);
   if (current_done_) {
     DoneCallback done = std::move(current_done_);
     current_done_ = nullptr;

@@ -14,7 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "net/network.h"
+#include "net/transport.h"
 #include "smr/command.h"
 #include "util/histogram.h"
 
@@ -53,8 +53,9 @@ struct ClientOptions {
 
 class SimClient : public MessageHandler {
  public:
-  SimClient(Simulator* sim, SimNetwork* net, const KeyStore* keystore,
-            ClientOptions options, std::unique_ptr<ReplyPolicy> policy);
+  SimClient(Transport* transport, TimerService* timers,
+            const KeyStore* keystore, ClientOptions options,
+            std::unique_ptr<ReplyPolicy> policy);
   ~SimClient() override;
 
   SimClient(const SimClient&) = delete;
@@ -98,8 +99,8 @@ class SimClient : public MessageHandler {
   void HandleTimeout();
   void Complete(const Bytes& result);
 
-  Simulator* sim_;
-  SimNetwork* net_;
+  Transport* transport_;
+  TimerService* timers_;
   const KeyStore* keystore_;
   ClientOptions options_;
   std::unique_ptr<ReplyPolicy> policy_;

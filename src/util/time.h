@@ -1,0 +1,35 @@
+// Virtual time base shared by the transport interfaces, the cost model and
+// the discrete-event simulator.
+//
+// All timing in the repository is expressed in nanoseconds of *virtual* time.
+// Only the composition root (harness, benchmarks) knows whether virtual time
+// is driven by the simulator or by a wall clock; protocol code sees it solely
+// through the Clock / TimerService interfaces in net/transport.h.
+
+#ifndef SEEMORE_UTIL_TIME_H_
+#define SEEMORE_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace seemore {
+
+/// Time in nanoseconds since simulation (or process) start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kNanosPerMicro = 1000;
+inline constexpr SimTime kNanosPerMilli = 1000 * 1000;
+inline constexpr SimTime kNanosPerSecond = 1000 * 1000 * 1000;
+
+inline constexpr SimTime Micros(int64_t us) { return us * kNanosPerMicro; }
+inline constexpr SimTime Millis(int64_t ms) { return ms * kNanosPerMilli; }
+inline constexpr SimTime Seconds(int64_t s) { return s * kNanosPerSecond; }
+inline double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMilli);
+}
+
+/// Handle for cancelling a scheduled timer/event. 0 is never a valid id.
+using EventId = uint64_t;
+
+}  // namespace seemore
+
+#endif  // SEEMORE_UTIL_TIME_H_

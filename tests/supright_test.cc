@@ -61,6 +61,18 @@ TEST(SUpRightTest, ClientNeedsOnlyMPlusOneMatching) {
   EXPECT_EQ(ParseKvReply(*get).value, "true");
 }
 
+TEST(SUpRightTest, ReportsUnimplementedUpRightFeatures) {
+  // S-UpRight is the paper's simplified comparator, not UpRight proper;
+  // the class must say so explicitly.
+  Cluster cluster(SUpRightOptions(1, 1));
+  auto* replica = static_cast<SUpRightReplica*>(cluster.replica(0));
+  EXPECT_GE(SUpRightReplica::UnimplementedFeatures().size(), 3u);
+  const std::string description = replica->Describe();
+  EXPECT_NE(description.find("S-UpRight"), std::string::npos);
+  EXPECT_NE(description.find("N=6"), std::string::npos);      // 3m+2c+1
+  EXPECT_NE(description.find("quorum 4"), std::string::npos);  // 2m+c+1
+}
+
 TEST(SUpRightTest, LargerHybridBudget) {
   // c=2, m=2 -> N=11, quorum 7.
   Cluster cluster(SUpRightOptions(2, 2));
