@@ -1,0 +1,210 @@
+// Engine microbenchmark: host-side events/sec of the discrete-event engine
+// on its three hot shapes, with the numbers the zero-copy/pooled-heap/memo
+// rework is accountable for.
+//
+//   timer_churn       - self-rescheduling timers plus schedule/cancel pairs
+//                       (the view-change timer pattern); stresses the slab
+//                       heap and O(1) cancellation.
+//   multicast_fanout  - one sender multicasts 8 KiB frames to 48 metered
+//                       receivers, each of which digests the frame
+//                       (receiver-side verification); stresses payload
+//                       sharing and the digest memo.
+//   cluster           - a full SeeMoRe Lion cluster under closed-loop load;
+//                       end-to-end engine throughput with all layers on.
+//
+// The "seed" numbers baked in below were measured with the exact same
+// workloads against the pre-rework engine (commit e32ed6a: per-receiver
+// payload copies, unordered_map + priority_queue scheduler, no memo) on the
+// reference dev machine; the emitted BENCH_engine.json reports both series
+// and the resulting speedups. Absolute numbers vary by host — the speedup
+// ratio is only meaningful when the full workload (not --quick) runs on a
+// machine comparable to the one that produced the baseline.
+//
+// Usage: bench_engine [--quick]   (--quick shrinks workloads ~10x for CI)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "crypto/memo.h"
+
+namespace seemore {
+namespace bench {
+namespace {
+
+/// Seed-engine (pre-rework) results for the full workloads, reference dev
+/// machine. Recorded before the rework landed; see file comment.
+constexpr double kSeedTimerChurnEventsPerSec = 1752695.0;
+constexpr double kSeedMulticastDeliveriesPerSec = 23402.0;
+constexpr double kSeedClusterEventsPerSec = 151910.0;
+
+double Secs(std::chrono::steady_clock::time_point a,
+            std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// --- Workload 1: timer churn -----------------------------------------------
+double TimerChurn(int chains, uint64_t events_per_chain) {
+  Simulator sim(7);
+  std::vector<uint64_t> left(chains, events_per_chain);
+  std::vector<std::function<void()>> tick(chains);
+  for (int i = 0; i < chains; ++i) {
+    tick[i] = [&, i] {
+      EventId decoy = sim.Schedule(Millis(1000), [] {});
+      sim.Cancel(decoy);
+      if (--left[i] > 0) {
+        sim.Schedule(static_cast<SimTime>(sim.rng().NextBounded(1000) + 1),
+                     tick[i]);
+      }
+    };
+    sim.Schedule(static_cast<SimTime>(i + 1), tick[i]);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  sim.Run();
+  auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(sim.executed_events()) / Secs(t0, t1);
+}
+
+// --- Workload 2: multicast fanout ------------------------------------------
+/// Models receiver-side batch verification: digest the delivered frame,
+/// memoized on the shared buffer's identity.
+struct HashingHandler : MessageHandler {
+  uint64_t received = 0;
+  Digest last;
+  void OnMessage(PrincipalId, Payload payload) override {
+    ++received;
+    last = CryptoMemo::Get().DigestOf(payload.id(), 0, payload.data(),
+                                      payload.size());
+  }
+};
+
+double MulticastFanout(int receivers, int rounds, size_t payload_bytes,
+                       uint64_t* delivered_out) {
+  Simulator sim(11);
+  NetworkConfig config;
+  config.intra_private = {Micros(80), Micros(20)};
+  SimNetwork net(&sim, config);
+  std::vector<HashingHandler> handlers(receivers + 1);
+  std::vector<PrincipalId> targets;
+  for (int i = 0; i <= receivers; ++i) {
+    net.Register(i, Zone::kPrivate, &handlers[i], /*metered=*/true);
+    if (i > 0) targets.push_back(i);
+  }
+  Bytes payload(payload_bytes);
+  for (size_t i = 0; i < payload_bytes; ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  for (int r = 0; r < rounds; ++r) {
+    sim.ScheduleAt(Micros(100) * r, [&, r] {
+      payload[0] = static_cast<uint8_t>(r);  // new frame each round
+      net.Multicast(0, targets, payload);
+    });
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  sim.Run();
+  auto t1 = std::chrono::steady_clock::now();
+  uint64_t delivered = 0;
+  for (const auto& h : handlers) delivered += h.received;
+  if (delivered_out) *delivered_out = delivered;
+  return static_cast<double>(delivered) / Secs(t0, t1);
+}
+
+// --- Workload 3: full protocol stack ---------------------------------------
+double ClusterEventsPerSec(SimTime measure, uint64_t* executed_out) {
+  ClusterOptions options;
+  options.config.kind = ProtocolKind::kSeeMoRe;
+  options.config.c = 1;
+  options.config.m = 1;
+  options.config.s = 2;
+  options.config.p = 4;
+  options.config.initial_mode = SeeMoReMode::kLion;
+  options.config.batch_max = 64;
+  options.config.pipeline_max = 2;
+  options.seed = 5;
+  Cluster cluster(options);
+  auto t0 = std::chrono::steady_clock::now();
+  RunClosedLoop(cluster, 16, EchoWorkload(1, 0), Millis(100), measure);
+  auto t1 = std::chrono::steady_clock::now();
+  if (executed_out) *executed_out = cluster.sim().executed_events();
+  return static_cast<double>(cluster.sim().executed_events()) / Secs(t0, t1);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seemore
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  using namespace seemore::bench;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const int churn_chains = 64;
+  const uint64_t churn_events = quick ? 2000 : 20000;
+  const int fanout_receivers = 48;
+  const int fanout_rounds = quick ? 400 : 4000;
+  const size_t fanout_payload = 8192;
+  const SimTime cluster_measure = quick ? Millis(100) : Millis(1000);
+
+  std::printf("bench_engine (%s mode)\n", quick ? "quick" : "full");
+
+  CryptoMemo& memo = CryptoMemo::Get();
+
+  const double churn = TimerChurn(churn_chains, churn_events);
+  std::printf("timer_churn:      %12.0f events/s   (seed engine: %.0f)\n",
+              churn, kSeedTimerChurnEventsPerSec);
+
+  const uint64_t digest_misses_before = memo.digest_misses();
+  const uint64_t digest_hits_before = memo.digest_hits();
+  uint64_t delivered = 0;
+  const double fanout =
+      MulticastFanout(fanout_receivers, fanout_rounds, fanout_payload,
+                      &delivered);
+  std::printf(
+      "multicast_fanout: %12.0f deliveries/s (seed engine: %.0f); "
+      "%llu delivered, digest memo %llu misses / %llu hits\n",
+      fanout, kSeedMulticastDeliveriesPerSec,
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(memo.digest_misses() -
+                                      digest_misses_before),
+      static_cast<unsigned long long>(memo.digest_hits() -
+                                      digest_hits_before));
+
+  uint64_t executed = 0;
+  const double cluster = ClusterEventsPerSec(cluster_measure, &executed);
+  std::printf("cluster:          %12.0f events/s   (seed engine: %.0f)\n",
+              cluster, kSeedClusterEventsPerSec);
+
+  BenchResultsJson json("engine");
+  json.AddScalar("events_per_sec", "timer_churn", churn);
+  json.AddScalar("events_per_sec", "multicast_fanout_deliveries", fanout);
+  json.AddScalar("events_per_sec", "cluster", cluster);
+  json.AddScalar("seed_engine_baseline", "timer_churn",
+                 kSeedTimerChurnEventsPerSec);
+  json.AddScalar("seed_engine_baseline", "multicast_fanout_deliveries",
+                 kSeedMulticastDeliveriesPerSec);
+  json.AddScalar("seed_engine_baseline", "cluster",
+                 kSeedClusterEventsPerSec);
+  json.AddScalar("speedup_vs_seed", "timer_churn",
+                 churn / kSeedTimerChurnEventsPerSec);
+  json.AddScalar("speedup_vs_seed", "multicast_fanout",
+                 fanout / kSeedMulticastDeliveriesPerSec);
+  json.AddScalar("speedup_vs_seed", "cluster",
+                 cluster / kSeedClusterEventsPerSec);
+  json.AddScalar("config", "quick_mode", quick ? 1.0 : 0.0);
+  json.Write();
+
+  std::printf(
+      "speedup vs seed engine: timer_churn %.2fx, multicast_fanout %.2fx, "
+      "cluster %.2fx%s\n",
+      churn / kSeedTimerChurnEventsPerSec,
+      fanout / kSeedMulticastDeliveriesPerSec,
+      cluster / kSeedClusterEventsPerSec,
+      quick ? " (quick mode: ratios approximate)" : "");
+  return 0;
+}

@@ -94,7 +94,7 @@ BENCHMARK(BM_SimulatorEvents);
 
 class CountingHandler : public MessageHandler {
  public:
-  void OnMessage(PrincipalId, Bytes) override { ++count; }
+  void OnMessage(PrincipalId, Payload) override { ++count; }
   uint64_t count = 0;
 };
 

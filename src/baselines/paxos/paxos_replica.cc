@@ -16,8 +16,8 @@ PaxosReplica::PaxosReplica(Transport* transport, TimerService* timers,
   current_vc_timeout_ = config_.view_change_timeout;
 }
 
-void PaxosReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
-  Decoder dec(bytes);
+void PaxosReplica::HandleMessage(PrincipalId from, const Payload& frame) {
+  Decoder dec = MakeDecoder(frame);
   const uint8_t tag = dec.GetU8();
   if (!dec.ok()) return;
   // Channels are pairwise authenticated: protocol-internal messages are only
@@ -172,7 +172,7 @@ void PaxosReplica::HandleAccept(PrincipalId from, PaxosAcceptMsg msg) {
     slot.batch = std::move(batch_or).value();
     slot.has_batch = true;
     ChargeHash(msg.batch.size());
-    slot.digest = Digest::Of(msg.batch);
+    slot.digest = FrameFieldDigest(msg.batch, msg.batch_offset);
     slot.view = msg.view;
   }
 
@@ -513,7 +513,7 @@ void PaxosReplica::HandleNewView(PrincipalId from, PaxosNewViewMsg msg) {
     fresh.batch = std::move(batch_or).value();
     fresh.has_batch = true;
     ChargeHash(wire_entry.batch.size());
-    fresh.digest = Digest::Of(wire_entry.batch);
+    fresh.digest = FrameFieldDigest(wire_entry.batch, wire_entry.batch_offset);
     fresh.view = new_view;
     fresh.committed = slots_[wire_entry.seq].committed ||
                       exec_.HasCommitted(wire_entry.seq);

@@ -48,7 +48,7 @@ class PaxosReplica : public ReplicaBase {
   bool in_view_change() const { return in_view_change_; }
 
  protected:
-  void HandleMessage(PrincipalId from, const Bytes& bytes) override;
+  void HandleMessage(PrincipalId from, const Payload& frame) override;
 
  private:
   struct Slot {

@@ -20,8 +20,8 @@ PbftCoreReplica::PbftCoreReplica(Transport* transport, TimerService* timers,
             static_cast<uint64_t>(config_.pipeline_max);
 }
 
-void PbftCoreReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
-  Decoder dec(bytes);
+void PbftCoreReplica::HandleMessage(PrincipalId from, const Payload& frame) {
+  Decoder dec = MakeDecoder(frame);
   const uint8_t tag = dec.GetU8();
   if (!dec.ok()) return;
   ChargeMac();  // channel authentication
@@ -46,7 +46,7 @@ void PbftCoreReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
     case kPbftViewChange:
       // The body signature covers the whole frame; validate from the raw
       // bytes (ParseViewChange runs the typed decode internally).
-      HandleViewChange(from, bytes);
+      HandleViewChange(from, frame.bytes());
       break;
     case kPbftNewView: {
       Result<PbftNewViewMsg> msg = PbftNewViewMsg::DecodeFrom(
@@ -196,17 +196,32 @@ void PbftCoreReplica::HandlePrePrepare(PrincipalId from, PbftPrePrepareMsg msg) 
   if (from != config_.FlatPrimary(view_)) return;
   if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
 
+  // Primary signature, batch digest and per-request client signatures are
+  // pure functions of the multicast frame: real crypto runs once per
+  // process (memoized on buffer identity); every receiver still charges the
+  // full simulated cost.
   ChargeVerify();
-  if (!msg.VerifySignature(*keystore_, from)) return;
+  if (!FrameVerifyMemoized(from, kPbftPrePrepare, [&] {
+        return msg.VerifySignature(*keystore_, from);
+      })) {
+    return;
+  }
   ChargeHash(msg.batch.size());
-  if (Digest::Of(msg.batch) != msg.digest) return;
+  if (FrameFieldDigest(msg.batch, msg.batch_offset) != msg.digest) return;
   Result<Batch> batch_or = Batch::Decode(msg.batch);
   if (!batch_or.ok()) return;
   Batch batch = std::move(batch_or).value();
   // Authenticate every client request in the batch.
   ChargeVerify(static_cast<int>(batch.size()));
-  for (const Request& request : batch.requests) {
-    if (!request.VerifySignature(*keystore_)) return;
+  for (size_t i = 0; i < batch.requests.size(); ++i) {
+    const Request& request = batch.requests[i];
+    if (!FrameVerifyMemoized(
+            request.client,
+            (static_cast<uint32_t>(kPbftPrePrepare) << 16) |
+                static_cast<uint32_t>(i),
+            [&] { return request.VerifySignature(*keystore_); })) {
+      return;
+    }
   }
 
   Slot& slot = slots_[msg.seq];
@@ -245,7 +260,10 @@ void PbftCoreReplica::HandlePrepare(PrincipalId from, PbftPrepareMsg msg) {
   if (msg.voter != from || !IsReplicaId(msg.voter)) return;
   if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!msg.Verify(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.voter, kPbftPrepare,
+                           [&] { return msg.Verify(*keystore_); })) {
+    return;
+  }
   Slot& slot = slots_[msg.seq];
   slot.prepare_votes.Add(msg.digest, msg.voter, msg.sig);
   CheckPrepared(msg.seq, slot);
@@ -280,7 +298,10 @@ void PbftCoreReplica::HandleCommit(PrincipalId from, PbftCommitMsg msg) {
   if (msg.voter != from || !IsReplicaId(msg.voter)) return;
   if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!msg.Verify(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.voter, kPbftCommit,
+                           [&] { return msg.Verify(*keystore_); })) {
+    return;
+  }
   Slot& slot = slots_[msg.seq];
   slot.commit_votes.Add(msg.digest, msg.voter, msg.sig);
   CheckCommitted(msg.seq, slot);
@@ -349,7 +370,10 @@ void PbftCoreReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
   if (msg.replica != from || !IsReplicaId(from)) return;
   if (msg.seq <= stable_seq_) return;
   ChargeVerify();
-  if (!msg.Verify(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.replica, kPbftCheckpoint,
+                           [&] { return msg.Verify(*keystore_); })) {
+    return;
+  }
   CountCheckpointVote(msg);
   // If many peers checkpoint far ahead of us we fell behind; the vote path
   // (quorum then AdvanceStable) normally handles it, but when our own vote

@@ -50,7 +50,7 @@ class PbftCoreReplica : public ReplicaBase {
   bool in_view_change() const { return in_view_change_; }
 
  protected:
-  void HandleMessage(PrincipalId from, const Bytes& bytes) override;
+  void HandleMessage(PrincipalId from, const Payload& frame) override;
 
  private:
   struct Slot {

@@ -1,5 +1,7 @@
 #include "consensus/replica_base.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace seemore {
@@ -36,22 +38,26 @@ void ReplicaBase::Recover() {
   OnRecover();
 }
 
-void ReplicaBase::OnMessage(PrincipalId from, Bytes bytes) {
+void ReplicaBase::OnMessage(PrincipalId from, Payload payload) {
   if (crashed_) return;
   if (HasByz(kByzSilent)) return;
   ++stats_.messages_handled;
-  Charge(costs_.recv_fixed + costs_.PayloadCost(bytes.size()));
-  HandleMessage(from, bytes);
+  Charge(costs_.recv_fixed + costs_.PayloadCost(payload.size()));
+  // Save/restore keeps the frame alive (and the memo keyed correctly) even
+  // if a transport ever delivers a nested message synchronously.
+  Payload prev = std::exchange(current_frame_, std::move(payload));
+  HandleMessage(from, current_frame_);
+  current_frame_ = std::move(prev);
 }
 
-void ReplicaBase::SendTo(PrincipalId to, const Bytes& msg) {
+void ReplicaBase::SendTo(PrincipalId to, const Payload& msg) {
   if (crashed_) return;
   Charge(costs_.send_fixed + costs_.PayloadCost(msg.size()));
   transport_->Send(id_, to, msg);
 }
 
 void ReplicaBase::SendToMany(const std::vector<PrincipalId>& targets,
-                             const Bytes& msg) {
+                             const Payload& msg) {
   if (crashed_) return;
   for (PrincipalId to : targets) {
     if (to == id_) continue;

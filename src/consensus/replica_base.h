@@ -12,9 +12,11 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 
 #include "consensus/config.h"
 #include "consensus/execution.h"
+#include "crypto/memo.h"
 #include "net/cost_model.h"
 #include "net/transport.h"
 #include "smr/command.h"
@@ -81,12 +83,49 @@ class ReplicaBase : public MessageHandler {
 
   /// MessageHandler: charges receive costs, filters crashed/silent states,
   /// then dispatches to HandleMessage.
-  void OnMessage(PrincipalId from, Bytes bytes) final;
+  void OnMessage(PrincipalId from, Payload payload) final;
 
  protected:
   /// Protocol logic entry point. Runs on the replica's (virtual) CPU;
-  /// charge crypto/execution work via the Charge* helpers.
-  virtual void HandleMessage(PrincipalId from, const Bytes& bytes) = 0;
+  /// charge crypto/execution work via the Charge* helpers. The frame is the
+  /// shared immutable buffer the transport delivered (also available via
+  /// current_frame() while handling).
+  virtual void HandleMessage(PrincipalId from, const Payload& frame) = 0;
+
+  /// The frame currently being dispatched by OnMessage (empty outside a
+  /// delivery). Its buffer identity keys the digest/verify memo below.
+  const Payload& current_frame() const { return current_frame_; }
+
+  /// --- digest / verify memo ----------------------------------------------
+  /// These helpers elide *host* CPU only: callers charge the full simulated
+  /// cost (ChargeHash / ChargeVerify) exactly as if the work were done, so
+  /// simulated time is bit-identical whether the memo hits or misses (the
+  /// charge-vs-compute rule, DESIGN.md §"Engine internals").
+
+  /// D(field) where `field` was decoded verbatim from the current frame at
+  /// `offset_in_frame` (the decoder-recorded batch_offset). The first
+  /// receiver of a multicast pays the real SHA-256; the rest reuse it.
+  /// Falls back to a plain hash when the range cannot alias the frame.
+  Digest FrameFieldDigest(const Bytes& field, size_t offset_in_frame) const {
+    const uint64_t buffer_id =
+        offset_in_frame + field.size() <= current_frame_.size()
+            ? current_frame_.id()
+            : 0;
+    return CryptoMemo::Get().DigestOf(buffer_id, offset_in_frame,
+                                      field.data(), field.size());
+  }
+
+  /// Memoized `verify()` keyed on (current frame, signer, slot). `signer`
+  /// and `slot` must be derived purely from frame contents so every
+  /// receiver of the frame asks the same question (use the message tag, or
+  /// tag<<16|index for per-entry checks). Templated: bare lambdas, no
+  /// std::function allocation on the hot path.
+  template <typename F>
+  bool FrameVerifyMemoized(PrincipalId signer, uint32_t slot,
+                           F&& verify) const {
+    return CryptoMemo::Get().Verify(current_frame_.id(), signer, slot,
+                                    std::forward<F>(verify));
+  }
 
   /// Hook invoked after Recover() re-attaches the replica.
   virtual void OnRecover() {}
@@ -109,10 +148,13 @@ class ReplicaBase : public MessageHandler {
   void ChargeExecute(int requests) { cpu_->Charge(costs_.execute * requests); }
 
   /// --- network ----------------------------------------------------------
-  /// Send one message (charges the fixed + payload send cost).
-  void SendTo(PrincipalId to, const Bytes& msg);
-  /// Send `msg` to every target except this replica.
-  void SendToMany(const std::vector<PrincipalId>& targets, const Bytes& msg);
+  /// Send one message (charges the fixed + payload send cost). Accepts a
+  /// Payload (or Bytes, implicitly wrapped once).
+  void SendTo(PrincipalId to, const Payload& msg);
+  /// Send `msg` to every target except this replica. The payload is
+  /// encoded and allocated once; each receiver shares the buffer (the
+  /// simulated per-target send cost is still charged).
+  void SendToMany(const std::vector<PrincipalId>& targets, const Payload& msg);
 
   /// --- timers -----------------------------------------------------------
   /// Timers are invalidated by Crash(); callbacks never fire on a crashed
@@ -135,6 +177,7 @@ class ReplicaBase : public MessageHandler {
   bool crashed_ = false;
   uint32_t byzantine_flags_ = kByzNone;
   uint64_t epoch_ = 0;  // bumped by Crash(); stale timers are ignored
+  Payload current_frame_;  // frame being handled (empty when idle)
 };
 
 }  // namespace seemore

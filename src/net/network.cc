@@ -14,6 +14,21 @@ const LinkProfile& NetworkConfig::ProfileFor(Zone from, Zone to) const {
 }
 
 void NodeCpu::Submit(std::function<void()> task) {
+  Task t;
+  t.fn = std::move(task);
+  Enqueue(std::move(t));
+}
+
+void NodeCpu::SubmitMessage(MessageHandler* handler, PrincipalId from,
+                            Payload payload) {
+  Task t;
+  t.handler = handler;
+  t.from = from;
+  t.payload = std::move(payload);
+  Enqueue(std::move(t));
+}
+
+void NodeCpu::Enqueue(Task task) {
   queue_.push_back(std::move(task));
   if (!drain_scheduled_) {
     drain_scheduled_ = true;
@@ -25,12 +40,16 @@ void NodeCpu::Submit(std::function<void()> task) {
 void NodeCpu::DrainOne() {
   drain_scheduled_ = false;
   if (queue_.empty()) return;
-  std::function<void()> task = std::move(queue_.front());
+  Task task = std::move(queue_.front());
   queue_.pop_front();
   // The task starts now; Charge() calls during the task extend busy_until_.
   SimTime start = sim_->now();
   if (busy_until_ < start) busy_until_ = start;
-  task();
+  if (task.handler != nullptr) {
+    task.handler->OnMessage(task.from, std::move(task.payload));
+  } else {
+    task.fn();
+  }
   total_busy_ += busy_until_ - start;
   if (!queue_.empty()) {
     drain_scheduled_ = true;
@@ -86,7 +105,7 @@ void SimNetwork::HealAll() {
   for (auto& [id, entry] : nodes_) entry.up = true;
 }
 
-void SimNetwork::Send(PrincipalId from, PrincipalId to, Bytes bytes) {
+void SimNetwork::Send(PrincipalId from, PrincipalId to, Payload payload) {
   auto from_it = nodes_.find(from);
   auto to_it = nodes_.find(to);
   SEEMORE_CHECK(from_it != nodes_.end()) << "send from unknown node " << from;
@@ -94,13 +113,18 @@ void SimNetwork::Send(PrincipalId from, PrincipalId to, Bytes bytes) {
   const NodeEntry& src = from_it->second;
   const NodeEntry& dst = to_it->second;
 
+  const int64_t wire_bytes = static_cast<int64_t>(payload.size()) +
+                             config_.per_message_overhead_bytes;
+
   counters_.messages += 1;
-  counters_.bytes += bytes.size();
+  counters_.bytes += payload.size();
+  counters_.wire_bytes += static_cast<uint64_t>(wire_bytes);
   const bool inter_replica =
       !IsClientPrincipal(from) && !IsClientPrincipal(to);
   if (inter_replica) {
     counters_.replica_to_replica_messages += 1;
-    counters_.replica_to_replica_bytes += bytes.size();
+    counters_.replica_to_replica_bytes += payload.size();
+    counters_.replica_to_replica_wire_bytes += static_cast<uint64_t>(wire_bytes);
   }
 
   if (!src.up || !dst.up || cut_links_.count(LinkKey(from, to)) > 0) {
@@ -114,8 +138,6 @@ void SimNetwork::Send(PrincipalId from, PrincipalId to, Bytes bytes) {
   }
 
   const LinkProfile& link = config_.ProfileFor(src.zone, dst.zone);
-  const int64_t wire_bytes =
-      static_cast<int64_t>(bytes.size()) + config_.per_message_overhead_bytes;
   const SimTime transmission =
       wire_bytes * kNanosPerSecond / config_.bandwidth_bytes_per_sec;
 
@@ -137,15 +159,18 @@ void SimNetwork::Send(PrincipalId from, PrincipalId to, Bytes bytes) {
     SimTime arrival = departure + link.base + jitter + transmission;
     MessageHandler* handler = dst.handler;
     NodeCpu* cpu = dst.cpu;
-    sim_->ScheduleAt(arrival, [this, handler, cpu, from, to, bytes] {
+    // The closure shares the payload buffer (refcount bump, no byte copy) —
+    // a duplicated delivery aliases the same immutable frame.
+    sim_->ScheduleAt(arrival, [this, handler, cpu, from, to,
+                               payload]() mutable {
       // Re-check liveness at delivery time: the receiver may have crashed
       // while the message was in flight.
       auto it = nodes_.find(to);
       if (it == nodes_.end() || !it->second.up) return;
       if (cpu != nullptr) {
-        cpu->Submit([handler, from, bytes] { handler->OnMessage(from, bytes); });
+        cpu->SubmitMessage(handler, from, std::move(payload));
       } else {
-        handler->OnMessage(from, bytes);
+        handler->OnMessage(from, std::move(payload));
       }
     });
   }
@@ -153,10 +178,10 @@ void SimNetwork::Send(PrincipalId from, PrincipalId to, Bytes bytes) {
 
 void SimNetwork::Multicast(PrincipalId from,
                            const std::vector<PrincipalId>& targets,
-                           const Bytes& bytes) {
+                           const Payload& payload) {
   for (PrincipalId to : targets) {
     if (to == from) continue;
-    Send(from, to, bytes);
+    Send(from, to, payload);  // refcount bump per receiver, one buffer
   }
 }
 

@@ -66,6 +66,12 @@ class NodeCpu : public CpuMeter {
   /// Enqueue a task that arrived now; it runs when the CPU frees up.
   void Submit(std::function<void()> task);
 
+  /// Enqueue delivery of `payload` to `handler` — the common message path,
+  /// stored as a flat queue entry (no closure allocation, the payload is a
+  /// refcount bump).
+  void SubmitMessage(MessageHandler* handler, PrincipalId from,
+                     Payload payload);
+
   /// Account CPU time to the currently running task.
   void Charge(SimTime cost) override {
     if (cost > 0) busy_until_ += cost;
@@ -79,22 +85,40 @@ class NodeCpu : public CpuMeter {
   SimTime total_busy() const override { return total_busy_; }
 
  private:
+  /// One queued unit of work: either a message delivery (handler set) or a
+  /// generic task.
+  struct Task {
+    std::function<void()> fn;
+    MessageHandler* handler = nullptr;
+    PrincipalId from = 0;
+    Payload payload;
+  };
+
+  void Enqueue(Task task);
   void DrainOne();
 
   Simulator* sim_;
   SimTime busy_until_ = 0;
   SimTime total_busy_ = 0;
   bool drain_scheduled_ = false;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
 };
 
 /// Message/byte counters, separable by replica vs. client traffic so the
 /// Table 1 experiment can count only inter-replica protocol messages.
+/// `bytes` counts payload only; `wire_bytes` additionally includes the
+/// per-message framing overhead the transmission-time model charges
+/// (NetworkConfig::per_message_overhead_bytes), so bench JSON can report
+/// bytes in the cost model's own unit. Like `messages` and `bytes`, the
+/// wire counters tally *offered* traffic — messages dropped by partitions,
+/// crashes or loss are included (and separately counted in `dropped`).
 struct NetCounters {
   uint64_t messages = 0;
   uint64_t bytes = 0;
+  uint64_t wire_bytes = 0;
   uint64_t replica_to_replica_messages = 0;
   uint64_t replica_to_replica_bytes = 0;
+  uint64_t replica_to_replica_wire_bytes = 0;
   uint64_t dropped = 0;
 
   void Reset() { *this = NetCounters{}; }
@@ -117,14 +141,15 @@ class SimNetwork : public Transport {
   CpuMeter* Register(PrincipalId id, Zone zone, MessageHandler* handler,
                      bool metered) override;
 
-  /// Send `bytes` from `from` to `to`. Departure waits for the sender's CPU;
-  /// delivery is submitted to the receiver's CPU queue.
-  void Send(PrincipalId from, PrincipalId to, Bytes bytes) override;
+  /// Send `payload` from `from` to `to`. Departure waits for the sender's
+  /// CPU; delivery is submitted to the receiver's CPU queue. The payload is
+  /// shared, never copied, however many hops or duplicates it takes.
+  void Send(PrincipalId from, PrincipalId to, Payload payload) override;
 
-  /// Send the same payload to every id in `targets` (copies per receiver —
-  /// this is point-to-point, not true multicast).
+  /// Send the same payload to every id in `targets` (point-to-point
+  /// delivery semantics; one shared buffer regardless of fan-out).
   void Multicast(PrincipalId from, const std::vector<PrincipalId>& targets,
-                 const Bytes& bytes) override;
+                 const Payload& payload) override;
 
   /// Administratively cut / restore both directions of a link.
   void SetLinkUp(PrincipalId a, PrincipalId b, bool up);

@@ -16,6 +16,7 @@
 
 #include "crypto/keystore.h"
 #include "util/time.h"
+#include "wire/payload.h"
 #include "wire/wire.h"
 
 namespace seemore {
@@ -31,11 +32,13 @@ const char* ZoneName(Zone zone);
 
 /// Receives messages delivered by the transport. The transport authenticates
 /// the sender: `from` is always the true origin of the message (pairwise
-/// authenticated channels, paper §3.1).
+/// authenticated channels, paper §3.1). The payload is shared immutable
+/// storage — a multicast hands every receiver the same buffer — so a
+/// handler that wants a mutable view must copy the bytes out.
 class MessageHandler {
  public:
   virtual ~MessageHandler() = default;
-  virtual void OnMessage(PrincipalId from, Bytes bytes) = 0;
+  virtual void OnMessage(PrincipalId from, Payload payload) = 0;
 };
 
 /// Read-only virtual (or wall) clock.
@@ -93,15 +96,18 @@ class Transport {
   virtual CpuMeter* Register(PrincipalId id, Zone zone,
                              MessageHandler* handler, bool metered) = 0;
 
-  /// Send `bytes` from `from` to `to`. Never blocks; undeliverable messages
-  /// are silently dropped (the protocols tolerate loss by design).
-  virtual void Send(PrincipalId from, PrincipalId to, Bytes bytes) = 0;
+  /// Send `payload` from `from` to `to`. Never blocks; undeliverable
+  /// messages are silently dropped (the protocols tolerate loss by design).
+  /// Copying a Payload is a refcount bump, so queuing/delivery never copies
+  /// the bytes.
+  virtual void Send(PrincipalId from, PrincipalId to, Payload payload) = 0;
 
-  /// Send the same payload to every id in `targets` except `from` itself
-  /// (point-to-point copies; not true multicast).
+  /// Send the same payload to every id in `targets` except `from` itself.
+  /// Point-to-point delivery semantics, but zero-copy: every receiver
+  /// shares the one underlying buffer.
   virtual void Multicast(PrincipalId from,
                          const std::vector<PrincipalId>& targets,
-                         const Bytes& bytes) = 0;
+                         const Payload& payload) = 0;
 
   /// Detach / reattach a node entirely (crash fault injection: models a
   /// crashed machine's NIC). Messages to/from a down node are dropped.

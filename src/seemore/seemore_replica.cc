@@ -71,8 +71,8 @@ bool SeeMoReReplica::VerifyProposalSig(SeeMoReMode mode, uint64_t view,
   return authority != proposer && keystore_->Verify(authority, header, sig);
 }
 
-void SeeMoReReplica::HandleMessage(PrincipalId from, const Bytes& bytes) {
-  Decoder dec(bytes);
+void SeeMoReReplica::HandleMessage(PrincipalId from, const Payload& frame) {
+  Decoder dec = MakeDecoder(frame);
   const uint8_t tag = dec.GetU8();
   if (!dec.ok()) return;
   ChargeMac();  // pairwise channel authentication (§3.1)
@@ -275,24 +275,27 @@ void SeeMoReReplica::HandlePrepare(PrincipalId from, SmPrepareMsg msg) {
   // Fast-forward: a valid prepare signed by the TRUSTED primary of a higher
   // view proves that view became active (Lion/Dog only; a Peacock primary is
   // untrusted, so backups wait for the transferer's NEW-VIEW instead).
+  // Proposal signature, batch digest and per-request client signatures are
+  // all pure functions of the multicast frame: verify/hash for real once
+  // per process, memoized on the frame's buffer identity. The simulated
+  // cost is charged by every receiver regardless (charge-vs-compute).
+  const auto verify_proposal = [&] {
+    return VerifyProposalSig(msg_mode, msg.view, msg.seq, msg.digest, msg.sig);
+  };
   if (msg_mode != SeeMoReMode::kPeacock && msg.view > view_ &&
       ModeForView(msg.view) == msg_mode) {
     ChargeVerify();
-    if (!VerifyProposalSig(msg_mode, msg.view, msg.seq, msg.digest, msg.sig)) {
-      return;
-    }
+    if (!FrameVerifyMemoized(from, kSmPrepare, verify_proposal)) return;
     EnterView(msg.view, msg_mode);
   } else if (msg_mode != mode_ || msg.view != view_ || in_view_change_) {
     return;
   } else {
     ChargeVerify();
-    if (!VerifyProposalSig(msg_mode, msg.view, msg.seq, msg.digest, msg.sig)) {
-      return;
-    }
+    if (!FrameVerifyMemoized(from, kSmPrepare, verify_proposal)) return;
   }
 
   ChargeHash(msg.batch.size());
-  if (Digest::Of(msg.batch) != msg.digest) return;
+  if (FrameFieldDigest(msg.batch, msg.batch_offset) != msg.digest) return;
   Result<Batch> batch_or = Batch::Decode(msg.batch);
   if (!batch_or.ok()) return;
   Batch batch = std::move(batch_or).value();
@@ -302,8 +305,15 @@ void SeeMoReReplica::HandlePrepare(PrincipalId from, SmPrepareMsg msg) {
   // SeeMoRe's savings over PBFT.
   if (mode_ == SeeMoReMode::kPeacock && IsProxyNow()) {
     ChargeVerify(static_cast<int>(batch.size()));
-    for (const Request& request : batch.requests) {
-      if (!request.VerifySignature(*keystore_)) return;
+    for (size_t i = 0; i < batch.requests.size(); ++i) {
+      const Request& request = batch.requests[i];
+      if (!FrameVerifyMemoized(
+              request.client,
+              (static_cast<uint32_t>(kSmPrepare) << 16) |
+                  static_cast<uint32_t>(i),
+              [&] { return request.VerifySignature(*keystore_); })) {
+        return;
+      }
     }
   }
 
@@ -404,7 +414,11 @@ void SeeMoReReplica::HandleCommitPrimary(PrincipalId from,
   if (msg.seq <= stable_seq_) return;
 
   ChargeVerify();
-  if (!msg.VerifySignature(*keystore_, from)) return;
+  if (!FrameVerifyMemoized(from, kSmCommitPrimary, [&] {
+        return msg.VerifySignature(*keystore_, from);
+      })) {
+    return;
+  }
 
   // A signed commit from the trusted primary of a higher view also proves
   // that view is active.
@@ -420,7 +434,7 @@ void SeeMoReReplica::HandleCommitPrimary(PrincipalId from,
   // the request as committed" — the commit carries µ (§5.1).
   if (!slot.has_batch || slot.digest != msg.digest) {
     ChargeHash(msg.batch.size());
-    if (Digest::Of(msg.batch) != msg.digest) return;
+    if (FrameFieldDigest(msg.batch, msg.batch_offset) != msg.digest) return;
     Result<Batch> batch_or = Batch::Decode(msg.batch);
     if (!batch_or.ok()) return;
     slot.batch = std::move(batch_or).value();
@@ -443,7 +457,10 @@ void SeeMoReReplica::HandleAcceptSigned(PrincipalId from,
   if (!IsProxyNow() && !(mode_ == SeeMoReMode::kDog && IsPrimary())) return;
   if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!msg.Verify(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.voter, kSmAcceptSigned,
+                           [&] { return msg.Verify(*keystore_); })) {
+    return;
+  }
   Slot& slot = slots_[msg.seq];
   slot.accept_votes.Add(msg.digest, msg.voter, msg.sig);
   CheckProxyCommit(msg.seq, slot);
@@ -515,7 +532,10 @@ void SeeMoReReplica::HandleCommitVote(PrincipalId from, SmCommitVoteMsg msg) {
   if (!IsProxyNow()) return;
   if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
   ChargeVerify();
-  if (!msg.Verify(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.voter, kSmCommitVote,
+                           [&] { return msg.Verify(*keystore_); })) {
+    return;
+  }
   Slot& slot = slots_[msg.seq];
   slot.commit_votes.Add(msg.digest, msg.voter, msg.sig);
 
@@ -539,7 +559,10 @@ void SeeMoReReplica::HandleInform(PrincipalId from, SmInformMsg msg) {
   if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
   if (msg.seq <= stable_seq_) return;
   ChargeVerify();
-  if (!msg.Verify(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.voter, kSmInform,
+                           [&] { return msg.Verify(*keystore_); })) {
+    return;
+  }
   Slot& slot = slots_[msg.seq];
   slot.inform_votes.Add(msg.digest, msg.voter);
   // Dog: 2m+1 matching INFORMs; Peacock: m+1 (§5.2 / §5.3).
@@ -631,7 +654,10 @@ void SeeMoReReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
   if (msg.replica != from || !IsReplicaId(from)) return;
   if (msg.seq <= stable_seq_) return;
   ChargeVerify();
-  if (!msg.Verify(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.replica, kSmCheckpoint,
+                           [&] { return msg.Verify(*keystore_); })) {
+    return;
+  }
   CountCheckpointVote(msg);
   // A trusted signer's checkpoint ahead of us is authoritative evidence we
   // fell behind; untrusted signers only trigger a fetch when the stability

@@ -78,7 +78,7 @@ class SeeMoReReplica : public ReplicaBase {
   }
 
  protected:
-  void HandleMessage(PrincipalId from, const Bytes& bytes) override;
+  void HandleMessage(PrincipalId from, const Payload& frame) override;
 
  private:
   struct Slot {
@@ -170,9 +170,12 @@ class SeeMoReReplica : public ReplicaBase {
   void StartViewChange(uint64_t new_view);
   SmViewChangeMsg BuildViewChangeMessage(uint64_t new_view) const;
   /// Semantic validation of a structurally-decoded VIEW-CHANGE (signatures,
-  /// certificates, sender binding); returns the indexed record.
-  Result<VcRecord> ValidateViewChange(SmViewChangeMsg msg,
-                                      PrincipalId from) const;
+  /// certificates, sender binding); returns the indexed record. `frame_id`
+  /// is the delivered frame's buffer identity, keying the verify memo so n
+  /// receivers of one multicast pay the real crypto once; pass 0 when the
+  /// message did not arrive as a shared frame (own-message validation).
+  Result<VcRecord> ValidateViewChange(SmViewChangeMsg msg, PrincipalId from,
+                                      uint64_t frame_id) const;
   void HandleViewChange(PrincipalId from, SmViewChangeMsg msg);
   void MaybeJoinViewChange();
   /// Mode the protocol will run in view `v` (honours pending MODE-CHANGE).

@@ -144,14 +144,26 @@ SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
 }
 
 Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ValidateViewChange(
-    SmViewChangeMsg msg, PrincipalId from) const {
+    SmViewChangeMsg msg, PrincipalId from, uint64_t frame_id) const {
   if (msg.sender != from) {
     return Status::Corruption("view-change sender mismatch");
   }
+  // Every verdict below is a pure function of the frame contents and the
+  // cluster config, so n receivers of one multicast VIEW-CHANGE share the
+  // real crypto through the memo. Slots index the frame's sets; the
+  // charged simulated cost (HandleViewChange) is unaffected. frame_id 0
+  // (own-message validation) computes everything for real.
+  CryptoMemo& memo = CryptoMemo::Get();
+  constexpr uint32_t kCertSlot = static_cast<uint32_t>(kSmViewChange) << 24;
+  constexpr uint32_t kPrepareSlots = kCertSlot | (1u << 20);
+  constexpr uint32_t kCommitSlots = kCertSlot | (2u << 20);
+  constexpr uint32_t kProofSlots = kCertSlot | (3u << 20);
+
   VcRecord record;
   record.mode = static_cast<SeeMoReMode>(msg.mode);
   record.stable_seq = msg.stable_seq;
-  if (!VerifyCheckpointCert(msg.cert)) {
+  if (!memo.Verify(frame_id, from, kCertSlot,
+                   [&] { return VerifyCheckpointCert(msg.cert); })) {
     return Status::Corruption("invalid checkpoint cert in view-change");
   }
   if (!msg.cert.IsGenesis() && msg.cert.seq() < msg.stable_seq) {
@@ -159,43 +171,56 @@ Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ValidateViewChange(
   }
   record.cert = std::move(msg.cert);
 
-  for (SmVcEntry& entry : msg.prepares) {
-    if (!VerifyVcPrepareEntry(entry)) {
+  for (size_t i = 0; i < msg.prepares.size(); ++i) {
+    SmVcEntry& entry = msg.prepares[i];
+    if (!memo.Verify(frame_id, from,
+                     kPrepareSlots | static_cast<uint32_t>(i),
+                     [&] { return VerifyVcPrepareEntry(entry); })) {
       return Status::Corruption("invalid prepare entry signature");
     }
     const uint64_t seq = entry.seq;
     record.prepares.emplace(seq, std::move(entry));
   }
 
-  for (SmVcEntry& entry : msg.commits) {
+  for (size_t i = 0; i < msg.commits.size(); ++i) {
+    SmVcEntry& entry = msg.commits[i];
     if (entry.mode != SeeMoReMode::kLion) {
       return Status::Corruption("commit entries only exist in Lion");
     }
-    const Bytes header =
-        ProposalHeader(kDomainCommit, static_cast<uint8_t>(entry.mode),
-                       entry.view, entry.seq, entry.digest);
-    if (!keystore_->Verify(config_.TrustedPrimary(entry.view), header,
-                           entry.sig)) {
+    const auto verify_commit_entry = [&] {
+      const Bytes header =
+          ProposalHeader(kDomainCommit, static_cast<uint8_t>(entry.mode),
+                         entry.view, entry.seq, entry.digest);
+      return keystore_->Verify(config_.TrustedPrimary(entry.view), header,
+                               entry.sig);
+    };
+    if (!memo.Verify(frame_id, from, kCommitSlots | static_cast<uint32_t>(i),
+                     verify_commit_entry)) {
       return Status::Corruption("invalid commit entry signature");
     }
     const uint64_t seq = entry.seq;
     record.commits.emplace(seq, std::move(entry));
   }
 
-  for (PreparedProof& proof : msg.proofs) {
-    const SeeMoReMode proof_mode = static_cast<SeeMoReMode>(proof.mode);
-    const PrincipalId proposer = config_.PrimaryOf(proof_mode, proof.view);
-    const PrincipalId authority = SwitchAuthority(proof_mode, proof.view);
-    const auto authorized = [this, &proof](PrincipalId r) {
-      return config_.IsProxy(r, proof.view);
+  for (size_t i = 0; i < msg.proofs.size(); ++i) {
+    PreparedProof& proof = msg.proofs[i];
+    const auto verify_proof = [&] {
+      const SeeMoReMode proof_mode = static_cast<SeeMoReMode>(proof.mode);
+      const PrincipalId proposer = config_.PrimaryOf(proof_mode, proof.view);
+      const PrincipalId authority = SwitchAuthority(proof_mode, proof.view);
+      const auto authorized = [this, &proof](PrincipalId r) {
+        return config_.IsProxy(r, proof.view);
+      };
+      // Re-proposed entries are signed by the transferer, fresh ones by the
+      // primary; accept either (see VerifyProposalSig).
+      return proof.Verify(*keystore_, proposer, 2 * config_.m, authorized) ||
+             (authority != proposer &&
+              proof.Verify(*keystore_, authority, 2 * config_.m, authorized));
     };
-    // Re-proposed entries are signed by the transferer, fresh ones by the
-    // primary; accept either (see VerifyProposalSig).
-    const bool ok =
-        proof.Verify(*keystore_, proposer, 2 * config_.m, authorized) ||
-        (authority != proposer &&
-         proof.Verify(*keystore_, authority, 2 * config_.m, authorized));
-    if (!ok) return Status::Corruption("invalid prepared proof");
+    if (!memo.Verify(frame_id, from, kProofSlots | static_cast<uint32_t>(i),
+                     verify_proof)) {
+      return Status::Corruption("invalid prepared proof");
+    }
     const uint64_t seq = proof.seq;
     record.proofs.emplace(seq, std::move(proof));
   }
@@ -222,7 +247,8 @@ void SeeMoReReplica::StartViewChange(uint64_t new_view) {
   if (sender_role) {
     SmViewChangeMsg msg = BuildViewChangeMessage(new_view);
     SendToMany(config_.AllReplicas(), msg.ToMessage());
-    Result<VcRecord> own = ValidateViewChange(std::move(msg), id_);
+    // Own message, never a delivered frame: frame_id 0 skips the memo.
+    Result<VcRecord> own = ValidateViewChange(std::move(msg), id_, 0);
     if (own.ok()) vc_msgs_[new_view][id_] = std::move(own).value();
   }
   if (IsNewViewAuthority(new_view)) MaybeFormNewView(new_view);
@@ -240,7 +266,8 @@ void SeeMoReReplica::HandleViewChange(PrincipalId from, SmViewChangeMsg msg) {
   if (new_view <= view_) return;
 
   ChargeVerify(2);  // cert + entry validation (amortized)
-  Result<VcRecord> record_or = ValidateViewChange(std::move(msg), from);
+  Result<VcRecord> record_or =
+      ValidateViewChange(std::move(msg), from, current_frame().id());
   if (!record_or.ok()) {
     SEEMORE_LOG(Debug) << "replica " << id_ << ": rejecting view-change from "
                        << from << ": " << record_or.status().ToString();
@@ -509,7 +536,11 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
   }
   const uint8_t mode8 = msg.mode;
   ChargeVerify();
-  if (!msg.VerifySignature(*keystore_, from)) return;
+  if (!FrameVerifyMemoized(from, kSmNewView, [&] {
+        return msg.VerifySignature(*keystore_, from);
+      })) {
+    return;
+  }
 
   struct Entry {
     uint64_t seq;
@@ -525,7 +556,10 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     entry.sig = wire_entry.sig;
     if (wire_entry.view != new_view) return;
     ChargeHash(wire_entry.batch.size());
-    if (Digest::Of(wire_entry.batch) != entry.digest) return;
+    if (FrameFieldDigest(wire_entry.batch, wire_entry.batch_offset) !=
+        entry.digest) {
+      return;
+    }
     Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();
@@ -546,7 +580,10 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     entry.sig = wire_entry.sig;
     if (wire_entry.view != new_view) return;
     ChargeHash(wire_entry.batch.size());
-    if (Digest::Of(wire_entry.batch) != entry.digest) return;
+    if (FrameFieldDigest(wire_entry.batch, wire_entry.batch_offset) !=
+        entry.digest) {
+      return;
+    }
     Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();
@@ -659,7 +696,10 @@ void SeeMoReReplica::HandleModeChange(PrincipalId from, SmModeChangeMsg msg) {
     return;
   }
   ChargeVerify();
-  if (!msg.VerifySignature(*keystore_)) return;
+  if (!FrameVerifyMemoized(msg.sender, kSmModeChange,
+                           [&] { return msg.VerifySignature(*keystore_); })) {
+    return;
+  }
   pending_mode_[msg.new_view] = new_mode;
   // A trusted replica ordered the switch: join the view change immediately.
   StartViewChange(msg.new_view);

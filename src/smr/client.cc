@@ -68,7 +68,8 @@ void SimClient::MaybeIssueNext() {
 void SimClient::Transmit(bool retransmit) {
   const std::vector<PrincipalId> targets =
       retransmit ? policy_->RetransmitTargets() : policy_->InitialTargets();
-  const Bytes message = current_.ToMessage();
+  // Encode once; every target shares the one payload buffer.
+  const Payload message(current_.ToMessage());
   for (PrincipalId target : targets) {
     transport_->Send(options_.id, target, message);
   }
@@ -92,8 +93,8 @@ void SimClient::HandleTimeout() {
   ArmTimer();
 }
 
-void SimClient::OnMessage(PrincipalId from, Bytes bytes) {
-  Decoder dec(bytes);
+void SimClient::OnMessage(PrincipalId from, Payload payload) {
+  Decoder dec = MakeDecoder(payload);
   if (dec.GetU8() != kMsgReply) return;
   Result<Reply> reply_or = Reply::DecodeFrom(dec);
   if (!reply_or.ok() || !dec.AtEnd()) return;

@@ -71,7 +71,7 @@ class SimClient : public MessageHandler {
   using DoneCallback = std::function<void(const Bytes& result)>;
   void SubmitOne(Bytes op, DoneCallback done);
 
-  void OnMessage(PrincipalId from, Bytes bytes) override;
+  void OnMessage(PrincipalId from, Payload payload) override;
 
   PrincipalId id() const { return options_.id; }
   uint64_t completed() const { return completed_; }

@@ -119,6 +119,9 @@ struct SmPrepareMsg {
   Digest digest;
   Signature sig;  // proposer's signature over Header()
   Bytes batch;    // encoded Batch
+  /// Offset of `batch` within the decoded frame (set by DecodeFrom; not
+  /// encoded). Keys the per-process digest memo on the frame's identity.
+  size_t batch_offset = 0;
 
   void EncodeTo(Encoder& enc) const;
   static Result<SmPrepareMsg> DecodeFrom(Decoder& dec);
@@ -214,6 +217,7 @@ struct SmCommitPrimaryMsg {
   Digest digest;
   Signature sig;
   Bytes batch;  // encoded Batch (carried so laggards can commit directly)
+  size_t batch_offset = 0;  // see SmPrepareMsg::batch_offset
 
   void EncodeTo(Encoder& enc) const;
   static Result<SmCommitPrimaryMsg> DecodeFrom(Decoder& dec);
@@ -274,6 +278,7 @@ struct SmNewViewEntry {
   uint64_t seq = 0;
   Digest digest;
   Bytes batch;  // raw: the receiver charges + checks the digest itself
+  size_t batch_offset = 0;  // see SmPrepareMsg::batch_offset
   Signature sig;
 
   void EncodeTo(Encoder& enc) const;
@@ -361,6 +366,7 @@ struct PbftPrePrepareMsg {
   Digest digest;
   Signature sig;
   Bytes batch;  // encoded Batch
+  size_t batch_offset = 0;  // see SmPrepareMsg::batch_offset
 
   void EncodeTo(Encoder& enc) const;
   static Result<PbftPrePrepareMsg> DecodeFrom(Decoder& dec);
@@ -485,6 +491,7 @@ struct PaxosAcceptMsg {
   uint64_t view = 0;
   uint64_t seq = 0;
   Bytes batch;  // encoded Batch
+  size_t batch_offset = 0;  // see SmPrepareMsg::batch_offset
 
   void EncodeTo(Encoder& enc) const;
   static Result<PaxosAcceptMsg> DecodeFrom(Decoder& dec);
@@ -557,6 +564,7 @@ struct PaxosViewChangeMsg {
 struct PaxosNewViewEntry {
   uint64_t seq = 0;
   Bytes batch;  // raw: receiver decodes + hashes (and charges) itself
+  size_t batch_offset = 0;  // see SmPrepareMsg::batch_offset
 
   void EncodeTo(Encoder& enc) const;
   static Result<PaxosNewViewEntry> DecodeFrom(Decoder& dec);

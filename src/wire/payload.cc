@@ -1,0 +1,23 @@
+#include "wire/payload.h"
+
+#include <atomic>
+
+namespace seemore {
+
+namespace {
+std::atomic<uint64_t> g_next_payload_id{1};
+}  // namespace
+
+Payload::Rep::Rep(Bytes b)
+    : bytes(std::move(b)),
+      id(g_next_payload_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Payload::Payload(Bytes bytes)
+    : rep_(std::make_shared<const Rep>(std::move(bytes))) {}
+
+const Bytes& Payload::EmptyBytes() {
+  static const Bytes* empty = new Bytes();
+  return *empty;
+}
+
+}  // namespace seemore

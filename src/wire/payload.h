@@ -1,0 +1,73 @@
+// Refcounted immutable message payload.
+//
+// A Payload wraps an encoded frame in shared, write-protected storage so a
+// multicast of one message to n receivers costs one encode and one
+// allocation: every copy of the Payload (per-receiver delivery closures,
+// CPU-queue entries, duplicated deliveries) is a refcount bump, never a byte
+// copy. Immutability is what makes the sharing safe — a Byzantine receiver
+// that wants to mutate "its" message must copy the bytes out first, so it
+// can never corrupt the other receivers' view of the frame
+// (tests/payload_test.cc pins this down).
+//
+// Every distinct buffer gets a process-unique id; (id, offset, length)
+// names an immutable byte range for the lifetime of the process, which is
+// what lets the digest/verify memo (crypto/memo.h) skip recomputing real
+// SHA-256/HMAC work that another receiver of the same frame already paid
+// for. Id 0 is reserved for the empty payload and means "not memoizable".
+
+#ifndef SEEMORE_WIRE_PAYLOAD_H_
+#define SEEMORE_WIRE_PAYLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "wire/wire.h"
+
+namespace seemore {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Wraps `bytes` into shared immutable storage (the one allocation a
+  /// send/multicast pays). Implicit so existing `Send(..., encoder.Take())`
+  /// call sites keep reading naturally.
+  Payload(Bytes bytes);  // NOLINT(google-explicit-constructor)
+
+  /// The underlying bytes (an empty buffer for a default Payload).
+  const Bytes& bytes() const { return rep_ ? rep_->bytes : EmptyBytes(); }
+  const uint8_t* data() const { return bytes().data(); }
+  size_t size() const { return rep_ ? rep_->bytes.size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// Process-unique identity of the underlying buffer; equal ids imply
+  /// identical bytes forever. 0 for the empty payload.
+  uint64_t id() const { return rep_ ? rep_->id : 0; }
+
+  /// True if both payloads share one buffer (not a content comparison).
+  bool SharesBufferWith(const Payload& other) const {
+    return rep_ != nullptr && rep_ == other.rep_;
+  }
+
+ private:
+  struct Rep {
+    explicit Rep(Bytes b);
+    const Bytes bytes;
+    const uint64_t id;
+  };
+
+  static const Bytes& EmptyBytes();
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Decoder over a payload, carrying the buffer identity so decode-time
+/// digest checks (e.g. view-change entries) can hit the process-wide memo.
+inline Decoder MakeDecoder(const Payload& payload) {
+  return Decoder(payload.data(), payload.size(), payload.id());
+}
+
+}  // namespace seemore
+
+#endif  // SEEMORE_WIRE_PAYLOAD_H_

@@ -61,6 +61,11 @@ class Decoder {
  public:
   Decoder(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   explicit Decoder(const Bytes& data) : Decoder(data.data(), data.size()) {}
+  /// Decoder over a shared immutable buffer (wire/payload.h): `buffer_id`
+  /// is the buffer's process-unique identity, letting decode-time digest
+  /// checks consult the process-wide memo (crypto/memo.h).
+  Decoder(const uint8_t* data, size_t len, uint64_t buffer_id)
+      : data_(data), len_(len), buffer_id_(buffer_id) {}
 
   uint8_t GetU8();
   uint16_t GetU16();
@@ -78,6 +83,12 @@ class Decoder {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
   size_t remaining() const { return len_ - pos_; }
+  /// Current read offset from the start of the input. A field decoded by
+  /// the immediately preceding getter occupies [pos() - field_size, pos()).
+  size_t pos() const { return pos_; }
+  /// Identity of the underlying shared buffer, or 0 when decoding plain
+  /// bytes (see the buffer_id constructor).
+  uint64_t buffer_id() const { return buffer_id_; }
   /// True if the whole input has been consumed and no error occurred.
   bool AtEnd() const { return ok() && pos_ == len_; }
   /// Fails the decoder unless the input was fully consumed.
@@ -90,6 +101,7 @@ class Decoder {
   const uint8_t* data_;
   size_t len_;
   size_t pos_ = 0;
+  uint64_t buffer_id_ = 0;
   Status status_;
 };
 

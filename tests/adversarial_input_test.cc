@@ -19,7 +19,7 @@ class RawSender : public MessageHandler {
   RawSender(Cluster& cluster, PrincipalId id) : cluster_(cluster), id_(id) {
     cluster.net().AddNode(id, Zone::kClient, this, nullptr);
   }
-  void OnMessage(PrincipalId, Bytes) override {}
+  void OnMessage(PrincipalId, Payload) override {}
   void Blast(const Bytes& bytes) {
     for (PrincipalId r = 0; r < cluster_.n(); ++r) {
       cluster_.net().Send(id_, r, bytes);

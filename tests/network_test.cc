@@ -13,8 +13,8 @@ namespace {
 
 class Recorder : public MessageHandler {
  public:
-  void OnMessage(PrincipalId from, Bytes bytes) override {
-    messages.emplace_back(from, std::move(bytes));
+  void OnMessage(PrincipalId from, Payload payload) override {
+    messages.emplace_back(from, payload.bytes());
   }
   std::vector<std::pair<PrincipalId, Bytes>> messages;
 };
@@ -152,6 +152,27 @@ TEST(NetworkTest, CountersSeparateClientTraffic) {
   EXPECT_EQ(net.counters().replica_to_replica_bytes, 2u);
   net.ResetCounters();
   EXPECT_EQ(net.counters().messages, 0u);
+  EXPECT_EQ(net.counters().wire_bytes, 0u);
+}
+
+TEST(NetworkTest, CountersReportPayloadAndWireBytes) {
+  // The transmission-time model charges payload + per-message framing; the
+  // counters must expose both so bench JSON matches what was priced.
+  Simulator sim;
+  NetworkConfig config = QuietConfig();
+  config.per_message_overhead_bytes = 64;
+  SimNetwork net(&sim, config);
+  Recorder a, b, c;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.AddNode(kClientIdBase, Zone::kClient, &c, nullptr);
+  net.Send(0, 1, Bytes(100, 0x11));
+  net.Send(0, kClientIdBase, Bytes(10, 0x22));
+  sim.Run();
+  EXPECT_EQ(net.counters().bytes, 110u);
+  EXPECT_EQ(net.counters().wire_bytes, 110u + 2 * 64u);
+  EXPECT_EQ(net.counters().replica_to_replica_bytes, 100u);
+  EXPECT_EQ(net.counters().replica_to_replica_wire_bytes, 100u + 64u);
 }
 
 TEST(NetworkTest, BandwidthDelaysLargePayloads) {

@@ -1,0 +1,197 @@
+// Payload sharing semantics and the digest/verify memo: zero-copy multicast
+// must never let one receiver's behaviour corrupt another's view of the
+// frame, and the memo must be a pure cache (same answers as recomputing).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/memo.h"
+#include "net/network.h"
+#include "wire/payload.h"
+
+namespace seemore {
+namespace {
+
+TEST(PayloadTest, WrapsBytesAndAssignsUniqueIds) {
+  Payload empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.id(), 0u);
+
+  Payload a(Bytes{1, 2, 3});
+  Payload b(Bytes{1, 2, 3});
+  EXPECT_EQ(a.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_NE(a.id(), 0u);
+  // Identical contents, distinct buffers: identity is per-buffer.
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_FALSE(a.SharesBufferWith(b));
+
+  Payload copy = a;
+  EXPECT_EQ(copy.id(), a.id());
+  EXPECT_TRUE(copy.SharesBufferWith(a));
+  EXPECT_EQ(copy.data(), a.data());  // no byte copy
+}
+
+TEST(PayloadTest, MakeDecoderCarriesBufferIdentity) {
+  Payload p(Bytes{42, 7});
+  Decoder dec = MakeDecoder(p);
+  EXPECT_EQ(dec.buffer_id(), p.id());
+  EXPECT_EQ(dec.GetU8(), 42);
+  EXPECT_EQ(dec.pos(), 1u);
+  Decoder plain(p.bytes());
+  EXPECT_EQ(plain.buffer_id(), 0u);
+}
+
+TEST(CryptoMemoTest, DigestMemoHitsOnSameRangeOfSameBuffer) {
+  CryptoMemo& memo = CryptoMemo::Get();
+  Payload p(Bytes(1000, 0xab));
+  const uint64_t misses_before = memo.digest_misses();
+  const uint64_t hits_before = memo.digest_hits();
+
+  Digest first = memo.DigestOf(p.id(), 10, p.data() + 10, 100);
+  Digest again = memo.DigestOf(p.id(), 10, p.data() + 10, 100);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first, Digest::Of(p.data() + 10, 100));  // same answer as real
+  EXPECT_EQ(memo.digest_misses(), misses_before + 1);
+  EXPECT_EQ(memo.digest_hits(), hits_before + 1);
+
+  // A different range of the same buffer is a distinct entry.
+  Digest other = memo.DigestOf(p.id(), 20, p.data() + 20, 100);
+  EXPECT_EQ(other, Digest::Of(p.data() + 20, 100));
+
+  // Buffer id 0 (plain bytes) never caches.
+  const uint64_t misses_mid = memo.digest_misses();
+  const uint64_t hits_mid = memo.digest_hits();
+  memo.DigestOf(0, 0, p.data(), 100);
+  memo.DigestOf(0, 0, p.data(), 100);
+  EXPECT_EQ(memo.digest_misses(), misses_mid);
+  EXPECT_EQ(memo.digest_hits(), hits_mid);
+}
+
+TEST(CryptoMemoTest, VerifyMemoRunsTheCheckOncePerFrame) {
+  CryptoMemo& memo = CryptoMemo::Get();
+  Payload p(Bytes{1, 2, 3});
+  int calls = 0;
+  auto verify = [&] {
+    ++calls;
+    return true;
+  };
+  EXPECT_TRUE(memo.Verify(p.id(), /*signer=*/3, /*slot=*/7, verify));
+  EXPECT_TRUE(memo.Verify(p.id(), 3, 7, verify));
+  EXPECT_EQ(calls, 1);
+  // A different signer or slot on the same frame is a different question.
+  EXPECT_TRUE(memo.Verify(p.id(), 4, 7, verify));
+  EXPECT_TRUE(memo.Verify(p.id(), 3, 8, verify));
+  EXPECT_EQ(calls, 3);
+  // Negative verdicts are cached too.
+  int neg_calls = 0;
+  auto fail = [&] {
+    ++neg_calls;
+    return false;
+  };
+  EXPECT_FALSE(memo.Verify(p.id(), 5, 1, fail));
+  EXPECT_FALSE(memo.Verify(p.id(), 5, 1, fail));
+  EXPECT_EQ(neg_calls, 1);
+  // Unshared bytes (id 0) always verify for real.
+  EXPECT_FALSE(memo.Verify(0, 5, 1, fail));
+  EXPECT_EQ(neg_calls, 2);
+}
+
+/// Records every delivered payload (by shared handle, not by copy).
+class PayloadRecorder : public MessageHandler {
+ public:
+  void OnMessage(PrincipalId, Payload payload) override {
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<Payload> payloads;
+};
+
+/// A "Byzantine" receiver that mutates its view of every message. The only
+/// mutable view a handler can get is a copy — this pins down that mutating
+/// it never touches the shared buffer.
+class MutatingRecorder : public MessageHandler {
+ public:
+  void OnMessage(PrincipalId, Payload payload) override {
+    Bytes mine = payload.bytes();  // the only way to a mutable view
+    for (auto& b : mine) b ^= 0xff;
+    mutated.push_back(std::move(mine));
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<Bytes> mutated;
+  std::vector<Payload> payloads;
+};
+
+NetworkConfig QuietConfig() {
+  NetworkConfig config;
+  config.intra_private = {Micros(100), 0};
+  config.intra_public = {Micros(100), 0};
+  return config;
+}
+
+TEST(PayloadAliasingTest, MulticastSharesOneBufferAcrossReceivers) {
+  Simulator sim;
+  SimNetwork net(&sim, QuietConfig());
+  PayloadRecorder handlers[4];
+  for (int i = 0; i < 4; ++i) {
+    net.AddNode(i, Zone::kPrivate, &handlers[i], nullptr);
+  }
+  const Bytes frame{9, 8, 7, 6};
+  net.Multicast(0, {0, 1, 2, 3}, frame);
+  sim.Run();
+  ASSERT_EQ(handlers[1].payloads.size(), 1u);
+  ASSERT_EQ(handlers[2].payloads.size(), 1u);
+  ASSERT_EQ(handlers[3].payloads.size(), 1u);
+  // Zero-copy: all receivers alias the same allocation.
+  EXPECT_TRUE(
+      handlers[1].payloads[0].SharesBufferWith(handlers[2].payloads[0]));
+  EXPECT_TRUE(
+      handlers[2].payloads[0].SharesBufferWith(handlers[3].payloads[0]));
+  EXPECT_EQ(handlers[1].payloads[0].bytes(), frame);
+}
+
+TEST(PayloadAliasingTest, DuplicatedDeliveryAliasesTheSameFrame) {
+  Simulator sim;
+  NetworkConfig config = QuietConfig();
+  config.duplicate_probability = 1.0;
+  SimNetwork net(&sim, config);
+  PayloadRecorder a, b;
+  net.AddNode(0, Zone::kPrivate, &a, nullptr);
+  net.AddNode(1, Zone::kPrivate, &b, nullptr);
+  net.Send(0, 1, Bytes{1, 2, 3});
+  sim.Run();
+  ASSERT_EQ(b.payloads.size(), 2u);  // duplicated in flight
+  EXPECT_TRUE(b.payloads[0].SharesBufferWith(b.payloads[1]));
+  EXPECT_EQ(b.payloads[0].bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(b.payloads[1].bytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(PayloadAliasingTest, MutatingReceiverCannotCorruptOtherReceivers) {
+  Simulator sim;
+  NetworkConfig config = QuietConfig();
+  config.duplicate_probability = 1.0;  // duplicates AND a mutator in one run
+  SimNetwork net(&sim, config);
+  MutatingRecorder byzantine;
+  PayloadRecorder honest1, honest2;
+  net.AddNode(0, Zone::kPrivate, &honest1, nullptr);
+  net.AddNode(1, Zone::kPrivate, &byzantine, nullptr);
+  net.AddNode(2, Zone::kPrivate, &honest2, nullptr);
+
+  const Bytes frame{0x10, 0x20, 0x30, 0x40, 0x50};
+  net.Multicast(0, {0, 1, 2}, frame);
+  sim.Run();
+
+  ASSERT_GE(byzantine.payloads.size(), 2u);  // duplication happened
+  ASSERT_GE(honest2.payloads.size(), 2u);
+  // The mutator really did flip its copies...
+  for (const Bytes& m : byzantine.mutated) EXPECT_NE(m, frame);
+  // ...but every aliased view of the shared buffer is pristine, including
+  // the mutator's own second (duplicated) delivery.
+  for (const Payload& p : byzantine.payloads) EXPECT_EQ(p.bytes(), frame);
+  for (const Payload& p : honest2.payloads) {
+    EXPECT_EQ(p.bytes(), frame);
+    EXPECT_TRUE(p.SharesBufferWith(byzantine.payloads[0]));
+  }
+}
+
+}  // namespace
+}  // namespace seemore

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/network.h"
@@ -91,6 +94,81 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
   };
   EXPECT_EQ(run(5), run(5));
   EXPECT_NE(run(5), run(6));
+}
+
+TEST(SimulatorTest, EventIdsAreNeverZeroAndNeverRevived) {
+  Simulator sim;
+  EventId first = sim.Schedule(Millis(1), [] {});
+  EXPECT_NE(first, 0u);
+  EXPECT_TRUE(sim.Cancel(first));
+  // The freed slot is reused by the next event; the old handle must stay
+  // dead (generation check) and the new one must be distinct and live.
+  EventId second = sim.Schedule(Millis(2), [] {});
+  EXPECT_NE(second, 0u);
+  EXPECT_NE(second, first);
+  EXPECT_FALSE(sim.Cancel(first));
+  EXPECT_TRUE(sim.Cancel(second));
+}
+
+TEST(SimulatorTest, CancelReleasesCallbackStateImmediately) {
+  // Regression: the seed engine kept cancelled callbacks (and anything they
+  // captured — payload buffers, replica state) alive until the heap entry
+  // drained, which could be arbitrarily late.
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  EventId id = sim.Schedule(Seconds(3600), [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // captured by the pending event
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_TRUE(watch.expired());  // freed at cancel time, not at pop time
+}
+
+TEST(SimulatorTest, ScheduleCancelChurnKeepsQueueBounded) {
+  // Regression for the cancelled-timer leak: a long run that keeps arming
+  // and cancelling timers (the view-change pattern) must not grow the event
+  // queue unboundedly. The seed engine left every cancelled entry in the
+  // priority queue until its (possibly far-future) deadline drained it.
+  Simulator sim;
+  bool stop = false;
+  std::function<void()> tick = [&] {
+    if (stop) return;
+    // Arm a far-future "view change" timer and immediately cancel it, as a
+    // replica does on every committed batch.
+    EventId timer = sim.Schedule(Seconds(3600), [] {});
+    EXPECT_TRUE(sim.Cancel(timer));
+    sim.Schedule(Micros(10), tick);
+  };
+  sim.Schedule(0, tick);
+  size_t max_queued = 0;
+  size_t max_slab = 0;
+  for (int i = 0; i < 200000 && !stop; ++i) {
+    if (!sim.Step()) break;
+    max_queued = std::max(max_queued, sim.queued_entries());
+    max_slab = std::max(max_slab, sim.slab_size());
+    if (i == 199999) stop = true;
+  }
+  stop = true;
+  sim.Run();
+  // O(live events + compaction slack), nowhere near the ~100k cancellations.
+  EXPECT_LE(max_queued, 200u);
+  EXPECT_LE(max_slab, 200u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.queued_entries(), 0u);
+}
+
+TEST(SimulatorTest, PendingEventsTracksLiveEventsUnderChurn) {
+  Simulator sim;
+  std::vector<EventId> live;
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(sim.Schedule(Millis(1 + i), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(sim.Cancel(live[i]));
+  EXPECT_EQ(sim.pending_events(), 50u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 50u);
 }
 
 TEST(NodeCpuTest, SerializesTasks) {
