@@ -12,6 +12,9 @@
 //     more than 3m+1 replicas, however 3m+1 is enough... any additional
 //     replicas may degrade the performance"; compare P = 3m+1 with larger
 //     rented fleets.
+//
+// Every point is a ScenarioSpec (the builder output with one knob turned)
+// run through scenario::RunScenario.
 
 #include <cstdio>
 #include <string>
@@ -22,10 +25,25 @@ namespace seemore {
 namespace bench {
 namespace {
 
-RunResult OnePoint(ClusterOptions options, int clients, SimTime measure) {
-  Cluster cluster(options);
-  return RunClosedLoop(cluster, clients, EchoWorkload(0, 0), Millis(150),
-                       measure);
+scenario::ScenarioBuilder LionBase(SeeMoReMode mode, int clients,
+                                   SimTime measure) {
+  scenario::ScenarioBuilder builder(
+      scenario::PaperBaseSpec(/*seed=*/11));
+  builder.SeeMoRe(mode, 1, 1)
+      .Echo(0, 0)
+      .Clients(clients)
+      .Warmup(Millis(150))
+      .Measure(measure);
+  return builder;
+}
+
+RunResult OnePoint(const ScenarioSpec& spec) {
+  Result<scenario::ScenarioReport> report = scenario::RunScenario(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    std::abort();
+  }
+  return report->result;
 }
 
 }  // namespace
@@ -39,15 +57,19 @@ int main(int argc, char** argv) {
   const SimTime measure = quick ? Millis(250) : Millis(600);
   const int clients = quick ? 32 : 64;
 
+  BenchResultsJson json("ablation");
+
   std::printf("=== Ablation A: batching (Lion, c=m=1, %d clients) ===\n",
               clients);
   for (int batch : {1, 4, 16, 64, 512}) {
-    ClusterOptions options = SeeMoReOptions(SeeMoReMode::kLion, 1, 1, 11);
-    options.config.batch_max = batch;
-    options.config.pipeline_max = batch == 1 ? 8 : 2;
-    RunResult r = OnePoint(options, clients, measure);
+    scenario::ScenarioBuilder builder =
+        LionBase(SeeMoReMode::kLion, clients, measure);
+    builder.Batching(batch, batch == 1 ? 8 : 2);
+    RunResult r = OnePoint(builder.spec());
     std::printf("  batch_max=%-4d thrpt=%7.2f kreq/s  lat=%.2f ms\n", batch,
                 r.throughput_kreqs, r.mean_latency_ms);
+    json.AddScalar("batching", "batch_" + std::to_string(batch) + "_kreqs",
+                   r.throughput_kreqs);
   }
 
   std::printf(
@@ -55,16 +77,20 @@ int main(int argc, char** argv) {
       "===\n",
       clients);
   for (bool signed_accepts : {false, true}) {
-    ClusterOptions options = SeeMoReOptions(SeeMoReMode::kLion, 1, 1, 11);
-    options.config.lion_sign_accepts = signed_accepts;
+    scenario::ScenarioBuilder builder =
+        LionBase(SeeMoReMode::kLion, clients, measure);
+    builder.LionSignAccepts(signed_accepts);
     // Make the asymmetric-crypto price realistic for this ablation (the
     // trusted-primary saving is precisely NOT paying these).
-    options.costs.sign = Micros(18);
-    options.costs.verify = Micros(45);
-    RunResult r = OnePoint(options, clients, measure);
+    builder.mutable_spec().costs.sign = Micros(18);
+    builder.mutable_spec().costs.verify = Micros(45);
+    RunResult r = OnePoint(builder.spec());
     std::printf("  accepts=%-8s thrpt=%7.2f kreq/s  lat=%.2f ms\n",
                 signed_accepts ? "signed" : "unsigned", r.throughput_kreqs,
                 r.mean_latency_ms);
+    json.AddScalar("lion_accepts",
+                   signed_accepts ? "signed_kreqs" : "unsigned_kreqs",
+                   r.throughput_kreqs);
   }
 
   std::printf(
@@ -77,12 +103,19 @@ int main(int argc, char** argv) {
     int i = 0;
     for (SeeMoReMode mode :
          {SeeMoReMode::kLion, SeeMoReMode::kDog, SeeMoReMode::kPeacock}) {
-      ClusterOptions options = SeeMoReOptions(mode, 1, 1, 11);
-      options.net.cross_cloud = {Micros(cross_us), Micros(cross_us / 10)};
-      // Clients sit next to the public cloud (the paper's motivating case).
-      options.net.client_link = {Micros(100), Micros(25)};
-      RunResult r = OnePoint(options, quick ? 8 : 16, measure);
-      lat[i++] = r.mean_latency_ms;
+      scenario::ScenarioBuilder builder =
+          LionBase(mode, quick ? 8 : 16, measure);
+      builder.CrossCloudLink(Micros(cross_us), Micros(cross_us / 10))
+          // Clients sit next to the public cloud (the paper's motivating
+          // case).
+          .ClientLink(Micros(100), Micros(25));
+      RunResult r = OnePoint(builder.spec());
+      lat[i] = r.mean_latency_ms;
+      json.AddScalar("cross_cloud_distance",
+                     std::string(scenario::SeeMoReModeToken(mode)) + "_" +
+                         std::to_string(cross_us) + "us_latency_ms",
+                     r.mean_latency_ms);
+      ++i;
     }
     std::printf("  %-18.2f %10.2f %10.2f %10.2f\n",
                 static_cast<double>(cross_us) / 1000.0, lat[0], lat[1],
@@ -96,11 +129,17 @@ int main(int argc, char** argv) {
       "\n=== Ablation D: Dog public-cloud size (m=1 => 3m+1=4 proxies; "
       "extra rented nodes are passive) ===\n");
   for (int p : {4, 6, 8, 12}) {
-    ClusterOptions options = SeeMoReOptions(SeeMoReMode::kDog, 1, 1, 11);
-    options.config.p = p;
-    RunResult r = OnePoint(options, clients, measure);
+    scenario::ScenarioBuilder builder =
+        LionBase(SeeMoReMode::kDog, clients, measure);
+    builder.CloudSizes(-1, p);
+    const ScenarioSpec& spec = builder.spec();
+    RunResult r = OnePoint(spec);
     std::printf("  P=%-3d (N=%d)  thrpt=%7.2f kreq/s  lat=%.2f ms\n", p,
-                options.config.n(), r.throughput_kreqs, r.mean_latency_ms);
+                spec.ResolvedConfig().n(), r.throughput_kreqs,
+                r.mean_latency_ms);
+    json.AddScalar("dog_public_size", "p" + std::to_string(p) + "_kreqs",
+                   r.throughput_kreqs);
   }
+  json.Write();
   return 0;
 }

@@ -1,146 +1,60 @@
-// Shared configuration for the paper-reproduction benchmarks (§6).
+// Shared plumbing for the paper-reproduction benchmarks (§6). Every bench
+// expresses its experiments as scenario::ScenarioSpecs (the paper
+// calibration lives in scenario/registry.h: PaperCostModel / PaperNetwork /
+// PaperBaseSpec / PaperSystemSpec) and runs them through
+// scenario::RunScenario — no bench assembles ClusterOptions directly.
 //
 // Topologies follow §6.1 exactly: for a failure budget (c, m), SeeMoRe and
 // S-UpRight deploy 2c private + 3m+1 public nodes (N = 3m+2c+1), CFT uses
 // 2f+1 and BFT 3f+1 with f = c+m. Both clouds sit in one datacenter (the
 // paper uses a single AWS region), so all link classes share one profile.
-//
-// The cost model is calibrated so peak throughputs land in the paper's
-// range (tens of Kreq/s) with BFT-SMaRt-like MAC-vector message
-// authentication; see DESIGN.md §1 for the substitution argument.
 
 #ifndef SEEMORE_BENCH_BENCH_COMMON_H_
 #define SEEMORE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "harness/cluster.h"
-#include "harness/runner.h"
+#include "scenario/builder.h"
+#include "scenario/engine.h"
+#include "scenario/registry.h"
+#include "util/json.h"
 
 namespace seemore {
 namespace bench {
 
-inline CostModel PaperCostModel() {
-  CostModel costs;
-  costs.recv_fixed = Micros(14);
-  costs.send_fixed = Micros(6);
-  costs.per_kib = Micros(2);
-  // BFT-SMaRt authenticates with HMAC vectors rather than public-key
-  // signatures; "sign"/"verify" here price one MAC-vector operation.
-  costs.sign = Micros(4);
-  costs.verify = Micros(4);
-  costs.mac = Micros(1);
-  costs.hash_per_kib = Micros(2);
-  costs.hash_fixed = Micros(1);
-  costs.execute = Micros(2);
-  return costs;
+using scenario::ScenarioSpec;
+
+/// One line of Figure 2/3: a §6 system under test at failure budget (c, m).
+/// Dies on an unknown system name (callers enumerate PaperSystemNames()).
+inline ScenarioSpec SystemSpec(const std::string& system, int c, int m,
+                               uint64_t seed = 17) {
+  Result<ScenarioSpec> spec = scenario::PaperSystemSpec(system, c, m, seed);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(spec);
 }
 
-inline NetworkConfig PaperNetwork() {
-  NetworkConfig net;
-  // One datacenter: ~80us one-way with jitter, 10 Gbit/s NICs.
-  net.intra_private = {Micros(80), Micros(25)};
-  net.intra_public = {Micros(80), Micros(25)};
-  net.cross_cloud = {Micros(90), Micros(25)};
-  net.client_link = {Micros(90), Micros(25)};
-  return net;
-}
-
-/// One line of Figure 2/3: a system under test.
-struct SystemUnderTest {
-  std::string name;
-  std::function<ClusterOptions(uint64_t seed)> make_options;
-};
-
-inline ClusterOptions BaseOptions(uint64_t seed) {
-  ClusterOptions options;
-  options.net = PaperNetwork();
-  options.costs = PaperCostModel();
-  options.seed = seed;
-  options.client_retransmit_timeout = Millis(100);
-  options.config.checkpoint_period = 1024;
-  // BFT-SMaRt style: essentially one consensus instance in flight at a time
-  // with everything pending folded into the next batch. This is what makes
-  // closed-loop throughput scale with the client population (§6).
-  options.config.batch_max = 512;
-  options.config.pipeline_max = 2;
-  options.config.view_change_timeout = Millis(40);
-  return options;
-}
-
-inline ClusterOptions CftOptions(int f, uint64_t seed) {
-  ClusterOptions options = BaseOptions(seed);
-  options.config.kind = ProtocolKind::kCft;
-  options.config.f = f;
-  return options;
-}
-
-inline ClusterOptions BftOptions(int f, uint64_t seed) {
-  ClusterOptions options = BaseOptions(seed);
-  options.config.kind = ProtocolKind::kBft;
-  options.config.f = f;
-  return options;
-}
-
-inline ClusterOptions SUpRightOptions(int c, int m, uint64_t seed) {
-  ClusterOptions options = BaseOptions(seed);
-  options.config.kind = ProtocolKind::kSUpRight;
-  options.config.c = c;
-  options.config.m = m;
-  options.config.s = 2 * c;
-  options.config.p = HybridNetworkSize(m, c) - options.config.s;
-  return options;
-}
-
-inline ClusterOptions SeeMoReOptions(SeeMoReMode mode, int c, int m,
-                                     uint64_t seed) {
-  ClusterOptions options = BaseOptions(seed);
-  options.config.kind = ProtocolKind::kSeeMoRe;
-  options.config.c = c;
-  options.config.m = m;
-  options.config.s = 2 * c;  // §6.1: 2c private + 3m+1 public
-  options.config.p = 3 * m + 1;
-  options.config.initial_mode = mode;
-  return options;
-}
-
-/// The six systems compared throughout §6 for failure budget (c, m).
-inline std::vector<SystemUnderTest> PaperSystems(int c, int m) {
-  const int f = c + m;
-  return {
-      {"BFT", [f](uint64_t seed) { return BftOptions(f, seed); }},
-      {"S-UpRight",
-       [c, m](uint64_t seed) { return SUpRightOptions(c, m, seed); }},
-      {"Peacock",
-       [c, m](uint64_t seed) {
-         return SeeMoReOptions(SeeMoReMode::kPeacock, c, m, seed);
-       }},
-      {"Dog",
-       [c, m](uint64_t seed) {
-         return SeeMoReOptions(SeeMoReMode::kDog, c, m, seed);
-       }},
-      {"Lion",
-       [c, m](uint64_t seed) {
-         return SeeMoReOptions(SeeMoReMode::kLion, c, m, seed);
-       }},
-      {"CFT", [f](uint64_t seed) { return CftOptions(f, seed); }},
-  };
-}
-
-/// Sweep client counts and print one throughput/latency series.
-inline std::vector<RunResult> RunCurve(const SystemUnderTest& sut,
-                                       const OpFactory& ops,
+/// Sweep client counts for one system and return the RunResult curve.
+inline std::vector<RunResult> RunCurve(ScenarioSpec spec,
                                        const std::vector<int>& client_counts,
-                                       SimTime warmup, SimTime measure,
-                                       uint64_t seed = 17) {
+                                       SimTime warmup, SimTime measure) {
+  spec.plan.warmup = warmup;
+  spec.plan.measure = measure;
+  spec.plan.sweep_clients = client_counts;
+  Result<std::vector<scenario::ScenarioReport>> reports =
+      scenario::RunSweep(spec);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+    std::abort();
+  }
   std::vector<RunResult> curve;
-  for (int clients : client_counts) {
-    Cluster cluster(sut.make_options(seed));
-    curve.push_back(RunClosedLoop(cluster, clients, ops, warmup, measure));
+  curve.reserve(reports->size());
+  for (const scenario::ScenarioReport& report : *reports) {
+    curve.push_back(report.result);
   }
   return curve;
 }
@@ -161,8 +75,8 @@ inline double PeakThroughput(const std::vector<RunResult>& curve) {
 }
 
 /// Accumulates results and writes a machine-readable BENCH_<name>.json so
-/// the performance trajectory is tracked across PRs. Labels must be plain
-/// ASCII without quotes/backslashes (all callers use fixed literals).
+/// the performance trajectory is tracked across PRs. All emission goes
+/// through RunResult::ToJson — benches never hand-format result fields.
 class BenchResultsJson {
  public:
   explicit BenchResultsJson(std::string bench_name)
@@ -171,15 +85,23 @@ class BenchResultsJson {
   /// Record one curve (one system's client sweep) under a section label.
   void AddCurve(const std::string& section, const std::string& system,
                 const std::vector<RunResult>& curve) {
-    Section& s = SectionFor(section);
-    s.curves.push_back({system, curve});
+    Json points = Json::Array();
+    for (const RunResult& point : curve) {
+      points.Append(point.ToJson());
+    }
+    Json entry = Json::Object();
+    entry.Set("system", system);
+    entry.Set("points", std::move(points));
+    SectionFor(section).Find("curves")->Append(std::move(entry));
   }
 
   /// Record a single named scalar (a peak, one ablation point, ...).
   void AddScalar(const std::string& section, const std::string& name,
                  double value) {
-    Section& s = SectionFor(section);
-    s.scalars.push_back({name, value});
+    Json entry = Json::Object();
+    entry.Set("name", name);
+    entry.Set("value", value);
+    SectionFor(section).Find("scalars")->Append(std::move(entry));
   }
 
   /// Write BENCH_<bench_name>.json in the working directory. Returns the
@@ -192,70 +114,39 @@ class BenchResultsJson {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return "";
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"sections\": [\n",
-                 bench_name_.c_str());
-    for (size_t si = 0; si < sections_.size(); ++si) {
-      const Section& s = sections_[si];
-      std::fprintf(f, "    {\"label\": \"%s\",\n     \"curves\": [\n",
-                   s.label.c_str());
-      for (size_t ci = 0; ci < s.curves.size(); ++ci) {
-        const Curve& curve = s.curves[ci];
-        std::fprintf(f, "      {\"system\": \"%s\", \"points\": [",
-                     curve.system.c_str());
-        for (size_t pi = 0; pi < curve.points.size(); ++pi) {
-          const RunResult& p = curve.points[pi];
-          std::fprintf(
-              f,
-              "%s\n        {\"clients\": %d, \"throughput_kreqs\": %.4f, "
-              "\"mean_latency_ms\": %.4f, \"p50_latency_ms\": %.4f, "
-              "\"p99_latency_ms\": %.4f, \"completed\": %llu, "
-              "\"retransmissions\": %llu}",
-              pi == 0 ? "" : ",", p.clients, p.throughput_kreqs,
-              p.mean_latency_ms, p.p50_latency_ms, p.p99_latency_ms,
-              static_cast<unsigned long long>(p.completed),
-              static_cast<unsigned long long>(p.retransmissions));
-        }
-        std::fprintf(f, "]}%s\n", ci + 1 < s.curves.size() ? "," : "");
-      }
-      std::fprintf(f, "     ],\n     \"scalars\": [");
-      for (size_t vi = 0; vi < s.scalars.size(); ++vi) {
-        std::fprintf(f, "%s\n      {\"name\": \"%s\", \"value\": %.4f}",
-                     vi == 0 ? "" : ",", s.scalars[vi].name.c_str(),
-                     s.scalars[vi].value);
-      }
-      std::fprintf(f, "]}%s\n", si + 1 < sections_.size() ? "," : "");
+    Json root = Json::Object();
+    root.Set("bench", bench_name_);
+    Json section_array = Json::Array();
+    for (const Json& section : sections_) {
+      section_array.Append(section);
     }
-    std::fprintf(f, "  ]\n}\n");
+    root.Set("sections", std::move(section_array));
+    const std::string text = root.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return path;
   }
 
  private:
-  struct Curve {
-    std::string system;
-    std::vector<RunResult> points;
-  };
-  struct Scalar {
-    std::string name;
-    double value;
-  };
-  struct Section {
-    std::string label;
-    std::vector<Curve> curves;
-    std::vector<Scalar> scalars;
-  };
-
-  Section& SectionFor(const std::string& label) {
-    for (Section& s : sections_) {
-      if (s.label == label) return s;
+  Json& SectionFor(const std::string& label) {
+    for (Json& section : sections_) {
+      const Json* existing = section.Find("label");
+      if (existing != nullptr && existing->AsString() == label) {
+        return section;
+      }
     }
-    sections_.push_back(Section{label, {}, {}});
+    Json section = Json::Object();
+    section.Set("label", label);
+    section.Set("curves", Json::Array());
+    section.Set("scalars", Json::Array());
+    sections_.push_back(std::move(section));
     return sections_.back();
   }
 
   std::string bench_name_;
-  std::vector<Section> sections_;
+  std::vector<Json> sections_;
 };
 
 }  // namespace bench

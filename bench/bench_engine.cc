@@ -114,17 +114,17 @@ double MulticastFanout(int receivers, int rounds, size_t payload_bytes,
 
 // --- Workload 3: full protocol stack ---------------------------------------
 double ClusterEventsPerSec(SimTime measure, uint64_t* executed_out) {
-  ClusterOptions options;
-  options.config.kind = ProtocolKind::kSeeMoRe;
-  options.config.c = 1;
-  options.config.m = 1;
-  options.config.s = 2;
-  options.config.p = 4;
-  options.config.initial_mode = SeeMoReMode::kLion;
-  options.config.batch_max = 64;
-  options.config.pipeline_max = 2;
-  options.seed = 5;
-  Cluster cluster(options);
+  scenario::ScenarioBuilder builder;
+  builder.Name("engine-cluster")
+      .SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .CloudSizes(2, 4)
+      .Batching(64, 2)
+      // Match the seed engine bench's ClusterConfig defaults so the
+      // measured rate stays comparable across PRs.
+      .CheckpointPeriod(128)
+      .ViewChangeTimeout(Millis(20))
+      .Seed(5);
+  Cluster cluster(scenario::ToClusterOptions(builder.spec()));
   auto t0 = std::chrono::steady_clock::now();
   RunClosedLoop(cluster, 16, EchoWorkload(1, 0), Millis(100), measure);
   auto t1 = std::chrono::steady_clock::now();

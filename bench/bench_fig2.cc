@@ -5,7 +5,8 @@
 //   (c) f=4: c=1, m=3   N: 12, 9, 13
 //   (d) f=4: c=3, m=1   N: 10, 9, 13
 // Each curve point is one closed-loop client population; x = throughput
-// (Kreq/s), y = mean latency (ms), exactly the paper's axes.
+// (Kreq/s), y = mean latency (ms), exactly the paper's axes. Every point is
+// a scenario::ScenarioSpec run through scenario::RunSweep.
 
 #include <cstdio>
 
@@ -15,30 +16,33 @@ namespace seemore {
 namespace bench {
 namespace {
 
-struct Scenario {
+struct Budget {
   const char* label;
   int c;
   int m;
 };
 
-void RunScenario(const Scenario& scenario, const std::vector<int>& clients,
-                 SimTime warmup, SimTime measure, BenchResultsJson& json) {
-  std::printf("\n=== Fig 2(%s): f=%d (c=%d, m=%d) ===\n", scenario.label,
-              scenario.c + scenario.m, scenario.c, scenario.m);
+void RunBudget(const Budget& budget, const std::vector<int>& clients,
+               SimTime warmup, SimTime measure, BenchResultsJson& json) {
+  std::printf("\n=== Fig 2(%s): f=%d (c=%d, m=%d) ===\n", budget.label,
+              budget.c + budget.m, budget.c, budget.m);
   std::printf("%-10s %s\n", "system", "curve points (0/0 payload)");
-  const OpFactory ops = EchoWorkload(0, 0);
   struct Peak {
     std::string name;
     double kreqs;
   };
   std::vector<Peak> peaks;
-  for (const SystemUnderTest& sut : PaperSystems(scenario.c, scenario.m)) {
-    std::vector<RunResult> curve = RunCurve(sut, ops, clients, warmup, measure);
-    PrintCurve(sut.name, curve);
-    json.AddCurve(scenario.label, sut.name, curve);
-    json.AddScalar(scenario.label, sut.name + "_peak_kreqs",
+  for (const std::string& system : scenario::PaperSystemNames()) {
+    ScenarioSpec spec = SystemSpec(system, budget.c, budget.m);
+    spec.workload.kind = scenario::WorkloadKind::kEcho;
+    spec.workload.request_kb = 0;
+    spec.workload.reply_kb = 0;
+    std::vector<RunResult> curve = RunCurve(spec, clients, warmup, measure);
+    PrintCurve(system, curve);
+    json.AddCurve(budget.label, system, curve);
+    json.AddScalar(budget.label, system + "_peak_kreqs",
                    PeakThroughput(curve));
-    peaks.push_back({sut.name, PeakThroughput(curve)});
+    peaks.push_back({system, PeakThroughput(curve)});
   }
   std::printf("--- peak throughput (Kreq/s): ");
   for (const Peak& peak : peaks) {
@@ -64,10 +68,9 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 2 reproduction: throughput vs latency, 0/0 payload\n");
   BenchResultsJson json("fig2");
-  const Scenario scenarios[] = {
-      {"a", 1, 1}, {"b", 2, 2}, {"c", 1, 3}, {"d", 3, 1}};
-  for (const Scenario& scenario : scenarios) {
-    RunScenario(scenario, clients, warmup, measure, json);
+  const Budget budgets[] = {{"a", 1, 1}, {"b", 2, 2}, {"c", 1, 3}, {"d", 3, 1}};
+  for (const Budget& budget : budgets) {
+    RunBudget(budget, clients, warmup, measure, json);
   }
   json.Write();
   (void)argc;

@@ -31,15 +31,17 @@ int main(int argc, char** argv) {
   BenchResultsJson json("fig3");
   for (const PayloadCase& payload : cases) {
     std::printf("\n=== Fig 3: benchmark %s ===\n", payload.label);
-    const OpFactory ops = EchoWorkload(payload.request_kb, payload.reply_kb);
-    for (const SystemUnderTest& sut : PaperSystems(1, 1)) {
-      std::vector<RunResult> curve =
-          RunCurve(sut, ops, clients, warmup, measure);
-      PrintCurve(sut.name, curve);
-      std::printf("%-10s peak=%.2f kreq/s\n", sut.name.c_str(),
+    for (const std::string& system : scenario::PaperSystemNames()) {
+      ScenarioSpec spec = SystemSpec(system, /*c=*/1, /*m=*/1);
+      spec.workload.kind = scenario::WorkloadKind::kEcho;
+      spec.workload.request_kb = payload.request_kb;
+      spec.workload.reply_kb = payload.reply_kb;
+      std::vector<RunResult> curve = RunCurve(spec, clients, warmup, measure);
+      PrintCurve(system, curve);
+      std::printf("%-10s peak=%.2f kreq/s\n", system.c_str(),
                   PeakThroughput(curve));
-      json.AddCurve(payload.label, sut.name, curve);
-      json.AddScalar(payload.label, sut.name + "_peak_kreqs",
+      json.AddCurve(payload.label, system, curve);
+      json.AddScalar(payload.label, system + "_peak_kreqs",
                      PeakThroughput(curve));
     }
   }

@@ -32,14 +32,19 @@ struct Row {
   double measured_wire_bytes_per_instance;
 };
 
-Row MeasureRow(const SystemUnderTest& sut, int phases,
+Row MeasureRow(const std::string& system, int phases,
                const std::string& messages, const std::string& receiving,
                const std::string& quorum) {
-  ClusterOptions options = sut.make_options(/*seed=*/5);
-  options.config.batch_max = 1;      // one request per instance, like §5.5
-  options.config.pipeline_max = 1;
-  options.config.checkpoint_period = 1 << 20;  // keep checkpoints out
-  Cluster cluster(options);
+  ScenarioSpec spec = SystemSpec(system, /*c=*/1, /*m=*/1, /*seed=*/5);
+  spec.tuning.batch_max = 1;  // one request per instance, like §5.5
+  spec.tuning.pipeline_max = 1;
+  spec.tuning.checkpoint_period = 1 << 20;  // keep checkpoints out
+  Result<std::unique_ptr<Cluster>> made = scenario::MakeCluster(spec);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    std::abort();
+  }
+  Cluster& cluster = **made;
   SimClient* client = cluster.AddClient();
   client->Start(EchoWorkload(0, 0));
 
@@ -52,7 +57,7 @@ Row MeasureRow(const SystemUnderTest& sut, int phases,
   const NetCounters& counters = cluster.net().counters();
 
   Row row;
-  row.protocol = sut.name;
+  row.protocol = system;
   row.phases = phases;
   row.messages = messages;
   row.receiving = receiving;
@@ -87,19 +92,19 @@ int main() {
       c, m, f);
 
   std::vector<Row> rows;
-  for (const SystemUnderTest& sut : PaperSystems(c, m)) {
-    if (sut.name == "Lion") {
-      rows.push_back(MeasureRow(sut, 2, "O(n)", "3m+2c+1", "2m+c+1"));
-    } else if (sut.name == "Dog") {
-      rows.push_back(MeasureRow(sut, 2, "O(n^2)", "3m+1", "2m+1"));
-    } else if (sut.name == "Peacock") {
-      rows.push_back(MeasureRow(sut, 3, "O(n^2)", "3m+1", "2m+1"));
-    } else if (sut.name == "CFT") {
-      rows.push_back(MeasureRow(sut, 2, "O(n)", "2f+1", "f+1"));
-    } else if (sut.name == "BFT") {
-      rows.push_back(MeasureRow(sut, 3, "O(n^2)", "3f+1", "2f+1"));
-    } else if (sut.name == "S-UpRight") {
-      rows.push_back(MeasureRow(sut, 3, "O(n^2)", "3m+2c+1", "2m+c+1"));
+  for (const std::string& system : scenario::PaperSystemNames()) {
+    if (system == "Lion") {
+      rows.push_back(MeasureRow(system, 2, "O(n)", "3m+2c+1", "2m+c+1"));
+    } else if (system == "Dog") {
+      rows.push_back(MeasureRow(system, 2, "O(n^2)", "3m+1", "2m+1"));
+    } else if (system == "Peacock") {
+      rows.push_back(MeasureRow(system, 3, "O(n^2)", "3m+1", "2m+1"));
+    } else if (system == "CFT") {
+      rows.push_back(MeasureRow(system, 2, "O(n)", "2f+1", "f+1"));
+    } else if (system == "BFT") {
+      rows.push_back(MeasureRow(system, 3, "O(n^2)", "3f+1", "2f+1"));
+    } else if (system == "S-UpRight") {
+      rows.push_back(MeasureRow(system, 3, "O(n^2)", "3m+2c+1", "2m+c+1"));
     }
   }
 

@@ -1,14 +1,17 @@
 // A small banking service on the hybrid cloud: account balances in the
 // replicated KV store, transfers via compare-and-swap, concurrent tellers,
 // and the full §3 failure model exercised live — a private node crashes and
-// a public node turns Byzantine mid-run, yet no money is created or
-// destroyed and every replica converges to the same books.
+// a public node turns Byzantine mid-run (both declared in the scenario's
+// schedule), yet no money is created or destroyed and every replica
+// converges to the same books. The tellers are custom closed-loop logic, so
+// the spec runs zero standard clients and the tellers ride in via hooks.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/cluster.h"
+#include "scenario/builder.h"
+#include "scenario/engine.h"
 
 using namespace seemore;
 
@@ -97,72 +100,88 @@ class Teller {
 }  // namespace
 
 int main() {
-  ClusterOptions options;
-  options.config.kind = ProtocolKind::kSeeMoRe;
-  options.config.s = 2;
-  options.config.p = 4;
-  options.config.c = 1;
-  options.config.m = 1;
-  options.config.initial_mode = SeeMoReMode::kLion;
-  options.seed = 7;
-  Cluster cluster(options);
+  // The deployment, the fault schedule and the invariant checks, declared
+  // up front: the paper's base case with a private crash at t=150ms and a
+  // public node turning Byzantine at t=250ms — the full (c=1, m=1) budget.
+  scenario::ScenarioBuilder builder;
+  builder.Name("hybrid-bank")
+      .SeeMoRe(SeeMoReMode::kLion, /*c=*/1, /*m=*/1)
+      .CloudSizes(/*s=*/2, /*p=*/4)
+      .Seed(7)
+      .Clients(0)  // the tellers below are the workload
+      .CrashAt(Millis(150), 1)
+      .ByzantineAt(Millis(250), 5, kByzWrongVotes | kByzLieToClients)
+      .Warmup(Millis(50))
+      .Measure(Millis(400))
+      .Drain(Millis(300))
+      .CheckConvergence();
 
-  // Fund the accounts.
-  SimClient* admin = cluster.AddClient();
-  for (int account = 0; account < kAccounts; ++account) {
-    admin->SubmitOne(
-        MakePut(AccountKey(account), std::to_string(kInitialBalance)),
-        [](const Bytes&) {});
-  }
-  cluster.sim().Run();
-  std::printf("funded %d accounts with %d each (total %d)\n", kAccounts,
-              kInitialBalance, kAccounts * kInitialBalance);
-
-  // Four concurrent tellers.
   std::vector<std::unique_ptr<Teller>> tellers;
-  for (int i = 0; i < 4; ++i) {
-    tellers.push_back(std::make_unique<Teller>(cluster, 100 + i));
-    tellers.back()->Start();
-  }
-
-  // Let them run, then inject the paper's full failure budget.
-  cluster.sim().RunUntil(cluster.sim().now() + Millis(100));
-  std::printf("t=%.0fms: crashing private replica 1 (within c=1)\n",
-              ToMillis(cluster.sim().now()));
-  cluster.Crash(1);
-  cluster.sim().RunUntil(cluster.sim().now() + Millis(100));
-  std::printf("t=%.0fms: public replica 5 turns Byzantine (within m=1)\n",
-              ToMillis(cluster.sim().now()));
-  cluster.SetByzantine(5, kByzWrongVotes | kByzLieToClients);
-  cluster.sim().RunUntil(cluster.sim().now() + Millis(200));
-
-  for (auto& teller : tellers) teller->Stop();
-  cluster.sim().RunUntil(cluster.sim().now() + Millis(300));
-
-  // Audit the books.
-  int total = 0;
-  std::printf("\nfinal balances:");
-  for (int account = 0; account < kAccounts; ++account) {
-    bool done = false;
-    int balance = -1;
-    admin->SubmitOne(MakeGet(AccountKey(account)),
-                     [&done, &balance](const Bytes& r) {
-                       balance = std::stoi(ParseKvReply(r).value);
-                       done = true;
-                     });
-    while (!done && cluster.sim().Step()) {
-    }
-    std::printf(" %d", balance);
-    total += balance;
-  }
+  SimClient* admin = nullptr;
+  int total = -1;
   int transfers = 0;
-  for (auto& teller : tellers) transfers += teller->transfers_done();
-  std::printf("\ntotal = %d (expected %d), transfers completed = %d\n", total,
-              kAccounts * kInitialBalance, transfers);
 
-  Status agreement = cluster.CheckAgreement();
-  std::printf("agreement across replicas: %s\n", agreement.ToString().c_str());
+  scenario::ScenarioHooks hooks;
+  hooks.on_start = [&](Cluster& cluster) {
+    // Fund the accounts before any teller runs.
+    admin = cluster.AddClient();
+    for (int account = 0; account < kAccounts; ++account) {
+      admin->SubmitOne(
+          MakePut(AccountKey(account), std::to_string(kInitialBalance)),
+          [](const Bytes&) {});
+    }
+    cluster.sim().Run();
+    std::printf("funded %d accounts with %d each (total %d)\n", kAccounts,
+                kInitialBalance, kAccounts * kInitialBalance);
+    // Four concurrent tellers.
+    for (int i = 0; i < 4; ++i) {
+      tellers.push_back(std::make_unique<Teller>(cluster, 100 + i));
+      tellers.back()->Start();
+    }
+  };
+  hooks.on_event = [](Cluster& cluster, const scenario::ScenarioEvent& event,
+                      const Status&) {
+    std::printf("t=%.0fms: %s\n", ToMillis(cluster.sim().now()),
+                event.ToString().c_str());
+  };
+  hooks.on_finish = [&](Cluster& cluster) {
+    for (auto& teller : tellers) teller->Stop();
+    cluster.sim().RunUntil(cluster.sim().now() + Millis(300));
+
+    // Audit the books.
+    total = 0;
+    std::printf("\nfinal balances:");
+    for (int account = 0; account < kAccounts; ++account) {
+      bool done = false;
+      int balance = -1;
+      admin->SubmitOne(MakeGet(AccountKey(account)),
+                       [&done, &balance](const Bytes& r) {
+                         balance = std::stoi(ParseKvReply(r).value);
+                         done = true;
+                       });
+      while (!done && cluster.sim().Step()) {
+      }
+      std::printf(" %d", balance);
+      total += balance;
+    }
+    for (auto& teller : tellers) transfers += teller->transfers_done();
+    std::printf("\ntotal = %d (expected %d), transfers completed = %d\n",
+                total, kAccounts * kInitialBalance, transfers);
+  };
+
+  Result<scenario::ScenarioReport> run =
+      scenario::RunScenario(builder.spec(), hooks);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 2;
+  }
+  const scenario::ScenarioReport& report = *run;
+
+  std::printf("agreement across replicas: %s\n",
+              report.agreement.ToString().c_str());
+  std::printf("convergence of live honest replicas: %s\n",
+              report.convergence.ToString().c_str());
   const bool conserved = total == kAccounts * kInitialBalance;
   std::printf("money conserved: %s\n", conserved ? "yes" : "NO");
-  return (agreement.ok() && conserved && transfers > 0) ? 0 : 1;
+  return (report.ok() && conserved && transfers > 0) ? 0 : 1;
 }

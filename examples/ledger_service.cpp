@@ -1,87 +1,103 @@
 // Permissioned-ledger ordering service (the paper's §1 Hyperledger Fabric
 // motivation): SeeMoRe in Peacock mode orders transactions into a
 // hash-chained append-only ledger, with an actively Byzantine proxy in the
-// mix. Every honest replica ends with the identical chain head.
+// mix. The deployment, the ledger state machine and the Byzantine injection
+// are all declared in the ScenarioSpec; the submitting organizations ride
+// in via hooks. Every honest replica ends with the identical chain head.
 
 #include <cstdio>
 #include <string>
 
-#include "harness/cluster.h"
+#include "scenario/builder.h"
+#include "scenario/engine.h"
 #include "smr/ledger.h"
 
 using namespace seemore;
 
 int main() {
-  ClusterOptions options;
-  options.config.kind = ProtocolKind::kSeeMoRe;
-  options.config.s = 2;
-  options.config.p = 4;
-  options.config.c = 1;
-  options.config.m = 1;
   // Peacock: ordering runs entirely in the public cloud; the private cloud
   // only receives INFORMs — e.g. an enterprise keeping verifiers on-prem.
-  options.config.initial_mode = SeeMoReMode::kPeacock;
-  options.seed = 31;
-  options.state_machine_factory = [] {
-    return std::make_unique<LedgerStateMachine>();
-  };
-  Cluster cluster(options);
+  // One public proxy misbehaves from the start (votes for corrupted digests
+  // and lies to clients) — within the m=1 budget.
+  scenario::ScenarioBuilder builder;
+  builder.Name("ledger-service")
+      .SeeMoRe(SeeMoReMode::kPeacock, /*c=*/1, /*m=*/1)
+      .CloudSizes(/*s=*/2, /*p=*/4)
+      .Seed(31)
+      .Ledger()
+      .Clients(0)  // the two organizations below submit directly
+      .ByzantineAt(0, /*replica=*/4, kByzWrongVotes | kByzLieToClients)
+      .Warmup(Millis(10))
+      .Measure(Millis(100))
+      .Drain(Millis(200))
+      .CheckConvergence();
 
-  // One public proxy misbehaves throughout (votes for corrupted digests and
-  // lies to clients) — within the m=1 budget.
-  cluster.SetByzantine(4, kByzWrongVotes | kByzLieToClients);
-  std::printf("ordering service up: %s, replica 4 is Byzantine\n",
-              cluster.config().ToString().c_str());
-
-  // Two submitting organizations.
-  SimClient* org_a = cluster.AddClient();
-  SimClient* org_b = cluster.AddClient();
   int confirmed = 0;
-  auto on_append = [&confirmed](const Bytes& result) {
-    LedgerReply reply = ParseLedgerReply(result);
-    if (reply.ok) ++confirmed;
-  };
-  for (int i = 0; i < 10; ++i) {
-    org_a->SubmitOne(MakeLedgerAppend("orgA/tx-" + std::to_string(i)),
-                     on_append);
-    org_b->SubmitOne(MakeLedgerAppend("orgB/tx-" + std::to_string(i)),
-                     on_append);
-  }
-  cluster.sim().Run();
-
-  // Read back the chain head through the quorum (m+1 matching replies keep
-  // the liar from forging it).
   Digest head;
   uint64_t length = 0;
-  bool done = false;
-  org_a->SubmitOne(MakeLedgerHead(), [&](const Bytes& result) {
-    LedgerReply reply = ParseLedgerReply(result);
-    head = reply.chain_head;
-    length = reply.index;
-    done = true;
-  });
-  while (!done && cluster.sim().Step()) {
-  }
-
-  std::printf("confirmed %d transactions; ledger length %llu\n", confirmed,
-              static_cast<unsigned long long>(length));
-  std::printf("chain head: %s...\n", head.ShortHex().c_str());
-
-  // Every honest replica holds the identical chain.
   int matching = 0;
-  for (int i = 0; i < cluster.n(); ++i) {
-    if (i == 4) continue;  // the Byzantine node's word is worthless anyway
-    auto* ledger =
-        static_cast<LedgerStateMachine*>(cluster.replica(i)->exec().state_machine());
-    std::printf("  replica %d: length=%llu head=%s...\n", i,
-                static_cast<unsigned long long>(ledger->length()),
-                ledger->chain_head().ShortHex().c_str());
-    if (ledger->chain_head() == head && ledger->length() == length) {
-      ++matching;
+
+  scenario::ScenarioHooks hooks;
+  hooks.on_start = [&confirmed](Cluster& cluster) {
+    std::printf("ordering service up: %s, replica 4 is Byzantine\n",
+                cluster.config().ToString().c_str());
+    // Two submitting organizations.
+    SimClient* org_a = cluster.AddClient();
+    SimClient* org_b = cluster.AddClient();
+    auto on_append = [&confirmed](const Bytes& result) {
+      LedgerReply reply = ParseLedgerReply(result);
+      if (reply.ok) ++confirmed;
+    };
+    for (int i = 0; i < 10; ++i) {
+      org_a->SubmitOne(MakeLedgerAppend("orgA/tx-" + std::to_string(i)),
+                       on_append);
+      org_b->SubmitOne(MakeLedgerAppend("orgB/tx-" + std::to_string(i)),
+                       on_append);
     }
+  };
+  hooks.on_finish = [&](Cluster& cluster) {
+    // Let the tail of INFORMs reach the private cloud before auditing.
+    cluster.sim().Run();
+    // Read back the chain head through the quorum (m+1 matching replies
+    // keep the liar from forging it).
+    bool done = false;
+    cluster.client(0)->SubmitOne(MakeLedgerHead(), [&](const Bytes& result) {
+      LedgerReply reply = ParseLedgerReply(result);
+      head = reply.chain_head;
+      length = reply.index;
+      done = true;
+    });
+    while (!done && cluster.sim().Step()) {
+    }
+
+    std::printf("confirmed %d transactions; ledger length %llu\n", confirmed,
+                static_cast<unsigned long long>(length));
+    std::printf("chain head: %s...\n", head.ShortHex().c_str());
+
+    // Every honest replica holds the identical chain.
+    for (int i = 0; i < cluster.n(); ++i) {
+      if (i == 4) continue;  // the Byzantine node's word is worthless anyway
+      auto* ledger = static_cast<LedgerStateMachine*>(
+          cluster.replica(i)->exec().state_machine());
+      std::printf("  replica %d: length=%llu head=%s...\n", i,
+                  static_cast<unsigned long long>(ledger->length()),
+                  ledger->chain_head().ShortHex().c_str());
+      if (ledger->chain_head() == head && ledger->length() == length) {
+        ++matching;
+      }
+    }
+  };
+
+  Result<scenario::ScenarioReport> run =
+      scenario::RunScenario(builder.spec(), hooks);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 2;
   }
-  Status agreement = cluster.CheckAgreement();
-  std::printf("replicas matching the quorum head: %d/5, agreement: %s\n",
-              matching, agreement.ToString().c_str());
-  return (agreement.ok() && confirmed == 20 && matching == 5) ? 0 : 1;
+  const scenario::ScenarioReport& report = *run;
+  std::printf("replicas matching the quorum head: %d/5, agreement: %s, "
+              "convergence: %s\n",
+              matching, report.agreement.ToString().c_str(),
+              report.convergence.ToString().c_str());
+  return (report.ok() && confirmed == 20 && matching == 5) ? 0 : 1;
 }

@@ -1,49 +1,50 @@
 // Dynamic mode switching (§5.4) end to end: plan a hybrid deployment with
-// the §4 sizing calculator, run Lion under load, then switch the live
-// cluster to Dog (shedding private-cloud load) and on to Peacock (public
-// cloud handles everything), printing per-phase throughput and the load
-// observed on private-cloud CPUs — the quantity the Dog/Peacock modes exist
-// to reduce.
+// the §4 sizing calculator, describe the whole experiment — Lion under
+// load, a live switch to Dog (shedding private-cloud load), then on to
+// Peacock (public cloud handles everything) — as one declarative
+// ScenarioSpec, and let scenario::RunScenario drive it. Scenario hooks
+// snapshot per-phase throughput and the load observed on private-cloud
+// CPUs — the quantity the Dog/Peacock modes exist to reduce.
 
 #include <cstdio>
+#include <vector>
 
-#include "harness/cluster.h"
-#include "harness/runner.h"
+#include "scenario/builder.h"
+#include "scenario/engine.h"
 
 using namespace seemore;
 
 namespace {
 
-double BusyMs(Cluster& cluster, PrincipalId id) {
-  return ToMillis(cluster.replica(id)->cpu()->total_busy());
+struct Snapshot {
+  SimTime at = 0;
+  uint64_t completed = 0;
+  double busy0_ms = 0.0;  // private node 0 (the Lion/Dog sequencer)
+  double busy1_ms = 0.0;  // private node 1 (passive in Dog, idle in Peacock)
+};
+
+Snapshot TakeSnapshot(Cluster& cluster) {
+  Snapshot snap;
+  snap.at = cluster.sim().now();
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    snap.completed += cluster.client(i)->completed();
+  }
+  snap.busy0_ms = ToMillis(cluster.replica(0)->cpu()->total_busy());
+  snap.busy1_ms = ToMillis(cluster.replica(1)->cpu()->total_busy());
+  return snap;
 }
 
-void RunPhase(Cluster& cluster, const char* label, SimTime duration) {
+void PrintPhase(const char* label, const Snapshot& from, const Snapshot& to) {
   // Track the two private nodes separately: the paper's Dog mode keeps the
   // trusted primary sequencing but makes every OTHER private node passive;
   // Peacock idles the whole private cloud (§5.2, §5.3).
-  const double busy0_before = BusyMs(cluster, 0);
-  const double busy1_before = BusyMs(cluster, 1);
-  uint64_t completed_before = 0;
-  for (int i = 0; i < cluster.num_clients(); ++i) {
-    completed_before += cluster.client(i)->completed();
-  }
-  const SimTime start = cluster.sim().now();
-  cluster.sim().RunUntil(start + duration);
-  uint64_t completed_after = 0;
-  for (int i = 0; i < cluster.num_clients(); ++i) {
-    completed_after += cluster.client(i)->completed();
-  }
-  const double seconds = ToMillis(duration) / 1000.0;
-  const double kreqs =
-      static_cast<double>(completed_after - completed_before) / seconds / 1000;
-  const double load0 =
-      (BusyMs(cluster, 0) - busy0_before) / ToMillis(duration) * 100.0;
-  const double load1 =
-      (BusyMs(cluster, 1) - busy1_before) / ToMillis(duration) * 100.0;
+  const double window_ms = ToMillis(to.at - from.at);
+  const double kreqs = static_cast<double>(to.completed - from.completed) /
+                       (window_ms / 1000.0) / 1000.0;
   std::printf(
       "%-22s thrpt=%6.1f kreq/s   private CPU: node0=%5.1f%% node1=%5.1f%%\n",
-      label, kreqs, load0, load1);
+      label, kreqs, (to.busy0_ms - from.busy0_ms) / window_ms * 100.0,
+      (to.busy1_ms - from.busy1_ms) / window_ms * 100.0);
 }
 
 }  // namespace
@@ -56,63 +57,64 @@ int main() {
               plan.public_nodes, plan.network_size, plan.explanation.c_str());
   const int m = static_cast<int>(0.25 * plan.public_nodes);  // m = alpha*P
 
-  ClusterOptions options;
-  options.config.kind = ProtocolKind::kSeeMoRe;
-  options.config.s = 2;
-  options.config.c = 1;
-  options.config.p = plan.public_nodes;
-  options.config.m = m;
-  options.config.initial_mode = SeeMoReMode::kLion;
-  options.config.batch_max = 128;
-  options.config.pipeline_max = 2;
-  options.seed = 99;
-  Cluster cluster(options);
-  std::printf("cluster: %s\n\n", cluster.config().ToString().c_str());
+  // 2. The whole experiment as one spec: closed-loop KV load, a switch to
+  //    Dog at t=400ms and to Peacock at t=800ms, then a drain and a
+  //    convergence check across all replicas and modes.
+  scenario::ScenarioBuilder builder;
+  builder.Name("mode-switching")
+      .SeeMoRe(SeeMoReMode::kLion, /*c=*/1, m)
+      .CloudSizes(/*s=*/2, plan.public_nodes)
+      .Batching(128, 2)
+      .Seed(99)
+      .Clients(24)
+      .Kv(128, 0.5)
+      .SwitchAt(Millis(400), SeeMoReMode::kDog)
+      .SwitchAt(Millis(800), SeeMoReMode::kPeacock)
+      .Warmup(Millis(100))
+      .Measure(Millis(1100))
+      .Drain(Millis(500))
+      .CheckConvergence();
 
-  // 2. Closed-loop load.
-  for (int i = 0; i < 24; ++i) {
-    cluster.AddClient()->Start(KvWorkload(500 + i, 128, 0.5));
+  // 3. Hooks: measure each mode's steady phase (the 150ms after a switch is
+  //    settling time and excluded), and report each switch as it happens.
+  const SimTime phase_marks[] = {Millis(150), Millis(400),  Millis(550),
+                                 Millis(800), Millis(950),  Millis(1200)};
+  std::vector<Snapshot> snaps;
+  scenario::ScenarioHooks hooks;
+  hooks.on_start = [&](Cluster& cluster) {
+    std::printf("cluster: %s\n\n", cluster.config().ToString().c_str());
+    for (SimTime mark : phase_marks) {
+      cluster.sim().ScheduleAt(
+          mark, [&snaps, &cluster] { snaps.push_back(TakeSnapshot(cluster)); });
+    }
+  };
+  hooks.on_event = [](Cluster&, const scenario::ScenarioEvent& event,
+                      const Status& outcome) {
+    std::printf("switch to %s requested: %s\n",
+                scenario::SeeMoReModeToken(event.target_mode),
+                outcome.ToString().c_str());
+  };
+
+  Result<scenario::ScenarioReport> run =
+      scenario::RunScenario(builder.spec(), hooks);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 2;
   }
-  RunPhase(cluster, "Lion (warmup)", Millis(150));
-  RunPhase(cluster, "Lion", Millis(250));
+  const scenario::ScenarioReport& report = *run;
 
-  // 3. The private cloud gets busy -> hand the agreement to the public
-  //    proxies. The switch is requested on the trusted authority of the
-  //    next view and rides an ordinary view change (§5.4).
-  {
-    SeeMoReReplica* any = cluster.seemore(0);
-    PrincipalId authority =
-        any->SwitchAuthority(SeeMoReMode::kDog, any->view() + 1);
-    Status status =
-        cluster.seemore(authority)->RequestModeSwitch(SeeMoReMode::kDog);
-    std::printf("\nswitch to Dog via trusted replica %d: %s\n", authority,
-                status.ToString().c_str());
+  // 4. Per-phase story: Dog sheds the passive private node's load, Peacock
+  //    idles the private cloud entirely.
+  std::printf("\n");
+  if (snaps.size() == 6) {
+    PrintPhase("Lion", snaps[0], snaps[1]);
+    PrintPhase("Dog", snaps[2], snaps[3]);
+    PrintPhase("Peacock", snaps[4], snaps[5]);
   }
-  RunPhase(cluster, "Dog (settling)", Millis(150));
-  RunPhase(cluster, "Dog", Millis(250));
 
-  // 4. Push even the sequencing off the private cloud.
-  {
-    SeeMoReReplica* any = cluster.seemore(0);
-    PrincipalId authority =
-        any->SwitchAuthority(SeeMoReMode::kPeacock, any->view() + 1);
-    Status status =
-        cluster.seemore(authority)->RequestModeSwitch(SeeMoReMode::kPeacock);
-    std::printf("\nswitch to Peacock via trusted replica %d: %s\n", authority,
-                status.ToString().c_str());
-  }
-  RunPhase(cluster, "Peacock (settling)", Millis(150));
-  RunPhase(cluster, "Peacock", Millis(250));
-
-  for (int i = 0; i < cluster.num_clients(); ++i) cluster.client(i)->Stop();
-  cluster.sim().RunUntil(cluster.sim().now() + Millis(500));
-
-  std::printf("\nfinal modes: ");
-  for (int i = 0; i < cluster.n(); ++i) {
-    std::printf("%s ", SeeMoReModeName(cluster.seemore(i)->mode()));
-  }
-  Status agreement = cluster.CheckAgreement();
   std::printf("\nagreement across all replicas and modes: %s\n",
-              agreement.ToString().c_str());
-  return agreement.ok() ? 0 : 1;
+              report.agreement.ToString().c_str());
+  std::printf("convergence after drain: %s\n",
+              report.convergence.ToString().c_str());
+  return report.ok() ? 0 : 1;
 }

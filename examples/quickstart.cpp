@@ -1,5 +1,6 @@
-// Quickstart: bring up a SeeMoRe cluster on the simulated hybrid cloud,
-// write and read a few keys, inspect roles and stats.
+// Quickstart: describe a SeeMoRe deployment as a declarative ScenarioSpec,
+// build the simulated hybrid-cloud cluster from it, write and read a few
+// keys, inspect roles and stats.
 //
 // Topology: the paper's base case (c = m = 1) — a private cloud of 2
 // trusted nodes (at most 1 may crash) renting 4 public nodes (at most 1 may
@@ -7,24 +8,29 @@
 
 #include <cstdio>
 
-#include "harness/cluster.h"
+#include "scenario/builder.h"
+#include "scenario/engine.h"
 
 using namespace seemore;
 
 int main() {
-  // 1. Describe the deployment.
-  ClusterOptions options;
-  options.config.kind = ProtocolKind::kSeeMoRe;
-  options.config.s = 2;  // private (trusted) nodes
-  options.config.p = 4;  // rented public nodes
-  options.config.c = 1;  // crash budget, private cloud
-  options.config.m = 1;  // Byzantine budget, public cloud
-  options.config.initial_mode = SeeMoReMode::kLion;
-  options.seed = 2024;
+  // 1. Describe the deployment. The same spec could be written as JSON and
+  //    run with `seemore_ctl --scenario=...` (see examples/README.md).
+  scenario::ScenarioBuilder builder;
+  builder.Name("quickstart")
+      .SeeMoRe(SeeMoReMode::kLion, /*c=*/1, /*m=*/1)
+      .CloudSizes(/*s=*/2, /*p=*/4)
+      .Seed(2024);
 
-  // 2. Build the cluster: simulator + network + 6 replicas, each running a
-  //    replicated key-value store.
-  Cluster cluster(options);
+  // 2. Build the cluster from the spec: simulator + network + 6 replicas,
+  //    each running a replicated key-value store.
+  Result<std::unique_ptr<Cluster>> made =
+      scenario::MakeCluster(builder.spec());
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 2;
+  }
+  Cluster& cluster = **made;
   std::printf("cluster: %s\n", cluster.config().ToString().c_str());
   for (int i = 0; i < cluster.n(); ++i) {
     std::printf("  replica %d: %s cloud%s\n", i,

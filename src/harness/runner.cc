@@ -7,14 +7,28 @@
 namespace seemore {
 
 std::string RunResult::ToString() const {
-  char buf[200];
+  char buf[220];
   std::snprintf(buf, sizeof(buf),
-                "clients=%-4d thrpt=%7.2f kreq/s  lat(mean/p50/p99)="
-                "%6.2f/%6.2f/%6.2f ms  completed=%llu retx=%llu",
+                "clients=%-4d thrpt=%7.2f kreq/s  lat(mean/p50/p90/p99)="
+                "%6.2f/%6.2f/%6.2f/%6.2f ms  completed=%llu retx=%llu",
                 clients, throughput_kreqs, mean_latency_ms, p50_latency_ms,
-                p99_latency_ms, static_cast<unsigned long long>(completed),
+                p90_latency_ms, p99_latency_ms,
+                static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(retransmissions));
   return buf;
+}
+
+Json RunResult::ToJson() const {
+  Json j = Json::Object();
+  j.Set("clients", clients);
+  j.Set("throughput_kreqs", throughput_kreqs);
+  j.Set("mean_latency_ms", mean_latency_ms);
+  j.Set("p50_latency_ms", p50_latency_ms);
+  j.Set("p90_latency_ms", p90_latency_ms);
+  j.Set("p99_latency_ms", p99_latency_ms);
+  j.Set("completed", completed);
+  j.Set("retransmissions", retransmissions);
+  return j;
 }
 
 OpFactory EchoWorkload(uint32_t request_kb, uint32_t reply_kb) {
@@ -71,6 +85,8 @@ RunResult RunClosedLoop(Cluster& cluster, int num_clients, OpFactory ops,
   result.mean_latency_ms = merged.Mean() / static_cast<double>(kNanosPerMilli);
   result.p50_latency_ms =
       merged.Percentile(50.0) / static_cast<double>(kNanosPerMilli);
+  result.p90_latency_ms =
+      merged.Percentile(90.0) / static_cast<double>(kNanosPerMilli);
   result.p99_latency_ms =
       merged.Percentile(99.0) / static_cast<double>(kNanosPerMilli);
   return result;

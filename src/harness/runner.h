@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/cluster.h"
+#include "util/json.h"
 
 namespace seemore {
 
@@ -19,10 +20,14 @@ struct RunResult {
   double throughput_kreqs = 0.0;  // thousands of requests per second
   double mean_latency_ms = 0.0;
   double p50_latency_ms = 0.0;
+  double p90_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   uint64_t retransmissions = 0;
 
   std::string ToString() const;
+  /// Machine-readable image; the single emission path for bench JSON
+  /// (bench_common.h BenchResultsJson) and scenario reports.
+  Json ToJson() const;
 };
 
 /// Operation factory: n-th op issued by a client.

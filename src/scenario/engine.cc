@@ -1,0 +1,353 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "smr/ledger.h"
+
+namespace seemore {
+namespace scenario {
+namespace {
+
+/// The primary at this moment, from the first live replica's point of view
+/// (replicas can disagree mid view change; any live vantage is fine for
+/// fault injection). -1 when everything is down.
+int ResolvePrimary(Cluster& cluster) {
+  const ClusterConfig& config = cluster.config();
+  for (int i = 0; i < cluster.n(); ++i) {
+    if (cluster.replica(i)->crashed()) continue;
+    switch (config.kind) {
+      case ProtocolKind::kSeeMoRe:
+        return cluster.seemore(i)->current_primary();
+      case ProtocolKind::kCft:
+        return config.FlatPrimary(cluster.paxos(i)->view());
+      case ProtocolKind::kBft:
+      case ProtocolKind::kSUpRight:
+        return config.FlatPrimary(cluster.pbft(i)->view());
+    }
+  }
+  return -1;
+}
+
+/// Mutable state the schedule executor threads through event application.
+struct ScheduleState {
+  /// Links cut by kPartitionClouds, so kHealClouds restores exactly those
+  /// (and not e.g. links detached by crashes).
+  std::vector<std::pair<PrincipalId, PrincipalId>> cut_links;
+  /// Replicas given non-zero Byzantine flags (excluded from convergence).
+  std::set<int> byzantine;
+};
+
+/// Apply one schedule event. Returns the event outcome (the switch request
+/// status for kSwitch; Ok otherwise) and a human-readable description.
+Status ApplyEvent(Cluster& cluster, const ScenarioEvent& event,
+                  ScheduleState& state, std::string& description) {
+  description = event.ToString();
+  switch (event.kind) {
+    case EventKind::kCrash:
+      cluster.Crash(event.replica);
+      return Status::Ok();
+    case EventKind::kRecover:
+      cluster.Recover(event.replica);
+      return Status::Ok();
+    case EventKind::kByzantine:
+      cluster.SetByzantine(event.replica, event.byz_flags);
+      if (event.byz_flags != kByzNone) state.byzantine.insert(event.replica);
+      return Status::Ok();
+    case EventKind::kCrashPrimary: {
+      const int primary = ResolvePrimary(cluster);
+      if (primary < 0) {
+        description += " (skipped: no live replica)";
+        return Status::Ok();
+      }
+      description += " (replica " + std::to_string(primary) + ")";
+      cluster.Crash(primary);
+      return Status::Ok();
+    }
+    case EventKind::kSwitch: {
+      Status status = RequestSwitch(cluster, event.target_mode);
+      description += ": " + status.ToString();
+      return status;
+    }
+    case EventKind::kPartitionClouds: {
+      for (PrincipalId a : cluster.config().PrivateReplicas()) {
+        for (PrincipalId b : cluster.config().PublicReplicas()) {
+          cluster.net().SetLinkUp(a, b, false);
+          state.cut_links.emplace_back(a, b);
+        }
+      }
+      return Status::Ok();
+    }
+    case EventKind::kHealClouds: {
+      for (const auto& [a, b] : state.cut_links) {
+        cluster.net().SetLinkUp(a, b, true);
+      }
+      state.cut_links.clear();
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Json ReplicaReport::ToJson() const {
+  Json j = Json::Object();
+  j.Set("id", id);
+  j.Set("trusted", trusted);
+  j.Set("crashed", crashed);
+  j.Set("requests_executed", requests_executed);
+  j.Set("batches_committed", batches_committed);
+  j.Set("view_changes_completed", view_changes_completed);
+  j.Set("messages_handled", messages_handled);
+  j.Set("cpu_busy_ms", cpu_busy_ms);
+  return j;
+}
+
+Json ScenarioReport::ToJson() const {
+  Json j = Json::Object();
+  j.Set("scenario", scenario);
+  j.Set("seed", seed);
+  j.Set("cluster", cluster);
+  j.Set("result", result.ToJson());
+  Json applied = Json::Array();
+  for (const AppliedEvent& event : events) {
+    Json e = Json::Object();
+    e.Set("at_ms", ToMillis(event.at));
+    e.Set("description", event.description);
+    applied.Append(std::move(e));
+  }
+  j.Set("events", std::move(applied));
+  Json reps = Json::Array();
+  for (const ReplicaReport& replica : replicas) {
+    reps.Append(replica.ToJson());
+  }
+  j.Set("replicas", std::move(reps));
+  Json network = Json::Object();
+  network.Set("messages", net.messages);
+  network.Set("bytes", net.bytes);
+  network.Set("wire_bytes", net.wire_bytes);
+  network.Set("replica_to_replica_messages", net.replica_to_replica_messages);
+  network.Set("replica_to_replica_bytes", net.replica_to_replica_bytes);
+  network.Set("replica_to_replica_wire_bytes",
+              net.replica_to_replica_wire_bytes);
+  network.Set("dropped", net.dropped);
+  j.Set("network", std::move(network));
+  j.Set("total_cpu_busy_ms", total_cpu_busy_ms);
+  j.Set("total_executed", total_executed);
+  j.Set("end_time_ms", ToMillis(end_time));
+  if (!timeline.buckets.empty()) {
+    Json t = Json::Object();
+    t.Set("bucket_ms", ToMillis(timeline.bucket_width));
+    Json kreqs = Json::Array();
+    for (size_t b = 0; b < timeline.buckets.size(); ++b) {
+      kreqs.Append(timeline.KreqsAt(b));
+    }
+    t.Set("kreqs", std::move(kreqs));
+    j.Set("timeline", std::move(t));
+  }
+  j.Set("agreement", agreement.ToString());
+  j.Set("convergence_checked", convergence_checked);
+  j.Set("convergence", convergence.ToString());
+  j.Set("ok", ok());
+  return j;
+}
+
+ClusterOptions ToClusterOptions(const ScenarioSpec& spec) {
+  ClusterOptions options;
+  options.config = spec.ResolvedConfig();
+  options.net = spec.net;
+  options.costs = spec.costs;
+  options.seed = spec.seed;
+  options.client_retransmit_timeout = spec.client_retransmit_timeout;
+  if (spec.state_machine == StateMachineKind::kLedger) {
+    options.state_machine_factory = [] {
+      return std::make_unique<LedgerStateMachine>();
+    };
+  }
+  return options;
+}
+
+OpFactory MakeWorkload(const ScenarioSpec& spec) {
+  if (spec.workload.kind == WorkloadKind::kKv) {
+    return KvWorkload(spec.seed * 13 + 7, spec.workload.keys,
+                      spec.workload.put_fraction);
+  }
+  return EchoWorkload(spec.workload.request_kb, spec.workload.reply_kb);
+}
+
+Result<std::unique_ptr<Cluster>> MakeCluster(const ScenarioSpec& spec) {
+  SEEMORE_RETURN_IF_ERROR(spec.Validate());
+  return std::make_unique<Cluster>(ToClusterOptions(spec));
+}
+
+Status RequestSwitch(Cluster& cluster, SeeMoReMode target) {
+  SeeMoReReplica* any = nullptr;
+  for (int i = 0; i < cluster.n(); ++i) {
+    if (!cluster.replica(i)->crashed()) {
+      any = cluster.seemore(i);
+      break;
+    }
+  }
+  if (any == nullptr) return Status::Unavailable("all replicas crashed");
+  // The switch must be requested on the new view's trusted authority; if
+  // that node is crashed, aim one view further (the view change would skip
+  // the dead primary anyway).
+  for (uint64_t ahead = 1;
+       ahead <= static_cast<uint64_t>(cluster.config().s); ++ahead) {
+    const PrincipalId authority =
+        any->SwitchAuthority(target, any->view() + ahead);
+    if (cluster.replica(authority)->crashed()) continue;
+    return cluster.seemore(authority)->RequestModeSwitch(target);
+  }
+  return Status::Unavailable("no live switch authority");
+}
+
+Result<ScenarioReport> RunScenario(const ScenarioSpec& spec) {
+  return RunScenario(spec, ScenarioHooks{});
+}
+
+Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
+                                   const ScenarioHooks& hooks) {
+  SEEMORE_RETURN_IF_ERROR(spec.Validate());
+  Cluster cluster(ToClusterOptions(spec));
+
+  ScenarioReport report;
+  report.scenario = spec.name;
+  report.seed = spec.seed;
+  report.cluster = cluster.config().ToString();
+  report.timeline.bucket_width = spec.plan.timeline_bucket;
+
+  if (hooks.on_start) hooks.on_start(cluster);
+
+  const bool record_completions = spec.plan.timeline || hooks.on_complete;
+  const OpFactory ops = spec.clients > 0 ? MakeWorkload(spec) : OpFactory();
+  for (int i = 0; i < spec.clients; ++i) {
+    SimClient* client = cluster.AddClient();
+    if (record_completions) {
+      ThroughputTimeline* timeline =
+          spec.plan.timeline ? &report.timeline : nullptr;
+      client->on_complete = [timeline, on_complete = hooks.on_complete](
+                                SimTime when, SimTime latency) {
+        if (timeline != nullptr) timeline->Record(when);
+        if (on_complete) on_complete(when, latency);
+      };
+    }
+    client->Start(ops);
+  }
+
+  // One sorted agenda: schedule events plus the two measurement boundaries.
+  // Boundaries sort before events at the same instant; events keep their
+  // spec order among themselves (stable sort).
+  constexpr int kWarmupEnd = -1;
+  constexpr int kMeasureEnd = -2;
+  struct Step {
+    SimTime at;
+    int what;  // kWarmupEnd, kMeasureEnd, or an index into spec.schedule
+  };
+  std::vector<Step> agenda;
+  agenda.push_back({spec.plan.warmup, kWarmupEnd});
+  agenda.push_back({spec.plan.warmup + spec.plan.measure, kMeasureEnd});
+  for (size_t i = 0; i < spec.schedule.size(); ++i) {
+    agenda.push_back({spec.schedule[i].at, static_cast<int>(i)});
+  }
+  std::stable_sort(agenda.begin(), agenda.end(),
+                   [](const Step& a, const Step& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.what < b.what;  // boundaries (negative) first
+                   });
+
+  ScheduleState state;
+  for (const Step& step : agenda) {
+    if (step.at > cluster.sim().now()) cluster.sim().RunUntil(step.at);
+    if (step.what == kWarmupEnd) {
+      for (int i = 0; i < cluster.num_clients(); ++i) {
+        cluster.client(i)->ResetStats();
+      }
+      cluster.net().ResetCounters();
+      continue;
+    }
+    if (step.what == kMeasureEnd) {
+      // Hook-added clients (example tellers etc.) are part of the measured
+      // population, so count what actually exists.
+      report.result.clients = cluster.num_clients();
+      Histogram merged;
+      for (int i = 0; i < cluster.num_clients(); ++i) {
+        SimClient* client = cluster.client(i);
+        report.result.completed += client->completed();
+        report.result.retransmissions += client->retransmissions();
+        merged.Merge(client->latencies());
+        client->Stop();
+      }
+      const double seconds = static_cast<double>(spec.plan.measure) /
+                             static_cast<double>(kNanosPerSecond);
+      report.result.throughput_kreqs =
+          static_cast<double>(report.result.completed) / seconds / 1000.0;
+      const double to_ms = static_cast<double>(kNanosPerMilli);
+      report.result.mean_latency_ms = merged.Mean() / to_ms;
+      report.result.p50_latency_ms = merged.Percentile(50.0) / to_ms;
+      report.result.p90_latency_ms = merged.Percentile(90.0) / to_ms;
+      report.result.p99_latency_ms = merged.Percentile(99.0) / to_ms;
+      continue;
+    }
+    const ScenarioEvent& event = spec.schedule[static_cast<size_t>(step.what)];
+    std::string description;
+    Status outcome = ApplyEvent(cluster, event, state, description);
+    report.events.push_back({event.at, std::move(description)});
+    if (hooks.on_event) hooks.on_event(cluster, event, outcome);
+  }
+
+  if (hooks.on_finish) hooks.on_finish(cluster);
+  if (spec.plan.drain > 0) {
+    cluster.sim().RunUntil(cluster.sim().now() + spec.plan.drain);
+  }
+
+  report.net = cluster.net().counters();
+  for (int i = 0; i < cluster.n(); ++i) {
+    const ReplicaBase* replica = cluster.replica(i);
+    ReplicaReport r;
+    r.id = i;
+    r.trusted = cluster.config().IsTrusted(i);
+    r.crashed = replica->crashed();
+    r.requests_executed = replica->stats().requests_executed;
+    r.batches_committed = replica->stats().batches_committed;
+    r.view_changes_completed = replica->stats().view_changes_completed;
+    r.messages_handled = replica->stats().messages_handled;
+    r.cpu_busy_ms = ToMillis(cluster.replica(i)->cpu()->total_busy());
+    report.total_cpu_busy_ms += r.cpu_busy_ms;
+    report.replicas.push_back(r);
+  }
+  report.total_executed = cluster.TotalExecuted();
+  report.end_time = cluster.sim().now();
+
+  report.agreement = cluster.CheckAgreement();
+  if (spec.plan.check_convergence) {
+    report.convergence_checked = true;
+    std::vector<int> honest_live;
+    for (int i = 0; i < cluster.n(); ++i) {
+      if (cluster.replica(i)->crashed()) continue;
+      if (state.byzantine.count(i) > 0) continue;
+      honest_live.push_back(i);
+    }
+    report.convergence = cluster.CheckConvergence(honest_live);
+  }
+  return report;
+}
+
+Result<std::vector<ScenarioReport>> RunSweep(const ScenarioSpec& spec) {
+  std::vector<int> counts = spec.plan.sweep_clients;
+  if (counts.empty()) counts.push_back(spec.clients);
+  std::vector<ScenarioReport> reports;
+  reports.reserve(counts.size());
+  for (int count : counts) {
+    ScenarioSpec point = spec;
+    point.clients = count;
+    point.plan.sweep_clients.clear();
+    SEEMORE_ASSIGN_OR_RETURN(ScenarioReport report, RunScenario(point));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace scenario
+}  // namespace seemore

@@ -1,0 +1,130 @@
+// The one place that turns a declarative ScenarioSpec into a running
+// cluster: builds the simulator/network/replicas/clients, executes the
+// fault/switch/partition schedule interleaved with the measurement plan,
+// and returns a structured ScenarioReport (RunResult + timeline + network
+// counters + CPU totals + agreement/convergence verdicts).
+//
+// Lifecycle of RunScenario (all in virtual time):
+//   build cluster -> hooks.on_start -> start closed-loop clients ->
+//   [schedule events + warmup boundary + measure boundary, in time order]
+//   -> stop clients -> hooks.on_finish -> drain -> invariant checks.
+// Client stats and network counters reset at the warmup boundary, so the
+// report covers exactly the measure window.
+
+#ifndef SEEMORE_SCENARIO_ENGINE_H_
+#define SEEMORE_SCENARIO_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/runner.h"
+#include "scenario/spec.h"
+
+namespace seemore {
+namespace scenario {
+
+/// Per-replica end-of-run counters.
+struct ReplicaReport {
+  int id = 0;
+  bool trusted = false;
+  bool crashed = false;
+  uint64_t requests_executed = 0;
+  uint64_t batches_committed = 0;
+  uint64_t view_changes_completed = 0;
+  uint64_t messages_handled = 0;
+  double cpu_busy_ms = 0.0;
+
+  Json ToJson() const;
+};
+
+/// One schedule step as actually applied (switches record the authority's
+/// answer; "skipped" events — e.g. a switch with no live authority — say so).
+struct AppliedEvent {
+  SimTime at = 0;
+  std::string description;
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  uint64_t seed = 0;
+  std::string cluster;  // resolved ClusterConfig::ToString()
+
+  /// Measurement over the measure window, aggregated across every client
+  /// on the cluster — the spec's closed-loop clients plus any added by
+  /// hooks. All-zero when no client existed.
+  RunResult result;
+  /// Filled when plan.timeline; covers the whole run, not just the measure
+  /// window (Figure 4 wants the dip visible from t=0).
+  ThroughputTimeline timeline;
+
+  std::vector<ReplicaReport> replicas;
+  /// Network counters over the measure window (reset at warmup end).
+  NetCounters net;
+  double total_cpu_busy_ms = 0.0;
+  uint64_t total_executed = 0;
+  SimTime end_time = 0;
+
+  std::vector<AppliedEvent> events;
+
+  Status agreement;
+  bool convergence_checked = false;
+  Status convergence;
+
+  /// All requested invariants hold.
+  bool ok() const {
+    return agreement.ok() && (!convergence_checked || convergence.ok());
+  }
+
+  Json ToJson() const;
+};
+
+/// Optional embedder callbacks for consumers (examples, benches) that
+/// interleave custom logic with the standard lifecycle. All run inline on
+/// simulator time; hooks may submit client ops, read stats, or schedule
+/// their own simulator events.
+struct ScenarioHooks {
+  /// After the cluster is built, before the spec's clients start.
+  std::function<void(Cluster&)> on_start;
+  /// After each schedule event is applied (status is the switch outcome for
+  /// kSwitch, Ok otherwise).
+  std::function<void(Cluster&, const ScenarioEvent&, const Status&)> on_event;
+  /// Every client completion: (completion time, end-to-end latency).
+  std::function<void(SimTime, SimTime)> on_complete;
+  /// After clients stop, before the drain and the invariant checks.
+  std::function<void(Cluster&)> on_finish;
+};
+
+/// Translate a (valid) spec into ClusterOptions — the only ClusterOptions
+/// assembly point outside unit tests.
+ClusterOptions ToClusterOptions(const ScenarioSpec& spec);
+
+/// The spec's client op factory.
+OpFactory MakeWorkload(const ScenarioSpec& spec);
+
+/// Validate the spec and build an idle cluster from it, for embedders that
+/// drive everything themselves (e.g. the Table 1 message-count bench).
+Result<std::unique_ptr<Cluster>> MakeCluster(const ScenarioSpec& spec);
+
+/// Run the full scenario lifecycle. Fails fast on an invalid spec; an
+/// invariant violation is NOT an error (inspect report.ok()).
+Result<ScenarioReport> RunScenario(const ScenarioSpec& spec);
+Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
+                                   const ScenarioHooks& hooks);
+
+/// One report per plan.sweep_clients entry (or a single report at
+/// spec.clients when the sweep is empty), each from a fresh cluster — one
+/// throughput/latency curve of Figure 2/3.
+Result<std::vector<ScenarioReport>> RunSweep(const ScenarioSpec& spec);
+
+/// Request a live mode switch the way the paper does (§5.4): on the trusted
+/// authority of the next view, skipping crashed authorities up to S views
+/// ahead. Shared by the engine and embedders that switch outside a schedule.
+Status RequestSwitch(Cluster& cluster, SeeMoReMode target);
+
+}  // namespace scenario
+}  // namespace seemore
+
+#endif  // SEEMORE_SCENARIO_ENGINE_H_

@@ -1,0 +1,209 @@
+#include "scenario/names.h"
+
+#include "consensus/replica_base.h"
+#include "util/flags.h"
+
+namespace seemore {
+namespace scenario {
+
+const char* ProtocolKindToken(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kSeeMoRe:
+      return "seemore";
+    case ProtocolKind::kCft:
+      return "cft";
+    case ProtocolKind::kBft:
+      return "bft";
+    case ProtocolKind::kSUpRight:
+      return "supright";
+  }
+  return "?";
+}
+
+Result<ProtocolKind> ProtocolKindFromToken(const std::string& token) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    if (token == ProtocolKindToken(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      "unknown protocol: \"" + token +
+      "\" (expected seemore | cft | bft | supright)");
+}
+
+const std::vector<ProtocolKind>& AllProtocolKinds() {
+  static const std::vector<ProtocolKind> kAll = {
+      ProtocolKind::kSeeMoRe, ProtocolKind::kCft, ProtocolKind::kBft,
+      ProtocolKind::kSUpRight};
+  return kAll;
+}
+
+const char* SeeMoReModeToken(SeeMoReMode mode) {
+  switch (mode) {
+    case SeeMoReMode::kLion:
+      return "lion";
+    case SeeMoReMode::kDog:
+      return "dog";
+    case SeeMoReMode::kPeacock:
+      return "peacock";
+  }
+  return "?";
+}
+
+Result<SeeMoReMode> SeeMoReModeFromToken(const std::string& token) {
+  for (SeeMoReMode mode : AllSeeMoReModes()) {
+    if (token == SeeMoReModeToken(mode)) return mode;
+  }
+  return Status::InvalidArgument("unknown mode: \"" + token +
+                                 "\" (expected lion | dog | peacock)");
+}
+
+const std::vector<SeeMoReMode>& AllSeeMoReModes() {
+  static const std::vector<SeeMoReMode> kAll = {
+      SeeMoReMode::kLion, SeeMoReMode::kDog, SeeMoReMode::kPeacock};
+  return kAll;
+}
+
+namespace {
+
+const char* ByzBitToken(uint32_t bit) {
+  switch (bit) {
+    case kByzSilent:
+      return "silent";
+    case kByzEquivocate:
+      return "equivocate";
+    case kByzWrongVotes:
+      return "wrongvotes";
+    case kByzLieToClients:
+      return "lie";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ByzFlagsToken(uint32_t flags) {
+  if (flags == kByzNone) return "none";
+  std::string token;
+  for (uint32_t bit : AllByzFlagBits()) {
+    if ((flags & bit) == 0) continue;
+    if (!token.empty()) token += '+';
+    token += ByzBitToken(bit);
+  }
+  return token;
+}
+
+Result<uint32_t> ByzFlagsFromToken(const std::string& token) {
+  if (token == "none" || token.empty()) return kByzNone;
+  uint32_t flags = 0;
+  for (const std::string& part : SplitString(token, '+')) {
+    bool matched = false;
+    for (uint32_t bit : AllByzFlagBits()) {
+      if (part == ByzBitToken(bit)) {
+        flags |= bit;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Status::InvalidArgument(
+          "unknown byzantine behaviour: \"" + part +
+          "\" (expected silent | equivocate | wrongvotes | lie)");
+    }
+  }
+  return flags;
+}
+
+const std::vector<uint32_t>& AllByzFlagBits() {
+  static const std::vector<uint32_t> kAll = {kByzSilent, kByzEquivocate,
+                                             kByzWrongVotes, kByzLieToClients};
+  return kAll;
+}
+
+const char* WorkloadKindToken(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kEcho:
+      return "echo";
+    case WorkloadKind::kKv:
+      return "kv";
+  }
+  return "?";
+}
+
+Result<WorkloadKind> WorkloadKindFromToken(const std::string& token) {
+  for (WorkloadKind kind : AllWorkloadKinds()) {
+    if (token == WorkloadKindToken(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown workload: \"" + token +
+                                 "\" (expected echo | kv)");
+}
+
+const std::vector<WorkloadKind>& AllWorkloadKinds() {
+  static const std::vector<WorkloadKind> kAll = {WorkloadKind::kEcho,
+                                                 WorkloadKind::kKv};
+  return kAll;
+}
+
+const char* StateMachineKindToken(StateMachineKind kind) {
+  switch (kind) {
+    case StateMachineKind::kKvStore:
+      return "kv";
+    case StateMachineKind::kLedger:
+      return "ledger";
+  }
+  return "?";
+}
+
+Result<StateMachineKind> StateMachineKindFromToken(const std::string& token) {
+  for (StateMachineKind kind : AllStateMachineKinds()) {
+    if (token == StateMachineKindToken(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown state machine: \"" + token +
+                                 "\" (expected kv | ledger)");
+}
+
+const std::vector<StateMachineKind>& AllStateMachineKinds() {
+  static const std::vector<StateMachineKind> kAll = {StateMachineKind::kKvStore,
+                                                     StateMachineKind::kLedger};
+  return kAll;
+}
+
+const char* EventKindToken(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRecover:
+      return "recover";
+    case EventKind::kByzantine:
+      return "byzantine";
+    case EventKind::kSwitch:
+      return "switch";
+    case EventKind::kCrashPrimary:
+      return "crash-primary";
+    case EventKind::kPartitionClouds:
+      return "partition-clouds";
+    case EventKind::kHealClouds:
+      return "heal-clouds";
+  }
+  return "?";
+}
+
+Result<EventKind> EventKindFromToken(const std::string& token) {
+  for (EventKind kind : AllEventKinds()) {
+    if (token == EventKindToken(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      "unknown event kind: \"" + token +
+      "\" (expected crash | recover | byzantine | switch | crash-primary | "
+      "partition-clouds | heal-clouds)");
+}
+
+const std::vector<EventKind>& AllEventKinds() {
+  static const std::vector<EventKind> kAll = {
+      EventKind::kCrash,        EventKind::kRecover,
+      EventKind::kByzantine,    EventKind::kSwitch,
+      EventKind::kCrashPrimary, EventKind::kPartitionClouds,
+      EventKind::kHealClouds};
+  return kAll;
+}
+
+}  // namespace scenario
+}  // namespace seemore

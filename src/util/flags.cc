@@ -11,6 +11,13 @@ void FlagSet::AddString(const std::string& name,
   flags_[name] = Flag{Type::kString, help, default_value, default_value};
 }
 
+void FlagSet::AddRepeatedString(const std::string& name,
+                                const std::string& default_value,
+                                const std::string& help) {
+  AddString(name, default_value, help);
+  flags_[name].repeated = true;
+}
+
 void FlagSet::AddInt(const std::string& name, int64_t default_value,
                      const std::string& help) {
   order_.push_back(name);
@@ -75,7 +82,14 @@ Status FlagSet::SetValue(const std::string& name, const std::string& value) {
     case Type::kString:
       break;
   }
-  flag.value = value;
+  if (flag.repeated && flag.set) {
+    // Accumulate; an empty occurrence adds nothing (and never clobbers).
+    if (!value.empty()) {
+      flag.value = flag.value.empty() ? value : flag.value + ',' + value;
+    }
+  } else {
+    flag.value = value;
+  }
   flag.set = true;
   return Status::Ok();
 }

@@ -22,6 +22,11 @@ class FlagSet {
   /// Register flags (order defines usage listing).
   void AddString(const std::string& name, const std::string& default_value,
                  const std::string& help);
+  /// A string flag that may be passed multiple times; occurrences join with
+  /// ',' (so --x=a --x=b equals --x=a,b). Used by schedule flags.
+  void AddRepeatedString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
   void AddInt(const std::string& name, int64_t default_value,
               const std::string& help);
   void AddDouble(const std::string& name, double default_value,
@@ -53,6 +58,8 @@ class FlagSet {
     std::string default_value;
     std::string value;
     bool set = false;
+    /// Repeated occurrences accumulate (','-joined) instead of overwriting.
+    bool repeated = false;
   };
 
   Status SetValue(const std::string& name, const std::string& value);

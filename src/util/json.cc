@@ -1,0 +1,574 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace seemore {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Recursive-descent parser over a flat buffer.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWhitespace();
+    Json value;
+    Status status = ParseValue(value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t len = 0;
+    while (literal[len] != '\0') ++len;
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Status ParseValue(Json& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f' || c == 'n') return ParseLiteral(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseLiteral(Json& out) {
+    if (ConsumeLiteral("true")) {
+      out = Json(true);
+      return Status::Ok();
+    }
+    if (ConsumeLiteral("false")) {
+      out = Json(false);
+      return Status::Ok();
+    }
+    if (ConsumeLiteral("null")) {
+      out = Json();
+      return Status::Ok();
+    }
+    return Fail("invalid literal");
+  }
+
+  Status ParseNumber(Json& out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Fail("malformed number");
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == ERANGE || end != token.c_str() + token.size()) {
+        // Out of int64 range: fall back to double (lossy but well-defined).
+        out = Json(std::strtod(token.c_str(), nullptr));
+      } else {
+        out = Json(static_cast<int64_t>(v));
+      }
+    } else {
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+        return Fail("malformed number");
+      }
+      out = Json(v);
+    }
+    return Status::Ok();
+  }
+
+  Status ParseString(Json& out) {
+    std::string value;
+    Status status = ParseRawString(value);
+    if (!status.ok()) return status;
+    out = Json(std::move(value));
+    return Status::Ok();
+  }
+
+  Status ParseRawString(std::string& out) {
+    if (!Consume('"')) return Fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // spec files are ASCII in practice).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseArray(Json& out, int depth) {
+    Consume('[');
+    out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Json element;
+      Status status = ParseValue(element, depth + 1);
+      if (!status.ok()) return status;
+      out.Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json& out, int depth) {
+    Consume('{');
+    out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status status = ParseRawString(key);
+      if (!status.ok()) return status;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      if (out.Has(key)) return Fail("duplicate object key \"" + key + "\"");
+      Json value;
+      status = ParseValue(value, depth + 1);
+      if (!status.ok()) return status;
+      out.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::AsBool() const {
+  assert(is_bool());
+  return bool_;
+}
+
+int64_t Json::AsInt() const {
+  assert(is_int());
+  return int_;
+}
+
+double Json::AsDouble() const {
+  assert(is_number());
+  return is_int() ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Json::AsString() const {
+  assert(is_string());
+  return string_;
+}
+
+void Json::Append(Json value) {
+  assert(is_array());
+  array_.push_back(std::move(value));
+}
+
+size_t Json::size() const { return is_array() ? array_.size() : object_.size(); }
+
+const Json& Json::at(size_t i) const {
+  assert(is_array() && i < array_.size());
+  return array_[i];
+}
+
+void Json::Set(const std::string& key, Json value) {
+  assert(is_object());
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(indent) * (depth + 1), ' ') : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent) * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      char buf[48];
+      // %.17g round-trips any double; trim to %g when lossless for brevity.
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      if (std::strtod(buf, nullptr) != double_) {
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      }
+      out += buf;
+      // Keep a marker so the value re-parses as a double, not an int.
+      bool marked = false;
+      for (const char* p = buf; *p != '\0'; ++p) {
+        if (*p == '.' || *p == 'e' || *p == 'E') {
+          marked = true;
+          break;
+        }
+      }
+      if (!marked) out += ".0";
+      break;
+    }
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += nl;
+        out += pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += "]";
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += nl;
+        out += pad;
+        AppendEscaped(out, object_[i].first);
+        out += colon;
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += "}";
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kInt:
+      return int_ == other.int_;
+    case Type::kDouble:
+      return double_ == other.double_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+const Json* JsonObjectReader::Get(const std::string& key) {
+  consumed_.push_back(key);
+  return json_.Find(key);
+}
+
+Status JsonObjectReader::ReadInt(const std::string& key, int64_t* out) {
+  const Json* field = Get(key);
+  if (field == nullptr) return Status::Ok();
+  if (!field->is_int()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be an integer");
+  }
+  *out = field->AsInt();
+  return Status::Ok();
+}
+
+Status JsonObjectReader::ReadInt(const std::string& key, int* out) {
+  int64_t wide = *out;
+  SEEMORE_RETURN_IF_ERROR(ReadInt(key, &wide));
+  if (wide < std::numeric_limits<int>::min() ||
+      wide > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("field \"" + key +
+                                   "\" out of int range: " +
+                                   std::to_string(wide));
+  }
+  *out = static_cast<int>(wide);
+  return Status::Ok();
+}
+
+Status JsonObjectReader::ReadUint64(const std::string& key, uint64_t* out) {
+  const Json* field = Get(key);
+  if (field == nullptr) return Status::Ok();
+  if (!field->is_int() || field->AsInt() < 0) {
+    return Status::InvalidArgument("field \"" + key +
+                                   "\" must be a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(field->AsInt());
+  return Status::Ok();
+}
+
+Status JsonObjectReader::ReadUint32(const std::string& key, uint32_t* out) {
+  int64_t wide = *out;
+  SEEMORE_RETURN_IF_ERROR(ReadInt(key, &wide));
+  if (wide < 0 || wide > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("field \"" + key +
+                                   "\" out of uint32 range: " +
+                                   std::to_string(wide));
+  }
+  *out = static_cast<uint32_t>(wide);
+  return Status::Ok();
+}
+
+Status JsonObjectReader::ReadDouble(const std::string& key, double* out) {
+  const Json* field = Get(key);
+  if (field == nullptr) return Status::Ok();
+  if (!field->is_number()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a number");
+  }
+  *out = field->AsDouble();
+  return Status::Ok();
+}
+
+Status JsonObjectReader::ReadBool(const std::string& key, bool* out) {
+  const Json* field = Get(key);
+  if (field == nullptr) return Status::Ok();
+  if (!field->is_bool()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a boolean");
+  }
+  *out = field->AsBool();
+  return Status::Ok();
+}
+
+Status JsonObjectReader::ReadString(const std::string& key, std::string* out) {
+  const Json* field = Get(key);
+  if (field == nullptr) return Status::Ok();
+  if (!field->is_string()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a string");
+  }
+  *out = field->AsString();
+  return Status::Ok();
+}
+
+Status JsonObjectReader::Finish(const std::string& where) const {
+  if (!json_.is_object()) {
+    return Status::InvalidArgument(where + " must be a JSON object");
+  }
+  for (const auto& [key, value] : json_.members()) {
+    bool known = false;
+    for (const std::string& c : consumed_) {
+      if (c == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown field \"" + key + "\" in " +
+                                     where);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace seemore

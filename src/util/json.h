@@ -1,0 +1,141 @@
+// Minimal JSON value type, parser and printer (no external deps), in the
+// spirit of the status/flags helpers: exception-free, Result-returning.
+//
+// Design points that matter to callers:
+//   - Objects preserve insertion order, so dumps are deterministic and
+//     spec round-trips are reproducible byte-for-byte.
+//   - Integers are kept as int64 (not coerced to double) so ids, seeds and
+//     nanosecond times survive a round trip exactly.
+//   - Parse rejects trailing garbage, duplicate keys and over-deep nesting;
+//     it is meant for config/spec files, not adversarial input at scale.
+
+#ifndef SEEMORE_UTIL_JSON_H_
+#define SEEMORE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace seemore {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  Json(int v) : type_(Type::kInt), int_(v) {}                    // NOLINT
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}                // NOLINT
+  Json(uint64_t v) : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}  // NOLINT
+  Json(double v) : type_(Type::kDouble), double_(v) {}           // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}      // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors. Calling the wrong one is a programming error (checked
+  /// in debug builds); use the is_*() predicates or the typed Get* helpers.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  /// Numeric value as double (works for both kInt and kDouble).
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// --- array -------------------------------------------------------------
+  void Append(Json value);
+  size_t size() const;
+  const Json& at(size_t i) const;
+  const std::vector<Json>& items() const { return array_; }
+
+  /// --- object ------------------------------------------------------------
+  /// Set `key` (replacing an existing entry in place, else appending).
+  void Set(const std::string& key, Json value);
+  /// nullptr when absent (or not an object).
+  const Json* Find(const std::string& key) const;
+  Json* Find(const std::string& key) {
+    return const_cast<Json*>(static_cast<const Json*>(this)->Find(key));
+  }
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  /// --- serialization -----------------------------------------------------
+  /// Compact when indent < 0, else pretty-printed with `indent` spaces per
+  /// level. Doubles render with enough digits to round-trip.
+  std::string Dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (trailing non-whitespace rejected).
+  static Result<Json> Parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Helper for strict decoding: hands out fields of one object and remembers
+/// which keys were touched, so Finish() can reject unknown fields — the
+/// scenario codec uses this to catch typos in hand-written spec files.
+class JsonObjectReader {
+ public:
+  explicit JsonObjectReader(const Json& json) : json_(json) {}
+
+  /// Was the wrapped value actually an object?
+  bool valid() const { return json_.is_object(); }
+
+  /// The field, or nullptr if absent. Marks the key as consumed.
+  const Json* Get(const std::string& key);
+
+  /// Typed field accessors: absent keys leave `out` untouched and return Ok;
+  /// present-but-wrong-type fails. `where` names the object for messages.
+  Status ReadInt(const std::string& key, int64_t* out);
+  Status ReadInt(const std::string& key, int* out);
+  Status ReadUint64(const std::string& key, uint64_t* out);
+  Status ReadUint32(const std::string& key, uint32_t* out);
+  Status ReadDouble(const std::string& key, double* out);
+  Status ReadBool(const std::string& key, bool* out);
+  Status ReadString(const std::string& key, std::string* out);
+
+  /// Error unless every key of the object was consumed.
+  Status Finish(const std::string& where) const;
+
+ private:
+  const Json& json_;
+  std::vector<std::string> consumed_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_UTIL_JSON_H_

@@ -1,0 +1,142 @@
+// util/json.h: value semantics, parse/dump round trips, strict decoding.
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace seemore {
+namespace {
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(int64_t{-42}).Dump(), "-42");
+  EXPECT_EQ(Json("hi \"there\"\n").Dump(), "\"hi \\\"there\\\"\\n\"");
+  // Doubles keep a marker so they re-parse as doubles.
+  EXPECT_EQ(Json(2.0).Dump(), "2.0");
+  EXPECT_EQ(Json(0.25).Dump(), "0.25");
+}
+
+TEST(JsonTest, IntegersSurviveExactly) {
+  const int64_t big = 9007199254740993;  // not representable as double
+  Result<Json> parsed = Json::Parse(Json(big).Dump());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->is_int());
+  EXPECT_EQ(parsed->AsInt(), big);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("zebra", 1);
+  obj.Set("alpha", 2);
+  obj.Set("mid", 3);
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Replacing a key keeps its position.
+  obj.Set("alpha", 9);
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonTest, NestedRoundTrip) {
+  const std::string text =
+      R"({"a": [1, 2.5, "x", null, true], "b": {"c": -3, "d": []}})";
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  Result<Json> reparsed = Json::Parse(parsed->Dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*parsed, *reparsed);
+  EXPECT_EQ(parsed->Find("a")->size(), 5u);
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->at(1).AsDouble(), 2.5);
+  EXPECT_EQ(parsed->Find("b")->Find("c")->AsInt(), -3);
+}
+
+TEST(JsonTest, StringEscapes) {
+  Result<Json> parsed = Json::Parse(R"("a\tb\u0041\\")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\tbA\\");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,\"a\":2}").ok());  // duplicate key
+  EXPECT_FALSE(Json::Parse("{'a':1}").ok());            // wrong quotes
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("1.2.3").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  // Nesting bomb.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonObjectReaderTest, TypedReadsAndDefaults) {
+  Result<Json> parsed =
+      Json::Parse(R"({"count": 7, "rate": 0.5, "name": "x", "on": true})");
+  ASSERT_TRUE(parsed.ok());
+  JsonObjectReader reader(*parsed);
+  int count = 0;
+  double rate = 0.0;
+  std::string name;
+  bool on = false;
+  int64_t absent = 123;
+  EXPECT_TRUE(reader.ReadInt("count", &count).ok());
+  EXPECT_TRUE(reader.ReadDouble("rate", &rate).ok());
+  EXPECT_TRUE(reader.ReadString("name", &name).ok());
+  EXPECT_TRUE(reader.ReadBool("on", &on).ok());
+  EXPECT_TRUE(reader.ReadInt("absent", &absent).ok());
+  EXPECT_EQ(count, 7);
+  EXPECT_DOUBLE_EQ(rate, 0.5);
+  EXPECT_EQ(name, "x");
+  EXPECT_TRUE(on);
+  EXPECT_EQ(absent, 123);  // untouched
+  EXPECT_TRUE(reader.Finish("test").ok());
+}
+
+TEST(JsonObjectReaderTest, RejectsOutOfRangeNarrowingReads) {
+  Result<Json> parsed = Json::Parse(
+      R"({"big": 4294967312, "neg": -1, "huge": 9223372036854775807})");
+  ASSERT_TRUE(parsed.ok());
+  {
+    JsonObjectReader reader(*parsed);
+    int out = 7;
+    EXPECT_FALSE(reader.ReadInt("big", &out).ok());
+    EXPECT_EQ(out, 7);  // untouched on failure
+  }
+  {
+    JsonObjectReader reader(*parsed);
+    uint32_t out = 7;
+    EXPECT_FALSE(reader.ReadUint32("big", &out).ok());
+    EXPECT_FALSE(reader.ReadUint32("neg", &out).ok());
+  }
+  {
+    JsonObjectReader reader(*parsed);
+    uint64_t out = 7;
+    EXPECT_FALSE(reader.ReadUint64("neg", &out).ok());
+    EXPECT_TRUE(reader.ReadUint64("huge", &out).ok());
+    EXPECT_EQ(out, 9223372036854775807ull);
+  }
+}
+
+TEST(JsonObjectReaderTest, RejectsWrongTypesAndUnknownKeys) {
+  Result<Json> parsed = Json::Parse(R"({"count": "seven", "typo": 1})");
+  ASSERT_TRUE(parsed.ok());
+  {
+    JsonObjectReader reader(*parsed);
+    int count = 0;
+    EXPECT_FALSE(reader.ReadInt("count", &count).ok());
+  }
+  {
+    JsonObjectReader reader(*parsed);
+    std::string count;
+    EXPECT_TRUE(reader.ReadString("count", &count).ok());
+    Status finish = reader.Finish("test");
+    EXPECT_FALSE(finish.ok());
+    EXPECT_NE(finish.message().find("typo"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace seemore

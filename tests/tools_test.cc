@@ -74,6 +74,18 @@ TEST(FlagsTest, BoolExplicitFalse) {
   EXPECT_FALSE(flags.GetBool("on"));
 }
 
+TEST(FlagsTest, RepeatedStringAccumulates) {
+  FlagSet flags("test");
+  flags.AddRepeatedString("switch", "", "a schedule");
+  flags.AddString("name", "", "plain string");
+  const char* argv[] = {"prog", "--switch=dog@150", "--switch=peacock@350",
+                        "--name=a", "--name=b"};
+  ASSERT_TRUE(flags.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetString("switch"), "dog@150,peacock@350");
+  // Non-repeated strings keep last-wins semantics.
+  EXPECT_EQ(flags.GetString("name"), "b");
+}
+
 TEST(SplitStringTest, Basics) {
   EXPECT_TRUE(SplitString("", ',').empty());
   EXPECT_EQ(SplitString("a", ','), (std::vector<std::string>{"a"}));

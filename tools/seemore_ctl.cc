@@ -1,59 +1,38 @@
 // seemore_ctl: scriptable scenario driver for the simulated hybrid cloud,
-// in the spirit of RocksDB's db_bench. One invocation builds a cluster of
-// the chosen protocol, drives a workload, injects a fault/mode-switch
-// schedule, and reports throughput, latency, per-replica state and the
-// agreement invariant.
+// in the spirit of RocksDB's db_bench. The tool itself is a thin shell: it
+// translates flags (or a JSON file, or a registry name) into a declarative
+// scenario::ScenarioSpec and hands it to scenario::RunScenario, which owns
+// cluster construction, the fault/switch/partition schedule and reporting.
 //
 // Examples:
 //   seemore_ctl --protocol=seemore --mode=lion --c=1 --m=1 --clients=32
 //   seemore_ctl --protocol=seemore --mode=lion --crash=0@100 --recover=0@400
 //   seemore_ctl --protocol=seemore --switch=dog@150 --switch=peacock@400
 //   seemore_ctl --protocol=bft --f=2 --byzantine=5:wrongvotes@0 --drop=0.02
-//   seemore_ctl --protocol=cft --f=1 --workload=kv --timeline
+//   seemore_ctl --list-scenarios
+//   seemore_ctl --scenario=fig4-primary-crash --quick
+//   seemore_ctl --c=2 --m=1 --dump-spec > my.json; seemore_ctl --scenario=my.json
+//
+// A spec dumped with --dump-spec re-runs via --scenario= to a bit-identical
+// report under the same seed.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "harness/cluster.h"
-#include "harness/runner.h"
+#include "scenario/builder.h"
+#include "scenario/engine.h"
+#include "scenario/registry.h"
 #include "util/flags.h"
 
 namespace seemore {
 namespace {
 
-struct ScheduledEvent {
-  SimTime at = 0;
-  enum Kind { kCrash, kRecover, kByzantine, kSwitch } kind = kCrash;
-  int replica = 0;
-  uint32_t byz_flags = 0;
-  SeeMoReMode target_mode = SeeMoReMode::kLion;
-};
-
-Result<uint32_t> ParseByzFlags(const std::string& spec) {
-  uint32_t flags = 0;
-  for (const std::string& part : SplitString(spec, '+')) {
-    if (part == "silent") {
-      flags |= kByzSilent;
-    } else if (part == "equivocate") {
-      flags |= kByzEquivocate;
-    } else if (part == "wrongvotes") {
-      flags |= kByzWrongVotes;
-    } else if (part == "lie") {
-      flags |= kByzLieToClients;
-    } else {
-      return Status::InvalidArgument("unknown byzantine behaviour: " + part);
-    }
-  }
-  return flags;
-}
-
-Result<SeeMoReMode> ParseMode(const std::string& name) {
-  if (name == "lion") return SeeMoReMode::kLion;
-  if (name == "dog") return SeeMoReMode::kDog;
-  if (name == "peacock") return SeeMoReMode::kPeacock;
-  return Status::InvalidArgument("unknown mode: " + name);
-}
+using scenario::ScenarioReport;
+using scenario::ScenarioSpec;
 
 /// "<id>@<ms>" -> (id, time).
 Result<std::pair<int, SimTime>> ParseAt(const std::string& spec) {
@@ -65,246 +44,291 @@ Result<std::pair<int, SimTime>> ParseAt(const std::string& spec) {
                         Millis(std::atoll(parts[1].c_str())));
 }
 
-int Run(const FlagSet& flags) {
-  ClusterOptions options;
-  const std::string protocol = flags.GetString("protocol");
-  if (protocol == "seemore") {
-    options.config.kind = ProtocolKind::kSeeMoRe;
-  } else if (protocol == "cft") {
-    options.config.kind = ProtocolKind::kCft;
-  } else if (protocol == "bft") {
-    options.config.kind = ProtocolKind::kBft;
-  } else if (protocol == "supright") {
-    options.config.kind = ProtocolKind::kSUpRight;
+/// Flag -> schedule translation for the <id>@<ms> event families.
+Status ParseReplicaEvents(const FlagSet& flags, const std::string& flag,
+                          scenario::EventKind kind,
+                          scenario::ScenarioBuilder& builder) {
+  for (const std::string& spec : SplitString(flags.GetString(flag), ',')) {
+    SEEMORE_ASSIGN_OR_RETURN(auto at, ParseAt(spec));
+    if (kind == scenario::EventKind::kCrash) {
+      builder.CrashAt(at.second, at.first);
+    } else {
+      builder.RecoverAt(at.second, at.first);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Times-only schedules ("<ms>[,<ms>...]") for partition / heal /
+/// crash-primary.
+Status ParseTimeEvents(const FlagSet& flags, const std::string& flag,
+                       scenario::EventKind kind,
+                       scenario::ScenarioBuilder& builder) {
+  for (const std::string& spec : SplitString(flags.GetString(flag), ',')) {
+    char* end = nullptr;
+    const long long ms = std::strtoll(spec.c_str(), &end, 10);
+    if (end == spec.c_str() || *end != '\0') {
+      return Status::InvalidArgument("expected --" + flag +
+                                     "=<ms>[,<ms>...], got: " + spec);
+    }
+    switch (kind) {
+      case scenario::EventKind::kCrashPrimary:
+        builder.CrashPrimaryAt(Millis(ms));
+        break;
+      case scenario::EventKind::kPartitionClouds:
+        builder.PartitionCloudsAt(Millis(ms));
+        break;
+      case scenario::EventKind::kHealClouds:
+        builder.HealCloudsAt(Millis(ms));
+        break;
+      default:
+        return Status::Internal("bad time-event kind");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ScenarioSpec> SpecFromFlags(const FlagSet& flags) {
+  scenario::ScenarioBuilder builder;
+  builder.Name("cli");
+
+  SEEMORE_ASSIGN_OR_RETURN(
+      ProtocolKind protocol,
+      scenario::ProtocolKindFromToken(flags.GetString("protocol")));
+  SEEMORE_ASSIGN_OR_RETURN(
+      SeeMoReMode mode, scenario::SeeMoReModeFromToken(flags.GetString("mode")));
+  const int c = static_cast<int>(flags.GetInt("c"));
+  const int m = static_cast<int>(flags.GetInt("m"));
+  switch (protocol) {
+    case ProtocolKind::kSeeMoRe:
+      builder.SeeMoRe(mode, c, m);
+      break;
+    case ProtocolKind::kCft:
+      builder.Cft(static_cast<int>(flags.GetInt("f")));
+      break;
+    case ProtocolKind::kBft:
+      builder.Bft(static_cast<int>(flags.GetInt("f")));
+      break;
+    case ProtocolKind::kSUpRight:
+      builder.SUpRight(c, m);
+      break;
+  }
+  builder.CloudSizes(
+      flags.WasSet("s") ? static_cast<int>(flags.GetInt("s")) : -1,
+      flags.WasSet("p") ? static_cast<int>(flags.GetInt("p")) : -1);
+
+  builder.Batching(static_cast<int>(flags.GetInt("batch")),
+                   static_cast<int>(flags.GetInt("pipeline")))
+      .CheckpointPeriod(static_cast<int>(flags.GetInt("checkpoint-period")))
+      .ViewChangeTimeout(Millis(flags.GetInt("vc-timeout-ms")))
+      .Drop(flags.GetDouble("drop"))
+      .Duplicate(flags.GetDouble("duplicate"))
+      .Seed(static_cast<uint64_t>(flags.GetInt("seed")))
+      .Clients(static_cast<int>(flags.GetInt("clients")))
+      .Warmup(Millis(flags.GetInt("warmup-ms")))
+      .Measure(Millis(flags.GetInt("duration-ms")))
+      .Drain(Millis(flags.GetInt("drain-ms")));
+  // Only the base latency is a flag; jitter keeps the NetworkConfig default.
+  builder.mutable_spec().net.cross_cloud.base =
+      Micros(flags.GetInt("cross-cloud-us"));
+
+  SEEMORE_ASSIGN_OR_RETURN(
+      scenario::WorkloadKind workload,
+      scenario::WorkloadKindFromToken(flags.GetString("workload")));
+  if (workload == scenario::WorkloadKind::kKv) {
+    builder.Kv(static_cast<int>(flags.GetInt("keys")), 0.5);
   } else {
-    std::fprintf(stderr, "unknown --protocol=%s\n", protocol.c_str());
-    return 2;
+    builder.Echo(static_cast<uint32_t>(flags.GetInt("req-kb")),
+                 static_cast<uint32_t>(flags.GetInt("rep-kb")));
   }
+  if (flags.GetBool("timeline")) {
+    builder.Timeline(Millis(flags.GetInt("timeline-bucket-ms")));
+  }
+  if (flags.GetBool("check-convergence")) builder.CheckConvergence();
 
-  options.config.c = static_cast<int>(flags.GetInt("c"));
-  options.config.m = static_cast<int>(flags.GetInt("m"));
-  options.config.f = static_cast<int>(flags.GetInt("f"));
-  options.config.s = flags.WasSet("s") ? static_cast<int>(flags.GetInt("s"))
-                                       : 2 * options.config.c;
-  options.config.p = flags.WasSet("p")
-                         ? static_cast<int>(flags.GetInt("p"))
-                         : 3 * options.config.m + 1;
-  if (options.config.kind == ProtocolKind::kSUpRight && !flags.WasSet("p")) {
-    options.config.p =
-        HybridNetworkSize(options.config.m, options.config.c) -
-        options.config.s;
-  }
-  Result<SeeMoReMode> mode = ParseMode(flags.GetString("mode"));
-  if (!mode.ok()) {
-    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
-    return 2;
-  }
-  options.config.initial_mode = *mode;
-  options.config.batch_max = static_cast<int>(flags.GetInt("batch"));
-  options.config.pipeline_max = static_cast<int>(flags.GetInt("pipeline"));
-  options.config.checkpoint_period =
-      static_cast<int>(flags.GetInt("checkpoint-period"));
-  options.config.view_change_timeout = Millis(flags.GetInt("vc-timeout-ms"));
-  options.net.drop_probability = flags.GetDouble("drop");
-  options.net.duplicate_probability = flags.GetDouble("duplicate");
-  options.net.cross_cloud.base = Micros(flags.GetInt("cross-cloud-us"));
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-
-  Status valid = options.config.Validate();
-  if (!valid.ok()) {
-    std::fprintf(stderr, "invalid topology: %s\n", valid.ToString().c_str());
-    return 2;
-  }
-
-  // Fault / switch schedule.
-  std::vector<ScheduledEvent> schedule;
-  for (const std::string& spec : SplitString(flags.GetString("crash"), ',')) {
-    auto at = ParseAt(spec);
-    if (!at.ok()) {
-      std::fprintf(stderr, "%s\n", at.status().ToString().c_str());
-      return 2;
-    }
-    schedule.push_back({at->second, ScheduledEvent::kCrash, at->first, 0,
-                        SeeMoReMode::kLion});
-  }
-  for (const std::string& spec :
-       SplitString(flags.GetString("recover"), ',')) {
-    auto at = ParseAt(spec);
-    if (!at.ok()) {
-      std::fprintf(stderr, "%s\n", at.status().ToString().c_str());
-      return 2;
-    }
-    schedule.push_back({at->second, ScheduledEvent::kRecover, at->first, 0,
-                        SeeMoReMode::kLion});
-  }
+  // Fault / switch / partition schedule.
+  SEEMORE_RETURN_IF_ERROR(ParseReplicaEvents(
+      flags, "crash", scenario::EventKind::kCrash, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseReplicaEvents(
+      flags, "recover", scenario::EventKind::kRecover, builder));
   for (const std::string& spec :
        SplitString(flags.GetString("byzantine"), ',')) {
     // <id>:<behaviour[+behaviour]>@<ms>
     const std::vector<std::string> head = SplitString(spec, ':');
     if (head.size() != 2) {
-      std::fprintf(stderr, "expected --byzantine=<id>:<kind>@<ms>\n");
-      return 2;
+      return Status::InvalidArgument(
+          "expected --byzantine=<id>:<kind>@<ms>, got: " + spec);
     }
-    auto at = ParseAt(head[0] + "@" + SplitString(head[1], '@').back());
-    auto behaviours = ParseByzFlags(SplitString(head[1], '@').front());
-    if (!at.ok() || !behaviours.ok()) {
-      std::fprintf(stderr, "bad --byzantine spec: %s\n", spec.c_str());
-      return 2;
-    }
-    schedule.push_back({at->second, ScheduledEvent::kByzantine, at->first,
-                        *behaviours, SeeMoReMode::kLion});
+    SEEMORE_ASSIGN_OR_RETURN(
+        auto at, ParseAt(head[0] + "@" + SplitString(head[1], '@').back()));
+    SEEMORE_ASSIGN_OR_RETURN(
+        uint32_t behaviours,
+        scenario::ByzFlagsFromToken(SplitString(head[1], '@').front()));
+    builder.ByzantineAt(at.second, at.first, behaviours);
   }
   for (const std::string& spec : SplitString(flags.GetString("switch"), ',')) {
     // <mode>@<ms>
     const std::vector<std::string> parts = SplitString(spec, '@');
     if (parts.size() != 2) {
-      std::fprintf(stderr, "expected --switch=<mode>@<ms>\n");
-      return 2;
+      return Status::InvalidArgument("expected --switch=<mode>@<ms>, got: " +
+                                     spec);
     }
-    auto target = ParseMode(parts[0]);
-    if (!target.ok()) {
-      std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
-      return 2;
-    }
-    schedule.push_back({Millis(std::atoll(parts[1].c_str())),
-                        ScheduledEvent::kSwitch, 0, 0, *target});
+    SEEMORE_ASSIGN_OR_RETURN(SeeMoReMode target,
+                             scenario::SeeMoReModeFromToken(parts[0]));
+    builder.SwitchAt(Millis(std::atoll(parts[1].c_str())), target);
   }
+  SEEMORE_RETURN_IF_ERROR(ParseTimeEvents(
+      flags, "crash-primary", scenario::EventKind::kCrashPrimary, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseTimeEvents(
+      flags, "partition", scenario::EventKind::kPartitionClouds, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseTimeEvents(
+      flags, "heal", scenario::EventKind::kHealClouds, builder));
 
-  Cluster cluster(options);
-  std::printf("cluster: %s  seed=%llu\n", cluster.config().ToString().c_str(),
-              static_cast<unsigned long long>(options.seed));
+  return builder.spec();
+}
 
-  // Workload.
-  const int num_clients = static_cast<int>(flags.GetInt("clients"));
-  OpFactory ops;
-  if (flags.GetString("workload") == "kv") {
-    ops = KvWorkload(options.seed * 13 + 7,
-                     static_cast<int>(flags.GetInt("keys")), 0.5);
-  } else {
-    ops = EchoWorkload(static_cast<uint32_t>(flags.GetInt("req-kb")),
-                       static_cast<uint32_t>(flags.GetInt("rep-kb")));
+/// Resolve --scenario=<registry name | file.json>.
+Result<ScenarioSpec> LoadScenario(const std::string& ref) {
+  Result<ScenarioSpec> named = scenario::FindScenario(ref);
+  if (named.ok()) return named;
+  std::ifstream file(ref);
+  if (!file) {
+    return Status::NotFound("\"" + ref +
+                            "\" is neither a registered scenario "
+                            "(--list-scenarios) nor a readable file");
   }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return ScenarioSpec::FromJsonText(text.str());
+}
 
-  ThroughputTimeline timeline;
-  timeline.bucket_width = Millis(flags.GetInt("timeline-bucket-ms"));
-  for (int i = 0; i < num_clients; ++i) {
-    SimClient* client = cluster.AddClient();
-    if (flags.GetBool("timeline")) {
-      client->on_complete = [&timeline](SimTime when, SimTime) {
-        timeline.Record(when);
-      };
-    }
-    client->Start(ops);
+void PrintReport(const FlagSet& flags, const ScenarioReport& report) {
+  for (const scenario::AppliedEvent& event : report.events) {
+    std::printf("%s\n", event.description.c_str());
   }
+  std::printf("\n%s\n", report.result.ToString().c_str());
 
-  // Execute the schedule interleaved with the run.
-  const SimTime warmup = Millis(flags.GetInt("warmup-ms"));
-  const SimTime duration = Millis(flags.GetInt("duration-ms"));
-  for (const ScheduledEvent& event : schedule) {
-    cluster.sim().RunUntil(event.at);
-    switch (event.kind) {
-      case ScheduledEvent::kCrash:
-        std::printf("t=%.0fms crash replica %d\n", ToMillis(event.at),
-                    event.replica);
-        cluster.Crash(event.replica);
-        break;
-      case ScheduledEvent::kRecover:
-        std::printf("t=%.0fms recover replica %d\n", ToMillis(event.at),
-                    event.replica);
-        cluster.Recover(event.replica);
-        break;
-      case ScheduledEvent::kByzantine:
-        std::printf("t=%.0fms replica %d turns Byzantine (flags=0x%x)\n",
-                    ToMillis(event.at), event.replica, event.byz_flags);
-        cluster.SetByzantine(event.replica, event.byz_flags);
-        break;
-      case ScheduledEvent::kSwitch: {
-        SeeMoReReplica* any = nullptr;
-        for (int i = 0; i < cluster.n(); ++i) {
-          if (!cluster.replica(i)->crashed()) {
-            any = cluster.seemore(i);
-            break;
-          }
-        }
-        if (any == nullptr) break;
-        // The switch must be requested on the new view's trusted authority;
-        // if that node is crashed, aim one view further (the view change
-        // would skip the dead primary anyway).
-        Status status = Status::Unavailable("no live authority");
-        for (uint64_t ahead = 1; ahead <= static_cast<uint64_t>(
-                                              cluster.config().s);
-             ++ahead) {
-          const PrincipalId authority =
-              any->SwitchAuthority(event.target_mode, any->view() + ahead);
-          if (cluster.replica(authority)->crashed()) continue;
-          status =
-              cluster.seemore(authority)->RequestModeSwitch(event.target_mode);
-          std::printf("t=%.0fms switch to %s via replica %d: %s\n",
-                      ToMillis(event.at), SeeMoReModeName(event.target_mode),
-                      authority, status.ToString().c_str());
-          break;
-        }
-        if (!status.ok() && status.code() == StatusCode::kUnavailable) {
-          std::printf("t=%.0fms switch to %s skipped: %s\n",
-                      ToMillis(event.at), SeeMoReModeName(event.target_mode),
-                      status.ToString().c_str());
-        }
-        break;
-      }
-    }
-  }
-  cluster.sim().RunUntil(warmup);
-  for (int i = 0; i < num_clients; ++i) cluster.client(i)->ResetStats();
-  cluster.sim().RunUntil(warmup + duration);
-
-  // Report.
-  RunResult result;
-  result.clients = num_clients;
-  Histogram merged;
-  for (int i = 0; i < num_clients; ++i) {
-    result.completed += cluster.client(i)->completed();
-    result.retransmissions += cluster.client(i)->retransmissions();
-    merged.Merge(cluster.client(i)->latencies());
-    cluster.client(i)->Stop();
-  }
-  const double seconds = ToMillis(duration) / 1000.0;
-  result.throughput_kreqs = result.completed / seconds / 1000.0;
-  result.mean_latency_ms = merged.Mean() / 1e6;
-  result.p50_latency_ms = merged.Percentile(50) / 1e6;
-  result.p99_latency_ms = merged.Percentile(99) / 1e6;
-  std::printf("\n%s\n", result.ToString().c_str());
-
-  if (flags.GetBool("timeline")) {
+  if (!report.timeline.buckets.empty()) {
     std::printf("\ntimeline (Kreq/s per %lldms bucket):\n",
-                static_cast<long long>(ToMillis(timeline.bucket_width)));
-    for (size_t b = 0; b < timeline.buckets.size(); ++b) {
-      std::printf("  %6lld ms %8.1f\n",
-                  static_cast<long long>(b * ToMillis(timeline.bucket_width)),
-                  timeline.KreqsAt(b));
+                static_cast<long long>(ToMillis(report.timeline.bucket_width)));
+    for (size_t b = 0; b < report.timeline.buckets.size(); ++b) {
+      std::printf(
+          "  %6lld ms %8.1f\n",
+          static_cast<long long>(b * ToMillis(report.timeline.bucket_width)),
+          report.timeline.KreqsAt(b));
     }
   }
 
   if (flags.GetBool("replica-stats")) {
     std::printf("\nper-replica state:\n");
-    for (int i = 0; i < cluster.n(); ++i) {
-      const ReplicaBase* replica = cluster.replica(i);
+    for (const scenario::ReplicaReport& replica : report.replicas) {
       std::printf(
           "  %d%s: executed=%llu committed_batches=%llu view_changes=%llu "
           "msgs=%llu cpu_busy=%.1fms%s\n",
-          i, cluster.config().IsTrusted(i) ? " (private)" : " (public) ",
-          static_cast<unsigned long long>(replica->stats().requests_executed),
-          static_cast<unsigned long long>(replica->stats().batches_committed),
-          static_cast<unsigned long long>(
-              replica->stats().view_changes_completed),
-          static_cast<unsigned long long>(replica->stats().messages_handled),
-          ToMillis(cluster.replica(i)->cpu()->total_busy()),
-          replica->crashed() ? " CRASHED" : "");
+          replica.id, replica.trusted ? " (private)" : " (public) ",
+          static_cast<unsigned long long>(replica.requests_executed),
+          static_cast<unsigned long long>(replica.batches_committed),
+          static_cast<unsigned long long>(replica.view_changes_completed),
+          static_cast<unsigned long long>(replica.messages_handled),
+          replica.cpu_busy_ms, replica.crashed ? " CRASHED" : "");
     }
   }
 
-  Status agreement = cluster.CheckAgreement();
-  std::printf("agreement: %s\n", agreement.ToString().c_str());
-  return agreement.ok() ? 0 : 1;
+  std::printf("agreement: %s\n", report.agreement.ToString().c_str());
+  if (report.convergence_checked) {
+    std::printf("convergence: %s\n", report.convergence.ToString().c_str());
+  }
+}
+
+int Run(const FlagSet& flags) {
+  if (flags.GetBool("list-scenarios")) {
+    for (const scenario::RegistryEntry& entry : scenario::Registry()) {
+      if (flags.GetBool("verbose-list")) {
+        std::printf("%-24s %s\n", entry.name.c_str(),
+                    entry.description.c_str());
+      } else {
+        std::printf("%s\n", entry.name.c_str());
+      }
+    }
+    return 0;
+  }
+
+  Result<ScenarioSpec> loaded =
+      flags.WasSet("scenario") ? LoadScenario(flags.GetString("scenario"))
+                               : SpecFromFlags(flags);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  ScenarioSpec spec = std::move(loaded).value();
+
+  if (flags.GetBool("quick")) {
+    // Smoke-run budgets (CI runs every registry scenario this way).
+    spec.plan.warmup = std::min<SimTime>(spec.plan.warmup, Millis(100));
+    spec.plan.measure = std::min<SimTime>(spec.plan.measure, Millis(250));
+    spec.plan.drain = std::min<SimTime>(spec.plan.drain, Millis(250));
+    spec.plan.sweep_clients.clear();
+  }
+
+  Status valid = spec.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid scenario: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  if (flags.GetBool("dump-spec")) {
+    std::printf("%s", spec.ToJsonText().c_str());
+    return 0;
+  }
+
+  std::printf("scenario: %s  cluster: %s  seed=%llu\n", spec.name.c_str(),
+              spec.ResolvedConfig().ToString().c_str(),
+              static_cast<unsigned long long>(spec.seed));
+
+  // A spec with a sweep plan runs one fresh cluster per client population;
+  // otherwise a single full-lifecycle run.
+  std::vector<ScenarioReport> reports;
+  if (!spec.plan.sweep_clients.empty()) {
+    Result<std::vector<ScenarioReport>> sweep = scenario::RunSweep(spec);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
+      return 2;
+    }
+    reports = *std::move(sweep);
+  } else {
+    Result<ScenarioReport> run = scenario::RunScenario(spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 2;
+    }
+    reports.push_back(*std::move(run));
+  }
+  for (const ScenarioReport& report : reports) {
+    PrintReport(flags, report);
+  }
+
+  if (flags.WasSet("report-json")) {
+    const std::string path = flags.GetString("report-json");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    if (reports.size() == 1) {
+      out << reports[0].ToJson().Dump(2) << "\n";
+    } else {
+      Json all = Json::Array();
+      for (const ScenarioReport& report : reports) {
+        all.Append(report.ToJson());
+      }
+      out << all.Dump(2) << "\n";
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  for (const ScenarioReport& report : reports) {
+    if (!report.ok()) return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -315,6 +339,17 @@ int main(int argc, char** argv) {
   FlagSet flags(
       "seemore_ctl: drive a simulated hybrid-cloud replication cluster "
       "through workloads, faults and mode switches");
+  flags.AddString("scenario", "",
+                  "run a registered scenario by name, or a ScenarioSpec "
+                  "JSON file by path (overrides the topology flags)");
+  flags.AddBool("list-scenarios", false, "print registered scenario names");
+  flags.AddBool("verbose-list", false,
+                "with --list-scenarios: include descriptions");
+  flags.AddBool("dump-spec", false,
+                "print the scenario as JSON instead of running it");
+  flags.AddBool("quick", false, "shrink warmup/measure/drain for smoke runs");
+  flags.AddString("report-json", "",
+                  "write the structured ScenarioReport to this file");
   flags.AddString("protocol", "seemore", "seemore | cft | bft | supright");
   flags.AddString("mode", "lion", "initial SeeMoRe mode: lion | dog | peacock");
   flags.AddInt("c", 1, "crash budget (private cloud)");
@@ -325,6 +360,7 @@ int main(int argc, char** argv) {
   flags.AddInt("clients", 16, "closed-loop client count");
   flags.AddInt("warmup-ms", 150, "warmup before measurement");
   flags.AddInt("duration-ms", 500, "measured duration");
+  flags.AddInt("drain-ms", 0, "post-run drain before invariant checks");
   flags.AddString("workload", "echo", "echo | kv");
   flags.AddInt("req-kb", 0, "echo request payload (KiB)");
   flags.AddInt("rep-kb", 0, "echo reply payload (KiB)");
@@ -337,12 +373,20 @@ int main(int argc, char** argv) {
   flags.AddDouble("duplicate", 0.0, "message duplication probability");
   flags.AddInt("cross-cloud-us", 90, "private<->public one-way latency (us)");
   flags.AddInt("seed", 42, "simulation seed (deterministic replay)");
-  flags.AddString("crash", "", "schedule: <id>@<ms>[,<id>@<ms>...]");
-  flags.AddString("recover", "", "schedule: <id>@<ms>[,...]");
-  flags.AddString("byzantine", "",
+  flags.AddRepeatedString("crash", "", "schedule: <id>@<ms>[,<id>@<ms>...]");
+  flags.AddRepeatedString("recover", "", "schedule: <id>@<ms>[,...]");
+  flags.AddRepeatedString("byzantine", "",
                   "schedule: <id>:<silent|equivocate|wrongvotes|lie>[+...]"
                   "@<ms>[,...]");
-  flags.AddString("switch", "", "schedule: <mode>@<ms>[,...] (seemore only)");
+  flags.AddRepeatedString("switch", "", "schedule: <mode>@<ms>[,...] (seemore only)");
+  flags.AddRepeatedString("crash-primary", "",
+                  "schedule: <ms>[,...] crash whoever is primary then");
+  flags.AddRepeatedString("partition", "",
+                  "schedule: <ms>[,...] cut all private<->public links");
+  flags.AddRepeatedString("heal", "", "schedule: <ms>[,...] restore partitioned links");
+  flags.AddBool("check-convergence", false,
+                "after the drain, require live honest replicas to share one "
+                "state digest");
   flags.AddBool("timeline", false, "print per-bucket throughput timeline");
   flags.AddInt("timeline-bucket-ms", 10, "timeline bucket width");
   flags.AddBool("replica-stats", true, "print per-replica counters");
