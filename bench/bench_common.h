@@ -74,6 +74,21 @@ inline double PeakThroughput(const std::vector<RunResult>& curve) {
   return best;
 }
 
+/// p99 latency at the curve's peak-throughput point (tail latency where the
+/// system is actually operated; 0 for an empty curve). Ties resolve to the
+/// first point, matching PeakThroughput.
+inline double P99AtPeak(const std::vector<RunResult>& curve) {
+  double best = 0.0;
+  double p99 = 0.0;
+  for (const RunResult& point : curve) {
+    if (point.throughput_kreqs > best) {
+      best = point.throughput_kreqs;
+      p99 = point.p99_latency_ms;
+    }
+  }
+  return p99;
+}
+
 /// Accumulates results and writes a machine-readable BENCH_<name>.json so
 /// the performance trajectory is tracked across PRs. All emission goes
 /// through RunResult::ToJson — benches never hand-format result fields.

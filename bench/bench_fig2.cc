@@ -42,6 +42,7 @@ void RunBudget(const Budget& budget, const std::vector<int>& clients,
     json.AddCurve(budget.label, system, curve);
     json.AddScalar(budget.label, system + "_peak_kreqs",
                    PeakThroughput(curve));
+    json.AddScalar(budget.label, system + "_p99_ms_at_peak", P99AtPeak(curve));
     peaks.push_back({system, PeakThroughput(curve)});
   }
   std::printf("--- peak throughput (Kreq/s): ");

@@ -12,7 +12,10 @@ PaxosReplica::PaxosReplica(Transport* transport, TimerService* timers,
                            std::unique_ptr<StateMachine> state_machine,
                            const CostModel& costs)
     : ReplicaBase(transport, timers, keystore, id, config,
-                  std::move(state_machine), costs) {
+                  std::move(state_machine), costs),
+      log_(Window()),
+      pipeline_(config.batch_max, config.pipeline_max),
+      ckpt_(config.checkpoint_period) {
   current_vc_timeout_ = config_.view_change_timeout;
 }
 
@@ -102,11 +105,7 @@ void PaxosReplica::HandleRequest(PrincipalId from, Request request) {
     // have been lost or the client cannot reach it) and arm the liveness
     // timer — if the request still never commits, a view change follows.
     if (from == request.client) {
-      auto seen = relay_seen_ts_.find(request.client);
-      const bool retransmission =
-          seen != relay_seen_ts_.end() && seen->second >= request.timestamp;
-      relay_seen_ts_[request.client] = request.timestamp;
-      if (retransmission) {
+      if (pipeline_.NoteDirectDelivery(request.client, request.timestamp)) {
         SendTo(config_.FlatPrimary(view_), request.ToMessage());
       }
     }
@@ -115,40 +114,22 @@ void PaxosReplica::HandleRequest(PrincipalId from, Request request) {
 }
 
 void PaxosReplica::LeaderEnqueue(Request request) {
-  auto it = leader_seen_ts_.find(request.client);
-  if (it != leader_seen_ts_.end() && request.timestamp <= it->second) {
-    return;  // already queued or proposed
-  }
-  leader_seen_ts_[request.client] = request.timestamp;
-  pending_.push_back(std::move(request));
+  if (!pipeline_.Admit(request)) return;  // already queued or proposed
+  pipeline_.Enqueue(std::move(request));
   TryPropose();
 }
 
-int PaxosReplica::UncommittedSlots() const {
-  int count = 0;
-  for (const auto& [seq, slot] : slots_) {
-    if (slot.has_batch && !slot.committed) ++count;
-  }
-  return count;
-}
-
 void PaxosReplica::TryPropose() {
-  while (!pending_.empty() && UncommittedSlots() < config_.pipeline_max) {
-    Batch batch;
-    while (!pending_.empty() &&
-           batch.size() < static_cast<size_t>(config_.batch_max)) {
-      batch.requests.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
-    const uint64_t seq = next_seq_++;
-    Slot& slot = slots_[seq];
+  while (pipeline_.CanOpen(log_.UncommittedSlots())) {
+    auto [seq, batch] = pipeline_.Open();
+    SlotCore& slot = log_.Slot(seq);
     slot.batch = std::move(batch);
     slot.has_batch = true;
     const Bytes encoded = slot.batch.Encode();
     ChargeHash(encoded.size());
     slot.digest = Digest::Of(encoded);
     slot.view = view_;
-    slot.acks.insert(id_);
+    RecordVote(slot.plain_votes, slot.digest, id_);
 
     PaxosAcceptMsg accept{view_, seq, encoded};
     SendToMany(config_.AllReplicas(), accept.ToMessage());
@@ -162,12 +143,12 @@ void PaxosReplica::HandleAccept(PrincipalId from, PaxosAcceptMsg msg) {
   }
   if (msg.view != view_ || in_view_change_) return;
   if (from != config_.FlatPrimary(view_)) return;
-  if (msg.seq <= stable_seq_) return;
+  if (msg.seq <= ckpt_.stable_seq()) return;
 
   Result<Batch> batch_or = Batch::Decode(msg.batch);
   if (!batch_or.ok()) return;
 
-  Slot& slot = slots_[msg.seq];
+  SlotCore& slot = log_.Slot(msg.seq);
   if (!slot.has_batch) {
     slot.batch = std::move(batch_or).value();
     slot.has_batch = true;
@@ -187,14 +168,17 @@ void PaxosReplica::HandleAccept(PrincipalId from, PaxosAcceptMsg msg) {
 
 void PaxosReplica::HandleAck(PrincipalId from, PaxosAckMsg msg) {
   if (msg.view != view_ || !IsLeader() || in_view_change_) return;
-  auto it = slots_.find(msg.seq);
-  if (it == slots_.end() || !it->second.has_batch) return;
-  Slot& slot = it->second;
-  if (msg.digest != slot.digest || slot.commit_broadcast) return;
-  slot.acks.insert(from);
-  if (static_cast<int>(slot.acks.size()) >=
+  SlotCore* found = log_.Find(msg.seq);
+  if (found == nullptr || !found->has_batch) return;
+  SlotCore& slot = *found;
+  if (slot.commit_sent) return;  // COMMIT already broadcast
+  // The tracker sees every ACK (a conflicting digest flags the sender);
+  // only ACKs matching the proposal count toward the quorum.
+  RecordVote(slot.plain_votes, msg.digest, from);
+  if (msg.digest != slot.digest) return;
+  if (static_cast<int>(slot.plain_votes.Count(slot.digest)) >=
       config_.CommitQuorum(config_.initial_mode)) {
-    slot.commit_broadcast = true;
+    slot.commit_sent = true;
     PaxosCommitMsg commit{view_, msg.seq, slot.digest};
     SendToMany(config_.AllReplicas(), commit.ToMessage());
     if (!slot.committed) CommitSlot(msg.seq, slot, /*send_replies=*/true);
@@ -206,25 +190,22 @@ void PaxosReplica::HandleCommit(PrincipalId from, PaxosCommitMsg msg) {
     EnterView(msg.view);
   }
   if (from != config_.FlatPrimary(msg.view)) return;
-  if (msg.seq <= stable_seq_) return;
-  auto it = slots_.find(msg.seq);
-  if (it == slots_.end() || !it->second.has_batch) {
+  if (msg.seq <= ckpt_.stable_seq()) return;
+  SlotCore* found = log_.Find(msg.seq);
+  if (found == nullptr || !found->has_batch) {
     // COMMIT outran the ACCEPT (jitter reordering); remember it.
-    slots_[msg.seq].commit_seen = true;
+    log_.Slot(msg.seq).commit_seen = true;
     return;
   }
-  Slot& slot = it->second;
+  SlotCore& slot = *found;
   if (slot.committed || msg.digest != slot.digest) return;
   CommitSlot(msg.seq, slot, /*send_replies=*/false);
 }
 
-void PaxosReplica::CommitSlot(uint64_t seq, Slot& slot, bool send_replies) {
-  slot.committed = true;
-  ++stats_.batches_committed;
-  std::vector<ExecutedRequest> executed = exec_.Commit(seq, slot.batch);
-  ChargeExecute(static_cast<int>(executed.size()));
+void PaxosReplica::CommitSlot(uint64_t seq, SlotCore& slot,
+                              bool send_replies) {
+  std::vector<ExecutedRequest> executed = commits().Commit(seq, slot);
   for (const ExecutedRequest& ex : executed) {
-    ++stats_.requests_executed;
     if (send_replies && !(ex.duplicate && ex.result.empty())) {
       SendReply(ex);
     }
@@ -252,15 +233,12 @@ void PaxosReplica::SendReply(const ExecutedRequest& executed) {
 
 void PaxosReplica::MaybeCheckpoint() {
   const uint64_t executed = exec_.last_executed();
-  if (executed < last_checkpoint_seq_ +
-                     static_cast<uint64_t>(config_.checkpoint_period)) {
-    return;
-  }
-  last_checkpoint_seq_ = executed;
+  if (!ckpt_.Due(executed)) return;
+  ckpt_.NoteTaken(executed);
   Bytes snapshot = exec_.Snapshot();
   ChargeHash(snapshot.size());
   const Digest digest = Digest::Of(snapshot);
-  snapshot_buffer_[executed] = {digest, std::move(snapshot)};
+  ckpt_.Buffer(executed, digest, std::move(snapshot));
 
   PaxosCheckpointMsg msg{executed, digest};
   SendToMany(config_.AllReplicas(), msg.ToMessage());
@@ -268,7 +246,7 @@ void PaxosReplica::MaybeCheckpoint() {
 }
 
 void PaxosReplica::HandleCheckpoint(PrincipalId from, PaxosCheckpointMsg msg) {
-  if (msg.seq <= stable_seq_) return;
+  if (msg.seq <= ckpt_.stable_seq()) return;
   CountCheckpointVote(msg.seq, msg.digest, from);
   // Crash model: a single announcer is honest. If it is ahead of us we fell
   // behind (lost commits have no protocol-level retransmission); fetch its
@@ -278,12 +256,17 @@ void PaxosReplica::HandleCheckpoint(PrincipalId from, PaxosCheckpointMsg msg) {
 
 void PaxosReplica::CountCheckpointVote(uint64_t seq, const Digest& digest,
                                        PrincipalId voter) {
-  auto& voters = checkpoint_votes_[seq][digest];
-  voters.insert(voter);
+  // Crash model: votes travel unsigned; wrap them in the shared tracker's
+  // CheckpointMsg shape with an empty signature.
+  CheckpointMsg vote;
+  vote.seq = seq;
+  vote.state_digest = digest;
+  vote.replica = voter;
+  const auto& voters = ckpt_.AddVote(vote);
   if (static_cast<int>(voters.size()) >= config_.f + 1) {
     // Prefer fetching state from another voter, not ourselves.
     PrincipalId helper = id_;
-    for (PrincipalId v : voters) {
+    for (const auto& [v, unused] : voters) {
       if (v != id_) {
         helper = v;
         break;
@@ -295,26 +278,15 @@ void PaxosReplica::CountCheckpointVote(uint64_t seq, const Digest& digest,
 
 void PaxosReplica::AdvanceStable(uint64_t seq, const Digest& digest,
                                  PrincipalId helper) {
-  if (seq <= stable_seq_) return;
-  stable_seq_ = seq;
-  stable_digest_ = digest;
-  auto it = snapshot_buffer_.find(seq);
-  if (it != snapshot_buffer_.end() && it->second.first == digest) {
-    stable_snapshot_ = std::move(it->second.second);
-  } else if (exec_.last_executed() < seq && helper != id_) {
+  if (seq <= ckpt_.stable_seq()) return;
+  const bool installed =
+      ckpt_.Advance(seq, digest, CheckpointCert::Genesis());
+  if (!installed && exec_.last_executed() < seq && helper != id_) {
     // We fell behind the cluster; fetch the checkpointed state.
     RequestStateFrom(helper);
   }
   // Garbage collection (paper §5.1 "State Transfer").
-  for (auto s = slots_.begin(); s != slots_.end();) {
-    s = s->first <= seq ? slots_.erase(s) : std::next(s);
-  }
-  for (auto s = snapshot_buffer_.begin(); s != snapshot_buffer_.end();) {
-    s = s->first <= seq ? snapshot_buffer_.erase(s) : std::next(s);
-  }
-  for (auto s = checkpoint_votes_.begin(); s != checkpoint_votes_.end();) {
-    s = s->first <= seq ? checkpoint_votes_.erase(s) : std::next(s);
-  }
+  log_.Reclaim(seq);
 }
 
 void PaxosReplica::RequestStateFrom(PrincipalId target) {
@@ -328,13 +300,14 @@ void PaxosReplica::RequestStateFrom(PrincipalId target) {
 void PaxosReplica::HandleStateRequest(PrincipalId from, StateRequestMsg msg) {
   // Serve the newest snapshot we hold: a buffered (not yet stable) one beats
   // the stable one. In the crash model our own claim is trustworthy.
-  uint64_t seq = stable_seq_;
-  const Digest* digest = &stable_digest_;
-  const Bytes* snapshot = &stable_snapshot_;
-  if (!snapshot_buffer_.empty() && snapshot_buffer_.rbegin()->first > seq) {
-    seq = snapshot_buffer_.rbegin()->first;
-    digest = &snapshot_buffer_.rbegin()->second.first;
-    snapshot = &snapshot_buffer_.rbegin()->second.second;
+  uint64_t seq = ckpt_.stable_seq();
+  const Digest* digest = &ckpt_.stable_digest();
+  const Bytes* snapshot = &ckpt_.stable_snapshot();
+  CheckpointTracker::Buffered buffered;
+  if (ckpt_.LatestBuffered(&buffered) && buffered.seq > seq) {
+    seq = buffered.seq;
+    digest = buffered.digest;
+    snapshot = buffered.snapshot;
   }
   if (snapshot->empty() || seq <= msg.last_executed) return;
   PaxosStateResponseMsg response{seq, *digest, *snapshot};
@@ -349,10 +322,8 @@ void PaxosReplica::HandleStateResponse(PrincipalId from,
   if (Digest::Of(msg.snapshot) != msg.digest) return;
   if (!exec_.Restore(msg.snapshot, msg.seq).ok()) return;
   ++stats_.state_transfers;
-  stable_seq_ = std::max(stable_seq_, msg.seq);
-  stable_digest_ = msg.digest;
-  stable_snapshot_ = std::move(msg.snapshot);
-  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, msg.seq);
+  ckpt_.InstallRestored(msg.seq, msg.digest, CheckpointCert::Genesis(),
+                        std::move(msg.snapshot));
 }
 
 // ---------------------------------------------------------------------------
@@ -373,7 +344,7 @@ void PaxosReplica::ArmViewTimer() {
 void PaxosReplica::RestartOrDisarmViewTimer() {
   CancelTimer(view_timer_);
   current_vc_timeout_ = config_.view_change_timeout;
-  if (UncommittedSlots() > 0) ArmViewTimer();
+  if (log_.UncommittedSlots() > 0) ArmViewTimer();
 }
 
 void PaxosReplica::StartViewChange(uint64_t new_view) {
@@ -384,19 +355,19 @@ void PaxosReplica::StartViewChange(uint64_t new_view) {
   CancelTimer(view_timer_);
 
   ViewChangeRecord record;
-  record.stable_seq = stable_seq_;
+  record.stable_seq = ckpt_.stable_seq();
   PaxosViewChangeMsg msg;
   msg.new_view = new_view;
-  msg.stable_seq = stable_seq_;
-  for (const auto& [seq, slot] : slots_) {
-    if (!slot.has_batch) continue;
+  msg.stable_seq = ckpt_.stable_seq();
+  log_.ForEachAscending([&](uint64_t seq, const SlotCore& slot) {
+    if (!slot.has_batch) return;
     record.entries[seq] = {slot.view, slot.batch};
     PaxosVcEntry entry;
     entry.seq = seq;
     entry.view = slot.view;
     entry.batch = slot.batch;
     msg.entries.push_back(std::move(entry));
-  }
+  });
   SendToMany(config_.AllReplicas(), msg.ToMessage());
 
   vc_msgs_[new_view][id_] = std::move(record);
@@ -477,20 +448,23 @@ void PaxosReplica::MaybeFormNewView(uint64_t new_view) {
     RequestStateFrom(best_helper);
   }
   for (uint64_t seq = max_stable + 1; seq <= max_seq; ++seq) {
-    Slot slot;  // fresh: stale ACK sets must not count toward the new view
+    const SlotCore* prior = log_.Find(seq);
+    const bool was_committed =
+        (prior != nullptr && prior->committed) || exec_.HasCommitted(seq);
+    // Fresh slot: stale ACK sets must not count toward the new view.
+    SlotCore& slot = log_.ResetSlot(seq);
     auto chosen_it = chosen.find(seq);
     slot.batch =
         chosen_it != chosen.end() ? chosen_it->second.second : Batch::Noop();
     slot.has_batch = true;
     slot.digest = slot.batch.ComputeDigest();
     slot.view = new_view;
-    slot.committed = slots_[seq].committed || exec_.HasCommitted(seq);
-    slot.acks.insert(id_);
-    slots_[seq] = std::move(slot);
+    slot.committed = was_committed;
+    RecordVote(slot.plain_votes, slot.digest, id_);
   }
-  stable_seq_ = std::max(stable_seq_, max_stable);
-  next_seq_ = std::max(next_seq_, max_seq + 1);
-  if (next_seq_ <= stable_seq_) next_seq_ = stable_seq_ + 1;
+  ckpt_.AdvanceFloor(max_stable);
+  pipeline_.AdvanceNextSeq(max_seq + 1);
+  pipeline_.AdvanceNextSeq(ckpt_.stable_seq() + 1);
   ++stats_.view_changes_completed;
   TryPropose();
 }
@@ -504,26 +478,26 @@ void PaxosReplica::HandleNewView(PrincipalId from, PaxosNewViewMsg msg) {
   EnterView(new_view);
   ++stats_.view_changes_completed;
   for (PaxosNewViewEntry& wire_entry : msg.entries) {
-    if (wire_entry.seq <= stable_seq_) continue;
+    if (wire_entry.seq <= ckpt_.stable_seq()) continue;
     Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     // Already-committed slots still get ACKed: the new leader needs f+1
     // ACKs even for entries some replicas committed before the view change.
-    Slot fresh;
-    fresh.batch = std::move(batch_or).value();
-    fresh.has_batch = true;
+    const SlotCore* prior = log_.Find(wire_entry.seq);
+    const bool was_committed = (prior != nullptr && prior->committed) ||
+                               exec_.HasCommitted(wire_entry.seq);
+    SlotCore& slot = log_.ResetSlot(wire_entry.seq);
+    slot.batch = std::move(batch_or).value();
+    slot.has_batch = true;
     ChargeHash(wire_entry.batch.size());
-    fresh.digest = FrameFieldDigest(wire_entry.batch, wire_entry.batch_offset);
-    fresh.view = new_view;
-    fresh.committed = slots_[wire_entry.seq].committed ||
-                      exec_.HasCommitted(wire_entry.seq);
-    slots_[wire_entry.seq] = std::move(fresh);
-    Slot& slot = slots_[wire_entry.seq];
+    slot.digest = FrameFieldDigest(wire_entry.batch, wire_entry.batch_offset);
+    slot.view = new_view;
+    slot.committed = was_committed;
 
     PaxosAckMsg ack{new_view, wire_entry.seq, slot.digest};
     SendTo(from, ack.ToMessage());
   }
-  if (UncommittedSlots() > 0) ArmViewTimer();
+  if (log_.UncommittedSlots() > 0) ArmViewTimer();
 }
 
 void PaxosReplica::EnterView(uint64_t view) {
@@ -534,16 +508,14 @@ void PaxosReplica::EnterView(uint64_t view) {
   // Grace period: the re-proposed log needs a full re-agreement round under
   // post-view-change backlog before anyone may suspect the new primary.
   current_vc_timeout_ = config_.view_change_timeout * 3;
-  // A view change may have nooped requests this map says were handled;
-  // client retransmissions must be accepted afresh (the execution engine
-  // still deduplicates anything that really committed).
-  leader_seen_ts_.clear();
+  // A view change may have nooped requests the admission table says were
+  // handled; client retransmissions must be accepted afresh (the execution
+  // engine still deduplicates anything that really committed).
+  pipeline_.ForgetAdmissions();
   // Uncommitted slots are superseded by the NEW-VIEW's re-proposals (which
   // the caller installs after this); keeping them would leave phantom
   // "uncommitted work" that re-arms the view timer forever.
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    it = !it->second.committed ? slots_.erase(it) : std::next(it);
-  }
+  log_.EraseUncommitted();
   for (auto it = vc_msgs_.begin(); it != vc_msgs_.end();) {
     it = it->first <= view ? vc_msgs_.erase(it) : std::next(it);
   }

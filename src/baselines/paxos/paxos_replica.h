@@ -20,14 +20,14 @@
 #ifndef SEEMORE_BASELINES_PAXOS_PAXOS_REPLICA_H_
 #define SEEMORE_BASELINES_PAXOS_PAXOS_REPLICA_H_
 
-#include <deque>
 #include <map>
 #include <memory>
-#include <set>
 #include <utility>
 #include <vector>
 
-#include "consensus/quorum.h"
+#include "consensus/checkpoint.h"
+#include "consensus/instance_log.h"
+#include "consensus/primary_pipeline.h"
 #include "consensus/replica_base.h"
 #include "wire/messages.h"
 
@@ -44,24 +44,17 @@ class PaxosReplica : public ReplicaBase {
   uint64_t view() const { return view_; }
   bool IsLeader() const { return config_.FlatPrimary(view_) == id_; }
   uint64_t last_executed() const { return exec_.last_executed(); }
-  uint64_t stable_checkpoint() const { return stable_seq_; }
+  uint64_t stable_checkpoint() const { return ckpt_.stable_seq(); }
   bool in_view_change() const { return in_view_change_; }
+  /// Diagnostics: slots proposed but not yet committed (tests, debugging).
+  int uncommitted_slots() const { return log_.UncommittedSlots(); }
+  /// Diagnostics: live instance-log slots (property tests bound this).
+  size_t log_occupancy() const { return log_.occupied(); }
 
  protected:
   void HandleMessage(PrincipalId from, const Payload& frame) override;
 
  private:
-  struct Slot {
-    Batch batch;
-    bool has_batch = false;
-    Digest digest;
-    uint64_t view = 0;           // view in which the batch was accepted
-    std::set<PrincipalId> acks;  // leader side
-    bool committed = false;
-    bool commit_broadcast = false;  // leader sent COMMIT for this slot
-    bool commit_seen = false;  // COMMIT raced ahead of the ACCEPT
-  };
-
   // ----- normal case -----
   void HandleRequest(PrincipalId from, Request request);
   void LeaderEnqueue(Request request);
@@ -69,9 +62,8 @@ class PaxosReplica : public ReplicaBase {
   void HandleAccept(PrincipalId from, PaxosAcceptMsg msg);
   void HandleAck(PrincipalId from, PaxosAckMsg msg);
   void HandleCommit(PrincipalId from, PaxosCommitMsg msg);
-  void CommitSlot(uint64_t seq, Slot& slot, bool send_replies);
+  void CommitSlot(uint64_t seq, SlotCore& slot, bool send_replies);
   void SendReply(const ExecutedRequest& executed);
-  int UncommittedSlots() const;
 
   // ----- checkpoints / state transfer -----
   void MaybeCheckpoint();
@@ -101,22 +93,13 @@ class PaxosReplica : public ReplicaBase {
   uint64_t view_ = 0;
   bool in_view_change_ = false;
   uint64_t vc_target_ = 0;  // view we are trying to move to
-  uint64_t next_seq_ = 1;   // leader only
-  std::map<uint64_t, Slot> slots_;
-  std::deque<Request> pending_;  // leader-side batching queue
-  std::map<PrincipalId, uint64_t> leader_seen_ts_;
-  /// Timestamps seen directly from clients (detects retransmissions that
-  /// must be relayed to the primary).
-  std::map<PrincipalId, uint64_t> relay_seen_ts_;
 
-  uint64_t stable_seq_ = 0;
-  Digest stable_digest_;
-  Bytes stable_snapshot_;
-  uint64_t last_checkpoint_seq_ = 0;
-  /// Snapshots taken at checkpoint points, awaiting stability.
-  std::map<uint64_t, std::pair<Digest, Bytes>> snapshot_buffer_;
-  /// seq -> digest -> voters.
-  std::map<uint64_t, std::map<Digest, std::set<PrincipalId>>> checkpoint_votes_;
+  /// The shared consensus core (consensus/): the slot log, the leader's
+  /// proposal pipeline and the checkpoint state. Checkpoint votes travel as
+  /// unsigned CheckpointMsgs (the crash model has no signatures).
+  InstanceLog log_;
+  PrimaryPipeline pipeline_;
+  CheckpointTracker ckpt_;
 
   struct ViewChangeRecord {
     uint64_t stable_seq = 0;

@@ -14,10 +14,13 @@ PbftCoreReplica::PbftCoreReplica(Transport* transport, TimerService* timers,
                                  const PbftQuorums& quorums)
     : ReplicaBase(transport, timers, keystore, id, config,
                   std::move(state_machine), costs),
-      quorums_(quorums) {
+      quorums_(quorums),
+      window_(static_cast<uint64_t>(config.checkpoint_period) * 2 +
+              static_cast<uint64_t>(config.pipeline_max)),
+      log_(window_),
+      pipeline_(config.batch_max, config.pipeline_max),
+      ckpt_(config.checkpoint_period) {
   current_vc_timeout_ = config_.view_change_timeout;
-  window_ = static_cast<uint64_t>(config_.checkpoint_period) * 2 +
-            static_cast<uint64_t>(config_.pipeline_max);
 }
 
 void PbftCoreReplica::HandleMessage(PrincipalId from, const Payload& frame) {
@@ -103,11 +106,7 @@ void PbftCoreReplica::HandleRequest(PrincipalId from, Request request) {
     // have been lost or the client cannot reach it) and arm the liveness
     // timer — if the request still never commits, a view change follows.
     if (from == request.client) {
-      auto seen = relay_seen_ts_.find(request.client);
-      const bool retransmission =
-          seen != relay_seen_ts_.end() && seen->second >= request.timestamp;
-      relay_seen_ts_[request.client] = request.timestamp;
-      if (retransmission) {
+      if (pipeline_.NoteDirectDelivery(request.client, request.timestamp)) {
         SendTo(config_.FlatPrimary(view_), request.ToMessage());
       }
     }
@@ -116,42 +115,23 @@ void PbftCoreReplica::HandleRequest(PrincipalId from, Request request) {
 }
 
 void PbftCoreReplica::PrimaryEnqueue(Request request) {
-  auto it = primary_seen_ts_.find(request.client);
-  if (it != primary_seen_ts_.end() && request.timestamp <= it->second) return;
-  primary_seen_ts_[request.client] = request.timestamp;
-  pending_.push_back(std::move(request));
+  if (!pipeline_.Admit(request)) return;
+  pipeline_.Enqueue(std::move(request));
   TryPropose();
 }
 
-int PbftCoreReplica::UncommittedSlots() const {
-  int count = 0;
-  for (const auto& [seq, slot] : slots_) {
-    if (slot.has_batch && !slot.committed) ++count;
-  }
-  return count;
-}
-
 void PbftCoreReplica::TryPropose() {
-  while (!pending_.empty() && UncommittedSlots() < config_.pipeline_max &&
-         next_seq_ <= stable_seq_ + window_) {
-    Batch batch;
-    while (!pending_.empty() &&
-           batch.size() < static_cast<size_t>(config_.batch_max)) {
-      batch.requests.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
-    const uint64_t seq = next_seq_++;
+  while (pipeline_.CanOpen(log_.UncommittedSlots()) &&
+         pipeline_.next_seq() <= ckpt_.stable_seq() + window_) {
+    auto [seq, batch] = pipeline_.Open();
 
     if (HasByz(kByzEquivocate) && batch.size() >= 1) {
       // Equivocating primary: propose different batches to different halves
       // of the cluster. Honest replicas will fail to assemble a prepare
       // quorum for either value; the view change recovers liveness.
       Batch alt;
-      alt.requests.assign(batch.requests.rbegin() + (batch.size() > 1 ? 0 : 0),
-                          batch.requests.rend());
-      if (alt.size() == batch.size() && batch.size() == 1) {
-        alt = Batch::Noop();
-      }
+      alt.requests.assign(batch.requests.rbegin(), batch.requests.rend());
+      if (batch.size() == 1) alt = Batch::Noop();  // reversal is a no-op
       PbftPrePrepareMsg pp_a{view_, seq, Digest(), Signature(), batch.Encode()};
       PbftPrePrepareMsg pp_b{view_, seq, Digest(), Signature(), alt.Encode()};
       pp_a.digest = Digest::Of(pp_a.batch);
@@ -181,7 +161,7 @@ void PbftCoreReplica::EmitPrePrepare(uint64_t seq, const Batch& batch,
   ChargeSign();
   pp.sig = signer_.Sign(pp.Header());
 
-  Slot& slot = slots_[seq];
+  SlotCore& slot = log_.Slot(seq);
   slot.batch = batch;
   slot.has_batch = true;
   slot.digest = pp.digest;
@@ -194,7 +174,9 @@ void PbftCoreReplica::EmitPrePrepare(uint64_t seq, const Batch& batch,
 void PbftCoreReplica::HandlePrePrepare(PrincipalId from, PbftPrePrepareMsg msg) {
   if (msg.view != view_ || in_view_change_) return;
   if (from != config_.FlatPrimary(view_)) return;
-  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
+  if (msg.seq <= ckpt_.stable_seq() || msg.seq > ckpt_.stable_seq() + window_) {
+    return;
+  }
 
   // Primary signature, batch digest and per-request client signatures are
   // pure functions of the multicast frame: real crypto runs once per
@@ -224,7 +206,7 @@ void PbftCoreReplica::HandlePrePrepare(PrincipalId from, PbftPrePrepareMsg msg) 
     }
   }
 
-  Slot& slot = slots_[msg.seq];
+  SlotCore& slot = log_.Slot(msg.seq);
   if (slot.has_batch) {
     // Equivocation defense: at most one pre-prepare per (view, seq).
     if (slot.view == msg.view && slot.digest != msg.digest) return;
@@ -241,7 +223,7 @@ void PbftCoreReplica::HandlePrePrepare(PrincipalId from, PbftPrePrepareMsg msg) 
   CheckPrepared(msg.seq, slot);
 }
 
-void PbftCoreReplica::SendPrepare(uint64_t seq, Slot& slot) {
+void PbftCoreReplica::SendPrepare(uint64_t seq, SlotCore& slot) {
   Digest vote_digest = slot.digest;
   if (HasByz(kByzWrongVotes)) vote_digest.data()[0] ^= 0xff;
   ChargeSign();
@@ -252,26 +234,28 @@ void PbftCoreReplica::SendPrepare(uint64_t seq, Slot& slot) {
   prepare.voter = id_;
   prepare.sig = signer_.Sign(prepare.Header(PbftPrepareMsg::kDomain));
   SendToMany(config_.AllReplicas(), prepare.ToMessage());
-  slot.prepare_votes.Add(vote_digest, id_, prepare.sig);
+  RecordVote(slot.accept_votes, vote_digest, id_, prepare.sig);
 }
 
 void PbftCoreReplica::HandlePrepare(PrincipalId from, PbftPrepareMsg msg) {
   if (msg.view != view_ || in_view_change_) return;
   if (msg.voter != from || !IsReplicaId(msg.voter)) return;
-  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
+  if (msg.seq <= ckpt_.stable_seq() || msg.seq > ckpt_.stable_seq() + window_) {
+    return;
+  }
   ChargeVerify();
   if (!FrameVerifyMemoized(msg.voter, kPbftPrepare,
                            [&] { return msg.Verify(*keystore_); })) {
     return;
   }
-  Slot& slot = slots_[msg.seq];
-  slot.prepare_votes.Add(msg.digest, msg.voter, msg.sig);
+  SlotCore& slot = log_.Slot(msg.seq);
+  RecordVote(slot.accept_votes, msg.digest, msg.voter, msg.sig);
   CheckPrepared(msg.seq, slot);
 }
 
-void PbftCoreReplica::CheckPrepared(uint64_t seq, Slot& slot) {
+void PbftCoreReplica::CheckPrepared(uint64_t seq, SlotCore& slot) {
   if (slot.prepared || !slot.has_batch) return;
-  if (static_cast<int>(slot.prepare_votes.Count(slot.digest)) <
+  if (static_cast<int>(slot.accept_votes.Count(slot.digest)) <
       quorums_.agreement) {
     return;
   }
@@ -288,7 +272,7 @@ void PbftCoreReplica::CheckPrepared(uint64_t seq, Slot& slot) {
     commit.voter = id_;
     commit.sig = signer_.Sign(commit.Header(PbftCommitMsg::kDomain));
     SendToMany(config_.AllReplicas(), commit.ToMessage());
-    slot.commit_votes.Add(vote_digest, id_, commit.sig);
+    RecordVote(slot.commit_votes, vote_digest, id_, commit.sig);
   }
   CheckCommitted(seq, slot);
 }
@@ -296,29 +280,27 @@ void PbftCoreReplica::CheckPrepared(uint64_t seq, Slot& slot) {
 void PbftCoreReplica::HandleCommit(PrincipalId from, PbftCommitMsg msg) {
   if (msg.view != view_ || in_view_change_) return;
   if (msg.voter != from || !IsReplicaId(msg.voter)) return;
-  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
+  if (msg.seq <= ckpt_.stable_seq() || msg.seq > ckpt_.stable_seq() + window_) {
+    return;
+  }
   ChargeVerify();
   if (!FrameVerifyMemoized(msg.voter, kPbftCommit,
                            [&] { return msg.Verify(*keystore_); })) {
     return;
   }
-  Slot& slot = slots_[msg.seq];
-  slot.commit_votes.Add(msg.digest, msg.voter, msg.sig);
+  SlotCore& slot = log_.Slot(msg.seq);
+  RecordVote(slot.commit_votes, msg.digest, msg.voter, msg.sig);
   CheckCommitted(msg.seq, slot);
 }
 
-void PbftCoreReplica::CheckCommitted(uint64_t seq, Slot& slot) {
+void PbftCoreReplica::CheckCommitted(uint64_t seq, SlotCore& slot) {
   if (slot.committed || !slot.prepared) return;
   if (static_cast<int>(slot.commit_votes.Count(slot.digest)) <
       quorums_.commit) {
     return;
   }
-  slot.committed = true;
-  ++stats_.batches_committed;
-  std::vector<ExecutedRequest> executed = exec_.Commit(seq, slot.batch);
-  ChargeExecute(static_cast<int>(executed.size()));
+  std::vector<ExecutedRequest> executed = commits().Commit(seq, slot);
   for (const ExecutedRequest& ex : executed) {
-    ++stats_.requests_executed;
     if (!(ex.duplicate && ex.result.empty())) SendReply(ex);
   }
   MaybeCheckpoint();
@@ -346,15 +328,12 @@ void PbftCoreReplica::SendReply(const ExecutedRequest& executed) {
 
 void PbftCoreReplica::MaybeCheckpoint() {
   const uint64_t executed = exec_.last_executed();
-  if (executed < last_checkpoint_seq_ +
-                     static_cast<uint64_t>(config_.checkpoint_period)) {
-    return;
-  }
-  last_checkpoint_seq_ = executed;
+  if (!ckpt_.Due(executed)) return;
+  ckpt_.NoteTaken(executed);
   Bytes snapshot = exec_.Snapshot();
   ChargeHash(snapshot.size());
   const Digest digest = Digest::Of(snapshot);
-  snapshot_buffer_[executed] = {digest, std::move(snapshot)};
+  ckpt_.Buffer(executed, digest, std::move(snapshot));
 
   CheckpointMsg msg;
   msg.seq = executed;
@@ -368,7 +347,7 @@ void PbftCoreReplica::MaybeCheckpoint() {
 
 void PbftCoreReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
   if (msg.replica != from || !IsReplicaId(from)) return;
-  if (msg.seq <= stable_seq_) return;
+  if (msg.seq <= ckpt_.stable_seq()) return;
   ChargeVerify();
   if (!FrameVerifyMemoized(msg.replica, kPbftCheckpoint,
                            [&] { return msg.Verify(*keystore_); })) {
@@ -385,8 +364,7 @@ void PbftCoreReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
 }
 
 void PbftCoreReplica::CountCheckpointVote(const CheckpointMsg& msg) {
-  auto& signers = checkpoint_votes_[msg.seq][msg.state_digest];
-  signers[msg.replica] = msg;
+  const auto& signers = ckpt_.AddVote(msg);
   if (static_cast<int>(signers.size()) >= quorums_.checkpoint) {
     CheckpointCert cert;
     PrincipalId helper = id_;
@@ -400,24 +378,12 @@ void PbftCoreReplica::CountCheckpointVote(const CheckpointMsg& msg) {
 
 void PbftCoreReplica::AdvanceStable(uint64_t seq, const Digest& digest,
                                     CheckpointCert cert, PrincipalId helper) {
-  if (seq <= stable_seq_) return;
-  stable_seq_ = seq;
-  stable_cert_ = std::move(cert);
-  auto it = snapshot_buffer_.find(seq);
-  if (it != snapshot_buffer_.end() && it->second.first == digest) {
-    stable_snapshot_ = std::move(it->second.second);
-  } else if (exec_.last_executed() < seq && helper != id_) {
+  if (seq <= ckpt_.stable_seq()) return;
+  const bool installed = ckpt_.Advance(seq, digest, std::move(cert));
+  if (!installed && exec_.last_executed() < seq && helper != id_) {
     RequestStateFrom(helper);
   }
-  for (auto s = slots_.begin(); s != slots_.end();) {
-    s = s->first <= seq ? slots_.erase(s) : std::next(s);
-  }
-  for (auto s = snapshot_buffer_.begin(); s != snapshot_buffer_.end();) {
-    s = s->first <= seq ? snapshot_buffer_.erase(s) : std::next(s);
-  }
-  for (auto s = checkpoint_votes_.begin(); s != checkpoint_votes_.end();) {
-    s = s->first <= seq ? checkpoint_votes_.erase(s) : std::next(s);
-  }
+  log_.Reclaim(seq);
   if (IsPrimary() && !in_view_change_) TryPropose();  // window may have moved
 }
 
@@ -431,10 +397,13 @@ void PbftCoreReplica::RequestStateFrom(PrincipalId target) {
 }
 
 void PbftCoreReplica::HandleStateRequest(PrincipalId from, StateRequestMsg msg) {
-  if (stable_snapshot_.empty() || stable_seq_ <= msg.last_executed) return;
+  if (!ckpt_.has_stable_snapshot() ||
+      ckpt_.stable_seq() <= msg.last_executed) {
+    return;
+  }
   StateResponseMsg response;
-  response.cert = stable_cert_;
-  response.snapshot = stable_snapshot_;
+  response.cert = ckpt_.stable_cert();
+  response.snapshot = ckpt_.stable_snapshot();
   SendTo(from, response.ToMessage(kPbftStateResponse));
 }
 
@@ -453,13 +422,9 @@ void PbftCoreReplica::HandleStateResponse(PrincipalId from,
   if (Digest::Of(snapshot) != cert.state_digest()) return;
   const uint64_t seq = cert.seq();
   if (!exec_.Restore(snapshot, seq).ok()) return;
-  stable_seq_ = std::max(stable_seq_, seq);
-  stable_cert_ = std::move(cert);
-  stable_snapshot_ = std::move(snapshot);
-  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, seq);
-  for (auto s = slots_.begin(); s != slots_.end();) {
-    s = s->first <= seq ? slots_.erase(s) : std::next(s);
-  }
+  const Digest digest = cert.state_digest();
+  ckpt_.InstallRestored(seq, digest, std::move(cert), std::move(snapshot));
+  log_.Reclaim(seq);
 }
 
 // ---------------------------------------------------------------------------
@@ -480,7 +445,7 @@ void PbftCoreReplica::ArmViewTimer() {
 void PbftCoreReplica::RestartOrDisarmViewTimer() {
   CancelTimer(view_timer_);
   current_vc_timeout_ = config_.view_change_timeout;
-  if (UncommittedSlots() > 0) ArmViewTimer();
+  if (log_.UncommittedSlots() > 0) ArmViewTimer();
 }
 
 void PbftCoreReplica::StartViewChange(uint64_t new_view) {
@@ -491,21 +456,23 @@ void PbftCoreReplica::StartViewChange(uint64_t new_view) {
   CancelTimer(view_timer_);
 
   std::vector<PreparedProof> proofs;
-  for (const auto& [seq, slot] : slots_) {
-    if (!slot.prepared || seq <= stable_seq_) continue;
+  const uint64_t stable = ckpt_.stable_seq();
+  log_.ForEachAscending([&](uint64_t seq, const SlotCore& slot) {
+    if (!slot.prepared || seq <= stable) return;
     PreparedProof proof;
     proof.view = slot.view;
     proof.seq = seq;
     proof.digest = slot.digest;
     proof.batch = slot.batch;
     proof.primary_sig = slot.primary_sig;
-    const auto* sigs = slot.prepare_votes.SignaturesFor(slot.digest);
+    const auto* sigs = slot.accept_votes.SignaturesFor(slot.digest);
     if (sigs != nullptr) proof.prepares = *sigs;
     proofs.push_back(std::move(proof));
-  }
+  });
   ChargeSign();
-  const Bytes raw = PbftViewChangeMsg::Build(new_view, stable_seq_,
-                                             stable_cert_, proofs, signer_);
+  const Bytes raw = PbftViewChangeMsg::Build(new_view, stable,
+                                             ckpt_.stable_cert(), proofs,
+                                             signer_);
   SendToMany(config_.AllReplicas(), raw);
 
   Result<ViewChangeRecord> record = ParseViewChange(raw, id_);
@@ -656,22 +623,25 @@ void PbftCoreReplica::MaybeFormNewView(uint64_t new_view) {
   uint64_t max_seq = max_stable;
   for (auto& [seq, proposal] : proposals) {
     max_seq = std::max(max_seq, seq);
-    Slot slot;  // fresh: stale votes must not count toward the new view
+    const SlotCore* prior = log_.Find(seq);
+    const bool was_committed =
+        (prior != nullptr && prior->committed) || exec_.HasCommitted(seq);
+    // Fresh slot: stale votes must not count toward the new view.
+    SlotCore& slot = log_.ResetSlot(seq);
     slot.batch = std::move(proposal.batch);
     slot.has_batch = true;
     slot.digest = proposal.digest;
     slot.view = new_view;
     slot.primary_sig = signer_.Sign(
         ProposalHeader(kDomainPrePrepare, 0, new_view, seq, proposal.digest));
-    slot.committed = slots_[seq].committed || exec_.HasCommitted(seq);
-    slots_[seq] = std::move(slot);
+    slot.committed = was_committed;
   }
-  if (max_stable > stable_seq_ && max_stable > exec_.last_executed() &&
+  if (max_stable > ckpt_.stable_seq() && max_stable > exec_.last_executed() &&
       helper != id_) {
     RequestStateFrom(helper);
   }
-  next_seq_ = max_seq + 1;
-  if (UncommittedSlots() > 0) ArmViewTimer();
+  pipeline_.OverrideNextSeq(max_seq + 1);
+  if (log_.UncommittedSlots() > 0) ArmViewTimer();
   TryPropose();
 }
 
@@ -724,24 +694,24 @@ void PbftCoreReplica::HandleNewView(PrincipalId from, PbftNewViewMsg msg) {
   PrincipalId helper = from;
   if (max_stable > exec_.last_executed()) RequestStateFrom(helper);
   for (PbftNewViewEntry& entry : msg.entries) {
-    if (entry.seq <= stable_seq_) continue;
+    if (entry.seq <= ckpt_.stable_seq()) continue;
     // Already-committed sequence numbers still run the prepare/commit vote
     // exchange so peers that missed them pre-view-change can assemble their
     // quorums; the committed flag prevents re-execution.
-    Slot fresh;
-    fresh.batch = std::move(proposals[entry.seq].batch);
-    fresh.has_batch = true;
-    fresh.digest = entry.digest;
-    fresh.view = new_view;
-    fresh.primary_sig = entry.sig;
-    fresh.committed = slots_[entry.seq].committed ||
-                      exec_.HasCommitted(entry.seq);
-    slots_[entry.seq] = std::move(fresh);
-    Slot& slot = slots_[entry.seq];
+    const SlotCore* prior = log_.Find(entry.seq);
+    const bool was_committed = (prior != nullptr && prior->committed) ||
+                               exec_.HasCommitted(entry.seq);
+    SlotCore& slot = log_.ResetSlot(entry.seq);
+    slot.batch = std::move(proposals[entry.seq].batch);
+    slot.has_batch = true;
+    slot.digest = entry.digest;
+    slot.view = new_view;
+    slot.primary_sig = entry.sig;
+    slot.committed = was_committed;
     SendPrepare(entry.seq, slot);
     CheckPrepared(entry.seq, slot);
   }
-  if (UncommittedSlots() > 0) ArmViewTimer();
+  if (log_.UncommittedSlots() > 0) ArmViewTimer();
 }
 
 void PbftCoreReplica::EnterView(uint64_t view) {
@@ -752,15 +722,13 @@ void PbftCoreReplica::EnterView(uint64_t view) {
   // Grace period: the re-proposed log needs a full re-agreement round under
   // post-view-change backlog before anyone may suspect the new primary.
   current_vc_timeout_ = config_.view_change_timeout * 3;
-  // A view change may have nooped requests this map says were handled;
-  // client retransmissions must be accepted afresh (the execution engine
-  // still deduplicates anything that really committed).
-  primary_seen_ts_.clear();
+  // A view change may have nooped requests the admission table says were
+  // handled; client retransmissions must be accepted afresh (the execution
+  // engine still deduplicates anything that really committed).
+  pipeline_.ForgetAdmissions();
   // Uncommitted slots are superseded by the NEW-VIEW the caller installs
   // next; keeping them would re-arm the view timer forever.
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    it = !it->second.committed ? slots_.erase(it) : std::next(it);
-  }
+  log_.EraseUncommitted();
   for (auto it = vc_msgs_.begin(); it != vc_msgs_.end();) {
     it = it->first <= view ? vc_msgs_.erase(it) : std::next(it);
   }

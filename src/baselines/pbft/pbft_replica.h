@@ -11,16 +11,15 @@
 #ifndef SEEMORE_BASELINES_PBFT_PBFT_REPLICA_H_
 #define SEEMORE_BASELINES_PBFT_PBFT_REPLICA_H_
 
-#include <deque>
 #include <map>
 #include <memory>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "consensus/checkpoint.h"
+#include "consensus/instance_log.h"
+#include "consensus/primary_pipeline.h"
 #include "consensus/proofs.h"
-#include "consensus/quorum.h"
 #include "consensus/replica_base.h"
 #include "wire/messages.h"
 
@@ -46,26 +45,17 @@ class PbftCoreReplica : public ReplicaBase {
   uint64_t view() const { return view_; }
   bool IsPrimary() const { return config_.FlatPrimary(view_) == id_; }
   uint64_t last_executed() const { return exec_.last_executed(); }
-  uint64_t stable_checkpoint() const { return stable_seq_; }
+  uint64_t stable_checkpoint() const { return ckpt_.stable_seq(); }
   bool in_view_change() const { return in_view_change_; }
+  /// Diagnostics: slots proposed but not yet committed (tests, debugging).
+  int uncommitted_slots() const { return log_.UncommittedSlots(); }
+  /// Diagnostics: live instance-log slots (property tests bound this).
+  size_t log_occupancy() const { return log_.occupied(); }
 
  protected:
   void HandleMessage(PrincipalId from, const Payload& frame) override;
 
  private:
-  struct Slot {
-    Batch batch;
-    bool has_batch = false;
-    Digest digest;
-    uint64_t view = 0;      // view of the accepted pre-prepare
-    Signature primary_sig;  // the pre-prepare signature (for proofs)
-    SignedVoteSet<Digest> prepare_votes;
-    SignedVoteSet<Digest> commit_votes;
-    bool prepared = false;
-    bool committed = false;
-    bool commit_sent = false;
-  };
-
   struct ViewChangeRecord {
     Bytes raw;  // full message, embedded into NEW-VIEW as proof
     uint64_t stable_seq = 0;
@@ -87,11 +77,10 @@ class PbftCoreReplica : public ReplicaBase {
   void HandlePrePrepare(PrincipalId from, PbftPrePrepareMsg msg);
   void HandlePrepare(PrincipalId from, PbftPrepareMsg msg);
   void HandleCommit(PrincipalId from, PbftCommitMsg msg);
-  void SendPrepare(uint64_t seq, Slot& slot);
-  void CheckPrepared(uint64_t seq, Slot& slot);
-  void CheckCommitted(uint64_t seq, Slot& slot);
+  void SendPrepare(uint64_t seq, SlotCore& slot);
+  void CheckPrepared(uint64_t seq, SlotCore& slot);
+  void CheckCommitted(uint64_t seq, SlotCore& slot);
   void SendReply(const ExecutedRequest& executed);
-  int UncommittedSlots() const;
 
   // ----- checkpoints / state transfer -----
   void MaybeCheckpoint();
@@ -130,23 +119,13 @@ class PbftCoreReplica : public ReplicaBase {
   uint64_t view_ = 0;
   bool in_view_change_ = false;
   uint64_t vc_target_ = 0;
-  uint64_t next_seq_ = 1;
   uint64_t window_;  // max seqs above the stable checkpoint we accept
-  std::map<uint64_t, Slot> slots_;
-  std::deque<Request> pending_;
-  std::map<PrincipalId, uint64_t> primary_seen_ts_;
-  /// Timestamps seen directly from clients (detects retransmissions that
-  /// must be relayed to the primary).
-  std::map<PrincipalId, uint64_t> relay_seen_ts_;
 
-  uint64_t stable_seq_ = 0;
-  CheckpointCert stable_cert_;
-  Bytes stable_snapshot_;
-  uint64_t last_checkpoint_seq_ = 0;
-  std::map<uint64_t, std::pair<Digest, Bytes>> snapshot_buffer_;
-  /// seq -> digest -> signer -> message (for certificate assembly).
-  std::map<uint64_t, std::map<Digest, std::map<PrincipalId, CheckpointMsg>>>
-      checkpoint_votes_;
+  /// The shared consensus core (consensus/): the slot log, the primary's
+  /// proposal pipeline and the checkpoint state.
+  InstanceLog log_;
+  PrimaryPipeline pipeline_;
+  CheckpointTracker ckpt_;
 
   std::map<uint64_t, std::map<PrincipalId, ViewChangeRecord>> vc_msgs_;
 

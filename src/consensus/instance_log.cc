@@ -1,0 +1,139 @@
+#include "consensus/instance_log.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace seemore {
+
+namespace {
+
+uint64_t NextPow2(uint64_t v) {
+  uint64_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void SlotCore::Reset(uint64_t owner_seq) {
+  *this = SlotCore{};
+  seq = owner_seq;
+}
+
+InstanceLog::InstanceLog(uint64_t window) {
+  slab_.resize(NextPow2(window + 1));
+  mask_ = slab_.size() - 1;
+}
+
+uint64_t InstanceLog::SlabScanEnd() const {
+  return std::min(slab_max_, stable_ + slab_.size());
+}
+
+SlotCore& InstanceLog::Slot(uint64_t seq) {
+  if (InSlabRange(seq)) {
+    SlotCore& slot = slab_[seq & mask_];
+    if (slot.seq == seq) return slot;
+    // Distinct in-window seqs map to distinct indices and Reclaim() frees
+    // everything at or below the floor, so a mismatch means the slot is free.
+    SEEMORE_CHECK(slot.seq == 0) << "instance-log slab collision";
+    slot.Reset(seq);
+    ++occupied_;
+    slab_max_ = std::max(slab_max_, seq);
+    return slot;
+  }
+  auto [it, inserted] = overflow_.try_emplace(seq);
+  if (inserted) {
+    it->second.Reset(seq);
+    ++occupied_;
+  }
+  return it->second;
+}
+
+SlotCore& InstanceLog::ResetSlot(uint64_t seq) {
+  SlotCore& slot = Slot(seq);
+  slot.Reset(seq);
+  return slot;
+}
+
+SlotCore* InstanceLog::Find(uint64_t seq) {
+  if (InSlabRange(seq)) {
+    SlotCore& slot = slab_[seq & mask_];
+    return slot.seq == seq ? &slot : nullptr;
+  }
+  auto it = overflow_.find(seq);
+  return it == overflow_.end() ? nullptr : &it->second;
+}
+
+const SlotCore* InstanceLog::Find(uint64_t seq) const {
+  return const_cast<InstanceLog*>(this)->Find(seq);
+}
+
+void InstanceLog::Erase(uint64_t seq) {
+  if (InSlabRange(seq)) {
+    SlotCore& slot = slab_[seq & mask_];
+    if (slot.seq == seq) {
+      slot.Reset(0);
+      --occupied_;
+    }
+    return;
+  }
+  if (overflow_.erase(seq) > 0) --occupied_;
+}
+
+void InstanceLog::Reclaim(uint64_t stable_seq) {
+  // Free slab slots in (stable_, min(stable_seq, slab range end)].
+  const uint64_t hi = std::min(stable_seq, stable_ + slab_.size());
+  for (uint64_t seq = stable_ + 1; seq <= hi; ++seq) {
+    SlotCore& slot = slab_[seq & mask_];
+    if (slot.seq == seq) {
+      slot.Reset(0);
+      --occupied_;
+    }
+  }
+  for (auto it = overflow_.begin();
+       it != overflow_.end() && it->first <= stable_seq;) {
+    it = overflow_.erase(it);
+    --occupied_;
+  }
+  if (stable_seq <= stable_) return;
+  stable_ = stable_seq;
+  // Side-map entries that fell into the new window move onto the slab.
+  for (auto it = overflow_.begin();
+       it != overflow_.end() && InSlabRange(it->first);) {
+    SlotCore& slot = slab_[it->first & mask_];
+    SEEMORE_CHECK(slot.seq == 0) << "instance-log migration collision";
+    slot = std::move(it->second);
+    slab_max_ = std::max(slab_max_, slot.seq);
+    it = overflow_.erase(it);
+  }
+}
+
+void InstanceLog::EraseUncommitted() {
+  const uint64_t hi = SlabScanEnd();
+  for (uint64_t seq = stable_ + 1; seq <= hi; ++seq) {
+    SlotCore& slot = slab_[seq & mask_];
+    if (slot.seq == seq && !slot.committed) {
+      slot.Reset(0);
+      --occupied_;
+    }
+  }
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
+    if (!it->second.committed) {
+      it = overflow_.erase(it);
+      --occupied_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+int InstanceLog::UncommittedSlots() const {
+  int count = 0;
+  ForEachAscending([&count](uint64_t, const SlotCore& slot) {
+    if (slot.has_batch && !slot.committed) ++count;
+  });
+  return count;
+}
+
+}  // namespace seemore

@@ -1,0 +1,131 @@
+// The per-replica consensus slot log shared by every protocol: a
+// sequence-indexed slab of SlotCore instances holding one in-flight
+// instance's batch, phase flags and vote trackers.
+//
+// Storage mirrors the simulator's event-slab design (DESIGN.md §6): live
+// sequence numbers inside the agreement window (stable checkpoint + window)
+// occupy a power-of-two slab addressed by `seq & mask` — distinct in-window
+// seqs can never collide — and each slot carries its owning seq as a
+// generation tag, so a lookup of a reclaimed or never-claimed seq misses
+// instead of aliasing stale state. Sequence numbers outside the window
+// (a lagging replica installing a far-ahead certificate, or far-future
+// bookkeeping like Paxos' commit-raced-ahead markers) spill into a small
+// ordered side map, preserving exact std::map semantics for the cold path.
+// Reclaim(stable) frees every slot <= stable and migrates side-map entries
+// that fell into the new window back onto the slab.
+
+#ifndef SEEMORE_CONSENSUS_INSTANCE_LOG_H_
+#define SEEMORE_CONSENSUS_INSTANCE_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "consensus/batch.h"
+#include "consensus/config.h"
+#include "consensus/quorum_tracker.h"
+#include "crypto/keystore.h"
+
+namespace seemore {
+
+/// Phase state of one consensus instance (the union of what SeeMoRe's three
+/// modes, PBFT/S-UpRight and Paxos track per sequence number). Protocols use
+/// the subset their phases need; unused trackers stay empty.
+struct SlotCore {
+  /// Owning sequence number (the slab's generation tag); 0 = free slot.
+  uint64_t seq = 0;
+
+  Batch batch;
+  bool has_batch = false;
+  Digest digest;
+  uint64_t view = 0;
+  /// SeeMoRe: mode under which the proposal was signed (signature domain).
+  SeeMoReMode mode = SeeMoReMode::kLion;
+  Signature primary_sig;  // over the proposal (prepare/pre-prepare) header
+
+  /// Unsigned votes: Lion accepts counted by the trusted primary, Paxos ACKs
+  /// counted by the leader.
+  VoteTracker plain_votes;
+  /// Signed first-phase echoes: Dog accepts, Peacock/PBFT prepares.
+  QuorumTracker accept_votes;
+  /// Signed commit votes (Dog/Peacock/PBFT).
+  QuorumTracker commit_votes;
+  /// INFORMs received by SeeMoRe passive nodes.
+  VoteTracker inform_votes;
+
+  bool accept_sent = false;
+  bool prepared = false;     // Peacock/PBFT
+  bool commit_sent = false;  // commit vote sent / Paxos COMMIT broadcast
+  bool committed = false;
+  bool commit_seen = false;  // Paxos: COMMIT raced ahead of the ACCEPT
+  /// Lion: the primary's signed commit (view-change C-set evidence).
+  bool has_commit_sig = false;
+  Signature commit_sig;
+
+  /// Reset to a fresh slot owning `owner_seq` (0 frees the slot).
+  void Reset(uint64_t owner_seq);
+};
+
+class InstanceLog {
+ public:
+  /// `window` is the protocol's agreement window (seqs above the stable
+  /// checkpoint a primary may propose); it sizes the slab.
+  explicit InstanceLog(uint64_t window);
+
+  /// Get-or-create (std::map operator[] semantics, any seq).
+  SlotCore& Slot(uint64_t seq);
+  /// Get-or-create, then reset to a fresh slot. View-change installs use
+  /// this so stale votes never count toward the new view.
+  SlotCore& ResetSlot(uint64_t seq);
+
+  SlotCore* Find(uint64_t seq);
+  const SlotCore* Find(uint64_t seq) const;
+
+  void Erase(uint64_t seq);
+  /// Free every slot <= stable_seq (checkpoint GC) and adopt it as the new
+  /// reclamation floor. Lower-than-current floors still erase matching
+  /// stragglers but never move the floor backwards.
+  void Reclaim(uint64_t stable_seq);
+  /// Free every uncommitted slot (EnterView: superseded by the NEW-VIEW).
+  void EraseUncommitted();
+
+  /// Reclamation floor (highest Reclaim() argument seen).
+  uint64_t stable() const { return stable_; }
+  /// Live slots (slab + side map) — the occupancy the property tests bound.
+  size_t occupied() const { return occupied_; }
+  size_t slab_capacity() const { return slab_.size(); }
+  /// Slots proposed but not yet committed (primary pipeline pacing input).
+  int UncommittedSlots() const;
+
+  /// Visit live slots in ascending seq order (view-change set assembly).
+  template <typename F>
+  void ForEachAscending(F&& fn) const {
+    auto it = overflow_.begin();
+    for (; it != overflow_.end() && it->first <= stable_; ++it) {
+      fn(it->first, it->second);
+    }
+    const uint64_t hi = SlabScanEnd();
+    for (uint64_t seq = stable_ + 1; seq <= hi; ++seq) {
+      const SlotCore& slot = slab_[seq & mask_];
+      if (slot.seq == seq) fn(seq, slot);
+    }
+    for (; it != overflow_.end(); ++it) fn(it->first, it->second);
+  }
+
+ private:
+  bool InSlabRange(uint64_t seq) const {
+    return seq > stable_ && seq <= stable_ + slab_.size();
+  }
+  uint64_t SlabScanEnd() const;
+
+  uint64_t stable_ = 0;
+  uint64_t slab_max_ = 0;  // highest seq ever placed on the slab
+  size_t occupied_ = 0;
+  uint64_t mask_ = 0;            // slab_.size() - 1 (power of two)
+  std::vector<SlotCore> slab_;   // seqs in (stable_, stable_ + size]
+  std::map<uint64_t, SlotCore> overflow_;  // everything else (cold path)
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_INSTANCE_LOG_H_

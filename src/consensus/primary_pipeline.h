@@ -1,0 +1,99 @@
+// The primary/leader's proposal pipeline, shared by every protocol: request
+// admission (per-client timestamp dedup), the pending-request queue, batch
+// formation (up to tuning.batch_max requests per instance, BFT-SMaRt style)
+// and pipeline pacing (at most tuning.pipeline_max concurrently uncommitted
+// instances in flight — the knob every protocol must honour, not just
+// SeeMoRe). Also owns the non-primary relay table that detects client
+// retransmissions which must be forwarded to the primary (the liveness
+// path behind view changes).
+//
+// Sequence numbers are allocated here (Open() returns the next seq with its
+// batch); view changes re-seat the counter via OverrideNextSeq/AdvanceNextSeq.
+
+#ifndef SEEMORE_CONSENSUS_PRIMARY_PIPELINE_H_
+#define SEEMORE_CONSENSUS_PRIMARY_PIPELINE_H_
+
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "consensus/batch.h"
+#include "smr/command.h"
+
+namespace seemore {
+
+class PrimaryPipeline {
+ public:
+  PrimaryPipeline(int batch_max, int pipeline_max)
+      : batch_max_(batch_max), pipeline_max_(pipeline_max) {}
+
+  /// Primary-side admission: false if the client's timestamp is not newer
+  /// than the last admitted one (duplicate/stale); records it otherwise.
+  bool Admit(const Request& request) {
+    auto it = admitted_ts_.find(request.client);
+    if (it != admitted_ts_.end() && request.timestamp <= it->second) {
+      return false;
+    }
+    admitted_ts_[request.client] = request.timestamp;
+    return true;
+  }
+
+  void Enqueue(Request request) { pending_.push_back(std::move(request)); }
+  bool HasPending() const { return !pending_.empty(); }
+  size_t pending_requests() const { return pending_.size(); }
+
+  /// Non-primary relay dedup: true when this direct client delivery repeats
+  /// a timestamp already seen (the client timed out — relay to the primary).
+  bool NoteDirectDelivery(PrincipalId client, uint64_t timestamp) {
+    auto it = relayed_ts_.find(client);
+    const bool retransmission =
+        it != relayed_ts_.end() && it->second >= timestamp;
+    relayed_ts_[client] = timestamp;
+    return retransmission;
+  }
+
+  /// Pacing: a new instance may open only while fewer than pipeline_max
+  /// proposed-but-uncommitted instances are in flight.
+  bool CanOpen(int uncommitted) const {
+    return !pending_.empty() && uncommitted < pipeline_max_;
+  }
+
+  /// Form the next batch (up to batch_max pending requests) and allocate its
+  /// sequence number.
+  std::pair<uint64_t, Batch> Open() {
+    Batch batch;
+    while (!pending_.empty() &&
+           batch.size() < static_cast<size_t>(batch_max_)) {
+      batch.requests.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    return {next_seq_++, std::move(batch)};
+  }
+
+  uint64_t next_seq() const { return next_seq_; }
+  /// View-change install: the new primary's log position.
+  void OverrideNextSeq(uint64_t next) { next_seq_ = next; }
+  void AdvanceNextSeq(uint64_t at_least) {
+    if (next_seq_ < at_least) next_seq_ = at_least;
+  }
+
+  /// EnterView: a view change may have nooped requests the admission table
+  /// says were handled; client retransmissions must be accepted afresh (the
+  /// execution engine still deduplicates anything that really committed).
+  void ForgetAdmissions() { admitted_ts_.clear(); }
+
+  int batch_max() const { return batch_max_; }
+  int pipeline_max() const { return pipeline_max_; }
+
+ private:
+  const int batch_max_;
+  const int pipeline_max_;
+  uint64_t next_seq_ = 1;
+  std::deque<Request> pending_;
+  std::map<PrincipalId, uint64_t> admitted_ts_;  // primary-side dedup
+  std::map<PrincipalId, uint64_t> relayed_ts_;   // relay retransmit detection
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_PRIMARY_PIPELINE_H_

@@ -1,0 +1,74 @@
+#include "consensus/quorum_tracker.h"
+
+namespace seemore {
+
+namespace {
+
+/// Shared binding/equivocation bookkeeping: returns the outcome and whether
+/// the vote should be recorded.
+VoteOutcome Bind(std::map<PrincipalId, Digest>& bound,
+                 std::set<PrincipalId>& equivocators, const Digest& value,
+                 PrincipalId voter, bool* record) {
+  VoteOutcome outcome;
+  auto [it, inserted] = bound.emplace(voter, value);
+  if (!inserted && it->second != value) {
+    // Conflicting vote: the first value stays binding; flag the voter once.
+    outcome.equivocation = equivocators.insert(voter).second;
+    *record = false;
+    return outcome;
+  }
+  *record = true;
+  return outcome;
+}
+
+}  // namespace
+
+VoteOutcome VoteTracker::Add(const Digest& value, PrincipalId voter) {
+  bool record = false;
+  VoteOutcome outcome = Bind(bound_, equivocators_, value, voter, &record);
+  if (record) outcome.counted = votes_[value].insert(voter).second;
+  return outcome;
+}
+
+size_t VoteTracker::Count(const Digest& value) const {
+  auto it = votes_.find(value);
+  return it == votes_.end() ? 0 : it->second.size();
+}
+
+bool VoteTracker::HasVoted(const Digest& value, PrincipalId voter) const {
+  auto it = votes_.find(value);
+  return it != votes_.end() && it->second.count(voter) > 0;
+}
+
+void VoteTracker::Clear() {
+  votes_.clear();
+  bound_.clear();
+  equivocators_.clear();
+}
+
+VoteOutcome QuorumTracker::Add(const Digest& value, PrincipalId voter,
+                               const Signature& sig) {
+  bool record = false;
+  VoteOutcome outcome = Bind(bound_, equivocators_, value, voter, &record);
+  if (record) outcome.counted = votes_[value].emplace(voter, sig).second;
+  return outcome;
+}
+
+size_t QuorumTracker::Count(const Digest& value) const {
+  auto it = votes_.find(value);
+  return it == votes_.end() ? 0 : it->second.size();
+}
+
+const std::map<PrincipalId, Signature>* QuorumTracker::SignaturesFor(
+    const Digest& value) const {
+  auto it = votes_.find(value);
+  return it == votes_.end() ? nullptr : &it->second;
+}
+
+void QuorumTracker::Clear() {
+  votes_.clear();
+  bound_.clear();
+  equivocators_.clear();
+}
+
+}  // namespace seemore

@@ -1,0 +1,82 @@
+// Vote accounting for one consensus slot phase: dedup, quorum thresholds
+// and equivocation flagging, shared by every protocol (SeeMoRe's three
+// modes, PBFT, S-UpRight and Paxos) through the SlotCore in instance_log.h.
+//
+// Byzantine senders may vote for conflicting values. A voter's FIRST value
+// is binding: a later vote for a different value in the same tracker (= the
+// same slot, view and phase) is rejected, and the voter is flagged as an
+// equivocator exactly once so replicas can count the event in their stats.
+// This guarantees one faulty node can never contribute to two conflicting
+// quorums, and that re-delivered duplicates of the same vote stay idempotent.
+
+#ifndef SEEMORE_CONSENSUS_QUORUM_TRACKER_H_
+#define SEEMORE_CONSENSUS_QUORUM_TRACKER_H_
+
+#include <map>
+#include <set>
+
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+
+namespace seemore {
+
+/// Result of offering one vote to a tracker.
+struct VoteOutcome {
+  /// The vote was new and now counts toward its value's quorum.
+  bool counted = false;
+  /// First conflicting vote from a voter already bound to another value.
+  /// True at most once per voter per tracker, so callers can bump an
+  /// equivocation counter without double-counting the same faulty node.
+  bool equivocation = false;
+};
+
+/// Counts distinct voters per candidate value (unsigned votes: Lion plain
+/// accepts, Paxos ACKs, INFORM tallies at passive nodes).
+class VoteTracker {
+ public:
+  VoteOutcome Add(const Digest& value, PrincipalId voter);
+
+  size_t Count(const Digest& value) const;
+  bool Reached(const Digest& value, size_t quorum) const {
+    return Count(value) >= quorum;
+  }
+  bool HasVoted(const Digest& value, PrincipalId voter) const;
+  /// Distinct voters caught voting for conflicting values.
+  size_t equivocators() const { return equivocators_.size(); }
+
+  void Clear();
+
+ private:
+  std::map<Digest, std::set<PrincipalId>> votes_;
+  std::map<PrincipalId, Digest> bound_;  // voter -> first (binding) value
+  std::set<PrincipalId> equivocators_;
+};
+
+/// VoteTracker that also remembers each vote's signature, so a reached
+/// quorum can be assembled into a transferable certificate (PBFT/Peacock
+/// prepared proofs carried by view-change messages).
+class QuorumTracker {
+ public:
+  VoteOutcome Add(const Digest& value, PrincipalId voter,
+                  const Signature& sig);
+
+  size_t Count(const Digest& value) const;
+  bool Reached(const Digest& value, size_t quorum) const {
+    return Count(value) >= quorum;
+  }
+  /// Voter -> signature map for `value` (nullptr when nobody voted for it).
+  const std::map<PrincipalId, Signature>* SignaturesFor(
+      const Digest& value) const;
+  size_t equivocators() const { return equivocators_.size(); }
+
+  void Clear();
+
+ private:
+  std::map<Digest, std::map<PrincipalId, Signature>> votes_;
+  std::map<PrincipalId, Digest> bound_;
+  std::set<PrincipalId> equivocators_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_CONSENSUS_QUORUM_TRACKER_H_

@@ -20,7 +20,8 @@ ReplicaBase::ReplicaBase(Transport* transport, TimerService* timers,
       signer_(id, *keystore),
       cpu_(transport->Register(id, config.ReplicaZone(id), this,
                                /*metered=*/true)),
-      exec_(std::move(state_machine)) {
+      exec_(std::move(state_machine)),
+      commits_(exec_, stats_, cpu_, costs_) {
   SEEMORE_CHECK(cpu_ != nullptr) << "transport returned no CPU meter";
 }
 

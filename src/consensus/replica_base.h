@@ -14,8 +14,10 @@
 #include <memory>
 #include <utility>
 
+#include "consensus/commit_queue.h"
 #include "consensus/config.h"
 #include "consensus/execution.h"
+#include "consensus/quorum_tracker.h"
 #include "crypto/memo.h"
 #include "net/cost_model.h"
 #include "net/transport.h"
@@ -37,16 +39,6 @@ enum ByzantineFlag : uint32_t {
   kByzWrongVotes = 1u << 2,
   /// Send clients corrupted results.
   kByzLieToClients = 1u << 3,
-};
-
-struct ReplicaStats {
-  uint64_t requests_executed = 0;
-  uint64_t batches_committed = 0;
-  uint64_t view_changes_started = 0;
-  uint64_t view_changes_completed = 0;
-  uint64_t mode_changes = 0;
-  uint64_t messages_handled = 0;
-  uint64_t state_transfers = 0;
 };
 
 class ReplicaBase : public MessageHandler {
@@ -130,6 +122,25 @@ class ReplicaBase : public MessageHandler {
   /// Hook invoked after Recover() re-attaches the replica.
   virtual void OnRecover() {}
 
+  /// --- voting -----------------------------------------------------------
+  /// Offer a vote to a slot tracker, folding any equivocation flag into the
+  /// replica's stats. Returns true when the vote was new and counts.
+  bool RecordVote(QuorumTracker& tracker, const Digest& value,
+                  PrincipalId voter, const Signature& sig) {
+    const VoteOutcome outcome = tracker.Add(value, voter, sig);
+    if (outcome.equivocation) ++stats_.equivocations_detected;
+    return outcome.counted;
+  }
+  bool RecordVote(VoteTracker& tracker, const Digest& value,
+                  PrincipalId voter) {
+    const VoteOutcome outcome = tracker.Add(value, voter);
+    if (outcome.equivocation) ++stats_.equivocations_detected;
+    return outcome.counted;
+  }
+
+  /// The commit funnel feeding the execution engine (consensus/commit_queue.h).
+  CommitQueue& commits() { return commits_; }
+
   /// --- time -------------------------------------------------------------
   SimTime now() const { return timers_->Now(); }
   /// CPU work charged but not yet drained. Failure detectors add this to
@@ -172,6 +183,7 @@ class ReplicaBase : public MessageHandler {
   CpuMeter* cpu_;  // owned by the transport
   ExecutionEngine exec_;
   ReplicaStats stats_;
+  CommitQueue commits_;
 
  private:
   bool crashed_ = false;

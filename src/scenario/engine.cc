@@ -100,6 +100,7 @@ Json ReplicaReport::ToJson() const {
   j.Set("batches_committed", batches_committed);
   j.Set("view_changes_completed", view_changes_completed);
   j.Set("messages_handled", messages_handled);
+  j.Set("equivocations_detected", equivocations_detected);
   j.Set("cpu_busy_ms", cpu_busy_ms);
   return j;
 }
@@ -285,9 +286,9 @@ Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
           static_cast<double>(report.result.completed) / seconds / 1000.0;
       const double to_ms = static_cast<double>(kNanosPerMilli);
       report.result.mean_latency_ms = merged.Mean() / to_ms;
-      report.result.p50_latency_ms = merged.Percentile(50.0) / to_ms;
-      report.result.p90_latency_ms = merged.Percentile(90.0) / to_ms;
-      report.result.p99_latency_ms = merged.Percentile(99.0) / to_ms;
+      report.result.p50_latency_ms = merged.P50() / to_ms;
+      report.result.p90_latency_ms = merged.P90() / to_ms;
+      report.result.p99_latency_ms = merged.P99() / to_ms;
       continue;
     }
     const ScenarioEvent& event = spec.schedule[static_cast<size_t>(step.what)];
@@ -313,6 +314,7 @@ Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
     r.batches_committed = replica->stats().batches_committed;
     r.view_changes_completed = replica->stats().view_changes_completed;
     r.messages_handled = replica->stats().messages_handled;
+    r.equivocations_detected = replica->stats().equivocations_detected;
     r.cpu_busy_ms = ToMillis(cluster.replica(i)->cpu()->total_busy());
     report.total_cpu_busy_ms += r.cpu_busy_ms;
     report.replicas.push_back(r);

@@ -35,6 +35,9 @@ struct ReplicaReport {
   uint64_t batches_committed = 0;
   uint64_t view_changes_completed = 0;
   uint64_t messages_handled = 0;
+  /// Conflicting votes flagged by the slot vote trackers (one per faulty
+  /// voter per slot/phase).
+  uint64_t equivocations_detected = 0;
   double cpu_busy_ms = 0.0;
 
   Json ToJson() const;

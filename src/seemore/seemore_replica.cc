@@ -16,10 +16,13 @@ SeeMoReReplica::SeeMoReReplica(Transport* transport, TimerService* timers,
                                const CostModel& costs)
     : ReplicaBase(transport, timers, keystore, id, config,
                   std::move(state_machine), costs),
-      mode_(config.initial_mode) {
+      mode_(config.initial_mode),
+      window_(static_cast<uint64_t>(config.checkpoint_period) * 2 +
+              static_cast<uint64_t>(config.pipeline_max)),
+      log_(window_),
+      pipeline_(config.batch_max, config.pipeline_max),
+      ckpt_(config.checkpoint_period) {
   current_vc_timeout_ = config_.view_change_timeout;
-  window_ = static_cast<uint64_t>(config_.checkpoint_period) * 2 +
-            static_cast<uint64_t>(config_.pipeline_max);
 }
 
 std::vector<PrincipalId> SeeMoReReplica::PassiveNodes() const {
@@ -178,11 +181,7 @@ void SeeMoReReplica::HandleRequest(PrincipalId from, Request request) {
   // paper's liveness path, §5.1) and let participants arm the timer that
   // eventually suspects a dead primary.
   if (from == request.client) {
-    auto seen = relay_seen_ts_.find(request.client);
-    const bool retransmission =
-        seen != relay_seen_ts_.end() && seen->second >= request.timestamp;
-    relay_seen_ts_[request.client] = request.timestamp;
-    if (retransmission) {
+    if (pipeline_.NoteDirectDelivery(request.client, request.timestamp)) {
       SendTo(current_primary(), request.ToMessage());
     }
   }
@@ -190,31 +189,15 @@ void SeeMoReReplica::HandleRequest(PrincipalId from, Request request) {
 }
 
 void SeeMoReReplica::PrimaryEnqueue(Request request) {
-  auto it = primary_seen_ts_.find(request.client);
-  if (it != primary_seen_ts_.end() && request.timestamp <= it->second) return;
-  primary_seen_ts_[request.client] = request.timestamp;
-  pending_.push_back(std::move(request));
+  if (!pipeline_.Admit(request)) return;
+  pipeline_.Enqueue(std::move(request));
   TryPropose();
 }
 
-int SeeMoReReplica::UncommittedSlots() const {
-  int count = 0;
-  for (const auto& [seq, slot] : slots_) {
-    if (slot.has_batch && !slot.committed) ++count;
-  }
-  return count;
-}
-
 void SeeMoReReplica::TryPropose() {
-  while (!pending_.empty() && UncommittedSlots() < config_.pipeline_max &&
-         next_seq_ <= stable_seq_ + window_) {
-    Batch batch;
-    while (!pending_.empty() &&
-           batch.size() < static_cast<size_t>(config_.batch_max)) {
-      batch.requests.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
-    const uint64_t seq = next_seq_++;
+  while (pipeline_.CanOpen(log_.UncommittedSlots()) &&
+         pipeline_.next_seq() <= ckpt_.stable_seq() + window_) {
+    auto [seq, batch] = pipeline_.Open();
     const Bytes encoded = batch.Encode();
     ChargeHash(encoded.size());
     Digest digest = Digest::Of(encoded);
@@ -246,7 +229,7 @@ void SeeMoReReplica::TryPropose() {
     SmPrepareMsg prepare{mode8, view_, seq, digest, Signature(), encoded};
     prepare.sig = signer_.Sign(prepare.Header());
 
-    Slot& slot = slots_[seq];
+    SlotCore& slot = log_.Slot(seq);
     slot.batch = std::move(batch);
     slot.has_batch = true;
     slot.digest = digest;
@@ -259,7 +242,7 @@ void SeeMoReReplica::TryPropose() {
     SendToMany(config_.AllReplicas(), prepare.ToMessage());
 
     if (mode_ == SeeMoReMode::kLion) {
-      slot.plain_accepts.insert(id_);  // the primary counts itself
+      RecordVote(slot.plain_votes, digest, id_);  // the primary counts itself
     } else if (mode_ == SeeMoReMode::kPeacock) {
       // Peacock primary's pre-prepare does not count as a prepare echo;
       // it waits for 2m echoes from the other proxies.
@@ -270,7 +253,9 @@ void SeeMoReReplica::TryPropose() {
 void SeeMoReReplica::HandlePrepare(PrincipalId from, SmPrepareMsg msg) {
   const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
   if (from != config_.PrimaryOf(msg_mode, msg.view)) return;
-  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
+  if (msg.seq <= ckpt_.stable_seq() || msg.seq > ckpt_.stable_seq() + window_) {
+    return;
+  }
 
   // Fast-forward: a valid prepare signed by the TRUSTED primary of a higher
   // view proves that view became active (Lion/Dog only; a Peacock primary is
@@ -317,7 +302,7 @@ void SeeMoReReplica::HandlePrepare(PrincipalId from, SmPrepareMsg msg) {
     }
   }
 
-  Slot& slot = slots_[msg.seq];
+  SlotCore& slot = log_.Slot(msg.seq);
   if (slot.has_batch) {
     // At most one proposal per (view, seq): equivocation defense.
     if (slot.view == msg.view && slot.digest != msg.digest) return;
@@ -360,7 +345,7 @@ void SeeMoReReplica::HandlePrepare(PrincipalId from, SmPrepareMsg msg) {
   }
 }
 
-void SeeMoReReplica::SendSignedAccept(uint64_t seq, Slot& slot) {
+void SeeMoReReplica::SendSignedAccept(uint64_t seq, SlotCore& slot) {
   if (slot.accept_sent) return;
   slot.accept_sent = true;
   Digest vote = slot.digest;
@@ -374,7 +359,7 @@ void SeeMoReReplica::SendSignedAccept(uint64_t seq, Slot& slot) {
   accept.voter = id_;
   accept.sig = signer_.Sign(accept.Header(SmAcceptSignedMsg::kDomain));
   SendToMany(Proxies(), accept.ToMessage());
-  slot.accept_votes.Add(vote, id_, accept.sig);
+  RecordVote(slot.accept_votes, vote, id_, accept.sig);
 }
 
 void SeeMoReReplica::HandleAcceptPlain(PrincipalId from, SmAcceptPlainMsg msg) {
@@ -382,13 +367,17 @@ void SeeMoReReplica::HandleAcceptPlain(PrincipalId from, SmAcceptPlainMsg msg) {
   if (msg_mode != SeeMoReMode::kLion || mode_ != SeeMoReMode::kLion) return;
   if (msg.view != view_ || !IsPrimary() || in_view_change_) return;
   if (msg.voter != from || !IsReplicaId(msg.voter)) return;
-  auto it = slots_.find(msg.seq);
-  if (it == slots_.end() || !it->second.has_batch) return;
-  Slot& slot = it->second;
+  SlotCore* found = log_.Find(msg.seq);
+  if (found == nullptr || !found->has_batch) return;
+  SlotCore& slot = *found;
+  // The tracker sees every vote (conflicting ones flag the equivocator);
+  // only votes matching the proposal count toward the quorum.
+  RecordVote(slot.plain_votes, msg.digest, msg.voter);
   if (msg.digest != slot.digest) return;
   if (config_.lion_sign_accepts) ChargeVerify();  // ablation (§5.1)
-  slot.plain_accepts.insert(msg.voter);
-  if (static_cast<int>(slot.plain_accepts.size()) < CommitQuorum()) return;
+  if (static_cast<int>(slot.plain_votes.Count(slot.digest)) < CommitQuorum()) {
+    return;
+  }
   if (slot.has_commit_sig) return;  // commit already broadcast in this view
 
   // <<COMMIT, v, n, d>_σp, µ> to all replicas (Algorithm 1 lines 13-15).
@@ -411,7 +400,7 @@ void SeeMoReReplica::HandleCommitPrimary(PrincipalId from,
   const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
   if (msg_mode != SeeMoReMode::kLion) return;
   if (from != config_.TrustedPrimary(msg.view)) return;
-  if (msg.seq <= stable_seq_) return;
+  if (msg.seq <= ckpt_.stable_seq()) return;
 
   ChargeVerify();
   if (!FrameVerifyMemoized(from, kSmCommitPrimary, [&] {
@@ -428,7 +417,7 @@ void SeeMoReReplica::HandleCommitPrimary(PrincipalId from,
     return;
   }
 
-  Slot& slot = slots_[msg.seq];
+  SlotCore& slot = log_.Slot(msg.seq);
   if (slot.committed) return;
   // "Even if the replica has not received a prepare message ... it considers
   // the request as committed" — the commit carries µ (§5.1).
@@ -455,18 +444,20 @@ void SeeMoReReplica::HandleAcceptSigned(PrincipalId from,
   if (mode_ == SeeMoReMode::kLion) return;
   if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
   if (!IsProxyNow() && !(mode_ == SeeMoReMode::kDog && IsPrimary())) return;
-  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
+  if (msg.seq <= ckpt_.stable_seq() || msg.seq > ckpt_.stable_seq() + window_) {
+    return;
+  }
   ChargeVerify();
   if (!FrameVerifyMemoized(msg.voter, kSmAcceptSigned,
                            [&] { return msg.Verify(*keystore_); })) {
     return;
   }
-  Slot& slot = slots_[msg.seq];
-  slot.accept_votes.Add(msg.digest, msg.voter, msg.sig);
+  SlotCore& slot = log_.Slot(msg.seq);
+  RecordVote(slot.accept_votes, msg.digest, msg.voter, msg.sig);
   CheckProxyCommit(msg.seq, slot);
 }
 
-void SeeMoReReplica::CheckProxyCommit(uint64_t seq, Slot& slot) {
+void SeeMoReReplica::CheckProxyCommit(uint64_t seq, SlotCore& slot) {
   if (!slot.has_batch) return;
   const int quorum = CommitQuorum();  // 2m+1
 
@@ -515,7 +506,7 @@ void SeeMoReReplica::CheckProxyCommit(uint64_t seq, Slot& slot) {
       commit.voter = id_;
       commit.sig = signer_.Sign(commit.Header(SmCommitVoteMsg::kDomain));
       SendToMany(Proxies(), commit.ToMessage());
-      slot.commit_votes.Add(vote, id_, commit.sig);
+      RecordVote(slot.commit_votes, vote, id_, commit.sig);
     }
   }
   if (slot.prepared &&
@@ -530,14 +521,16 @@ void SeeMoReReplica::HandleCommitVote(PrincipalId from, SmCommitVoteMsg msg) {
   if (mode_ == SeeMoReMode::kLion) return;
   if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
   if (!IsProxyNow()) return;
-  if (msg.seq <= stable_seq_ || msg.seq > stable_seq_ + window_) return;
+  if (msg.seq <= ckpt_.stable_seq() || msg.seq > ckpt_.stable_seq() + window_) {
+    return;
+  }
   ChargeVerify();
   if (!FrameVerifyMemoized(msg.voter, kSmCommitVote,
                            [&] { return msg.Verify(*keystore_); })) {
     return;
   }
-  Slot& slot = slots_[msg.seq];
-  slot.commit_votes.Add(msg.digest, msg.voter, msg.sig);
+  SlotCore& slot = log_.Slot(msg.seq);
+  RecordVote(slot.commit_votes, msg.digest, msg.voter, msg.sig);
 
   if (mode_ == SeeMoReMode::kDog) {
     // Catch-up: m+1 matching commits prove at least one non-faulty proxy
@@ -557,14 +550,14 @@ void SeeMoReReplica::HandleInform(PrincipalId from, SmInformMsg msg) {
   if (msg_mode != mode_ || mode_ == SeeMoReMode::kLion) return;
   if (msg.view != view_) return;
   if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
-  if (msg.seq <= stable_seq_) return;
+  if (msg.seq <= ckpt_.stable_seq()) return;
   ChargeVerify();
   if (!FrameVerifyMemoized(msg.voter, kSmInform,
                            [&] { return msg.Verify(*keystore_); })) {
     return;
   }
-  Slot& slot = slots_[msg.seq];
-  slot.inform_votes.Add(msg.digest, msg.voter);
+  SlotCore& slot = log_.Slot(msg.seq);
+  RecordVote(slot.inform_votes, msg.digest, msg.voter);
   // Dog: 2m+1 matching INFORMs; Peacock: m+1 (§5.2 / §5.3).
   const int needed =
       mode_ == SeeMoReMode::kDog ? 2 * config_.m + 1 : config_.m + 1;
@@ -574,16 +567,13 @@ void SeeMoReReplica::HandleInform(PrincipalId from, SmInformMsg msg) {
   }
 }
 
-void SeeMoReReplica::CommitSlot(uint64_t seq, Slot& slot, bool replies,
+void SeeMoReReplica::CommitSlot(uint64_t seq, SlotCore& slot, bool replies,
                                 bool informs) {
   if (slot.committed) return;
-  slot.committed = true;
-  ++stats_.batches_committed;
+  commits().MarkCommitted(slot);
   if (informs) SendInform(seq, slot);
-  std::vector<ExecutedRequest> executed = exec_.Commit(seq, slot.batch);
-  ChargeExecute(static_cast<int>(executed.size()));
+  std::vector<ExecutedRequest> executed = commits().Execute(seq, slot.batch);
   for (const ExecutedRequest& ex : executed) {
-    ++stats_.requests_executed;
     if (replies && !(ex.duplicate && ex.result.empty())) SendReply(ex);
   }
   MaybeCheckpoint();
@@ -606,7 +596,7 @@ void SeeMoReReplica::SendReply(const ExecutedRequest& executed) {
   SendTo(executed.request.client, reply.ToMessage());
 }
 
-void SeeMoReReplica::SendInform(uint64_t seq, const Slot& slot) {
+void SeeMoReReplica::SendInform(uint64_t seq, const SlotCore& slot) {
   ChargeSign();
   SmInformMsg inform;
   inform.mode = static_cast<uint8_t>(mode_);
@@ -624,15 +614,12 @@ void SeeMoReReplica::SendInform(uint64_t seq, const Slot& slot) {
 
 void SeeMoReReplica::MaybeCheckpoint() {
   const uint64_t executed = exec_.last_executed();
-  if (executed < last_checkpoint_seq_ +
-                     static_cast<uint64_t>(config_.checkpoint_period)) {
-    return;
-  }
-  last_checkpoint_seq_ = executed;
+  if (!ckpt_.Due(executed)) return;
+  ckpt_.NoteTaken(executed);
   Bytes snapshot = exec_.Snapshot();
   ChargeHash(snapshot.size());
   const Digest digest = Digest::Of(snapshot);
-  snapshot_buffer_[executed] = {digest, std::move(snapshot)};
+  ckpt_.Buffer(executed, digest, std::move(snapshot));
 
   // Lion/Dog: only the trusted primary's signed checkpoint certifies
   // (§5.1 "State Transfer"). Peacock: proxies run quorum checkpoints.
@@ -652,7 +639,7 @@ void SeeMoReReplica::MaybeCheckpoint() {
 
 void SeeMoReReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
   if (msg.replica != from || !IsReplicaId(from)) return;
-  if (msg.seq <= stable_seq_) return;
+  if (msg.seq <= ckpt_.stable_seq()) return;
   ChargeVerify();
   if (!FrameVerifyMemoized(msg.replica, kSmCheckpoint,
                            [&] { return msg.Verify(*keystore_); })) {
@@ -668,8 +655,7 @@ void SeeMoReReplica::HandleCheckpoint(PrincipalId from, CheckpointMsg msg) {
 }
 
 void SeeMoReReplica::CountCheckpointVote(const CheckpointMsg& msg) {
-  auto& signers = checkpoint_votes_[msg.seq][msg.state_digest];
-  signers[msg.replica] = msg;
+  const auto& signers = ckpt_.AddVote(msg);
 
   // Stability rule: one trusted signer suffices (it cannot lie), else a
   // 2m+1 quorum of public signers (at least m+1 honest).
@@ -716,24 +702,12 @@ bool SeeMoReReplica::VerifyCheckpointCert(const CheckpointCert& cert) const {
 
 void SeeMoReReplica::AdvanceStable(uint64_t seq, const Digest& digest,
                                    CheckpointCert cert, PrincipalId helper) {
-  if (seq <= stable_seq_) return;
-  stable_seq_ = seq;
-  stable_cert_ = std::move(cert);
-  auto it = snapshot_buffer_.find(seq);
-  if (it != snapshot_buffer_.end() && it->second.first == digest) {
-    stable_snapshot_ = std::move(it->second.second);
-  } else if (exec_.last_executed() < seq && helper != id_) {
+  if (seq <= ckpt_.stable_seq()) return;
+  const bool installed = ckpt_.Advance(seq, digest, std::move(cert));
+  if (!installed && exec_.last_executed() < seq && helper != id_) {
     RequestStateFrom(helper);
   }
-  for (auto s = slots_.begin(); s != slots_.end();) {
-    s = s->first <= seq ? slots_.erase(s) : std::next(s);
-  }
-  for (auto s = snapshot_buffer_.begin(); s != snapshot_buffer_.end();) {
-    s = s->first <= seq ? snapshot_buffer_.erase(s) : std::next(s);
-  }
-  for (auto s = checkpoint_votes_.begin(); s != checkpoint_votes_.end();) {
-    s = s->first <= seq ? checkpoint_votes_.erase(s) : std::next(s);
-  }
+  log_.Reclaim(seq);
   if (IsPrimary() && !in_view_change_) TryPropose();
 }
 
@@ -747,10 +721,13 @@ void SeeMoReReplica::RequestStateFrom(PrincipalId target) {
 }
 
 void SeeMoReReplica::HandleStateRequest(PrincipalId from, StateRequestMsg msg) {
-  if (stable_snapshot_.empty() || stable_seq_ <= msg.last_executed) return;
+  if (!ckpt_.has_stable_snapshot() ||
+      ckpt_.stable_seq() <= msg.last_executed) {
+    return;
+  }
   StateResponseMsg response;
-  response.cert = stable_cert_;
-  response.snapshot = stable_snapshot_;
+  response.cert = ckpt_.stable_cert();
+  response.snapshot = ckpt_.stable_snapshot();
   SendTo(from, response.ToMessage(kSmStateResponse));
 }
 
@@ -766,13 +743,9 @@ void SeeMoReReplica::HandleStateResponse(PrincipalId from,
   if (Digest::Of(snapshot) != cert.state_digest()) return;
   const uint64_t seq = cert.seq();
   if (!exec_.Restore(snapshot, seq).ok()) return;
-  stable_seq_ = std::max(stable_seq_, seq);
-  stable_cert_ = std::move(cert);
-  stable_snapshot_ = std::move(snapshot);
-  last_checkpoint_seq_ = std::max(last_checkpoint_seq_, seq);
-  for (auto s = slots_.begin(); s != slots_.end();) {
-    s = s->first <= seq ? slots_.erase(s) : std::next(s);
-  }
+  const Digest digest = cert.state_digest();
+  ckpt_.InstallRestored(seq, digest, std::move(cert), std::move(snapshot));
+  log_.Reclaim(seq);
 }
 
 }  // namespace seemore

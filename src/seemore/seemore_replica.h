@@ -29,16 +29,15 @@
 #ifndef SEEMORE_SEEMORE_SEEMORE_REPLICA_H_
 #define SEEMORE_SEEMORE_SEEMORE_REPLICA_H_
 
-#include <deque>
 #include <map>
 #include <memory>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "consensus/checkpoint.h"
+#include "consensus/instance_log.h"
+#include "consensus/primary_pipeline.h"
 #include "consensus/proofs.h"
-#include "consensus/quorum.h"
 #include "consensus/replica_base.h"
 #include "wire/messages.h"
 
@@ -56,12 +55,14 @@ class SeeMoReReplica : public ReplicaBase {
   uint64_t view() const { return view_; }
   bool in_view_change() const { return in_view_change_; }
   uint64_t last_executed() const { return exec_.last_executed(); }
-  uint64_t stable_checkpoint() const { return stable_seq_; }
+  uint64_t stable_checkpoint() const { return ckpt_.stable_seq(); }
   PrincipalId current_primary() const {
     return config_.PrimaryOf(mode_, view_);
   }
   /// Diagnostics: slots proposed but not yet committed (tests, debugging).
-  int uncommitted_slots() const { return UncommittedSlots(); }
+  int uncommitted_slots() const { return log_.UncommittedSlots(); }
+  /// Diagnostics: live instance-log slots (property tests bound this).
+  size_t log_occupancy() const { return log_.occupied(); }
   bool IsPrimary() const { return current_primary() == id_; }
 
   /// Dynamic mode switching (§5.4). Must be invoked on the trusted replica
@@ -81,31 +82,6 @@ class SeeMoReReplica : public ReplicaBase {
   void HandleMessage(PrincipalId from, const Payload& frame) override;
 
  private:
-  struct Slot {
-    Batch batch;
-    bool has_batch = false;
-    Digest digest;
-    uint64_t view = 0;
-    /// Mode under which this slot's proposal was signed (signature domain).
-    SeeMoReMode mode = SeeMoReMode::kLion;
-    Signature primary_sig;  // over the prepare/pre-prepare header
-    // Lion: unsigned accepts counted by the trusted primary.
-    std::set<PrincipalId> plain_accepts;
-    // Dog accepts / Peacock prepare echoes.
-    SignedVoteSet<Digest> accept_votes;
-    // Dog/Peacock commit votes.
-    SignedVoteSet<Digest> commit_votes;
-    // INFORMs received by passive nodes.
-    VoteSet<Digest> inform_votes;
-    bool accept_sent = false;
-    bool prepared = false;     // Peacock only
-    bool commit_sent = false;  // Dog/Peacock
-    bool committed = false;
-    // Lion: the primary's signed commit (view-change C set evidence).
-    bool has_commit_sig = false;
-    Signature commit_sig;
-  };
-
   /// A validated VIEW-CHANGE message, indexed for new-view computation.
   /// Entries are the typed wire entries (wire/messages.h SmVcEntry).
   struct VcRecord {
@@ -146,12 +122,11 @@ class SeeMoReReplica : public ReplicaBase {
   void HandleCommitPrimary(PrincipalId from, SmCommitPrimaryMsg msg);
   void HandleCommitVote(PrincipalId from, SmCommitVoteMsg msg);
   void HandleInform(PrincipalId from, SmInformMsg msg);
-  void SendSignedAccept(uint64_t seq, Slot& slot);
-  void CheckProxyCommit(uint64_t seq, Slot& slot);
-  void CommitSlot(uint64_t seq, Slot& slot, bool replies, bool informs);
+  void SendSignedAccept(uint64_t seq, SlotCore& slot);
+  void CheckProxyCommit(uint64_t seq, SlotCore& slot);
+  void CommitSlot(uint64_t seq, SlotCore& slot, bool replies, bool informs);
   void SendReply(const ExecutedRequest& executed);
-  void SendInform(uint64_t seq, const Slot& slot);
-  int UncommittedSlots() const;
+  void SendInform(uint64_t seq, const SlotCore& slot);
 
   // ----- checkpoints / state transfer -----
   void MaybeCheckpoint();
@@ -193,22 +168,13 @@ class SeeMoReReplica : public ReplicaBase {
   uint64_t view_ = 0;
   bool in_view_change_ = false;
   uint64_t vc_target_ = 0;
-  uint64_t next_seq_ = 1;
   uint64_t window_;
-  std::map<uint64_t, Slot> slots_;
-  std::deque<Request> pending_;
-  std::map<PrincipalId, uint64_t> primary_seen_ts_;
-  /// Timestamps seen directly from clients (detects retransmissions that
-  /// must be relayed to the primary).
-  std::map<PrincipalId, uint64_t> relay_seen_ts_;
 
-  uint64_t stable_seq_ = 0;
-  CheckpointCert stable_cert_;
-  Bytes stable_snapshot_;
-  uint64_t last_checkpoint_seq_ = 0;
-  std::map<uint64_t, std::pair<Digest, Bytes>> snapshot_buffer_;
-  std::map<uint64_t, std::map<Digest, std::map<PrincipalId, CheckpointMsg>>>
-      checkpoint_votes_;
+  /// The shared consensus core (consensus/): the slot log, the primary's
+  /// proposal pipeline and the checkpoint state.
+  InstanceLog log_;
+  PrimaryPipeline pipeline_;
+  CheckpointTracker ckpt_;
 
   std::map<uint64_t, std::map<PrincipalId, VcRecord>> vc_msgs_;
   /// view -> mode requested by a signed MODE-CHANGE for that view.

@@ -69,7 +69,7 @@ void SeeMoReReplica::RestartOrDisarmViewTimer() {
   CancelTimer(view_timer_);
   // Progress observed: drop back from the post-view-change grace timeout.
   current_vc_timeout_ = config_.view_change_timeout;
-  if (UncommittedSlots() > 0) ArmViewTimer();
+  if (log_.UncommittedSlots() > 0) ArmViewTimer();
 }
 
 // ---------------------------------------------------------------------------
@@ -81,8 +81,8 @@ SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
   SmViewChangeMsg msg;
   msg.mode = static_cast<uint8_t>(mode_);
   msg.new_view = new_view;
-  msg.stable_seq = stable_seq_;
-  msg.cert = stable_cert_;
+  msg.stable_seq = ckpt_.stable_seq();
+  msg.cert = ckpt_.stable_cert();
 
   // Classify every live slot by the mode it was created under. Slots can
   // outlive a mode switch (committed entries kept as evidence), so the sets
@@ -94,12 +94,10 @@ SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
   //          pragmatic choice BFT-SMaRt makes).
   //   C set: Lion primary-signed commits (§5.1).
   //   Proofs: Peacock prepared certificates (§5.3).
-  auto is_proof_slot = [](const Slot& slot) {
-    return slot.mode == SeeMoReMode::kPeacock && slot.prepared;
-  };
-  for (const auto& [seq, slot] : slots_) {
-    if (!slot.has_batch || seq <= stable_seq_) continue;
-    if (slot.mode == SeeMoReMode::kPeacock) continue;
+  const uint64_t stable = ckpt_.stable_seq();
+  log_.ForEachAscending([&](uint64_t seq, const SlotCore& slot) {
+    if (!slot.has_batch || seq <= stable) return;
+    if (slot.mode == SeeMoReMode::kPeacock) return;
     SmVcEntry entry;
     entry.mode = slot.mode;
     entry.view = slot.view;
@@ -108,11 +106,11 @@ SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
     entry.batch = slot.batch;
     entry.sig = slot.primary_sig;
     msg.prepares.push_back(std::move(entry));
-  }
-  for (const auto& [seq, slot] : slots_) {
-    if (!slot.has_batch || seq <= stable_seq_ ||
+  });
+  log_.ForEachAscending([&](uint64_t seq, const SlotCore& slot) {
+    if (!slot.has_batch || seq <= stable ||
         slot.mode != SeeMoReMode::kLion || !slot.has_commit_sig) {
-      continue;
+      return;
     }
     SmVcEntry entry;
     entry.mode = slot.mode;
@@ -122,11 +120,11 @@ SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
     entry.batch = slot.batch;
     entry.sig = slot.commit_sig;
     msg.commits.push_back(std::move(entry));
-  }
-  for (const auto& [seq, slot] : slots_) {
-    if (!slot.has_batch || seq <= stable_seq_ ||
-        slot.mode != SeeMoReMode::kPeacock || !is_proof_slot(slot)) {
-      continue;
+  });
+  log_.ForEachAscending([&](uint64_t seq, const SlotCore& slot) {
+    if (!slot.has_batch || seq <= stable ||
+        slot.mode != SeeMoReMode::kPeacock || !slot.prepared) {
+      return;
     }
     PreparedProof proof;
     proof.mode = static_cast<uint8_t>(slot.mode);
@@ -138,7 +136,7 @@ SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
     const auto* sigs = slot.accept_votes.SignaturesFor(slot.digest);
     if (sigs != nullptr) proof.prepares = *sigs;
     msg.proofs.push_back(std::move(proof));
-  }
+  });
   msg.sender = id_;
   return msg;
 }
@@ -362,7 +360,7 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
       high = std::max(high, record.proofs.rbegin()->first);
     }
   }
-  low = std::max(low, stable_seq_);
+  low = std::max(low, ckpt_.stable_seq());
 
   // Candidate selection per sequence number (§5.1 steps 1-3, generalized
   // across modes). Priority: commit evidence > quorum of prepares > highest-
@@ -486,11 +484,11 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
   if (low > exec_.last_executed() && helper != id_) RequestStateFrom(helper);
 
   for (auto& [seq, cand] : commit_entries) {
-    if (seq <= stable_seq_ || exec_.HasCommitted(seq)) continue;
+    if (seq <= ckpt_.stable_seq() || exec_.HasCommitted(seq)) continue;
     // Re-proposed slots start from a clean sheet: votes from earlier views
     // or modes were signed under different headers and must never count
     // toward (or leak into proofs of) the new view.
-    Slot slot;
+    SlotCore& slot = log_.ResetSlot(seq);
     slot.batch = std::move(cand.batch);
     slot.has_batch = true;
     slot.digest = cand.digest;
@@ -499,12 +497,14 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
     slot.commit_sig = signer_.Sign(
         ProposalHeader(kDomainCommit, mode8, new_view, seq, cand.digest));
     slot.has_commit_sig = true;
-    slots_[seq] = std::move(slot);
-    CommitSlot(seq, slots_[seq], /*replies=*/IsPrimary(), /*informs=*/false);
+    CommitSlot(seq, slot, /*replies=*/IsPrimary(), /*informs=*/false);
   }
   for (auto& [seq, cand] : prepare_entries) {
-    if (seq <= stable_seq_) continue;
-    Slot slot;
+    if (seq <= ckpt_.stable_seq()) continue;
+    const SlotCore* prior = log_.Find(seq);
+    const bool was_committed =
+        (prior != nullptr && prior->committed) || exec_.HasCommitted(seq);
+    SlotCore& slot = log_.ResetSlot(seq);
     slot.batch = std::move(cand.batch);
     slot.has_batch = true;
     slot.digest = cand.digest;
@@ -512,17 +512,17 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
     slot.mode = target_mode;
     slot.primary_sig = signer_.Sign(
         ProposalHeader(kDomainPrePrepare, mode8, new_view, seq, cand.digest));
-    slot.committed = slots_[seq].committed || exec_.HasCommitted(seq);
+    slot.committed = was_committed;
     if (target_mode == SeeMoReMode::kLion) {
-      slot.plain_accepts.insert(id_);
+      RecordVote(slot.plain_votes, slot.digest, id_);
     }
-    slots_[seq] = std::move(slot);
     if (target_mode != SeeMoReMode::kLion && IsProxyNow()) {
-      SendSignedAccept(seq, slots_[seq]);
+      SendSignedAccept(seq, slot);
     }
   }
-  next_seq_ = std::max<uint64_t>(high + 1, stable_seq_ + 1);
-  if (UncommittedSlots() > 0) ArmViewTimer();
+  pipeline_.OverrideNextSeq(
+      std::max<uint64_t>(high + 1, ckpt_.stable_seq() + 1));
+  if (log_.UncommittedSlots() > 0) ArmViewTimer();
   if (IsPrimary()) TryPropose();
 }
 
@@ -604,8 +604,10 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
   uint64_t high = msg.low;
   for (Entry& entry : commit_entries) {
     high = std::max(high, entry.seq);
-    if (entry.seq <= stable_seq_ || exec_.HasCommitted(entry.seq)) continue;
-    Slot slot;
+    if (entry.seq <= ckpt_.stable_seq() || exec_.HasCommitted(entry.seq)) {
+      continue;
+    }
+    SlotCore& slot = log_.ResetSlot(entry.seq);
     slot.batch = std::move(entry.batch);
     slot.has_batch = true;
     slot.digest = entry.digest;
@@ -613,28 +615,27 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     slot.mode = new_mode;
     slot.commit_sig = entry.sig;
     slot.has_commit_sig = true;
-    slots_[entry.seq] = std::move(slot);
-    CommitSlot(entry.seq, slots_[entry.seq], /*replies=*/false,
-               /*informs=*/false);
+    CommitSlot(entry.seq, slot, /*replies=*/false, /*informs=*/false);
   }
   for (Entry& entry : prepare_entries) {
     high = std::max(high, entry.seq);
-    if (entry.seq <= stable_seq_) continue;
+    if (entry.seq <= ckpt_.stable_seq()) continue;
     // Already-committed sequence numbers still take part in the new view's
     // agreement (echoes/accepts/informs): peers that had NOT committed them
     // before the view change can only assemble their quorums if committed
     // nodes keep voting. The committed flag prevents re-execution.
     const bool already_committed = exec_.HasCommitted(entry.seq);
-    Slot fresh;
-    fresh.batch = std::move(entry.batch);
-    fresh.has_batch = true;
-    fresh.digest = entry.digest;
-    fresh.view = new_view;
-    fresh.mode = new_mode;
-    fresh.primary_sig = entry.sig;
-    fresh.committed = slots_[entry.seq].committed || already_committed;
-    slots_[entry.seq] = std::move(fresh);
-    Slot& slot = slots_[entry.seq];
+    const SlotCore* prior = log_.Find(entry.seq);
+    const bool was_committed =
+        (prior != nullptr && prior->committed) || already_committed;
+    SlotCore& slot = log_.ResetSlot(entry.seq);
+    slot.batch = std::move(entry.batch);
+    slot.has_batch = true;
+    slot.digest = entry.digest;
+    slot.view = new_view;
+    slot.mode = new_mode;
+    slot.primary_sig = entry.sig;
+    slot.committed = was_committed;
     if (already_committed && IsProxyNow() && mode_ != SeeMoReMode::kLion) {
       SendInform(entry.seq, slot);  // passive nodes may have missed them
     }
@@ -656,8 +657,8 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
         break;
     }
   }
-  if (IsPrimary()) next_seq_ = std::max<uint64_t>(next_seq_, high + 1);
-  if (UncommittedSlots() > 0 && !IsPrimary()) ArmViewTimer();
+  if (IsPrimary()) pipeline_.AdvanceNextSeq(high + 1);
+  if (log_.UncommittedSlots() > 0 && !IsPrimary()) ArmViewTimer();
   if (IsPrimary()) TryPropose();
 }
 
@@ -714,15 +715,13 @@ void SeeMoReReplica::EnterView(uint64_t view, SeeMoReMode mode) {
   // Grace period: the re-proposed log needs a full re-agreement round under
   // post-view-change backlog before anyone may suspect the new primary.
   current_vc_timeout_ = config_.view_change_timeout * 3;
-  // A view change may have nooped requests this map says were handled;
-  // client retransmissions must be accepted afresh (the execution engine
-  // still deduplicates anything that really committed).
-  primary_seen_ts_.clear();
+  // A view change may have nooped requests the admission table says were
+  // handled; client retransmissions must be accepted afresh (the execution
+  // engine still deduplicates anything that really committed).
+  pipeline_.ForgetAdmissions();
   // Uncommitted slots from older views are superseded by the NEW-VIEW's
   // entries (or were re-proposed); drop them.
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    it = !it->second.committed ? slots_.erase(it) : std::next(it);
-  }
+  log_.EraseUncommitted();
   for (auto it = vc_msgs_.begin(); it != vc_msgs_.end();) {
     it = it->first <= view ? vc_msgs_.erase(it) : std::next(it);
   }

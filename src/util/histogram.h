@@ -31,6 +31,12 @@ class Histogram {
 
   double Median() const { return Percentile(50.0); }
 
+  /// The named percentiles every report emits (RunResult, scenario reports,
+  /// BENCH JSON) — one spelling so callers cannot drift.
+  double P50() const { return Percentile(50.0); }
+  double P90() const { return Percentile(90.0); }
+  double P99() const { return Percentile(99.0); }
+
   /// One-line summary: count/mean/p50/p99/max.
   std::string ToString() const;
 

@@ -126,6 +126,111 @@ TEST_F(AdversarialInputTest, MalformedOpsExecuteSafely) {
   EXPECT_TRUE(cluster.CheckAgreement().ok());
 }
 
+// ---------------------------------------------------------------------------
+// Equivocating votes: two conflicting signed votes for the same slot/view
+// from one replica must be detected exactly once by the slot's QuorumTracker,
+// counted in ReplicaStats, and never counted toward a quorum for either
+// value. Covered for SeeMoRe (Dog accepts), PBFT (prepares) and Paxos (ACKs).
+// ---------------------------------------------------------------------------
+
+TEST_F(AdversarialInputTest, SeeMoReDogEquivocatingAcceptsDetectedOnce) {
+  Cluster cluster(SeeMoReOptions(SeeMoReMode::kDog, 1, 1));
+  SimClient* client = cluster.AddClient();
+
+  // Proxy 5 equivocates on an in-window, not-yet-proposed slot: two validly
+  // signed accepts for conflicting digests, the pair delivered twice.
+  const PrincipalId byz = 5;
+  ASSERT_TRUE(cluster.config().IsProxy(byz, 0));
+  Signer byz_signer(byz, cluster.keystore());
+  auto make_accept = [&](const std::string& value) {
+    SmAcceptSignedMsg accept;
+    accept.mode = static_cast<uint8_t>(SeeMoReMode::kDog);
+    accept.view = 0;
+    accept.seq = 7;
+    accept.digest = Digest::Of(value);
+    accept.voter = byz;
+    accept.sig = byz_signer.Sign(accept.Header(SmAcceptSignedMsg::kDomain));
+    return accept.ToMessage();
+  };
+  const PrincipalId honest_proxy = 2;
+  for (int round = 0; round < 2; ++round) {
+    cluster.net().Send(byz, honest_proxy, make_accept("value-a"));
+    cluster.net().Send(byz, honest_proxy, make_accept("value-b"));
+  }
+  cluster.sim().RunUntil(Millis(5));
+  EXPECT_EQ(cluster.replica(honest_proxy)->stats().equivocations_detected, 1u);
+
+  // The cluster still makes progress and agrees.
+  auto result = SubmitAndWait(cluster, client, MakePut("k", "v"), Seconds(10));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST_F(AdversarialInputTest, PbftEquivocatingPreparesDetectedOnce) {
+  Cluster cluster(testing::BftOptions(1));
+  SimClient* client = cluster.AddClient();
+
+  const PrincipalId byz = 3;
+  Signer byz_signer(byz, cluster.keystore());
+  auto make_prepare = [&](const std::string& value) {
+    PbftPrepareMsg prepare;
+    prepare.view = 0;
+    prepare.seq = 7;
+    prepare.digest = Digest::Of(value);
+    prepare.voter = byz;
+    prepare.sig = byz_signer.Sign(prepare.Header(PbftPrepareMsg::kDomain));
+    return prepare.ToMessage();
+  };
+  const PrincipalId honest = 1;
+  for (int round = 0; round < 2; ++round) {
+    cluster.net().Send(byz, honest, make_prepare("value-a"));
+    cluster.net().Send(byz, honest, make_prepare("value-b"));
+  }
+  cluster.sim().RunUntil(Millis(5));
+  EXPECT_EQ(cluster.replica(honest)->stats().equivocations_detected, 1u);
+
+  auto result = SubmitAndWait(cluster, client, MakePut("k", "v"), Seconds(10));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST_F(AdversarialInputTest, PaxosEquivocatingAcksDetectedAndNotCounted) {
+  Cluster cluster(testing::CftOptions(1));
+  SimClient* client = cluster.AddClient();
+
+  // Let the leader propose seq 1, then race a conflicting ACK from replica 2
+  // ahead of its honest one. The leader must flag the equivocation once and
+  // still commit off the honest quorum (self + replica 1).
+  bool done = false;
+  Bytes reply;
+  client->SubmitOne(MakePut("k", "v"), [&](const Bytes& r) {
+    reply = r;
+    done = true;
+  });
+  const SimTime deadline = Seconds(5);
+  while (cluster.sim().now() < deadline &&
+         cluster.paxos(0)->uncommitted_slots() == 0) {
+    ASSERT_TRUE(cluster.sim().Step());
+  }
+  ASSERT_EQ(cluster.paxos(0)->uncommitted_slots(), 1);
+
+  PaxosAckMsg wrong_a{/*view=*/0, /*seq=*/1, Digest::Of(std::string("evil-a"))};
+  PaxosAckMsg wrong_b{/*view=*/0, /*seq=*/1, Digest::Of(std::string("evil-b"))};
+  cluster.net().Send(2, 0, wrong_a.ToMessage());
+  cluster.net().Send(2, 0, wrong_b.ToMessage());  // conflict: one flag
+  cluster.net().Send(2, 0, wrong_b.ToMessage());  // repeat: no second flag
+
+  while (!done && cluster.sim().now() < deadline) {
+    if (!cluster.sim().Step()) break;
+  }
+  ASSERT_TRUE(done);  // the equivocator could not block the honest quorum
+  EXPECT_EQ(cluster.replica(0)->stats().equivocations_detected, 1u);
+  auto get = SubmitAndWait(cluster, client, MakeGet("k"));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ParseKvReply(*get).value, "v");
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
 TEST_F(AdversarialInputTest, ReplayedRequestExecutesOnce) {
   // Replay a legitimate committed request verbatim from a third party: the
   // exactly-once cache must not re-execute it.

@@ -1,13 +1,16 @@
-// Consensus toolkit: batches, vote sets, checkpoint certificates, prepared
-// proofs, cluster-config role assignment.
+// Consensus toolkit: batches, vote trackers, the instance log, the primary
+// pipeline, checkpoint certificates, prepared proofs, cluster-config role
+// assignment.
 
 #include <gtest/gtest.h>
 
 #include "consensus/batch.h"
 #include "consensus/checkpoint.h"
 #include "consensus/config.h"
+#include "consensus/instance_log.h"
+#include "consensus/primary_pipeline.h"
 #include "consensus/proofs.h"
-#include "consensus/quorum.h"
+#include "consensus/quorum_tracker.h"
 #include "smr/kv_store.h"
 
 namespace seemore {
@@ -42,12 +45,12 @@ TEST(BatchTest, OversizedCountRejected) {
   EXPECT_FALSE(Batch::Decode(enc.bytes()).ok());
 }
 
-TEST(VoteSetTest, CountsDistinctVoters) {
-  VoteSet<Digest> votes;
+TEST(VoteTrackerTest, CountsDistinctVoters) {
+  VoteTracker votes;
   Digest a = Digest::Of(std::string("a"));
   Digest b = Digest::Of(std::string("b"));
-  EXPECT_TRUE(votes.Add(a, 1));
-  EXPECT_FALSE(votes.Add(a, 1));  // duplicate voter ignored
+  EXPECT_TRUE(votes.Add(a, 1).counted);
+  EXPECT_FALSE(votes.Add(a, 1).counted);  // duplicate voter ignored
   votes.Add(a, 2);
   votes.Add(b, 3);
   EXPECT_EQ(votes.Count(a), 2u);
@@ -58,18 +61,146 @@ TEST(VoteSetTest, CountsDistinctVoters) {
   EXPECT_FALSE(votes.HasVoted(b, 1));
 }
 
-TEST(SignedVoteSetTest, KeepsSignatures) {
+TEST(VoteTrackerTest, EquivocationFlaggedOnceAndNeverCounted) {
+  VoteTracker votes;
+  Digest a = Digest::Of(std::string("a"));
+  Digest b = Digest::Of(std::string("b"));
+  EXPECT_TRUE(votes.Add(a, 1).counted);
+  // Conflicting vote: rejected, flagged exactly once.
+  VoteOutcome conflict = votes.Add(b, 1);
+  EXPECT_FALSE(conflict.counted);
+  EXPECT_TRUE(conflict.equivocation);
+  // Repeat: still rejected, but not re-flagged.
+  conflict = votes.Add(b, 1);
+  EXPECT_FALSE(conflict.counted);
+  EXPECT_FALSE(conflict.equivocation);
+  EXPECT_EQ(votes.Count(a), 1u);
+  EXPECT_EQ(votes.Count(b), 0u);  // never double-counted toward a quorum
+  EXPECT_EQ(votes.equivocators(), 1u);
+  // Re-affirming the original value stays idempotent, not an equivocation.
+  VoteOutcome again = votes.Add(a, 1);
+  EXPECT_FALSE(again.counted);
+  EXPECT_FALSE(again.equivocation);
+}
+
+TEST(QuorumTrackerTest, KeepsSignaturesAndFlagsEquivocators) {
   KeyStore store(1);
   Signer s1(1, store), s2(2, store);
-  SignedVoteSet<Digest> votes;
+  QuorumTracker votes;
   Digest d = Digest::Of(std::string("x"));
-  votes.Add(d, 1, s1.Sign(Bytes{1}));
-  votes.Add(d, 2, s2.Sign(Bytes{2}));
+  Digest other = Digest::Of(std::string("y"));
+  EXPECT_TRUE(votes.Add(d, 1, s1.Sign(Bytes{1})).counted);
+  EXPECT_TRUE(votes.Add(d, 2, s2.Sign(Bytes{2})).counted);
   const auto* sigs = votes.SignaturesFor(d);
   ASSERT_NE(sigs, nullptr);
   EXPECT_EQ(sigs->size(), 2u);
   EXPECT_TRUE(sigs->count(1));
   EXPECT_TRUE(sigs->count(2));
+  // Voter 2 equivocates: flagged once, signature not added to `other`.
+  EXPECT_TRUE(votes.Add(other, 2, s2.Sign(Bytes{3})).equivocation);
+  EXPECT_FALSE(votes.Add(other, 2, s2.Sign(Bytes{3})).equivocation);
+  EXPECT_EQ(votes.Count(other), 0u);
+  EXPECT_EQ(votes.equivocators(), 1u);
+}
+
+TEST(InstanceLogTest, SlabLookupAndGenerationChecks) {
+  InstanceLog log(/*window=*/16);
+  EXPECT_EQ(log.occupied(), 0u);
+  SlotCore& s5 = log.Slot(5);
+  s5.has_batch = true;
+  EXPECT_EQ(log.occupied(), 1u);
+  EXPECT_EQ(log.Find(5), &s5);
+  EXPECT_EQ(log.Find(6), nullptr);  // never claimed: generation miss
+  // Same storage object returned on re-access.
+  EXPECT_TRUE(log.Slot(5).has_batch);
+
+  // Reclamation frees slots at or below the floor; lookups miss afterwards.
+  log.Slot(7).committed = true;
+  log.Reclaim(5);
+  EXPECT_EQ(log.Find(5), nullptr);
+  ASSERT_NE(log.Find(7), nullptr);
+  EXPECT_EQ(log.stable(), 5u);
+  EXPECT_EQ(log.occupied(), 1u);
+
+  // A seq that maps to a reclaimed slot's index starts fresh.
+  SlotCore& reused = log.Slot(5 + log.slab_capacity());
+  EXPECT_FALSE(reused.has_batch);
+}
+
+TEST(InstanceLogTest, OverflowSpillAndMigration) {
+  InstanceLog log(/*window=*/8);
+  const uint64_t far = log.slab_capacity() * 10;
+  log.Slot(far).commit_seen = true;  // far beyond the window: side map
+  log.Slot(2).has_batch = true;
+  EXPECT_EQ(log.occupied(), 2u);
+  ASSERT_NE(log.Find(far), nullptr);
+  EXPECT_TRUE(log.Find(far)->commit_seen);
+
+  // Ascending iteration sees both, in order.
+  std::vector<uint64_t> seen;
+  log.ForEachAscending(
+      [&](uint64_t seq, const SlotCore&) { seen.push_back(seq); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{2, far}));
+
+  // Advancing the floor migrates the side-map entry into the slab.
+  log.Reclaim(far - 1);
+  ASSERT_NE(log.Find(far), nullptr);
+  EXPECT_TRUE(log.Find(far)->commit_seen);
+  EXPECT_EQ(log.Find(2), nullptr);
+  EXPECT_EQ(log.occupied(), 1u);
+}
+
+TEST(InstanceLogTest, UncommittedCountAndEraseUncommitted) {
+  InstanceLog log(/*window=*/16);
+  log.Slot(1).has_batch = true;
+  log.Slot(2).has_batch = true;
+  log.Slot(2).committed = true;
+  log.Slot(3).commit_seen = true;  // no batch: not "uncommitted work"
+  EXPECT_EQ(log.UncommittedSlots(), 1);
+  log.EraseUncommitted();
+  EXPECT_EQ(log.Find(1), nullptr);
+  ASSERT_NE(log.Find(2), nullptr);  // committed slots survive
+  EXPECT_EQ(log.Find(3), nullptr);
+  EXPECT_EQ(log.UncommittedSlots(), 0);
+}
+
+TEST(PrimaryPipelineTest, PacingAdmissionAndBatching) {
+  PrimaryPipeline pipeline(/*batch_max=*/2, /*pipeline_max=*/2);
+  Request r1 = TestRequest(1);
+  EXPECT_TRUE(pipeline.Admit(r1));
+  EXPECT_FALSE(pipeline.Admit(r1));  // duplicate timestamp
+  pipeline.Enqueue(r1);
+  for (uint64_t ts = 2; ts <= 5; ++ts) {
+    Request r = TestRequest(ts);
+    ASSERT_TRUE(pipeline.Admit(r));
+    pipeline.Enqueue(std::move(r));
+  }
+  // 5 pending, batch_max 2: opening packs two requests per instance.
+  EXPECT_TRUE(pipeline.CanOpen(/*uncommitted=*/0));
+  auto [seq1, batch1] = pipeline.Open();
+  EXPECT_EQ(seq1, 1u);
+  EXPECT_EQ(batch1.size(), 2u);
+  // Pacing: at pipeline_max uncommitted instances, no new one may open.
+  EXPECT_FALSE(pipeline.CanOpen(/*uncommitted=*/2));
+  EXPECT_TRUE(pipeline.CanOpen(/*uncommitted=*/1));
+  auto [seq2, batch2] = pipeline.Open();
+  EXPECT_EQ(seq2, 2u);
+  EXPECT_EQ(batch2.size(), 2u);
+  auto [seq3, batch3] = pipeline.Open();
+  EXPECT_EQ(seq3, 3u);
+  EXPECT_EQ(batch3.size(), 1u);
+  EXPECT_FALSE(pipeline.HasPending());
+
+  // View-change reseating.
+  pipeline.AdvanceNextSeq(10);
+  EXPECT_EQ(pipeline.next_seq(), 10u);
+  pipeline.AdvanceNextSeq(4);  // never backwards
+  EXPECT_EQ(pipeline.next_seq(), 10u);
+  pipeline.OverrideNextSeq(6);
+  EXPECT_EQ(pipeline.next_seq(), 6u);
+  // ForgetAdmissions: the same timestamp is accepted afresh.
+  pipeline.ForgetAdmissions();
+  EXPECT_TRUE(pipeline.Admit(r1));
 }
 
 TEST(CheckpointCertTest, VerifyQuorumAndTampering) {

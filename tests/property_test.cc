@@ -97,6 +97,65 @@ TEST_P(ProtocolPropertyTest, AcknowledgedWritesAreDurableAcrossPrimaryCrash) {
   EXPECT_TRUE(cluster.CheckAgreement().ok()) << Case().name;
 }
 
+TEST_P(ProtocolPropertyTest, InstanceLogOccupancyBoundedUnderSustainedLoad) {
+  // Checkpointing must reclaim slots below the stable checkpoint: under
+  // sustained load the live instance-log occupancy stays within a small
+  // multiple of the agreement window instead of growing with total commits.
+  ClusterOptions options = MakeOptions(Case(), Seed());
+  Cluster cluster(options);
+
+  const size_t window =
+      static_cast<size_t>(options.config.checkpoint_period) * 2 +
+      static_cast<size_t>(options.config.pipeline_max);
+  const size_t bound = 2 * window;
+
+  auto occupancy = [&](int i) -> size_t {
+    switch (Case().kind) {
+      case ProtocolKind::kCft:
+        return cluster.paxos(i)->log_occupancy();
+      case ProtocolKind::kBft:
+      case ProtocolKind::kSUpRight:
+        return cluster.pbft(i)->log_occupancy();
+      case ProtocolKind::kSeeMoRe:
+        return cluster.seemore(i)->log_occupancy();
+    }
+    return 0;
+  };
+
+  OpFactory ops = KvWorkload(Seed() * 13 + 1, 64, 0.5);
+  for (int i = 0; i < 4; ++i) cluster.AddClient();
+  for (int i = 0; i < cluster.num_clients(); ++i) cluster.client(i)->Start(ops);
+  size_t max_occupancy = 0;
+  const SimTime until = Millis(400);
+  while (cluster.sim().now() < until && cluster.sim().Step()) {
+    for (int i = 0; i < cluster.n(); ++i) {
+      max_occupancy = std::max(max_occupancy, occupancy(i));
+    }
+  }
+  for (int i = 0; i < cluster.num_clients(); ++i) cluster.client(i)->Stop();
+  cluster.sim().RunUntil(until + Millis(100));
+
+  EXPECT_LE(max_occupancy, bound)
+      << Case().name << " seed=" << Seed()
+      << ": instance log grew past the agreement window";
+  // The run must actually cross checkpoints, or the bound proves nothing.
+  uint64_t stable = 0;
+  switch (Case().kind) {
+    case ProtocolKind::kCft:
+      stable = cluster.paxos(0)->stable_checkpoint();
+      break;
+    case ProtocolKind::kBft:
+    case ProtocolKind::kSUpRight:
+      stable = cluster.pbft(0)->stable_checkpoint();
+      break;
+    case ProtocolKind::kSeeMoRe:
+      stable = cluster.seemore(0)->stable_checkpoint();
+      break;
+  }
+  EXPECT_GT(stable, 0u) << Case().name
+                        << ": no checkpoint ever became stable";
+}
+
 TEST_P(ProtocolPropertyTest, DeterministicGivenSeed) {
   auto run_once = [this] {
     ClusterOptions options = MakeOptions(Case(), Seed());
