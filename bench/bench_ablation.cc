@@ -37,13 +37,14 @@ scenario::ScenarioBuilder LionBase(SeeMoReMode mode, int clients,
   return builder;
 }
 
-RunResult OnePoint(const ScenarioSpec& spec) {
-  Result<scenario::ScenarioReport> report = scenario::RunScenario(spec);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    std::abort();
+/// All of one section's points through RunMany, results in spec order.
+std::vector<RunResult> SectionPoints(const std::vector<ScenarioSpec>& specs,
+                                     int jobs) {
+  std::vector<RunResult> results;
+  for (const scenario::ScenarioReport& report : RunAll(specs, jobs)) {
+    results.push_back(report.result);
   }
-  return report->result;
+  return results;
 }
 
 }  // namespace
@@ -54,43 +55,61 @@ int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int jobs = ParseJobs(argc, argv);
   const SimTime measure = quick ? Millis(250) : Millis(600);
   const int clients = quick ? 32 : 64;
 
   BenchResultsJson json("ablation");
 
-  std::printf("=== Ablation A: batching (Lion, c=m=1, %d clients) ===\n",
-              clients);
-  for (int batch : {1, 4, 16, 64, 512}) {
-    scenario::ScenarioBuilder builder =
-        LionBase(SeeMoReMode::kLion, clients, measure);
-    builder.Batching(batch, batch == 1 ? 8 : 2);
-    RunResult r = OnePoint(builder.spec());
-    std::printf("  batch_max=%-4d thrpt=%7.2f kreq/s  lat=%.2f ms\n", batch,
-                r.throughput_kreqs, r.mean_latency_ms);
-    json.AddScalar("batching", "batch_" + std::to_string(batch) + "_kreqs",
-                   r.throughput_kreqs);
+  std::printf("=== Ablation A: batching (Lion, c=m=1, %d clients, %d jobs) "
+              "===\n",
+              clients, jobs);
+  const std::vector<int> batches = {1, 4, 16, 64, 512};
+  {
+    std::vector<ScenarioSpec> specs;
+    for (int batch : batches) {
+      scenario::ScenarioBuilder builder =
+          LionBase(SeeMoReMode::kLion, clients, measure);
+      builder.Batching(batch, batch == 1 ? 8 : 2);
+      specs.push_back(builder.spec());
+    }
+    const std::vector<RunResult> results = SectionPoints(specs, jobs);
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("  batch_max=%-4d thrpt=%7.2f kreq/s  lat=%.2f ms\n",
+                  batches[i], results[i].throughput_kreqs,
+                  results[i].mean_latency_ms);
+      json.AddScalar("batching",
+                     "batch_" + std::to_string(batches[i]) + "_kreqs",
+                     results[i].throughput_kreqs);
+    }
   }
 
   std::printf(
       "\n=== Ablation B: unsigned vs signed Lion accepts (§5.1, %d clients) "
       "===\n",
       clients);
-  for (bool signed_accepts : {false, true}) {
-    scenario::ScenarioBuilder builder =
-        LionBase(SeeMoReMode::kLion, clients, measure);
-    builder.LionSignAccepts(signed_accepts);
-    // Make the asymmetric-crypto price realistic for this ablation (the
-    // trusted-primary saving is precisely NOT paying these).
-    builder.mutable_spec().costs.sign = Micros(18);
-    builder.mutable_spec().costs.verify = Micros(45);
-    RunResult r = OnePoint(builder.spec());
-    std::printf("  accepts=%-8s thrpt=%7.2f kreq/s  lat=%.2f ms\n",
-                signed_accepts ? "signed" : "unsigned", r.throughput_kreqs,
-                r.mean_latency_ms);
-    json.AddScalar("lion_accepts",
-                   signed_accepts ? "signed_kreqs" : "unsigned_kreqs",
-                   r.throughput_kreqs);
+  {
+    std::vector<ScenarioSpec> specs;
+    for (bool signed_accepts : {false, true}) {
+      scenario::ScenarioBuilder builder =
+          LionBase(SeeMoReMode::kLion, clients, measure);
+      builder.LionSignAccepts(signed_accepts);
+      // Make the asymmetric-crypto price realistic for this ablation (the
+      // trusted-primary saving is precisely NOT paying these).
+      builder.mutable_spec().costs.sign = Micros(18);
+      builder.mutable_spec().costs.verify = Micros(45);
+      specs.push_back(builder.spec());
+    }
+    const std::vector<RunResult> results = SectionPoints(specs, jobs);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const bool signed_accepts = i == 1;
+      std::printf("  accepts=%-8s thrpt=%7.2f kreq/s  lat=%.2f ms\n",
+                  signed_accepts ? "signed" : "unsigned",
+                  results[i].throughput_kreqs, results[i].mean_latency_ms);
+      json.AddScalar("lion_accepts",
+                     signed_accepts ? "signed_kreqs" : "unsigned_kreqs",
+                     results[i].throughput_kreqs);
+    }
   }
 
   std::printf(
@@ -98,28 +117,38 @@ int main(int argc, char** argv) {
       clients);
   std::printf("  %-18s %10s %10s %10s   (mean latency ms)\n",
               "cross-cloud (ms)", "Lion", "Dog", "Peacock");
-  for (int64_t cross_us : {90, 1000, 3000, 8000}) {
-    double lat[3];
-    int i = 0;
-    for (SeeMoReMode mode :
-         {SeeMoReMode::kLion, SeeMoReMode::kDog, SeeMoReMode::kPeacock}) {
-      scenario::ScenarioBuilder builder =
-          LionBase(mode, quick ? 8 : 16, measure);
-      builder.CrossCloudLink(Micros(cross_us), Micros(cross_us / 10))
-          // Clients sit next to the public cloud (the paper's motivating
-          // case).
-          .ClientLink(Micros(100), Micros(25));
-      RunResult r = OnePoint(builder.spec());
-      lat[i] = r.mean_latency_ms;
-      json.AddScalar("cross_cloud_distance",
-                     std::string(scenario::SeeMoReModeToken(mode)) + "_" +
-                         std::to_string(cross_us) + "us_latency_ms",
-                     r.mean_latency_ms);
-      ++i;
+  const std::vector<int64_t> distances = {90, 1000, 3000, 8000};
+  const std::vector<SeeMoReMode> modes = {
+      SeeMoReMode::kLion, SeeMoReMode::kDog, SeeMoReMode::kPeacock};
+  {
+    std::vector<ScenarioSpec> specs;  // distance-major, mode-minor
+    for (int64_t cross_us : distances) {
+      for (SeeMoReMode mode : modes) {
+        scenario::ScenarioBuilder builder =
+            LionBase(mode, quick ? 8 : 16, measure);
+        builder.CrossCloudLink(Micros(cross_us), Micros(cross_us / 10))
+            // Clients sit next to the public cloud (the paper's motivating
+            // case).
+            .ClientLink(Micros(100), Micros(25));
+        specs.push_back(builder.spec());
+      }
     }
-    std::printf("  %-18.2f %10.2f %10.2f %10.2f\n",
-                static_cast<double>(cross_us) / 1000.0, lat[0], lat[1],
-                lat[2]);
+    const std::vector<RunResult> results = SectionPoints(specs, jobs);
+    for (size_t d = 0; d < distances.size(); ++d) {
+      double lat[3];
+      for (size_t i = 0; i < modes.size(); ++i) {
+        const RunResult& r = results[d * modes.size() + i];
+        lat[i] = r.mean_latency_ms;
+        json.AddScalar("cross_cloud_distance",
+                       std::string(scenario::SeeMoReModeToken(modes[i])) +
+                           "_" + std::to_string(distances[d]) +
+                           "us_latency_ms",
+                       r.mean_latency_ms);
+      }
+      std::printf("  %-18.2f %10.2f %10.2f %10.2f\n",
+                  static_cast<double>(distances[d]) / 1000.0, lat[0], lat[1],
+                  lat[2]);
+    }
   }
   std::printf(
       "  (expected: Lion's latency grows with every cross-cloud phase; "
@@ -128,17 +157,24 @@ int main(int argc, char** argv) {
   std::printf(
       "\n=== Ablation D: Dog public-cloud size (m=1 => 3m+1=4 proxies; "
       "extra rented nodes are passive) ===\n");
-  for (int p : {4, 6, 8, 12}) {
-    scenario::ScenarioBuilder builder =
-        LionBase(SeeMoReMode::kDog, clients, measure);
-    builder.CloudSizes(-1, p);
-    const ScenarioSpec& spec = builder.spec();
-    RunResult r = OnePoint(spec);
-    std::printf("  P=%-3d (N=%d)  thrpt=%7.2f kreq/s  lat=%.2f ms\n", p,
-                spec.ResolvedConfig().n(), r.throughput_kreqs,
-                r.mean_latency_ms);
-    json.AddScalar("dog_public_size", "p" + std::to_string(p) + "_kreqs",
-                   r.throughput_kreqs);
+  const std::vector<int> public_sizes = {4, 6, 8, 12};
+  {
+    std::vector<ScenarioSpec> specs;
+    for (int p : public_sizes) {
+      scenario::ScenarioBuilder builder =
+          LionBase(SeeMoReMode::kDog, clients, measure);
+      builder.CloudSizes(-1, p);
+      specs.push_back(builder.spec());
+    }
+    const std::vector<RunResult> results = SectionPoints(specs, jobs);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const int p = public_sizes[i];
+      std::printf("  P=%-3d (N=%d)  thrpt=%7.2f kreq/s  lat=%.2f ms\n", p,
+                  specs[i].ResolvedConfig().n(), results[i].throughput_kreqs,
+                  results[i].mean_latency_ms);
+      json.AddScalar("dog_public_size", "p" + std::to_string(p) + "_kreqs",
+                     results[i].throughput_kreqs);
+    }
   }
   json.Write();
   return 0;

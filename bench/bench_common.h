@@ -13,6 +13,8 @@
 #define SEEMORE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,11 +22,39 @@
 #include "scenario/engine.h"
 #include "scenario/registry.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace seemore {
 namespace bench {
 
 using scenario::ScenarioSpec;
+
+/// Shared bench CLI conventions: --quick is argv[1] by tradition, --jobs=N
+/// may appear anywhere (default: hardware concurrency). Every sweep bench
+/// submits its points through scenario::RunMany with this many workers;
+/// the results are bit-identical to --jobs=1.
+inline int ParseJobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const int jobs = std::atoi(argv[i] + 7);
+      if (jobs > 0) return jobs;
+    }
+  }
+  return ThreadPool::DefaultJobs();
+}
+
+/// RunMany or die — benches abort on engine errors (a bench's specs are
+/// hard-coded, so a failure is a bug, not an input problem).
+inline std::vector<scenario::ScenarioReport> RunAll(
+    const std::vector<ScenarioSpec>& specs, int jobs) {
+  Result<std::vector<scenario::ScenarioReport>> reports =
+      scenario::RunMany(specs, jobs);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(reports);
+}
 
 /// One line of Figure 2/3: a §6 system under test at failure budget (c, m).
 /// Dies on an unknown system name (callers enumerate PaperSystemNames()).
@@ -38,22 +68,22 @@ inline ScenarioSpec SystemSpec(const std::string& system, int c, int m,
   return *std::move(spec);
 }
 
-/// Sweep client counts for one system and return the RunResult curve.
+/// Sweep client counts for one system and return the RunResult curve. The
+/// points are submitted through scenario::RunMany across `jobs` workers
+/// (one fresh cluster per point either way; curves are identical for any
+/// jobs value).
 inline std::vector<RunResult> RunCurve(ScenarioSpec spec,
                                        const std::vector<int>& client_counts,
-                                       SimTime warmup, SimTime measure) {
+                                       SimTime warmup, SimTime measure,
+                                       int jobs = 1) {
   spec.plan.warmup = warmup;
   spec.plan.measure = measure;
   spec.plan.sweep_clients = client_counts;
-  Result<std::vector<scenario::ScenarioReport>> reports =
-      scenario::RunSweep(spec);
-  if (!reports.ok()) {
-    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
-    std::abort();
-  }
+  std::vector<scenario::ScenarioReport> reports =
+      RunAll(scenario::MakeSweepPoints(spec), jobs);
   std::vector<RunResult> curve;
-  curve.reserve(reports->size());
-  for (const scenario::ScenarioReport& report : *reports) {
+  curve.reserve(reports.size());
+  for (const scenario::ScenarioReport& report : reports) {
     curve.push_back(report.result);
   }
   return curve;

@@ -69,6 +69,13 @@ double TimerChurn(int chains, uint64_t events_per_chain) {
 }
 
 // --- Workload 2: multicast fanout ------------------------------------------
+/// This bench's run-scoped memo (production runs get theirs from the
+/// Cluster; there is no process-wide instance anymore).
+CryptoMemo& BenchMemo() {
+  static CryptoMemo memo;
+  return memo;
+}
+
 /// Models receiver-side batch verification: digest the delivered frame,
 /// memoized on the shared buffer's identity.
 struct HashingHandler : MessageHandler {
@@ -76,8 +83,8 @@ struct HashingHandler : MessageHandler {
   Digest last;
   void OnMessage(PrincipalId, Payload payload) override {
     ++received;
-    last = CryptoMemo::Get().DigestOf(payload.id(), 0, payload.data(),
-                                      payload.size());
+    last = BenchMemo().DigestOf(payload.id(), 0, payload.data(),
+                                payload.size());
   }
 };
 
@@ -153,7 +160,7 @@ int main(int argc, char** argv) {
 
   std::printf("bench_engine (%s mode)\n", quick ? "quick" : "full");
 
-  CryptoMemo& memo = CryptoMemo::Get();
+  CryptoMemo& memo = BenchMemo();
 
   const double churn = TimerChurn(churn_chains, churn_events);
   std::printf("timer_churn:      %12.0f events/s   (seed engine: %.0f)\n",

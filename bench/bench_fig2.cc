@@ -23,7 +23,8 @@ struct Budget {
 };
 
 void RunBudget(const Budget& budget, const std::vector<int>& clients,
-               SimTime warmup, SimTime measure, BenchResultsJson& json) {
+               SimTime warmup, SimTime measure, int jobs,
+               BenchResultsJson& json) {
   std::printf("\n=== Fig 2(%s): f=%d (c=%d, m=%d) ===\n", budget.label,
               budget.c + budget.m, budget.c, budget.m);
   std::printf("%-10s %s\n", "system", "curve points (0/0 payload)");
@@ -37,7 +38,8 @@ void RunBudget(const Budget& budget, const std::vector<int>& clients,
     spec.workload.kind = scenario::WorkloadKind::kEcho;
     spec.workload.request_kb = 0;
     spec.workload.reply_kb = 0;
-    std::vector<RunResult> curve = RunCurve(spec, clients, warmup, measure);
+    std::vector<RunResult> curve =
+        RunCurve(spec, clients, warmup, measure, jobs);
     PrintCurve(system, curve);
     json.AddCurve(budget.label, system, curve);
     json.AddScalar(budget.label, system + "_peak_kreqs",
@@ -59,21 +61,23 @@ void RunBudget(const Budget& budget, const std::vector<int>& clients,
 int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
-  // --quick shrinks the sweep for smoke runs.
+  // --quick shrinks the sweep for smoke runs; --jobs=N sets sweep
+  // parallelism (default: hardware concurrency).
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int jobs = ParseJobs(argc, argv);
   const std::vector<int> clients =
       quick ? std::vector<int>{4, 32}
             : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 96};
   const SimTime warmup = quick ? Millis(100) : Millis(150);
   const SimTime measure = quick ? Millis(300) : Millis(500);
 
-  std::printf("Figure 2 reproduction: throughput vs latency, 0/0 payload\n");
+  std::printf("Figure 2 reproduction: throughput vs latency, 0/0 payload "
+              "(%d jobs)\n", jobs);
   BenchResultsJson json("fig2");
   const Budget budgets[] = {{"a", 1, 1}, {"b", 2, 2}, {"c", 1, 3}, {"d", 3, 1}};
   for (const Budget& budget : budgets) {
-    RunBudget(budget, clients, warmup, measure, json);
+    RunBudget(budget, clients, warmup, measure, jobs, json);
   }
   json.Write();
-  (void)argc;
   return 0;
 }

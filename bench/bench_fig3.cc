@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int jobs = ParseJobs(argc, argv);
   const std::vector<int> clients =
       quick ? std::vector<int>{4, 32} : std::vector<int>{2, 8, 32, 64, 96};
   const SimTime warmup = quick ? Millis(100) : Millis(150);
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
       spec.workload.kind = scenario::WorkloadKind::kEcho;
       spec.workload.request_kb = payload.request_kb;
       spec.workload.reply_kb = payload.reply_kb;
-      std::vector<RunResult> curve = RunCurve(spec, clients, warmup, measure);
+      std::vector<RunResult> curve =
+          RunCurve(spec, clients, warmup, measure, jobs);
       PrintCurve(system, curve);
       std::printf("%-10s peak=%.2f kreq/s\n", system.c_str(),
                   PeakThroughput(curve));

@@ -25,43 +25,60 @@ struct TimelineResult {
   SimTime outage = 0;
 };
 
-TimelineResult RunTimeline(const std::string& system, SimTime crash_at,
-                           int clients) {
-  // The §6.3 regime (crash time, detector timeouts, horizon, buckets) is
-  // defined once in scenario/registry.h so this bench and the CI smoke
-  // scenario "fig4-primary-crash" can never drift apart.
-  Result<ScenarioSpec> spec = scenario::Fig4SystemSpec(system, clients);
-  if (!spec.ok()) {
-    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
-    std::abort();
-  }
-
-  TimelineResult result;
-  result.name = system;
-  scenario::ScenarioHooks hooks;
-  hooks.on_complete = [&result](SimTime when, SimTime) {
-    result.completions.push_back(when);
-  };
-  Result<scenario::ScenarioReport> report =
-      scenario::RunScenario(*spec, hooks);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    std::abort();
-  }
-  result.report = *std::move(report);
-
-  // Outage: the longest completion-free gap in the window after the crash
-  // (completions are recorded in virtual-time order).
+/// Outage: the longest completion-free gap in the window after the crash
+/// (completions are recorded in virtual-time order).
+SimTime OutageAfter(const std::vector<SimTime>& completions,
+                    SimTime crash_at) {
   SimTime previous = crash_at;
   SimTime best_gap = 0;
-  for (SimTime when : result.completions) {
+  for (SimTime when : completions) {
     if (when < crash_at) continue;
     if (when > crash_at + Millis(50)) break;
     best_gap = std::max(best_gap, when - previous);
     previous = when;
   }
-  result.outage = best_gap;
-  return result;
+  return best_gap;
+}
+
+/// One run per §6 system, all submitted through RunMany: the hooks for
+/// point i record completions into results[i] only, so runs on different
+/// workers never share state.
+std::vector<TimelineResult> RunTimelines(SimTime crash_at, int clients,
+                                         int jobs) {
+  // The §6.3 regime (crash time, detector timeouts, horizon, buckets) is
+  // defined once in scenario/registry.h so this bench and the CI smoke
+  // scenario "fig4-primary-crash" can never drift apart.
+  std::vector<ScenarioSpec> specs;
+  std::vector<TimelineResult> results;
+  for (const std::string& system : scenario::PaperSystemNames()) {
+    Result<ScenarioSpec> spec = scenario::Fig4SystemSpec(system, clients);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      std::abort();
+    }
+    specs.push_back(*std::move(spec));
+    TimelineResult result;
+    result.name = system;
+    results.push_back(std::move(result));
+  }
+
+  Result<std::vector<scenario::ScenarioReport>> reports = scenario::RunMany(
+      specs, jobs, [&results](size_t i) {
+        scenario::ScenarioHooks hooks;
+        hooks.on_complete = [&results, i](SimTime when, SimTime) {
+          results[i].completions.push_back(when);
+        };
+        return hooks;
+      });
+  if (!reports.ok()) {
+    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+    std::abort();
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    results[i].report = std::move((*reports)[i]);
+    results[i].outage = OutageAfter(results[i].completions, crash_at);
+  }
+  return results;
 }
 
 }  // namespace
@@ -72,18 +89,17 @@ int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int jobs = ParseJobs(argc, argv);
   const SimTime crash_at = Millis(30);
   const SimTime horizon = Millis(100);
   const int clients = quick ? 16 : 48;
 
   std::printf(
       "Figure 4 reproduction: throughput timeline across a primary crash\n"
-      "(c=1, m=1, checkpoint period 10000, crash at t=30ms)\n\n");
+      "(c=1, m=1, checkpoint period 10000, crash at t=30ms; %d jobs)\n\n",
+      jobs);
 
-  std::vector<TimelineResult> results;
-  for (const std::string& system : scenario::PaperSystemNames()) {
-    results.push_back(RunTimeline(system, crash_at, clients));
-  }
+  std::vector<TimelineResult> results = RunTimelines(crash_at, clients, jobs);
 
   // Timeline table: Kreq/s per 2ms bucket.
   std::printf("%-6s", "t[ms]");

@@ -1,0 +1,126 @@
+// Parallel scenario engine benchmark: the Figure 2(a) sweep (six §6
+// systems x a closed-loop client sweep, the workhorse experiment of the
+// paper reproduction) executed through scenario::RunMany at jobs=1 and at
+// higher job counts, measuring wall-clock speedup and verifying that every
+// report is bit-identical across job counts (the determinism contract of
+// DESIGN.md §"Concurrency model").
+//
+// Emits BENCH_parallel.json with the wall times, the speedups, the
+// machine's hardware concurrency and the identical-reports verdict. On a
+// single-core machine the speedup is ~1.0 by construction — the JSON
+// records hardware_concurrency so the trajectory is interpretable.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace seemore {
+namespace bench {
+namespace {
+
+/// The fig2(a) experiment as one flat spec list: every §6 system's sweep
+/// points at budget c=1, m=1.
+std::vector<ScenarioSpec> Fig2aPoints(const std::vector<int>& clients,
+                                      SimTime warmup, SimTime measure) {
+  std::vector<ScenarioSpec> points;
+  for (const std::string& system : scenario::PaperSystemNames()) {
+    ScenarioSpec spec = SystemSpec(system, /*c=*/1, /*m=*/1);
+    spec.workload.kind = scenario::WorkloadKind::kEcho;
+    spec.workload.request_kb = 0;
+    spec.workload.reply_kb = 0;
+    spec.plan.warmup = warmup;
+    spec.plan.measure = measure;
+    spec.plan.sweep_clients = clients;
+    for (ScenarioSpec& point : scenario::MakeSweepPoints(spec)) {
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+double WallSeconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Dump every report's deterministic image into one string for comparison.
+std::string Fingerprint(const std::vector<scenario::ScenarioReport>& reports) {
+  std::string all;
+  for (const scenario::ScenarioReport& report : reports) {
+    all += report.DeterministicJson().Dump();
+    all += '\n';
+  }
+  return all;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seemore
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  using namespace seemore::bench;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::vector<int> clients =
+      quick ? std::vector<int>{4, 32}
+            : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 96};
+  const SimTime warmup = quick ? Millis(100) : Millis(150);
+  const SimTime measure = quick ? Millis(300) : Millis(500);
+
+  const int hw = ThreadPool::DefaultJobs();
+  std::printf("parallel scenario engine bench (%s mode, hardware "
+              "concurrency %d)\n",
+              quick ? "quick" : "full", hw);
+
+  const std::vector<ScenarioSpec> points =
+      Fig2aPoints(clients, warmup, measure);
+  std::printf("fig2(a) sweep: %zu independent scenario runs\n",
+              points.size());
+
+  // jobs=1 baseline (plain serial execution, no threads).
+  std::vector<scenario::ScenarioReport> serial;
+  const double serial_s =
+      WallSeconds([&] { serial = RunAll(points, /*jobs=*/1); });
+  std::printf("  jobs=1   %7.2f s\n", serial_s);
+
+  BenchResultsJson json("parallel");
+  json.AddScalar("fig2a_sweep", "runs", static_cast<double>(points.size()));
+  json.AddScalar("fig2a_sweep", "hardware_concurrency",
+                 static_cast<double>(hw));
+  json.AddScalar("fig2a_sweep", "jobs1_wall_s", serial_s);
+
+  bool all_identical = true;
+  const std::string want = Fingerprint(serial);
+  std::vector<int> job_counts = {2, 4};
+  if (hw > 4) job_counts.push_back(hw);
+  for (int jobs : job_counts) {
+    std::vector<scenario::ScenarioReport> parallel;
+    const double wall_s =
+        WallSeconds([&] { parallel = RunAll(points, jobs); });
+    const bool identical = Fingerprint(parallel) == want;
+    all_identical = all_identical && identical;
+    std::printf("  jobs=%-3d %7.2f s  speedup %.2fx  reports %s\n", jobs,
+                wall_s, serial_s / wall_s,
+                identical ? "bit-identical" : "DIVERGED");
+    json.AddScalar("fig2a_sweep",
+                   "jobs" + std::to_string(jobs) + "_wall_s", wall_s);
+    json.AddScalar("fig2a_sweep",
+                   "jobs" + std::to_string(jobs) + "_speedup",
+                   serial_s / wall_s);
+  }
+  json.AddScalar("fig2a_sweep", "reports_bit_identical",
+                 all_identical ? 1.0 : 0.0);
+  json.Write();
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel reports diverged from serial reports\n");
+    return 1;
+  }
+  return 0;
+}

@@ -29,11 +29,12 @@ std::vector<SweepPoint> SweepSystem(const std::string& system,
                                     const std::vector<int>& batches,
                                     const std::vector<int>& depths,
                                     int clients, SimTime warmup,
-                                    SimTime measure,
+                                    SimTime measure, int jobs,
                                     BenchResultsJson& json) {
-  std::vector<SweepPoint> points;
+  // Build the whole batch x depth grid up front and submit it through one
+  // RunMany pass (batch-major, depth-minor order).
+  std::vector<ScenarioSpec> specs;
   for (int batch : batches) {
-    std::vector<RunResult> curve;  // one curve per batch size, x = depth
     for (int depth : depths) {
       ScenarioSpec spec = SystemSpec(system, /*c=*/1, /*m=*/1);
       spec.workload.kind = scenario::WorkloadKind::kEcho;
@@ -44,24 +45,28 @@ std::vector<SweepPoint> SweepSystem(const std::string& system,
       spec.clients = clients;
       spec.plan.warmup = warmup;
       spec.plan.measure = measure;
-      Result<scenario::ScenarioReport> report = scenario::RunScenario(spec);
-      if (!report.ok()) {
-        std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-        std::abort();
-      }
-      points.push_back({batch, depth, report->result});
-      curve.push_back(report->result);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const std::vector<scenario::ScenarioReport> reports = RunAll(specs, jobs);
+
+  std::vector<SweepPoint> points;
+  size_t next = 0;
+  for (int batch : batches) {
+    std::vector<RunResult> curve;  // one curve per batch size, x = depth
+    for (int depth : depths) {
+      const RunResult& result = reports[next++].result;
+      points.push_back({batch, depth, result});
+      curve.push_back(result);
       json.AddScalar(system,
                      "batch" + std::to_string(batch) + "_depth" +
                          std::to_string(depth) + "_kreqs",
-                     report->result.throughput_kreqs);
+                     result.throughput_kreqs);
       std::printf("%-10s batch=%-3d depth=%-2d  %7.2f kreq/s  "
                   "lat(mean/p50/p99)=%6.2f/%6.2f/%6.2f ms\n",
-                  system.c_str(), batch, depth,
-                  report->result.throughput_kreqs,
-                  report->result.mean_latency_ms,
-                  report->result.p50_latency_ms,
-                  report->result.p99_latency_ms);
+                  system.c_str(), batch, depth, result.throughput_kreqs,
+                  result.mean_latency_ms, result.p50_latency_ms,
+                  result.p99_latency_ms);
     }
     json.AddCurve(system, "batch" + std::to_string(batch), curve);
   }
@@ -91,6 +96,7 @@ int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int jobs = ParseJobs(argc, argv);
   const std::vector<int> depths = quick ? std::vector<int>{1, 8}
                                         : std::vector<int>{1, 2, 4, 8};
   const std::vector<int> batches =
@@ -99,14 +105,16 @@ int main(int argc, char** argv) {
   const SimTime warmup = quick ? Millis(60) : Millis(100);
   const SimTime measure = quick ? Millis(200) : Millis(400);
 
-  std::printf("Pipeline depth x batch size sweep (unified consensus core)\n");
+  std::printf("Pipeline depth x batch size sweep (unified consensus core, "
+              "%d jobs)\n", jobs);
   BenchResultsJson json("pipeline");
   const std::vector<std::string> systems = {"Lion", "Dog", "Peacock", "BFT",
                                            "S-UpRight", "CFT"};
   int failures = 0;
   for (const std::string& system : systems) {
-    std::vector<SweepPoint> points =
-        SweepSystem(system, batches, depths, clients, warmup, measure, json);
+    std::vector<SweepPoint> points = SweepSystem(system, batches, depths,
+                                                 clients, warmup, measure,
+                                                 jobs, json);
     bool helped_at_4plus = false;
     for (int batch : batches) {
       const bool helped = DepthHelped(points, batch);

@@ -32,30 +32,31 @@ struct Row {
   double measured_wire_bytes_per_instance;
 };
 
-Row MeasureRow(const std::string& system, int phases,
-               const std::string& messages, const std::string& receiving,
-               const std::string& quorum) {
+/// The §5.5 measurement regime as a declarative spec: one closed-loop
+/// client, one request per consensus instance, checkpoints out of the way.
+/// RunScenario's standard lifecycle (counters reset at the warmup boundary,
+/// measured over the measure window) replaces the hand-driven
+/// RunUntil/ResetCounters sequence this bench used to carry.
+ScenarioSpec RowSpec(const std::string& system) {
   ScenarioSpec spec = SystemSpec(system, /*c=*/1, /*m=*/1, /*seed=*/5);
   spec.tuning.batch_max = 1;  // one request per instance, like §5.5
   spec.tuning.pipeline_max = 1;
   spec.tuning.checkpoint_period = 1 << 20;  // keep checkpoints out
-  Result<std::unique_ptr<Cluster>> made = scenario::MakeCluster(spec);
-  if (!made.ok()) {
-    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
-    std::abort();
-  }
-  Cluster& cluster = **made;
-  SimClient* client = cluster.AddClient();
-  client->Start(EchoWorkload(0, 0));
-
+  spec.clients = 1;
+  spec.workload.kind = scenario::WorkloadKind::kEcho;
+  spec.workload.request_kb = 0;
+  spec.workload.reply_kb = 0;
   // Warm up (leader election noise, first instance), then measure.
-  cluster.sim().RunUntil(Millis(100));
-  const uint64_t completed_before = client->completed();
-  cluster.net().ResetCounters();
-  cluster.sim().RunUntil(Millis(600));
-  const uint64_t instances = client->completed() - completed_before;
-  const NetCounters& counters = cluster.net().counters();
+  spec.plan.warmup = Millis(100);
+  spec.plan.measure = Millis(500);
+  return spec;
+}
 
+Row MakeRow(const std::string& system, int phases,
+            const std::string& messages, const std::string& receiving,
+            const std::string& quorum,
+            const scenario::ScenarioReport& report) {
+  const uint64_t instances = report.result.completed;
   Row row;
   row.protocol = system;
   row.phases = phases;
@@ -63,17 +64,19 @@ Row MeasureRow(const std::string& system, int phases,
   row.receiving = receiving;
   row.quorum = quorum;
   row.measured_msgs_per_instance =
-      instances == 0 ? 0.0
-                     : static_cast<double>(counters.replica_to_replica_messages) /
-                           static_cast<double>(instances);
+      instances == 0
+          ? 0.0
+          : static_cast<double>(report.net.replica_to_replica_messages) /
+                static_cast<double>(instances);
   row.measured_bytes_per_instance =
-      instances == 0 ? 0.0
-                     : static_cast<double>(counters.replica_to_replica_bytes) /
-                           static_cast<double>(instances);
+      instances == 0
+          ? 0.0
+          : static_cast<double>(report.net.replica_to_replica_bytes) /
+                static_cast<double>(instances);
   row.measured_wire_bytes_per_instance =
       instances == 0
           ? 0.0
-          : static_cast<double>(counters.replica_to_replica_wire_bytes) /
+          : static_cast<double>(report.net.replica_to_replica_wire_bytes) /
                 static_cast<double>(instances);
   return row;
 }
@@ -82,30 +85,44 @@ Row MeasureRow(const std::string& system, int phases,
 }  // namespace bench
 }  // namespace seemore
 
-int main() {
+int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
   const int c = 1, m = 1, f = c + m;
+  const int jobs = ParseJobs(argc, argv);
   std::printf(
       "Table 1 reproduction (c=%d, m=%d, f=%d): analytic columns + measured "
-      "inter-replica messages per consensus instance\n\n",
-      c, m, f);
+      "inter-replica messages per consensus instance (%d jobs)\n\n",
+      c, m, f, jobs);
+
+  // Analytic columns per system; measured columns from one RunMany batch.
+  struct Analytic {
+    int phases;
+    const char* messages;
+    const char* receiving;
+    const char* quorum;
+  };
+  const auto analytic = [&](const std::string& system) -> Analytic {
+    if (system == "Lion") return {2, "O(n)", "3m+2c+1", "2m+c+1"};
+    if (system == "Dog") return {2, "O(n^2)", "3m+1", "2m+1"};
+    if (system == "Peacock") return {3, "O(n^2)", "3m+1", "2m+1"};
+    if (system == "CFT") return {2, "O(n)", "2f+1", "f+1"};
+    if (system == "BFT") return {3, "O(n^2)", "3f+1", "2f+1"};
+    return {3, "O(n^2)", "3m+2c+1", "2m+c+1"};  // S-UpRight
+  };
+
+  std::vector<ScenarioSpec> specs;
+  for (const std::string& system : scenario::PaperSystemNames()) {
+    specs.push_back(RowSpec(system));
+  }
+  const std::vector<scenario::ScenarioReport> reports = RunAll(specs, jobs);
 
   std::vector<Row> rows;
-  for (const std::string& system : scenario::PaperSystemNames()) {
-    if (system == "Lion") {
-      rows.push_back(MeasureRow(system, 2, "O(n)", "3m+2c+1", "2m+c+1"));
-    } else if (system == "Dog") {
-      rows.push_back(MeasureRow(system, 2, "O(n^2)", "3m+1", "2m+1"));
-    } else if (system == "Peacock") {
-      rows.push_back(MeasureRow(system, 3, "O(n^2)", "3m+1", "2m+1"));
-    } else if (system == "CFT") {
-      rows.push_back(MeasureRow(system, 2, "O(n)", "2f+1", "f+1"));
-    } else if (system == "BFT") {
-      rows.push_back(MeasureRow(system, 3, "O(n^2)", "3f+1", "2f+1"));
-    } else if (system == "S-UpRight") {
-      rows.push_back(MeasureRow(system, 3, "O(n^2)", "3m+2c+1", "2m+c+1"));
-    }
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const std::string& system = scenario::PaperSystemNames()[i];
+    const Analytic a = analytic(system);
+    rows.push_back(MakeRow(system, a.phases, a.messages, a.receiving,
+                           a.quorum, reports[i]));
   }
 
   std::printf("%-10s %-7s %-9s %-12s %-9s %-12s %-12s %-12s\n", "Protocol",

@@ -7,11 +7,11 @@
 namespace seemore {
 
 PaxosReplica::PaxosReplica(Transport* transport, TimerService* timers,
-                           const KeyStore* keystore, PrincipalId id,
-                           const ClusterConfig& config,
+                           const KeyStore* keystore, CryptoMemo* memo,
+                           PrincipalId id, const ClusterConfig& config,
                            std::unique_ptr<StateMachine> state_machine,
                            const CostModel& costs)
-    : ReplicaBase(transport, timers, keystore, id, config,
+    : ReplicaBase(transport, timers, keystore, memo, id, config,
                   std::move(state_machine), costs),
       log_(Window()),
       pipeline_(config.batch_max, config.pipeline_max),
@@ -20,7 +20,7 @@ PaxosReplica::PaxosReplica(Transport* transport, TimerService* timers,
 }
 
 void PaxosReplica::HandleMessage(PrincipalId from, const Payload& frame) {
-  Decoder dec = MakeDecoder(frame);
+  Decoder dec = FrameDecoder(frame);
   const uint8_t tag = dec.GetU8();
   if (!dec.ok()) return;
   // Channels are pairwise authenticated: protocol-internal messages are only

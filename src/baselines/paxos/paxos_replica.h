@@ -36,7 +36,7 @@ namespace seemore {
 class PaxosReplica : public ReplicaBase {
  public:
   PaxosReplica(Transport* transport, TimerService* timers,
-               const KeyStore* keystore, PrincipalId id,
+               const KeyStore* keystore, CryptoMemo* memo, PrincipalId id,
                const ClusterConfig& config,
                std::unique_ptr<StateMachine> state_machine,
                const CostModel& costs);

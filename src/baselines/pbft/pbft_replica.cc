@@ -7,12 +7,12 @@
 namespace seemore {
 
 PbftCoreReplica::PbftCoreReplica(Transport* transport, TimerService* timers,
-                                 const KeyStore* keystore, PrincipalId id,
-                                 const ClusterConfig& config,
+                                 const KeyStore* keystore, CryptoMemo* memo,
+                                 PrincipalId id, const ClusterConfig& config,
                                  std::unique_ptr<StateMachine> state_machine,
                                  const CostModel& costs,
                                  const PbftQuorums& quorums)
-    : ReplicaBase(transport, timers, keystore, id, config,
+    : ReplicaBase(transport, timers, keystore, memo, id, config,
                   std::move(state_machine), costs),
       quorums_(quorums),
       window_(static_cast<uint64_t>(config.checkpoint_period) * 2 +
@@ -24,7 +24,7 @@ PbftCoreReplica::PbftCoreReplica(Transport* transport, TimerService* timers,
 }
 
 void PbftCoreReplica::HandleMessage(PrincipalId from, const Payload& frame) {
-  Decoder dec = MakeDecoder(frame);
+  Decoder dec = FrameDecoder(frame);
   const uint8_t tag = dec.GetU8();
   if (!dec.ok()) return;
   ChargeMac();  // channel authentication

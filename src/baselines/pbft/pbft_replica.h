@@ -37,7 +37,7 @@ struct PbftQuorums {
 class PbftCoreReplica : public ReplicaBase {
  public:
   PbftCoreReplica(Transport* transport, TimerService* timers,
-                  const KeyStore* keystore, PrincipalId id,
+                  const KeyStore* keystore, CryptoMemo* memo, PrincipalId id,
                   const ClusterConfig& config,
                   std::unique_ptr<StateMachine> state_machine,
                   const CostModel& costs, const PbftQuorums& quorums);
@@ -140,11 +140,11 @@ class PbftCoreReplica : public ReplicaBase {
 class PbftReplica : public PbftCoreReplica {
  public:
   PbftReplica(Transport* transport, TimerService* timers,
-              const KeyStore* keystore, PrincipalId id,
+              const KeyStore* keystore, CryptoMemo* memo, PrincipalId id,
               const ClusterConfig& config,
               std::unique_ptr<StateMachine> state_machine,
               const CostModel& costs)
-      : PbftCoreReplica(transport, timers, keystore, id, config,
+      : PbftCoreReplica(transport, timers, keystore, memo, id, config,
                         std::move(state_machine), costs,
                         PbftQuorums{/*agreement=*/2 * config.f,
                                     /*commit=*/2 * config.f + 1,

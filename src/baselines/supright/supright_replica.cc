@@ -18,11 +18,11 @@ PbftQuorums SUpRightReplica::QuorumsFor(const ClusterConfig& config) {
 }
 
 SUpRightReplica::SUpRightReplica(Transport* transport, TimerService* timers,
-                                 const KeyStore* keystore, PrincipalId id,
-                                 const ClusterConfig& config,
+                                 const KeyStore* keystore, CryptoMemo* memo,
+                                 PrincipalId id, const ClusterConfig& config,
                                  std::unique_ptr<StateMachine> state_machine,
                                  const CostModel& costs)
-    : PbftCoreReplica(transport, timers, keystore, id, config,
+    : PbftCoreReplica(transport, timers, keystore, memo, id, config,
                       std::move(state_machine), costs, QuorumsFor(config)) {}
 
 std::vector<std::string> SUpRightReplica::UnimplementedFeatures() {

@@ -25,7 +25,7 @@ namespace seemore {
 class SUpRightReplica : public PbftCoreReplica {
  public:
   SUpRightReplica(Transport* transport, TimerService* timers,
-                  const KeyStore* keystore, PrincipalId id,
+                  const KeyStore* keystore, CryptoMemo* memo, PrincipalId id,
                   const ClusterConfig& config,
                   std::unique_ptr<StateMachine> state_machine,
                   const CostModel& costs);

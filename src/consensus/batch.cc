@@ -4,9 +4,20 @@ namespace seemore {
 
 Bytes Batch::Encode() const {
   Encoder enc;
+  enc.Reserve(EncodedSize());
+  EncodeTo(enc);
+  return enc.Take();
+}
+
+void Batch::EncodeTo(Encoder& enc) const {
   enc.PutVarint(requests.size());
   for (const Request& request : requests) request.EncodeTo(enc);
-  return enc.Take();
+}
+
+size_t Batch::EncodedSize() const {
+  size_t total = VarintSize(requests.size());
+  for (const Request& request : requests) total += request.EncodedSize();
+  return total;
 }
 
 Result<Batch> Batch::Decode(const Bytes& bytes) {

@@ -22,6 +22,12 @@ struct Batch {
   size_t size() const { return requests.size(); }
 
   Bytes Encode() const;
+  /// Append the canonical encoding (same bytes as Encode()) to `enc` —
+  /// batch-carrying messages size-hint with EncodedSize() and encode in
+  /// place instead of materializing a temporary.
+  void EncodeTo(Encoder& enc) const;
+  /// Exact size of the canonical encoding.
+  size_t EncodedSize() const;
   static Result<Batch> Decode(const Bytes& bytes);
   static Result<Batch> DecodeFrom(Decoder& dec);
 

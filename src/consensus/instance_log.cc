@@ -22,7 +22,15 @@ void SlotCore::Reset(uint64_t owner_seq) {
 }
 
 InstanceLog::InstanceLog(uint64_t window) {
-  slab_.resize(NextPow2(window + 1));
+  // The slab is an eager allocation (sizeof(SlotCore) per slot), so cap it:
+  // a huge agreement window (e.g. a bench disabling checkpoints via
+  // checkpoint_period = 1 << 20) must not cost gigabytes per replica —
+  // especially now that RunMany keeps several clusters alive concurrently.
+  // Seqs in the window but beyond the slab take the ordered overflow map,
+  // which is exactly the lagging-replica cold path it already serves;
+  // behaviour is identical, only host-side locality changes.
+  constexpr uint64_t kMaxSlabSlots = uint64_t{1} << 14;
+  slab_.resize(NextPow2(std::min(window + 1, kMaxSlabSlots)));
   mask_ = slab_.size() - 1;
 }
 

@@ -28,17 +28,28 @@ Bytes VoteHeader(SigDomain domain, uint8_t mode, uint64_t view, uint64_t seq,
 }
 
 void PreparedProof::EncodeTo(Encoder& enc) const {
+  enc.Reserve(EncodedSize());
   enc.PutU8(mode);
   enc.PutU64(view);
   enc.PutU64(seq);
   digest.EncodeTo(enc);
-  enc.PutBytes(batch.Encode());
+  // Size-hinted in-place batch encode: the length prefix is computed, not
+  // discovered by materializing a temporary buffer.
+  enc.PutVarint(batch.EncodedSize());
+  batch.EncodeTo(enc);
   primary_sig.EncodeTo(enc);
   enc.PutVarint(prepares.size());
   for (const auto& [voter, sig] : prepares) {
     enc.PutU32(static_cast<uint32_t>(voter));
     sig.EncodeTo(enc);
   }
+}
+
+size_t PreparedProof::EncodedSize() const {
+  const size_t batch_size = batch.EncodedSize();
+  return 1 + 8 + 8 + Digest::kSize + VarintSize(batch_size) + batch_size +
+         Signature::kSize + VarintSize(prepares.size()) +
+         prepares.size() * (4 + Signature::kSize);
 }
 
 Result<PreparedProof> PreparedProof::DecodeFrom(Decoder& dec) {

@@ -52,6 +52,8 @@ struct PreparedProof {
   std::map<PrincipalId, Signature> prepares;
 
   void EncodeTo(Encoder& enc) const;
+  /// Exact size EncodeTo appends (Encoder::Reserve hints).
+  size_t EncodedSize() const;
   static Result<PreparedProof> DecodeFrom(Decoder& dec);
 
   /// Checks: the batch matches `digest`; `primary_sig` is `primary`'s

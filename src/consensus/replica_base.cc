@@ -7,13 +7,14 @@
 namespace seemore {
 
 ReplicaBase::ReplicaBase(Transport* transport, TimerService* timers,
-                         const KeyStore* keystore, PrincipalId id,
-                         const ClusterConfig& config,
+                         const KeyStore* keystore, CryptoMemo* memo,
+                         PrincipalId id, const ClusterConfig& config,
                          std::unique_ptr<StateMachine> state_machine,
                          const CostModel& costs)
     : transport_(transport),
       timers_(timers),
       keystore_(keystore),
+      memo_(memo),
       id_(id),
       config_(config),
       costs_(costs),
@@ -23,6 +24,7 @@ ReplicaBase::ReplicaBase(Transport* transport, TimerService* timers,
       exec_(std::move(state_machine)),
       commits_(exec_, stats_, cpu_, costs_) {
   SEEMORE_CHECK(cpu_ != nullptr) << "transport returned no CPU meter";
+  SEEMORE_CHECK(memo_ != nullptr) << "replica needs the run's CryptoMemo";
 }
 
 ReplicaBase::~ReplicaBase() = default;

@@ -43,8 +43,11 @@ enum ByzantineFlag : uint32_t {
 
 class ReplicaBase : public MessageHandler {
  public:
+  /// `memo` is the run's digest/verify memo (owned by the composition root,
+  /// e.g. the Cluster); every replica of one run shares it, and runs on
+  /// different threads each have their own.
   ReplicaBase(Transport* transport, TimerService* timers,
-              const KeyStore* keystore, PrincipalId id,
+              const KeyStore* keystore, CryptoMemo* memo, PrincipalId id,
               const ClusterConfig& config,
               std::unique_ptr<StateMachine> state_machine,
               const CostModel& costs);
@@ -103,8 +106,8 @@ class ReplicaBase : public MessageHandler {
         offset_in_frame + field.size() <= current_frame_.size()
             ? current_frame_.id()
             : 0;
-    return CryptoMemo::Get().DigestOf(buffer_id, offset_in_frame,
-                                      field.data(), field.size());
+    return memo_->DigestOf(buffer_id, offset_in_frame, field.data(),
+                           field.size());
   }
 
   /// Memoized `verify()` keyed on (current frame, signer, slot). `signer`
@@ -115,8 +118,14 @@ class ReplicaBase : public MessageHandler {
   template <typename F>
   bool FrameVerifyMemoized(PrincipalId signer, uint32_t slot,
                            F&& verify) const {
-    return CryptoMemo::Get().Verify(current_frame_.id(), signer, slot,
-                                    std::forward<F>(verify));
+    return memo_->Verify(current_frame_.id(), signer, slot,
+                         std::forward<F>(verify));
+  }
+
+  /// Decoder over `frame` carrying the run's memo — what every protocol's
+  /// HandleMessage switch decodes from.
+  Decoder FrameDecoder(const Payload& frame) const {
+    return MakeDecoder(frame, memo_);
   }
 
   /// Hook invoked after Recover() re-attaches the replica.
@@ -176,6 +185,7 @@ class ReplicaBase : public MessageHandler {
   Transport* transport_;
   TimerService* timers_;
   const KeyStore* keystore_;
+  CryptoMemo* const memo_;  // the run's memo, owned by the composition root
   const PrincipalId id_;
   const ClusterConfig config_;
   const CostModel costs_;

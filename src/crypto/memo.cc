@@ -2,11 +2,6 @@
 
 namespace seemore {
 
-CryptoMemo& CryptoMemo::Get() {
-  static CryptoMemo* memo = new CryptoMemo();
-  return *memo;
-}
-
 Digest CryptoMemo::DigestOf(uint64_t buffer_id, size_t offset,
                             const uint8_t* data, size_t len) {
   if (buffer_id == 0) return Digest::Of(data, len);

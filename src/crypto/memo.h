@@ -1,5 +1,4 @@
-// Process-wide digest / signature-verification memo keyed on payload
-// identity.
+// Per-run digest / signature-verification memo keyed on payload identity.
 //
 // A multicast delivers the *same* immutable buffer (wire/payload.h) to n
 // receivers, and each receiver re-derives the same facts from it: the
@@ -16,8 +15,15 @@
 // buffer id, because (id, offset, length) names immutable bytes for the
 // whole process; id 0 (plain, unshared bytes) always computes for real.
 //
-// Single-threaded by design, like the simulator it serves. Both tables are
-// bounded: they are pure caches, so wholesale eviction is always correct.
+// Ownership (DESIGN.md §"Concurrency model"): one CryptoMemo per run,
+// owned by the Cluster and threaded to its replicas and their decoders.
+// There is deliberately NO process-wide instance: a memo is single-threaded
+// like the simulator it serves, and giving each concurrently-executing run
+// its own table is what lets scenario::RunMany fan runs out across cores
+// with no locks on the crypto hot path. Payload ids stay process-unique
+// (an atomic counter), so per-run tables are simply disjoint key spaces.
+// Both tables are bounded: they are pure caches, so wholesale eviction is
+// always correct.
 
 #ifndef SEEMORE_CRYPTO_MEMO_H_
 #define SEEMORE_CRYPTO_MEMO_H_
@@ -32,9 +38,10 @@ namespace seemore {
 
 class CryptoMemo {
  public:
-  /// The process-wide instance (payload ids are process-unique, so one
-  /// table safely serves any number of simulated clusters).
-  static CryptoMemo& Get();
+  CryptoMemo() = default;
+
+  CryptoMemo(const CryptoMemo&) = delete;
+  CryptoMemo& operator=(const CryptoMemo&) = delete;
 
   /// Digest of `len` bytes at `data`. PRECONDITION (caller's
   /// responsibility, not checked here): the bytes are the verbatim subrange

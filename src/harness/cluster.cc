@@ -16,6 +16,7 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   }
   sim_ = std::make_unique<Simulator>(options_.seed);
   keystore_ = std::make_unique<KeyStore>(options_.seed ^ 0x5eed'c0de'5eed'c0deULL);
+  memo_ = std::make_unique<CryptoMemo>();
   net_ = std::make_unique<SimNetwork>(sim_.get(), options_.net);
 
   // The cluster is the composition root: it owns the concrete simulator and
@@ -28,22 +29,22 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
     switch (config.kind) {
       case ProtocolKind::kCft:
         replicas_.push_back(std::make_unique<PaxosReplica>(
-            transport, timers, keystore_.get(), i, config,
+            transport, timers, keystore_.get(), memo_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
       case ProtocolKind::kBft:
         replicas_.push_back(std::make_unique<PbftReplica>(
-            transport, timers, keystore_.get(), i, config,
+            transport, timers, keystore_.get(), memo_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
       case ProtocolKind::kSUpRight:
         replicas_.push_back(std::make_unique<SUpRightReplica>(
-            transport, timers, keystore_.get(), i, config,
+            transport, timers, keystore_.get(), memo_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
       case ProtocolKind::kSeeMoRe:
         replicas_.push_back(std::make_unique<SeeMoReReplica>(
-            transport, timers, keystore_.get(), i, config,
+            transport, timers, keystore_.get(), memo_.get(), i, config,
             options_.state_machine_factory(), options_.costs));
         break;
     }

@@ -44,6 +44,10 @@ class Cluster {
   Simulator& sim() { return *sim_; }
   SimNetwork& net() { return *net_; }
   const KeyStore& keystore() const { return *keystore_; }
+  /// The run's digest/verify memo (crypto/memo.h): shared by this cluster's
+  /// replicas, private to this run — concurrent clusters on other threads
+  /// each have their own, which is what makes scenario::RunMany safe.
+  CryptoMemo& memo() { return *memo_; }
   const ClusterConfig& config() const { return options_.config; }
 
   int n() const { return options_.config.n(); }
@@ -79,6 +83,7 @@ class Cluster {
   ClusterOptions options_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<KeyStore> keystore_;
+  std::unique_ptr<CryptoMemo> memo_;
   std::unique_ptr<SimNetwork> net_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
   std::vector<std::unique_ptr<SimClient>> clients_;

@@ -28,6 +28,7 @@ Json RunResult::ToJson() const {
   j.Set("p99_latency_ms", p99_latency_ms);
   j.Set("completed", completed);
   j.Set("retransmissions", retransmissions);
+  j.Set("wall_time_ms", wall_time_ms);
   return j;
 }
 

@@ -23,6 +23,11 @@ struct RunResult {
   double p90_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   uint64_t retransmissions = 0;
+  /// Host wall-clock time the run took (real elapsed milliseconds, NOT
+  /// simulated time) — what parallel sweeps shrink. The only
+  /// non-deterministic field; excluded from bit-identical comparisons via
+  /// ScenarioReport::DeterministicJson.
+  double wall_time_ms = 0.0;
 
   std::string ToString() const;
   /// Machine-readable image; the single emission path for bench JSON

@@ -1,9 +1,12 @@
 #include "scenario/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <set>
 
 #include "smr/ledger.h"
+#include "util/thread_pool.h"
 
 namespace seemore {
 namespace scenario {
@@ -103,6 +106,12 @@ Json ReplicaReport::ToJson() const {
   j.Set("equivocations_detected", equivocations_detected);
   j.Set("cpu_busy_ms", cpu_busy_ms);
   return j;
+}
+
+Json ScenarioReport::DeterministicJson() const {
+  ScenarioReport stripped = *this;
+  stripped.result.wall_time_ms = 0.0;
+  return stripped.ToJson();
 }
 
 Json ScenarioReport::ToJson() const {
@@ -211,6 +220,7 @@ Result<ScenarioReport> RunScenario(const ScenarioSpec& spec) {
 Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
                                    const ScenarioHooks& hooks) {
   SEEMORE_RETURN_IF_ERROR(spec.Validate());
+  const auto wall_start = std::chrono::steady_clock::now();
   Cluster cluster(ToClusterOptions(spec));
 
   ScenarioReport report;
@@ -333,22 +343,94 @@ Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
     }
     report.convergence = cluster.CheckConvergence(honest_live);
   }
+  report.result.wall_time_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   return report;
 }
 
-Result<std::vector<ScenarioReport>> RunSweep(const ScenarioSpec& spec) {
+uint64_t SweepPointSeed(uint64_t base_seed, size_t index) {
+  // Plain addition suffices: every consumer (Simulator, KeyStore, KvWorkload)
+  // pushes its seed through SplitMix64 before use, which decorrelates
+  // adjacent values. Index 0 keeps the base seed so a one-point sweep is
+  // the same run as RunScenario(spec).
+  return base_seed + static_cast<uint64_t>(index);
+}
+
+std::vector<ScenarioSpec> MakeSweepPoints(const ScenarioSpec& spec) {
   std::vector<int> counts = spec.plan.sweep_clients;
   if (counts.empty()) counts.push_back(spec.clients);
-  std::vector<ScenarioReport> reports;
-  reports.reserve(counts.size());
-  for (int count : counts) {
+  std::vector<ScenarioSpec> points;
+  points.reserve(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
     ScenarioSpec point = spec;
-    point.clients = count;
+    point.clients = counts[i];
     point.plan.sweep_clients.clear();
-    SEEMORE_ASSIGN_OR_RETURN(ScenarioReport report, RunScenario(point));
-    reports.push_back(std::move(report));
+    point.seed = SweepPointSeed(spec.seed, i);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+Result<std::vector<ScenarioReport>> RunMany(
+    const std::vector<ScenarioSpec>& specs, int jobs) {
+  return RunMany(specs, jobs, std::function<ScenarioHooks(size_t)>());
+}
+
+Result<std::vector<ScenarioReport>> RunMany(
+    const std::vector<ScenarioSpec>& specs, int jobs,
+    const std::function<ScenarioHooks(size_t)>& hooks_for) {
+  // Validate everything up front so a bad spec fails before any thread (or
+  // any earlier point's work) is spent.
+  for (const ScenarioSpec& spec : specs) {
+    SEEMORE_RETURN_IF_ERROR(spec.Validate());
+  }
+
+  // Hooks are built here, on the caller's thread, before any worker starts
+  // (the documented contract: a hooks_for factory may touch caller state
+  // without locking). Only the built hooks run on workers, and those must
+  // touch per-index state only.
+  std::vector<ScenarioHooks> hooks(specs.size());
+  if (hooks_for) {
+    for (size_t i = 0; i < specs.size(); ++i) hooks[i] = hooks_for(i);
+  }
+
+  std::vector<std::optional<Result<ScenarioReport>>> slots(specs.size());
+  const auto run_point = [&](size_t i) {
+    slots[i] = RunScenario(specs[i], hooks[i]);
+  };
+
+  if (jobs <= 1 || specs.size() <= 1) {
+    // Degenerate case: plain serial execution, no threads at all.
+    for (size_t i = 0; i < specs.size(); ++i) run_point(i);
+  } else {
+    if (static_cast<size_t>(jobs) > specs.size()) {
+      jobs = static_cast<int>(specs.size());
+    }
+    ThreadPool pool(jobs);
+    std::vector<std::future<void>> done;
+    done.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      // Each task touches only its own slot (and its hooks touch only
+      // per-index state), so no locking is needed.
+      done.push_back(pool.Submit([&run_point, i] { run_point(i); }));
+    }
+    for (std::future<void>& f : done) f.get();  // rethrows task exceptions
+  }
+
+  std::vector<ScenarioReport> reports;
+  reports.reserve(specs.size());
+  for (std::optional<Result<ScenarioReport>>& slot : slots) {
+    if (!slot->ok()) return slot->status();
+    reports.push_back(*std::move(*slot));
   }
   return reports;
+}
+
+Result<std::vector<ScenarioReport>> RunSweep(const ScenarioSpec& spec,
+                                             int jobs) {
+  return RunMany(MakeSweepPoints(spec), jobs);
 }
 
 }  // namespace scenario

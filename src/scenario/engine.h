@@ -82,6 +82,12 @@ struct ScenarioReport {
   }
 
   Json ToJson() const;
+  /// ToJson with the host-time fields (result.wall_time_ms) zeroed: the
+  /// bit-identical comparison surface. Everything virtual-time — counters,
+  /// latencies, per-replica stats, events — must reproduce exactly under a
+  /// fixed seed whether the run executed serially or on a RunMany worker;
+  /// how long the host took may not.
+  Json DeterministicJson() const;
 };
 
 /// Optional embedder callbacks for consumers (examples, benches) that
@@ -117,10 +123,44 @@ Result<ScenarioReport> RunScenario(const ScenarioSpec& spec);
 Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
                                    const ScenarioHooks& hooks);
 
+/// Deterministic seed for sweep/batch point `index` of a spec seeded with
+/// `base_seed`: a pure function of the spec, independent of execution
+/// order, thread assignment or wall time — the reason a parallel sweep's
+/// reports are bit-identical to a serial one's. Point 0 keeps the base
+/// seed; later points are decorrelated through the generators' SplitMix64
+/// seed expansion (util/rng.h).
+uint64_t SweepPointSeed(uint64_t base_seed, size_t index);
+
+/// The sweep as explicit per-point specs (clients + seed resolved, sweep
+/// plan cleared): what RunSweep feeds RunMany, exposed so benches and tests
+/// can inspect or re-batch the exact same points.
+std::vector<ScenarioSpec> MakeSweepPoints(const ScenarioSpec& spec);
+
+/// Run independent scenarios across `jobs` worker threads (jobs <= 1 runs
+/// them inline, in order, with no threads — the degenerate case is plain
+/// serial execution). Reports come back in spec order. Each run owns its
+/// whole world (simulator, network, keystore, CryptoMemo), so reports are
+/// bit-identical to serial execution; see DESIGN.md §"Concurrency model".
+/// Validation fails fast (every spec is checked before any run starts); a
+/// run that fails mid-batch does not cancel the others — the batch
+/// completes and the first failure (in spec order) is returned.
+Result<std::vector<ScenarioReport>> RunMany(
+    const std::vector<ScenarioSpec>& specs, int jobs);
+/// RunMany with per-spec hooks: `hooks_for(i)` builds the hooks for
+/// specs[i]; every factory call happens on the caller's thread before any
+/// run starts, so the factory may touch caller state freely. The *built*
+/// hooks for point i run on whichever worker executes it and must only
+/// touch state owned by that point (e.g. a per-index result slot).
+Result<std::vector<ScenarioReport>> RunMany(
+    const std::vector<ScenarioSpec>& specs, int jobs,
+    const std::function<ScenarioHooks(size_t)>& hooks_for);
+
 /// One report per plan.sweep_clients entry (or a single report at
 /// spec.clients when the sweep is empty), each from a fresh cluster — one
-/// throughput/latency curve of Figure 2/3.
-Result<std::vector<ScenarioReport>> RunSweep(const ScenarioSpec& spec);
+/// throughput/latency curve of Figure 2/3. `jobs` > 1 fans the points out
+/// across a thread pool; the reports are bit-identical to jobs = 1.
+Result<std::vector<ScenarioReport>> RunSweep(const ScenarioSpec& spec,
+                                             int jobs = 1);
 
 /// Request a live mode switch the way the paper does (§5.4): on the trusted
 /// authority of the next view, skipping crashed authorities up to S views

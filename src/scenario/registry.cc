@@ -1,5 +1,6 @@
 #include "scenario/registry.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <functional>
@@ -268,6 +269,13 @@ Result<ScenarioSpec> FindScenario(const std::string& name) {
   }
   return Status::NotFound("no scenario named \"" + name +
                           "\" (seemore_ctl --list-scenarios)");
+}
+
+void ApplyQuickBudgets(ScenarioSpec& spec) {
+  spec.plan.warmup = std::min<SimTime>(spec.plan.warmup, Millis(100));
+  spec.plan.measure = std::min<SimTime>(spec.plan.measure, Millis(250));
+  spec.plan.drain = std::min<SimTime>(spec.plan.drain, Millis(250));
+  spec.plan.sweep_clients.clear();
 }
 
 }  // namespace scenario

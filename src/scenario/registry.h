@@ -61,6 +61,12 @@ const std::vector<RegistryEntry>& Registry();
 /// Look a canonical scenario up by name.
 Result<ScenarioSpec> FindScenario(const std::string& name);
 
+/// Shrink a spec to the smoke-run budgets (the regime `seemore_ctl
+/// --quick`/`--smoke` and CI use, and that the parallel determinism tests
+/// replicate): warmup <= 100ms, measure <= 250ms, drain <= 250ms, sweep
+/// cleared. One definition so tool, CI and tests can never drift.
+void ApplyQuickBudgets(ScenarioSpec& spec);
+
 }  // namespace scenario
 }  // namespace seemore
 

@@ -10,11 +10,11 @@
 namespace seemore {
 
 SeeMoReReplica::SeeMoReReplica(Transport* transport, TimerService* timers,
-                               const KeyStore* keystore, PrincipalId id,
-                               const ClusterConfig& config,
+                               const KeyStore* keystore, CryptoMemo* memo,
+                               PrincipalId id, const ClusterConfig& config,
                                std::unique_ptr<StateMachine> state_machine,
                                const CostModel& costs)
-    : ReplicaBase(transport, timers, keystore, id, config,
+    : ReplicaBase(transport, timers, keystore, memo, id, config,
                   std::move(state_machine), costs),
       mode_(config.initial_mode),
       window_(static_cast<uint64_t>(config.checkpoint_period) * 2 +
@@ -75,7 +75,7 @@ bool SeeMoReReplica::VerifyProposalSig(SeeMoReMode mode, uint64_t view,
 }
 
 void SeeMoReReplica::HandleMessage(PrincipalId from, const Payload& frame) {
-  Decoder dec = MakeDecoder(frame);
+  Decoder dec = FrameDecoder(frame);
   const uint8_t tag = dec.GetU8();
   if (!dec.ok()) return;
   ChargeMac();  // pairwise channel authentication (§3.1)

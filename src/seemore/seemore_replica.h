@@ -46,7 +46,7 @@ namespace seemore {
 class SeeMoReReplica : public ReplicaBase {
  public:
   SeeMoReReplica(Transport* transport, TimerService* timers,
-                 const KeyStore* keystore, PrincipalId id,
+                 const KeyStore* keystore, CryptoMemo* memo, PrincipalId id,
                  const ClusterConfig& config,
                  std::unique_ptr<StateMachine> state_machine,
                  const CostModel& costs);

@@ -151,7 +151,7 @@ Result<SeeMoReReplica::VcRecord> SeeMoReReplica::ValidateViewChange(
   // real crypto through the memo. Slots index the frame's sets; the
   // charged simulated cost (HandleViewChange) is unaffected. frame_id 0
   // (own-message validation) computes everything for real.
-  CryptoMemo& memo = CryptoMemo::Get();
+  CryptoMemo& memo = *memo_;
   constexpr uint32_t kCertSlot = static_cast<uint32_t>(kSmViewChange) << 24;
   constexpr uint32_t kPrepareSlots = kCertSlot | (1u << 20);
   constexpr uint32_t kCommitSlots = kCertSlot | (2u << 20);

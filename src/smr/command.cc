@@ -25,6 +25,10 @@ void Request::EncodeTo(Encoder& enc) const {
   sig.EncodeTo(enc);
 }
 
+size_t Request::EncodedSize() const {
+  return 4 + 8 + VarintSize(op.size()) + op.size() + Signature::kSize;
+}
+
 Result<Request> Request::DecodeFrom(Decoder& dec) {
   Request req;
   req.client = static_cast<PrincipalId>(dec.GetU32());

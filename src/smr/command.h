@@ -40,6 +40,8 @@ struct Request {
 
   void EncodeTo(Encoder& enc) const;
   static Result<Request> DecodeFrom(Decoder& dec);
+  /// Exact size EncodeTo appends (Encoder::Reserve hints).
+  size_t EncodedSize() const;
 
   /// Full framed message (kMsgRequest tag + body).
   Bytes ToMessage() const;

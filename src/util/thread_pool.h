@@ -1,0 +1,61 @@
+// Fixed-size thread pool for embarrassingly parallel host work (one
+// simulated run per task). Deliberately minimal: one shared FIFO queue, no
+// work stealing, no priorities — scenario runs are seconds-long and
+// uniform enough that a simple queue keeps every core busy, and FIFO makes
+// the dispatch order deterministic (task k is *started* in submission
+// order; completion order is of course up to the scheduler).
+//
+// Determinism contract: the pool never touches task state — each submitted
+// task must own everything it mutates (its own Cluster, Simulator,
+// CryptoMemo, report slot). Under that discipline a parallel batch is
+// bit-identical to running the same tasks serially, which
+// tests/parallel_sweep_test.cc pins down end to end.
+
+#ifndef SEEMORE_UTIL_THREAD_POOL_H_
+#define SEEMORE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace seemore {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  /// Drains the queue (every submitted task still runs), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue `task`. Tasks are started in submission order. The returned
+  /// future resolves when the task finishes; an exception thrown by the
+  /// task is captured and rethrown from future::get().
+  std::future<void> Submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Default parallelism: the hardware concurrency, at least 1 (the value
+  /// `--jobs` flags fall back to).
+  static int DefaultJobs();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace seemore
+
+#endif  // SEEMORE_UTIL_THREAD_POOL_H_

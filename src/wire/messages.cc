@@ -45,6 +45,8 @@ size_t FieldOffset(const Decoder& dec, const Bytes& field) {
 // ---------------------------------------------------------------------------
 
 void SmPrepareMsg::EncodeTo(Encoder& enc) const {
+  enc.Reserve(1 + 8 + 8 + Digest::kSize + Signature::kSize +
+              VarintSize(batch.size()) + batch.size());
   enc.PutU8(mode);
   enc.PutU64(view);
   enc.PutU64(seq);
@@ -107,6 +109,8 @@ Result<SmInformMsg> SmInformMsg::DecodeFrom(Decoder& dec) {
 }
 
 void SmCommitPrimaryMsg::EncodeTo(Encoder& enc) const {
+  enc.Reserve(1 + 8 + 8 + Digest::kSize + Signature::kSize +
+              VarintSize(batch.size()) + batch.size());
   enc.PutU8(mode);
   enc.PutU64(view);
   enc.PutU64(seq);
@@ -129,12 +133,22 @@ Result<SmCommitPrimaryMsg> SmCommitPrimaryMsg::DecodeFrom(Decoder& dec) {
 }
 
 void SmVcEntry::EncodeTo(Encoder& enc) const {
+  enc.Reserve(EncodedSize());
   enc.PutU8(static_cast<uint8_t>(mode));
   enc.PutU64(view);
   enc.PutU64(seq);
   digest.EncodeTo(enc);
-  enc.PutBytes(batch.Encode());
+  // In-place batch encode under a computed length prefix — identical bytes
+  // to PutBytes(batch.Encode()) without the temporary buffer.
+  enc.PutVarint(batch.EncodedSize());
+  batch.EncodeTo(enc);
   sig.EncodeTo(enc);
+}
+
+size_t SmVcEntry::EncodedSize() const {
+  const size_t batch_size = batch.EncodedSize();
+  return 1 + 8 + 8 + Digest::kSize + VarintSize(batch_size) + batch_size +
+         Signature::kSize;
 }
 
 Result<SmVcEntry> SmVcEntry::DecodeFrom(Decoder& dec) {
@@ -150,8 +164,13 @@ Result<SmVcEntry> SmVcEntry::DecodeFrom(Decoder& dec) {
   // Memoized on the frame's buffer identity: each receiver of a multicast
   // view-change re-validates these embedded batches, but only the first
   // pays the real SHA-256 (the simulated cost is charged by the replica).
-  if (CryptoMemo::Get().DigestOf(dec.buffer_id(), batch_offset, batch_bytes) !=
-      entry.digest) {
+  // A memo-less decoder (unit tests, own-message validation) computes the
+  // digest for real — same verdict, no sharing.
+  const Digest batch_digest =
+      dec.memo() != nullptr
+          ? dec.memo()->DigestOf(dec.buffer_id(), batch_offset, batch_bytes)
+          : Digest::Of(batch_bytes);
+  if (batch_digest != entry.digest) {
     return Status::Corruption("view-change entry digest mismatch");
   }
   SEEMORE_ASSIGN_OR_RETURN(entry.batch, Batch::Decode(batch_bytes));
@@ -163,6 +182,15 @@ void SmViewChangeMsg::EncodeTo(Encoder& enc) const {
   enc.PutU64(new_view);
   enc.PutU64(stable_seq);
   cert.EncodeTo(enc);
+  // One allocation for all three entry sets (the bulk of a view change —
+  // every in-flight batch rides along).
+  size_t sets_size = VarintSize(prepares.size()) +
+                     VarintSize(commits.size()) + VarintSize(proofs.size()) +
+                     4;
+  for (const SmVcEntry& entry : prepares) sets_size += entry.EncodedSize();
+  for (const SmVcEntry& entry : commits) sets_size += entry.EncodedSize();
+  for (const PreparedProof& proof : proofs) sets_size += proof.EncodedSize();
+  enc.Reserve(sets_size);
   enc.PutVarint(prepares.size());
   for (const SmVcEntry& entry : prepares) entry.EncodeTo(enc);
   enc.PutVarint(commits.size());
@@ -223,11 +251,17 @@ Result<SmViewChangeMsg> SmViewChangeMsg::DecodeFrom(Decoder& dec,
 }
 
 void SmNewViewEntry::EncodeTo(Encoder& enc) const {
+  enc.Reserve(EncodedSize());
   enc.PutU64(view);
   enc.PutU64(seq);
   digest.EncodeTo(enc);
   enc.PutBytes(batch);
   sig.EncodeTo(enc);
+}
+
+size_t SmNewViewEntry::EncodedSize() const {
+  return 8 + 8 + Digest::kSize + VarintSize(batch.size()) + batch.size() +
+         Signature::kSize;
 }
 
 Result<SmNewViewEntry> SmNewViewEntry::DecodeFrom(Decoder& dec) {
@@ -244,6 +278,11 @@ Result<SmNewViewEntry> SmNewViewEntry::DecodeFrom(Decoder& dec) {
 }
 
 void SmNewViewMsg::EncodeTo(Encoder& enc) const {
+  size_t total = 1 + 8 + 8 + Signature::kSize + VarintSize(commits.size()) +
+                 VarintSize(prepares.size());
+  for (const SmNewViewEntry& entry : commits) total += entry.EncodedSize();
+  for (const SmNewViewEntry& entry : prepares) total += entry.EncodedSize();
+  enc.Reserve(total);
   enc.PutU8(mode);
   enc.PutU64(new_view);
   enc.PutU64(low);
@@ -320,6 +359,7 @@ Result<StateRequestMsg> StateRequestMsg::DecodeFrom(Decoder& dec) {
 
 void StateResponseMsg::EncodeTo(Encoder& enc) const {
   cert.EncodeTo(enc);
+  enc.Reserve(VarintSize(snapshot.size()) + snapshot.size());
   enc.PutBytes(snapshot);
 }
 
@@ -336,6 +376,8 @@ Result<StateResponseMsg> StateResponseMsg::DecodeFrom(Decoder& dec) {
 // ---------------------------------------------------------------------------
 
 void PbftPrePrepareMsg::EncodeTo(Encoder& enc) const {
+  enc.Reserve(8 + 8 + Digest::kSize + Signature::kSize +
+              VarintSize(batch.size()) + batch.size());
   enc.PutU64(view);
   enc.PutU64(seq);
   digest.EncodeTo(enc);
@@ -439,6 +481,15 @@ Result<PbftNewViewEntry> PbftNewViewEntry::DecodeFrom(Decoder& dec) {
 }
 
 void PbftNewViewMsg::EncodeTo(Encoder& enc) const {
+  // A NEW-VIEW carries a whole view-change quorum verbatim; reserve for it
+  // in one step.
+  size_t total = 8 + VarintSize(view_changes.size()) +
+                 VarintSize(entries.size()) +
+                 entries.size() * (8 + Digest::kSize + Signature::kSize);
+  for (const Bytes& raw : view_changes) {
+    total += VarintSize(raw.size()) + raw.size();
+  }
+  enc.Reserve(total);
   enc.PutU64(new_view);
   enc.PutVarint(view_changes.size());
   for (const Bytes& raw : view_changes) enc.PutBytes(raw);
@@ -478,6 +529,7 @@ Result<PbftNewViewMsg> PbftNewViewMsg::DecodeFrom(Decoder& dec,
 // ---------------------------------------------------------------------------
 
 void PaxosAcceptMsg::EncodeTo(Encoder& enc) const {
+  enc.Reserve(8 + 8 + VarintSize(batch.size()) + batch.size());
   enc.PutU64(view);
   enc.PutU64(seq);
   enc.PutBytes(batch);
@@ -537,9 +589,12 @@ Result<PaxosCheckpointMsg> PaxosCheckpointMsg::DecodeFrom(Decoder& dec) {
 }
 
 void PaxosVcEntry::EncodeTo(Encoder& enc) const {
+  const size_t batch_size = batch.EncodedSize();
+  enc.Reserve(8 + 8 + VarintSize(batch_size) + batch_size);
   enc.PutU64(seq);
   enc.PutU64(view);
-  enc.PutBytes(batch.Encode());
+  enc.PutVarint(batch_size);
+  batch.EncodeTo(enc);
 }
 
 void PaxosViewChangeMsg::EncodeTo(Encoder& enc) const {
@@ -575,6 +630,7 @@ Result<PaxosViewChangeMsg> PaxosViewChangeMsg::DecodeFrom(Decoder& dec,
 }
 
 void PaxosNewViewEntry::EncodeTo(Encoder& enc) const {
+  enc.Reserve(8 + VarintSize(batch.size()) + batch.size());
   enc.PutU64(seq);
   enc.PutBytes(batch);
 }
@@ -614,6 +670,8 @@ Result<PaxosNewViewMsg> PaxosNewViewMsg::DecodeFrom(Decoder& dec,
 }
 
 void PaxosStateResponseMsg::EncodeTo(Encoder& enc) const {
+  enc.Reserve(8 + Digest::kSize + VarintSize(snapshot.size()) +
+              snapshot.size());
   enc.PutU64(seq);
   digest.EncodeTo(enc);
   enc.PutBytes(snapshot);

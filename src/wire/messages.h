@@ -244,6 +244,8 @@ struct SmVcEntry {
   Signature sig;  // primary's prepare sig (P set) or commit sig (C set)
 
   void EncodeTo(Encoder& enc) const;
+  /// Exact size EncodeTo appends (Encoder::Reserve hints).
+  size_t EncodedSize() const;
   static Result<SmVcEntry> DecodeFrom(Decoder& dec);
 };
 
@@ -282,6 +284,8 @@ struct SmNewViewEntry {
   Signature sig;
 
   void EncodeTo(Encoder& enc) const;
+  /// Exact size EncodeTo appends (Encoder::Reserve hints).
+  size_t EncodedSize() const;
   static Result<SmNewViewEntry> DecodeFrom(Decoder& dec);
 };
 

@@ -21,12 +21,29 @@
 
 namespace seemore {
 
+class CryptoMemo;
+
 using Bytes = std::vector<uint8_t>;
+
+/// Encoded length of PutVarint(v), for exact Encoder::Reserve hints.
+constexpr size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
 
 /// Appends primitive values to a growing byte buffer.
 class Encoder {
  public:
   Encoder() = default;
+
+  /// Pre-size the buffer for `n` further bytes. Large messages (batches,
+  /// view changes) pass an exact or near-exact hint so one allocation
+  /// replaces the doubling-growth churn of byte-at-a-time appends.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
 
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU16(uint16_t v);
@@ -62,10 +79,14 @@ class Decoder {
   Decoder(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   explicit Decoder(const Bytes& data) : Decoder(data.data(), data.size()) {}
   /// Decoder over a shared immutable buffer (wire/payload.h): `buffer_id`
-  /// is the buffer's process-unique identity, letting decode-time digest
-  /// checks consult the process-wide memo (crypto/memo.h).
-  Decoder(const uint8_t* data, size_t len, uint64_t buffer_id)
-      : data_(data), len_(len), buffer_id_(buffer_id) {}
+  /// is the buffer's process-unique identity and `memo` the run's digest
+  /// memo (crypto/memo.h), letting decode-time digest checks reuse work
+  /// another receiver of the same frame already paid for. `memo` may be
+  /// null (and must be when buffer_id is 0): digests then compute for real,
+  /// which is observationally identical — the memo elides host CPU only.
+  Decoder(const uint8_t* data, size_t len, uint64_t buffer_id,
+          CryptoMemo* memo = nullptr)
+      : data_(data), len_(len), buffer_id_(buffer_id), memo_(memo) {}
 
   uint8_t GetU8();
   uint16_t GetU16();
@@ -89,6 +110,9 @@ class Decoder {
   /// Identity of the underlying shared buffer, or 0 when decoding plain
   /// bytes (see the buffer_id constructor).
   uint64_t buffer_id() const { return buffer_id_; }
+  /// The run's digest/verify memo, or null when decoding outside a run (or
+  /// plain bytes); see the buffer_id constructor.
+  CryptoMemo* memo() const { return memo_; }
   /// True if the whole input has been consumed and no error occurred.
   bool AtEnd() const { return ok() && pos_ == len_; }
   /// Fails the decoder unless the input was fully consumed.
@@ -102,6 +126,7 @@ class Decoder {
   size_t len_;
   size_t pos_ = 0;
   uint64_t buffer_id_ = 0;
+  CryptoMemo* memo_ = nullptr;
   Status status_;
 };
 

@@ -43,7 +43,7 @@ TEST(PayloadTest, MakeDecoderCarriesBufferIdentity) {
 }
 
 TEST(CryptoMemoTest, DigestMemoHitsOnSameRangeOfSameBuffer) {
-  CryptoMemo& memo = CryptoMemo::Get();
+  CryptoMemo memo;  // per-run instance, like the one each Cluster owns
   Payload p(Bytes(1000, 0xab));
   const uint64_t misses_before = memo.digest_misses();
   const uint64_t hits_before = memo.digest_hits();
@@ -69,7 +69,7 @@ TEST(CryptoMemoTest, DigestMemoHitsOnSameRangeOfSameBuffer) {
 }
 
 TEST(CryptoMemoTest, VerifyMemoRunsTheCheckOncePerFrame) {
-  CryptoMemo& memo = CryptoMemo::Get();
+  CryptoMemo memo;
   Payload p(Bytes{1, 2, 3});
   int calls = 0;
   auto verify = [&] {

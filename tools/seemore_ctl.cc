@@ -11,13 +11,17 @@
 //   seemore_ctl --protocol=bft --f=2 --byzantine=5:wrongvotes@0 --drop=0.02
 //   seemore_ctl --list-scenarios
 //   seemore_ctl --scenario=fig4-primary-crash --quick
+//   seemore_ctl --smoke --jobs=8 --report-dir=reports
 //   seemore_ctl --c=2 --m=1 --dump-spec > my.json; seemore_ctl --scenario=my.json
 //
 // A spec dumped with --dump-spec re-runs via --scenario= to a bit-identical
-// report under the same seed.
+// report under the same seed — including with --jobs > 1: every sweep point
+// runs on its own cluster with a spec-derived seed, so parallel reports are
+// bit-identical to serial ones (tests/parallel_sweep_test.cc).
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -27,6 +31,7 @@
 #include "scenario/engine.h"
 #include "scenario/registry.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace seemore {
 namespace {
@@ -240,7 +245,80 @@ void PrintReport(const FlagSet& flags, const ScenarioReport& report) {
   }
 }
 
+using scenario::ApplyQuickBudgets;
+
+/// --smoke: every registered scenario at quick budgets in ONE RunMany pass
+/// across `jobs` workers (what the CI scenario-smoke step runs). Writes
+/// REPORT_<name>.json per scenario under --report-dir when set. Returns
+/// nonzero if any scenario failed to run or violated an invariant.
+int SmokeRegistry(const FlagSet& flags, int jobs) {
+  std::vector<std::string> names;
+  std::vector<ScenarioSpec> specs;
+  for (const scenario::RegistryEntry& entry : scenario::Registry()) {
+    Result<ScenarioSpec> spec = scenario::FindScenario(entry.name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    ApplyQuickBudgets(*spec);
+    names.push_back(entry.name);
+    specs.push_back(*std::move(spec));
+  }
+
+  std::printf("smoking %zu scenarios with %d jobs\n", specs.size(), jobs);
+  Result<std::vector<ScenarioReport>> reports =
+      scenario::RunMany(specs, jobs);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+    return 2;
+  }
+
+  const std::string report_dir = flags.GetString("report-dir");
+  if (!report_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(report_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", report_dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+  }
+  int status = 0;
+  for (size_t i = 0; i < reports->size(); ++i) {
+    const ScenarioReport& report = (*reports)[i];
+    std::printf("%-24s %s  completed=%llu wall=%.0fms\n", names[i].c_str(),
+                report.ok() ? "ok  " : "FAIL",
+                static_cast<unsigned long long>(report.result.completed),
+                report.result.wall_time_ms);
+    if (!report.ok()) {
+      std::fprintf(stderr, "  agreement: %s\n",
+                   report.agreement.ToString().c_str());
+      if (report.convergence_checked) {
+        std::fprintf(stderr, "  convergence: %s\n",
+                     report.convergence.ToString().c_str());
+      }
+      status = 1;
+    }
+    if (!report_dir.empty()) {
+      const std::string path = report_dir + "/REPORT_" + names[i] + ".json";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        status = 2;
+        continue;
+      }
+      out << report.ToJson().Dump(2) << "\n";
+    }
+  }
+  return status;
+}
+
 int Run(const FlagSet& flags) {
+  const int jobs_flag = static_cast<int>(flags.GetInt("jobs"));
+  const int jobs = jobs_flag > 0 ? jobs_flag : ThreadPool::DefaultJobs();
+
+  if (flags.GetBool("smoke")) return SmokeRegistry(flags, jobs);
+
   if (flags.GetBool("list-scenarios")) {
     for (const scenario::RegistryEntry& entry : scenario::Registry()) {
       if (flags.GetBool("verbose-list")) {
@@ -262,13 +340,7 @@ int Run(const FlagSet& flags) {
   }
   ScenarioSpec spec = std::move(loaded).value();
 
-  if (flags.GetBool("quick")) {
-    // Smoke-run budgets (CI runs every registry scenario this way).
-    spec.plan.warmup = std::min<SimTime>(spec.plan.warmup, Millis(100));
-    spec.plan.measure = std::min<SimTime>(spec.plan.measure, Millis(250));
-    spec.plan.drain = std::min<SimTime>(spec.plan.drain, Millis(250));
-    spec.plan.sweep_clients.clear();
-  }
+  if (flags.GetBool("quick")) ApplyQuickBudgets(spec);
 
   Status valid = spec.Validate();
   if (!valid.ok()) {
@@ -289,7 +361,8 @@ int Run(const FlagSet& flags) {
   // otherwise a single full-lifecycle run.
   std::vector<ScenarioReport> reports;
   if (!spec.plan.sweep_clients.empty()) {
-    Result<std::vector<ScenarioReport>> sweep = scenario::RunSweep(spec);
+    Result<std::vector<ScenarioReport>> sweep =
+        scenario::RunSweep(spec, jobs);
     if (!sweep.ok()) {
       std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
       return 2;
@@ -348,6 +421,14 @@ int main(int argc, char** argv) {
   flags.AddBool("dump-spec", false,
                 "print the scenario as JSON instead of running it");
   flags.AddBool("quick", false, "shrink warmup/measure/drain for smoke runs");
+  flags.AddBool("smoke", false,
+                "run EVERY registered scenario at quick budgets in one "
+                "parallel pass (see --jobs); nonzero exit on any violation");
+  flags.AddInt("jobs", 0,
+               "worker threads for sweeps and --smoke (0 = hardware "
+               "concurrency); parallel reports are bit-identical to --jobs=1");
+  flags.AddString("report-dir", "",
+                  "with --smoke: write REPORT_<scenario>.json files here");
   flags.AddString("report-json", "",
                   "write the structured ScenarioReport to this file");
   flags.AddString("protocol", "seemore", "seemore | cft | bft | supright");
