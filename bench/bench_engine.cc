@@ -20,16 +20,27 @@
 // ratio is only meaningful when the full workload (not --quick) runs on a
 // machine comparable to the one that produced the baseline.
 //
-// Usage: bench_engine [--quick]   (--quick shrinks workloads ~10x for CI)
+// Usage: bench_engine [--quick] [--guard=<baseline.json>]
+//   --quick  shrinks workloads ~10x for CI
+//   --guard  after measuring, compare against a checked-in BENCH_engine.json
+//            (bench/baselines/engine.json) and exit non-zero if any
+//            events_per_sec metric regressed more than 10%. Refresh the
+//            baseline by copying a fresh BENCH_engine.json over it whenever
+//            the reference machine or an intentional perf change lands.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "crypto/memo.h"
+#include "crypto/sha256.h"
+#include "util/json.h"
 
 namespace seemore {
 namespace bench {
@@ -139,6 +150,118 @@ double ClusterEventsPerSec(SimTime measure, uint64_t* executed_out) {
   return static_cast<double>(cluster.sim().executed_events()) / Secs(t0, t1);
 }
 
+// --- regression guard -------------------------------------------------------
+/// Pull the events_per_sec scalars (and quick_mode flag) out of a
+/// BENCH_engine.json document. Returns false on any shape mismatch.
+bool ReadBaseline(const Json& root,
+                  std::vector<std::pair<std::string, double>>* metrics,
+                  bool* baseline_quick) {
+  const Json* sections = root.Find("sections");
+  if (sections == nullptr || !sections->is_array()) return false;
+  for (const Json& section : sections->items()) {
+    const Json* label = section.Find("label");
+    const Json* scalars = section.Find("scalars");
+    if (label == nullptr || scalars == nullptr || !scalars->is_array()) {
+      continue;
+    }
+    for (const Json& scalar : scalars->items()) {
+      const Json* name = scalar.Find("name");
+      const Json* value = scalar.Find("value");
+      if (name == nullptr || value == nullptr || !value->is_number()) {
+        continue;
+      }
+      if (label->AsString() == "events_per_sec") {
+        metrics->emplace_back(name->AsString(), value->AsDouble());
+      } else if (label->AsString() == "config" &&
+                 name->AsString() == "quick_mode") {
+        *baseline_quick = value->AsDouble() != 0.0;
+      }
+    }
+  }
+  return !metrics->empty();
+}
+
+/// Compare this run's numbers against the checked-in baseline; >10% drop on
+/// any metric fails. Exit code is the CI contract — keep it 0/1.
+int GuardAgainstBaseline(const char* path, bool quick,
+                         const std::vector<std::pair<std::string, double>>&
+                             current) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "guard: cannot read baseline %s\n", path);
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<Json> parsed = Json::Parse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "guard: baseline %s is not valid JSON: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::pair<std::string, double>> baseline;
+  bool baseline_quick = false;
+  if (!ReadBaseline(*parsed, &baseline, &baseline_quick)) {
+    std::fprintf(stderr, "guard: baseline %s has no events_per_sec scalars\n",
+                 path);
+    return 1;
+  }
+  if (baseline_quick != quick) {
+    std::fprintf(stderr,
+                 "guard: baseline was recorded in %s mode but this run is %s "
+                 "mode; refusing to compare\n",
+                 baseline_quick ? "quick" : "full", quick ? "quick" : "full");
+    return 1;
+  }
+  // Only the end-to-end cluster number gates the build: it is what the PR's
+  // acceptance target is stated in, and the micro workloads (timer churn
+  // especially) are too small in --quick mode to hold a 10% band on a noisy
+  // runner. The rest still print for the log.
+  constexpr double kTolerance = 0.10;
+  constexpr const char* kGuarded = "cluster";
+  int failures = 0;
+  bool saw_guarded = false;
+  for (const auto& [name, ref] : baseline) {
+    double now = -1.0;
+    for (const auto& [cur_name, cur] : current) {
+      if (cur_name == name) now = cur;
+    }
+    const bool enforced = name == kGuarded;
+    if (now < 0.0) {
+      std::fprintf(stderr, "guard: metric %s missing from this run\n",
+                   name.c_str());
+      if (enforced) ++failures;
+      continue;
+    }
+    const double floor = ref * (1.0 - kTolerance);
+    const bool ok = now >= floor;
+    std::printf("guard: %-28s %12.0f vs baseline %12.0f (floor %12.0f) %s%s\n",
+                name.c_str(), now, ref, floor,
+                ok ? "ok" : "below floor",
+                enforced ? "" : " [informational]");
+    if (enforced) {
+      saw_guarded = true;
+      if (!ok) ++failures;
+    }
+  }
+  if (!saw_guarded) {
+    std::fprintf(stderr, "guard: baseline %s lacks the %s metric\n", path,
+                 kGuarded);
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "guard: %s events/sec regressed >%.0f%% vs %s — if the "
+                 "slowdown is intentional, refresh the baseline from a fresh "
+                 "BENCH_engine.json\n",
+                 kGuarded, kTolerance * 100, path);
+    return 1;
+  }
+  std::printf("guard: %s within %.0f%% of baseline\n", kGuarded,
+              kTolerance * 100);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace seemore
@@ -147,8 +270,10 @@ int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
   bool quick = false;
+  const char* guard_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--guard=", 8) == 0) guard_path = argv[i] + 8;
   }
 
   const int churn_chains = 64;
@@ -182,10 +307,31 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(memo.digest_hits() -
                                       digest_hits_before));
 
+  const char* impl_name =
+      Sha256::ActiveImpl() == Sha256::Impl::kShaNi    ? "sha-ni"
+      : Sha256::ActiveImpl() == Sha256::Impl::kAvx2   ? "avx2"
+                                                      : "portable";
   uint64_t executed = 0;
   const double cluster = ClusterEventsPerSec(cluster_measure, &executed);
-  std::printf("cluster:          %12.0f events/s   (seed engine: %.0f)\n",
-              cluster, kSeedClusterEventsPerSec);
+  std::printf("cluster:          %12.0f events/s   (seed engine: %.0f, "
+              "sha kernel: %s)\n",
+              cluster, kSeedClusterEventsPerSec, impl_name);
+
+  // The acceptance target is measured with the best kernel the host has,
+  // but the portable-fallback number matters too: it is what a machine
+  // without SHA-NI/AVX2 gets, and the gap isolates how much of the cluster
+  // speedup is crypto vs allocation/containers. Kernel choice cannot
+  // perturb the run itself (identical digests, identical simulated cost) —
+  // only host wall-clock differs.
+  double cluster_portable = cluster;
+  if (Sha256::ActiveImpl() != Sha256::Impl::kPortable) {
+    Sha256::ForceImpl(Sha256::Impl::kPortable);
+    cluster_portable = ClusterEventsPerSec(cluster_measure, nullptr);
+    Sha256::ResetImpl();
+    std::printf("cluster/portable: %12.0f events/s   (forced portable "
+                "sha-256 fallback)\n",
+                cluster_portable);
+  }
 
   BenchResultsJson json("engine");
   json.AddScalar("events_per_sec", "timer_churn", churn);
@@ -203,7 +349,12 @@ int main(int argc, char** argv) {
                  fanout / kSeedMulticastDeliveriesPerSec);
   json.AddScalar("speedup_vs_seed", "cluster",
                  cluster / kSeedClusterEventsPerSec);
+  json.AddScalar("portable_sha_fallback", "cluster", cluster_portable);
+  json.AddScalar("portable_sha_fallback", "cluster_speedup_vs_seed",
+                 cluster_portable / kSeedClusterEventsPerSec);
   json.AddScalar("config", "quick_mode", quick ? 1.0 : 0.0);
+  json.AddScalar("config", "sha_kernel",
+                 static_cast<double>(Sha256::ActiveImpl()));
   json.Write();
 
   std::printf(
@@ -213,5 +364,13 @@ int main(int argc, char** argv) {
       fanout / kSeedMulticastDeliveriesPerSec,
       cluster / kSeedClusterEventsPerSec,
       quick ? " (quick mode: ratios approximate)" : "");
+
+  if (guard_path != nullptr) {
+    return GuardAgainstBaseline(
+        guard_path, quick,
+        {{"timer_churn", churn},
+         {"multicast_fanout_deliveries", fanout},
+         {"cluster", cluster}});
+  }
   return 0;
 }

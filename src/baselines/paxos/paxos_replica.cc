@@ -287,6 +287,7 @@ void PaxosReplica::AdvanceStable(uint64_t seq, const Digest& digest,
   }
   // Garbage collection (paper §5.1 "State Transfer").
   log_.Reclaim(seq);
+  NoteCheckpointGc();  // scratch arena rewinds at the next message boundary
 }
 
 void PaxosReplica::RequestStateFrom(PrincipalId target) {

@@ -1,6 +1,8 @@
 #include "baselines/pbft/pbft_replica.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "util/logging.h"
 
@@ -384,6 +386,7 @@ void PbftCoreReplica::AdvanceStable(uint64_t seq, const Digest& digest,
     RequestStateFrom(helper);
   }
   log_.Reclaim(seq);
+  NoteCheckpointGc();  // scratch arena rewinds at the next message boundary
   if (IsPrimary() && !in_view_change_) TryPropose();  // window may have moved
 }
 
@@ -425,6 +428,7 @@ void PbftCoreReplica::HandleStateResponse(PrincipalId from,
   const Digest digest = cert.state_digest();
   ckpt_.InstallRestored(seq, digest, std::move(cert), std::move(snapshot));
   log_.Reclaim(seq);
+  NoteCheckpointGc();  // scratch arena rewinds at the next message boundary
 }
 
 // ---------------------------------------------------------------------------
@@ -465,8 +469,8 @@ void PbftCoreReplica::StartViewChange(uint64_t new_view) {
     proof.digest = slot.digest;
     proof.batch = slot.batch;
     proof.primary_sig = slot.primary_sig;
-    const auto* sigs = slot.accept_votes.SignaturesFor(slot.digest);
-    if (sigs != nullptr) proof.prepares = *sigs;
+    proof.prepares =
+        slot.accept_votes.SignaturesFor(slot.digest).SortedEntries();
     proofs.push_back(std::move(proof));
   });
   ChargeSign();

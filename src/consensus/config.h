@@ -65,6 +65,17 @@ struct ClusterConfig {
   /// unchanged; only CPU cost accounting differs.
   bool lion_sign_accepts = false;
 
+  /// Reply-cache retention window in sequence numbers; 0 keeps every
+  /// client's latest reply forever (the historical behaviour). When > 0,
+  /// each replica evicts cache entries whose last execution fell more than
+  /// this many seqs behind the committed frontier, bounding the cache for
+  /// workloads with unbounded one-shot clients. The cache feeds checkpoint
+  /// state digests, so the knob is cluster-wide consensus state: snapshots
+  /// additionally carry per-entry last-execution seqs (so restored replicas
+  /// evict on exactly the donor's schedule), and a client idle longer than
+  /// the window loses retransmission dedup for its final request.
+  uint64_t reply_cache_retention = 0;
+
   /// Total number of replicas.
   int n() const;
   /// Quorum of participants needed to commit (per protocol / mode).

@@ -1,5 +1,7 @@
 #include "consensus/execution.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace seemore {
@@ -19,11 +21,12 @@ std::vector<ExecutedRequest> ExecutionEngine::Commit(uint64_t seq,
     std::vector<ExecutedRequest> executed = ExecuteBatch(it->first, it->second);
     out.insert(out.end(), std::make_move_iterator(executed.begin()),
                std::make_move_iterator(executed.end()));
-    executed_digests_[it->first] = it->second.ComputeDigest();
+    executed_digests_.Append(it->first, it->second.ComputeDigest());
     last_executed_ = it->first;
     ++batches_executed_;
     pending_.erase(it);
   }
+  if (!out.empty()) EvictStaleReplies();
   return out;
 }
 
@@ -48,11 +51,23 @@ std::vector<ExecutedRequest> ExecutionEngine::ExecuteBatch(uint64_t seq,
     } else {
       result.result = state_machine_->Execute(request.op);
       reply_cache_[request.client] =
-          CacheEntry{request.timestamp, result.result};
+          CacheEntry{request.timestamp, result.result, seq};
     }
     out.push_back(std::move(result));
   }
   return out;
+}
+
+void ExecutionEngine::EvictStaleReplies() {
+  if (reply_retention_ == 0 || last_executed_ <= reply_retention_) return;
+  const uint64_t evict_below = last_executed_ - reply_retention_;
+  for (auto it = reply_cache_.begin(); it != reply_cache_.end();) {
+    if (it->second.last_seq < evict_below) {
+      it = reply_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::optional<Bytes> ExecutionEngine::CachedReply(PrincipalId client,
@@ -75,10 +90,25 @@ Bytes ExecutionEngine::Snapshot() const {
   enc.PutU64(last_executed_);
   enc.PutBytes(state_machine_->Snapshot());
   enc.PutVarint(reply_cache_.size());
-  for (const auto& [client, entry] : reply_cache_) {
-    enc.PutU32(static_cast<uint32_t>(client));
-    enc.PutU64(entry.timestamp);
-    enc.PutBytes(entry.reply);
+  // Sort-at-read: snapshot bytes feed checkpoint digests that must match
+  // across replicas, so the cache is serialized in client-id order rather
+  // than hash-table order.
+  std::vector<const std::pair<PrincipalId, CacheEntry>*> entries;
+  entries.reserve(reply_cache_.size());
+  for (const auto& kv : reply_cache_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* kv : entries) {
+    enc.PutU32(static_cast<uint32_t>(kv->first));
+    enc.PutU64(kv->second.timestamp);
+    enc.PutBytes(kv->second.reply);
+    // With retention on, eviction keys off last_seq, so last_seq must travel
+    // with the snapshot: a restored replica that guessed it (e.g. re-stamped
+    // to the snapshot seq) would evict on a different schedule than replicas
+    // that executed the prefix, and the caches — hence every later
+    // checkpoint digest — would diverge. With retention off the field is
+    // omitted and the byte layout is exactly the historical one.
+    if (reply_retention_ > 0) enc.PutU64(kv->second.last_seq);
   }
   return enc.Take();
 }
@@ -88,13 +118,17 @@ Status ExecutionEngine::Restore(const Bytes& snapshot, uint64_t seq) {
   const uint64_t snapshot_seq = dec.GetU64();
   Bytes sm_snapshot = dec.GetBytes();
   const uint64_t cache_size = dec.GetVarint();
-  std::map<PrincipalId, CacheEntry> cache;
+  FlatHashMap<PrincipalId, CacheEntry> cache;
+  cache.reserve(cache_size);
   for (uint64_t i = 0; i < cache_size && dec.ok(); ++i) {
     PrincipalId client = static_cast<PrincipalId>(dec.GetU32());
     CacheEntry entry;
     entry.timestamp = dec.GetU64();
     entry.reply = dec.GetBytes();
-    cache.emplace(client, std::move(entry));
+    // Symmetric with Snapshot(): retention is a cluster-wide config, so the
+    // sender serialized last_seq iff this replica expects it.
+    if (reply_retention_ > 0) entry.last_seq = dec.GetU64();
+    cache.insert({client, std::move(entry)});
   }
   SEEMORE_RETURN_IF_ERROR(dec.Finish());
   if (snapshot_seq != seq) {
@@ -103,6 +137,7 @@ Status ExecutionEngine::Restore(const Bytes& snapshot, uint64_t seq) {
   SEEMORE_RETURN_IF_ERROR(state_machine_->Restore(sm_snapshot));
   last_executed_ = snapshot_seq;
   reply_cache_ = std::move(cache);
+  executed_digests_.ResetAbove(snapshot_seq);
   // Drop buffered batches at or below the restored point.
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->first <= last_executed_) {

@@ -99,16 +99,22 @@ void InstanceLog::Reclaim(uint64_t stable_seq) {
       --occupied_;
     }
   }
-  for (auto it = overflow_.begin();
-       it != overflow_.end() && it->first <= stable_seq;) {
-    it = overflow_.erase(it);
-    --occupied_;
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
+    if (it->first <= stable_seq) {
+      it = overflow_.erase(it);
+      --occupied_;
+    } else {
+      ++it;
+    }
   }
   if (stable_seq <= stable_) return;
   stable_ = stable_seq;
   // Side-map entries that fell into the new window move onto the slab.
-  for (auto it = overflow_.begin();
-       it != overflow_.end() && InSlabRange(it->first);) {
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
+    if (!InSlabRange(it->first)) {
+      ++it;
+      continue;
+    }
     SlotCore& slot = slab_[it->first & mask_];
     SEEMORE_CHECK(slot.seq == 0) << "instance-log migration collision";
     slot = std::move(it->second);
@@ -137,10 +143,18 @@ void InstanceLog::EraseUncommitted() {
 }
 
 int InstanceLog::UncommittedSlots() const {
+  // Hot path (pipeline pacing consults this on every proposal/commit):
+  // count directly instead of going through ForEachAscending, which would
+  // sort the overflow keys just to produce an order counting doesn't need.
   int count = 0;
-  ForEachAscending([&count](uint64_t, const SlotCore& slot) {
-    if (slot.has_batch && !slot.committed) ++count;
-  });
+  const uint64_t hi = SlabScanEnd();
+  for (uint64_t seq = stable_ + 1; seq <= hi; ++seq) {
+    const SlotCore& slot = slab_[seq & mask_];
+    if (slot.seq == seq && slot.has_batch && !slot.committed) ++count;
+  }
+  for (const auto& kv : overflow_) {
+    if (kv.second.has_batch && !kv.second.committed) ++count;
+  }
   return count;
 }
 

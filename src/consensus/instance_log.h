@@ -10,16 +10,19 @@
 // instead of aliasing stale state. Sequence numbers outside the window
 // (a lagging replica installing a far-ahead certificate, or far-future
 // bookkeeping like Paxos' commit-raced-ahead markers) spill into a small
-// ordered side map, preserving exact std::map semantics for the cold path.
-// Reclaim(stable) frees every slot <= stable and migrates side-map entries
-// that fell into the new window back onto the slab.
+// unordered side map; the one consumer that needs ordered traversal
+// (ForEachAscending, view-change set assembly) sorts the side map's keys at
+// read time. Reclaim(stable) frees every slot <= stable and migrates
+// side-map entries that fell into the new window back onto the slab.
 
 #ifndef SEEMORE_CONSENSUS_INSTANCE_LOG_H_
 #define SEEMORE_CONSENSUS_INSTANCE_LOG_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <vector>
+
+#include "util/flat_hash_map.h"
 
 #include "consensus/batch.h"
 #include "consensus/config.h"
@@ -98,18 +101,26 @@ class InstanceLog {
   int UncommittedSlots() const;
 
   /// Visit live slots in ascending seq order (view-change set assembly).
+  /// The overflow map is unordered, so its keys are collected and sorted
+  /// here — a cold-path cost paid only when overflow is non-empty.
   template <typename F>
   void ForEachAscending(F&& fn) const {
-    auto it = overflow_.begin();
-    for (; it != overflow_.end() && it->first <= stable_; ++it) {
-      fn(it->first, it->second);
+    std::vector<uint64_t> cold;
+    cold.reserve(overflow_.size());
+    for (const auto& kv : overflow_) cold.push_back(kv.first);
+    std::sort(cold.begin(), cold.end());
+    size_t ci = 0;
+    for (; ci < cold.size() && cold[ci] <= stable_; ++ci) {
+      fn(cold[ci], overflow_.find(cold[ci])->second);
     }
     const uint64_t hi = SlabScanEnd();
     for (uint64_t seq = stable_ + 1; seq <= hi; ++seq) {
       const SlotCore& slot = slab_[seq & mask_];
       if (slot.seq == seq) fn(seq, slot);
     }
-    for (; it != overflow_.end(); ++it) fn(it->first, it->second);
+    for (; ci < cold.size(); ++ci) {
+      fn(cold[ci], overflow_.find(cold[ci])->second);
+    }
   }
 
  private:
@@ -122,8 +133,8 @@ class InstanceLog {
   uint64_t slab_max_ = 0;  // highest seq ever placed on the slab
   size_t occupied_ = 0;
   uint64_t mask_ = 0;            // slab_.size() - 1 (power of two)
-  std::vector<SlotCore> slab_;   // seqs in (stable_, stable_ + size]
-  std::map<uint64_t, SlotCore> overflow_;  // everything else (cold path)
+  std::vector<SlotCore> slab_;  // seqs in (stable_, stable_ + size]
+  FlatHashMap<uint64_t, SlotCore> overflow_;  // everything else (cold path)
 };
 
 }  // namespace seemore

@@ -14,11 +14,11 @@
 #define SEEMORE_CONSENSUS_PRIMARY_PIPELINE_H_
 
 #include <deque>
-#include <map>
 #include <utility>
 
 #include "consensus/batch.h"
 #include "smr/command.h"
+#include "util/flat_hash_map.h"
 
 namespace seemore {
 
@@ -90,8 +90,10 @@ class PrimaryPipeline {
   const int pipeline_max_;
   uint64_t next_seq_ = 1;
   std::deque<Request> pending_;
-  std::map<PrincipalId, uint64_t> admitted_ts_;  // primary-side dedup
-  std::map<PrincipalId, uint64_t> relayed_ts_;   // relay retransmit detection
+  // Per-client timestamp tables: touched on every request the primary (or a
+  // relay) sees, never iterated in order — flat maps, not trees.
+  FlatHashMap<PrincipalId, uint64_t> admitted_ts_;  // primary-side dedup
+  FlatHashMap<PrincipalId, uint64_t> relayed_ts_;   // relay retransmit detection
 };
 
 }  // namespace seemore

@@ -4,27 +4,36 @@
 
 namespace seemore {
 
-Bytes ProposalHeader(SigDomain domain, uint8_t mode, uint64_t view,
-                     uint64_t seq, const Digest& digest) {
-  Encoder enc;
-  enc.PutU8(domain);
-  enc.PutU8(mode);
-  enc.PutU64(view);
-  enc.PutU64(seq);
-  digest.EncodeTo(enc);
-  return enc.Take();
+namespace {
+
+// Little-endian fixed-width writes, byte-identical to Encoder::PutU64/PutU32.
+void PutU64LE(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+void PutU32LE(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
 }
 
-Bytes VoteHeader(SigDomain domain, uint8_t mode, uint64_t view, uint64_t seq,
-                 const Digest& digest, PrincipalId voter) {
-  Encoder enc;
-  enc.PutU8(domain);
-  enc.PutU8(mode);
-  enc.PutU64(view);
-  enc.PutU64(seq);
-  digest.EncodeTo(enc);
-  enc.PutU32(static_cast<uint32_t>(voter));
-  return enc.Take();
+}  // namespace
+
+HeaderBuf ProposalHeader(SigDomain domain, uint8_t mode, uint64_t view,
+                         uint64_t seq, const Digest& digest) {
+  HeaderBuf h;
+  h.buf_[0] = static_cast<uint8_t>(domain);
+  h.buf_[1] = mode;
+  PutU64LE(h.buf_ + 2, view);
+  PutU64LE(h.buf_ + 10, seq);
+  std::memcpy(h.buf_ + 18, digest.data(), Digest::kSize);
+  h.len_ = 18 + Digest::kSize;
+  return h;
+}
+
+HeaderBuf VoteHeader(SigDomain domain, uint8_t mode, uint64_t view,
+                     uint64_t seq, const Digest& digest, PrincipalId voter) {
+  HeaderBuf h = ProposalHeader(domain, mode, view, seq, digest);
+  PutU32LE(h.buf_ + h.len_, static_cast<uint32_t>(voter));
+  h.len_ += 4;
+  return h;
 }
 
 void PreparedProof::EncodeTo(Encoder& enc) const {
@@ -70,7 +79,7 @@ Result<PreparedProof> PreparedProof::DecodeFrom(Decoder& dec) {
     PrincipalId voter = static_cast<PrincipalId>(dec.GetU32());
     Signature sig = Signature::DecodeFrom(dec);
     if (!dec.ok()) return dec.status();
-    proof.prepares.emplace(voter, sig);
+    proof.prepares.emplace_back(voter, sig);
   }
   return proof;
 }
@@ -79,13 +88,13 @@ bool PreparedProof::Verify(
     const KeyStore& keystore, PrincipalId primary, size_t prepares_needed,
     const std::function<bool(PrincipalId)>& authorized) const {
   if (batch.ComputeDigest() != digest) return false;
-  const Bytes proposal =
+  const HeaderBuf proposal =
       ProposalHeader(kDomainPrePrepare, mode, view, seq, digest);
   if (!keystore.Verify(primary, proposal, primary_sig)) return false;
   std::set<PrincipalId> valid;
   for (const auto& [voter, sig] : prepares) {
     if (!authorized(voter)) return false;
-    const Bytes vote =
+    const HeaderBuf vote =
         VoteHeader(kDomainPrepare, mode, view, seq, digest, voter);
     if (!keystore.Verify(voter, vote, sig)) return false;
     valid.insert(voter);

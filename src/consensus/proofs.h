@@ -9,8 +9,10 @@
 #ifndef SEEMORE_CONSENSUS_PROOFS_H_
 #define SEEMORE_CONSENSUS_PROOFS_H_
 
+#include <cstring>
 #include <functional>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "consensus/batch.h"
 #include "crypto/digest.h"
@@ -29,16 +31,47 @@ enum SigDomain : uint8_t {
   kDomainModeChange = 0xA7,
 };
 
+class HeaderBuf;
+HeaderBuf ProposalHeader(SigDomain domain, uint8_t mode, uint64_t view,
+                         uint64_t seq, const Digest& digest);
+HeaderBuf VoteHeader(SigDomain domain, uint8_t mode, uint64_t view,
+                     uint64_t seq, const Digest& digest, PrincipalId voter);
+
+/// A signed header built on the stack. The hot path builds one or more of
+/// these per message just to feed Sign/Verify and throw away — a Bytes
+/// return would be a heap allocation each time. Byte layout is identical to
+/// the old Encoder-built headers (little-endian fixed-width fields).
+/// Implicitly converts to Bytes for cold call sites that store the header.
+class HeaderBuf {
+ public:
+  static constexpr size_t kCapacity = 1 + 1 + 8 + 8 + Digest::kSize + 4;
+
+  const uint8_t* data() const { return buf_; }
+  size_t size() const { return len_; }
+  operator Bytes() const { return Bytes(buf_, buf_ + len_); }
+
+  friend bool operator==(const HeaderBuf& a, const HeaderBuf& b) {
+    return a.len_ == b.len_ && std::memcmp(a.buf_, b.buf_, a.len_) == 0;
+  }
+  friend bool operator!=(const HeaderBuf& a, const HeaderBuf& b) {
+    return !(a == b);
+  }
+
+ private:
+  friend HeaderBuf ProposalHeader(SigDomain, uint8_t, uint64_t, uint64_t,
+                                  const Digest&);
+  friend HeaderBuf VoteHeader(SigDomain, uint8_t, uint64_t, uint64_t,
+                              const Digest&, PrincipalId);
+  uint8_t buf_[kCapacity];
+  size_t len_ = 0;
+};
+
 /// Header signed by a proposal's author: (domain, mode, view, seq, digest).
 /// `mode` is the SeeMoRe mode π (0 for baselines) so a message from one mode
 /// cannot be replayed into another.
-Bytes ProposalHeader(SigDomain domain, uint8_t mode, uint64_t view,
-                     uint64_t seq, const Digest& digest);
-
-/// Header signed by a voter: ProposalHeader + the voter's id (PBFT's
-/// <PREPARE, v, n, d, i>).
-Bytes VoteHeader(SigDomain domain, uint8_t mode, uint64_t view, uint64_t seq,
-                 const Digest& digest, PrincipalId voter);
+///
+/// Header signed by a voter (VoteHeader): ProposalHeader + the voter's id
+/// (PBFT's <PREPARE, v, n, d, i>).
 
 /// PBFT "prepared" certificate for one sequence number.
 struct PreparedProof {
@@ -48,8 +81,12 @@ struct PreparedProof {
   Digest digest;
   Batch batch;
   Signature primary_sig;  // over ProposalHeader(kDomainPrePrepare, ...)
-  /// Voter id -> signature over VoteHeader(kDomainPrepare, ..., voter).
-  std::map<PrincipalId, Signature> prepares;
+  /// (voter id, signature over VoteHeader(kDomainPrepare, ..., voter)),
+  /// sorted by voter id when locally built — QuorumTracker's
+  /// SignatureView::SortedEntries() produces exactly this, keeping the
+  /// encoded certificate bytes canonical. Decoded proofs preserve the
+  /// sender's order; Verify() dedups, so duplicates can't inflate quorums.
+  std::vector<std::pair<PrincipalId, Signature>> prepares;
 
   void EncodeTo(Encoder& enc) const;
   /// Exact size EncodeTo appends (Encoder::Reserve hints).

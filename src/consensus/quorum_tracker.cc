@@ -1,16 +1,18 @@
 #include "consensus/quorum_tracker.h"
 
+#include <algorithm>
+
 namespace seemore {
 
 namespace {
 
 /// Shared binding/equivocation bookkeeping: returns the outcome and whether
 /// the vote should be recorded.
-VoteOutcome Bind(std::map<PrincipalId, Digest>& bound,
-                 std::set<PrincipalId>& equivocators, const Digest& value,
+VoteOutcome Bind(FlatHashMap<PrincipalId, Digest>& bound,
+                 FlatHashSet<PrincipalId>& equivocators, const Digest& value,
                  PrincipalId voter, bool* record) {
   VoteOutcome outcome;
-  auto [it, inserted] = bound.emplace(voter, value);
+  auto [it, inserted] = bound.try_emplace(voter, value);
   if (!inserted && it->second != value) {
     // Conflicting vote: the first value stays binding; flag the voter once.
     outcome.equivocation = equivocators.insert(voter).second;
@@ -50,19 +52,35 @@ VoteOutcome QuorumTracker::Add(const Digest& value, PrincipalId voter,
                                const Signature& sig) {
   bool record = false;
   VoteOutcome outcome = Bind(bound_, equivocators_, value, voter, &record);
-  if (record) outcome.counted = votes_[value].emplace(voter, sig).second;
+  if (record) {
+    std::unique_ptr<SigTable>& table = votes_[value];
+    if (table == nullptr) table = std::make_unique<SigTable>();
+    outcome.counted = table->try_emplace(voter, sig).second;
+  }
   return outcome;
 }
 
 size_t QuorumTracker::Count(const Digest& value) const {
   auto it = votes_.find(value);
-  return it == votes_.end() ? 0 : it->second.size();
+  return it == votes_.end() ? 0 : it->second->size();
 }
 
-const std::map<PrincipalId, Signature>* QuorumTracker::SignaturesFor(
+QuorumTracker::SignatureView QuorumTracker::SignaturesFor(
     const Digest& value) const {
   auto it = votes_.find(value);
-  return it == votes_.end() ? nullptr : &it->second;
+  return it == votes_.end() ? SignatureView()
+                            : SignatureView(it->second.get());
+}
+
+std::vector<std::pair<PrincipalId, Signature>>
+QuorumTracker::SignatureView::SortedEntries() const {
+  std::vector<std::pair<PrincipalId, Signature>> out;
+  if (table_ == nullptr) return out;
+  out.reserve(table_->size());
+  for (const auto& [voter, sig] : *table_) out.emplace_back(voter, sig);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void QuorumTracker::Clear() {

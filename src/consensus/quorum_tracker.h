@@ -8,15 +8,24 @@
 // equivocator exactly once so replicas can count the event in their stats.
 // This guarantees one faulty node can never contribute to two conflicting
 // quorums, and that re-delivered duplicates of the same vote stay idempotent.
+//
+// Storage is open-addressing (util/flat_hash_map.h): vote tables are the
+// hottest per-message state a replica touches, and they never need ordered
+// iteration internally. The one consumer that does need order — prepared
+// certificates encoded onto the wire — gets it from
+// SignatureView::SortedEntries(), which sorts by voter id at read time so
+// wire bytes stay canonical no matter how the table is laid out.
 
 #ifndef SEEMORE_CONSENSUS_QUORUM_TRACKER_H_
 #define SEEMORE_CONSENSUS_QUORUM_TRACKER_H_
 
-#include <map>
-#include <set>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "crypto/digest.h"
 #include "crypto/keystore.h"
+#include "util/flat_hash_map.h"
 
 namespace seemore {
 
@@ -47,9 +56,9 @@ class VoteTracker {
   void Clear();
 
  private:
-  std::map<Digest, std::set<PrincipalId>> votes_;
-  std::map<PrincipalId, Digest> bound_;  // voter -> first (binding) value
-  std::set<PrincipalId> equivocators_;
+  FlatHashMap<Digest, FlatHashSet<PrincipalId>, Digest::Hasher> votes_;
+  FlatHashMap<PrincipalId, Digest> bound_;  // voter -> first (binding) value
+  FlatHashSet<PrincipalId> equivocators_;
 };
 
 /// VoteTracker that also remembers each vote's signature, so a reached
@@ -57,6 +66,33 @@ class VoteTracker {
 /// prepared proofs carried by view-change messages).
 class QuorumTracker {
  public:
+  using SigTable = FlatHashMap<PrincipalId, Signature>;
+
+  /// Read-only view of the signatures collected for one value — no copying
+  /// of signature storage. The view stays valid across further Add() calls
+  /// (each value's table is its own heap block, so outer-table rehashes
+  /// never move it) until the tracker is cleared or destroyed.
+  class SignatureView {
+   public:
+    SignatureView() = default;
+
+    bool empty() const { return table_ == nullptr || table_->empty(); }
+    size_t size() const { return table_ == nullptr ? 0 : table_->size(); }
+    size_t count(PrincipalId voter) const {
+      return table_ == nullptr ? 0 : table_->count(voter);
+    }
+
+    /// The (voter, signature) entries sorted by voter id — the canonical
+    /// order certificates are encoded in (wire bytes must never depend on
+    /// hash-table iteration order).
+    std::vector<std::pair<PrincipalId, Signature>> SortedEntries() const;
+
+   private:
+    friend class QuorumTracker;
+    explicit SignatureView(const SigTable* table) : table_(table) {}
+    const SigTable* table_ = nullptr;
+  };
+
   VoteOutcome Add(const Digest& value, PrincipalId voter,
                   const Signature& sig);
 
@@ -64,17 +100,17 @@ class QuorumTracker {
   bool Reached(const Digest& value, size_t quorum) const {
     return Count(value) >= quorum;
   }
-  /// Voter -> signature map for `value` (nullptr when nobody voted for it).
-  const std::map<PrincipalId, Signature>* SignaturesFor(
-      const Digest& value) const;
+  /// View of the signatures for `value` (empty view when nobody voted for
+  /// it). See SignatureView for lifetime rules.
+  SignatureView SignaturesFor(const Digest& value) const;
   size_t equivocators() const { return equivocators_.size(); }
 
   void Clear();
 
  private:
-  std::map<Digest, std::map<PrincipalId, Signature>> votes_;
-  std::map<PrincipalId, Digest> bound_;
-  std::set<PrincipalId> equivocators_;
+  FlatHashMap<Digest, std::unique_ptr<SigTable>, Digest::Hasher> votes_;
+  FlatHashMap<PrincipalId, Digest> bound_;
+  FlatHashSet<PrincipalId> equivocators_;
 };
 
 }  // namespace seemore

@@ -25,6 +25,11 @@ ReplicaBase::ReplicaBase(Transport* transport, TimerService* timers,
       commits_(exec_, stats_, cpu_, costs_) {
   SEEMORE_CHECK(cpu_ != nullptr) << "transport returned no CPU meter";
   SEEMORE_CHECK(memo_ != nullptr) << "replica needs the run's CryptoMemo";
+  // Opt-in reply-cache bound (see ClusterConfig::reply_cache_retention).
+  // Eviction keys off the committed prefix and last_seq travels inside
+  // snapshots, so every correct replica's cache — and checkpoint digest —
+  // stays identical, state transfers included.
+  exec_.SetReplyRetention(config.reply_cache_retention);
 }
 
 ReplicaBase::~ReplicaBase() = default;
@@ -46,6 +51,13 @@ void ReplicaBase::OnMessage(PrincipalId from, Payload payload) {
   if (HasByz(kByzSilent)) return;
   ++stats_.messages_handled;
   Charge(costs_.recv_fixed + costs_.PayloadCost(payload.size()));
+  // Deferred checkpoint-GC rewind: only at a message boundary (and only at
+  // the outermost dispatch), so scratch taken by an in-flight handler can
+  // never be pulled out from under it.
+  if (scratch_reset_pending_ && current_frame_.empty()) {
+    scratch_.Reset();
+    scratch_reset_pending_ = false;
+  }
   // Save/restore keeps the frame alive (and the memo keyed correctly) even
   // if a transport ever delivers a nested message synchronously.
   Payload prev = std::exchange(current_frame_, std::move(payload));

@@ -22,6 +22,7 @@
 #include "net/cost_model.h"
 #include "net/transport.h"
 #include "smr/command.h"
+#include "util/arena.h"
 
 namespace seemore {
 
@@ -110,6 +111,23 @@ class ReplicaBase : public MessageHandler {
                            field.size());
   }
 
+  /// Batched FrameFieldDigest: resolve all `n` fields of the current frame
+  /// through one CryptoMemo pass (DigestOfMany). Used by certificate-style
+  /// frames (view-change NEW-VIEW entries) that embed many digestable
+  /// batches; the batch digests land in `out[i]`.
+  void FrameFieldDigests(const CryptoMemo::DigestSpan* spans, size_t n,
+                         Digest* out) const {
+    // Spans that cannot alias the frame fall back to unmemoized hashing.
+    uint64_t buffer_id = current_frame_.id();
+    for (size_t i = 0; i < n; ++i) {
+      if (spans[i].offset + spans[i].len > current_frame_.size()) {
+        buffer_id = 0;
+        break;
+      }
+    }
+    memo_->DigestOfMany(buffer_id, spans, n, out);
+  }
+
   /// Memoized `verify()` keyed on (current frame, signer, slot). `signer`
   /// and `slot` must be derived purely from frame contents so every
   /// receiver of the frame asks the same question (use the message tag, or
@@ -130,6 +148,16 @@ class ReplicaBase : public MessageHandler {
 
   /// Hook invoked after Recover() re-attaches the replica.
   virtual void OnRecover() {}
+
+  /// --- scratch memory ---------------------------------------------------
+  /// Per-replica bump arena for handler-local temporaries (span tables,
+  /// sort scratch). Memory is reclaimed wholesale at checkpoint boundaries:
+  /// protocols call NoteCheckpointGc() beside InstanceLog::Reclaim, and the
+  /// arena rewinds at the next message boundary — never mid-handler, so
+  /// scratch taken anywhere in the current dispatch stays valid until the
+  /// handler returns. See util/arena.h for the lifetime contract.
+  Arena& scratch_arena() { return scratch_; }
+  void NoteCheckpointGc() { scratch_reset_pending_ = true; }
 
   /// --- voting -----------------------------------------------------------
   /// Offer a vote to a slot tracker, folding any equivocation flag into the
@@ -200,6 +228,8 @@ class ReplicaBase : public MessageHandler {
   uint32_t byzantine_flags_ = kByzNone;
   uint64_t epoch_ = 0;  // bumped by Crash(); stale timers are ignored
   Payload current_frame_;  // frame being handled (empty when idle)
+  Arena scratch_;  // handler-local scratch, reset at checkpoint boundaries
+  bool scratch_reset_pending_ = false;
 };
 
 }  // namespace seemore

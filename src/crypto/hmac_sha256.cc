@@ -4,7 +4,7 @@
 
 namespace seemore {
 
-HmacSha256::HmacSha256(const uint8_t* key, size_t key_len) {
+HmacKeySchedule::HmacKeySchedule(const uint8_t* key, size_t key_len) {
   uint8_t k0[Sha256::kBlockSize];
   std::memset(k0, 0, sizeof(k0));
   if (key_len > Sha256::kBlockSize) {
@@ -14,19 +14,27 @@ HmacSha256::HmacSha256(const uint8_t* key, size_t key_len) {
     std::memcpy(k0, key, key_len);
   }
 
-  uint8_t ipad_key[Sha256::kBlockSize];
-  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
-    ipad_key[i] = k0[i] ^ 0x36;
-    opad_key_[i] = k0[i] ^ 0x5c;
-  }
-  inner_.Update(ipad_key, sizeof(ipad_key));
+  uint8_t pad[Sha256::kBlockSize];
+  Sha256 h;
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = k0[i] ^ 0x36;
+  h.Update(pad, sizeof(pad));
+  inner_ = h.Save();
+  h.Reset();
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = k0[i] ^ 0x5c;
+  h.Update(pad, sizeof(pad));
+  outer_ = h.Save();
+}
+
+HmacSha256::HmacSha256(const HmacKeySchedule& schedule)
+    : outer_(schedule.outer_) {
+  inner_.Restore(schedule.inner_);
 }
 
 void HmacSha256::Final(uint8_t out[kTagSize]) {
   uint8_t inner_digest[Sha256::kDigestSize];
   inner_.Final(inner_digest);
   Sha256 outer;
-  outer.Update(opad_key_, sizeof(opad_key_));
+  outer.Restore(outer_);
   outer.Update(inner_digest, sizeof(inner_digest));
   outer.Final(out);
 }
@@ -36,6 +44,15 @@ std::array<uint8_t, HmacSha256::kTagSize> HmacSha256::Mac(const uint8_t* key,
                                                           const uint8_t* data,
                                                           size_t len) {
   HmacSha256 mac(key, key_len);
+  mac.Update(data, len);
+  std::array<uint8_t, kTagSize> out;
+  mac.Final(out.data());
+  return out;
+}
+
+std::array<uint8_t, HmacSha256::kTagSize> HmacSha256::Mac(
+    const HmacKeySchedule& schedule, const uint8_t* data, size_t len) {
+  HmacSha256 mac(schedule);
   mac.Update(data, len);
   std::array<uint8_t, kTagSize> out;
   mac.Final(out.data());

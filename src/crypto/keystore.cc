@@ -19,10 +19,17 @@ std::vector<uint8_t> KeyStore::DeriveKey(PrincipalId id) const {
   return std::vector<uint8_t>(tag.begin(), tag.end());
 }
 
+const HmacKeySchedule& KeyStore::ScheduleFor(PrincipalId id) const {
+  auto it = schedules_.find(id);
+  if (it == schedules_.end()) {
+    it = schedules_.emplace(id, HmacKeySchedule(DeriveKey(id))).first;
+  }
+  return it->second;
+}
+
 bool KeyStore::Verify(PrincipalId signer, const uint8_t* msg, size_t len,
                       const Signature& sig) const {
-  std::vector<uint8_t> key = DeriveKey(signer);
-  auto expected = HmacSha256::Mac(key.data(), key.size(), msg, len);
+  auto expected = HmacSha256::Mac(ScheduleFor(signer), msg, len);
   return HmacSha256::Equal(expected.data(), sig.data(), Signature::kSize);
 }
 

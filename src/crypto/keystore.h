@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/hmac_sha256.h"
@@ -69,7 +70,10 @@ class Signature {
 };
 
 /// Verification oracle shared by every node (stands in for the public-key
-/// directory). Thread-compatible: const after construction.
+/// directory). Verify memoizes per-principal HMAC key schedules, so the
+/// store is NOT thread-safe — but each run (Cluster) owns its own KeyStore
+/// and runs on one thread (the parallel scenario engine builds one cluster
+/// per worker), so no synchronization is needed.
 class KeyStore {
  public:
   explicit KeyStore(uint64_t master_seed);
@@ -77,7 +81,10 @@ class KeyStore {
   /// Verify that `sig` is principal `signer`'s signature over `msg`.
   bool Verify(PrincipalId signer, const uint8_t* msg, size_t len,
               const Signature& sig) const;
-  bool Verify(PrincipalId signer, const Bytes& msg, const Signature& sig) const {
+  /// Span-like overload: Bytes, or a stack-built HeaderBuf (consensus/
+  /// proofs.h) — anything exposing contiguous data()/size().
+  template <typename B>
+  bool Verify(PrincipalId signer, const B& msg, const Signature& sig) const {
     return Verify(signer, msg.data(), msg.size(), sig);
   }
 
@@ -86,25 +93,35 @@ class KeyStore {
   std::vector<uint8_t> DeriveKey(PrincipalId id) const;
 
  private:
+  /// The cached HMAC key schedule for a principal (key derivation plus pad
+  /// expansion run once per principal per run, not once per Verify).
+  const HmacKeySchedule& ScheduleFor(PrincipalId id) const;
+
   std::vector<uint8_t> master_;
+  mutable std::unordered_map<PrincipalId, HmacKeySchedule> schedules_;
 };
 
-/// Per-principal signing handle. A node owns exactly one.
+/// Per-principal signing handle. A node owns exactly one; the key schedule
+/// is expanded once at construction and reused for every signature.
 class Signer {
  public:
   Signer(PrincipalId id, const KeyStore& store)
-      : id_(id), key_(store.DeriveKey(id)) {}
+      : id_(id), schedule_(store.DeriveKey(id)) {}
 
   PrincipalId id() const { return id_; }
 
   Signature Sign(const uint8_t* msg, size_t len) const {
-    return Signature(HmacSha256::Mac(key_.data(), key_.size(), msg, len));
+    return Signature(HmacSha256::Mac(schedule_, msg, len));
   }
-  Signature Sign(const Bytes& msg) const { return Sign(msg.data(), msg.size()); }
+  /// Span-like overload (Bytes or a stack-built HeaderBuf).
+  template <typename B>
+  Signature Sign(const B& msg) const {
+    return Sign(msg.data(), msg.size());
+  }
 
  private:
   PrincipalId id_;
-  std::vector<uint8_t> key_;
+  HmacKeySchedule schedule_;
 };
 
 }  // namespace seemore

@@ -29,10 +29,10 @@
 #define SEEMORE_CRYPTO_MEMO_H_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "crypto/digest.h"
 #include "crypto/keystore.h"
+#include "util/flat_hash_map.h"
 
 namespace seemore {
 
@@ -53,6 +53,23 @@ class CryptoMemo {
   Digest DigestOf(uint64_t buffer_id, size_t offset, const Bytes& bytes) {
     return DigestOf(buffer_id, offset, bytes.data(), bytes.size());
   }
+
+  /// One span of a frame for batched digesting: `data` must point at the
+  /// verbatim subrange [offset, offset+len) of the buffer (same
+  /// precondition as DigestOf).
+  struct DigestSpan {
+    size_t offset;
+    const uint8_t* data;
+    size_t len;
+  };
+
+  /// Batched digests: resolve all `n` spans of one frame in a single pass,
+  /// computing only the ones no receiver has digested yet. Equivalent to n
+  /// DigestOf calls; exists so multi-field frames (a proposal's batch plus
+  /// the per-entry batches of a view-change certificate) are handled as one
+  /// memo transaction per receiver rather than per-field re-entry.
+  void DigestOfMany(uint64_t buffer_id, const DigestSpan* spans, size_t n,
+                    Digest* out);
 
   /// Memoized signature verification: returns `verify()` for the first
   /// caller and the cached boolean afterwards. `signer` and `slot`
@@ -122,8 +139,10 @@ class CryptoMemo {
   // case O(1) amortized.
   static constexpr size_t kMaxEntries = 1 << 15;
 
-  std::unordered_map<DigestKey, Digest, DigestKeyHash> digests_;
-  std::unordered_map<VerifyKey, bool, VerifyKeyHash> verdicts_;
+  // Open-addressing tables (util/flat_hash_map.h): the memo is consulted
+  // per received frame, so lookup cost matters more than anything else.
+  FlatHashMap<DigestKey, Digest, DigestKeyHash> digests_;
+  FlatHashMap<VerifyKey, bool, VerifyKeyHash> verdicts_;
   uint64_t digest_hits_ = 0;
   uint64_t digest_misses_ = 0;
   uint64_t verify_hits_ = 0;

@@ -1,12 +1,14 @@
 #include "crypto/sha256.h"
 
+#include "crypto/sha256_kernels.h"
+
 namespace seemore {
 
-namespace {
+namespace sha256_internal {
 
 // First 32 bits of the fractional parts of the cube roots of the first 64
 // primes (FIPS 180-4 §4.2.2).
-constexpr uint32_t kK[64] = {
+const uint32_t kK[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -18,6 +20,8 @@ constexpr uint32_t kK[64] = {
     0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+namespace {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 inline uint32_t Ch(uint32_t x, uint32_t y, uint32_t z) {
@@ -41,6 +45,101 @@ inline uint32_t SmallSigma1(uint32_t x) {
 
 }  // namespace
 
+void ProcessBlocksPortable(uint32_t state[8], const uint8_t* data,
+                           size_t nblocks) {
+  for (; nblocks > 0; --nblocks, data += Sha256::kBlockSize) {
+    uint32_t w[64];
+    for (int t = 0; t < 16; ++t) {
+      w[t] = static_cast<uint32_t>(data[t * 4]) << 24 |
+             static_cast<uint32_t>(data[t * 4 + 1]) << 16 |
+             static_cast<uint32_t>(data[t * 4 + 2]) << 8 |
+             static_cast<uint32_t>(data[t * 4 + 3]);
+    }
+    for (int t = 16; t < 64; ++t) {
+      w[t] =
+          SmallSigma1(w[t - 2]) + w[t - 7] + SmallSigma0(w[t - 15]) + w[t - 16];
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int t = 0; t < 64; ++t) {
+      uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kK[t] + w[t];
+      uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+}  // namespace sha256_internal
+
+namespace {
+
+using sha256_internal::BlockFn;
+
+BlockFn KernelFor(Sha256::Impl impl) {
+  switch (impl) {
+    case Sha256::Impl::kShaNi:
+      return sha256_internal::ShaNiBlockFn();
+    case Sha256::Impl::kAvx2:
+      return sha256_internal::Avx2BlockFn();
+    case Sha256::Impl::kPortable:
+      return &sha256_internal::ProcessBlocksPortable;
+  }
+  return nullptr;
+}
+
+Sha256::Impl DetectBestImpl() {
+  if (sha256_internal::ShaNiBlockFn() != nullptr) return Sha256::Impl::kShaNi;
+  if (sha256_internal::Avx2BlockFn() != nullptr) return Sha256::Impl::kAvx2;
+  return Sha256::Impl::kPortable;
+}
+
+// The selected kernel. Resolved once on first use (thread-safe magic
+// static); ForceImpl/ResetImpl rebind it from single-threaded tests only.
+struct Dispatch {
+  Sha256::Impl impl;
+  BlockFn fn;
+};
+
+Dispatch& ActiveDispatch() {
+  static Dispatch d = {DetectBestImpl(), KernelFor(DetectBestImpl())};
+  return d;
+}
+
+}  // namespace
+
+Sha256::Impl Sha256::ActiveImpl() { return ActiveDispatch().impl; }
+
+bool Sha256::ImplSupported(Impl impl) { return KernelFor(impl) != nullptr; }
+
+bool Sha256::ForceImpl(Impl impl) {
+  BlockFn fn = KernelFor(impl);
+  if (fn == nullptr) return false;
+  ActiveDispatch() = {impl, fn};
+  return true;
+}
+
+void Sha256::ResetImpl() {
+  ActiveDispatch() = {DetectBestImpl(), KernelFor(DetectBestImpl())};
+}
+
 void Sha256::Reset() {
   // Square-root constants (FIPS 180-4 §5.3.3).
   state_[0] = 0x6a09e667;
@@ -55,94 +154,67 @@ void Sha256::Reset() {
   buffer_len_ = 0;
 }
 
-void Sha256::ProcessBlock(const uint8_t block[kBlockSize]) {
-  uint32_t w[64];
-  for (int t = 0; t < 16; ++t) {
-    w[t] = static_cast<uint32_t>(block[t * 4]) << 24 |
-           static_cast<uint32_t>(block[t * 4 + 1]) << 16 |
-           static_cast<uint32_t>(block[t * 4 + 2]) << 8 |
-           static_cast<uint32_t>(block[t * 4 + 3]);
-  }
-  for (int t = 16; t < 64; ++t) {
-    w[t] = SmallSigma1(w[t - 2]) + w[t - 7] + SmallSigma0(w[t - 15]) + w[t - 16];
-  }
+Sha256::MidState Sha256::Save() const {
+  MidState s;
+  std::memcpy(s.h, state_, sizeof(state_));
+  s.bit_count = bit_count_;
+  return s;
+}
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int t = 0; t < 64; ++t) {
-    uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kK[t] + w[t];
-    uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+void Sha256::Restore(const MidState& s) {
+  std::memcpy(state_, s.h, sizeof(state_));
+  bit_count_ = s.bit_count;
+  buffer_len_ = 0;
 }
 
 void Sha256::Update(const uint8_t* data, size_t len) {
+  BlockFn blocks = ActiveDispatch().fn;
   bit_count_ += static_cast<uint64_t>(len) * 8;
-  while (len > 0) {
-    if (buffer_len_ == 0 && len >= kBlockSize) {
-      // Fast path: hash directly from the input.
-      ProcessBlock(data);
-      data += kBlockSize;
-      len -= kBlockSize;
-      continue;
-    }
+
+  // Drain a partially filled buffer first.
+  if (buffer_len_ > 0) {
     size_t take = kBlockSize - buffer_len_;
     if (take > len) take = len;
     std::memcpy(buffer_ + buffer_len_, data, take);
     buffer_len_ += take;
     data += take;
     len -= take;
-    if (buffer_len_ == kBlockSize) {
-      ProcessBlock(buffer_);
-      buffer_len_ = 0;
-    }
+    if (buffer_len_ < kBlockSize) return;
+    blocks(state_, buffer_, 1);
+    buffer_len_ = 0;
+  }
+
+  // Hash all whole blocks straight from the input in one kernel call —
+  // multi-block messages (batches, snapshots) pay the dispatch and loop
+  // overhead once, not per block.
+  size_t nblocks = len / kBlockSize;
+  if (nblocks > 0) {
+    blocks(state_, data, nblocks);
+    data += nblocks * kBlockSize;
+    len -= nblocks * kBlockSize;
+  }
+
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
   }
 }
 
 void Sha256::Final(uint8_t out[kDigestSize]) {
-  // Padding: 0x80, zeros, then the 64-bit big-endian bit count.
-  uint8_t pad[kBlockSize * 2];
-  size_t pad_len = 0;
-  pad[pad_len++] = 0x80;
-  size_t rem = (buffer_len_ + 1) % kBlockSize;
-  size_t zeros = (rem <= 56) ? (56 - rem) : (56 + kBlockSize - rem);
-  std::memset(pad + pad_len, 0, zeros);
-  pad_len += zeros;
+  // Padding: 0x80, zeros, then the 64-bit big-endian bit count. At most two
+  // blocks, assembled in full and compressed with one kernel call.
+  uint8_t final_blocks[kBlockSize * 2];
+  std::memcpy(final_blocks, buffer_, buffer_len_);
+  size_t pad_len = buffer_len_;
+  final_blocks[pad_len++] = 0x80;
+  size_t total = (pad_len + 8 > kBlockSize) ? kBlockSize * 2 : kBlockSize;
+  std::memset(final_blocks + pad_len, 0, total - 8 - pad_len);
   uint64_t bits = bit_count_;
-  for (int i = 7; i >= 0; --i) pad[pad_len++] = static_cast<uint8_t>(bits >> (8 * i));
-
-  // Bypass the bit counter: Update() would double-count the padding.
-  const uint8_t* p = pad;
-  size_t len = pad_len;
-  while (len > 0) {
-    size_t take = kBlockSize - buffer_len_;
-    if (take > len) take = len;
-    std::memcpy(buffer_ + buffer_len_, p, take);
-    buffer_len_ += take;
-    p += take;
-    len -= take;
-    if (buffer_len_ == kBlockSize) {
-      ProcessBlock(buffer_);
-      buffer_len_ = 0;
-    }
+  for (int i = 0; i < 8; ++i) {
+    final_blocks[total - 1 - i] = static_cast<uint8_t>(bits >> (8 * i));
   }
+  ActiveDispatch().fn(state_, final_blocks, total / kBlockSize);
+  buffer_len_ = 0;
 
   for (int i = 0; i < 8; ++i) {
     out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);

@@ -1,6 +1,13 @@
 // SHA-256 (FIPS 180-4), implemented from scratch so the repository has no
 // external crypto dependency. Incremental (Init/Update/Final) and one-shot
 // interfaces. Verified against the NIST test vectors in the test suite.
+//
+// The block compression runs through a runtime-dispatched kernel: SHA-NI
+// (x86 SHA extensions) when the CPU has them, an SSE/AVX2 vectorized message
+// schedule otherwise, and the portable C++ as the universal fallback. All
+// three produce identical digests (tests cross-check them on every input
+// length class), so dispatch can never perturb the fixed-seed goldens — it
+// only changes host CPU time, never simulated cost or wire bytes.
 
 #ifndef SEEMORE_CRYPTO_SHA256_H_
 #define SEEMORE_CRYPTO_SHA256_H_
@@ -18,10 +25,45 @@ class Sha256 {
   static constexpr size_t kDigestSize = 32;
   static constexpr size_t kBlockSize = 64;
 
+  /// Which block-compression kernel is in use (see file comment).
+  enum class Impl : uint8_t { kPortable = 0, kAvx2 = 1, kShaNi = 2 };
+
+  /// The kernel currently selected (auto-detected at first use, or the one
+  /// last forced via ForceImpl).
+  static Impl ActiveImpl();
+
+  /// True if this build + CPU can run the given kernel.
+  static bool ImplSupported(Impl impl);
+
+  /// Test hook: pin the dispatcher to one kernel so tests can cross-check
+  /// the SIMD paths against the portable one. Returns false (and changes
+  /// nothing) if the kernel is unsupported here. Not synchronized — call
+  /// only from single-threaded test setup, and ResetImpl() when done.
+  static bool ForceImpl(Impl impl);
+
+  /// Undo ForceImpl: back to the best auto-detected kernel.
+  static void ResetImpl();
+
+  /// Chaining-state snapshot at a block boundary. Lets a keyed hash
+  /// precompute the state after a fixed prefix (the HMAC ipad/opad blocks)
+  /// once and restart from it per message instead of re-hashing the prefix
+  /// every time.
+  struct MidState {
+    uint32_t h[8];
+    uint64_t bit_count;
+  };
+
   Sha256() { Reset(); }
 
   /// Restart the hash computation.
   void Reset();
+
+  /// Capture the chaining state. Only valid when a whole number of blocks
+  /// has been absorbed (no buffered partial block).
+  MidState Save() const;
+
+  /// Resume from a previously captured state, discarding current progress.
+  void Restore(const MidState& s);
 
   /// Absorb `len` bytes.
   void Update(const uint8_t* data, size_t len);
@@ -46,8 +88,6 @@ class Sha256 {
   }
 
  private:
-  void ProcessBlock(const uint8_t block[kBlockSize]);
-
   uint32_t state_[8];
   uint64_t bit_count_;
   uint8_t buffer_[kBlockSize];

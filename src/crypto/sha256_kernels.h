@@ -1,0 +1,38 @@
+// Internal interface between the SHA-256 front end (sha256.cc) and the
+// SIMD block-compression kernels (sha256_simd.cc). Not for use outside
+// src/crypto/ — the public surface is Sha256 in sha256.h.
+
+#ifndef SEEMORE_CRYPTO_SHA256_KERNELS_H_
+#define SEEMORE_CRYPTO_SHA256_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seemore {
+namespace sha256_internal {
+
+/// Compress `nblocks` consecutive 64-byte blocks into `state`. Kernels are
+/// pure functions of (state, data): no allocation, no globals, so every
+/// implementation is interchangeable mid-stream.
+using BlockFn = void (*)(uint32_t state[8], const uint8_t* data,
+                         size_t nblocks);
+
+/// Round constants (FIPS 180-4 §4.2.2), shared by all kernels.
+extern const uint32_t kK[64];
+
+/// The portable C++ kernel — always available.
+void ProcessBlocksPortable(uint32_t state[8], const uint8_t* data,
+                           size_t nblocks);
+
+/// SHA-NI kernel, or nullptr when the build target or running CPU lacks
+/// the SHA extensions.
+BlockFn ShaNiBlockFn();
+
+/// SSE/AVX2 vectorized-message-schedule kernel, or nullptr when
+/// unsupported.
+BlockFn Avx2BlockFn();
+
+}  // namespace sha256_internal
+}  // namespace seemore
+
+#endif  // SEEMORE_CRYPTO_SHA256_KERNELS_H_

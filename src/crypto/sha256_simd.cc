@@ -1,0 +1,271 @@
+// SIMD SHA-256 block-compression kernels (x86-64).
+//
+// Two kernels, both bit-identical to the portable one in sha256.cc:
+//   - SHA-NI: the x86 SHA extensions do four rounds per _mm_sha256rnds2
+//     instruction, with the message schedule built by sha256msg1/msg2.
+//     Register layout follows the canonical ABEF/CDGH split the
+//     instructions expect.
+//   - AVX2: the 48 message-schedule words are computed four at a time with
+//     vector σ0/σ1; the round function itself stays scalar. The schedule
+//     recurrence W[t] needs W[t-2], so each group of four is produced in
+//     two halves: the low pair from already-known words, the high pair
+//     from the low pair just computed.
+//
+// Both are compiled with per-function target attributes so the rest of the
+// binary stays baseline-ISA; runtime CPUID (via __builtin_cpu_supports)
+// decides what actually runs. On non-x86 builds the lookups return nullptr
+// and sha256.cc falls back to the portable kernel.
+
+#include "crypto/sha256_kernels.h"
+
+#include "crypto/sha256.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SEEMORE_SHA256_X86 1
+#endif
+
+namespace seemore {
+namespace sha256_internal {
+
+#ifdef SEEMORE_SHA256_X86
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHA-NI kernel.
+// ---------------------------------------------------------------------------
+
+// Four rounds: add the round constants for rounds [4k, 4k+4) to the
+// scheduled words in `msg_words`, then two sha256rnds2 (each does two
+// rounds; the high half of the constant-added words is fed via shuffle).
+#define SHANI_QROUNDS(msg_words, k)                                   \
+  do {                                                                \
+    __m128i wk_ = _mm_add_epi32(                                      \
+        (msg_words),                                                  \
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(kK + 4 * (k)))); \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, wk_);              \
+    wk_ = _mm_shuffle_epi32(wk_, 0x0E);                               \
+    state0 = _mm_sha256rnds2_epu32(state0, state1, wk_);              \
+  } while (0)
+
+// Schedule update shared by rounds 12..51: after the rounds on `mi`,
+// fold mi into the next group (`mj`, via msg2 and the alignr carry from
+// `ml`) and start the one after (`ml`, via msg1).
+#define SHANI_QROUNDS_SCHED(mi, mj, ml, k)            \
+  do {                                                \
+    __m128i wk_ = _mm_add_epi32(                      \
+        (mi),                                         \
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(kK + 4 * (k)))); \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, wk_);              \
+    __m128i carry_ = _mm_alignr_epi8((mi), (ml), 4);  \
+    (mj) = _mm_add_epi32((mj), carry_);               \
+    (mj) = _mm_sha256msg2_epu32((mj), (mi));          \
+    wk_ = _mm_shuffle_epi32(wk_, 0x0E);               \
+    state0 = _mm_sha256rnds2_epu32(state0, state1, wk_); \
+    (ml) = _mm_sha256msg1_epu32((ml), (mi));          \
+  } while (0)
+
+__attribute__((target("sha,sse4.1,ssse3"))) void ProcessBlocksShaNi(
+    uint32_t state[8], const uint8_t* data, size_t nblocks) {
+  const __m128i bswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack {a..h} into the ABEF/CDGH lane order sha256rnds2 expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                 // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);           // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  for (; nblocks > 0; --nblocks, data += Sha256::kBlockSize) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i m0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data)), bswap);
+    __m128i m1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), bswap);
+    __m128i m2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), bswap);
+    __m128i m3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), bswap);
+
+    SHANI_QROUNDS(m0, 0);                 // rounds 0-3
+    SHANI_QROUNDS(m1, 1);                 // rounds 4-7
+    m0 = _mm_sha256msg1_epu32(m0, m1);
+    SHANI_QROUNDS(m2, 2);                 // rounds 8-11
+    m1 = _mm_sha256msg1_epu32(m1, m2);
+    SHANI_QROUNDS_SCHED(m3, m0, m2, 3);   // rounds 12-15
+    SHANI_QROUNDS_SCHED(m0, m1, m3, 4);   // rounds 16-19
+    SHANI_QROUNDS_SCHED(m1, m2, m0, 5);   // rounds 20-23
+    SHANI_QROUNDS_SCHED(m2, m3, m1, 6);   // rounds 24-27
+    SHANI_QROUNDS_SCHED(m3, m0, m2, 7);   // rounds 28-31
+    SHANI_QROUNDS_SCHED(m0, m1, m3, 8);   // rounds 32-35
+    SHANI_QROUNDS_SCHED(m1, m2, m0, 9);   // rounds 36-39
+    SHANI_QROUNDS_SCHED(m2, m3, m1, 10);  // rounds 40-43
+    SHANI_QROUNDS_SCHED(m3, m0, m2, 11);  // rounds 44-47
+    SHANI_QROUNDS_SCHED(m0, m1, m3, 12);  // rounds 48-51
+
+    // Rounds 52-55: m2 still needs its msg2 completion; no further msg1.
+    {
+      __m128i wk = _mm_add_epi32(
+          m1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(kK + 52)));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      __m128i carry = _mm_alignr_epi8(m1, m0, 4);
+      m2 = _mm_add_epi32(m2, carry);
+      m2 = _mm_sha256msg2_epu32(m2, m1);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+    }
+    // Rounds 56-59: complete m3.
+    {
+      __m128i wk = _mm_add_epi32(
+          m2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(kK + 56)));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      __m128i carry = _mm_alignr_epi8(m2, m1, 4);
+      m3 = _mm_add_epi32(m3, carry);
+      m3 = _mm_sha256msg2_epu32(m3, m2);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+    }
+    SHANI_QROUNDS(m3, 15);                // rounds 60-63
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  // Unpack ABEF/CDGH back to {a..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);              // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);           // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);        // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);           // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+#undef SHANI_QROUNDS
+#undef SHANI_QROUNDS_SCHED
+
+// ---------------------------------------------------------------------------
+// AVX2 kernel (vectorized message schedule, scalar rounds).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m128i VecSigma0(__m128i x) {
+  // rotr7 ^ rotr18 ^ shr3
+  __m128i r7 = _mm_or_si128(_mm_srli_epi32(x, 7), _mm_slli_epi32(x, 25));
+  __m128i r18 = _mm_or_si128(_mm_srli_epi32(x, 18), _mm_slli_epi32(x, 14));
+  return _mm_xor_si128(_mm_xor_si128(r7, r18), _mm_srli_epi32(x, 3));
+}
+
+__attribute__((target("avx2"))) inline __m128i VecSigma1(__m128i x) {
+  // rotr17 ^ rotr19 ^ shr10
+  __m128i r17 = _mm_or_si128(_mm_srli_epi32(x, 17), _mm_slli_epi32(x, 15));
+  __m128i r19 = _mm_or_si128(_mm_srli_epi32(x, 19), _mm_slli_epi32(x, 13));
+  return _mm_xor_si128(_mm_xor_si128(r17, r19), _mm_srli_epi32(x, 10));
+}
+
+__attribute__((target("avx2"))) void ProcessBlocksAvx2(uint32_t state[8],
+                                                       const uint8_t* data,
+                                                       size_t nblocks) {
+  const __m128i bswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  const __m128i lane_lo = _mm_set_epi32(0, 0, -1, -1);
+  const __m128i lane_hi = _mm_set_epi32(-1, -1, 0, 0);
+
+  for (; nblocks > 0; --nblocks, data += Sha256::kBlockSize) {
+    alignas(16) uint32_t w[64];
+
+    __m128i w0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data)), bswap);
+    __m128i w1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), bswap);
+    __m128i w2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), bswap);
+    __m128i w3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), bswap);
+    _mm_store_si128(reinterpret_cast<__m128i*>(w), w0);
+    _mm_store_si128(reinterpret_cast<__m128i*>(w + 4), w1);
+    _mm_store_si128(reinterpret_cast<__m128i*>(w + 8), w2);
+    _mm_store_si128(reinterpret_cast<__m128i*>(w + 12), w3);
+
+    // Schedule W[16..63], four words per iteration. With i = 4g:
+    //   base  = W[i-16..] + σ0(W[i-15..]) + W[i-7..]        (all four lanes)
+    //   low   = base + σ1(W[i-2], W[i-1]) in lanes 0,1       → W[i], W[i+1]
+    //   high  = low  + σ1(W[i],   W[i+1]) in lanes 2,3       → W[i+2], W[i+3]
+    for (int g = 4; g < 16; ++g) {
+      __m128i wm15 = _mm_alignr_epi8(w1, w0, 4);
+      __m128i wm7 = _mm_alignr_epi8(w3, w2, 4);
+      __m128i base =
+          _mm_add_epi32(_mm_add_epi32(w0, VecSigma0(wm15)), wm7);
+      __m128i tail = _mm_shuffle_epi32(w3, 0xEE);  // [W-2, W-1, W-2, W-1]
+      __m128i low =
+          _mm_add_epi32(base, _mm_and_si128(VecSigma1(tail), lane_lo));
+      __m128i head = _mm_shuffle_epi32(low, 0x44);  // [W0, W1, W0, W1]
+      __m128i next =
+          _mm_add_epi32(low, _mm_and_si128(VecSigma1(head), lane_hi));
+      _mm_store_si128(reinterpret_cast<__m128i*>(w + g * 4), next);
+      w0 = w1;
+      w1 = w2;
+      w2 = w3;
+      w3 = next;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g2 = state[6], h = state[7];
+    for (int t = 0; t < 64; ++t) {
+      uint32_t s1 = ((e >> 6) | (e << 26)) ^ ((e >> 11) | (e << 21)) ^
+                    ((e >> 25) | (e << 7));
+      uint32_t ch = (e & f) ^ (~e & g2);
+      uint32_t t1 = h + s1 + ch + kK[t] + w[t];
+      uint32_t s0 = ((a >> 2) | (a << 30)) ^ ((a >> 13) | (a << 19)) ^
+                    ((a >> 22) | (a << 10));
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t t2 = s0 + maj;
+      h = g2;
+      g2 = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g2;
+    state[7] += h;
+  }
+}
+
+}  // namespace
+
+BlockFn ShaNiBlockFn() {
+  static const BlockFn fn =
+      (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+       __builtin_cpu_supports("ssse3"))
+          ? &ProcessBlocksShaNi
+          : nullptr;
+  return fn;
+}
+
+BlockFn Avx2BlockFn() {
+  static const BlockFn fn =
+      __builtin_cpu_supports("avx2") ? &ProcessBlocksAvx2 : nullptr;
+  return fn;
+}
+
+#else  // !SEEMORE_SHA256_X86
+
+BlockFn ShaNiBlockFn() { return nullptr; }
+BlockFn Avx2BlockFn() { return nullptr; }
+
+#endif
+
+}  // namespace sha256_internal
+}  // namespace seemore

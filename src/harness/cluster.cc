@@ -93,9 +93,9 @@ Status Cluster::CheckAgreement() const {
     const auto& da = replicas_[a]->exec().executed_digests();
     for (size_t b = a + 1; b < replicas_.size(); ++b) {
       const auto& db = replicas_[b]->exec().executed_digests();
-      for (const auto& [seq, digest] : da) {
-        auto it = db.find(seq);
-        if (it != db.end() && it->second != digest) {
+      for (uint64_t seq = da.floor(); !da.empty() && seq <= da.ceil(); ++seq) {
+        const Digest* other = db.Find(seq);
+        if (other != nullptr && *other != da.at(seq)) {
           char buf[128];
           std::snprintf(buf, sizeof(buf),
                         "replicas %zu and %zu disagree at seq %llu", a, b,

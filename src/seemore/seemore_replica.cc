@@ -4,6 +4,8 @@
 #include "seemore/seemore_replica.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "util/logging.h"
 
@@ -708,6 +710,7 @@ void SeeMoReReplica::AdvanceStable(uint64_t seq, const Digest& digest,
     RequestStateFrom(helper);
   }
   log_.Reclaim(seq);
+  NoteCheckpointGc();  // scratch arena rewinds at the next message boundary
   if (IsPrimary() && !in_view_change_) TryPropose();
 }
 
@@ -746,6 +749,7 @@ void SeeMoReReplica::HandleStateResponse(PrincipalId from,
   const Digest digest = cert.state_digest();
   ckpt_.InstallRestored(seq, digest, std::move(cert), std::move(snapshot));
   log_.Reclaim(seq);
+  NoteCheckpointGc();  // scratch arena rewinds at the next message boundary
 }
 
 }  // namespace seemore

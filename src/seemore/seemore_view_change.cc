@@ -18,6 +18,8 @@
 #include "seemore/seemore_replica.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "util/logging.h"
 
@@ -133,8 +135,8 @@ SmViewChangeMsg SeeMoReReplica::BuildViewChangeMessage(
     proof.digest = slot.digest;
     proof.batch = slot.batch;
     proof.primary_sig = slot.primary_sig;
-    const auto* sigs = slot.accept_votes.SignaturesFor(slot.digest);
-    if (sigs != nullptr) proof.prepares = *sigs;
+    proof.prepares =
+        slot.accept_votes.SignaturesFor(slot.digest).SortedEntries();
     msg.proofs.push_back(std::move(proof));
   });
   msg.sender = id_;
@@ -548,6 +550,27 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     Batch batch;
     Signature sig;
   };
+  // Batch-resolve every embedded batch digest in one memo pass: the first
+  // receiver of this NEW-VIEW hashes them all, the rest reuse the answers.
+  // Simulated charges stay per-entry inside the loops below, so a malformed
+  // certificate still costs exactly what it did when digests were computed
+  // one at a time.
+  // Span table and digest results live in the replica's scratch arena
+  // (reset at checkpoint boundaries): zero heap traffic per NEW-VIEW.
+  const size_t n_spans = msg.commits.size() + msg.prepares.size();
+  CryptoMemo::DigestSpan* spans =
+      scratch_arena().AllocateArray<CryptoMemo::DigestSpan>(n_spans);
+  size_t si = 0;
+  for (const SmNewViewEntry& e : msg.commits) {
+    spans[si++] = {e.batch_offset, e.batch.data(), e.batch.size()};
+  }
+  for (const SmNewViewEntry& e : msg.prepares) {
+    spans[si++] = {e.batch_offset, e.batch.data(), e.batch.size()};
+  }
+  Digest* batch_digests = scratch_arena().AllocateArray<Digest>(n_spans);
+  if (n_spans > 0) FrameFieldDigests(spans, n_spans, batch_digests);
+  size_t span_idx = 0;
+
   std::vector<Entry> commit_entries;
   for (SmNewViewEntry& wire_entry : msg.commits) {
     Entry entry;
@@ -556,10 +579,7 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     entry.sig = wire_entry.sig;
     if (wire_entry.view != new_view) return;
     ChargeHash(wire_entry.batch.size());
-    if (FrameFieldDigest(wire_entry.batch, wire_entry.batch_offset) !=
-        entry.digest) {
-      return;
-    }
+    if (batch_digests[span_idx++] != entry.digest) return;
     Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();
@@ -580,10 +600,7 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     entry.sig = wire_entry.sig;
     if (wire_entry.view != new_view) return;
     ChargeHash(wire_entry.batch.size());
-    if (FrameFieldDigest(wire_entry.batch, wire_entry.batch_offset) !=
-        entry.digest) {
-      return;
-    }
+    if (batch_digests[span_idx++] != entry.digest) return;
     Result<Batch> batch_or = Batch::Decode(wire_entry.batch);
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();

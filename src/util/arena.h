@@ -1,0 +1,148 @@
+// Bump-pointer arena for replica hot-path scratch memory.
+//
+// The receive path used to pay one or more heap round-trips per message for
+// short-lived temporaries: span tables while batch-digesting a NEW-VIEW,
+// sorted key scratch, per-checkpoint snapshot staging. An Arena turns those
+// into pointer bumps: allocation is `if (fits) ptr += n`, and Reset()
+// rewinds the whole arena in O(chunks) without returning memory to the OS,
+// so steady state allocates nothing.
+//
+// Lifetime contract (DESIGN.md §10): arena memory is scratch. Nothing
+// stored in an arena may outlive the owning component's reset point — for
+// replica scratch that is the checkpoint boundary (ReplicaBase resets its
+// arena beside InstanceLog::Reclaim, so scratch lives at most one
+// checkpoint interval and the arena's high-water mark is bounded by the
+// interval's traffic). Destructors are NOT run: only use the arena for
+// trivially-destructible payloads, or via ArenaVector whose elements the
+// caller lets go before the reset.
+
+#ifndef SEEMORE_UTIL_ARENA_H_
+#define SEEMORE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace seemore {
+
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 64 * 1024)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `n` bytes aligned to `align` (a power of two). Requests
+  /// larger than the chunk size get a dedicated chunk.
+  uint8_t* Allocate(size_t n, size_t align = alignof(std::max_align_t)) {
+    if (chunk_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_];
+      size_t at = (c.used + (align - 1)) & ~(align - 1);
+      if (at + n <= c.size) {
+        c.used = at + n;
+        return c.data.get() + at;
+      }
+    }
+    return AllocateSlow(n, align);
+  }
+
+  /// Typed allocation of `count` default-constructed Ts. T must be
+  /// trivially destructible (the arena never runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    T* out = reinterpret_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+    for (size_t i = 0; i < count; ++i) new (out + i) T();
+    return out;
+  }
+
+  /// Rewind every chunk. All memory handed out so far is dead; capacity is
+  /// retained, so the next interval's allocations are pure pointer bumps.
+  void Reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    chunk_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset().
+  size_t bytes_in_use() const {
+    size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.used;
+    return n;
+  }
+  /// Total capacity across chunks (the high-water mark's footprint).
+  size_t bytes_reserved() const {
+    size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.size;
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  uint8_t* AllocateSlow(size_t n, size_t align) {
+    // Advance to (or create) a chunk that fits. Oversized requests get an
+    // exact-size chunk so one huge message can't inflate every interval.
+    while (++chunk_ < chunks_.size()) {
+      if (n <= chunks_[chunk_].size) return Allocate(n, align);
+    }
+    Chunk c;
+    c.size = n > chunk_bytes_ ? n : chunk_bytes_;
+    c.data = std::make_unique<uint8_t[]>(c.size);
+    chunks_.push_back(std::move(c));
+    chunk_ = chunks_.size() - 1;
+    return Allocate(n, align);
+  }
+
+  const size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t chunk_ = 0;  // current bump chunk index
+};
+
+/// Minimal std allocator over an Arena: lets standard containers place
+/// their element storage in arena memory. Deallocate is a no-op (memory
+/// dies at the arena's reset point), so containers that grow repeatedly
+/// leak their old capacity into the arena until the next Reset — fine for
+/// scratch, wrong for anything long-lived.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return reinterpret_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}  // reclaimed wholesale at Reset()
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Scratch vector whose storage lives in an arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace seemore
+
+#endif  // SEEMORE_UTIL_ARENA_H_

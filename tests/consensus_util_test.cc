@@ -91,16 +91,57 @@ TEST(QuorumTrackerTest, KeepsSignaturesAndFlagsEquivocators) {
   Digest other = Digest::Of(std::string("y"));
   EXPECT_TRUE(votes.Add(d, 1, s1.Sign(Bytes{1})).counted);
   EXPECT_TRUE(votes.Add(d, 2, s2.Sign(Bytes{2})).counted);
-  const auto* sigs = votes.SignaturesFor(d);
-  ASSERT_NE(sigs, nullptr);
-  EXPECT_EQ(sigs->size(), 2u);
-  EXPECT_TRUE(sigs->count(1));
-  EXPECT_TRUE(sigs->count(2));
+  QuorumTracker::SignatureView sigs = votes.SignaturesFor(d);
+  ASSERT_FALSE(sigs.empty());
+  EXPECT_EQ(sigs.size(), 2u);
+  EXPECT_TRUE(sigs.count(1));
+  EXPECT_TRUE(sigs.count(2));
   // Voter 2 equivocates: flagged once, signature not added to `other`.
   EXPECT_TRUE(votes.Add(other, 2, s2.Sign(Bytes{3})).equivocation);
   EXPECT_FALSE(votes.Add(other, 2, s2.Sign(Bytes{3})).equivocation);
   EXPECT_EQ(votes.Count(other), 0u);
   EXPECT_EQ(votes.equivocators(), 1u);
+  EXPECT_TRUE(votes.SignaturesFor(other).empty());
+}
+
+TEST(QuorumTrackerTest, SignatureViewSurvivesRehash) {
+  KeyStore store(1);
+  QuorumTracker votes;
+  const Digest watched = Digest::Of(std::string("watched"));
+
+  // Collect signatures for one value, then grab a view of them.
+  constexpr PrincipalId kVoters = 40;
+  std::vector<Signature> expected;
+  for (PrincipalId v = 0; v < kVoters; ++v) {
+    Signer signer(v, store);
+    Signature sig = signer.Sign(Bytes{static_cast<uint8_t>(v)});
+    expected.push_back(sig);
+    EXPECT_TRUE(votes.Add(watched, v, sig).counted);
+  }
+  QuorumTracker::SignatureView view = votes.SignaturesFor(watched);
+  ASSERT_EQ(view.size(), kVoters);
+
+  // Force the tracker's outer table through several growth rehashes by
+  // voting for many other values, and keep growing the watched value's own
+  // table too. The previously-taken view must keep seeing every signature.
+  Signer late(kVoters, store);
+  for (int i = 0; i < 200; ++i) {
+    Digest filler = Digest::Of(std::string("filler-") + std::to_string(i));
+    votes.Add(filler, 1, late.Sign(Bytes{9}));
+  }
+  for (PrincipalId v = kVoters; v < kVoters + 100; ++v) {
+    Signer signer(v, store);
+    Signature sig = signer.Sign(Bytes{static_cast<uint8_t>(v)});
+    expected.push_back(sig);
+    EXPECT_TRUE(votes.Add(watched, v, sig).counted);
+  }
+
+  auto entries = view.SortedEntries();
+  ASSERT_EQ(entries.size(), expected.size());  // no signature lost
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].first, static_cast<PrincipalId>(i));  // sorted
+    EXPECT_EQ(entries[i].second, expected[i]);
+  }
 }
 
 TEST(InstanceLogTest, SlabLookupAndGenerationChecks) {
@@ -259,8 +300,9 @@ TEST(PreparedProofTest, VerifyAndReject) {
                           .Sign(ProposalHeader(kDomainPrePrepare, 3, 7, 21,
                                                proof.digest));
   for (PrincipalId voter : {3, 4, 5}) {
-    proof.prepares[voter] = Signer(voter, store).Sign(
-        VoteHeader(kDomainPrepare, 3, 7, 21, proof.digest, voter));
+    proof.prepares.emplace_back(
+        voter, Signer(voter, store).Sign(
+                   VoteHeader(kDomainPrepare, 3, 7, 21, proof.digest, voter)));
   }
   auto any = [](PrincipalId) { return true; };
   EXPECT_TRUE(proof.Verify(store, primary, 3, any));

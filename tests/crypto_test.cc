@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "crypto/digest.h"
 #include "crypto/hmac_sha256.h"
@@ -66,6 +68,101 @@ TEST(Sha256Test, ExactBlockBoundary) {
             HashHex(std::string(32, 'x') + std::string(32, 'x')));
   // 55 and 56 bytes straddle the length-field boundary.
   EXPECT_NE(HashHex(std::string(55, 'y')), HashHex(std::string(56, 'y')));
+}
+
+// --- SIMD kernel dispatch (sha256.h Impl hook) ---
+
+// Every kernel the CPU supports, portable always included.
+std::vector<Sha256::Impl> SupportedImpls() {
+  std::vector<Sha256::Impl> impls = {Sha256::Impl::kPortable};
+  if (Sha256::ImplSupported(Sha256::Impl::kAvx2)) {
+    impls.push_back(Sha256::Impl::kAvx2);
+  }
+  if (Sha256::ImplSupported(Sha256::Impl::kShaNi)) {
+    impls.push_back(Sha256::Impl::kShaNi);
+  }
+  return impls;
+}
+
+// Restores auto-detected dispatch even if a test fails mid-way.
+struct ImplGuard {
+  ~ImplGuard() { Sha256::ResetImpl(); }
+};
+
+TEST(Sha256DispatchTest, ForceImplRoundTrip) {
+  ImplGuard guard;
+  for (Sha256::Impl impl : SupportedImpls()) {
+    ASSERT_TRUE(Sha256::ForceImpl(impl));
+    EXPECT_EQ(Sha256::ActiveImpl(), impl);
+  }
+  Sha256::ResetImpl();
+  // Auto-detection picks a supported kernel.
+  EXPECT_TRUE(Sha256::ImplSupported(Sha256::ActiveImpl()));
+}
+
+TEST(Sha256DispatchTest, UnsupportedImplRefused) {
+  // On a machine without SHA-NI, forcing it must fail and leave dispatch
+  // unchanged. (On capable machines this test is vacuous for kShaNi.)
+  ImplGuard guard;
+  Sha256::Impl before = Sha256::ActiveImpl();
+  if (!Sha256::ImplSupported(Sha256::Impl::kShaNi)) {
+    EXPECT_FALSE(Sha256::ForceImpl(Sha256::Impl::kShaNi));
+    EXPECT_EQ(Sha256::ActiveImpl(), before);
+  }
+}
+
+// NIST vectors must pass under every kernel, not just the default one.
+TEST(Sha256DispatchTest, NistVectorsUnderEveryImpl) {
+  ImplGuard guard;
+  for (Sha256::Impl impl : SupportedImpls()) {
+    ASSERT_TRUE(Sha256::ForceImpl(impl));
+    EXPECT_EQ(HashHex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(HashHex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(
+        HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+    EXPECT_EQ(
+        HashHex(
+            "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+            "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+  }
+}
+
+// Cross-check all kernels agree on random inputs of every length class:
+// empty, sub-block, exact block boundaries, straddling lengths, and
+// multi-block (the multi-block kernel loop is its own code path).
+TEST(Sha256DispatchTest, ImplsAgreeOnEveryLengthClass) {
+  ImplGuard guard;
+  const std::vector<Sha256::Impl> impls = SupportedImpls();
+  std::vector<size_t> lengths = {0,  1,  31,  55,  56,  63,  64,
+                                 65, 119, 127, 128, 129, 192, 1000};
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;  // fixed seed: deterministic inputs
+  for (size_t len : lengths) {
+    std::vector<uint8_t> input(len);
+    for (auto& b : input) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      b = static_cast<uint8_t>(rng >> 56);
+    }
+    ASSERT_TRUE(Sha256::ForceImpl(Sha256::Impl::kPortable));
+    auto expected = Sha256::Hash(input);
+    for (Sha256::Impl impl : impls) {
+      ASSERT_TRUE(Sha256::ForceImpl(impl));
+      // One-shot and incremental (odd-sized chunks cross block boundaries).
+      EXPECT_EQ(Sha256::Hash(input), expected)
+          << "len=" << len << " impl=" << static_cast<int>(impl);
+      Sha256 h;
+      for (size_t off = 0; off < len; off += 37) {
+        h.Update(input.data() + off, std::min<size_t>(37, len - off));
+      }
+      std::array<uint8_t, Sha256::kDigestSize> out;
+      h.Final(out.data());
+      EXPECT_EQ(out, expected)
+          << "len=" << len << " impl=" << static_cast<int>(impl);
+    }
+  }
 }
 
 // RFC 4231 test case 1.

@@ -75,12 +75,13 @@ GoldenSnapshot RunScenario(SeeMoReMode mode, uint64_t seed) {
   // Fold replica 0's per-sequence executed digests into one chain: the
   // commit *order*, not just the final state.
   Digest chain;
-  for (const auto& [seq, digest] :
-       cluster.seemore(0)->exec().executed_digests()) {
+  const auto& digests = cluster.seemore(0)->exec().executed_digests();
+  for (uint64_t seq = digests.floor(); !digests.empty() && seq <= digests.ceil();
+       ++seq) {
     Encoder enc;
     enc.PutRaw(chain.data(), Digest::kSize);
     enc.PutU64(seq);
-    enc.PutRaw(digest.data(), Digest::kSize);
+    enc.PutRaw(digests.at(seq).data(), Digest::kSize);
     chain = Digest::Of(enc.bytes());
   }
   snap.commit_chain = chain.ToHex();

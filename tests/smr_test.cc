@@ -246,5 +246,110 @@ TEST(ExecutionEngineTest, ExecutedDigestsTrackHistory) {
   EXPECT_EQ(engine.executed_digests().at(1), b1.ComputeDigest());
 }
 
+TEST(ExecutionEngineTest, ReplyRetentionBoundsCacheSize) {
+  // Property: with retention R, after any committed prefix the cache holds
+  // only clients whose latest request executed within the last R seqs — so
+  // its size never exceeds the number of clients active in that window,
+  // no matter how many one-shot clients pass through.
+  constexpr uint64_t kRetention = 8;
+  ExecutionEngine engine(std::make_unique<KvStateMachine>());
+  engine.SetReplyRetention(kRetention);
+
+  // One returning client plus a fresh one-shot client per seq. Unbounded
+  // cache growth would retain every one-shot client forever.
+  for (uint64_t seq = 1; seq <= 200; ++seq) {
+    Batch batch{{MakeTestRequest(kClientIdBase, seq),
+                 MakeTestRequest(kClientIdBase + static_cast<PrincipalId>(seq),
+                                 1)}};
+    ASSERT_EQ(engine.Commit(seq, batch).size(), 2u);
+    // Active-client bound: the returning client + the one-shots whose seq
+    // lies in the retention window [last_executed - R, last_executed].
+    EXPECT_LE(engine.reply_cache_size(), kRetention + 2);
+  }
+
+  // The returning client's entry survives (it stays within the window)...
+  EXPECT_TRUE(engine.SeenTimestamp(kClientIdBase, 200));
+  EXPECT_TRUE(engine.CachedReply(kClientIdBase, 200).has_value());
+  // ...while a long-idle one-shot client has been evicted: its reply is
+  // gone and a retransmission would re-execute (the documented tradeoff).
+  EXPECT_FALSE(engine.SeenTimestamp(kClientIdBase + 1, 1));
+
+  // Eviction only trims entries older than the window, never the frontier:
+  // all clients from the last R seqs are still deduplicable.
+  for (uint64_t seq = 200 - kRetention + 1; seq <= 200; ++seq) {
+    EXPECT_TRUE(
+        engine.SeenTimestamp(kClientIdBase + static_cast<PrincipalId>(seq), 1));
+  }
+}
+
+TEST(ExecutionEngineTest, ReplyRetentionSurvivesSnapshotRestore) {
+  // With retention enabled, snapshots carry each cache entry's last
+  // execution seq, so a restored engine evicts on exactly the donor's
+  // schedule. If Restore guessed last_seq instead (say, re-stamping every
+  // entry to the snapshot seq), the restored cache would outlive the
+  // donor's and every later state digest would diverge.
+  constexpr uint64_t kRetention = 4;
+  constexpr PrincipalId kIdle = kClientIdBase;
+  constexpr PrincipalId kActive = kClientIdBase + 1;
+
+  ExecutionEngine donor(std::make_unique<KvStateMachine>());
+  donor.SetReplyRetention(kRetention);
+  // The idle client executes only at seq 1; the active client every seq.
+  donor.Commit(1, Batch{{MakeTestRequest(kIdle, 1), MakeTestRequest(kActive, 1)}});
+  for (uint64_t seq = 2; seq <= 3; ++seq) {
+    donor.Commit(seq, Batch{{MakeTestRequest(kActive, seq)}});
+  }
+  ASSERT_EQ(donor.reply_cache_size(), 2u);
+
+  ExecutionEngine restored(std::make_unique<KvStateMachine>());
+  restored.SetReplyRetention(kRetention);
+  ASSERT_TRUE(restored.Restore(donor.Snapshot(), 3).ok());
+  EXPECT_EQ(restored.reply_cache_size(), 2u);
+  EXPECT_EQ(restored.StateDigest(), donor.StateDigest());
+
+  // Drive both engines through the same committed suffix. The idle client's
+  // entry (last_seq = 1) must fall out of both caches at the same commit —
+  // seq 6 is the first with 1 < last_executed - kRetention — and the state
+  // digests must stay pairwise identical the whole way.
+  for (uint64_t seq = 4; seq <= 8; ++seq) {
+    Batch batch{{MakeTestRequest(kActive, seq)}};
+    donor.Commit(seq, batch);
+    restored.Commit(seq, batch);
+    EXPECT_EQ(restored.StateDigest(), donor.StateDigest()) << "seq " << seq;
+    EXPECT_EQ(restored.reply_cache_size(), donor.reply_cache_size())
+        << "seq " << seq;
+  }
+  EXPECT_FALSE(donor.SeenTimestamp(kIdle, 1));
+  EXPECT_FALSE(restored.SeenTimestamp(kIdle, 1));
+  EXPECT_TRUE(restored.SeenTimestamp(kActive, 8));
+}
+
+TEST(ExecutionEngineTest, RetentionOffSnapshotKeepsHistoricalLayout) {
+  // reply_cache_retention = 0 (the default) must leave snapshot bytes
+  // exactly as they were before the knob existed: the per-entry last_seq
+  // field is only serialized when retention is on. Guards the "wire bytes
+  // unchanged in default config" invariant.
+  Request put = MakeTestRequest(kClientIdBase, 1);
+  put.op = MakePut("k", "v");
+
+  ExecutionEngine plain(std::make_unique<KvStateMachine>());
+  plain.Commit(1, Batch{{put}});
+
+  ExecutionEngine bounded(std::make_unique<KvStateMachine>());
+  bounded.SetReplyRetention(16);
+  bounded.Commit(1, Batch{{put}});
+
+  Bytes plain_snap = plain.Snapshot();
+  Bytes bounded_snap = bounded.Snapshot();
+  // One cache entry -> exactly one extra u64 when retention is enabled.
+  EXPECT_EQ(bounded_snap.size(), plain_snap.size() + 8);
+  // And the retention-on bytes are a faithful superset: restoring them into
+  // a retention-on engine reproduces the same logical state.
+  ExecutionEngine check(std::make_unique<KvStateMachine>());
+  check.SetReplyRetention(16);
+  ASSERT_TRUE(check.Restore(bounded_snap, 1).ok());
+  EXPECT_EQ(check.StateDigest(), bounded.StateDigest());
+}
+
 }  // namespace
 }  // namespace seemore

@@ -107,6 +107,38 @@ TEST(StateTransferTest, CheckpointGarbageCollectionIsBounded) {
   }
 }
 
+TEST(StateTransferTest, ReplyRetentionSurvivesStateTransfer) {
+  // Opt-in reply-cache retention (ClusterConfig::reply_cache_retention) is
+  // consensus state: eviction keys off each entry's last-execution seq,
+  // which travels inside snapshots so a replica restored from a checkpoint
+  // evicts on exactly the donor's schedule. Partition + heal forces a
+  // snapshot restore on the victim; afterwards any two replicas at the same
+  // execution point must have byte-identical engine state, reply cache
+  // included — a restored replica that guessed last_seq would diverge here.
+  ClusterOptions options = SeeMoReOptions(SeeMoReMode::kLion, 1, 1);
+  options.config.checkpoint_period = 8;
+  options.config.reply_cache_retention = 32;
+  Cluster cluster(options);
+  PartitionHealCatchUp(cluster, /*victim=*/4, [&](int i) {
+    return cluster.seemore(i)->last_executed();
+  });
+  ASSERT_GT(cluster.replica(4)->stats().state_transfers, 0u);
+  for (int i = 0; i < cluster.n(); ++i) {
+    // Retention bounds every cache at the clients active in the window.
+    EXPECT_LE(cluster.replica(i)->exec().reply_cache_size(), 8u)
+        << "replica " << i;
+    for (int j = i + 1; j < cluster.n(); ++j) {
+      if (cluster.seemore(i)->last_executed() !=
+          cluster.seemore(j)->last_executed()) {
+        continue;
+      }
+      EXPECT_EQ(cluster.replica(i)->exec().StateDigest(),
+                cluster.replica(j)->exec().StateDigest())
+          << "replicas " << i << " and " << j;
+    }
+  }
+}
+
 TEST(StateTransferTest, ByzantineSnapshotRejected) {
   // A Byzantine public node cannot poison a recovering replica: snapshots
   // must match the digest in a valid checkpoint certificate, which needs a
