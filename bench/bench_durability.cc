@@ -1,0 +1,109 @@
+// Durability cost bench: what does the WAL cost, and how much does group
+// commit buy back?
+//
+//  A. Fsync-batch sweep — Lion (c=m=1) under steady load with the durable
+//     store off, then on at fsync_interval ∈ {1, 8, 64, 512}. Interval 1
+//     pays one modeled fsync per committed batch; larger intervals batch
+//     records per sync (group commit) and converge on the write-cost floor.
+//  B. Restart cost — one kill-and-restart run per fsync interval, reporting
+//     end-to-end throughput with a mid-run recovery in the measurement
+//     window (the availability price of the durability knob, not just its
+//     steady-state one).
+//
+// Every point is a ScenarioSpec run through scenario::RunScenario; results
+// land in BENCH_durability.json for cross-PR tracking.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace seemore {
+namespace bench {
+namespace {
+
+/// Fsync interval 0 encodes "durability off" in this bench's sweeps.
+constexpr int kSweep[] = {0, 1, 8, 64, 512};
+
+scenario::ScenarioBuilder DurableBase(int clients, SimTime measure,
+                                      int fsync_interval) {
+  scenario::ScenarioBuilder builder(scenario::PaperBaseSpec(/*seed=*/29));
+  builder.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Kv(128, 0.5)
+      .Clients(clients)
+      .CheckpointPeriod(64)
+      .Warmup(Millis(150))
+      .Measure(measure);
+  if (fsync_interval > 0) {
+    builder.Durability(fsync_interval, /*segment_bytes=*/256 * 1024);
+  }
+  return builder;
+}
+
+std::string PointLabel(int fsync_interval) {
+  return fsync_interval == 0 ? "off"
+                             : "fsync=" + std::to_string(fsync_interval);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seemore
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  using namespace seemore::bench;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int jobs = ParseJobs(argc, argv);
+  const SimTime measure = quick ? Millis(250) : Millis(600);
+  const int clients = quick ? 32 : 64;
+
+  BenchResultsJson json("durability");
+
+  std::printf("=== Durability A: fsync-batch sweep (Lion, c=m=1, %d clients, "
+              "%d jobs) ===\n",
+              clients, jobs);
+  {
+    std::vector<ScenarioSpec> specs;
+    for (int interval : kSweep) {
+      specs.push_back(DurableBase(clients, measure, interval).spec());
+    }
+    const std::vector<scenario::ScenarioReport> reports = RunAll(specs, jobs);
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const RunResult& result = reports[i].result;
+      std::printf("  %-10s thrpt=%7.2f kreq/s  lat=%.2f ms  p99=%.2f ms\n",
+                  PointLabel(kSweep[i]).c_str(), result.throughput_kreqs,
+                  result.mean_latency_ms, result.p99_latency_ms);
+      json.AddCurve("fsync_sweep", PointLabel(kSweep[i]), {result});
+    }
+  }
+
+  std::printf("=== Durability B: kill-and-restart mid-measurement ===\n");
+  {
+    std::vector<ScenarioSpec> specs;
+    std::vector<int> intervals;
+    for (int interval : kSweep) {
+      if (interval == 0) continue;  // restart needs the durable store
+      scenario::ScenarioBuilder builder =
+          DurableBase(clients, measure, interval);
+      builder.Name("restart-" + PointLabel(interval))
+          .CrashAt(Millis(180), 1)
+          .RestartAt(Millis(280), 1)
+          .Drain(Millis(250))
+          .CheckConvergence();
+      specs.push_back(builder.spec());
+      intervals.push_back(interval);
+    }
+    const std::vector<scenario::ScenarioReport> reports = RunAll(specs, jobs);
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const RunResult& result = reports[i].result;
+      std::printf("  %-10s thrpt=%7.2f kreq/s  lat=%.2f ms  %s\n",
+                  PointLabel(intervals[i]).c_str(), result.throughput_kreqs,
+                  result.mean_latency_ms,
+                  reports[i].ok() ? "converged" : "DIVERGED");
+      json.AddCurve("restart", PointLabel(intervals[i]), {result});
+    }
+  }
+
+  json.Write();
+  return 0;
+}

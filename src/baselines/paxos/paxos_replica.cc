@@ -120,6 +120,7 @@ void PaxosReplica::LeaderEnqueue(Request request) {
 }
 
 void PaxosReplica::TryPropose() {
+  if (proposer_quiesced()) return;
   while (pipeline_.CanOpen(log_.UncommittedSlots())) {
     auto [seq, batch] = pipeline_.Open();
     SlotCore& slot = log_.Slot(seq);
@@ -238,6 +239,7 @@ void PaxosReplica::MaybeCheckpoint() {
   Bytes snapshot = exec_.Snapshot();
   ChargeHash(snapshot.size());
   const Digest digest = Digest::Of(snapshot);
+  durable().SaveSnapshot(executed, digest, snapshot);
   ckpt_.Buffer(executed, digest, std::move(snapshot));
 
   PaxosCheckpointMsg msg{executed, digest};
@@ -279,6 +281,7 @@ void PaxosReplica::CountCheckpointVote(uint64_t seq, const Digest& digest,
 void PaxosReplica::AdvanceStable(uint64_t seq, const Digest& digest,
                                  PrincipalId helper) {
   if (seq <= ckpt_.stable_seq()) return;
+  durable().NoteStable(seq, CheckpointCert::Genesis());
   const bool installed =
       ckpt_.Advance(seq, digest, CheckpointCert::Genesis());
   if (!installed && exec_.last_executed() < seq && helper != id_) {
@@ -323,8 +326,36 @@ void PaxosReplica::HandleStateResponse(PrincipalId from,
   if (Digest::Of(msg.snapshot) != msg.digest) return;
   if (!exec_.Restore(msg.snapshot, msg.seq).ok()) return;
   ++stats_.state_transfers;
+  // Persist the transferred checkpoint too: a restart must not come back
+  // below a state the replica already executed past.
+  durable().SaveSnapshot(msg.seq, msg.digest, msg.snapshot);
+  durable().NoteStable(msg.seq, CheckpointCert::Genesis());
   ckpt_.InstallRestored(msg.seq, msg.digest, CheckpointCert::Genesis(),
                         std::move(msg.snapshot));
+}
+
+void PaxosReplica::OnDurableRestore(const RecoveredImage& image) {
+  // Rejoin in the last durably-entered view: acking in an older view after
+  // a restart could contradict the pre-crash incarnation's votes.
+  if (image.has_view) view_ = image.view;
+  // The newest stable checkpoint restores as stable; newer snapshots
+  // re-enter the tracker as buffered, exactly as on the cutting path, so
+  // the stability vote flow resumes where it stopped.
+  if (const storage::RecoveredSnapshot* stable = image.LatestStable()) {
+    ckpt_.InstallRestored(stable->seq, stable->digest,
+                          CheckpointCert::Genesis(), stable->bytes);
+    log_.Reclaim(stable->seq);
+  }
+  for (const auto& snap : image.snapshots) {
+    if (snap.seq > ckpt_.stable_seq()) {
+      ckpt_.Buffer(snap.seq, snap.digest, snap.bytes);
+    }
+  }
+  if (const storage::RecoveredSnapshot* latest = image.Latest()) {
+    if (latest->seq > ckpt_.last_checkpoint_seq()) {
+      ckpt_.NoteTaken(latest->seq);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -503,6 +534,8 @@ void PaxosReplica::HandleNewView(PrincipalId from, PaxosNewViewMsg msg) {
 
 void PaxosReplica::EnterView(uint64_t view) {
   view_ = view;
+  ClearProposerQuiescence();
+  durable().NoteView(view, 0);
   in_view_change_ = false;
   vc_target_ = 0;
   CancelTimer(view_timer_);

@@ -53,6 +53,7 @@ class PaxosReplica : public ReplicaBase {
 
  protected:
   void HandleMessage(PrincipalId from, const Payload& frame) override;
+  void OnDurableRestore(const RecoveredImage& image) override;
 
  private:
   // ----- normal case -----

@@ -123,6 +123,7 @@ void PbftCoreReplica::PrimaryEnqueue(Request request) {
 }
 
 void PbftCoreReplica::TryPropose() {
+  if (proposer_quiesced()) return;
   while (pipeline_.CanOpen(log_.UncommittedSlots()) &&
          pipeline_.next_seq() <= ckpt_.stable_seq() + window_) {
     auto [seq, batch] = pipeline_.Open();
@@ -335,6 +336,7 @@ void PbftCoreReplica::MaybeCheckpoint() {
   Bytes snapshot = exec_.Snapshot();
   ChargeHash(snapshot.size());
   const Digest digest = Digest::Of(snapshot);
+  durable().SaveSnapshot(executed, digest, snapshot);
   ckpt_.Buffer(executed, digest, std::move(snapshot));
 
   CheckpointMsg msg;
@@ -381,6 +383,7 @@ void PbftCoreReplica::CountCheckpointVote(const CheckpointMsg& msg) {
 void PbftCoreReplica::AdvanceStable(uint64_t seq, const Digest& digest,
                                     CheckpointCert cert, PrincipalId helper) {
   if (seq <= ckpt_.stable_seq()) return;
+  durable().NoteStable(seq, cert);
   const bool installed = ckpt_.Advance(seq, digest, std::move(cert));
   if (!installed && exec_.last_executed() < seq && helper != id_) {
     RequestStateFrom(helper);
@@ -426,9 +429,37 @@ void PbftCoreReplica::HandleStateResponse(PrincipalId from,
   const uint64_t seq = cert.seq();
   if (!exec_.Restore(snapshot, seq).ok()) return;
   const Digest digest = cert.state_digest();
+  // Persist the transferred checkpoint too: a restart must not come back
+  // below a state the replica already executed past.
+  durable().SaveSnapshot(seq, digest, snapshot);
+  durable().NoteStable(seq, cert);
   ckpt_.InstallRestored(seq, digest, std::move(cert), std::move(snapshot));
   log_.Reclaim(seq);
   NoteCheckpointGc();  // scratch arena rewinds at the next message boundary
+}
+
+void PbftCoreReplica::OnDurableRestore(const RecoveredImage& image) {
+  // Rejoin in the last durably-entered view: voting in an older view after
+  // a restart could double-vote against the pre-crash incarnation.
+  if (image.has_view) view_ = image.view;
+  // The newest CERTIFIED checkpoint restores as stable; newer certless
+  // snapshots re-enter the tracker as buffered, exactly as on the cutting
+  // path, so the stability vote flow resumes where it stopped.
+  if (const storage::RecoveredSnapshot* stable = image.LatestStable()) {
+    ckpt_.InstallRestored(stable->seq, stable->digest, stable->cert,
+                          stable->bytes);
+    log_.Reclaim(stable->seq);
+  }
+  for (const auto& snap : image.snapshots) {
+    if (snap.seq > ckpt_.stable_seq()) {
+      ckpt_.Buffer(snap.seq, snap.digest, snap.bytes);
+    }
+  }
+  if (const storage::RecoveredSnapshot* latest = image.Latest()) {
+    if (latest->seq > ckpt_.last_checkpoint_seq()) {
+      ckpt_.NoteTaken(latest->seq);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -720,6 +751,8 @@ void PbftCoreReplica::HandleNewView(PrincipalId from, PbftNewViewMsg msg) {
 
 void PbftCoreReplica::EnterView(uint64_t view) {
   view_ = view;
+  ClearProposerQuiescence();
+  durable().NoteView(view, 0);
   in_view_change_ = false;
   vc_target_ = 0;
   CancelTimer(view_timer_);

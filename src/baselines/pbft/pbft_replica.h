@@ -54,6 +54,7 @@ class PbftCoreReplica : public ReplicaBase {
 
  protected:
   void HandleMessage(PrincipalId from, const Payload& frame) override;
+  void OnDurableRestore(const RecoveredImage& image) override;
 
  private:
   struct ViewChangeRecord {

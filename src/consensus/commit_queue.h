@@ -18,6 +18,7 @@
 #include "consensus/instance_log.h"
 #include "net/cost_model.h"
 #include "net/transport.h"
+#include "storage/durable_store.h"
 
 namespace seemore {
 
@@ -50,10 +51,18 @@ class CommitQueue {
     ++stats_.batches_committed;
   }
 
+  /// The commit funnel is the WAL hook point: with a durable store set,
+  /// every committed batch is logged before execution (write-ahead order).
+  /// The default null pointer keeps the hot path to one predictable branch.
+  void SetDurable(DurableStore* durable) {
+    durable_ = durable != nullptr && durable->enabled() ? durable : nullptr;
+  }
+
   /// Phase 2: enqueue (seq, batch) for in-order execution. Executes every
   /// batch that became in-order runnable, charges the execution cost and
   /// returns the per-request outcomes for the caller's reply policy.
   std::vector<ExecutedRequest> Execute(uint64_t seq, const Batch& batch) {
+    if (durable_ != nullptr) durable_->AppendCommit(seq, batch);
     std::vector<ExecutedRequest> executed = exec_.Commit(seq, batch);
     cpu_->Charge(costs_.execute * static_cast<int64_t>(executed.size()));
     stats_.requests_executed += executed.size();
@@ -72,6 +81,7 @@ class CommitQueue {
   ReplicaStats& stats_;
   CpuMeter* cpu_;
   const CostModel costs_;
+  DurableStore* durable_ = nullptr;  // null = in-memory only (the default)
 };
 
 }  // namespace seemore

@@ -22,7 +22,8 @@ ReplicaBase::ReplicaBase(Transport* transport, TimerService* timers,
       cpu_(transport->Register(id, config.ReplicaZone(id), this,
                                /*metered=*/true)),
       exec_(std::move(state_machine)),
-      commits_(exec_, stats_, cpu_, costs_) {
+      commits_(exec_, stats_, cpu_, costs_),
+      durable_(DurableStore::Null()) {
   SEEMORE_CHECK(cpu_ != nullptr) << "transport returned no CPU meter";
   SEEMORE_CHECK(memo_ != nullptr) << "replica needs the run's CryptoMemo";
   // Opt-in reply-cache bound (see ClusterConfig::reply_cache_retention).
@@ -32,7 +33,32 @@ ReplicaBase::ReplicaBase(Transport* transport, TimerService* timers,
   exec_.SetReplyRetention(config.reply_cache_retention);
 }
 
-ReplicaBase::~ReplicaBase() = default;
+ReplicaBase::~ReplicaBase() { *alive_ = false; }
+
+void ReplicaBase::AttachDurable(DurableStore* store) {
+  durable_ = store != nullptr ? store : DurableStore::Null();
+  durable_->BindCpu(cpu_);
+  commits_.SetDurable(durable_);
+}
+
+void ReplicaBase::RestoreFromImage(const RecoveredImage& image) {
+  if (const storage::RecoveredSnapshot* snap = image.Latest()) {
+    const Status st = exec_.Restore(snap->bytes, snap->seq);
+    // The snapshot's CRC matched at recovery, so a decode failure here is a
+    // writer/reader version bug, not injectable damage.
+    SEEMORE_CHECK(st.ok()) << "snapshot restore failed: " << st.ToString();
+  }
+  // Replay through the engine directly: gap-tolerant, dedups overlap with
+  // the snapshot, and sends no replies and charges no CPU — the work
+  // happened while the replica was down.
+  for (const auto& [seq, batch] : image.commits) {
+    exec_.Commit(seq, batch);
+  }
+  // See proposer_quiesced(): no proposing in the restored view — the
+  // pre-crash incarnation may have signed proposals this image lacks.
+  proposer_quiesced_ = true;
+  OnDurableRestore(image);
+}
 
 void ReplicaBase::Crash() {
   crashed_ = true;
@@ -82,10 +108,13 @@ void ReplicaBase::SendToMany(const std::vector<PrincipalId>& targets,
 
 EventId ReplicaBase::StartTimer(SimTime delay, std::function<void()> fn) {
   const uint64_t epoch = epoch_;
-  return timers_->ScheduleAfter(delay, [this, epoch, fn = std::move(fn)] {
-    if (crashed_ || epoch != epoch_) return;
-    fn();
-  });
+  // The alive token guards against a restart destroying this replica while
+  // the timer is still queued; it must be checked before any member read.
+  return timers_->ScheduleAfter(
+      delay, [this, alive = alive_, epoch, fn = std::move(fn)] {
+        if (!*alive || crashed_ || epoch != epoch_) return;
+        fn();
+      });
 }
 
 void ReplicaBase::CancelTimer(EventId& id) {

@@ -70,6 +70,21 @@ class ReplicaBase : public MessageHandler {
   void Crash();
   void Recover();
 
+  /// --- durability (storage/durable_store.h) ------------------------------
+  /// Attach a durable store (null restores the no-op default). Binds the
+  /// replica's CPU meter so storage work is charged, and arms the commit
+  /// funnel's WAL hook.
+  void AttachDurable(DurableStore* store);
+  DurableStore& durable() { return *durable_; }
+
+  /// Rebuild in-memory state from a recovered disk image: execution restores
+  /// from the newest snapshot, commit records replay above it (gap/dup
+  /// tolerant, no CPU charged — recovery runs while the replica is down),
+  /// then OnDurableRestore lets the protocol restore view/checkpoint state.
+  /// Call exactly once, on a freshly constructed replica, before any
+  /// message can arrive.
+  void RestoreFromImage(const RecoveredImage& image);
+
   /// Fault injection: configure Byzantine behaviour (only meaningful for
   /// untrusted replicas; tests assert trusted replicas are never flagged).
   void SetByzantine(uint32_t flags) { byzantine_flags_ = flags; }
@@ -149,6 +164,21 @@ class ReplicaBase : public MessageHandler {
   /// Hook invoked after Recover() re-attaches the replica.
   virtual void OnRecover() {}
 
+  /// Hook invoked by RestoreFromImage after execution replay: protocols
+  /// restore their view/mode and checkpoint tracker from the image here.
+  virtual void OnDurableRestore(const RecoveredImage& /*image*/) {}
+
+  /// True from RestoreFromImage until the protocol next enters a view. A
+  /// restarted replica must not resume the primary/leader role in its
+  /// restored view: the WAL records commits, not proposals, so the
+  /// pre-crash incarnation may already have signed proposals for the next
+  /// sequence numbers — re-proposing them with different batches would be
+  /// self-equivocation. Propose paths check this; EnterView clears it
+  /// (either the restored replica was never current primary, or the view
+  /// change that its silence provokes hands leadership elsewhere).
+  bool proposer_quiesced() const { return proposer_quiesced_; }
+  void ClearProposerQuiescence() { proposer_quiesced_ = false; }
+
   /// --- scratch memory ---------------------------------------------------
   /// Per-replica bump arena for handler-local temporaries (span tables,
   /// sort scratch). Memory is reclaimed wholesale at checkpoint boundaries:
@@ -225,8 +255,15 @@ class ReplicaBase : public MessageHandler {
 
  private:
   bool crashed_ = false;
+  bool proposer_quiesced_ = false;
   uint32_t byzantine_flags_ = kByzNone;
   uint64_t epoch_ = 0;  // bumped by Crash(); stale timers are ignored
+  /// Never null; DurableStore::Null() until AttachDurable. Not owned.
+  DurableStore* durable_;
+  /// Timer closures hold this token and bail once the replica is destroyed
+  /// — a restart replaces the object while its timers may still be queued
+  /// in the simulator.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   Payload current_frame_;  // frame being handled (empty when idle)
   Arena scratch_;  // handler-local scratch, reset at checkpoint boundaries
   bool scratch_reset_pending_ = false;

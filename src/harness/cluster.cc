@@ -22,36 +22,138 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   // The cluster is the composition root: it owns the concrete simulator and
   // simulated network, and hands replicas/clients only the Transport and
   // TimerService interfaces they are written against.
-  Transport* transport = net_.get();
-  TimerService* timers = sim_.get();
   const ClusterConfig& config = options_.config;
+  media_.resize(config.n());
+  stores_.resize(config.n());
   for (int i = 0; i < config.n(); ++i) {
-    switch (config.kind) {
-      case ProtocolKind::kCft:
-        replicas_.push_back(std::make_unique<PaxosReplica>(
-            transport, timers, keystore_.get(), memo_.get(), i, config,
-            options_.state_machine_factory(), options_.costs));
-        break;
-      case ProtocolKind::kBft:
-        replicas_.push_back(std::make_unique<PbftReplica>(
-            transport, timers, keystore_.get(), memo_.get(), i, config,
-            options_.state_machine_factory(), options_.costs));
-        break;
-      case ProtocolKind::kSUpRight:
-        replicas_.push_back(std::make_unique<SUpRightReplica>(
-            transport, timers, keystore_.get(), memo_.get(), i, config,
-            options_.state_machine_factory(), options_.costs));
-        break;
-      case ProtocolKind::kSeeMoRe:
-        replicas_.push_back(std::make_unique<SeeMoReReplica>(
-            transport, timers, keystore_.get(), memo_.get(), i, config,
-            options_.state_machine_factory(), options_.costs));
-        break;
+    replicas_.push_back(MakeReplica(i));
+    if (options_.durability.enabled) {
+      media_[i] = std::make_unique<storage::MemMedium>();
+      stores_[i] = std::make_unique<storage::FileDurableStore>(
+          media_[i].get(), options_.durability, options_.costs);
+      const Status st = stores_[i]->OpenFresh();
+      SEEMORE_CHECK(st.ok()) << "open durable store: " << st.ToString();
+      replicas_[i]->AttachDurable(stores_[i].get());
     }
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Replicas reference their stores (and those the media); drop them first.
+  replicas_.clear();
+  clients_.clear();
+}
+
+std::unique_ptr<ReplicaBase> Cluster::MakeReplica(int i) {
+  Transport* transport = net_.get();
+  TimerService* timers = sim_.get();
+  const ClusterConfig& config = options_.config;
+  switch (config.kind) {
+    case ProtocolKind::kCft:
+      return std::make_unique<PaxosReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          options_.state_machine_factory(), options_.costs);
+    case ProtocolKind::kBft:
+      return std::make_unique<PbftReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          options_.state_machine_factory(), options_.costs);
+    case ProtocolKind::kSUpRight:
+      return std::make_unique<SUpRightReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          options_.state_machine_factory(), options_.costs);
+    case ProtocolKind::kSeeMoRe:
+      return std::make_unique<SeeMoReReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          options_.state_machine_factory(), options_.costs);
+  }
+  SEEMORE_CHECK(false) << "unknown protocol kind";
+  return nullptr;
+}
+
+Result<RestartOutcome> Cluster::Restart(int i) {
+  SEEMORE_CHECK(i >= 0 && i < n()) << "restart replica " << i;
+  if (!options_.durability.enabled) {
+    return Status::FailedPrecondition(
+        "restart requires durability (enable ClusterOptions::durability)");
+  }
+  if (!replicas_[i]->crashed()) {
+    return Status::FailedPrecondition("restart target is not crashed");
+  }
+  // Read-only recovery first: a corrupt log refuses the restart and leaves
+  // the crashed incarnation and its disk untouched.
+  SEEMORE_ASSIGN_OR_RETURN(RecoveredImage image,
+                           storage::FileDurableStore::Recover(*media_[i]));
+
+  // Tear down the old incarnation before its replacement registers under
+  // the same principal id. Timers and in-flight deliveries hold no dangling
+  // references (alive tokens / delivery-time re-resolution).
+  replicas_[i].reset();
+  stores_[i].reset();
+  net_->Unregister(i);
+
+  auto store = std::make_unique<storage::FileDurableStore>(
+      media_[i].get(), options_.durability, options_.costs);
+  const Status opened = store->OpenAfterRecovery(image);
+  // The medium cannot fail IO and recovery validated the inputs; failure
+  // here is a storage-layer bug, not an injectable fault.
+  SEEMORE_CHECK(opened.ok()) << "reopen after recovery: " << opened.ToString();
+
+  replicas_[i] = MakeReplica(i);
+  replicas_[i]->AttachDurable(store.get());
+  replicas_[i]->RestoreFromImage(image);
+  stores_[i] = std::move(store);
+
+  RestartOutcome outcome;
+  if (const storage::RecoveredSnapshot* latest = image.Latest()) {
+    outcome.snapshot_seq = latest->seq;
+  }
+  outcome.replayed_commits = image.commits.size();
+  outcome.truncated_bytes = image.truncated_bytes;
+  return outcome;
+}
+
+void Cluster::PowerLoss(int i) {
+  SEEMORE_CHECK(options_.durability.enabled)
+      << "power loss requires durability";
+  replicas_[i]->Crash();
+  media_[i]->PowerLoss();
+}
+
+Status Cluster::CheckTamperable(int i) const {
+  if (!options_.durability.enabled) {
+    return Status::FailedPrecondition("wal tampering requires durability");
+  }
+  if (!replicas_[i]->crashed()) {
+    return Status::FailedPrecondition("wal tampering target is not crashed");
+  }
+  return Status::Ok();
+}
+
+Status Cluster::TruncateWalTail(int i, uint64_t bytes_from_end) {
+  SEEMORE_RETURN_IF_ERROR(CheckTamperable(i));
+  const std::vector<std::string> segments = media_[i]->List("wal-");
+  if (segments.empty()) {
+    return Status::FailedPrecondition("no wal segments to truncate");
+  }
+  const std::string& last = segments.back();
+  SEEMORE_ASSIGN_OR_RETURN(uint64_t size, media_[i]->SizeOf(last));
+  const uint64_t cut = bytes_from_end >= size ? 0 : size - bytes_from_end;
+  return media_[i]->TruncateTo(last, cut);
+}
+
+Status Cluster::CorruptWalTail(int i, uint64_t offset_from_end) {
+  SEEMORE_RETURN_IF_ERROR(CheckTamperable(i));
+  const std::vector<std::string> segments = media_[i]->List("wal-");
+  if (segments.empty()) {
+    return Status::FailedPrecondition("no wal segments to corrupt");
+  }
+  const std::string& last = segments.back();
+  SEEMORE_ASSIGN_OR_RETURN(uint64_t size, media_[i]->SizeOf(last));
+  if (size == 0) return Status::FailedPrecondition("empty wal segment");
+  const uint64_t offset =
+      offset_from_end >= size ? 0 : size - 1 - offset_from_end;
+  return media_[i]->FlipBit(last, offset, /*bit=*/0);
+}
 
 SeeMoReReplica* Cluster::seemore(int i) {
   SEEMORE_CHECK(options_.config.kind == ProtocolKind::kSeeMoRe);

@@ -20,6 +20,8 @@
 #include "sim/simulator.h"
 #include "smr/client.h"
 #include "smr/kv_store.h"
+#include "storage/file_store.h"
+#include "storage/medium.h"
 
 namespace seemore {
 
@@ -31,6 +33,16 @@ struct ClusterOptions {
   SimTime client_retransmit_timeout = Millis(60);
   /// Factory for each replica's state machine (defaults to the KV store).
   std::function<std::unique_ptr<StateMachine>()> state_machine_factory;
+  /// Durable storage knobs. Disabled by default: every replica then runs on
+  /// the no-op store and behaves bit-identically to the pre-durability code.
+  DurabilityOptions durability;
+};
+
+/// What a successful Restart() reconstructed (scenario/report provenance).
+struct RestartOutcome {
+  uint64_t snapshot_seq = 0;     // newest snapshot restored from (0 = none)
+  uint64_t replayed_commits = 0; // WAL commit records replayed
+  uint64_t truncated_bytes = 0;  // torn tail discarded during recovery
 };
 
 class Cluster {
@@ -68,6 +80,31 @@ class Cluster {
   void Recover(int i) { replicas_[i]->Recover(); }
   void SetByzantine(int i, uint32_t flags);
 
+  /// --- durability / restart ----------------------------------------------
+  bool durability_enabled() const { return options_.durability.enabled; }
+  /// Per-replica disk and store (null when durability is disabled).
+  storage::MemMedium* medium(int i) { return media_[i].get(); }
+  storage::FileDurableStore* durable_store(int i) { return stores_[i].get(); }
+
+  /// Replace a crashed replica with a new incarnation rebuilt from its
+  /// durable state (kill-and-restart, as opposed to Recover()'s
+  /// kill-and-rejoin which keeps the in-memory state). Refuses with a typed
+  /// error — leaving the old incarnation crashed and the disk untouched —
+  /// when durability is off, the target is not crashed, or recovery finds
+  /// mid-log corruption (kCorruption).
+  Result<RestartOutcome> Restart(int i);
+
+  /// Crash `i` AND roll its disk back to what the hardware durably holds
+  /// (unsynced tails are cut at sector granularity: torn writes).
+  void PowerLoss(int i);
+
+  /// Corruption injection on a crashed replica's newest WAL segment (models
+  /// latent media damage discovered at the next restart). Offsets count
+  /// from the end of the segment; out-of-range values clamp to the segment
+  /// head (deterministic header damage).
+  Status TruncateWalTail(int i, uint64_t bytes_from_end);
+  Status CorruptWalTail(int i, uint64_t offset_from_end);
+
   /// --- invariants ---------------------------------------------------------
   /// Agreement: every pair of replicas executed identical batches at every
   /// sequence number both executed. Returns an explanation on violation.
@@ -80,12 +117,21 @@ class Cluster {
   uint64_t TotalExecuted() const;
 
  private:
+  std::unique_ptr<ReplicaBase> MakeReplica(int i);
+  /// Crashed + durability guard shared by the WAL tamper entry points.
+  Status CheckTamperable(int i) const;
+
   ClusterOptions options_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<KeyStore> keystore_;
   std::unique_ptr<CryptoMemo> memo_;
   std::unique_ptr<SimNetwork> net_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
+  /// Parallel to replicas_; empty slots (nullptr) when durability is off.
+  /// Media outlive stores outlive replicas — destruction order matters on
+  /// restart, so Restart() resets the replica before touching its store.
+  std::vector<std::unique_ptr<storage::MemMedium>> media_;
+  std::vector<std::unique_ptr<storage::FileDurableStore>> stores_;
   std::vector<std::unique_ptr<SimClient>> clients_;
   PrincipalId next_client_id_ = kClientIdBase;
 };

@@ -36,9 +36,20 @@ struct CostModel {
   SimTime hash_fixed = Micros(1);
   /// Executing one state-machine operation.
   SimTime execute = Micros(2);
+  /// Flushing the write-ahead log / snapshot store to stable media (one
+  /// fsync). Charged only when a replica runs with a durable store
+  /// attached; the default models a datacenter NVMe flush. The durability
+  /// ablation axis sweeps the WAL batch interval against this price.
+  SimTime fsync = Micros(120);
+  /// Marginal CPU per KiB serialized into the durable store (buffered
+  /// write path, no flush included).
+  SimTime storage_write_per_kib = Micros(1);
 
   SimTime PayloadCost(size_t bytes) const {
     return per_kib * static_cast<SimTime>((bytes + 1023) / 1024);
+  }
+  SimTime StorageWriteCost(size_t bytes) const {
+    return storage_write_per_kib * static_cast<SimTime>((bytes + 1023) / 1024);
   }
   SimTime HashCost(size_t bytes) const {
     return hash_fixed + hash_per_kib * static_cast<SimTime>(bytes / 1024);

@@ -80,6 +80,13 @@ CpuMeter* SimNetwork::Register(PrincipalId id, Zone zone,
   return cpu;
 }
 
+void SimNetwork::Unregister(PrincipalId id) {
+  auto it = nodes_.find(id);
+  SEEMORE_CHECK(it != nodes_.end()) << "unregister unknown node " << id;
+  if (it->second.cpu != nullptr) it->second.cpu->Clear();
+  nodes_.erase(it);
+}
+
 Zone SimNetwork::ZoneOf(PrincipalId id) const {
   auto it = nodes_.find(id);
   SEEMORE_CHECK(it != nodes_.end()) << "unknown node " << id;
@@ -157,20 +164,19 @@ void SimNetwork::Send(PrincipalId from, PrincipalId to, Payload payload) {
                                static_cast<uint64_t>(link.jitter) + 1))
                          : 0;
     SimTime arrival = departure + link.base + jitter + transmission;
-    MessageHandler* handler = dst.handler;
-    NodeCpu* cpu = dst.cpu;
     // The closure shares the payload buffer (refcount bump, no byte copy) —
     // a duplicated delivery aliases the same immutable frame.
-    sim_->ScheduleAt(arrival, [this, handler, cpu, from, to,
-                               payload]() mutable {
-      // Re-check liveness at delivery time: the receiver may have crashed
-      // while the message was in flight.
+    sim_->ScheduleAt(arrival, [this, from, to, payload]() mutable {
+      // Re-resolve the node at delivery time: the receiver may have crashed
+      // while the message was in flight, or been replaced by a restart (the
+      // entry captured at send time would dangle).
       auto it = nodes_.find(to);
       if (it == nodes_.end() || !it->second.up) return;
-      if (cpu != nullptr) {
-        cpu->SubmitMessage(handler, from, std::move(payload));
+      if (it->second.cpu != nullptr) {
+        it->second.cpu->SubmitMessage(it->second.handler, from,
+                                      std::move(payload));
       } else {
-        handler->OnMessage(from, std::move(payload));
+        it->second.handler->OnMessage(from, std::move(payload));
       }
     });
   }

@@ -72,6 +72,10 @@ class NodeCpu : public CpuMeter {
   void SubmitMessage(MessageHandler* handler, PrincipalId from,
                      Payload payload);
 
+  /// Drop all queued work. Used when a node is unregistered: queued tasks
+  /// hold raw handler pointers that die with the node's replica.
+  void Clear() { queue_.clear(); }
+
   /// Account CPU time to the currently running task.
   void Charge(SimTime cost) override {
     if (cost > 0) busy_until_ += cost;
@@ -140,6 +144,14 @@ class SimNetwork : public Transport {
   /// Transport: AddNode with a network-owned NodeCpu when `metered`.
   CpuMeter* Register(PrincipalId id, Zone zone, MessageHandler* handler,
                      bool metered) override;
+
+  /// Forget a node so its id can be registered again (a replica restart
+  /// replaces the process behind the same principal). The node's CPU queue
+  /// is cleared; its CPU object stays alive so already-scheduled drain
+  /// events are harmless no-ops, and in-flight messages re-resolve the
+  /// node entry at delivery time (reaching the new incarnation, exactly as
+  /// a rebooted machine's NIC would).
+  void Unregister(PrincipalId id);
 
   /// Send `payload` from `from` to `to`. Departure waits for the sender's
   /// CPU; delivery is submitted to the receiver's CPU queue. The payload is

@@ -163,6 +163,14 @@ ScenarioBuilder& ScenarioBuilder::Sweep(std::vector<int> client_counts) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::Durability(int fsync_interval,
+                                             int64_t segment_bytes) {
+  spec_.durability.enabled = true;
+  spec_.durability.fsync_interval = fsync_interval;
+  spec_.durability.segment_bytes = segment_bytes;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::CrashAt(SimTime at, int replica) {
   ScenarioEvent event;
   event.at = at;
@@ -221,6 +229,46 @@ ScenarioBuilder& ScenarioBuilder::HealCloudsAt(SimTime at) {
   ScenarioEvent event;
   event.at = at;
   event.kind = EventKind::kHealClouds;
+  spec_.schedule.push_back(event);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::RestartAt(SimTime at, int replica) {
+  ScenarioEvent event;
+  event.at = at;
+  event.kind = EventKind::kRestart;
+  event.replica = replica;
+  spec_.schedule.push_back(event);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::PowerLossAt(SimTime at, int replica) {
+  ScenarioEvent event;
+  event.at = at;
+  event.kind = EventKind::kPowerLoss;
+  event.replica = replica;
+  spec_.schedule.push_back(event);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::TruncateLogAt(SimTime at, int replica,
+                                                int64_t bytes_from_end) {
+  ScenarioEvent event;
+  event.at = at;
+  event.kind = EventKind::kTruncateLog;
+  event.replica = replica;
+  event.arg = bytes_from_end;
+  spec_.schedule.push_back(event);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::CorruptLogAt(SimTime at, int replica,
+                                               int64_t offset_from_end) {
+  ScenarioEvent event;
+  event.at = at;
+  event.kind = EventKind::kCorruptLog;
+  event.replica = replica;
+  event.arg = offset_from_end;
   spec_.schedule.push_back(event);
   return *this;
 }

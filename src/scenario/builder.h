@@ -74,6 +74,11 @@ class ScenarioBuilder {
   ScenarioBuilder& CheckConvergence();
   ScenarioBuilder& Sweep(std::vector<int> client_counts);
 
+  /// --- durability ----------------------------------------------------------
+  /// Enable the durable WAL + snapshot store on every replica.
+  ScenarioBuilder& Durability(int fsync_interval = 1,
+                              int64_t segment_bytes = 64 * 1024);
+
   /// --- schedule ------------------------------------------------------------
   ScenarioBuilder& CrashAt(SimTime at, int replica);
   ScenarioBuilder& RecoverAt(SimTime at, int replica);
@@ -82,6 +87,12 @@ class ScenarioBuilder {
   ScenarioBuilder& CrashPrimaryAt(SimTime at);
   ScenarioBuilder& PartitionCloudsAt(SimTime at);
   ScenarioBuilder& HealCloudsAt(SimTime at);
+  ScenarioBuilder& RestartAt(SimTime at, int replica);
+  ScenarioBuilder& PowerLossAt(SimTime at, int replica);
+  ScenarioBuilder& TruncateLogAt(SimTime at, int replica,
+                                 int64_t bytes_from_end);
+  ScenarioBuilder& CorruptLogAt(SimTime at, int replica,
+                                int64_t offset_from_end);
 
   /// The spec so far, unvalidated (callers may keep editing).
   const ScenarioSpec& spec() const { return spec_; }

@@ -88,6 +88,43 @@ Status ApplyEvent(Cluster& cluster, const ScenarioEvent& event,
       state.cut_links.clear();
       return Status::Ok();
     }
+    case EventKind::kRestart: {
+      if (!cluster.replica(event.replica)->crashed()) {
+        // A runtime skip, not a spec error: crash-primary may have hit a
+        // different replica than the schedule's author expected.
+        description += " (skipped: replica not crashed)";
+        return Status::Ok();
+      }
+      Result<RestartOutcome> outcome = cluster.Restart(event.replica);
+      if (!outcome.ok()) {
+        // The refusal is the scenario's observable (corrupt-log runs assert
+        // on it); the replica stays crashed, its disk untouched.
+        description += " (refused: " + outcome.status().ToString() + ")";
+        return outcome.status();
+      }
+      description += " (restored from snapshot " +
+                     std::to_string(outcome->snapshot_seq) + ", replayed " +
+                     std::to_string(outcome->replayed_commits) +
+                     " commits, discarded " +
+                     std::to_string(outcome->truncated_bytes) +
+                     " torn bytes)";
+      return Status::Ok();
+    }
+    case EventKind::kPowerLoss:
+      cluster.PowerLoss(event.replica);
+      return Status::Ok();
+    case EventKind::kTruncateLog: {
+      const Status status = cluster.TruncateWalTail(
+          event.replica, static_cast<uint64_t>(event.arg));
+      if (!status.ok()) description += " (" + status.ToString() + ")";
+      return status;
+    }
+    case EventKind::kCorruptLog: {
+      const Status status = cluster.CorruptWalTail(
+          event.replica, static_cast<uint64_t>(event.arg));
+      if (!status.ok()) description += " (" + status.ToString() + ")";
+      return status;
+    }
   }
   return Status::Ok();
 }
@@ -105,6 +142,8 @@ Json ReplicaReport::ToJson() const {
   j.Set("messages_handled", messages_handled);
   j.Set("equivocations_detected", equivocations_detected);
   j.Set("cpu_busy_ms", cpu_busy_ms);
+  j.Set("last_executed", last_executed);
+  j.Set("state_digest", state_digest);
   return j;
 }
 
@@ -170,6 +209,10 @@ ClusterOptions ToClusterOptions(const ScenarioSpec& spec) {
   options.costs = spec.costs;
   options.seed = spec.seed;
   options.client_retransmit_timeout = spec.client_retransmit_timeout;
+  options.durability.enabled = spec.durability.enabled;
+  options.durability.fsync_interval = spec.durability.fsync_interval;
+  options.durability.segment_bytes =
+      static_cast<uint32_t>(spec.durability.segment_bytes);
   if (spec.state_machine == StateMachineKind::kLedger) {
     options.state_machine_factory = [] {
       return std::make_unique<LedgerStateMachine>();
@@ -326,6 +369,8 @@ Result<ScenarioReport> RunScenario(const ScenarioSpec& spec,
     r.messages_handled = replica->stats().messages_handled;
     r.equivocations_detected = replica->stats().equivocations_detected;
     r.cpu_busy_ms = ToMillis(cluster.replica(i)->cpu()->total_busy());
+    r.last_executed = replica->exec().last_executed();
+    r.state_digest = replica->exec().StateDigest().ToHex();
     report.total_cpu_busy_ms += r.cpu_busy_ms;
     report.replicas.push_back(r);
   }

@@ -39,6 +39,11 @@ struct ReplicaReport {
   /// voter per slot/phase).
   uint64_t equivocations_detected = 0;
   double cpu_busy_ms = 0.0;
+  /// Final execution frontier and state digest (hex) — what the restart
+  /// scenarios compare between a kill-and-restart replica and its
+  /// kill-and-rejoin twin.
+  uint64_t last_executed = 0;
+  std::string state_digest;
 
   Json ToJson() const;
 };

@@ -182,6 +182,14 @@ const char* EventKindToken(EventKind kind) {
       return "partition-clouds";
     case EventKind::kHealClouds:
       return "heal-clouds";
+    case EventKind::kRestart:
+      return "restart";
+    case EventKind::kPowerLoss:
+      return "power-loss";
+    case EventKind::kTruncateLog:
+      return "truncate-log";
+    case EventKind::kCorruptLog:
+      return "corrupt-log";
   }
   return "?";
 }
@@ -193,7 +201,8 @@ Result<EventKind> EventKindFromToken(const std::string& token) {
   return Status::InvalidArgument(
       "unknown event kind: \"" + token +
       "\" (expected crash | recover | byzantine | switch | crash-primary | "
-      "partition-clouds | heal-clouds)");
+      "partition-clouds | heal-clouds | restart | power-loss | truncate-log "
+      "| corrupt-log)");
 }
 
 const std::vector<EventKind>& AllEventKinds() {
@@ -201,7 +210,9 @@ const std::vector<EventKind>& AllEventKinds() {
       EventKind::kCrash,        EventKind::kRecover,
       EventKind::kByzantine,    EventKind::kSwitch,
       EventKind::kCrashPrimary, EventKind::kPartitionClouds,
-      EventKind::kHealClouds};
+      EventKind::kHealClouds,   EventKind::kRestart,
+      EventKind::kPowerLoss,    EventKind::kTruncateLog,
+      EventKind::kCorruptLog};
   return kAll;
 }
 

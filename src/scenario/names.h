@@ -41,6 +41,11 @@ enum class EventKind : uint8_t {
   kCrashPrimary = 5,     // crash whoever is primary at event time
   kPartitionClouds = 6,  // cut every private<->public replica link
   kHealClouds = 7,       // restore the links cut by kPartitionClouds
+  /// The durability events (storage/; require spec.durability.enabled):
+  kRestart = 8,      // rebuild crashed replica `replica` from its disk
+  kPowerLoss = 9,    // crash `replica` AND roll its disk to durable state
+  kTruncateLog = 10, // chop `arg` bytes off the crashed replica's WAL tail
+  kCorruptLog = 11,  // flip a bit `arg` bytes before the WAL tail end
 };
 
 /// --- protocol kind ("seemore" | "cft" | "bft" | "supright") --------------
@@ -70,7 +75,8 @@ Result<StateMachineKind> StateMachineKindFromToken(const std::string& token);
 const std::vector<StateMachineKind>& AllStateMachineKinds();
 
 /// --- schedule event ("crash" | "recover" | "byzantine" | "switch" |
-/// "crash-primary" | "partition-clouds" | "heal-clouds") -------------------
+/// "crash-primary" | "partition-clouds" | "heal-clouds" | "restart" |
+/// "power-loss" | "truncate-log" | "corrupt-log") --------------------------
 const char* EventKindToken(EventKind kind);
 Result<EventKind> EventKindFromToken(const std::string& token);
 const std::vector<EventKind>& AllEventKinds();

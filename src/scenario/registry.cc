@@ -224,6 +224,96 @@ ScenarioSpec CrossCloudPartition() {
   return builder.spec();
 }
 
+/// The kill-restart / kill-rejoin twins differ in exactly one schedule
+/// event: the comeback replica is either a FRESH process rebuilt from its
+/// durable WAL + snapshot store (restart) or the crashed process resuming
+/// with its memory intact (rejoin). With fsync_interval 1 and a process
+/// kill (which loses no appended bytes), the restored state must be
+/// behaviorally identical to the retained one — tests/recovery_test.cc
+/// asserts the pair agrees on verdicts and final state digests.
+ScenarioSpec KillComeback(bool durable_restart, int replica,
+                          const std::string& role, uint64_t seed) {
+  ScenarioBuilder builder(PaperBaseSpec(seed));
+  const std::string kind = durable_restart ? "kill-restart-" : "kill-rejoin-";
+  const std::string comeback =
+      durable_restart
+          ? "a fresh process restores it from the durable WAL + snapshots"
+          : "the same process rejoins with its memory intact";
+  builder.Name(kind + role)
+      .Description("Lion " + role + " (replica " + std::to_string(replica) +
+                   ") is killed mid-load and " + comeback +
+                   "; agreement and convergence must hold, and the twin "
+                   "scenario (kill-" +
+                   std::string(durable_restart ? "rejoin" : "restart") + "-" +
+                   role + ") must end in the same state")
+      .SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Clients(16)
+      .Kv(128, 0.5)
+      .CheckpointPeriod(64)
+      // One oversized segment: the run never rolls the log, so the compacted
+      // WAL a restart leaves behind and the longer WAL a rejoin keeps charge
+      // identical append costs from the comeback on.
+      .Durability(/*fsync_interval=*/1, /*segment_bytes=*/1 << 20)
+      .CrashAt(Millis(60), replica);
+  if (durable_restart) {
+    builder.RestartAt(Millis(280), replica);
+  } else {
+    builder.RecoverAt(Millis(280), replica);
+  }
+  builder.Warmup(Millis(100))
+      .Measure(Millis(500))
+      .Drain(Millis(400))
+      .CheckConvergence();
+  return builder.spec();
+}
+
+ScenarioSpec PowerLossCheckpoint() {
+  ScenarioBuilder builder(PaperBaseSpec(/*seed=*/79));
+  builder.Name("power-loss-checkpoint")
+      .Description(
+          "Replica 1 loses power mid-run with batched fsyncs (interval 64), "
+          "so its disk rolls back to the durable frontier and the log tail "
+          "is torn; the restart must truncate the torn tail, restore the "
+          "newest intact snapshot, replay what survived and rejoin without "
+          "divergence")
+      .SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Clients(16)
+      .Kv(128, 0.5)
+      .CheckpointPeriod(32)
+      .Durability(/*fsync_interval=*/64)
+      .PowerLossAt(Millis(150), 1)
+      .RestartAt(Millis(300), 1)
+      .Warmup(Millis(100))
+      .Measure(Millis(500))
+      .Drain(Millis(400))
+      .CheckConvergence();
+  return builder.spec();
+}
+
+ScenarioSpec WalCorruptionRefusal() {
+  ScenarioBuilder builder(PaperBaseSpec(/*seed=*/83));
+  builder.Name("wal-corruption-refusal")
+      .Description(
+          "A public proxy is killed and a bit deep in its WAL is flipped "
+          "while it is down; the restart must be REFUSED with a typed "
+          "corruption error (valid records past the damage prove bytes were "
+          "altered, not torn), the replica stays dead, and the cluster "
+          "finishes without it")
+      .SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Clients(16)
+      .Kv(128, 0.5)
+      .CheckpointPeriod(64)
+      .Durability(/*fsync_interval=*/1)
+      .CrashAt(Millis(80), 2)
+      .CorruptLogAt(Millis(120), 2, /*offset_from_end=*/2048)
+      .RestartAt(Millis(200), 2)
+      .Warmup(Millis(100))
+      .Measure(Millis(500))
+      .Drain(Millis(400))
+      .CheckConvergence();
+  return builder.spec();
+}
+
 const std::vector<NamedScenario>& AllScenarios() {
   static const std::vector<NamedScenario> kScenarios = [] {
     std::vector<std::function<ScenarioSpec()>> factories;
@@ -236,6 +326,24 @@ const std::vector<NamedScenario>& AllScenarios() {
     factories.push_back(ViewChangeStress);
     factories.push_back(ModeSwitchStorm);
     factories.push_back(CrossCloudPartition);
+    factories.push_back([] {
+      return KillComeback(/*durable_restart=*/true, /*replica=*/0, "primary",
+                          /*seed=*/71);
+    });
+    factories.push_back([] {
+      return KillComeback(/*durable_restart=*/false, /*replica=*/0, "primary",
+                          /*seed=*/71);
+    });
+    factories.push_back([] {
+      return KillComeback(/*durable_restart=*/true, /*replica=*/1, "backup",
+                          /*seed=*/73);
+    });
+    factories.push_back([] {
+      return KillComeback(/*durable_restart=*/false, /*replica=*/1, "backup",
+                          /*seed=*/73);
+    });
+    factories.push_back(PowerLossCheckpoint);
+    factories.push_back(WalCorruptionRefusal);
     // The registry entry is derived from the spec each factory actually
     // produces, so the listed name/description can never drift from what
     // FindScenario returns (and what reports record).

@@ -1,5 +1,6 @@
 #include "scenario/spec.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 
@@ -70,6 +71,23 @@ std::string ScenarioEvent::ToString() const {
       break;
     case EventKind::kHealClouds:
       text += "heal the cross-cloud partition";
+      break;
+    case EventKind::kRestart:
+      text += "restart replica " + std::to_string(replica) +
+              " from durable storage";
+      break;
+    case EventKind::kPowerLoss:
+      text += "power loss at replica " + std::to_string(replica) +
+              " (disk rolls back to its durable state)";
+      break;
+    case EventKind::kTruncateLog:
+      text += "truncate replica " + std::to_string(replica) +
+              "'s wal tail by " + std::to_string(arg) + " bytes";
+      break;
+    case EventKind::kCorruptLog:
+      text += "flip a bit " + std::to_string(arg) +
+              " bytes before the end of replica " + std::to_string(replica) +
+              "'s wal";
       break;
   }
   return text;
@@ -144,10 +162,31 @@ Status ScenarioSpec::Validate() const {
     }
   }
 
+  if (durability.fsync_interval < 1) {
+    return Status::InvalidArgument("durability.fsync_interval must be >= 1");
+  }
+  if (durability.segment_bytes < 4096) {
+    return Status::InvalidArgument(
+        "durability.segment_bytes must be >= 4096");
+  }
+
   const int n = config.n();
   const bool hybrid = protocol == ProtocolKind::kSeeMoRe ||
                       protocol == ProtocolKind::kSUpRight;
-  for (size_t i = 0; i < schedule.size(); ++i) {
+  // Restart/tamper events only make sense against a crashed target; track
+  // which replicas the schedule has down at each point. A crash-primary
+  // crashes a replica only the run can name, so it satisfies the "something
+  // is crashed" requirement for any target.
+  std::vector<bool> down(static_cast<size_t>(n), false);
+  bool crash_primary_seen = false;
+  // Events fire in time order (ties keep schedule order — the engine
+  // schedules them that way), so the crash tracking walks that order too.
+  std::vector<size_t> order(schedule.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return schedule[a].at < schedule[b].at;
+  });
+  for (const size_t i : order) {
     const ScenarioEvent& event = schedule[i];
     const std::string where = "schedule[" + std::to_string(i) + "]";
     if (event.at < 0) {
@@ -157,6 +196,10 @@ Status ScenarioSpec::Validate() const {
       case EventKind::kCrash:
       case EventKind::kRecover:
       case EventKind::kByzantine:
+      case EventKind::kRestart:
+      case EventKind::kPowerLoss:
+      case EventKind::kTruncateLog:
+      case EventKind::kCorruptLog:
         if (event.replica < 0 || event.replica >= n) {
           return Status::InvalidArgument(
               where + ": replica " + std::to_string(event.replica) +
@@ -168,6 +211,53 @@ Status ScenarioSpec::Validate() const {
       case EventKind::kPartitionClouds:
       case EventKind::kHealClouds:
         break;
+    }
+    switch (event.kind) {
+      case EventKind::kCrash:
+      case EventKind::kPowerLoss:
+        down[static_cast<size_t>(event.replica)] = true;
+        break;
+      case EventKind::kCrashPrimary:
+        crash_primary_seen = true;
+        break;
+      case EventKind::kRecover:
+      case EventKind::kRestart:
+        if (event.kind == EventKind::kRestart &&
+            !down[static_cast<size_t>(event.replica)] &&
+            !crash_primary_seen) {
+          return Status::InvalidArgument(
+              where + ": restart of replica " +
+              std::to_string(event.replica) +
+              " without a preceding crash or power-loss (a restart replaces "
+              "a crashed process)");
+        }
+        down[static_cast<size_t>(event.replica)] = false;
+        break;
+      case EventKind::kTruncateLog:
+      case EventKind::kCorruptLog:
+        if (!down[static_cast<size_t>(event.replica)] &&
+            !crash_primary_seen) {
+          return Status::InvalidArgument(
+              where + ": wal tampering of replica " +
+              std::to_string(event.replica) +
+              " without a preceding crash or power-loss (the log is only "
+              "tamperable while its replica is down)");
+        }
+        if (event.arg < 0) {
+          return Status::InvalidArgument(where + ": arg must be >= 0");
+        }
+        break;
+      default:
+        break;
+    }
+    if ((event.kind == EventKind::kRestart ||
+         event.kind == EventKind::kPowerLoss ||
+         event.kind == EventKind::kTruncateLog ||
+         event.kind == EventKind::kCorruptLog) &&
+        !durability.enabled) {
+      return Status::InvalidArgument(
+          where + ": " + std::string(EventKindToken(event.kind)) +
+          " requires durability.enabled");
     }
     if (event.kind == EventKind::kByzantine) {
       if ((event.byz_flags & ~ValidByzMask()) != 0) {
@@ -247,6 +337,9 @@ Json ScenarioSpec::ToJson() const {
   cost.Set("hash_per_kib_us", ToWholeMicros(costs.hash_per_kib));
   cost.Set("hash_fixed_us", ToWholeMicros(costs.hash_fixed));
   cost.Set("execute_us", ToWholeMicros(costs.execute));
+  cost.Set("fsync_us", ToWholeMicros(costs.fsync));
+  cost.Set("storage_write_per_kib_us",
+           ToWholeMicros(costs.storage_write_per_kib));
   root.Set("costs", std::move(cost));
 
   Json work = Json::Object();
@@ -269,6 +362,12 @@ Json ScenarioSpec::ToJson() const {
   measurement.Set("sweep_clients", std::move(sweep));
   root.Set("measurement", std::move(measurement));
 
+  Json durable = Json::Object();
+  durable.Set("enabled", durability.enabled);
+  durable.Set("fsync_interval", durability.fsync_interval);
+  durable.Set("segment_bytes", durability.segment_bytes);
+  root.Set("durability", std::move(durable));
+
   Json events = Json::Array();
   for (const ScenarioEvent& event : schedule) {
     Json e = Json::Object();
@@ -289,6 +388,15 @@ Json ScenarioSpec::ToJson() const {
       case EventKind::kCrashPrimary:
       case EventKind::kPartitionClouds:
       case EventKind::kHealClouds:
+        break;
+      case EventKind::kRestart:
+      case EventKind::kPowerLoss:
+        e.Set("replica", event.replica);
+        break;
+      case EventKind::kTruncateLog:
+      case EventKind::kCorruptLog:
+        e.Set("replica", event.replica);
+        e.Set("arg", event.arg);
         break;
     }
     events.Append(std::move(e));
@@ -388,6 +496,9 @@ Result<ScenarioSpec> ScenarioSpec::FromJson(const Json& json) {
         ReadTime(reader, "hash_fixed_us", &spec.costs.hash_fixed));
     SEEMORE_RETURN_IF_ERROR(ReadTime(reader, "execute_us",
                                      &spec.costs.execute));
+    SEEMORE_RETURN_IF_ERROR(ReadTime(reader, "fsync_us", &spec.costs.fsync));
+    SEEMORE_RETURN_IF_ERROR(ReadTime(reader, "storage_write_per_kib_us",
+                                     &spec.costs.storage_write_per_kib));
     SEEMORE_RETURN_IF_ERROR(reader.Finish("costs"));
   }
 
@@ -432,6 +543,17 @@ Result<ScenarioSpec> ScenarioSpec::FromJson(const Json& json) {
     SEEMORE_RETURN_IF_ERROR(reader.Finish("measurement"));
   }
 
+  if (const Json* durable = root.Get("durability")) {
+    JsonObjectReader reader(*durable);
+    SEEMORE_RETURN_IF_ERROR(
+        reader.ReadBool("enabled", &spec.durability.enabled));
+    SEEMORE_RETURN_IF_ERROR(
+        reader.ReadInt("fsync_interval", &spec.durability.fsync_interval));
+    SEEMORE_RETURN_IF_ERROR(
+        reader.ReadInt("segment_bytes", &spec.durability.segment_bytes));
+    SEEMORE_RETURN_IF_ERROR(reader.Finish("durability"));
+  }
+
   if (const Json* events = root.Get("schedule")) {
     if (!events->is_array()) {
       return Status::InvalidArgument("schedule must be an array");
@@ -463,6 +585,7 @@ Result<ScenarioSpec> ScenarioSpec::FromJson(const Json& json) {
         SEEMORE_ASSIGN_OR_RETURN(event.target_mode,
                                  SeeMoReModeFromToken(mode_token));
       }
+      SEEMORE_RETURN_IF_ERROR(reader.ReadInt("arg", &event.arg));
       SEEMORE_RETURN_IF_ERROR(reader.Finish(where));
       spec.schedule.push_back(event);
     }

@@ -64,9 +64,21 @@ struct ScenarioEvent {
   int replica = 0;                             // crash / recover / byzantine
   uint32_t byz_flags = 0;                      // byzantine
   SeeMoReMode target_mode = SeeMoReMode::kLion;  // switch
+  /// truncate-log: bytes chopped off the WAL tail; corrupt-log: bit-flip
+  /// offset counted back from the WAL tail end.
+  int64_t arg = 0;
 
   /// "t=30ms crash replica 2" — used by reports and seemore_ctl.
   std::string ToString() const;
+};
+
+/// The durable-storage knobs a scenario runs with. Mirrors
+/// DurabilityOptions (storage/durable_store.h); off by default so every
+/// pre-durability spec behaves bit-identically.
+struct DurabilitySpec {
+  bool enabled = false;
+  int fsync_interval = 1;
+  int64_t segment_bytes = 64 * 1024;
 };
 
 /// When to measure and what to record. The run is warmup + measure (client
@@ -104,6 +116,7 @@ struct ScenarioSpec {
   StateMachineKind state_machine = StateMachineKind::kKvStore;
   WorkloadSpec workload;
   MeasurementPlan plan;
+  DurabilitySpec durability;
   std::vector<ScenarioEvent> schedule;
 
   /// ClusterConfig with the -1 topology defaults resolved (see TopologySpec).

@@ -197,6 +197,7 @@ void SeeMoReReplica::PrimaryEnqueue(Request request) {
 }
 
 void SeeMoReReplica::TryPropose() {
+  if (proposer_quiesced()) return;
   while (pipeline_.CanOpen(log_.UncommittedSlots()) &&
          pipeline_.next_seq() <= ckpt_.stable_seq() + window_) {
     auto [seq, batch] = pipeline_.Open();
@@ -621,6 +622,7 @@ void SeeMoReReplica::MaybeCheckpoint() {
   Bytes snapshot = exec_.Snapshot();
   ChargeHash(snapshot.size());
   const Digest digest = Digest::Of(snapshot);
+  durable().SaveSnapshot(executed, digest, snapshot);
   ckpt_.Buffer(executed, digest, std::move(snapshot));
 
   // Lion/Dog: only the trusted primary's signed checkpoint certifies
@@ -705,6 +707,7 @@ bool SeeMoReReplica::VerifyCheckpointCert(const CheckpointCert& cert) const {
 void SeeMoReReplica::AdvanceStable(uint64_t seq, const Digest& digest,
                                    CheckpointCert cert, PrincipalId helper) {
   if (seq <= ckpt_.stable_seq()) return;
+  durable().NoteStable(seq, cert);
   const bool installed = ckpt_.Advance(seq, digest, std::move(cert));
   if (!installed && exec_.last_executed() < seq && helper != id_) {
     RequestStateFrom(helper);
@@ -747,9 +750,41 @@ void SeeMoReReplica::HandleStateResponse(PrincipalId from,
   const uint64_t seq = cert.seq();
   if (!exec_.Restore(snapshot, seq).ok()) return;
   const Digest digest = cert.state_digest();
+  // A state transfer is also a durability event: without persisting the
+  // received checkpoint, a later restart would replay a log with a hole
+  // below it and come back needlessly far behind.
+  durable().SaveSnapshot(seq, digest, snapshot);
+  durable().NoteStable(seq, cert);
   ckpt_.InstallRestored(seq, digest, std::move(cert), std::move(snapshot));
   log_.Reclaim(seq);
   NoteCheckpointGc();  // scratch arena rewinds at the next message boundary
+}
+
+void SeeMoReReplica::OnDurableRestore(const RecoveredImage& image) {
+  // Rejoin in the last durably-entered view: voting in an older view after
+  // a restart could double-vote against the pre-crash incarnation.
+  if (image.has_view) {
+    view_ = image.view;
+    mode_ = static_cast<SeeMoReMode>(image.mode);
+  }
+  // The newest CERTIFIED checkpoint restores as stable; newer certless
+  // snapshots re-enter the tracker as buffered, exactly as on the cutting
+  // path, so the stability vote flow resumes where it stopped.
+  if (const storage::RecoveredSnapshot* stable = image.LatestStable()) {
+    ckpt_.InstallRestored(stable->seq, stable->digest, stable->cert,
+                          stable->bytes);
+    log_.Reclaim(stable->seq);
+  }
+  for (const auto& snap : image.snapshots) {
+    if (snap.seq > ckpt_.stable_seq()) {
+      ckpt_.Buffer(snap.seq, snap.digest, snap.bytes);
+    }
+  }
+  if (const storage::RecoveredSnapshot* latest = image.Latest()) {
+    if (latest->seq > ckpt_.last_checkpoint_seq()) {
+      ckpt_.NoteTaken(latest->seq);
+    }
+  }
 }
 
 }  // namespace seemore

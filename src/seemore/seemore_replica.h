@@ -80,6 +80,7 @@ class SeeMoReReplica : public ReplicaBase {
 
  protected:
   void HandleMessage(PrincipalId from, const Payload& frame) override;
+  void OnDurableRestore(const RecoveredImage& image) override;
 
  private:
   /// A validated VIEW-CHANGE message, indexed for new-view computation.

@@ -726,6 +726,8 @@ void SeeMoReReplica::HandleModeChange(PrincipalId from, SmModeChangeMsg msg) {
 void SeeMoReReplica::EnterView(uint64_t view, SeeMoReMode mode) {
   view_ = view;
   mode_ = mode;
+  ClearProposerQuiescence();
+  durable().NoteView(view, static_cast<uint8_t>(mode));
   in_view_change_ = false;
   vc_target_ = 0;
   CancelTimer(view_timer_);

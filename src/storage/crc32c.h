@@ -1,0 +1,35 @@
+// CRC32C (Castagnoli) — the storage layer's frame checksum.
+//
+// Chosen over plain CRC32 for the same reason LevelDB/RocksDB and the ext4
+// journal use it: the polynomial has better error-detection properties for
+// short records and x86 has carried a dedicated instruction for it since
+// SSE4.2. Runtime dispatch follows crypto/sha256_simd.cc: a portable table
+// implementation always exists, the hardware path is selected once per
+// process. Both produce identical values, so recovery decisions never depend
+// on the host CPU.
+
+#ifndef SEEMORE_STORAGE_CRC32C_H_
+#define SEEMORE_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seemore {
+namespace storage {
+
+/// CRC of `len` bytes starting from the all-ones seed (the conventional
+/// one-shot form; output is post-inverted).
+uint32_t Crc32c(const uint8_t* data, size_t len);
+
+/// Streaming form: extend a previous Crc32c() value with more bytes, as if
+/// the two buffers had been hashed in one call.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t len);
+
+/// True when the hardware (SSE4.2) path is in use — surfaced for tests and
+/// bench provenance, never for behaviour.
+bool Crc32cUsesHardware();
+
+}  // namespace storage
+}  // namespace seemore
+
+#endif  // SEEMORE_STORAGE_CRC32C_H_

@@ -1,0 +1,15 @@
+#include "storage/durable_store.h"
+
+namespace seemore {
+
+namespace {
+/// All hooks inherited as no-ops; enabled() stays false.
+class NullDurableStore final : public DurableStore {};
+}  // namespace
+
+DurableStore* DurableStore::Null() {
+  static NullDurableStore null_store;
+  return &null_store;
+}
+
+}  // namespace seemore

@@ -1,0 +1,92 @@
+// DurableStore backed by a StorageMedium: WAL + snapshot store + recovery.
+//
+// WAL record payloads (u8 type tag first):
+//   kWalCommit: tag | seq varint | batch wire encoding
+//   kWalView:   tag | view varint | mode u8
+//
+// Every segment opened after the first NoteView begins with a view record
+// restating the current (view, mode), so stable-checkpoint GC of older
+// segments can never lose the last view entered (the open segment always
+// carries a copy).
+//
+// Restart sequence (Cluster::Restart):
+//   1. Recover(medium)      — read-only scan; kCorruption refuses restart.
+//   2. OpenAfterRecovery()  — compact: damaged snapshots and the old
+//      segments are deleted, a fresh WAL is seeded with the current view
+//      and the commits above the newest snapshot, then synced. Replay
+//      input lives entirely in the image, so this rewrite never
+//      un-commits anything recovery reported.
+//   3. ReplicaBase::RestoreFromImage(image) rebuilds the in-memory state.
+
+#ifndef SEEMORE_STORAGE_FILE_STORE_H_
+#define SEEMORE_STORAGE_FILE_STORE_H_
+
+#include "net/cost_model.h"
+#include "storage/durable_store.h"
+#include "storage/medium.h"
+#include "storage/snapshot_store.h"
+#include "storage/wal.h"
+
+namespace seemore {
+namespace storage {
+
+enum WalRecordType : uint8_t {
+  kWalCommit = 1,
+  kWalView = 2,
+};
+
+class FileDurableStore final : public DurableStore {
+ public:
+  /// `medium` outlives the store; `options.enabled` must be true.
+  FileDurableStore(StorageMedium* medium, const DurabilityOptions& options,
+                   const CostModel& costs);
+
+  /// Read-only recovery: scan WAL + snapshots into an image. The single
+  /// typed failure is kCorruption (mid-log damage); torn tails and damaged
+  /// snapshots degrade gracefully and are counted in the image.
+  static Result<RecoveredImage> Recover(const StorageMedium& medium);
+
+  /// Start with an empty medium (a brand-new replica).
+  Status OpenFresh();
+  /// Start over a recovered medium (see the restart sequence above).
+  Status OpenAfterRecovery(const RecoveredImage& image);
+
+  bool enabled() const override { return true; }
+  void BindCpu(CpuMeter* cpu) override { cpu_ = cpu; }
+
+  void AppendCommit(uint64_t seq, const Batch& batch) override;
+  void NoteView(uint64_t view, uint8_t mode) override;
+  void SaveSnapshot(uint64_t seq, const Digest& digest,
+                    const Bytes& snapshot) override;
+  void NoteStable(uint64_t seq, const CheckpointCert& cert) override;
+
+  const WriteAheadLog& wal() const { return wal_; }
+
+ private:
+  /// Frame-and-append plus cost accounting (write cost per KiB now, fsync
+  /// cost whenever the append crossed a sync boundary).
+  void Append(const Bytes& payload, uint64_t watermark);
+  void Charge(SimTime cost) {
+    if (cpu_ != nullptr) cpu_->Charge(cost);
+  }
+  void ChargeSyncDelta();
+  Bytes EncodeViewRecord() const;
+
+  StorageMedium* medium_;
+  const DurabilityOptions options_;
+  const CostModel costs_;
+  WriteAheadLog wal_;
+  SnapshotStore snapshots_;
+  CpuMeter* cpu_ = nullptr;  // bound by AttachDurable; null during recovery
+  uint64_t charged_syncs_ = 0;
+  uint64_t charged_segments_ = 0;
+  bool has_view_ = false;
+  uint64_t view_ = 0;
+  uint8_t mode_ = 0;
+  uint64_t last_commit_seq_ = 0;
+};
+
+}  // namespace storage
+}  // namespace seemore
+
+#endif  // SEEMORE_STORAGE_FILE_STORE_H_

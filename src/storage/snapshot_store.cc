@@ -1,0 +1,134 @@
+#include "storage/snapshot_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "storage/crc32c.h"
+
+namespace seemore {
+namespace storage {
+namespace {
+
+std::string SeqFileName(const char* prefix, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s-%016llx", prefix,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Frame `body` as magic | crc | body and write it as `name`.
+Status WriteGuarded(StorageMedium* medium, const std::string& name,
+                    uint32_t magic, const Bytes& body) {
+  Encoder enc;
+  enc.Reserve(8 + body.size());
+  enc.PutU32(magic);
+  enc.PutU32(Crc32c(body.data(), body.size()));
+  enc.PutRaw(body);
+  return medium->Append(name, enc.Take());
+}
+
+/// Validate magic + CRC and return the body, or nothing (damaged files are
+/// skipped, never fatal — see the header comment).
+bool ReadGuarded(const StorageMedium& medium, const std::string& name,
+                 uint32_t magic, Bytes* body) {
+  Result<Bytes> read = medium.ReadFile(name);
+  if (!read.ok() || read->size() < 8) return false;
+  Decoder dec(read->data(), 8);
+  if (dec.GetU32() != magic) return false;
+  const uint32_t stored_crc = dec.GetU32();
+  if (!dec.ok()) return false;
+  if (Crc32c(read->data() + 8, read->size() - 8) != stored_crc) return false;
+  body->assign(read->begin() + 8, read->end());
+  return true;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t seq) { return SeqFileName("snap", seq); }
+std::string CertFileName(uint64_t seq) { return SeqFileName("cert", seq); }
+
+Status SnapshotStore::Save(uint64_t seq, const Digest& digest,
+                           const Bytes& snapshot) {
+  const std::string name = SnapshotFileName(seq);
+  if (medium_->Exists(name)) return Status::Ok();  // cuts are idempotent
+  Encoder body;
+  body.Reserve(VarintSize(seq) + Digest::kSize + snapshot.size());
+  body.PutVarint(seq);
+  digest.EncodeTo(body);
+  body.PutRaw(snapshot);
+  return WriteGuarded(medium_, name, kSnapMagic, body.bytes());
+}
+
+Status SnapshotStore::SaveCert(uint64_t seq, const CheckpointCert& cert) {
+  const std::string name = CertFileName(seq);
+  if (medium_->Exists(name)) return Status::Ok();
+  Encoder body;
+  body.PutVarint(seq);
+  cert.EncodeTo(body);
+  return WriteGuarded(medium_, name, kCertMagic, body.bytes());
+}
+
+Status SnapshotStore::SyncAt(uint64_t seq) {
+  const std::string snap = SnapshotFileName(seq);
+  if (medium_->Exists(snap)) {
+    SEEMORE_RETURN_IF_ERROR(medium_->Sync(snap));
+  }
+  const std::string cert = CertFileName(seq);
+  if (medium_->Exists(cert)) {
+    SEEMORE_RETURN_IF_ERROR(medium_->Sync(cert));
+  }
+  return Status::Ok();
+}
+
+Status SnapshotStore::GcBelow(uint64_t seq) {
+  for (const char* prefix : {"snap-", "cert-"}) {
+    for (const std::string& name : medium_->List(prefix)) {
+      const uint64_t file_seq =
+          std::strtoull(name.c_str() + 5, nullptr, 16);
+      if (file_seq < seq) {
+        SEEMORE_RETURN_IF_ERROR(medium_->Remove(name));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<RecoveredSnapshot> SnapshotStore::LoadAll(
+    const StorageMedium& medium, uint64_t* skipped) {
+  std::vector<RecoveredSnapshot> out;
+  uint64_t damaged = 0;
+  for (const std::string& name : medium.List("snap-")) {
+    Bytes body;
+    if (!ReadGuarded(medium, name, kSnapMagic, &body)) {
+      ++damaged;
+      continue;
+    }
+    RecoveredSnapshot snap;
+    Decoder dec(body);
+    snap.seq = dec.GetVarint();
+    snap.digest = Digest::DecodeFrom(dec);
+    snap.bytes.assign(body.begin() + dec.pos(), body.end());
+    if (!dec.ok() || SnapshotFileName(snap.seq) != name) {
+      ++damaged;
+      continue;
+    }
+    Bytes cert_body;
+    if (ReadGuarded(medium, CertFileName(snap.seq), kCertMagic,
+                    &cert_body)) {
+      Decoder cert_dec(cert_body);
+      const uint64_t cert_seq = cert_dec.GetVarint();
+      Result<CheckpointCert> cert = CheckpointCert::DecodeFrom(cert_dec);
+      if (cert.ok() && cert_dec.AtEnd() && cert_seq == snap.seq) {
+        snap.cert = *std::move(cert);
+        snap.has_cert = true;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  // List() returns names sorted, and seq-in-name order IS seq order.
+  if (skipped != nullptr) *skipped = damaged;
+  return out;
+}
+
+}  // namespace storage
+}  // namespace seemore

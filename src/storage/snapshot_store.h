@@ -1,0 +1,81 @@
+// Durable checkpoint snapshots keyed by sequence number.
+//
+// Two file kinds, both single-write and CRC32C-guarded:
+//
+//   "snap-<seq:016x>"  magic u32 | crc u32 | body
+//                      body = seq varint | state digest (32B) | bytes
+//   "cert-<seq:016x>"  magic u32 | crc u32 | body
+//                      body = seq varint | CheckpointCert wire encoding
+//
+// A snap file is written whenever a protocol cuts a checkpoint (it may still
+// be buffering votes); the cert file lands when that checkpoint becomes
+// stable. Recovery treats them asymmetrically: the WAL refuses mid-log
+// corruption with a typed error, but a damaged snapshot merely falls out of
+// the candidate list — an older valid snapshot plus log replay (or, at
+// worst, live state transfer) covers for it. A half-written snapshot after
+// power loss is therefore expected, not fatal.
+
+#ifndef SEEMORE_STORAGE_SNAPSHOT_STORE_H_
+#define SEEMORE_STORAGE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consensus/checkpoint.h"
+#include "crypto/digest.h"
+#include "storage/medium.h"
+#include "util/status.h"
+
+namespace seemore {
+namespace storage {
+
+inline constexpr uint32_t kSnapMagic = 0x4E53'4D53;  // "SMSN"
+inline constexpr uint32_t kCertMagic = 0x4B43'4D53;  // "SMCK"
+
+std::string SnapshotFileName(uint64_t seq);
+std::string CertFileName(uint64_t seq);
+
+/// One durable checkpoint as reconstructed at recovery time.
+struct RecoveredSnapshot {
+  uint64_t seq = 0;
+  Digest digest;
+  Bytes bytes;
+  /// The checkpoint had become stable before the crash (cert file present
+  /// and valid). A certless snapshot restores as buffered, not stable.
+  bool has_cert = false;
+  CheckpointCert cert;
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(StorageMedium* medium) : medium_(medium) {}
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Write the snap file for `seq` (unsynced; see SyncAt).
+  Status Save(uint64_t seq, const Digest& digest, const Bytes& snapshot);
+  /// Write the cert file marking `seq` stable (unsynced).
+  Status SaveCert(uint64_t seq, const CheckpointCert& cert);
+  /// fsync the snap (and cert, when present) files of `seq`.
+  Status SyncAt(uint64_t seq);
+
+  /// Delete snap/cert files strictly below `seq`.
+  Status GcBelow(uint64_t seq);
+
+  /// Every valid snapshot on the medium, ascending by seq, certs attached.
+  /// Damaged or torn files are skipped (see the header comment); `skipped`
+  /// (optional) counts them for recovery reporting. Static because recovery
+  /// runs read-only, before any store exists.
+  static std::vector<RecoveredSnapshot> LoadAll(const StorageMedium& medium,
+                                                uint64_t* skipped = nullptr);
+
+ private:
+  StorageMedium* medium_;
+};
+
+}  // namespace storage
+}  // namespace seemore
+
+#endif  // SEEMORE_STORAGE_SNAPSHOT_STORE_H_

@@ -127,6 +127,91 @@ TEST(SpecTest, RejectsInvalidScheduleSemantics) {
   EXPECT_EQ(past.Build().status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SpecTest, RejectsInvalidRestartSchedules) {
+  // A restart replaces a crashed process; restarting a live replica is a
+  // schedule bug, caught in TIME order (the crash at 10ms does not license
+  // a restart at 5ms).
+  ScenarioBuilder no_crash;
+  no_crash.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Durability()
+      .RestartAt(Millis(5), 0)
+      .CrashAt(Millis(10), 0);
+  Result<ScenarioSpec> built = no_crash.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("without a preceding crash"),
+            std::string::npos);
+
+  // A recover consumes the crash: the replica is live again.
+  ScenarioBuilder after_recover;
+  after_recover.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Durability()
+      .CrashAt(Millis(10), 0)
+      .RecoverAt(Millis(20), 0)
+      .RestartAt(Millis(30), 0);
+  EXPECT_EQ(after_recover.Build().status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Out-of-range replica, same typed error as the other event families.
+  ScenarioBuilder oob;
+  oob.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Durability()
+      .CrashAt(Millis(10), 99)
+      .RestartAt(Millis(20), 99);
+  built = oob.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("replica 99"), std::string::npos);
+
+  // The whole restart/fault-injection family needs durability enabled.
+  ScenarioBuilder no_durability;
+  no_durability.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .CrashAt(Millis(10), 0)
+      .RestartAt(Millis(20), 0);
+  built = no_durability.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.status().message().find("durability"), std::string::npos);
+
+  // Log tampering also requires the target to be down...
+  ScenarioBuilder live_tamper;
+  live_tamper.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Durability()
+      .TruncateLogAt(Millis(10), 0, 100);
+  EXPECT_EQ(live_tamper.Build().status().code(),
+            StatusCode::kInvalidArgument);
+
+  // ...and a non-negative argument.
+  ScenarioBuilder negative_arg;
+  negative_arg.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Durability()
+      .CrashAt(Millis(10), 0)
+      .CorruptLogAt(Millis(20), 0, -1);
+  EXPECT_EQ(negative_arg.Build().status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A power loss is a crash for scheduling purposes: restart after it is
+  // legal, and the valid twin of everything above builds fine.
+  ScenarioBuilder valid;
+  valid.SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Durability(/*fsync_interval=*/64)
+      .PowerLossAt(Millis(10), 1)
+      .TruncateLogAt(Millis(15), 1, 100)
+      .RestartAt(Millis(20), 1);
+  EXPECT_TRUE(valid.Build().ok()) << valid.Build().status().ToString();
+}
+
+TEST(SpecTest, RejectsBadDurabilityKnobs) {
+  ScenarioSpec spec;
+  spec.durability.enabled = true;
+  spec.durability.fsync_interval = 0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+  spec = ScenarioSpec();
+  spec.durability.enabled = true;
+  spec.durability.segment_bytes = 1024;  // below the 4 KiB floor
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SpecTest, RejectsBadParameters) {
   ScenarioSpec spec;
   spec.net.drop_probability = 1.5;
@@ -178,7 +263,14 @@ ScenarioSpec FullyLoadedSpec() {
       .SwitchAt(Millis(40), SeeMoReMode::kPeacock)
       .CrashPrimaryAt(Millis(50))
       .PartitionCloudsAt(Millis(60))
-      .HealCloudsAt(Millis(70));
+      .HealCloudsAt(Millis(70))
+      .Durability(/*fsync_interval=*/8, /*segment_bytes=*/128 * 1024)
+      .CrashAt(Millis(75), 1)
+      .TruncateLogAt(Millis(80), 1, 128)
+      .CorruptLogAt(Millis(85), 1, 7)
+      .RestartAt(Millis(90), 1)
+      .PowerLossAt(Millis(95), 6)
+      .RestartAt(Millis(98), 6);
   return builder.spec();
 }
 
@@ -192,9 +284,15 @@ TEST(SpecJsonTest, LosslessRoundTrip) {
   // every field, including schedule order.
   EXPECT_EQ(back->ToJsonText(), text);
   EXPECT_TRUE(back->Validate().ok());
-  EXPECT_EQ(back->schedule.size(), 7u);
+  EXPECT_EQ(back->schedule.size(), 13u);
   EXPECT_EQ(back->schedule[3].target_mode, SeeMoReMode::kPeacock);
   EXPECT_EQ(back->plan.sweep_clients, (std::vector<int>{1, 8, 64}));
+  EXPECT_TRUE(back->durability.enabled);
+  EXPECT_EQ(back->durability.fsync_interval, 8);
+  EXPECT_EQ(back->durability.segment_bytes, 128 * 1024);
+  EXPECT_EQ(back->schedule[8].kind, EventKind::kTruncateLog);
+  EXPECT_EQ(back->schedule[8].arg, 128);
+  EXPECT_EQ(back->schedule[11].kind, EventKind::kPowerLoss);
 }
 
 TEST(SpecJsonTest, DefaultsRoundTripAndPartialDocsDecode) {
@@ -226,6 +324,8 @@ TEST(SpecJsonTest, RejectsUnknownFieldsEverywhere) {
   EXPECT_FALSE(ScenarioSpec::FromJsonText(
                    R"({"schedule": [{"at_us": 1, "kind": "crash", "x": 2}]})")
                    .ok());
+  EXPECT_FALSE(
+      ScenarioSpec::FromJsonText(R"({"durability": {"fsync": 1}})").ok());
 }
 
 TEST(SpecJsonTest, RejectsMalformedSchedules) {

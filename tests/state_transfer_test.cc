@@ -139,6 +139,48 @@ TEST(StateTransferTest, ReplyRetentionSurvivesStateTransfer) {
   }
 }
 
+TEST(StateTransferTest, ReplyRetentionSurvivesDurableRestart) {
+  // The disk path of the retention invariant above: the victim is rebuilt
+  // from its own durable snapshot store (Cluster::Restart), then catches
+  // up. Retention state travels inside snapshot bytes, so a replica
+  // restored from disk must evict on exactly the donor's schedule too —
+  // digest equality at equal frontiers would break if the restored engine
+  // guessed any entry's last-execution seq.
+  ClusterOptions options = SeeMoReOptions(SeeMoReMode::kLion, 1, 1);
+  options.config.checkpoint_period = 8;
+  options.config.reply_cache_retention = 32;
+  options.durability.enabled = true;
+  options.durability.fsync_interval = 1;
+  Cluster cluster(options);
+  RunBurst(cluster, 4, Millis(300));
+  cluster.Crash(4);
+  RunBurst(cluster, 4, Millis(400));
+  const uint64_t progress = cluster.seemore(0)->last_executed();
+  ASSERT_GT(progress, 30u);
+
+  Result<RestartOutcome> outcome = cluster.Restart(4);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_GT(outcome->snapshot_seq, 0u);  // restored from a durable snapshot
+
+  RunBurst(cluster, 4, Millis(500));
+  cluster.sim().RunUntil(cluster.sim().now() + Millis(200));
+  EXPECT_GT(cluster.seemore(4)->last_executed(), progress);
+  for (int i = 0; i < cluster.n(); ++i) {
+    EXPECT_LE(cluster.replica(i)->exec().reply_cache_size(), 8u)
+        << "replica " << i;
+    for (int j = i + 1; j < cluster.n(); ++j) {
+      if (cluster.seemore(i)->last_executed() !=
+          cluster.seemore(j)->last_executed()) {
+        continue;
+      }
+      EXPECT_EQ(cluster.replica(i)->exec().StateDigest(),
+                cluster.replica(j)->exec().StateDigest())
+          << "replicas " << i << " and " << j;
+    }
+  }
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
 TEST(StateTransferTest, ByzantineSnapshotRejected) {
   // A Byzantine public node cannot poison a recovering replica: snapshots
   // must match the digest in a valid checkpoint certificate, which needs a

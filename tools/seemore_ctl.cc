@@ -55,10 +55,46 @@ Status ParseReplicaEvents(const FlagSet& flags, const std::string& flag,
                           scenario::ScenarioBuilder& builder) {
   for (const std::string& spec : SplitString(flags.GetString(flag), ',')) {
     SEEMORE_ASSIGN_OR_RETURN(auto at, ParseAt(spec));
-    if (kind == scenario::EventKind::kCrash) {
-      builder.CrashAt(at.second, at.first);
+    switch (kind) {
+      case scenario::EventKind::kCrash:
+        builder.CrashAt(at.second, at.first);
+        break;
+      case scenario::EventKind::kRecover:
+        builder.RecoverAt(at.second, at.first);
+        break;
+      case scenario::EventKind::kRestart:
+        builder.RestartAt(at.second, at.first);
+        break;
+      case scenario::EventKind::kPowerLoss:
+        builder.PowerLossAt(at.second, at.first);
+        break;
+      default:
+        return Status::Internal("bad replica-event kind");
+    }
+  }
+  return Status::Ok();
+}
+
+/// "<id>:<arg>@<ms>" schedules for the log-tamper events (truncate-log's
+/// byte count / corrupt-log's bit-flip offset).
+Status ParseTamperEvents(const FlagSet& flags, const std::string& flag,
+                         scenario::EventKind kind,
+                         scenario::ScenarioBuilder& builder) {
+  for (const std::string& spec : SplitString(flags.GetString(flag), ',')) {
+    const std::vector<std::string> head = SplitString(spec, ':');
+    const std::vector<std::string> tail =
+        head.size() == 2 ? SplitString(head[1], '@') : std::vector<std::string>();
+    if (tail.size() != 2) {
+      return Status::InvalidArgument("expected --" + flag +
+                                     "=<id>:<arg>@<ms>, got: " + spec);
+    }
+    const int replica = std::atoi(head[0].c_str());
+    const int64_t arg = std::atoll(tail[0].c_str());
+    const SimTime at = Millis(std::atoll(tail[1].c_str()));
+    if (kind == scenario::EventKind::kTruncateLog) {
+      builder.TruncateLogAt(at, replica, arg);
     } else {
-      builder.RecoverAt(at.second, at.first);
+      builder.CorruptLogAt(at, replica, arg);
     }
   }
   return Status::Ok();
@@ -188,6 +224,22 @@ Result<ScenarioSpec> SpecFromFlags(const FlagSet& flags) {
       flags, "partition", scenario::EventKind::kPartitionClouds, builder));
   SEEMORE_RETURN_IF_ERROR(ParseTimeEvents(
       flags, "heal", scenario::EventKind::kHealClouds, builder));
+
+  // Durability + the restart/fault-injection family it enables.
+  if (flags.GetBool("durable") || flags.WasSet("durable-fsync") ||
+      flags.WasSet("durable-segment-kb")) {
+    builder.Durability(
+        static_cast<int>(flags.GetInt("durable-fsync")),
+        static_cast<int64_t>(flags.GetInt("durable-segment-kb")) * 1024);
+  }
+  SEEMORE_RETURN_IF_ERROR(ParseReplicaEvents(
+      flags, "restart", scenario::EventKind::kRestart, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseReplicaEvents(
+      flags, "power-loss", scenario::EventKind::kPowerLoss, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseTamperEvents(
+      flags, "truncate-log", scenario::EventKind::kTruncateLog, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseTamperEvents(
+      flags, "corrupt-log", scenario::EventKind::kCorruptLog, builder));
 
   return builder.spec();
 }
@@ -465,6 +517,27 @@ int main(int argc, char** argv) {
   flags.AddRepeatedString("partition", "",
                   "schedule: <ms>[,...] cut all private<->public links");
   flags.AddRepeatedString("heal", "", "schedule: <ms>[,...] restore partitioned links");
+  flags.AddBool("durable", false,
+                "give every replica a durable WAL + snapshot store (in the "
+                "simulated storage medium; see --restart)");
+  flags.AddInt("durable-fsync", 1,
+               "appends per fsync, 1 = sync every record (setting this "
+               "implies --durable)");
+  flags.AddInt("durable-segment-kb", 64,
+               "WAL segment size in KiB (setting this implies --durable)");
+  flags.AddRepeatedString("restart", "",
+                  "schedule: <id>@<ms>[,...] replace a crashed replica with "
+                  "a fresh process restored from its durable store "
+                  "(requires --durable)");
+  flags.AddRepeatedString("power-loss", "",
+                  "schedule: <id>@<ms>[,...] crash AND roll the disk back "
+                  "to its durable frontier (requires --durable)");
+  flags.AddRepeatedString("truncate-log", "",
+                  "schedule: <id>:<bytes>@<ms>[,...] chop bytes off a "
+                  "downed replica's WAL tail (torn-write injection)");
+  flags.AddRepeatedString("corrupt-log", "",
+                  "schedule: <id>:<offset>@<ms>[,...] flip one bit offset "
+                  "bytes before a downed replica's WAL end");
   flags.AddBool("check-convergence", false,
                 "after the drain, require live honest replicas to share one "
                 "state digest");
