@@ -1,0 +1,162 @@
+// Real-network benchmark: the same ScenarioSpec executed twice — once under
+// the deterministic simulator and once as actual seemore_node processes
+// over localhost TCP (src/rt/) — with the results side by side. The point
+// is honesty, not agreement: the simulator charges the calibrated §6 cost
+// model on a virtual clock while the real cluster pays host CPU, real
+// syscalls and kernel scheduling, so the two columns SHOULD differ; what
+// must hold in both runtimes is safety (cross-replica agreement) and the
+// protocols' relative ordering.
+//
+// Systems: SeeMoRe/Lion at (c=1, m=1) — a 6-process cluster — and PBFT at
+// f=1 — 4 processes. Emits BENCH_realnet.json.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "rt/launcher.h"
+
+namespace seemore {
+namespace bench {
+namespace {
+
+/// The seemore_node binary: --node-binary=..., else a sibling of this
+/// executable, else ../tools/seemore_node in the build tree.
+std::string ResolveNodeBinary(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--node-binary=", 14) == 0) {
+      return argv[i] + 14;
+    }
+  }
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string dir(buf);
+  const size_t slash = dir.rfind('/');
+  dir.resize(slash == std::string::npos ? 0 : slash);
+  for (const char* rel : {"/seemore_node", "/../tools/seemore_node"}) {
+    const std::string candidate = dir + rel;
+    if (access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return "";
+}
+
+struct RealnetSystem {
+  std::string label;
+  ScenarioSpec spec;
+  uint16_t base_port;
+};
+
+void PrintSide(const char* runtime, const RunResult& result, bool ok) {
+  std::printf("    %-4s  %8.2f kreq/s  p50 %6.2f ms  p99 %6.2f ms  "
+              "completed %-7llu  %s\n",
+              runtime, result.throughput_kreqs, result.p50_latency_ms,
+              result.p99_latency_ms,
+              static_cast<unsigned long long>(result.completed),
+              ok ? "agreement ok" : "AGREEMENT FAILED");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seemore
+
+int main(int argc, char** argv) {
+  using namespace seemore;
+  using namespace seemore::bench;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  const std::string node_binary = ResolveNodeBinary(argc, argv);
+  if (node_binary.empty()) {
+    std::fprintf(stderr,
+                 "bench_realnet: cannot find seemore_node (build tools/ or "
+                 "pass --node-binary=PATH)\n");
+    return 1;
+  }
+
+  std::vector<RealnetSystem> systems;
+  {
+    RealnetSystem lion;
+    lion.label = "lion_c1m1";
+    lion.spec = SystemSpec("Lion", /*c=*/1, /*m=*/1);
+    lion.base_port = 18700;
+    systems.push_back(std::move(lion));
+
+    RealnetSystem pbft;
+    pbft.label = "pbft_f1";
+    pbft.spec = SystemSpec("BFT", /*c=*/1, /*m=*/1);
+    pbft.spec.topology.f = 1;  // 4 processes on localhost, not 7
+    pbft.base_port = 18800;
+    systems.push_back(std::move(pbft));
+  }
+
+  // Real milliseconds on the tcp side, virtual on the sim side: keep the
+  // windows identical so the columns measure the same experiment.
+  const SimTime warmup = quick ? Millis(100) : Millis(200);
+  const SimTime measure = quick ? Millis(400) : Seconds(1);
+  std::printf(
+      "real-network bench (%s mode): simulator vs localhost processes\n",
+      quick ? "quick" : "full");
+
+  BenchResultsJson json("realnet");
+  bool all_safe = true;
+  for (RealnetSystem& system : systems) {
+    system.spec.name = "realnet-" + system.label;
+    system.spec.clients = 8;
+    system.spec.workload.kind = scenario::WorkloadKind::kEcho;
+    system.spec.workload.request_kb = 0;
+    system.spec.workload.reply_kb = 0;
+    system.spec.plan.warmup = warmup;
+    system.spec.plan.measure = measure;
+    system.spec.plan.drain = Millis(100);
+
+    std::printf("  %s (%s)\n", system.label.c_str(),
+                system.spec.ResolvedConfig().ToString().c_str());
+
+    Result<scenario::ScenarioReport> sim =
+        scenario::RunScenario(system.spec);
+    if (!sim.ok()) {
+      std::fprintf(stderr, "sim run failed: %s\n",
+                   sim.status().ToString().c_str());
+      return 1;
+    }
+    PrintSide("sim", sim->result, sim->ok());
+
+    rt::LauncherOptions launcher;
+    launcher.node_binary = node_binary;
+    launcher.base_port = system.base_port;
+    Result<rt::TcpRunReport> tcp =
+        rt::RunTcpScenario(system.spec, launcher);
+    if (!tcp.ok()) {
+      std::fprintf(stderr, "tcp run failed: %s\n",
+                   tcp.status().ToString().c_str());
+      return 1;
+    }
+    PrintSide("tcp", tcp->result, tcp->ok());
+    all_safe = all_safe && sim->ok() && tcp->ok();
+
+    json.AddCurve(system.label, "sim", {sim->result});
+    json.AddCurve(system.label, "tcp", {tcp->result});
+    json.AddScalar(system.label, "sim_agreement_ok", sim->ok() ? 1.0 : 0.0);
+    json.AddScalar(system.label, "tcp_agreement_ok", tcp->ok() ? 1.0 : 0.0);
+    // The honest gap: real processes pay host CPU + kernel for what the
+    // simulator only accounts virtually.
+    if (tcp->result.throughput_kreqs > 0) {
+      json.AddScalar(system.label, "sim_over_tcp_throughput",
+                     sim->result.throughput_kreqs /
+                         tcp->result.throughput_kreqs);
+    }
+  }
+  json.Write();
+
+  if (!all_safe) {
+    std::fprintf(stderr, "FAIL: an agreement/convergence check failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "rt/clock.h"
+
+#include <ctime>
+
+namespace seemore {
+namespace rt {
+namespace {
+
+SimTime RawMonotonicNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * kNanosPerSecond + ts.tv_nsec;
+}
+
+}  // namespace
+
+MonotonicClock::MonotonicClock() : origin_(RawMonotonicNanos()) {}
+
+SimTime MonotonicClock::Now() const { return RawMonotonicNanos() - origin_; }
+
+}  // namespace rt
+}  // namespace seemore

@@ -1,0 +1,32 @@
+// Wall-clock implementation of the Clock interface (net/transport.h).
+//
+// The real-time counterpart of the simulator's virtual clock: Now() is
+// nanoseconds of CLOCK_MONOTONIC elapsed since the clock was constructed,
+// so a node process and the protocol code it hosts see time the same way
+// they do under the simulator — a SimTime that starts near zero and only
+// moves forward (immune to NTP steps and wall-time jumps).
+
+#ifndef SEEMORE_RT_CLOCK_H_
+#define SEEMORE_RT_CLOCK_H_
+
+#include "net/transport.h"
+#include "util/time.h"
+
+namespace seemore {
+namespace rt {
+
+class MonotonicClock final : public Clock {
+ public:
+  /// Captures the construction instant as the epoch (Now() == 0).
+  MonotonicClock();
+
+  SimTime Now() const override;
+
+ private:
+  SimTime origin_;  // raw CLOCK_MONOTONIC nanoseconds at construction
+};
+
+}  // namespace rt
+}  // namespace seemore
+
+#endif  // SEEMORE_RT_CLOCK_H_

@@ -1,0 +1,195 @@
+#include "rt/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace seemore {
+namespace rt {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    init_status_ = Errno("epoll_create1");
+    return;
+  }
+  timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) {
+    init_status_ = Errno("timerfd_create");
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = timer_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) < 0) {
+    init_status_ = Errno("epoll_ctl(timerfd)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (timer_fd_ >= 0) close(timer_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+EventId EventLoop::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  const SimTime deadline = Now() + delay;
+  const EventId id = next_timer_id_++;
+  timers_.emplace(id, Timer{deadline, std::move(fn)});
+  by_deadline_.emplace(deadline, id);
+  if (by_deadline_.begin()->second == id) RearmTimerFd();
+  return id;
+}
+
+bool EventLoop::CancelEvent(EventId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  const SimTime deadline = it->second.deadline;
+  timers_.erase(it);
+  for (auto range = by_deadline_.equal_range(deadline);
+       range.first != range.second; ++range.first) {
+    if (range.first->second == id) {
+      by_deadline_.erase(range.first);
+      break;
+    }
+  }
+  return true;
+}
+
+void EventLoop::RearmTimerFd() {
+  itimerspec spec{};
+  if (!by_deadline_.empty()) {
+    SimTime wait = by_deadline_.begin()->first - Now();
+    if (wait < 1) wait = 1;  // 0 would disarm; fire "immediately" instead
+    spec.it_value.tv_sec = wait / kNanosPerSecond;
+    spec.it_value.tv_nsec = wait % kNanosPerSecond;
+  }
+  timerfd_settime(timer_fd_, 0, &spec, nullptr);
+}
+
+void EventLoop::FireDueTimers() {
+  uint64_t expirations = 0;
+  // Drain the timerfd counter; the value itself is irrelevant, the timer
+  // store below decides what is due.
+  while (read(timer_fd_, &expirations, sizeof(expirations)) > 0) {
+  }
+  // Fire everything due at entry. Callbacks may schedule new timers; a new
+  // timer due "now" waits for the next epoll wakeup (which the rearm below
+  // makes imminent), so a self-rescheduling zero-delay timer cannot starve
+  // io events.
+  const SimTime now = Now();
+  while (!by_deadline_.empty() && by_deadline_.begin()->first <= now) {
+    const EventId id = by_deadline_.begin()->second;
+    by_deadline_.erase(by_deadline_.begin());
+    auto it = timers_.find(id);
+    if (it == timers_.end()) continue;
+    std::function<void()> fn = std::move(it->second.fn);
+    timers_.erase(it);
+    fn();
+  }
+  RearmTimerFd();
+}
+
+uint32_t EventLoop::ToEpollEvents(uint32_t events) const {
+  uint32_t out = 0;
+  if (events & kReadable) out |= EPOLLIN;
+  if (events & kWritable) out |= EPOLLOUT;
+  return out;
+}
+
+Status EventLoop::WatchFd(int fd, uint32_t events, IoCallback callback) {
+  const uint64_t generation = next_generation_++;
+  epoll_event ev{};
+  ev.events = ToEpollEvents(events);
+  ev.data.u64 = (generation << 32) | static_cast<uint32_t>(fd);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  Watch& watch = watches_[fd];
+  watch.callback = std::move(callback);
+  watch.events = events;
+  watch.generation = generation;
+  return Status::Ok();
+}
+
+Status EventLoop::ModifyFd(int fd, uint32_t events) {
+  auto it = watches_.find(fd);
+  if (it == watches_.end()) {
+    return Status::NotFound("ModifyFd on unwatched fd");
+  }
+  epoll_event ev{};
+  ev.events = ToEpollEvents(events);
+  ev.data.u64 = (it->second.generation << 32) | static_cast<uint32_t>(fd);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  it->second.events = events;
+  return Status::Ok();
+}
+
+void EventLoop::UnwatchFd(int fd) {
+  if (watches_.erase(fd) > 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EventLoop::Run(SimTime until) {
+  stopped_ = false;
+  const SimTime deadline = until >= 0 ? Now() + until : -1;
+  std::vector<epoll_event> events(64);
+  while (!stopped_) {
+    if (interrupt_ && interrupt_()) break;
+    int timeout_ms = 500;  // backstop so a missed signal wakeup can't hang us
+    if (deadline >= 0) {
+      const SimTime left = deadline - Now();
+      if (left <= 0) break;
+      const int left_ms = static_cast<int>(left / kNanosPerMilli) + 1;
+      if (left_ms < timeout_ms) timeout_ms = left_ms;
+    }
+    const int n =
+        epoll_wait(epoll_fd_, events.data(),
+                   static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal: loop back to the interrupt check
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = static_cast<int>(events[i].data.u64 & 0xffffffffu);
+      const uint64_t generation = events[i].data.u64 >> 32;
+      if (fd == timer_fd_) {
+        FireDueTimers();
+        continue;
+      }
+      // A callback earlier in this batch may have unwatched (or even
+      // unwatched + rewatched) this fd; the generation check drops stale
+      // readiness instead of invoking a dead (or wrong) callback.
+      auto it = watches_.find(fd);
+      if (it == watches_.end() ||
+          (it->second.generation & 0xffffffffu) != generation) {
+        continue;
+      }
+      uint32_t mask = 0;
+      if (events[i].events & EPOLLIN) mask |= kReadable;
+      if (events[i].events & EPOLLOUT) mask |= kWritable;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) mask |= kError;
+      // Copy: the callback may unwatch its own fd mid-invocation.
+      IoCallback callback = it->second.callback;
+      callback(mask);
+    }
+    if (static_cast<size_t>(n) == events.size()) events.resize(events.size() * 2);
+  }
+}
+
+}  // namespace rt
+}  // namespace seemore

@@ -1,0 +1,113 @@
+// Single-threaded epoll event loop + timerfd-backed TimerService.
+//
+// The real-time counterpart of the Simulator: one loop per process owns
+// every socket and timer, and all protocol callbacks (message handlers,
+// timer closures) run inline on the loop thread — the same single-threaded
+// execution model replicas have under the simulator, so no protocol code
+// needs locks in either backend.
+//
+// Time is the loop's MonotonicClock (CLOCK_MONOTONIC since construction).
+// Timers live in an ordered multimap; a single timerfd is always armed for
+// the earliest deadline, so the epoll wait itself is the timer wheel —
+// there is no polling and no drift accumulation. ScheduleAfter/CancelEvent
+// implement the TimerService contract replicas already program against.
+
+#ifndef SEEMORE_RT_EVENT_LOOP_H_
+#define SEEMORE_RT_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "net/transport.h"
+#include "rt/clock.h"
+#include "util/status.h"
+#include "util/time.h"
+
+namespace seemore {
+namespace rt {
+
+class EventLoop final : public TimerService {
+ public:
+  /// Bitmask passed to io callbacks (mirrors EPOLLIN/EPOLLOUT without
+  /// leaking <sys/epoll.h> into headers).
+  static constexpr uint32_t kReadable = 1u << 0;
+  static constexpr uint32_t kWritable = 1u << 1;
+  static constexpr uint32_t kError = 1u << 2;
+
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Construction failure (epoll/timerfd creation), checked once by the
+  /// composition root.
+  const Status& init_status() const { return init_status_; }
+
+  /// --- TimerService -------------------------------------------------------
+  SimTime Now() const override { return clock_.Now(); }
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) override;
+  bool CancelEvent(EventId id) override;
+
+  /// --- fd watching --------------------------------------------------------
+  /// Watch `fd` for `events` (kReadable/kWritable). The callback runs on
+  /// the loop; it may watch/unwatch any fd, including its own.
+  Status WatchFd(int fd, uint32_t events, IoCallback callback);
+  /// Change the interest set of a watched fd (typically toggling kWritable
+  /// when a write queue drains/fills).
+  Status ModifyFd(int fd, uint32_t events);
+  /// Stop watching (the caller still owns and closes the fd).
+  void UnwatchFd(int fd);
+
+  /// --- running ------------------------------------------------------------
+  /// Dispatch io + timers until Stop() (or `until` elapses, when >= 0).
+  /// Checks `interrupt` (when set) after every wakeup — the SIGTERM hook:
+  /// signal handlers may only set a flag, the loop notices it because the
+  /// signal interrupts epoll_wait.
+  void Run(SimTime until = -1);
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  void set_interrupt(std::function<bool()> interrupt) {
+    interrupt_ = std::move(interrupt);
+  }
+
+ private:
+  struct Watch {
+    IoCallback callback;
+    uint32_t events = 0;
+    uint64_t generation = 0;  // guards dispatch after unwatch+rewatch
+  };
+
+  void RearmTimerFd();
+  void FireDueTimers();
+  uint32_t ToEpollEvents(uint32_t events) const;
+
+  Status init_status_;
+  MonotonicClock clock_;
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  bool stopped_ = false;
+  std::function<bool()> interrupt_;
+
+  /// Timers: deadline-ordered index + id-keyed store (cancel is O(log n)).
+  struct Timer {
+    SimTime deadline;
+    std::function<void()> fn;
+  };
+  std::multimap<SimTime, EventId> by_deadline_;
+  std::unordered_map<EventId, Timer> timers_;
+  EventId next_timer_id_ = 1;
+
+  std::unordered_map<int, Watch> watches_;
+  uint64_t next_generation_ = 1;
+};
+
+}  // namespace rt
+}  // namespace seemore
+
+#endif  // SEEMORE_RT_EVENT_LOOP_H_

@@ -1,0 +1,123 @@
+#include "rt/frame.h"
+
+#include <cstring>
+
+#include "storage/crc32c.h"
+
+namespace seemore {
+namespace rt {
+namespace {
+
+/// HELLO body: magic + version + sender + fingerprint. The magic doubles as
+/// a cheap wrong-protocol detector (someone pointing a browser at a node
+/// port fails the handshake with a typed error, not undefined behaviour).
+constexpr uint32_t kHelloMagic = 0x544d5253;  // "SMRT"
+constexpr uint8_t kHelloVersion = 1;
+
+}  // namespace
+
+Bytes EncodeFrame(const uint8_t* body, size_t len) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(len));
+  enc.PutU32(storage::Crc32c(body, len));
+  enc.PutRaw(body, len);
+  return enc.Take();
+}
+
+Bytes EncodeHello(const Hello& hello) {
+  Encoder enc;
+  enc.PutU32(kHelloMagic);
+  enc.PutU8(kHelloVersion);
+  enc.PutU32(static_cast<uint32_t>(hello.sender));
+  enc.PutU64(hello.fingerprint);
+  return EncodeFrame(enc.bytes());
+}
+
+Result<Hello> DecodeHello(const Bytes& body) {
+  Decoder dec(body.data(), body.size());
+  const uint32_t magic = dec.GetU32();
+  const uint8_t version = dec.GetU8();
+  Hello hello;
+  hello.sender = static_cast<PrincipalId>(dec.GetU32());
+  hello.fingerprint = dec.GetU64();
+  if (!dec.ok() || !dec.AtEnd()) {
+    return Status::Corruption("malformed HELLO frame");
+  }
+  if (magic != kHelloMagic) {
+    return Status::Corruption("HELLO magic mismatch (not a seemore peer)");
+  }
+  if (version != kHelloVersion) {
+    return Status::InvalidArgument("unsupported transport version");
+  }
+  return hello;
+}
+
+Status FrameReader::Fail(Status status) {
+  status_ = status;
+  // Poisoned: drop all buffered state so a broken connection cannot keep
+  // memory pinned while it waits to be torn down.
+  buffer_.clear();
+  consumed_ = 0;
+  ready_.clear();
+  return status_;
+}
+
+Status FrameReader::Feed(const uint8_t* data, size_t len) {
+  if (!status_.ok()) return status_;
+  buffer_.insert(buffer_.end(), data, data + len);
+
+  while (true) {
+    const size_t available = buffer_.size() - consumed_;
+    if (available < kFrameHeaderBytes) break;
+    const uint8_t* head = buffer_.data() + consumed_;
+    uint32_t body_len = 0;
+    uint32_t crc = 0;
+    std::memcpy(&body_len, head, 4);  // little-endian hosts only (x86/arm)
+    std::memcpy(&crc, head + 4, 4);
+    if (body_len > max_frame_) {
+      char msg[96];
+      std::snprintf(msg, sizeof(msg),
+                    "frame length %u exceeds cap %zu (garbage prefix?)",
+                    body_len, max_frame_);
+      return Fail(Status::Corruption(msg));
+    }
+    if (available < kFrameHeaderBytes + body_len) break;
+    const uint8_t* body = head + kFrameHeaderBytes;
+    if (storage::Crc32c(body, body_len) != crc) {
+      return Fail(Status::Corruption("frame CRC mismatch"));
+    }
+    ready_.emplace_back(body, body + body_len);
+    ++frames_decoded_;
+    consumed_ += kFrameHeaderBytes + body_len;
+  }
+
+  // Compact: drop the parsed prefix once it dominates the buffer, so the
+  // erase cost amortizes to O(1) per byte instead of O(n) per frame.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return Status::Ok();
+}
+
+bool FrameReader::Next(Bytes* body) {
+  if (ready_.empty()) return false;
+  *body = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+Status FrameReader::OnPeerClose() const {
+  if (!status_.ok()) return status_;
+  if (buffered() != 0) {
+    char msg[64];
+    std::snprintf(msg, sizeof(msg),
+                  "peer closed mid-frame (%zu bytes torn)", buffered());
+    return Status::Corruption(msg);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rt
+}  // namespace seemore

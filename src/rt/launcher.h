@@ -1,0 +1,95 @@
+// Real-cluster launcher: runs one ScenarioSpec against actual seemore_node
+// processes on localhost — the tcp backend of seemore_ctl.
+//
+// The launcher process is the experiment's client side and fault injector:
+// it spawns one node process per replica, hosts every closed-loop SimClient
+// itself on its own EventLoop/TcpTransport (so measurement happens where
+// the requests originate, exactly like the simulator's client model), and
+// translates the spec's schedule into process-level faults — kCrash is a
+// SIGKILL, kRestart/kRecover respawn the process (reusing its durable data
+// directory when the spec enables durability, so recovery runs the real
+// WAL/snapshot path). At the end it SIGTERMs the survivors, collects their
+// per-node report JSONs, and checks cross-process agreement/convergence
+// from the reported digest samples — the closest a multi-process run can
+// get to Cluster::CheckAgreement.
+//
+// Timeline semantics match the simulator's lifecycle: t=0 is when every
+// node answered the readiness gate; warmup resets client stats; the
+// measure window sizes the RunResult; then clients stop, the drain elapses
+// and nodes shut down. Times are real nanoseconds instead of virtual ones —
+// the honest difference bench_realnet exists to show.
+
+#ifndef SEEMORE_RT_LAUNCHER_H_
+#define SEEMORE_RT_LAUNCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "scenario/engine.h"
+#include "scenario/spec.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace seemore {
+namespace rt {
+
+struct LauncherOptions {
+  /// Path to the seemore_node binary; empty resolves the sibling of
+  /// /proc/self/exe (tools install both binaries in one directory).
+  std::string node_binary;
+  /// Scratch directory for spec/report/data files; empty mkdtemps under
+  /// /tmp and removes it on success.
+  std::string work_dir;
+  uint16_t base_port = 18500;
+  /// Readiness gate: how long to wait for every node to complete a HELLO.
+  SimTime connect_timeout = Seconds(15);
+  /// After SIGTERM, how long nodes get to write reports before SIGKILL.
+  SimTime shutdown_grace = Seconds(5);
+  bool keep_work_dir = false;
+  bool verbose = false;
+};
+
+/// The merged outcome of one real-cluster run. Mirrors ScenarioReport's
+/// verdict surface so tools can print sim and tcp runs side by side.
+struct TcpRunReport {
+  std::string scenario;
+  uint64_t seed = 0;
+  std::string cluster;
+
+  /// Client-side measurement over the (real-time) measure window.
+  RunResult result;
+
+  /// Per-node end-of-run reports as written by the processes; a node that
+  /// died crashed (and was never respawned) contributes a stub with
+  /// "crashed": true.
+  std::vector<Json> nodes;
+
+  std::vector<scenario::AppliedEvent> events;
+
+  Status agreement;
+  bool convergence_checked = false;
+  Status convergence;
+
+  bool ok() const {
+    return agreement.ok() && (!convergence_checked || convergence.ok());
+  }
+
+  Json ToJson() const;
+};
+
+/// Spec constraints the tcp backend imposes (checked before any spawn):
+/// only kCrash / kRecover / kRestart schedule events (faults are process
+/// kills; partitions and Byzantine flags have no process-level analogue
+/// yet), and no sweep plan (one process cluster per call).
+Status ValidateForTcp(const scenario::ScenarioSpec& spec);
+
+/// Run the spec against a real localhost cluster. Fails on spawn/setup
+/// errors; an invariant violation is NOT an error (inspect report.ok()).
+Result<TcpRunReport> RunTcpScenario(const scenario::ScenarioSpec& spec,
+                                    const LauncherOptions& options);
+
+}  // namespace rt
+}  // namespace seemore
+
+#endif  // SEEMORE_RT_LAUNCHER_H_

@@ -1,0 +1,227 @@
+#include "rt/node.h"
+
+#include <csignal>
+#include <cstdio>
+
+#include "scenario/engine.h"
+#include "smr/kv_store.h"
+
+namespace seemore {
+namespace rt {
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void OnStopSignal(int) { g_stop_requested = 1; }
+
+void InstallStopHandlers() {
+  struct sigaction action {};
+  action.sa_handler = OnStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: the signal must interrupt epoll_wait
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+/// Up to `max_samples` evenly spaced entries of the executed-digest log —
+/// the launcher's cross-process agreement surface.
+Json DigestSamples(const ExecutedDigestLog& log, size_t max_samples = 32) {
+  Json samples = Json::Array();
+  if (log.empty()) return samples;
+  const uint64_t floor = log.floor();
+  const uint64_t ceil = log.ceil();
+  const uint64_t span = ceil - floor + 1;
+  const uint64_t step = span <= max_samples ? 1 : span / max_samples;
+  for (uint64_t seq = floor; seq <= ceil; seq += step) {
+    Json entry = Json::Object();
+    entry.Set("seq", seq);
+    entry.Set("digest", log.at(seq).ToHex());
+    samples.Append(std::move(entry));
+  }
+  // Always include the frontier: the most constraining comparison point.
+  if ((span - 1) % step != 0) {
+    Json entry = Json::Object();
+    entry.Set("seq", ceil);
+    entry.Set("digest", log.at(ceil).ToHex());
+    samples.Append(std::move(entry));
+  }
+  return samples;
+}
+
+}  // namespace
+
+Node::Node(scenario::ScenarioSpec spec, NodeOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+Node::~Node() {
+  // Replica references store references medium; drop in dependency order.
+  replica_.reset();
+  store_.reset();
+  medium_.reset();
+  transport_.reset();
+}
+
+std::unique_ptr<ReplicaBase> Node::MakeReplica() {
+  Transport* transport = transport_.get();
+  TimerService* timers = loop_.get();
+  const ClusterConfig& config = cluster_options_.config;
+  const int i = options_.replica_id;
+  switch (config.kind) {
+    case ProtocolKind::kCft:
+      return std::make_unique<PaxosReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          cluster_options_.state_machine_factory(), cluster_options_.costs);
+    case ProtocolKind::kBft:
+      return std::make_unique<PbftReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          cluster_options_.state_machine_factory(), cluster_options_.costs);
+    case ProtocolKind::kSUpRight:
+      return std::make_unique<SUpRightReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          cluster_options_.state_machine_factory(), cluster_options_.costs);
+    case ProtocolKind::kSeeMoRe:
+      return std::make_unique<SeeMoReReplica>(
+          transport, timers, keystore_.get(), memo_.get(), i, config,
+          cluster_options_.state_machine_factory(), cluster_options_.costs);
+  }
+  return nullptr;
+}
+
+Status Node::InitDurability() {
+  if (!cluster_options_.durability.enabled || options_.data_dir.empty()) {
+    return Status::Ok();
+  }
+  medium_ = std::make_unique<PosixMedium>(options_.data_dir);
+  SEEMORE_RETURN_IF_ERROR(medium_->status());
+  store_ = std::make_unique<storage::FileDurableStore>(
+      medium_.get(), cluster_options_.durability, cluster_options_.costs);
+
+  // A data dir with prior WAL/snapshot files means this process is a
+  // restarted incarnation: run the same recover -> reopen -> restore
+  // sequence Cluster::Restart uses.
+  const bool has_prior_state =
+      !medium_->List("wal-").empty() || !medium_->List("snap-").empty();
+  if (!has_prior_state) {
+    SEEMORE_RETURN_IF_ERROR(store_->OpenFresh());
+    replica_->AttachDurable(store_.get());
+    return Status::Ok();
+  }
+  SEEMORE_ASSIGN_OR_RETURN(RecoveredImage image,
+                           storage::FileDurableStore::Recover(*medium_));
+  SEEMORE_RETURN_IF_ERROR(store_->OpenAfterRecovery(image));
+  replica_->AttachDurable(store_.get());
+  replica_->RestoreFromImage(image);
+  recovery_.recovered = true;
+  if (const storage::RecoveredSnapshot* latest = image.Latest()) {
+    recovery_.snapshot_seq = latest->seq;
+  }
+  recovery_.replayed_commits = image.commits.size();
+  recovery_.truncated_bytes = image.truncated_bytes;
+  return Status::Ok();
+}
+
+Status Node::Init() {
+  SEEMORE_RETURN_IF_ERROR(spec_.Validate());
+  cluster_options_ = scenario::ToClusterOptions(spec_);
+  if (!cluster_options_.state_machine_factory) {
+    cluster_options_.state_machine_factory = [] {
+      return std::make_unique<KvStateMachine>();
+    };
+  }
+  const ClusterConfig& config = cluster_options_.config;
+  if (options_.replica_id < 0 || options_.replica_id >= config.n()) {
+    return Status::InvalidArgument("replica id out of range for topology");
+  }
+
+  loop_ = std::make_unique<EventLoop>();
+  SEEMORE_RETURN_IF_ERROR(loop_->init_status());
+
+  TcpTransportOptions transport_options;
+  transport_options.num_replicas = config.n();
+  transport_options.base_port = options_.base_port;
+  transport_options.fingerprint = spec_.seed;
+  transport_ =
+      std::make_unique<TcpTransport>(loop_.get(), transport_options);
+
+  // Same keystore derivation as Cluster: every process of a run derives the
+  // identical per-principal keys from the spec seed.
+  keystore_ = std::make_unique<KeyStore>(cluster_options_.seed ^
+                                         0x5eed'c0de'5eed'c0deULL);
+  memo_ = std::make_unique<CryptoMemo>();
+
+  replica_ = MakeReplica();
+  if (replica_ == nullptr) return Status::Internal("unknown protocol kind");
+  SEEMORE_RETURN_IF_ERROR(transport_->status());  // listener bind outcome
+  return InitDurability();
+}
+
+Status Node::Serve() {
+  if (replica_ == nullptr) return Status::FailedPrecondition("Init first");
+  InstallStopHandlers();
+  loop_->set_interrupt([] { return g_stop_requested != 0; });
+  loop_->Run(options_.max_run > 0 ? options_.max_run : -1);
+
+  const Json report = Report();
+  const std::string text = report.Dump(2) + "\n";
+  if (options_.report_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return Status::Ok();
+  }
+  std::FILE* out = std::fopen(options_.report_path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::Internal("cannot write report: " + options_.report_path);
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return Status::Ok();
+}
+
+Json Node::Report() const {
+  Json root = Json::Object();
+  root.Set("id", options_.replica_id);
+  root.Set("protocol", scenario::ProtocolKindToken(spec_.protocol));
+
+  const ReplicaStats& stats = replica_->stats();
+  Json stats_json = Json::Object();
+  stats_json.Set("requests_executed", stats.requests_executed);
+  stats_json.Set("batches_committed", stats.batches_committed);
+  stats_json.Set("view_changes_completed", stats.view_changes_completed);
+  stats_json.Set("mode_changes", stats.mode_changes);
+  stats_json.Set("messages_handled", stats.messages_handled);
+  stats_json.Set("equivocations_detected", stats.equivocations_detected);
+  root.Set("stats", std::move(stats_json));
+
+  root.Set("last_executed", replica_->exec().last_executed());
+  root.Set("state_digest", replica_->exec().StateDigest().ToHex());
+  root.Set("digest_samples", DigestSamples(replica_->exec().executed_digests()));
+  root.Set("cpu_busy_ms",
+           static_cast<double>(transport_->MeterBusy(options_.replica_id)) /
+               kNanosPerMilli);
+  root.Set("run_ns", loop_->Now());
+
+  Json recovery = Json::Object();
+  recovery.Set("recovered", recovery_.recovered);
+  recovery.Set("snapshot_seq", recovery_.snapshot_seq);
+  recovery.Set("replayed_commits", recovery_.replayed_commits);
+  recovery.Set("truncated_bytes", recovery_.truncated_bytes);
+  root.Set("recovery", std::move(recovery));
+
+  const TcpCounters& net = transport_->counters();
+  Json net_json = Json::Object();
+  net_json.Set("messages_sent", net.messages_sent);
+  net_json.Set("bytes_sent", net.bytes_sent);
+  net_json.Set("messages_received", net.messages_received);
+  net_json.Set("bytes_received", net.bytes_received);
+  net_json.Set("dropped_no_connection", net.dropped_no_connection);
+  net_json.Set("dropped_backpressure", net.dropped_backpressure);
+  net_json.Set("dropped_node_down", net.dropped_node_down);
+  net_json.Set("connections_accepted", net.connections_accepted);
+  net_json.Set("connections_dialed", net.connections_dialed);
+  net_json.Set("connection_failures", net.connection_failures);
+  net_json.Set("frame_errors", net.frame_errors);
+  root.Set("net", std::move(net_json));
+  return root;
+}
+
+}  // namespace rt
+}  // namespace seemore

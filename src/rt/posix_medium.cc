@@ -1,0 +1,166 @@
+#include "rt/posix_medium.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace seemore {
+namespace rt {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool ValidName(const std::string& name) {
+  return !name.empty() && name != "." && name != ".." &&
+         name.find('/') == std::string::npos;
+}
+
+}  // namespace
+
+PosixMedium::PosixMedium(std::string dir) : dir_(std::move(dir)) {
+  if (mkdir(dir_.c_str(), 0755) < 0 && errno != EEXIST) {
+    status_ = Errno("mkdir " + dir_);
+  }
+}
+
+PosixMedium::~PosixMedium() {
+  for (const auto& [name, fd] : append_fds_) close(fd);
+}
+
+std::string PosixMedium::PathFor(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+Result<int> PosixMedium::AppendFdFor(const std::string& name) {
+  auto it = append_fds_.find(name);
+  if (it != append_fds_.end()) return it->second;
+  const int fd = open(PathFor(name).c_str(),
+                      O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + name);
+  append_fds_[name] = fd;
+  return fd;
+}
+
+void PosixMedium::DropFd(const std::string& name) {
+  auto it = append_fds_.find(name);
+  if (it != append_fds_.end()) {
+    close(it->second);
+    append_fds_.erase(it);
+  }
+}
+
+Status PosixMedium::Append(const std::string& name, const uint8_t* data,
+                           size_t len) {
+  if (!ValidName(name)) return Status::InvalidArgument("bad file name");
+  SEEMORE_ASSIGN_OR_RETURN(const int fd, AppendFdFor(name));
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("append " + name);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> PosixMedium::ReadFile(const std::string& name) const {
+  if (!ValidName(name)) return Status::InvalidArgument("bad file name");
+  const int fd = open(PathFor(name).c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + name);
+    return Errno("open " + name);
+  }
+  Bytes out;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("read " + name);
+      close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  close(fd);
+  return out;
+}
+
+Result<uint64_t> PosixMedium::SizeOf(const std::string& name) const {
+  if (!ValidName(name)) return Status::InvalidArgument("bad file name");
+  struct stat st{};
+  if (stat(PathFor(name).c_str(), &st) < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + name);
+    return Errno("stat " + name);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool PosixMedium::Exists(const std::string& name) const {
+  if (!ValidName(name)) return false;
+  struct stat st{};
+  return stat(PathFor(name).c_str(), &st) == 0;
+}
+
+std::vector<std::string> PosixMedium::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  DIR* dir = opendir(dir_.c_str());
+  if (dir == nullptr) return out;
+  while (dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (!ValidName(name)) continue;
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  }
+  closedir(dir);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status PosixMedium::TruncateTo(const std::string& name, uint64_t size) {
+  if (!ValidName(name)) return Status::InvalidArgument("bad file name");
+  // The cached O_APPEND fd stays valid across truncate, but drop it anyway:
+  // truncation is a recovery-time operation, not a hot path.
+  DropFd(name);
+  if (truncate(PathFor(name).c_str(), static_cast<off_t>(size)) < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + name);
+    return Errno("truncate " + name);
+  }
+  return Status::Ok();
+}
+
+Status PosixMedium::Remove(const std::string& name) {
+  if (!ValidName(name)) return Status::InvalidArgument("bad file name");
+  DropFd(name);
+  if (unlink(PathFor(name).c_str()) < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + name);
+    return Errno("unlink " + name);
+  }
+  return Status::Ok();
+}
+
+Status PosixMedium::Sync(const std::string& name) {
+  if (!ValidName(name)) return Status::InvalidArgument("bad file name");
+  SEEMORE_ASSIGN_OR_RETURN(const int fd, AppendFdFor(name));
+  if (fsync(fd) < 0) return Errno("fsync " + name);
+  return Status::Ok();
+}
+
+Status PosixMedium::SyncAll() {
+  for (const auto& [name, fd] : append_fds_) {
+    if (fsync(fd) < 0) return Errno("fsync " + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rt
+}  // namespace seemore

@@ -1,0 +1,417 @@
+#include "rt/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace seemore {
+namespace rt {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+int NewTcpSocket() {
+  return socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(EventLoop* loop, TcpTransportOptions options)
+    : loop_(loop), options_(std::move(options)) {}
+
+TcpTransport::~TcpTransport() {
+  for (const std::shared_ptr<Connection>& conn : connections_) {
+    if (conn->fd >= 0) {
+      loop_->UnwatchFd(conn->fd);
+      close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  for (const auto& [id, fd] : listeners_) {
+    loop_->UnwatchFd(fd);
+    close(fd);
+  }
+}
+
+CpuMeter* TcpTransport::Register(PrincipalId id, Zone zone,
+                                 MessageHandler* handler, bool metered) {
+  (void)zone;  // zones shape the simulator's latency model, not real sockets
+  LocalNode& node = locals_[id];
+  node.handler = handler;
+  node.up = true;
+  if (metered) node.meter = std::make_unique<RtCpuMeter>(loop_);
+
+  if (IsReplicaPrincipal(id)) {
+    StartListener(id);
+    // Deterministic connection ownership: dial every smaller replica id.
+    for (PrincipalId peer = 0; peer < id; ++peer) DialPeer(id, peer);
+  } else {
+    for (PrincipalId peer = 0; peer < options_.num_replicas; ++peer) {
+      DialPeer(id, peer);
+    }
+  }
+  return node.meter.get();
+}
+
+bool TcpTransport::IsReplicaPrincipal(PrincipalId id) const {
+  return id >= 0 && id < options_.num_replicas;
+}
+
+void TcpTransport::StartListener(PrincipalId id) {
+  const int fd = NewTcpSocket();
+  if (fd < 0) {
+    if (status_.ok()) status_ = Errno("socket(listen)");
+    return;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr =
+      LoopbackAddr(static_cast<uint16_t>(options_.base_port + id));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(fd, 64) < 0) {
+    if (status_.ok()) status_ = Errno("bind/listen");
+    close(fd);
+    return;
+  }
+  listeners_[id] = fd;
+  const Status watched =
+      loop_->WatchFd(fd, EventLoop::kReadable,
+                     [this, fd](uint32_t) { OnListenerReadable(fd); });
+  if (!watched.ok() && status_.ok()) status_ = watched;
+}
+
+void TcpTransport::OnListenerReadable(int listen_fd) {
+  // Which local replica owns this listener decides the accepted
+  // connection's local end.
+  PrincipalId local = -1;
+  for (const auto& [id, fd] : listeners_) {
+    if (fd == listen_fd) local = id;
+  }
+  while (true) {
+    const int fd =
+        accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      ++counters_.connection_failures;
+      return;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ++counters_.connections_accepted;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->local = local;
+    conn->reader = FrameReader(options_.max_frame);
+    connections_.push_back(conn);
+    const Status watched = loop_->WatchFd(
+        fd, EventLoop::kReadable,
+        [this, conn](uint32_t events) { OnConnectionEvent(conn, events); });
+    if (!watched.ok()) {
+      CloseConnection(conn, "watch failed");
+      continue;
+    }
+    // Announce ourselves; the dialer's HELLO will identify the peer.
+    EnqueueFrame(conn,
+                 EncodeHello(Hello{local, options_.fingerprint}));
+  }
+}
+
+void TcpTransport::DialPeer(PrincipalId local, PrincipalId peer) {
+  const int fd = NewTcpSocket();
+  if (fd < 0) {
+    ++counters_.connection_failures;
+    ScheduleRedial(local, peer, options_.reconnect_initial);
+    return;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr =
+      LoopbackAddr(static_cast<uint16_t>(options_.base_port + peer));
+  const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    close(fd);
+    ++counters_.connection_failures;
+    auto& backoff = backoff_[{local, peer}];
+    if (backoff == 0) backoff = options_.reconnect_initial;
+    ScheduleRedial(local, peer, backoff);
+    backoff = std::min(backoff * 2, options_.reconnect_max);
+    return;
+  }
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  conn->local = local;
+  conn->peer = peer;
+  conn->dialed = true;
+  conn->connecting = (rc < 0);
+  conn->reader = FrameReader(options_.max_frame);
+  connections_.push_back(conn);
+  const uint32_t interest = conn->connecting
+                                ? EventLoop::kWritable
+                                : (EventLoop::kReadable | EventLoop::kWritable);
+  const Status watched = loop_->WatchFd(
+      fd, interest,
+      [this, conn](uint32_t events) { OnConnectionEvent(conn, events); });
+  if (!watched.ok()) {
+    CloseConnection(conn, "watch failed");
+    return;
+  }
+  if (!conn->connecting) FinishConnect(conn);
+}
+
+void TcpTransport::ScheduleRedial(PrincipalId local, PrincipalId peer,
+                                  SimTime delay) {
+  std::weak_ptr<bool> alive = alive_;
+  loop_->ScheduleAfter(delay, [this, alive, local, peer] {
+    if (alive.expired()) return;
+    // Still no established connection (nothing beat us to it)?
+    if (ConnectionFor(local, peer) != nullptr) return;
+    DialPeer(local, peer);
+  });
+}
+
+void TcpTransport::FinishConnect(const std::shared_ptr<Connection>& conn) {
+  conn->connecting = false;
+  ++counters_.connections_dialed;
+  loop_->ModifyFd(conn->fd, EventLoop::kReadable);
+  EnqueueFrame(conn, EncodeHello(Hello{conn->local, options_.fingerprint}));
+}
+
+void TcpTransport::OnConnectionEvent(const std::shared_ptr<Connection>& conn,
+                                     uint32_t events) {
+  if (conn->fd < 0) return;
+  if (conn->connecting) {
+    if (events & (EventLoop::kWritable | EventLoop::kError)) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ++counters_.connection_failures;
+        CloseConnection(conn, "connect failed");
+        return;
+      }
+      FinishConnect(conn);
+    }
+    return;
+  }
+  if (events & EventLoop::kError) {
+    CloseConnection(conn, "socket error");
+    return;
+  }
+  if (events & EventLoop::kReadable) {
+    DrainReadable(conn);
+    if (conn->fd < 0) return;  // closed during the drain
+  }
+  if (events & EventLoop::kWritable) FlushWrites(conn);
+}
+
+void TcpTransport::DrainReadable(const std::shared_ptr<Connection>& conn) {
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      counters_.bytes_received += static_cast<uint64_t>(n);
+      const Status fed = conn->reader.Feed(buf, static_cast<size_t>(n));
+      if (!fed.ok()) {
+        ++counters_.frame_errors;
+        CloseConnection(conn, fed.ToString().c_str());
+        return;
+      }
+      Bytes body;
+      while (conn->reader.Next(&body)) {
+        if (!conn->hello_received) {
+          Result<Hello> hello = DecodeHello(body);
+          if (!hello.ok() || hello->fingerprint != options_.fingerprint ||
+              (conn->dialed && hello->sender != conn->peer)) {
+            ++counters_.frame_errors;
+            CloseConnection(conn, "bad HELLO");
+            return;
+          }
+          conn->hello_received = true;
+          conn->peer = hello->sender;
+          // Duplex channel established: route sends (local -> peer) here,
+          // replacing any stale connection to the same peer. Close the stale
+          // one first (which erases its map node), then insert ours.
+          const auto key = std::make_pair(conn->local, conn->peer);
+          auto existing = peers_.find(key);
+          if (existing != peers_.end() && existing->second != conn) {
+            CloseConnection(existing->second, "superseded");
+          }
+          peers_[key] = conn;
+          if (conn->dialed) backoff_.erase({conn->local, conn->peer});
+          continue;
+        }
+        ++counters_.messages_received;
+        auto it = locals_.find(conn->local);
+        if (it == locals_.end() || !it->second.up ||
+            it->second.handler == nullptr) {
+          ++counters_.dropped_node_down;
+          continue;
+        }
+        it->second.handler->OnMessage(conn->peer, Payload(std::move(body)));
+        if (conn->fd < 0) return;  // handler-triggered teardown
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF (or hard error): a torn mid-frame close is a frame error worth
+    // counting; either way the connection is gone.
+    if (!conn->reader.OnPeerClose().ok()) ++counters_.frame_errors;
+    CloseConnection(conn, "peer closed");
+    return;
+  }
+}
+
+void TcpTransport::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  while (!conn->write_queue.empty()) {
+    const Bytes& head = conn->write_queue.front();
+    // MSG_NOSIGNAL: a peer that vanished (SIGKILLed node) must surface as
+    // EPIPE -> CloseConnection, not kill this process with SIGPIPE.
+    const ssize_t n = send(conn->fd, head.data() + conn->head_offset,
+                           head.size() - conn->head_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(conn, "write failed");
+      return;
+    }
+    counters_.bytes_sent += static_cast<uint64_t>(n);
+    conn->head_offset += static_cast<size_t>(n);
+    if (conn->head_offset == head.size()) {
+      conn->queued_bytes -= head.size();
+      conn->write_queue.pop_front();
+      conn->head_offset = 0;
+    }
+  }
+  const uint32_t interest =
+      conn->write_queue.empty()
+          ? EventLoop::kReadable
+          : (EventLoop::kReadable | EventLoop::kWritable);
+  loop_->ModifyFd(conn->fd, interest);
+}
+
+void TcpTransport::EnqueueFrame(const std::shared_ptr<Connection>& conn,
+                                Bytes frame) {
+  if (conn->queued_bytes + frame.size() > options_.max_queued_bytes) {
+    ++counters_.dropped_backpressure;
+    return;
+  }
+  conn->queued_bytes += frame.size();
+  conn->write_queue.push_back(std::move(frame));
+  FlushWrites(conn);
+}
+
+void TcpTransport::CloseConnection(const std::shared_ptr<Connection>& conn,
+                                   const char* why) {
+  (void)why;
+  if (conn->fd < 0) return;
+  loop_->UnwatchFd(conn->fd);
+  close(conn->fd);
+  conn->fd = -1;
+  auto it = peers_.find({conn->local, conn->peer});
+  if (it != peers_.end() && it->second == conn) peers_.erase(it);
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i] == conn) {
+      connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  // The dialing side owns re-establishment; the accepting side just waits
+  // for the peer to come back.
+  if (conn->dialed) {
+    auto& backoff = backoff_[{conn->local, conn->peer}];
+    if (backoff == 0) backoff = options_.reconnect_initial;
+    ScheduleRedial(conn->local, conn->peer, backoff);
+    backoff = std::min(backoff * 2, options_.reconnect_max);
+  }
+}
+
+std::shared_ptr<TcpTransport::Connection> TcpTransport::ConnectionFor(
+    PrincipalId local, PrincipalId peer) const {
+  auto it = peers_.find({local, peer});
+  return it == peers_.end() ? nullptr : it->second;
+}
+
+void TcpTransport::Send(PrincipalId from, PrincipalId to, Payload payload) {
+  auto local = locals_.find(from);
+  if (local == locals_.end() || !local->second.up) {
+    ++counters_.dropped_node_down;
+    return;
+  }
+  if (IsLocal(to)) {
+    DeliverLocally(from, to, std::move(payload));
+    return;
+  }
+  std::shared_ptr<Connection> conn = ConnectionFor(from, to);
+  if (conn == nullptr || !conn->hello_received) {
+    ++counters_.dropped_no_connection;
+    return;
+  }
+  ++counters_.messages_sent;
+  EnqueueFrame(conn, EncodeFrame(payload.data(), payload.size()));
+}
+
+void TcpTransport::Multicast(PrincipalId from,
+                             const std::vector<PrincipalId>& targets,
+                             const Payload& payload) {
+  for (PrincipalId to : targets) {
+    if (to == from) continue;
+    Send(from, to, payload);
+  }
+}
+
+void TcpTransport::DeliverLocally(PrincipalId from, PrincipalId to,
+                                  Payload payload) {
+  // Defer to the next loop turn: same-process delivery must not re-enter
+  // the sender's handler stack (mirrors the simulator, where delivery is
+  // always a scheduled event).
+  std::weak_ptr<bool> alive = alive_;
+  loop_->ScheduleAfter(0, [this, alive, from, to,
+                           payload = std::move(payload)] {
+    if (alive.expired()) return;
+    auto it = locals_.find(to);
+    if (it == locals_.end() || !it->second.up || it->second.handler == nullptr) {
+      ++counters_.dropped_node_down;
+      return;
+    }
+    ++counters_.messages_sent;
+    ++counters_.messages_received;
+    it->second.handler->OnMessage(from, std::move(payload));
+  });
+}
+
+void TcpTransport::SetNodeUp(PrincipalId id, bool up) {
+  auto it = locals_.find(id);
+  if (it != locals_.end()) it->second.up = up;
+}
+
+SimTime TcpTransport::MeterBusy(PrincipalId id) const {
+  auto it = locals_.find(id);
+  if (it == locals_.end() || it->second.meter == nullptr) return 0;
+  return it->second.meter->total_busy();
+}
+
+bool TcpTransport::ConnectedTo(PrincipalId peer) const {
+  for (const auto& [key, conn] : peers_) {
+    if (key.second == peer && conn->hello_received) return true;
+  }
+  return false;
+}
+
+}  // namespace rt
+}  // namespace seemore

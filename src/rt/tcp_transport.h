@@ -1,0 +1,185 @@
+// Real Transport over non-blocking TCP on an EventLoop.
+//
+// One TcpTransport per process serves every principal registered in that
+// process (a node process registers its one replica; the launcher process
+// registers all clients). Replica r listens on base_port + r; clients have
+// no listener. Connection ownership is deterministic: a replica dials every
+// replica with a smaller id and accepts from larger ids and clients, so
+// each principal pair shares exactly one duplex connection. Every
+// established connection opens with a HELLO frame (rt/frame.h) announcing
+// the dialer's principal id and the cluster fingerprint — the transport's
+// pairwise-authenticated-channel guarantee on localhost.
+//
+// Loss semantics mirror the Transport contract exactly: Send never blocks;
+// a message with no established connection, a crashed local node, or a full
+// write queue is silently dropped and counted — the protocols already
+// tolerate loss, and a dialer retries its connection with exponential
+// backoff, so process kill + respawn looks like the message loss the
+// simulator injects.
+
+#ifndef SEEMORE_RT_TCP_TRANSPORT_H_
+#define SEEMORE_RT_TCP_TRANSPORT_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/transport.h"
+#include "rt/event_loop.h"
+#include "rt/frame.h"
+
+namespace seemore {
+namespace rt {
+
+/// Accounting-only CpuMeter: real nodes burn real CPU, so Charge() tracks
+/// the cost-model total for report provenance but never delays delivery
+/// (the contract net/transport.h reserves for real backends).
+class RtCpuMeter final : public CpuMeter {
+ public:
+  explicit RtCpuMeter(const Clock* clock) : clock_(clock) {}
+
+  void Charge(SimTime cost) override { total_busy_ += cost; }
+  SimTime AvailableAt() const override { return clock_->Now(); }
+  SimTime total_busy() const override { return total_busy_; }
+
+ private:
+  const Clock* clock_;
+  SimTime total_busy_ = 0;
+};
+
+struct TcpTransportOptions {
+  /// Cluster size; replica ids 0..num_replicas-1 map to listener ports.
+  int num_replicas = 0;
+  uint16_t base_port = 18500;
+  /// Cluster-instance fingerprint carried in HELLO (launcher: the seed).
+  uint64_t fingerprint = 0;
+  /// Dialer retry backoff: initial doubles up to max.
+  SimTime reconnect_initial = Millis(25);
+  SimTime reconnect_max = Millis(800);
+  /// Per-peer write-queue cap: beyond this, new frames are dropped
+  /// (backpressure as loss, which the protocols tolerate by design).
+  size_t max_queued_bytes = 8u << 20;
+  size_t max_frame = kMaxFrameBytes;
+};
+
+/// Transport counters (report provenance; mirrors SimNetwork's NetCounters
+/// in spirit).
+struct TcpCounters {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t dropped_no_connection = 0;
+  uint64_t dropped_backpressure = 0;
+  uint64_t dropped_node_down = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_dialed = 0;
+  uint64_t connection_failures = 0;
+  uint64_t frame_errors = 0;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(EventLoop* loop, TcpTransportOptions options);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// First error from listener setup / registration (sockets that fail
+  /// later retry or drop per the loss semantics; only setup is fatal).
+  const Status& status() const { return status_; }
+  const TcpCounters& counters() const { return counters_; }
+
+  /// --- Transport ----------------------------------------------------------
+  /// Registering a replica id binds its listener and starts dialing its
+  /// lower-id peers immediately; registering a client starts dialing every
+  /// replica.
+  CpuMeter* Register(PrincipalId id, Zone zone, MessageHandler* handler,
+                     bool metered) override;
+  void Send(PrincipalId from, PrincipalId to, Payload payload) override;
+  void Multicast(PrincipalId from, const std::vector<PrincipalId>& targets,
+                 const Payload& payload) override;
+  void SetNodeUp(PrincipalId id, bool up) override;
+
+  /// True once a duplex connection to `peer` is established (tests and the
+  /// launcher's readiness gate).
+  bool ConnectedTo(PrincipalId peer) const;
+
+  /// Accumulated cost-model busy time of a metered local node (0 when
+  /// unmetered/unknown) — report provenance.
+  SimTime MeterBusy(PrincipalId id) const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    /// Which local principal owns this connection (a process can host many:
+    /// the launcher hosts every client, each with its own connections).
+    PrincipalId local = -1;
+    /// Peer identity: the dial target, or the HELLO announcement on an
+    /// accepted connection (-1 until the HELLO arrives).
+    PrincipalId peer = -1;
+    bool dialed = false;        // we own reconnect for this connection
+    bool connecting = false;    // non-blocking connect in flight
+    bool hello_received = false;
+    FrameReader reader;
+    /// Write queue: flat byte chunks already framed. head_offset_ tracks
+    /// the partially-written front chunk.
+    std::deque<Bytes> write_queue;
+    size_t head_offset = 0;
+    size_t queued_bytes = 0;
+  };
+
+  struct LocalNode {
+    MessageHandler* handler = nullptr;
+    std::unique_ptr<RtCpuMeter> meter;
+    bool up = true;
+  };
+
+  bool IsLocal(PrincipalId id) const { return locals_.count(id) > 0; }
+  bool IsReplicaPrincipal(PrincipalId id) const;
+  void StartListener(PrincipalId id);
+  void DialPeer(PrincipalId local, PrincipalId peer);
+  void ScheduleRedial(PrincipalId local, PrincipalId peer, SimTime delay);
+  void OnListenerReadable(int listen_fd);
+  void OnConnectionEvent(const std::shared_ptr<Connection>& conn,
+                         uint32_t events);
+  void FinishConnect(const std::shared_ptr<Connection>& conn);
+  void DrainReadable(const std::shared_ptr<Connection>& conn);
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn,
+                       const char* why);
+  void EnqueueFrame(const std::shared_ptr<Connection>& conn, Bytes frame);
+  void DeliverLocally(PrincipalId from, PrincipalId to, Payload payload);
+  /// The established connection for (local, peer), nullptr when none.
+  std::shared_ptr<Connection> ConnectionFor(PrincipalId local,
+                                            PrincipalId peer) const;
+
+  EventLoop* loop_;
+  const TcpTransportOptions options_;
+  Status status_;
+  TcpCounters counters_;
+
+  std::map<PrincipalId, LocalNode> locals_;
+  /// Listener fds per local replica id.
+  std::map<PrincipalId, int> listeners_;
+  /// Established (hello-complete) connections by (local, peer) pair: the
+  /// routing table Send consults.
+  std::map<std::pair<PrincipalId, PrincipalId>, std::shared_ptr<Connection>>
+      peers_;
+  /// All live connections (including half-open ones awaiting HELLO).
+  std::vector<std::shared_ptr<Connection>> connections_;
+  /// Dialer state: current backoff per (local, peer).
+  std::map<std::pair<PrincipalId, PrincipalId>, SimTime> backoff_;
+  /// Lifetime token for closures parked in the event loop (redials, local
+  /// deliveries): expired means the transport is gone, do nothing.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace rt
+}  // namespace seemore
+
+#endif  // SEEMORE_RT_TCP_TRANSPORT_H_

@@ -62,6 +62,30 @@ const std::vector<SeeMoReMode>& AllSeeMoReModes() {
   return kAll;
 }
 
+const char* BackendKindToken(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+Result<BackendKind> BackendKindFromToken(const std::string& token) {
+  for (BackendKind kind : AllBackendKinds()) {
+    if (token == BackendKindToken(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown backend: \"" + token +
+                                 "\" (expected sim | tcp)");
+}
+
+const std::vector<BackendKind>& AllBackendKinds() {
+  static const std::vector<BackendKind> kAll = {BackendKind::kSim,
+                                                BackendKind::kTcp};
+  return kAll;
+}
+
 namespace {
 
 const char* ByzBitToken(uint32_t bit) {

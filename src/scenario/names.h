@@ -20,6 +20,13 @@
 namespace seemore {
 namespace scenario {
 
+/// Which runtime executes the scenario: the deterministic discrete-event
+/// simulator, or real processes over TCP on localhost (src/rt/).
+enum class BackendKind : uint8_t {
+  kSim = 1,
+  kTcp = 2,
+};
+
 /// What the clients issue.
 enum class WorkloadKind : uint8_t {
   kEcho = 1,  // x-KB request / y-KB reply micro-benchmark (§6)
@@ -63,6 +70,11 @@ const std::vector<SeeMoReMode>& AllSeeMoReModes();
 std::string ByzFlagsToken(uint32_t flags);
 Result<uint32_t> ByzFlagsFromToken(const std::string& token);
 const std::vector<uint32_t>& AllByzFlagBits();
+
+/// --- backend ("sim" | "tcp") ---------------------------------------------
+const char* BackendKindToken(BackendKind kind);
+Result<BackendKind> BackendKindFromToken(const std::string& token);
+const std::vector<BackendKind>& AllBackendKinds();
 
 /// --- workload kind ("echo" | "kv") ---------------------------------------
 const char* WorkloadKindToken(WorkloadKind kind);

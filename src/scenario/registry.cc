@@ -267,6 +267,51 @@ ScenarioSpec KillComeback(bool durable_restart, int replica,
   return builder.spec();
 }
 
+/// Regression pin for the laggard catch-up bug: a public replica crashes
+/// mid-load and comes back far behind the frontier. In Lion/Dog the trusted
+/// primary's next signed checkpoint triggers the state fetch; in Peacock the
+/// crash of replica 2 (the untrusted primary of view 0) additionally forces
+/// a view change the sleeper never hears about, so the comeback replica must
+/// first re-learn the view via a relayed NEW-VIEW (kSmNewViewRequest) and
+/// only then catch up through the quorum-stable checkpoint. The restart twin
+/// replays the same schedule against a fresh process restored from the
+/// durable store (which re-enters the pre-crash view from disk and must take
+/// the identical catch-up path).
+ScenarioSpec LaggardCatchup(SeeMoReMode mode, bool durable_restart) {
+  const std::string role = mode == SeeMoReMode::kLion
+                               ? "lion"
+                               : (mode == SeeMoReMode::kDog ? "dog"
+                                                            : "peacock");
+  ScenarioBuilder builder(PaperBaseSpec(/*seed=*/89));
+  const std::string comeback = durable_restart
+                                   ? "a fresh process restores it from disk"
+                                   : "it rejoins with its memory intact";
+  builder.Name("catchup-" + role + (durable_restart ? "-restart" : ""))
+      .Description("Laggard catch-up in " + role +
+                   " mode: public replica 2 is crashed mid-load and " +
+                   comeback + " far behind the frontier (in Peacock it also "
+                   "slept through the view change its own crash forced); by "
+                   "the post-drain check it must have re-joined the view, "
+                   "state-transferred through a stable checkpoint and "
+                   "executed the full prefix")
+      .SeeMoRe(mode, 1, 1)
+      .Clients(16)
+      .Kv(128, 0.5)
+      .CheckpointPeriod(128)
+      .CrashAt(Millis(80), 2);
+  if (durable_restart) {
+    builder.Durability(/*fsync_interval=*/1, /*segment_bytes=*/1 << 20)
+        .RestartAt(Millis(250), 2);
+  } else {
+    builder.RecoverAt(Millis(250), 2);
+  }
+  builder.Warmup(Millis(100))
+      .Measure(Millis(500))
+      .Drain(Millis(400))
+      .CheckConvergence();
+  return builder.spec();
+}
+
 ScenarioSpec PowerLossCheckpoint() {
   ScenarioBuilder builder(PaperBaseSpec(/*seed=*/79));
   builder.Name("power-loss-checkpoint")
@@ -342,6 +387,13 @@ const std::vector<NamedScenario>& AllScenarios() {
       return KillComeback(/*durable_restart=*/false, /*replica=*/1, "backup",
                           /*seed=*/73);
     });
+    for (SeeMoReMode mode : {SeeMoReMode::kLion, SeeMoReMode::kDog,
+                             SeeMoReMode::kPeacock}) {
+      factories.push_back(
+          [mode] { return LaggardCatchup(mode, /*durable_restart=*/false); });
+      factories.push_back(
+          [mode] { return LaggardCatchup(mode, /*durable_restart=*/true); });
+    }
     factories.push_back(PowerLossCheckpoint);
     factories.push_back(WalCorruptionRefusal);
     // The registry entry is derived from the spec each factory actually

@@ -292,6 +292,7 @@ Json ScenarioSpec::ToJson() const {
   Json root = Json::Object();
   root.Set("name", name);
   root.Set("description", description);
+  root.Set("backend", BackendKindToken(backend));
   root.Set("protocol", ProtocolKindToken(protocol));
   root.Set("mode", SeeMoReModeToken(mode));
   root.Set("seed", seed);
@@ -414,7 +415,10 @@ Result<ScenarioSpec> ScenarioSpec::FromJson(const Json& json) {
 
   SEEMORE_RETURN_IF_ERROR(root.ReadString("name", &spec.name));
   SEEMORE_RETURN_IF_ERROR(root.ReadString("description", &spec.description));
-  std::string token = ProtocolKindToken(spec.protocol);
+  std::string token = BackendKindToken(spec.backend);
+  SEEMORE_RETURN_IF_ERROR(root.ReadString("backend", &token));
+  SEEMORE_ASSIGN_OR_RETURN(spec.backend, BackendKindFromToken(token));
+  token = ProtocolKindToken(spec.protocol);
   SEEMORE_RETURN_IF_ERROR(root.ReadString("protocol", &token));
   SEEMORE_ASSIGN_OR_RETURN(spec.protocol, ProtocolKindFromToken(token));
   token = SeeMoReModeToken(spec.mode);

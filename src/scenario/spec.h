@@ -102,6 +102,13 @@ struct ScenarioSpec {
   std::string name = "unnamed";
   std::string description;
 
+  /// Which runtime executes the spec. The simulator is the default; "tcp"
+  /// asks seemore_ctl to launch real node processes on localhost (src/rt/)
+  /// and drive them with this same spec. The engine's RunScenario always
+  /// runs the simulator — the backend field routes at the tool layer, so a
+  /// spec file is one experiment with two interchangeable runtimes.
+  BackendKind backend = BackendKind::kSim;
+
   ProtocolKind protocol = ProtocolKind::kSeeMoRe;
   /// Initial SeeMoRe mode (ignored by the flat protocols).
   SeeMoReMode mode = SeeMoReMode::kLion;

@@ -131,6 +131,9 @@ void SeeMoReReplica::HandleMessage(PrincipalId from, const Payload& frame) {
     case kSmStateResponse:
       DispatchTyped(this, from, dec, &SeeMoReReplica::HandleStateResponse);
       break;
+    case kSmNewViewRequest:
+      DispatchTyped(this, from, dec, &SeeMoReReplica::HandleNewViewRequest);
+      break;
     default:
       break;
   }
@@ -276,6 +279,10 @@ void SeeMoReReplica::HandlePrepare(PrincipalId from, SmPrepareMsg msg) {
     if (!FrameVerifyMemoized(from, kSmPrepare, verify_proposal)) return;
     EnterView(msg.view, msg_mode);
   } else if (msg_mode != mode_ || msg.view != view_ || in_view_change_) {
+    // A Peacock prepare for a higher view is not self-certifying, but it is
+    // a hint that a view change happened while we were away (crash/recover):
+    // ask the sender to relay the transferer's NEW-VIEW.
+    if (msg.view > view_) RequestNewViewFrom(from);
     return;
   } else {
     ChargeVerify();
@@ -443,6 +450,7 @@ void SeeMoReReplica::HandleCommitPrimary(PrincipalId from,
 void SeeMoReReplica::HandleAcceptSigned(PrincipalId from,
                                         SmAcceptSignedMsg msg) {
   const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
+  if (msg.view > view_) RequestNewViewFrom(from);
   if (msg_mode != mode_ || msg.view != view_ || in_view_change_) return;
   if (mode_ == SeeMoReMode::kLion) return;
   if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
@@ -520,6 +528,7 @@ void SeeMoReReplica::CheckProxyCommit(uint64_t seq, SlotCore& slot) {
 
 void SeeMoReReplica::HandleCommitVote(PrincipalId from, SmCommitVoteMsg msg) {
   const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
+  if (msg.view > view_) RequestNewViewFrom(from);
   if (msg_mode != mode_ || msg.view != view_ || in_view_change_) return;
   if (mode_ == SeeMoReMode::kLion) return;
   if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
@@ -551,6 +560,7 @@ void SeeMoReReplica::HandleCommitVote(PrincipalId from, SmCommitVoteMsg msg) {
 void SeeMoReReplica::HandleInform(PrincipalId from, SmInformMsg msg) {
   const SeeMoReMode msg_mode = static_cast<SeeMoReMode>(msg.mode);
   if (msg_mode != mode_ || mode_ == SeeMoReMode::kLion) return;
+  if (msg.view > view_) RequestNewViewFrom(from);
   if (msg.view != view_) return;
   if (msg.voter != from || !config_.IsProxy(msg.voter, msg.view)) return;
   if (msg.seq <= ckpt_.stable_seq()) return;
@@ -724,6 +734,23 @@ void SeeMoReReplica::RequestStateFrom(PrincipalId target) {
   ++stats_.state_transfers;
   StateRequestMsg request{exec_.last_executed()};
   SendTo(target, request.ToMessage(kSmStateRequest));
+}
+
+void SeeMoReReplica::RequestNewViewFrom(PrincipalId target) {
+  if (target == id_ || !IsReplicaId(target)) return;
+  if (now() - last_nv_request_ < Millis(20)) return;
+  last_nv_request_ = now();
+  NewViewRequestMsg request{view_};
+  SendTo(target, request.ToMessage());
+}
+
+void SeeMoReReplica::HandleNewViewRequest(PrincipalId from,
+                                          NewViewRequestMsg msg) {
+  // Only useful when we actually hold a NEW-VIEW newer than the requester's
+  // view. The relayed frame is verified end-to-end by the receiver
+  // (HandleNewView), so no further validation is needed here.
+  if (msg.view >= view_ || last_new_view_frame_.size() == 0) return;
+  SendTo(from, last_new_view_frame_);
 }
 
 void SeeMoReReplica::HandleStateRequest(PrincipalId from, StateRequestMsg msg) {

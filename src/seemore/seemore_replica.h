@@ -140,6 +140,13 @@ class SeeMoReReplica : public ReplicaBase {
   void HandleStateResponse(PrincipalId from, StateResponseMsg msg);
   void RequestStateFrom(PrincipalId target);
 
+  // ----- view catch-up ----------------------------------------------------
+  /// Called on protocol traffic for a view above ours that is not
+  /// self-certifying (Peacock, where the primary is untrusted): ask the
+  /// sender to relay the stored NEW-VIEW that activated its view.
+  void RequestNewViewFrom(PrincipalId target);
+  void HandleNewViewRequest(PrincipalId from, NewViewRequestMsg msg);
+
   // ----- view change / mode switch -----
   void ArmViewTimer();
   void RestartOrDisarmViewTimer();
@@ -186,6 +193,14 @@ class SeeMoReReplica : public ReplicaBase {
   /// Last time we asked a peer for a snapshot (rate limit; a lost response
   /// must not wedge recovery).
   SimTime last_state_request_ = -Seconds(1);
+  /// Last time we asked a peer to relay a NEW-VIEW (same rate-limit idea).
+  SimTime last_nv_request_ = -Seconds(1);
+  /// The NEW-VIEW frame that activated the current view (empty when the view
+  /// was entered some other way: genesis, trusted-primary fast-forward, or a
+  /// durable restart). Kept verbatim so it can be relayed to replicas that
+  /// slept through the view change — it is self-certifying (signed by the
+  /// trusted authority), so relaying through untrusted peers is safe.
+  Payload last_new_view_frame_;
 };
 
 }  // namespace seemore

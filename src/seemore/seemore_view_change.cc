@@ -477,10 +477,12 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
         ProposalHeader(kDomainPrePrepare, mode8, new_view, seq, cand.digest));
     nv.prepares.push_back(std::move(entry));
   }
-  SendToMany(config_.AllReplicas(), nv.ToMessage());
+  const Payload nv_frame(nv.ToMessage());
+  SendToMany(config_.AllReplicas(), nv_frame);
 
   // Install locally.
   EnterView(new_view, target_mode);
+  last_new_view_frame_ = nv_frame;  // kept for relay to sleeping replicas
   ++stats_.view_changes_completed;
   if (target_mode != mode_) ++stats_.mode_changes;
   if (low > exec_.last_executed() && helper != id_) RequestStateFrom(helper);
@@ -532,14 +534,16 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
   const SeeMoReMode new_mode = static_cast<SeeMoReMode>(msg.mode);
   const uint64_t new_view = msg.new_view;
   if (new_view <= view_) return;
-  // Only the trusted authority of the new (view, mode) may issue NEW-VIEW.
-  if (from != SwitchAuthority(new_mode, new_view) || !config_.IsTrusted(from)) {
-    return;
-  }
+  // Only the trusted authority of the new (view, mode) may ISSUE a NEW-VIEW,
+  // but any replica may RELAY one (view catch-up for replicas that slept
+  // through the view change): every signature below verifies against the
+  // authority, so a relayed frame is exactly as trustworthy as a direct one.
+  const PrincipalId authority = SwitchAuthority(new_mode, new_view);
+  if (!config_.IsTrusted(authority)) return;
   const uint8_t mode8 = msg.mode;
   ChargeVerify();
-  if (!FrameVerifyMemoized(from, kSmNewView, [&] {
-        return msg.VerifySignature(*keystore_, from);
+  if (!FrameVerifyMemoized(authority, kSmNewView, [&] {
+        return msg.VerifySignature(*keystore_, authority);
       })) {
     return;
   }
@@ -584,7 +588,7 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();
     ChargeVerify();
-    if (!keystore_->Verify(from,
+    if (!keystore_->Verify(authority,
                            ProposalHeader(kDomainCommit, mode8, new_view,
                                           entry.seq, entry.digest),
                            entry.sig)) {
@@ -605,7 +609,7 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
     if (!batch_or.ok()) return;
     entry.batch = std::move(batch_or).value();
     ChargeVerify();
-    if (!keystore_->Verify(from,
+    if (!keystore_->Verify(authority,
                            ProposalHeader(kDomainPrePrepare, mode8, new_view,
                                           entry.seq, entry.digest),
                            entry.sig)) {
@@ -615,6 +619,7 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
   }
 
   EnterView(new_view, new_mode);
+  last_new_view_frame_ = current_frame();  // kept for relay to laggards
   ++stats_.view_changes_completed;
   if (msg.low > exec_.last_executed()) RequestStateFrom(from);
 

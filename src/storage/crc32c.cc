@@ -1,100 +1,71 @@
+// CRC32C front end: kernel dispatch plus the conventional seed/result
+// inversions. The kernels themselves live in crc32c_kernels.cc.
+
 #include "storage/crc32c.h"
 
-#if defined(__x86_64__) || defined(__i386__)
-#include <nmmintrin.h>
-#define SEEMORE_CRC32C_X86 1
-#endif
+#include "storage/crc32c_kernels.h"
 
 namespace seemore {
 namespace storage {
 namespace {
 
-// Table for the reflected Castagnoli polynomial 0x82F63B78, generated once
-// at startup (256 entries; the generation loop is the textbook one).
-struct Crc32cTable {
-  uint32_t entries[256];
-  Crc32cTable() {
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
-      }
-      entries[i] = crc;
-    }
+using crc32c_internal::ExtendFn;
+
+ExtendFn KernelFor(Crc32cImpl impl) {
+  switch (impl) {
+    case Crc32cImpl::kSse42:
+      return crc32c_internal::Sse42ExtendFn();
+    case Crc32cImpl::kPortable:
+      return &crc32c_internal::ExtendPortable;
   }
+  return nullptr;
+}
+
+Crc32cImpl DetectBestImpl() {
+  if (crc32c_internal::Sse42ExtendFn() != nullptr) return Crc32cImpl::kSse42;
+  return Crc32cImpl::kPortable;
+}
+
+// The selected kernel. Resolved once on first use (thread-safe magic
+// static); Crc32cForceImpl/Crc32cResetImpl rebind it from single-threaded
+// tests only.
+struct Dispatch {
+  Crc32cImpl impl;
+  ExtendFn fn;
 };
 
-const Crc32cTable& Table() {
-  static const Crc32cTable table;
-  return table;
-}
-
-uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t len) {
-  const uint32_t* table = Table().entries;
-  for (size_t i = 0; i < len; ++i) {
-    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFF];
-  }
-  return crc;
-}
-
-#if defined(SEEMORE_CRC32C_X86)
-__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
-                                                          const uint8_t* data,
-                                                          size_t len) {
-  // Head: bytes until 8-byte alignment, then 64-bit strides, then the tail.
-  while (len > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
-    crc = _mm_crc32_u8(crc, *data++);
-    --len;
-  }
-#if defined(__x86_64__)
-  uint64_t crc64 = crc;
-  while (len >= 8) {
-    uint64_t word;
-    __builtin_memcpy(&word, data, 8);
-    crc64 = _mm_crc32_u64(crc64, word);
-    data += 8;
-    len -= 8;
-  }
-  crc = static_cast<uint32_t>(crc64);
-#endif
-  while (len > 0) {
-    crc = _mm_crc32_u8(crc, *data++);
-    --len;
-  }
-  return crc;
-}
-#endif  // SEEMORE_CRC32C_X86
-
-using ExtendFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
-
-ExtendFn PickExtend() {
-#if defined(SEEMORE_CRC32C_X86)
-  if (__builtin_cpu_supports("sse4.2")) return &ExtendHardware;
-#endif
-  return &ExtendPortable;
-}
-
-ExtendFn ActiveExtend() {
-  static const ExtendFn fn = PickExtend();
-  return fn;
+Dispatch& ActiveDispatch() {
+  static Dispatch d = {DetectBestImpl(), KernelFor(DetectBestImpl())};
+  return d;
 }
 
 }  // namespace
 
 uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t len) {
-  return ~ActiveExtend()(~crc, data, len);
+  return ~ActiveDispatch().fn(~crc, data, len);
 }
 
 uint32_t Crc32c(const uint8_t* data, size_t len) {
   return Crc32cExtend(0, data, len);
 }
 
+Crc32cImpl Crc32cActiveImpl() { return ActiveDispatch().impl; }
+
+bool Crc32cImplSupported(Crc32cImpl impl) { return KernelFor(impl) != nullptr; }
+
+bool Crc32cForceImpl(Crc32cImpl impl) {
+  ExtendFn fn = KernelFor(impl);
+  if (fn == nullptr) return false;
+  ActiveDispatch() = {impl, fn};
+  return true;
+}
+
+void Crc32cResetImpl() {
+  ActiveDispatch() = {DetectBestImpl(), KernelFor(DetectBestImpl())};
+}
+
 bool Crc32cUsesHardware() {
-#if defined(SEEMORE_CRC32C_X86)
-  return ActiveExtend() == &ExtendHardware;
-#else
-  return false;
-#endif
+  return Crc32cActiveImpl() == Crc32cImpl::kSse42;
 }
 
 }  // namespace storage

@@ -1,12 +1,14 @@
-// CRC32C (Castagnoli) — the storage layer's frame checksum.
+// CRC32C (Castagnoli) — the frame checksum for both durability (WAL,
+// snapshot store) and the real TCP transport's wire frames.
 //
 // Chosen over plain CRC32 for the same reason LevelDB/RocksDB and the ext4
 // journal use it: the polynomial has better error-detection properties for
 // short records and x86 has carried a dedicated instruction for it since
-// SSE4.2. Runtime dispatch follows crypto/sha256_simd.cc: a portable table
-// implementation always exists, the hardware path is selected once per
-// process. Both produce identical values, so recovery decisions never depend
-// on the host CPU.
+// SSE4.2. Runtime dispatch mirrors crypto/sha256.h: a portable table
+// implementation always exists, the hardware kernel is selected once per
+// process, and tests can pin either kernel via Crc32cForceImpl to
+// cross-check them. Both produce identical values, so recovery decisions
+// and frame accept/reject never depend on the host CPU.
 
 #ifndef SEEMORE_STORAGE_CRC32C_H_
 #define SEEMORE_STORAGE_CRC32C_H_
@@ -24,6 +26,25 @@ uint32_t Crc32c(const uint8_t* data, size_t len);
 /// Streaming form: extend a previous Crc32c() value with more bytes, as if
 /// the two buffers had been hashed in one call.
 uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t len);
+
+/// Which kernel computes the CRC (see file comment).
+enum class Crc32cImpl : uint8_t { kPortable = 0, kSse42 = 1 };
+
+/// The kernel currently selected (auto-detected at first use, or the one
+/// last forced via Crc32cForceImpl).
+Crc32cImpl Crc32cActiveImpl();
+
+/// True if this build + CPU can run the given kernel.
+bool Crc32cImplSupported(Crc32cImpl impl);
+
+/// Test hook: pin the dispatcher to one kernel so tests can cross-check the
+/// hardware path against the portable one. Returns false (and changes
+/// nothing) if the kernel is unsupported here. Not synchronized — call only
+/// from single-threaded test setup, and Crc32cResetImpl() when done.
+bool Crc32cForceImpl(Crc32cImpl impl);
+
+/// Undo Crc32cForceImpl: back to the best auto-detected kernel.
+void Crc32cResetImpl();
 
 /// True when the hardware (SSE4.2) path is in use — surfaced for tests and
 /// bench provenance, never for behaviour.

@@ -1,0 +1,84 @@
+// CRC32C kernels: portable table loop plus the SSE4.2 hardware path.
+// Both operate on raw (pre-inverted) CRC state; the front end in crc32c.cc
+// applies the conventional inversions and picks a kernel once per process.
+
+#include "storage/crc32c_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define SEEMORE_CRC32C_X86 1
+#endif
+
+namespace seemore {
+namespace storage {
+namespace crc32c_internal {
+namespace {
+
+// Table for the reflected Castagnoli polynomial 0x82F63B78, generated once
+// at startup (256 entries; the generation loop is the textbook one).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+#if defined(SEEMORE_CRC32C_X86)
+__attribute__((target("sse4.2"))) uint32_t ExtendSse42(uint32_t crc,
+                                                       const uint8_t* data,
+                                                       size_t len) {
+  // Head: bytes until 8-byte alignment, then 64-bit strides, then the tail.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *data++);
+    --len;
+  }
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (len >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, data, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    data += 8;
+    len -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#endif
+  while (len > 0) {
+    crc = _mm_crc32_u8(crc, *data++);
+    --len;
+  }
+  return crc;
+}
+#endif  // SEEMORE_CRC32C_X86
+
+}  // namespace
+
+uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t len) {
+  const uint32_t* table = Table().entries;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFF];
+  }
+  return crc;
+}
+
+ExtendFn Sse42ExtendFn() {
+#if defined(SEEMORE_CRC32C_X86)
+  if (__builtin_cpu_supports("sse4.2")) return &ExtendSse42;
+#endif
+  return nullptr;
+}
+
+}  // namespace crc32c_internal
+}  // namespace storage
+}  // namespace seemore

@@ -1,0 +1,35 @@
+// Internal interface between the CRC32C front end (crc32c.cc) and the
+// kernels (crc32c_kernels.cc). Not for use outside src/storage/ — the
+// public surface is Crc32c/Crc32cExtend in crc32c.h. Mirrors the
+// crypto/sha256_kernels.h split so both runtime-dispatched primitives
+// follow one pattern.
+
+#ifndef SEEMORE_STORAGE_CRC32C_KERNELS_H_
+#define SEEMORE_STORAGE_CRC32C_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seemore {
+namespace storage {
+namespace crc32c_internal {
+
+/// Extend a raw (pre-inverted) CRC over `len` bytes. Kernels are pure
+/// functions of (crc, data): no allocation, no globals, so every
+/// implementation is interchangeable mid-stream — the front end owns the
+/// conventional ~seed/~result inversion.
+using ExtendFn = uint32_t (*)(uint32_t crc, const uint8_t* data, size_t len);
+
+/// The portable table-driven kernel (reflected Castagnoli polynomial
+/// 0x82F63B78) — always available.
+uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t len);
+
+/// SSE4.2 kernel (_mm_crc32_u64 strides), or nullptr when the build target
+/// or running CPU lacks the instruction.
+ExtendFn Sse42ExtendFn();
+
+}  // namespace crc32c_internal
+}  // namespace storage
+}  // namespace seemore
+
+#endif  // SEEMORE_STORAGE_CRC32C_KERNELS_H_

@@ -357,6 +357,17 @@ Result<StateRequestMsg> StateRequestMsg::DecodeFrom(Decoder& dec) {
   return msg;
 }
 
+void NewViewRequestMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(view);
+}
+
+Result<NewViewRequestMsg> NewViewRequestMsg::DecodeFrom(Decoder& dec) {
+  NewViewRequestMsg msg;
+  msg.view = dec.GetU64();
+  if (!dec.ok()) return dec.status();
+  return msg;
+}
+
 void StateResponseMsg::EncodeTo(Encoder& enc) const {
   cert.EncodeTo(enc);
   enc.Reserve(VarintSize(snapshot.size()) + snapshot.size());

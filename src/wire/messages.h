@@ -52,6 +52,7 @@ enum SeeMoReMsgType : uint8_t {
   kSmModeChange = 19,
   kSmStateRequest = 20,
   kSmStateResponse = 21,
+  kSmNewViewRequest = 22,  // laggard -> any replica: relay the NEW-VIEW
 };
 
 /// PBFT / S-UpRight tags (Castro & Liskov message flow).
@@ -355,6 +356,24 @@ struct StateResponseMsg {
   void EncodeTo(Encoder& enc) const;
   static Result<StateResponseMsg> DecodeFrom(Decoder& dec);
   Bytes ToMessage(uint8_t tag) const { return FrameMessage(tag, *this); }
+};
+
+/// <NEW-VIEW-REQUEST, v>: "my current view is v — if yours is higher, relay
+/// the NEW-VIEW that activated it." Sent by a replica that sees protocol
+/// traffic for a view above its own that it cannot self-certify (a recovered
+/// Peacock replica that slept through a view change: the untrusted primary's
+/// prepares prove nothing, and the transferer's NEW-VIEW was delivered while
+/// it was down). Unsigned: it only solicits a relay of a message that is
+/// itself signed by the trusted authority, so a forged request can at worst
+/// cost the responder one send.
+struct NewViewRequestMsg {
+  static constexpr uint8_t kTag = kSmNewViewRequest;
+
+  uint64_t view = 0;
+
+  void EncodeTo(Encoder& enc) const;
+  static Result<NewViewRequestMsg> DecodeFrom(Decoder& dec);
+  Bytes ToMessage() const { return FrameMessage(kTag, *this); }
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,241 @@
+// The rt backend in-process: EventLoop timer semantics, and real TCP
+// loopback between TcpTransports sharing one loop — connection
+// establishment with HELLO, duplex exchange, client dialing, co-located
+// local delivery, and node-down drop accounting. Each test uses its own
+// base port so listeners never collide across tests.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "rt/event_loop.h"
+#include "rt/tcp_transport.h"
+#include "scenario/spec.h"
+#include "util/time.h"
+
+namespace seemore {
+namespace rt {
+namespace {
+
+/// Drive the loop in small slices until `done` or the (real-time) budget
+/// runs out. Never hangs a test run.
+bool RunUntil(EventLoop* loop, const std::function<bool()>& done,
+              SimTime budget = Seconds(10)) {
+  const SimTime give_up = loop->Now() + budget;
+  while (!done() && loop->Now() < give_up) loop->Run(Millis(10));
+  return done();
+}
+
+struct RecordingHandler final : public MessageHandler {
+  void OnMessage(PrincipalId from, Payload payload) override {
+    froms.push_back(from);
+    messages.push_back(payload.bytes());
+  }
+  std::vector<PrincipalId> froms;
+  std::vector<Bytes> messages;
+};
+
+Bytes AsBytes(const char* text) {
+  const auto* p = reinterpret_cast<const uint8_t*>(text);
+  return Bytes(p, p + std::char_traits<char>::length(text));
+}
+
+TEST(RtEventLoop, TimersFireInDeadlineOrderAndCancel) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  std::vector<int> fired;
+  loop.ScheduleAfter(Millis(30), [&] { fired.push_back(3); });
+  loop.ScheduleAfter(Millis(10), [&] { fired.push_back(1); });
+  const EventId cancelled =
+      loop.ScheduleAfter(Millis(20), [&] { fired.push_back(2); });
+  EXPECT_TRUE(loop.CancelEvent(cancelled));
+  EXPECT_FALSE(loop.CancelEvent(cancelled)) << "double-cancel reports false";
+
+  ASSERT_TRUE(RunUntil(&loop, [&] { return fired.size() == 2; }));
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(RtEventLoop, ZeroDelayTimerFiresAndClockAdvances) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  const SimTime before = loop.Now();
+  bool fired = false;
+  loop.ScheduleAfter(0, [&] { fired = true; });
+  ASSERT_TRUE(RunUntil(&loop, [&] { return fired; }, Seconds(2)));
+  EXPECT_GT(loop.Now(), before) << "monotonic clock must advance";
+}
+
+TEST(RtEventLoop, TimerCallbackCanReschedule) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 3) loop.ScheduleAfter(Millis(1), tick);
+  };
+  loop.ScheduleAfter(Millis(1), tick);
+  ASSERT_TRUE(RunUntil(&loop, [&] { return ticks == 3; }, Seconds(2)));
+}
+
+TEST(RtTransport, DuplexExchangeOverRealSockets) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  TcpTransportOptions options;
+  options.num_replicas = 2;
+  options.base_port = 19140;
+  options.fingerprint = 0xabcdef;
+
+  // Two transports in one process = two "nodes" talking over loopback TCP.
+  TcpTransport node0(&loop, options);
+  TcpTransport node1(&loop, options);
+  RecordingHandler handler0;
+  RecordingHandler handler1;
+  node0.Register(0, Zone::kPrivate, &handler0, /*metered=*/true);
+  node1.Register(1, Zone::kPrivate, &handler1, /*metered=*/true);
+  ASSERT_TRUE(node0.status().ok());
+  ASSERT_TRUE(node1.status().ok());
+
+  // Replica 1 dials replica 0; both sides HELLO.
+  ASSERT_TRUE(RunUntil(&loop, [&] {
+    return node0.ConnectedTo(1) && node1.ConnectedTo(0);
+  })) << "cluster never became fully connected";
+
+  node1.Send(1, 0, Payload(AsBytes("ping")));
+  node0.Send(0, 1, Payload(AsBytes("pong")));
+  ASSERT_TRUE(RunUntil(&loop, [&] {
+    return !handler0.messages.empty() && !handler1.messages.empty();
+  }));
+
+  EXPECT_EQ(handler0.froms, (std::vector<PrincipalId>{1}));
+  EXPECT_EQ(handler0.messages[0], AsBytes("ping"));
+  EXPECT_EQ(handler1.froms, (std::vector<PrincipalId>{0}));
+  EXPECT_EQ(handler1.messages[0], AsBytes("pong"));
+
+  EXPECT_EQ(node1.counters().messages_sent, 1u);
+  EXPECT_EQ(node0.counters().messages_received, 1u);
+  EXPECT_EQ(node0.counters().dropped_no_connection, 0u);
+}
+
+TEST(RtTransport, ClientDialsEveryReplicaAndIsIdentified) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  TcpTransportOptions options;
+  options.num_replicas = 2;
+  options.base_port = 19150;
+  options.fingerprint = 7;
+
+  TcpTransport node0(&loop, options);
+  TcpTransport node1(&loop, options);
+  TcpTransport clients(&loop, options);  // the launcher-side transport
+  RecordingHandler handler0;
+  RecordingHandler handler1;
+  RecordingHandler client_handler;
+  node0.Register(0, Zone::kPrivate, &handler0, true);
+  node1.Register(1, Zone::kPrivate, &handler1, true);
+  const PrincipalId client = kClientIdBase;
+  clients.Register(client, Zone::kClient, &client_handler, /*metered=*/false);
+
+  ASSERT_TRUE(RunUntil(&loop, [&] {
+    return clients.ConnectedTo(0) && clients.ConnectedTo(1);
+  })) << "client never reached both replicas";
+
+  clients.Send(client, 0, Payload(AsBytes("request")));
+  ASSERT_TRUE(RunUntil(&loop, [&] { return !handler0.messages.empty(); }));
+  // Pairwise authentication: the replica learns the true client id from
+  // the HELLO, not from anything inside the payload.
+  EXPECT_EQ(handler0.froms, (std::vector<PrincipalId>{client}));
+
+  node0.Send(0, client, Payload(AsBytes("reply")));
+  ASSERT_TRUE(
+      RunUntil(&loop, [&] { return !client_handler.messages.empty(); }));
+  EXPECT_EQ(client_handler.froms, (std::vector<PrincipalId>{0}));
+  EXPECT_EQ(client_handler.messages[0], AsBytes("reply"));
+}
+
+TEST(RtTransport, CoLocatedPrincipalsDeliverLocallyAndRespectNodeDown) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  TcpTransportOptions options;
+  options.num_replicas = 2;
+  options.base_port = 19160;
+
+  // Both replicas on ONE transport: Send short-circuits through the loop
+  // without sockets, same delivery contract.
+  TcpTransport transport(&loop, options);
+  RecordingHandler handler0;
+  RecordingHandler handler1;
+  transport.Register(0, Zone::kPrivate, &handler0, true);
+  transport.Register(1, Zone::kPrivate, &handler1, true);
+
+  transport.Send(0, 1, Payload(AsBytes("hi")));
+  ASSERT_TRUE(RunUntil(&loop, [&] { return !handler1.messages.empty(); },
+                       Seconds(2)));
+  EXPECT_EQ(handler1.froms, (std::vector<PrincipalId>{0}));
+
+  // A down node's messages vanish (crashed machine's NIC) and are counted.
+  transport.SetNodeUp(1, false);
+  const uint64_t drops_before = transport.counters().dropped_node_down;
+  transport.Send(0, 1, Payload(AsBytes("lost")));
+  loop.Run(Millis(50));
+  EXPECT_EQ(handler1.messages.size(), 1u);
+  EXPECT_GT(transport.counters().dropped_node_down, drops_before);
+
+  transport.SetNodeUp(1, true);
+  transport.Send(0, 1, Payload(AsBytes("back")));
+  ASSERT_TRUE(RunUntil(&loop, [&] { return handler1.messages.size() == 2; },
+                       Seconds(2)));
+  EXPECT_EQ(handler1.messages[1], AsBytes("back"));
+
+  // Multicast skips the sender itself.
+  transport.Multicast(0, {0, 1}, Payload(AsBytes("mcast")));
+  ASSERT_TRUE(RunUntil(&loop, [&] { return handler1.messages.size() == 3; },
+                       Seconds(2)));
+  EXPECT_TRUE(handler0.messages.empty());
+}
+
+TEST(RtTransport, SendWithoutConnectionDropsSilently) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  TcpTransportOptions options;
+  options.num_replicas = 3;
+  options.base_port = 19170;
+
+  TcpTransport node0(&loop, options);
+  RecordingHandler handler0;
+  node0.Register(0, Zone::kPrivate, &handler0, true);
+
+  // Replica 2 never comes up; Send must not block, fail, or crash.
+  node0.Send(0, 2, Payload(AsBytes("into the void")));
+  loop.Run(Millis(20));
+  EXPECT_EQ(node0.counters().dropped_no_connection, 1u);
+}
+
+TEST(RtScenario, BackendFieldRoundTripsThroughJson) {
+  using scenario::BackendKind;
+  EXPECT_STREQ(scenario::BackendKindToken(BackendKind::kSim), "sim");
+  EXPECT_STREQ(scenario::BackendKindToken(BackendKind::kTcp), "tcp");
+  const auto parsed = scenario::BackendKindFromToken("tcp");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, BackendKind::kTcp);
+  EXPECT_FALSE(scenario::BackendKindFromToken("udp").ok());
+
+  scenario::ScenarioSpec spec;
+  EXPECT_EQ(spec.backend, BackendKind::kSim) << "sim is the default";
+  spec.backend = BackendKind::kTcp;
+  const auto decoded = scenario::ScenarioSpec::FromJsonText(spec.ToJsonText());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->backend, BackendKind::kTcp);
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace seemore

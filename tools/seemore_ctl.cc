@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "rt/launcher.h"
 #include "scenario/builder.h"
 #include "scenario/engine.h"
 #include "scenario/registry.h"
@@ -185,7 +186,13 @@ Result<ScenarioSpec> SpecFromFlags(const FlagSet& flags) {
   if (flags.GetBool("timeline")) {
     builder.Timeline(Millis(flags.GetInt("timeline-bucket-ms")));
   }
-  if (flags.GetBool("check-convergence")) builder.CheckConvergence();
+  if (flags.GetBool("check-convergence")) {
+    builder.CheckConvergence();
+    // The convergence verdict is only meaningful at quiescence (spec.h):
+    // without a drain, replicas legitimately differ by in-flight commits at
+    // the measurement cutoff. Default to a drain when none was requested.
+    if (flags.GetInt("drain-ms") == 0) builder.Drain(Millis(200));
+  }
 
   // Fault / switch / partition schedule.
   SEEMORE_RETURN_IF_ERROR(ParseReplicaEvents(
@@ -299,6 +306,72 @@ void PrintReport(const FlagSet& flags, const ScenarioReport& report) {
 
 using scenario::ApplyQuickBudgets;
 
+/// --backend=tcp: launch real node processes instead of simulating. The
+/// launcher (rt/launcher.h) spawns one seemore_node per replica, hosts the
+/// spec's clients over real TCP, injects schedule faults as process
+/// kills/respawns, and merges the per-node reports.
+int RunTcp(const FlagSet& flags, const ScenarioSpec& spec) {
+  rt::LauncherOptions options;
+  options.node_binary = flags.GetString("node-binary");
+  options.work_dir = flags.GetString("work-dir");
+  options.base_port = static_cast<uint16_t>(flags.GetInt("base-port"));
+  options.keep_work_dir = flags.GetBool("keep-work-dir");
+  options.verbose = flags.GetBool("rt-verbose");
+
+  std::printf("backend: tcp (real processes on 127.0.0.1:%u+)\n",
+              options.base_port);
+  Result<rt::TcpRunReport> run = rt::RunTcpScenario(spec, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 2;
+  }
+  const rt::TcpRunReport& report = *run;
+
+  for (const scenario::AppliedEvent& event : report.events) {
+    std::printf("t=%lldms %s\n", static_cast<long long>(ToMillis(event.at)),
+                event.description.c_str());
+  }
+  std::printf("\n%s\n", report.result.ToString().c_str());
+  if (flags.GetBool("replica-stats")) {
+    std::printf("\nper-node state:\n");
+    for (const Json& node : report.nodes) {
+      const Json* crashed = node.Find("crashed");
+      if (crashed != nullptr && crashed->AsBool()) {
+        std::printf("  %d: CRASHED (no report)\n",
+                    static_cast<int>(node.Find("id")->AsInt()));
+        continue;
+      }
+      const Json* stats = node.Find("stats");
+      std::printf("  %d: executed=%lld last_executed=%lld msgs=%lld%s\n",
+                  static_cast<int>(node.Find("id")->AsInt()),
+                  static_cast<long long>(
+                      stats->Find("requests_executed")->AsInt()),
+                  static_cast<long long>(node.Find("last_executed")->AsInt()),
+                  static_cast<long long>(
+                      stats->Find("messages_handled")->AsInt()),
+                  node.Find("recovery")->Find("recovered")->AsBool()
+                      ? " (recovered from disk)"
+                      : "");
+    }
+  }
+  std::printf("agreement: %s\n", report.agreement.ToString().c_str());
+  if (report.convergence_checked) {
+    std::printf("convergence: %s\n", report.convergence.ToString().c_str());
+  }
+
+  if (flags.WasSet("report-json")) {
+    const std::string path = flags.GetString("report-json");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << report.ToJson().Dump(2) << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 /// --smoke: every registered scenario at quick budgets in ONE RunMany pass
 /// across `jobs` workers (what the CI scenario-smoke step runs). Writes
 /// REPORT_<name>.json per scenario under --report-dir when set. Returns
@@ -394,6 +467,17 @@ int Run(const FlagSet& flags) {
 
   if (flags.GetBool("quick")) ApplyQuickBudgets(spec);
 
+  // --backend overrides the spec's backend field; either can pick tcp.
+  if (flags.WasSet("backend")) {
+    Result<scenario::BackendKind> backend =
+        scenario::BackendKindFromToken(flags.GetString("backend"));
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 2;
+    }
+    spec.backend = *backend;
+  }
+
   Status valid = spec.Validate();
   if (!valid.ok()) {
     std::fprintf(stderr, "invalid scenario: %s\n", valid.ToString().c_str());
@@ -408,6 +492,10 @@ int Run(const FlagSet& flags) {
   std::printf("scenario: %s  cluster: %s  seed=%llu\n", spec.name.c_str(),
               spec.ResolvedConfig().ToString().c_str(),
               static_cast<unsigned long long>(spec.seed));
+
+  if (spec.backend == scenario::BackendKind::kTcp) {
+    return RunTcp(flags, spec);
+  }
 
   // A spec with a sweep plan runs one fresh cluster per client population;
   // otherwise a single full-lifecycle run.
@@ -483,6 +571,21 @@ int main(int argc, char** argv) {
                   "with --smoke: write REPORT_<scenario>.json files here");
   flags.AddString("report-json", "",
                   "write the structured ScenarioReport to this file");
+  flags.AddString("backend", "sim",
+                  "sim = run in the simulator; tcp = launch real seemore_node "
+                  "processes on localhost and drive them with the same spec");
+  flags.AddInt("base-port", 18500,
+               "tcp backend: replica r listens on base-port + r");
+  flags.AddString("node-binary", "",
+                  "tcp backend: path to seemore_node (default: sibling of "
+                  "this binary)");
+  flags.AddString("work-dir", "",
+                  "tcp backend: scratch dir for spec/report/data files "
+                  "(default: a fresh /tmp dir, removed afterwards)");
+  flags.AddBool("keep-work-dir", false,
+                "tcp backend: keep the scratch dir for inspection");
+  flags.AddBool("rt-verbose", false,
+                "tcp backend: log spawn/kill/respawn activity to stderr");
   flags.AddString("protocol", "seemore", "seemore | cft | bft | supright");
   flags.AddString("mode", "lion", "initial SeeMoRe mode: lion | dog | peacock");
   flags.AddInt("c", 1, "crash budget (private cloud)");
