@@ -332,11 +332,15 @@ void Launcher::CheckInvariants(TcpRunReport& report) {
   for (const Json& node : report.nodes) {
     const Json* samples = node.Find("digest_samples");
     const Json* id = node.Find("id");
-    if (samples == nullptr || !samples->is_array()) continue;
+    if (samples == nullptr || !samples->is_array() || id == nullptr) continue;
     for (const Json& sample : samples->items()) {
-      const uint64_t seq =
-          static_cast<uint64_t>(sample.Find("seq")->AsInt());
-      const std::string& digest = sample.Find("digest")->AsString();
+      // A partially written report can parse as JSON yet miss fields; skip
+      // malformed samples rather than crash the launcher on them.
+      const Json* seq_field = sample.Find("seq");
+      const Json* digest_field = sample.Find("digest");
+      if (seq_field == nullptr || digest_field == nullptr) continue;
+      const uint64_t seq = static_cast<uint64_t>(seq_field->AsInt());
+      const std::string& digest = digest_field->AsString();
       auto [it, inserted] = seen.emplace(
           seq, std::make_pair(static_cast<int>(id->AsInt()), digest));
       if (!inserted && it->second.second != digest) {
@@ -372,11 +376,12 @@ void Launcher::CheckInvariants(TcpRunReport& report) {
     }
     if (static_cast<uint64_t>(last->AsInt()) != expected_seq ||
         digest->AsString() != expected_digest) {
+      const Json* id = node.Find("id");
       char buf[160];
       std::snprintf(
           buf, sizeof(buf),
           "replica %d diverged: executed %llu, expected %llu",
-          static_cast<int>(node.Find("id")->AsInt()),
+          id != nullptr ? static_cast<int>(id->AsInt()) : -1,
           static_cast<unsigned long long>(last->AsInt()),
           static_cast<unsigned long long>(expected_seq));
       report.convergence = Status::Internal(buf);

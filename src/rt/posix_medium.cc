@@ -41,11 +41,32 @@ std::string PosixMedium::PathFor(const std::string& name) const {
 Result<int> PosixMedium::AppendFdFor(const std::string& name) {
   auto it = append_fds_.find(name);
   if (it != append_fds_.end()) return it->second;
-  const int fd = open(PathFor(name).c_str(),
-                      O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  const std::string path = PathFor(name);
+  int fd = open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0 && errno == ENOENT) {
+    fd = open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      // The new directory entry must itself be durable, or the file (and
+      // every fsynced byte in it) can vanish entirely on power loss.
+      const Status dir_sync = SyncDir();
+      if (!dir_sync.ok()) {
+        close(fd);
+        return dir_sync;
+      }
+    }
+  }
   if (fd < 0) return Errno("open " + name);
   append_fds_[name] = fd;
   return fd;
+}
+
+Status PosixMedium::SyncDir() {
+  const int fd = open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open " + dir_);
+  const int rc = fsync(fd);
+  close(fd);
+  if (rc < 0) return Errno("fsync " + dir_);
+  return Status::Ok();
 }
 
 void PosixMedium::DropFd(const std::string& name) {
@@ -131,10 +152,19 @@ Status PosixMedium::TruncateTo(const std::string& name, uint64_t size) {
   // The cached O_APPEND fd stays valid across truncate, but drop it anyway:
   // truncation is a recovery-time operation, not a hot path.
   DropFd(name);
-  if (truncate(PathFor(name).c_str(), static_cast<off_t>(size)) < 0) {
+  const int fd = open(PathFor(name).c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + name);
     return Errno("truncate " + name);
   }
+  // The shrunk size is an inode change: fsync the file so a crash cannot
+  // resurrect the truncated-away suffix.
+  if (ftruncate(fd, static_cast<off_t>(size)) < 0 || fsync(fd) < 0) {
+    const Status st = Errno("truncate " + name);
+    close(fd);
+    return st;
+  }
+  close(fd);
   return Status::Ok();
 }
 
@@ -145,12 +175,25 @@ Status PosixMedium::Remove(const std::string& name) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + name);
     return Errno("unlink " + name);
   }
-  return Status::Ok();
+  // Make the removal itself durable, or a crash can bring the stale file
+  // back (e.g. a superseded snapshot outliving its replacement's WAL reset).
+  return SyncDir();
 }
 
 Status PosixMedium::Sync(const std::string& name) {
   if (!ValidName(name)) return Status::InvalidArgument("bad file name");
-  SEEMORE_ASSIGN_OR_RETURN(const int fd, AppendFdFor(name));
+  // Never create on sync: fsync of a file that was never written must be a
+  // NotFound, not a silent empty-file creation.
+  auto it = append_fds_.find(name);
+  int fd = it != append_fds_.end() ? it->second : -1;
+  if (fd < 0) {
+    fd = open(PathFor(name).c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + name);
+      return Errno("open " + name);
+    }
+    append_fds_[name] = fd;
+  }
   if (fsync(fd) < 0) return Errno("fsync " + name);
   return Status::Ok();
 }

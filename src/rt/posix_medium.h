@@ -49,6 +49,9 @@ class PosixMedium final : public storage::StorageMedium {
   /// Cached O_APPEND fd for `name`, opened (and created) on demand.
   Result<int> AppendFdFor(const std::string& name);
   void DropFd(const std::string& name);
+  /// fsync of the directory itself: a created or unlinked directory entry
+  /// is not durable across power loss until this runs.
+  Status SyncDir();
 
   const std::string dir_;
   Status status_;

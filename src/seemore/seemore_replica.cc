@@ -748,8 +748,15 @@ void SeeMoReReplica::HandleNewViewRequest(PrincipalId from,
                                           NewViewRequestMsg msg) {
   // Only useful when we actually hold a NEW-VIEW newer than the requester's
   // view. The relayed frame is verified end-to-end by the receiver
-  // (HandleNewView), so no further validation is needed here.
+  // (HandleNewView), so no further validation is needed here. The request is
+  // unsigned and the stored frame can be large, so rate-limit per peer: an
+  // honest laggard self-limits to one request per 20ms anyway, while a
+  // Byzantine spammer gets at most one relay per window instead of
+  // per-request bandwidth amplification.
   if (msg.view >= view_ || last_new_view_frame_.size() == 0) return;
+  auto [it, first_request] = last_nv_relay_.emplace(from, -Seconds(1));
+  if (!first_request && now() - it->second < Millis(20)) return;
+  it->second = now();
   SendTo(from, last_new_view_frame_);
 }
 

@@ -195,6 +195,10 @@ class SeeMoReReplica : public ReplicaBase {
   SimTime last_state_request_ = -Seconds(1);
   /// Last time we asked a peer to relay a NEW-VIEW (same rate-limit idea).
   SimTime last_nv_request_ = -Seconds(1);
+  /// Per-peer rate limit on ANSWERING relay requests: NEW-VIEW-REQUEST is
+  /// unsigned and the stored frame can be large, so without this a Byzantine
+  /// peer could spam requests for bandwidth amplification.
+  std::map<PrincipalId, SimTime> last_nv_relay_;
   /// The NEW-VIEW frame that activated the current view (empty when the view
   /// was entered some other way: genesis, trusted-primary fast-forward, or a
   /// durable restart). Kept verbatim so it can be relayed to replicas that

@@ -453,8 +453,6 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
   nv.mode = mode8;
   nv.new_view = new_view;
   nv.low = low;
-  ChargeSign();
-  nv.header_sig = signer_.Sign(nv.Header());
   for (auto& [seq, cand] : commit_entries) {
     ChargeSign();
     SmNewViewEntry entry;
@@ -477,6 +475,12 @@ void SeeMoReReplica::MaybeFormNewView(uint64_t new_view) {
         ProposalHeader(kDomainPrePrepare, mode8, new_view, seq, cand.digest));
     nv.prepares.push_back(std::move(entry));
   }
+  // Sign last: the header binds the complete C'/P' sets (EntrySetDigest), so
+  // an untrusted relayer cannot prune entries from the frame.
+  ChargeSign();
+  ChargeHash((nv.commits.size() + nv.prepares.size()) *
+             (16 + Digest::kSize));
+  nv.header_sig = signer_.Sign(nv.Header());
   const Payload nv_frame(nv.ToMessage());
   SendToMany(config_.AllReplicas(), nv_frame);
 
@@ -536,11 +540,15 @@ void SeeMoReReplica::HandleNewView(PrincipalId from, SmNewViewMsg msg) {
   if (new_view <= view_) return;
   // Only the trusted authority of the new (view, mode) may ISSUE a NEW-VIEW,
   // but any replica may RELAY one (view catch-up for replicas that slept
-  // through the view change): every signature below verifies against the
-  // authority, so a relayed frame is exactly as trustworthy as a direct one.
+  // through the view change): the header signature covers the complete
+  // C'/P' entry sets (SmNewViewMsg::EntrySetDigest), so a relayed frame is
+  // exactly as trustworthy as a direct one — a relayer that prunes or
+  // reorders entries breaks the signature.
   const PrincipalId authority = SwitchAuthority(new_mode, new_view);
   if (!config_.IsTrusted(authority)) return;
   const uint8_t mode8 = msg.mode;
+  ChargeHash((msg.commits.size() + msg.prepares.size()) *
+             (16 + Digest::kSize));  // EntrySetDigest recomputation
   ChargeVerify();
   if (!FrameVerifyMemoized(authority, kSmNewView, [&] {
         return msg.VerifySignature(*keystore_, authority);

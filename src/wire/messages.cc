@@ -1,6 +1,9 @@
 #include "wire/messages.h"
 
+#include <array>
+
 #include "crypto/memo.h"
+#include "crypto/sha256.h"
 
 namespace seemore {
 
@@ -275,6 +278,31 @@ Result<SmNewViewEntry> SmNewViewEntry::DecodeFrom(Decoder& dec) {
   if (!dec.ok()) return dec.status();
   entry.batch_offset = batch_offset;
   return entry;
+}
+
+Digest SmNewViewMsg::EntrySetDigest() const {
+  // Canonical encoding: set sizes, then each entry's (view, seq, digest) in
+  // frame order. Batch bytes are bound transitively (receivers reject any
+  // entry whose batch does not hash to entry.digest); the per-entry sigs are
+  // the authority's own deterministic-domain signatures and add no binding.
+  Sha256 hasher;
+  const auto put_u64 = [&hasher](uint64_t v) {
+    uint8_t buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+    hasher.Update(buf, sizeof(buf));
+  };
+  put_u64(commits.size());
+  put_u64(prepares.size());
+  const auto put_entry = [&](const SmNewViewEntry& entry) {
+    put_u64(entry.view);
+    put_u64(entry.seq);
+    hasher.Update(entry.digest.data(), Digest::kSize);
+  };
+  for (const SmNewViewEntry& entry : commits) put_entry(entry);
+  for (const SmNewViewEntry& entry : prepares) put_entry(entry);
+  std::array<uint8_t, Sha256::kDigestSize> out;
+  hasher.Final(out.data());
+  return Digest(out);
 }
 
 void SmNewViewMsg::EncodeTo(Encoder& enc) const {

@@ -305,8 +305,16 @@ struct SmNewViewMsg {
   static Result<SmNewViewMsg> DecodeFrom(Decoder& dec, uint64_t max_entries);
   Bytes ToMessage() const { return FrameMessage(kTag, *this); }
 
+  /// Binds the full C'/P' entry sets (set sizes and each entry's view, seq,
+  /// digest — batches are in turn bound by their digests) so one header
+  /// signature covers the whole frame. NEW-VIEW may be relayed by untrusted
+  /// peers, so a frame whose entry sets were pruned or reordered by the
+  /// relayer must not verify.
+  Digest EntrySetDigest() const;
+
   Bytes Header() const {
-    return ProposalHeader(kDomainNewView, mode, new_view, low, Digest());
+    return ProposalHeader(kDomainNewView, mode, new_view, low,
+                          EntrySetDigest());
   }
   bool VerifySignature(const KeyStore& keystore, PrincipalId signer) const {
     return keystore.Verify(signer, Header(), header_sig);

@@ -109,13 +109,14 @@ TEST(EngineDeterminismTest, LionMatchesSeedEngineGolden) {
 }
 
 TEST(EngineDeterminismTest, PeacockMatchesSeedEngineGolden) {
-  // Re-captured when NEW-VIEW relay (kSmNewViewRequest) landed: a view-stale
-  // replica now rejoins via one relayed NEW-VIEW instead of futilely arming
-  // view-change timers, so the message counters shifted while the semantic
-  // columns (total_executed, batches_committed, commit_chain) stayed
-  // bit-identical to the seed engine.
+  // Re-captured when NEW-VIEW relay (kSmNewViewRequest) landed, and again
+  // when the NEW-VIEW header signature grew to cover the full entry sets
+  // (EntrySetDigest: extra hash/sign charges) and relay responses gained a
+  // per-peer rate limit. Both shifted the cost/traffic counters; the
+  // semantic columns (total_executed, batches_committed, commit_chain)
+  // stayed bit-identical to the seed engine throughout.
   const GoldenSnapshot golden{
-      60482,    1186,  1199, 29810, 30611, 7029269, 315,
+      61279,    1186,  1199, 30209, 31013, 7025251, 323,
       "eae82934affc498f3ac761cd54d283e50230cf0742dc83ebb66f5642f14fb76d"};
   ExpectGolden(RunScenario(SeeMoReMode::kPeacock, 1337), golden);
   ExpectGolden(RunScenario(SeeMoReMode::kPeacock, 1337), golden);

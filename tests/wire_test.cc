@@ -349,7 +349,6 @@ TEST_F(MessagesTest, SmNewViewAndModeChangeRoundTrip) {
   msg.mode = 2;
   msg.new_view = 4;
   msg.low = 1;
-  msg.header_sig = signer_.Sign(msg.Header());
   SmNewViewEntry entry;
   entry.view = 4;
   entry.seq = 2;
@@ -357,6 +356,8 @@ TEST_F(MessagesTest, SmNewViewAndModeChangeRoundTrip) {
   entry.digest = Digest::Of(entry.batch);
   entry.sig = signer_.Sign(Bytes{2});
   msg.prepares.push_back(entry);
+  // Signed last: the header binds the entry sets via EntrySetDigest.
+  msg.header_sig = signer_.Sign(msg.Header());
 
   const Bytes body = Body(msg.ToMessage(), kSmNewView);
   Decoder dec(body);
@@ -365,6 +366,24 @@ TEST_F(MessagesTest, SmNewViewAndModeChangeRoundTrip) {
   EXPECT_TRUE(out.value().VerifySignature(keystore_, 1));
   ASSERT_EQ(out.value().prepares.size(), 1u);
   EXPECT_EQ(out.value().prepares[0].batch, entry.batch);
+  // A relayer that strips, reorders, or retargets entries must break the
+  // header signature (NEW-VIEW is relayed by untrusted peers).
+  {
+    SmNewViewMsg pruned = out.value();
+    pruned.prepares.clear();
+    EXPECT_FALSE(pruned.VerifySignature(keystore_, 1));
+  }
+  {
+    SmNewViewMsg moved = out.value();
+    moved.commits.push_back(moved.prepares[0]);
+    moved.prepares.clear();
+    EXPECT_FALSE(moved.VerifySignature(keystore_, 1));
+  }
+  {
+    SmNewViewMsg reseq = out.value();
+    reseq.prepares[0].seq = 3;
+    EXPECT_FALSE(reseq.VerifySignature(keystore_, 1));
+  }
   {
     Decoder bounded(body);
     EXPECT_FALSE(SmNewViewMsg::DecodeFrom(bounded, 0).ok());
