@@ -15,11 +15,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "rt/launcher.h"
+#include "util/json.h"
 
 namespace seemore {
 namespace bench {
@@ -62,6 +66,127 @@ void PrintSide(const char* runtime, const RunResult& result, bool ok) {
               ok ? "agreement ok" : "AGREEMENT FAILED");
 }
 
+/// One scalar of a run, addressed by (section, name) — what the guard
+/// compares against the checked-in baseline.
+struct BenchMetric {
+  std::string section;
+  std::string name;
+  double value = 0.0;
+};
+
+double NetField(const Json& net, const char* key) {
+  const Json* field = net.Find(key);
+  return field != nullptr && field->is_number() ? field->AsDouble() : 0.0;
+}
+
+// --- regression guard (mirrors bench_engine's) ------------------------------
+/// Pull every section scalar (and the config quick_mode flag) out of a
+/// BENCH_realnet.json document. Returns false on any shape mismatch.
+bool ReadBaseline(const Json& root, std::vector<BenchMetric>* metrics,
+                  bool* baseline_quick) {
+  const Json* sections = root.Find("sections");
+  if (sections == nullptr || !sections->is_array()) return false;
+  for (const Json& section : sections->items()) {
+    const Json* label = section.Find("label");
+    const Json* scalars = section.Find("scalars");
+    if (label == nullptr || scalars == nullptr || !scalars->is_array()) {
+      continue;
+    }
+    for (const Json& scalar : scalars->items()) {
+      const Json* name = scalar.Find("name");
+      const Json* value = scalar.Find("value");
+      if (name == nullptr || value == nullptr || !value->is_number()) {
+        continue;
+      }
+      if (label->AsString() == "config" && name->AsString() == "quick_mode") {
+        *baseline_quick = value->AsDouble() != 0.0;
+        continue;
+      }
+      metrics->push_back(
+          {label->AsString(), name->AsString(), value->AsDouble()});
+    }
+  }
+  return !metrics->empty();
+}
+
+/// Compare this run against the checked-in baseline: a >10% drop on any
+/// system's tcp_kreqs fails the build. Everything else prints as
+/// informational — latency and syscall mixes are too machine-dependent to
+/// gate on, but the end-to-end tcp throughput is the number this subsystem
+/// exists to defend. Exit code is the CI contract — keep it 0/1.
+int GuardAgainstBaseline(const char* path, bool quick,
+                         const std::vector<BenchMetric>& current) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "guard: cannot read baseline %s\n", path);
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<Json> parsed = Json::Parse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "guard: baseline %s is not valid JSON: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<BenchMetric> baseline;
+  bool baseline_quick = false;
+  if (!ReadBaseline(*parsed, &baseline, &baseline_quick)) {
+    std::fprintf(stderr, "guard: baseline %s has no scalars\n", path);
+    return 1;
+  }
+  if (baseline_quick != quick) {
+    std::fprintf(stderr,
+                 "guard: baseline was recorded in %s mode but this run is %s "
+                 "mode; refusing to compare\n",
+                 baseline_quick ? "quick" : "full", quick ? "quick" : "full");
+    return 1;
+  }
+  constexpr double kTolerance = 0.10;
+  constexpr const char* kGuarded = "tcp_kreqs";
+  int failures = 0;
+  bool saw_guarded = false;
+  for (const BenchMetric& ref : baseline) {
+    double now = -1.0;
+    for (const BenchMetric& cur : current) {
+      if (cur.section == ref.section && cur.name == ref.name) now = cur.value;
+    }
+    const bool enforced = ref.name == kGuarded;
+    if (now < 0.0) {
+      std::fprintf(stderr, "guard: metric %s/%s missing from this run\n",
+                   ref.section.c_str(), ref.name.c_str());
+      if (enforced) ++failures;
+      continue;
+    }
+    const double floor = ref.value * (1.0 - kTolerance);
+    const bool ok = now >= floor;
+    std::printf(
+        "guard: %-12s %-24s %12.2f vs baseline %12.2f (floor %10.2f) %s%s\n",
+        ref.section.c_str(), ref.name.c_str(), now, ref.value, floor,
+        ok ? "ok" : "below floor", enforced ? "" : " [informational]");
+    if (enforced) {
+      saw_guarded = true;
+      if (!ok) ++failures;
+    }
+  }
+  if (!saw_guarded) {
+    std::fprintf(stderr, "guard: baseline %s lacks the %s metric\n", path,
+                 kGuarded);
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "guard: tcp throughput regressed >%.0f%% vs %s — if the "
+                 "slowdown is intentional, refresh the baseline from a fresh "
+                 "BENCH_realnet.json\n",
+                 kTolerance * 100, path);
+    return 1;
+  }
+  std::printf("guard: %s within %.0f%% of baseline on every system\n",
+              kGuarded, kTolerance * 100);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace seemore
@@ -69,7 +194,12 @@ void PrintSide(const char* runtime, const RunResult& result, bool ok) {
 int main(int argc, char** argv) {
   using namespace seemore;
   using namespace seemore::bench;
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  const char* guard_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--guard=", 8) == 0) guard_path = argv[i] + 8;
+  }
 
   const std::string node_binary = ResolveNodeBinary(argc, argv);
   if (node_binary.empty()) {
@@ -104,6 +234,12 @@ int main(int argc, char** argv) {
       quick ? "quick" : "full");
 
   BenchResultsJson json("realnet");
+  std::vector<BenchMetric> metrics;  // mirror of every AddScalar, for --guard
+  auto add_scalar = [&](const std::string& section, const std::string& name,
+                        double value) {
+    json.AddScalar(section, name, value);
+    metrics.push_back({section, name, value});
+  };
   bool all_safe = true;
   for (RealnetSystem& system : systems) {
     system.spec.name = "realnet-" + system.label;
@@ -142,21 +278,53 @@ int main(int argc, char** argv) {
 
     json.AddCurve(system.label, "sim", {sim->result});
     json.AddCurve(system.label, "tcp", {tcp->result});
-    json.AddScalar(system.label, "sim_agreement_ok", sim->ok() ? 1.0 : 0.0);
-    json.AddScalar(system.label, "tcp_agreement_ok", tcp->ok() ? 1.0 : 0.0);
+    add_scalar(system.label, "sim_agreement_ok", sim->ok() ? 1.0 : 0.0);
+    add_scalar(system.label, "tcp_agreement_ok", tcp->ok() ? 1.0 : 0.0);
+    add_scalar(system.label, "sim_kreqs", sim->result.throughput_kreqs);
+    add_scalar(system.label, "tcp_kreqs", tcp->result.throughput_kreqs);
     // The honest gap: real processes pay host CPU + kernel for what the
     // simulator only accounts virtually.
     if (tcp->result.throughput_kreqs > 0) {
-      json.AddScalar(system.label, "sim_over_tcp_throughput",
-                     sim->result.throughput_kreqs /
-                         tcp->result.throughput_kreqs);
+      add_scalar(system.label, "sim_over_tcp_throughput",
+                 sim->result.throughput_kreqs / tcp->result.throughput_kreqs);
     }
+    // Wire-path efficiency ledger, merged across the launcher and every
+    // node process (DESIGN.md §12): how many frames each writev carried,
+    // how much multicast fan-out reused one encode, and what fraction of
+    // received bodies were zero-copy views of a read block.
+    const Json& net = tcp->net;
+    const double writevs = NetField(net, "writev_syscalls");
+    const double frames = NetField(net, "frames_sent");
+    const double encodes = NetField(net, "multicast_encodes");
+    const double enqueues = NetField(net, "multicast_enqueues");
+    const double aliased = NetField(net, "rx_frames_aliased");
+    const double copied = NetField(net, "rx_frames_copied");
+    add_scalar(system.label, "tcp_read_syscalls",
+               NetField(net, "read_syscalls"));
+    add_scalar(system.label, "tcp_writev_syscalls", writevs);
+    add_scalar(system.label, "tcp_frames_per_writev",
+               writevs > 0 ? frames / writevs : 0.0);
+    add_scalar(system.label, "tcp_multicast_reuse",
+               encodes > 0 ? enqueues / encodes : 0.0);
+    add_scalar(system.label, "tcp_rx_aliased_frac",
+               aliased + copied > 0 ? aliased / (aliased + copied) : 1.0);
+    std::printf(
+        "    wire  %8.0f reads  %8.0f writevs  %5.2f frames/writev  "
+        "%4.2f mcast reuse  %5.1f%% rx aliased\n",
+        NetField(net, "read_syscalls"), writevs,
+        writevs > 0 ? frames / writevs : 0.0,
+        encodes > 0 ? enqueues / encodes : 0.0,
+        aliased + copied > 0 ? 100.0 * aliased / (aliased + copied) : 100.0);
   }
+  add_scalar("config", "quick_mode", quick ? 1.0 : 0.0);
   json.Write();
 
   if (!all_safe) {
     std::fprintf(stderr, "FAIL: an agreement/convergence check failed\n");
     return 1;
+  }
+  if (guard_path != nullptr) {
+    return GuardAgainstBaseline(guard_path, quick, metrics);
   }
   return 0;
 }

@@ -50,8 +50,9 @@ void PbftCoreReplica::HandleMessage(PrincipalId from, const Payload& frame) {
       break;
     case kPbftViewChange:
       // The body signature covers the whole frame; validate from the raw
-      // bytes (ParseViewChange runs the typed decode internally).
-      HandleViewChange(from, frame.bytes());
+      // bytes (ParseViewChange runs the typed decode internally; the record
+      // keeps an owned copy regardless, so copy out of the shared frame).
+      HandleViewChange(from, frame.ToBytes());
       break;
     case kPbftNewView: {
       Result<PbftNewViewMsg> msg = PbftNewViewMsg::DecodeFrom(

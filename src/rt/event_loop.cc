@@ -48,7 +48,7 @@ EventId EventLoop::ScheduleAfter(SimTime delay, std::function<void()> fn) {
   const EventId id = next_timer_id_++;
   timers_.emplace(id, Timer{deadline, std::move(fn)});
   by_deadline_.emplace(deadline, id);
-  if (by_deadline_.begin()->second == id) RearmTimerFd();
+  RearmTimerFd();
   return id;
 }
 
@@ -68,14 +68,22 @@ bool EventLoop::CancelEvent(EventId id) {
 }
 
 void EventLoop::RearmTimerFd() {
+  // Lazy arming: when the fd is already armed for a deadline at or before
+  // the current earliest, let it fire — a spurious early wake costs one
+  // empty FireDueTimers pass, far cheaper than a timerfd_settime per
+  // re-scheduled timer (view timers and client timeouts re-arm on every
+  // request, so exact tracking would pay a syscall each time). An armed fd
+  // with no timers left is likewise left to fire once and go quiet.
+  if (by_deadline_.empty()) return;
+  const SimTime earliest = by_deadline_.begin()->first;
+  if (armed_deadline_ <= earliest) return;
   itimerspec spec{};
-  if (!by_deadline_.empty()) {
-    SimTime wait = by_deadline_.begin()->first - Now();
-    if (wait < 1) wait = 1;  // 0 would disarm; fire "immediately" instead
-    spec.it_value.tv_sec = wait / kNanosPerSecond;
-    spec.it_value.tv_nsec = wait % kNanosPerSecond;
-  }
+  SimTime wait = earliest - Now();
+  if (wait < 1) wait = 1;  // 0 would disarm; fire "immediately" instead
+  spec.it_value.tv_sec = wait / kNanosPerSecond;
+  spec.it_value.tv_nsec = wait % kNanosPerSecond;
   timerfd_settime(timer_fd_, 0, &spec, nullptr);
+  armed_deadline_ = earliest;
 }
 
 void EventLoop::FireDueTimers() {
@@ -84,6 +92,7 @@ void EventLoop::FireDueTimers() {
   // store below decides what is due.
   while (read(timer_fd_, &expirations, sizeof(expirations)) > 0) {
   }
+  armed_deadline_ = kNeverArmed;  // one-shot: the fd has fired and is idle
   // Fire everything due at entry. Callbacks may schedule new timers; a new
   // timer due "now" waits for the next epoll wakeup (which the rearm below
   // makes imminent), so a self-rescheduling zero-delay timer cannot starve
@@ -128,6 +137,7 @@ Status EventLoop::ModifyFd(int fd, uint32_t events) {
   if (it == watches_.end()) {
     return Status::NotFound("ModifyFd on unwatched fd");
   }
+  if (it->second.events == events) return Status::Ok();  // interest unchanged
   epoll_event ev{};
   ev.events = ToEpollEvents(events);
   ev.data.u64 = (it->second.generation << 32) | static_cast<uint32_t>(fd);
@@ -144,6 +154,10 @@ void EventLoop::UnwatchFd(int fd) {
   }
 }
 
+void EventLoop::Post(std::function<void()> fn) {
+  posted_.push_back(std::move(fn));
+}
+
 void EventLoop::Run(SimTime until) {
   stopped_ = false;
   const SimTime deadline = until >= 0 ? Now() + until : -1;
@@ -151,6 +165,7 @@ void EventLoop::Run(SimTime until) {
   while (!stopped_) {
     if (interrupt_ && interrupt_()) break;
     int timeout_ms = 500;  // backstop so a missed signal wakeup can't hang us
+    if (!posted_.empty()) timeout_ms = 0;  // pending posts must not sleep
     if (deadline >= 0) {
       const SimTime left = deadline - Now();
       if (left <= 0) break;
@@ -186,6 +201,17 @@ void EventLoop::Run(SimTime until) {
       // Copy: the callback may unwatch its own fd mid-invocation.
       IoCallback callback = it->second.callback;
       callback(mask);
+    }
+    // End-of-batch posts: everything deferred while dispatching this batch
+    // (e.g. per-connection flush requests) runs now, before the loop can
+    // sleep again. Swap once — a post queued by a post runs in this same
+    // drain, but an unbounded self-posting chain still yields to io every
+    // iteration because the swapped vector is finite.
+    if (!posted_.empty()) {
+      std::vector<std::function<void()>> batch;
+      batch.swap(posted_);
+      for (auto& fn : batch) fn();
+      // Posts queued by these run next iteration (epoll timeout 0).
     }
     if (static_cast<size_t>(n) == events.size()) events.resize(events.size() * 2);
   }

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "net/transport.h"
 #include "rt/clock.h"
@@ -64,6 +65,15 @@ class EventLoop final : public TimerService {
   /// Stop watching (the caller still owns and closes the fd).
   void UnwatchFd(int fd);
 
+  /// Run `fn` after the current io dispatch batch, before the next
+  /// epoll_wait. This is the flush-coalescing hook: every message enqueued
+  /// while draining one readiness batch posts a single deferred flush, so
+  /// the frames leave in one writev instead of one send() each — and
+  /// unlike ScheduleAfter(0) it costs no timerfd_settime syscall. Posts
+  /// queued by a post run in the same drain (the queue is swapped once per
+  /// iteration, so a self-posting callback cannot starve io).
+  void Post(std::function<void()> fn);
+
   /// --- running ------------------------------------------------------------
   /// Dispatch io + timers until Stop() (or `until` elapses, when >= 0).
   /// Checks `interrupt` (when set) after every wakeup — the SIGTERM hook:
@@ -85,6 +95,10 @@ class EventLoop final : public TimerService {
 
   void RearmTimerFd();
   void FireDueTimers();
+  /// Deadline the timerfd is currently armed for (kNeverArmed when the fd
+  /// is disarmed or has already fired). Lets arming be lazy: see
+  /// RearmTimerFd.
+  static constexpr SimTime kNeverArmed = INT64_MAX;
   uint32_t ToEpollEvents(uint32_t events) const;
 
   Status init_status_;
@@ -102,9 +116,12 @@ class EventLoop final : public TimerService {
   std::multimap<SimTime, EventId> by_deadline_;
   std::unordered_map<EventId, Timer> timers_;
   EventId next_timer_id_ = 1;
+  SimTime armed_deadline_ = kNeverArmed;
 
   std::unordered_map<int, Watch> watches_;
   uint64_t next_generation_ = 1;
+
+  std::vector<std::function<void()>> posted_;
 };
 
 }  // namespace rt

@@ -1,5 +1,7 @@
 #include "rt/frame.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "storage/crc32c.h"
@@ -14,27 +16,49 @@ namespace {
 constexpr uint32_t kHelloMagic = 0x544d5253;  // "SMRT"
 constexpr uint8_t kHelloVersion = 1;
 
+uint32_t BodyCrc(const uint8_t* data, size_t len) {
+  // Hardware CRC paths may prefetch; never hand them a null pointer.
+  static const uint8_t kZero = 0;
+  return storage::Crc32c(len != 0 ? data : &kZero, len);
+}
+
 }  // namespace
 
 Bytes EncodeFrame(const uint8_t* body, size_t len) {
   Encoder enc;
   enc.PutU32(static_cast<uint32_t>(len));
-  enc.PutU32(storage::Crc32c(body, len));
+  enc.PutU32(BodyCrc(body, len));
   enc.PutRaw(body, len);
   return enc.Take();
 }
 
-Bytes EncodeHello(const Hello& hello) {
+FrameBuffer::FrameBuffer(Payload body) : body_(std::move(body)) {
+  const uint32_t len = static_cast<uint32_t>(body_.size());
+  const uint32_t crc = BodyCrc(body_.data(), body_.size());
+  std::memcpy(header_.data(), &len, 4);  // little-endian hosts (x86/arm)
+  std::memcpy(header_.data() + 4, &crc, 4);
+}
+
+std::shared_ptr<const FrameBuffer> FrameBuffer::Wrap(Payload body) {
+  return std::shared_ptr<const FrameBuffer>(new FrameBuffer(std::move(body)));
+}
+
+Bytes EncodeHelloBody(const Hello& hello) {
   Encoder enc;
   enc.PutU32(kHelloMagic);
   enc.PutU8(kHelloVersion);
   enc.PutU32(static_cast<uint32_t>(hello.sender));
   enc.PutU64(hello.fingerprint);
-  return EncodeFrame(enc.bytes());
+  return enc.Take();
 }
 
-Result<Hello> DecodeHello(const Bytes& body) {
-  Decoder dec(body.data(), body.size());
+Bytes EncodeHello(const Hello& hello) {
+  const Bytes body = EncodeHelloBody(hello);
+  return EncodeFrame(body);
+}
+
+Result<Hello> DecodeHello(const uint8_t* data, size_t len) {
+  Decoder dec(data, len);
   const uint32_t magic = dec.GetU32();
   const uint8_t version = dec.GetU8();
   Hello hello;
@@ -52,24 +76,163 @@ Result<Hello> DecodeHello(const Bytes& body) {
   return hello;
 }
 
+std::shared_ptr<Bytes> BlockPool::Acquire() {
+  // A cached block is reusable only once every Payload view into it has
+  // died — i.e. when the cache holds the sole reference.
+  for (size_t i = 0; i < cache_.size(); ++i) {
+    if (cache_[i].use_count() == 1) {
+      std::shared_ptr<Bytes> block = std::move(cache_[i]);
+      cache_[i] = std::move(cache_.back());
+      cache_.pop_back();
+      ++blocks_reused_;
+      return block;
+    }
+  }
+  ++blocks_allocated_;
+  return std::make_shared<Bytes>(block_bytes_);
+}
+
+void BlockPool::Recycle(std::shared_ptr<Bytes> block) {
+  if (block == nullptr || block->size() != block_bytes_) return;
+  if (cache_.size() >= max_cached_) return;  // let it die with its views
+  cache_.push_back(std::move(block));
+}
+
 Status FrameReader::Fail(Status status) {
   status_ = status;
   // Poisoned: drop all buffered state so a broken connection cannot keep
   // memory pinned while it waits to be torn down.
-  buffer_.clear();
-  consumed_ = 0;
+  block_.reset();
+  write_pos_ = 0;
+  parse_pos_ = 0;
+  spill_active_ = false;
+  spill_header_fill_ = 0;
+  spill_body_len_ = 0;
+  spill_body_.clear();
+  spill_body_.shrink_to_fit();
   ready_.clear();
   return status_;
 }
 
+uint8_t* FrameReader::WriteHead(size_t* capacity) {
+  if (block_ == nullptr || write_pos_ == block_->size()) {
+    RollBlock();
+  }
+  *capacity = block_->size() - write_pos_;
+  return block_->data() + write_pos_;
+}
+
+void FrameReader::RollBlock() {
+  if (block_ != nullptr) {
+    // Any unparsed tail is a partial frame *header* (< 8 bytes): a frame
+    // with a decoded length that could not fit in the block was already
+    // diverted to the spill by Parse(). Carry the tail into the spill so
+    // the new block starts on a parse boundary.
+    const size_t tail = write_pos_ - parse_pos_;
+    if (tail != 0) {
+      spill_active_ = true;
+      const size_t consumed =
+          AbsorbIntoSpill(block_->data() + parse_pos_, tail);
+      (void)consumed;  // tail < 8 is always consumed whole into the header
+    }
+    if (pool_ != nullptr) pool_->Recycle(std::move(block_));
+  }
+  block_ = pool_ != nullptr ? pool_->Acquire()
+                            : std::make_shared<Bytes>(block_bytes_);
+  write_pos_ = 0;
+  parse_pos_ = 0;
+}
+
+Status FrameReader::Commit(size_t n) {
+  if (!status_.ok()) return status_;
+  if (n == 0) return Status::Ok();
+  write_pos_ += n;
+  return Parse();
+}
+
 Status FrameReader::Feed(const uint8_t* data, size_t len) {
   if (!status_.ok()) return status_;
-  buffer_.insert(buffer_.end(), data, data + len);
+  size_t off = 0;
+  while (off < len) {
+    size_t cap = 0;
+    uint8_t* head = WriteHead(&cap);
+    const size_t take = std::min(cap, len - off);
+    std::memcpy(head, data + off, take);
+    off += take;
+    const Status st = Commit(take);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
 
-  while (true) {
-    const size_t available = buffer_.size() - consumed_;
-    if (available < kFrameHeaderBytes) break;
-    const uint8_t* head = buffer_.data() + consumed_;
+size_t FrameReader::AbsorbIntoSpill(const uint8_t* data, size_t len) {
+  size_t consumed = 0;
+  while (consumed < len || (spill_header_fill_ == kFrameHeaderBytes &&
+                            spill_body_.size() == spill_body_len_)) {
+    if (spill_header_fill_ < kFrameHeaderBytes) {
+      const size_t take =
+          std::min(kFrameHeaderBytes - spill_header_fill_, len - consumed);
+      std::memcpy(spill_header_.data() + spill_header_fill_, data + consumed,
+                  take);
+      spill_header_fill_ += take;
+      consumed += take;
+      if (spill_header_fill_ < kFrameHeaderBytes) break;
+      uint32_t body_len = 0;
+      std::memcpy(&body_len, spill_header_.data(), 4);
+      std::memcpy(&spill_crc_, spill_header_.data() + 4, 4);
+      if (body_len > max_frame_) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "frame length %u exceeds cap %zu (garbage prefix?)",
+                      body_len, max_frame_);
+        Fail(Status::Corruption(msg));
+        return consumed;
+      }
+      spill_body_len_ = body_len;
+      spill_body_.clear();
+      spill_body_.reserve(spill_body_len_);
+      continue;
+    }
+    const size_t need = spill_body_len_ - spill_body_.size();
+    const size_t take = std::min(need, len - consumed);
+    spill_body_.insert(spill_body_.end(), data + consumed,
+                       data + consumed + take);
+    consumed += take;
+    if (spill_body_.size() == spill_body_len_) {
+      if (BodyCrc(spill_body_.data(), spill_body_.size()) != spill_crc_) {
+        Fail(Status::Corruption("frame CRC mismatch"));
+        return consumed;
+      }
+      if (stats_ != nullptr) {
+        ++stats_->frames_copied;
+        stats_->bytes_copied += spill_body_.size();
+      }
+      ready_.emplace_back(std::move(spill_body_));
+      ++frames_decoded_;
+      spill_body_ = Bytes();
+      spill_header_fill_ = 0;
+      spill_body_len_ = 0;
+      spill_active_ = false;
+      return consumed;
+    }
+  }
+  return consumed;
+}
+
+Status FrameReader::Parse() {
+  if (spill_active_) {
+    // Finish (or keep filling) the cross-block frame before any in-block
+    // parsing: its remaining bytes are the committed prefix.
+    const size_t consumed =
+        AbsorbIntoSpill(block_->data() + parse_pos_, write_pos_ - parse_pos_);
+    if (!status_.ok()) return status_;
+    parse_pos_ += consumed;
+  }
+
+  while (!spill_active_) {
+    const size_t avail = write_pos_ - parse_pos_;
+    if (avail < kFrameHeaderBytes) break;
+    const uint8_t* head = block_->data() + parse_pos_;
     uint32_t body_len = 0;
     uint32_t crc = 0;
     std::memcpy(&body_len, head, 4);  // little-endian hosts only (x86/arm)
@@ -81,27 +244,34 @@ Status FrameReader::Feed(const uint8_t* data, size_t len) {
                     body_len, max_frame_);
       return Fail(Status::Corruption(msg));
     }
-    if (available < kFrameHeaderBytes + body_len) break;
+    const size_t total = kFrameHeaderBytes + body_len;
+    if (parse_pos_ + total > block_->size()) {
+      // The frame can never complete inside this block: reassemble it by
+      // copy in the spill. Everything committed so far is part of it.
+      spill_active_ = true;
+      const size_t consumed = AbsorbIntoSpill(head, avail);
+      if (!status_.ok()) return status_;
+      parse_pos_ += consumed;
+      break;
+    }
+    if (avail < total) break;  // fits in-block; wait for the rest
     const uint8_t* body = head + kFrameHeaderBytes;
-    if (storage::Crc32c(body, body_len) != crc) {
+    if (BodyCrc(body, body_len) != crc) {
       return Fail(Status::Corruption("frame CRC mismatch"));
     }
-    ready_.emplace_back(body, body + body_len);
+    ready_.push_back(Payload::View(block_, parse_pos_ + kFrameHeaderBytes,
+                                   body_len));
+    if (stats_ != nullptr) {
+      ++stats_->frames_aliased;
+      stats_->bytes_aliased += body_len;
+    }
     ++frames_decoded_;
-    consumed_ += kFrameHeaderBytes + body_len;
-  }
-
-  // Compact: drop the parsed prefix once it dominates the buffer, so the
-  // erase cost amortizes to O(1) per byte instead of O(n) per frame.
-  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
-    consumed_ = 0;
+    parse_pos_ += total;
   }
   return Status::Ok();
 }
 
-bool FrameReader::Next(Bytes* body) {
+bool FrameReader::Next(Payload* body) {
   if (ready_.empty()) return false;
   *body = std::move(ready_.front());
   ready_.pop_front();

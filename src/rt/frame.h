@@ -17,6 +17,14 @@
 // authentication hook the paper's model assumes (§3.1): on localhost the
 // announcement is trusted; a deployment would bind it to a TLS identity.
 //
+// Buffer lifecycle (DESIGN.md §12): the send side never copies a body —
+// FrameBuffer pairs an inline 8-byte header with a refcounted Payload, so
+// a multicast builds one FrameBuffer (one CRC pass) and every peer's write
+// queue shares it. The receive side reads straight into pooled refcounted
+// blocks and FrameReader parses frames in place, handing each complete
+// body out as a Payload view of the block; only a frame that straddles a
+// block boundary is copied (FrameReadStats keeps the honest tally).
+//
 // FrameReader is a pure incremental parser over arbitrary byte chunks: no
 // sockets, no allocation proportional to chunk count, and every malformed
 // input (oversized/garbage length, CRC mismatch, mid-frame EOF) surfaces
@@ -26,12 +34,16 @@
 #ifndef SEEMORE_RT_FRAME_H_
 #define SEEMORE_RT_FRAME_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <vector>
 
 #include "crypto/keystore.h"
 #include "util/status.h"
+#include "wire/payload.h"
 #include "wire/wire.h"
 
 namespace seemore {
@@ -45,11 +57,39 @@ inline constexpr size_t kFrameHeaderBytes = 8;
 /// length prefixes before they turn into a giant allocation.
 inline constexpr size_t kMaxFrameBytes = 16u << 20;
 
-/// Wrap one message body into a wire frame (header + body).
+/// Receive-block granularity: one kernel read lands in one pooled block.
+inline constexpr size_t kReadBlockBytes = 64u * 1024;
+
+/// Wrap one message body into a contiguous wire frame (header + body).
+/// This is the copying form — tests and the HELLO codec use it; the
+/// transport's hot path uses FrameBuffer, which never copies the body.
 Bytes EncodeFrame(const uint8_t* body, size_t len);
 inline Bytes EncodeFrame(const Bytes& body) {
   return EncodeFrame(body.data(), body.size());
 }
+
+/// A framed message ready for transmission: the 8-byte header inline, the
+/// body as a refcounted Payload. Encoded once per send/multicast — every
+/// peer write queue that carries this frame shares one instance (and the
+/// body shares the sender's original encode), so fan-out is refcount bumps
+/// and the CRC is computed exactly once.
+class FrameBuffer {
+ public:
+  /// Builds the header (length + CRC) over `body`. The body bytes are
+  /// aliased, never copied.
+  static std::shared_ptr<const FrameBuffer> Wrap(Payload body);
+
+  const uint8_t* header() const { return header_.data(); }
+  const Payload& body() const { return body_; }
+  /// Total on-the-wire size: header + body.
+  size_t size() const { return kFrameHeaderBytes + body_.size(); }
+
+ private:
+  explicit FrameBuffer(Payload body);
+
+  std::array<uint8_t, kFrameHeaderBytes> header_;
+  Payload body_;
+};
 
 /// The connection-opening announcement. `fingerprint` ties the connection
 /// to one cluster instance (the launcher uses the spec seed): a stray
@@ -59,44 +99,126 @@ struct Hello {
   uint64_t fingerprint = 0;
 };
 
-/// HELLO as a ready-to-send frame (EncodeFrame applied).
+/// HELLO body bytes (magic/version/sender/fingerprint), unframed — the
+/// transport wraps them in a FrameBuffer like any other message.
+Bytes EncodeHelloBody(const Hello& hello);
+/// HELLO as a ready-to-send contiguous frame (EncodeFrame applied).
 Bytes EncodeHello(const Hello& hello);
 /// Decode a received frame *body* as a HELLO.
-Result<Hello> DecodeHello(const Bytes& body);
+Result<Hello> DecodeHello(const uint8_t* data, size_t len);
+inline Result<Hello> DecodeHello(const Bytes& body) {
+  return DecodeHello(body.data(), body.size());
+}
 
-/// Incremental frame parser. Feed() raw stream chunks in, Next() complete
-/// frame bodies out. After any error the reader is poisoned: Feed keeps
-/// returning the same typed failure and Next returns nothing, so a
-/// connection that produced garbage can only be torn down.
+/// Pool of fixed-size receive blocks shared by every connection of a
+/// transport. A block handed out by Acquire is exclusively the reader's to
+/// fill; once the reader rolls past it the block comes back via Recycle,
+/// but it is only re-issued after every Payload view into it has died
+/// (use_count tells us — no registry, no epochs).
+class BlockPool {
+ public:
+  explicit BlockPool(size_t block_bytes = kReadBlockBytes,
+                     size_t max_cached = 32)
+      : block_bytes_(block_bytes), max_cached_(max_cached) {}
+
+  std::shared_ptr<Bytes> Acquire();
+  void Recycle(std::shared_ptr<Bytes> block);
+
+  size_t block_bytes() const { return block_bytes_; }
+  uint64_t blocks_allocated() const { return blocks_allocated_; }
+  uint64_t blocks_reused() const { return blocks_reused_; }
+
+ private:
+  const size_t block_bytes_;
+  const size_t max_cached_;
+  std::vector<std::shared_ptr<Bytes>> cache_;
+  uint64_t blocks_allocated_ = 0;
+  uint64_t blocks_reused_ = 0;
+};
+
+/// Receive-path accounting: how many frame bodies were handed out as
+/// zero-copy views of a read block vs copied (block-straddling frames).
+struct FrameReadStats {
+  uint64_t frames_aliased = 0;
+  uint64_t frames_copied = 0;
+  uint64_t bytes_aliased = 0;
+  uint64_t bytes_copied = 0;
+};
+
+/// Incremental frame parser over pooled read blocks. The socket reads
+/// straight into the reader's current block (WriteHead/Commit — no staging
+/// buffer), complete in-block frames come out of Next() as Payload views
+/// of that block, and only a frame that straddles a block boundary is
+/// copied into owned bytes. Feed() is the copying convenience for callers
+/// without an fd (tests). After any error the reader is poisoned: Feed and
+/// Commit keep returning the same typed failure and Next returns nothing,
+/// so a connection that produced garbage can only be torn down.
 class FrameReader {
  public:
-  explicit FrameReader(size_t max_frame = kMaxFrameBytes)
-      : max_frame_(max_frame) {}
+  explicit FrameReader(size_t max_frame = kMaxFrameBytes,
+                       BlockPool* pool = nullptr,
+                       FrameReadStats* stats = nullptr)
+      : max_frame_(max_frame),
+        pool_(pool),
+        block_bytes_(pool != nullptr ? pool->block_bytes() : kReadBlockBytes),
+        stats_(stats) {}
 
-  /// Absorb `len` stream bytes, parsing as many complete frames as they
-  /// finish. Typed failures: kCorruption for an oversized length prefix or
-  /// a CRC mismatch.
+  /// Writable tail of the current block (rolling to a fresh block when the
+  /// current one is full); `*capacity` receives how many bytes fit. Read
+  /// the socket straight into this, then Commit what arrived.
+  uint8_t* WriteHead(size_t* capacity);
+
+  /// Absorb `n` bytes just written at WriteHead, parsing as many complete
+  /// frames as they finish. Typed failures: kCorruption for an oversized
+  /// length prefix or a CRC mismatch.
+  Status Commit(size_t n);
+
+  /// Copying convenience: WriteHead/memcpy/Commit in a loop.
   Status Feed(const uint8_t* data, size_t len);
 
   /// Pop the next complete frame body. False when none is pending.
-  bool Next(Bytes* body);
+  bool Next(Payload* body);
 
   /// What a clean peer close means right now: Ok on a frame boundary,
   /// kCorruption when the stream died mid-frame (torn frame).
   Status OnPeerClose() const;
 
   /// Bytes buffered toward the next (incomplete) frame.
-  size_t buffered() const { return buffer_.size() - consumed_; }
+  size_t buffered() const {
+    return spill_header_fill_ + spill_body_.size() + (write_pos_ - parse_pos_);
+  }
   bool failed() const { return !status_.ok(); }
   uint64_t frames_decoded() const { return frames_decoded_; }
 
  private:
   Status Fail(Status status);
+  /// Parse committed bytes of the current block: emit views for complete
+  /// in-block frames, divert block-straddling tails into the spill.
+  Status Parse();
+  /// Retire the current block (unparsed tail → spill) and start a new one.
+  void RollBlock();
+  /// Append stream bytes to the partial cross-block frame; emits an owned
+  /// (copied) payload when the frame completes. Returns bytes consumed.
+  size_t AbsorbIntoSpill(const uint8_t* data, size_t len);
 
   size_t max_frame_ = kMaxFrameBytes;  // assignable so readers can be reset
-  Bytes buffer_;       // unparsed stream tail (compacted as frames complete)
-  size_t consumed_ = 0;  // parsed prefix of buffer_ not yet erased
-  std::deque<Bytes> ready_;
+  BlockPool* pool_ = nullptr;
+  size_t block_bytes_ = kReadBlockBytes;
+  FrameReadStats* stats_ = nullptr;
+
+  std::shared_ptr<Bytes> block_;  // current receive block
+  size_t write_pos_ = 0;          // committed bytes in block_
+  size_t parse_pos_ = 0;          // parsed prefix of the committed bytes
+
+  /// A frame whose bytes straddle blocks, being reassembled by copy.
+  bool spill_active_ = false;
+  std::array<uint8_t, kFrameHeaderBytes> spill_header_{};
+  size_t spill_header_fill_ = 0;
+  size_t spill_body_len_ = 0;
+  uint32_t spill_crc_ = 0;
+  Bytes spill_body_;
+
+  std::deque<Payload> ready_;
   Status status_;
   uint64_t frames_decoded_ = 0;
 };

@@ -466,6 +466,24 @@ Result<TcpRunReport> Launcher::Run() {
 
   CollectReports(report);
   CheckInvariants(report);
+
+  // Whole-run transport ledger: our own counters (the client side) plus
+  // every node's reported "net" object, summed field by field. Unknown
+  // fields from newer/older nodes merge fine — the sum is by key.
+  report.net = transport_->counters().ToJson();
+  for (const Json& node : report.nodes) {
+    const Json* node_net = node.Find("net");
+    if (node_net == nullptr || !node_net->is_object()) continue;
+    for (const auto& [key, value] : node_net->members()) {
+      if (!value.is_int()) continue;
+      Json* merged_field = report.net.Find(key);
+      if (merged_field == nullptr) {
+        report.net.Set(key, value);
+      } else {
+        report.net.Set(key, merged_field->AsInt() + value.AsInt());
+      }
+    }
+  }
   return report;
 }
 
@@ -523,6 +541,7 @@ Json TcpRunReport::ToJson() const {
   Json reps = Json::Array();
   for (const Json& node : nodes) reps.Append(node);
   j.Set("replicas", std::move(reps));
+  j.Set("net", net);
   j.Set("agreement", agreement.ToString());
   j.Set("convergence_checked", convergence_checked);
   j.Set("convergence", convergence.ToString());

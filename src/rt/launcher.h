@@ -67,6 +67,11 @@ struct TcpRunReport {
 
   std::vector<scenario::AppliedEvent> events;
 
+  /// Cluster-wide transport counters: the launcher's own TcpTransport (the
+  /// client side) plus every node report's "net" object, summed field by
+  /// field — the whole-run syscall/copy ledger bench_realnet reads.
+  Json net;
+
   Status agreement;
   bool convergence_checked = false;
   Status convergence;

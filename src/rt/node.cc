@@ -206,20 +206,7 @@ Json Node::Report() const {
   recovery.Set("truncated_bytes", recovery_.truncated_bytes);
   root.Set("recovery", std::move(recovery));
 
-  const TcpCounters& net = transport_->counters();
-  Json net_json = Json::Object();
-  net_json.Set("messages_sent", net.messages_sent);
-  net_json.Set("bytes_sent", net.bytes_sent);
-  net_json.Set("messages_received", net.messages_received);
-  net_json.Set("bytes_received", net.bytes_received);
-  net_json.Set("dropped_no_connection", net.dropped_no_connection);
-  net_json.Set("dropped_backpressure", net.dropped_backpressure);
-  net_json.Set("dropped_node_down", net.dropped_node_down);
-  net_json.Set("connections_accepted", net.connections_accepted);
-  net_json.Set("connections_dialed", net.connections_dialed);
-  net_json.Set("connection_failures", net.connection_failures);
-  net_json.Set("frame_errors", net.frame_errors);
-  root.Set("net", std::move(net_json));
+  root.Set("net", transport_->counters().ToJson());
   return root;
 }
 

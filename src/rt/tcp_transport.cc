@@ -1,9 +1,11 @@
 #include "rt/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -29,7 +31,37 @@ sockaddr_in LoopbackAddr(uint16_t port) {
   return addr;
 }
 
+/// Iovec chain length per sendmsg. 64 entries = 32 frames per call, which
+/// already amortizes the syscall thoroughly; IOV_MAX (1024 on Linux) is
+/// the hard ceiling.
+constexpr size_t kFlushIovs = 64 < IOV_MAX ? 64 : IOV_MAX;
+
 }  // namespace
+
+Json TcpCounters::ToJson() const {
+  Json json = Json::Object();
+  json.Set("messages_sent", messages_sent);
+  json.Set("bytes_sent", bytes_sent);
+  json.Set("messages_received", messages_received);
+  json.Set("bytes_received", bytes_received);
+  json.Set("dropped_no_connection", dropped_no_connection);
+  json.Set("dropped_backpressure", dropped_backpressure);
+  json.Set("dropped_node_down", dropped_node_down);
+  json.Set("connections_accepted", connections_accepted);
+  json.Set("connections_dialed", connections_dialed);
+  json.Set("connection_failures", connection_failures);
+  json.Set("frame_errors", frame_errors);
+  json.Set("read_syscalls", read_syscalls);
+  json.Set("writev_syscalls", writev_syscalls);
+  json.Set("frames_sent", frames_sent);
+  json.Set("multicast_encodes", multicast_encodes);
+  json.Set("multicast_enqueues", multicast_enqueues);
+  json.Set("rx_frames_aliased", rx.frames_aliased);
+  json.Set("rx_frames_copied", rx.frames_copied);
+  json.Set("rx_bytes_aliased", rx.bytes_aliased);
+  json.Set("rx_bytes_copied", rx.bytes_copied);
+  return json;
+}
 
 TcpTransport::TcpTransport(EventLoop* loop, TcpTransportOptions options)
     : loop_(loop), options_(std::move(options)) {}
@@ -72,6 +104,15 @@ bool TcpTransport::IsReplicaPrincipal(PrincipalId id) const {
   return id >= 0 && id < options_.num_replicas;
 }
 
+std::shared_ptr<TcpTransport::Connection> TcpTransport::NewConnection() {
+  auto conn = std::make_shared<Connection>(options_.max_queued_bytes,
+                                           options_.max_frame, &pool_,
+                                           &counters_.rx);
+  conn->index = connections_.size();
+  connections_.push_back(conn);
+  return conn;
+}
+
 void TcpTransport::StartListener(PrincipalId id) {
   const int fd = NewTcpSocket();
   if (fd < 0) {
@@ -89,19 +130,19 @@ void TcpTransport::StartListener(PrincipalId id) {
     return;
   }
   listeners_[id] = fd;
+  // The owning replica id rides in the closure: accepting stays O(1)
+  // instead of searching listeners_ for the fd that woke us.
   const Status watched =
       loop_->WatchFd(fd, EventLoop::kReadable,
-                     [this, fd](uint32_t) { OnListenerReadable(fd); });
+                     [this, id, fd](uint32_t) { OnListenerReadable(id, fd); });
   if (!watched.ok() && status_.ok()) status_ = watched;
 }
 
-void TcpTransport::OnListenerReadable(int listen_fd) {
-  // Which local replica owns this listener decides the accepted
-  // connection's local end.
-  PrincipalId local = -1;
-  for (const auto& [id, fd] : listeners_) {
-    if (fd == listen_fd) local = id;
-  }
+void TcpTransport::OnListenerReadable(PrincipalId local, int listen_fd) {
+  // A listener whose owner was never registered locally cannot adopt
+  // connections — refuse them instead of creating orphans that would
+  // deliver into a null handler.
+  const bool local_known = locals_.count(local) > 0;
   while (true) {
     const int fd =
         accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -110,14 +151,18 @@ void TcpTransport::OnListenerReadable(int listen_fd) {
       ++counters_.connection_failures;
       return;
     }
+    if (!local_known) {
+      ++counters_.connection_failures;
+      close(fd);
+      continue;
+    }
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     ++counters_.connections_accepted;
-    auto conn = std::make_shared<Connection>();
+    auto conn = NewConnection();
     conn->fd = fd;
     conn->local = local;
-    conn->reader = FrameReader(options_.max_frame);
-    connections_.push_back(conn);
+    conn->owner = &locals_[local];
     const Status watched = loop_->WatchFd(
         fd, EventLoop::kReadable,
         [this, conn](uint32_t events) { OnConnectionEvent(conn, events); });
@@ -126,8 +171,8 @@ void TcpTransport::OnListenerReadable(int listen_fd) {
       continue;
     }
     // Announce ourselves; the dialer's HELLO will identify the peer.
-    EnqueueFrame(conn,
-                 EncodeHello(Hello{local, options_.fingerprint}));
+    EnqueueFrame(conn, FrameBuffer::Wrap(Payload(
+                           EncodeHelloBody(Hello{local, options_.fingerprint}))));
   }
 }
 
@@ -152,14 +197,13 @@ void TcpTransport::DialPeer(PrincipalId local, PrincipalId peer) {
     backoff = std::min(backoff * 2, options_.reconnect_max);
     return;
   }
-  auto conn = std::make_shared<Connection>();
+  auto conn = NewConnection();
   conn->fd = fd;
   conn->local = local;
+  conn->owner = &locals_[local];
   conn->peer = peer;
   conn->dialed = true;
   conn->connecting = (rc < 0);
-  conn->reader = FrameReader(options_.max_frame);
-  connections_.push_back(conn);
   const uint32_t interest = conn->connecting
                                 ? EventLoop::kWritable
                                 : (EventLoop::kReadable | EventLoop::kWritable);
@@ -188,7 +232,9 @@ void TcpTransport::FinishConnect(const std::shared_ptr<Connection>& conn) {
   conn->connecting = false;
   ++counters_.connections_dialed;
   loop_->ModifyFd(conn->fd, EventLoop::kReadable);
-  EnqueueFrame(conn, EncodeHello(Hello{conn->local, options_.fingerprint}));
+  EnqueueFrame(conn,
+               FrameBuffer::Wrap(Payload(EncodeHelloBody(
+                   Hello{conn->local, options_.fingerprint}))));
 }
 
 void TcpTransport::OnConnectionEvent(const std::shared_ptr<Connection>& conn,
@@ -219,52 +265,85 @@ void TcpTransport::OnConnectionEvent(const std::shared_ptr<Connection>& conn,
   if (events & EventLoop::kWritable) FlushWrites(conn);
 }
 
+bool TcpTransport::AcceptHello(const std::shared_ptr<Connection>& conn,
+                               const Payload& body) {
+  Result<Hello> hello = DecodeHello(body.data(), body.size());
+  if (!hello.ok() || hello->fingerprint != options_.fingerprint) {
+    ++counters_.frame_errors;
+    CloseConnection(conn, "bad HELLO");
+    return false;
+  }
+  if (conn->dialed) {
+    // We dialed a specific replica; anyone else answering is an impostor.
+    if (hello->sender != conn->peer) {
+      ++counters_.frame_errors;
+      CloseConnection(conn, "bad HELLO");
+      return false;
+    }
+  } else {
+    // Accepted side: the ownership rule says only higher-id replicas and
+    // clients dial us. A HELLO claiming a lower replica id (or our own)
+    // contradicts it — either a confused process or someone spoofing a
+    // peer whose connection we already own.
+    const PrincipalId sender = hello->sender;
+    const bool valid_replica =
+        IsReplicaPrincipal(sender) && sender > conn->local;
+    const bool valid_client = sender >= kClientIdBase;
+    if (!valid_replica && !valid_client) {
+      ++counters_.frame_errors;
+      CloseConnection(conn, "bad HELLO");
+      return false;
+    }
+  }
+  conn->hello_received = true;
+  conn->peer = hello->sender;
+  // Duplex channel established: route sends (local -> peer) here,
+  // replacing any stale connection to the same peer. Close the stale
+  // one first (which erases its map node), then insert ours.
+  const auto key = std::make_pair(conn->local, conn->peer);
+  auto existing = peers_.find(key);
+  if (existing != peers_.end() && existing->second != conn) {
+    CloseConnection(existing->second, "superseded");
+  }
+  peers_[key] = conn;
+  if (conn->dialed) backoff_.erase({conn->local, conn->peer});
+  return true;
+}
+
 void TcpTransport::DrainReadable(const std::shared_ptr<Connection>& conn) {
-  uint8_t buf[64 * 1024];
+  // Hoisted once per drain: the handler lookup must not cost a map find
+  // per message.
+  LocalNode* const owner = conn->owner;
   while (true) {
-    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    size_t cap = 0;
+    uint8_t* head = conn->reader.WriteHead(&cap);
+    const ssize_t n = read(conn->fd, head, cap);
+    ++counters_.read_syscalls;
     if (n > 0) {
       counters_.bytes_received += static_cast<uint64_t>(n);
-      const Status fed = conn->reader.Feed(buf, static_cast<size_t>(n));
+      const Status fed = conn->reader.Commit(static_cast<size_t>(n));
       if (!fed.ok()) {
         ++counters_.frame_errors;
         CloseConnection(conn, fed.ToString().c_str());
         return;
       }
-      Bytes body;
+      Payload body;
       while (conn->reader.Next(&body)) {
         if (!conn->hello_received) {
-          Result<Hello> hello = DecodeHello(body);
-          if (!hello.ok() || hello->fingerprint != options_.fingerprint ||
-              (conn->dialed && hello->sender != conn->peer)) {
-            ++counters_.frame_errors;
-            CloseConnection(conn, "bad HELLO");
-            return;
-          }
-          conn->hello_received = true;
-          conn->peer = hello->sender;
-          // Duplex channel established: route sends (local -> peer) here,
-          // replacing any stale connection to the same peer. Close the stale
-          // one first (which erases its map node), then insert ours.
-          const auto key = std::make_pair(conn->local, conn->peer);
-          auto existing = peers_.find(key);
-          if (existing != peers_.end() && existing->second != conn) {
-            CloseConnection(existing->second, "superseded");
-          }
-          peers_[key] = conn;
-          if (conn->dialed) backoff_.erase({conn->local, conn->peer});
+          if (!AcceptHello(conn, body)) return;
           continue;
         }
         ++counters_.messages_received;
-        auto it = locals_.find(conn->local);
-        if (it == locals_.end() || !it->second.up ||
-            it->second.handler == nullptr) {
+        if (owner == nullptr || !owner->up || owner->handler == nullptr) {
           ++counters_.dropped_node_down;
           continue;
         }
-        it->second.handler->OnMessage(conn->peer, Payload(std::move(body)));
+        owner->handler->OnMessage(conn->peer, std::move(body));
         if (conn->fd < 0) return;  // handler-triggered teardown
       }
+      // Short read: the kernel buffer is drained, skip the EAGAIN round
+      // trip a full-capacity read would need to confirm it.
+      if (static_cast<size_t>(n) < cap) return;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
@@ -279,41 +358,68 @@ void TcpTransport::DrainReadable(const std::shared_ptr<Connection>& conn) {
 
 void TcpTransport::FlushWrites(const std::shared_ptr<Connection>& conn) {
   while (!conn->write_queue.empty()) {
-    const Bytes& head = conn->write_queue.front();
+    iovec iov[kFlushIovs];
+    size_t batch_bytes = 0;
+    const size_t niov =
+        conn->write_queue.BuildIovecs(iov, kFlushIovs, &batch_bytes);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
     // MSG_NOSIGNAL: a peer that vanished (SIGKILLed node) must surface as
     // EPIPE -> CloseConnection, not kill this process with SIGPIPE.
-    const ssize_t n = send(conn->fd, head.data() + conn->head_offset,
-                           head.size() - conn->head_offset, MSG_NOSIGNAL);
+    const ssize_t n = sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
       CloseConnection(conn, "write failed");
       return;
     }
+    ++counters_.writev_syscalls;
     counters_.bytes_sent += static_cast<uint64_t>(n);
-    conn->head_offset += static_cast<size_t>(n);
-    if (conn->head_offset == head.size()) {
-      conn->queued_bytes -= head.size();
-      conn->write_queue.pop_front();
-      conn->head_offset = 0;
-    }
+    counters_.frames_sent +=
+        conn->write_queue.Advance(static_cast<size_t>(n));
+    // Partial acceptance means the socket buffer is full; EPOLLOUT will
+    // resume us.
+    if (static_cast<size_t>(n) < batch_bytes) break;
   }
   const uint32_t interest =
       conn->write_queue.empty()
           ? EventLoop::kReadable
           : (EventLoop::kReadable | EventLoop::kWritable);
-  loop_->ModifyFd(conn->fd, interest);
+  loop_->ModifyFd(conn->fd, interest);  // no-op syscall-wise when unchanged
+}
+
+void TcpTransport::RequestFlush(const std::shared_ptr<Connection>& conn) {
+  if (conn->flush_pending || conn->fd < 0 || conn->connecting) return;
+  conn->flush_pending = true;
+  flush_queue_.push_back(conn);
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  std::weak_ptr<bool> alive = alive_;
+  // One posted drain per io batch, one flush per dirty connection: every
+  // frame enqueued while handling this batch's events joins its
+  // connection's single iovec chain, and the whole batch costs one
+  // heap-allocated closure instead of one per connection.
+  loop_->Post([this, alive] {
+    if (alive.expired()) return;
+    flush_scheduled_ = false;
+    std::vector<std::shared_ptr<Connection>> batch;
+    batch.swap(flush_queue_);
+    for (const std::shared_ptr<Connection>& dirty : batch) {
+      dirty->flush_pending = false;
+      if (dirty->fd < 0 || dirty->connecting) continue;
+      FlushWrites(dirty);
+    }
+  });
 }
 
 void TcpTransport::EnqueueFrame(const std::shared_ptr<Connection>& conn,
-                                Bytes frame) {
-  if (conn->queued_bytes + frame.size() > options_.max_queued_bytes) {
+                                std::shared_ptr<const FrameBuffer> frame) {
+  if (!conn->write_queue.Enqueue(std::move(frame))) {
     ++counters_.dropped_backpressure;
     return;
   }
-  conn->queued_bytes += frame.size();
-  conn->write_queue.push_back(std::move(frame));
-  FlushWrites(conn);
+  RequestFlush(conn);
 }
 
 void TcpTransport::CloseConnection(const std::shared_ptr<Connection>& conn,
@@ -323,13 +429,16 @@ void TcpTransport::CloseConnection(const std::shared_ptr<Connection>& conn,
   loop_->UnwatchFd(conn->fd);
   close(conn->fd);
   conn->fd = -1;
+  conn->write_queue.Clear();
   auto it = peers_.find({conn->local, conn->peer});
   if (it != peers_.end() && it->second == conn) peers_.erase(it);
-  for (size_t i = 0; i < connections_.size(); ++i) {
-    if (connections_[i] == conn) {
-      connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(i));
-      break;
-    }
+  // Swap-remove via the back-index: closes stay O(1) however many
+  // connections a launcher process carries.
+  const size_t index = conn->index;
+  if (index < connections_.size() && connections_[index] == conn) {
+    connections_[index] = std::move(connections_.back());
+    connections_[index]->index = index;
+    connections_.pop_back();
   }
   // The dialing side owns re-establishment; the accepting side just waits
   // for the peer to come back.
@@ -363,26 +472,71 @@ void TcpTransport::Send(PrincipalId from, PrincipalId to, Payload payload) {
     return;
   }
   ++counters_.messages_sent;
-  EnqueueFrame(conn, EncodeFrame(payload.data(), payload.size()));
+  // Fan-out loops (SendToMany) pass the same immutable buffer once per
+  // peer: wrap it once and share the frame, like an explicit Multicast.
+  std::shared_ptr<const FrameBuffer> frame;
+  const uint64_t payload_id = payload.id();
+  if (payload_id != 0 && payload_id == memo_payload_id_) {
+    frame = memo_frame_;
+    if (!memo_reused_) {
+      memo_reused_ = true;
+      ++counters_.multicast_encodes;
+      counters_.multicast_enqueues += 2;  // the memoized send + this one
+    } else {
+      ++counters_.multicast_enqueues;
+    }
+  } else {
+    frame = FrameBuffer::Wrap(std::move(payload));
+    memo_payload_id_ = payload_id;
+    memo_frame_ = frame;
+    memo_reused_ = false;
+  }
+  EnqueueFrame(conn, frame);
 }
 
 void TcpTransport::Multicast(PrincipalId from,
                              const std::vector<PrincipalId>& targets,
                              const Payload& payload) {
+  auto local = locals_.find(from);
+  if (local == locals_.end() || !local->second.up) {
+    for (PrincipalId to : targets) {
+      if (to != from) ++counters_.dropped_node_down;
+    }
+    return;
+  }
+  // Encode-once fan-out: one FrameBuffer (one CRC pass, zero body copies)
+  // shared by every remote target's write queue. Built lazily so an
+  // all-local or all-disconnected multicast builds nothing.
+  std::shared_ptr<const FrameBuffer> frame;
   for (PrincipalId to : targets) {
     if (to == from) continue;
-    Send(from, to, payload);
+    if (IsLocal(to)) {
+      DeliverLocally(from, to, payload);
+      continue;
+    }
+    std::shared_ptr<Connection> conn = ConnectionFor(from, to);
+    if (conn == nullptr || !conn->hello_received) {
+      ++counters_.dropped_no_connection;
+      continue;
+    }
+    if (frame == nullptr) {
+      frame = FrameBuffer::Wrap(payload);
+      ++counters_.multicast_encodes;
+    }
+    ++counters_.messages_sent;
+    ++counters_.multicast_enqueues;
+    EnqueueFrame(conn, frame);
   }
 }
 
 void TcpTransport::DeliverLocally(PrincipalId from, PrincipalId to,
                                   Payload payload) {
-  // Defer to the next loop turn: same-process delivery must not re-enter
-  // the sender's handler stack (mirrors the simulator, where delivery is
-  // always a scheduled event).
+  // Defer past the current dispatch: same-process delivery must not
+  // re-enter the sender's handler stack (mirrors the simulator, where
+  // delivery is always a scheduled event). Post, not ScheduleAfter(0):
+  // no timerfd rearm syscall on this path.
   std::weak_ptr<bool> alive = alive_;
-  loop_->ScheduleAfter(0, [this, alive, from, to,
-                           payload = std::move(payload)] {
+  loop_->Post([this, alive, from, to, payload = std::move(payload)] {
     if (alive.expired()) return;
     auto it = locals_.find(to);
     if (it == locals_.end() || !it->second.up || it->second.handler == nullptr) {

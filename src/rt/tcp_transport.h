@@ -16,11 +16,19 @@
 // tolerate loss, and a dialer retries its connection with exponential
 // backoff, so process kill + respawn looks like the message loss the
 // simulator injects.
+//
+// Wire path (DESIGN.md §12): a send wraps the payload in one refcounted
+// FrameBuffer — a multicast enqueues that same buffer on every peer's
+// WriteQueue, so fan-out never re-encodes or copies. Enqueues only mark the
+// connection flush-pending; the actual flush runs once per io batch
+// (EventLoop::Post) as a single sendmsg over the queue's iovec chain.
+// Receives land directly in pooled blocks shared by every connection and
+// reach handlers as Payload views aliasing the block. TcpCounters keeps
+// the syscall/copy ledger that BENCH_realnet surfaces.
 
 #ifndef SEEMORE_RT_TCP_TRANSPORT_H_
 #define SEEMORE_RT_TCP_TRANSPORT_H_
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,6 +38,8 @@
 #include "net/transport.h"
 #include "rt/event_loop.h"
 #include "rt/frame.h"
+#include "rt/write_queue.h"
+#include "util/json.h"
 
 namespace seemore {
 namespace rt {
@@ -66,7 +76,10 @@ struct TcpTransportOptions {
 };
 
 /// Transport counters (report provenance; mirrors SimNetwork's NetCounters
-/// in spirit).
+/// in spirit). The syscall/copy block is the wire-path efficiency ledger:
+/// frames_sent / writev_syscalls is the flush coalescing factor,
+/// multicast_enqueues / multicast_encodes the fan-out reuse, and rx splits
+/// received bodies into zero-copy views vs block-straddling copies.
 struct TcpCounters {
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
@@ -79,6 +92,21 @@ struct TcpCounters {
   uint64_t connections_dialed = 0;
   uint64_t connection_failures = 0;
   uint64_t frame_errors = 0;
+  /// Syscall ledger.
+  uint64_t read_syscalls = 0;
+  uint64_t writev_syscalls = 0;
+  /// Frames fully handed to the kernel (HELLOs included).
+  uint64_t frames_sent = 0;
+  /// Multicast reuse: encodes is FrameBuffers built for >=1 remote target,
+  /// enqueues is how many per-peer queues carried one.
+  uint64_t multicast_encodes = 0;
+  uint64_t multicast_enqueues = 0;
+  /// Receive-side copy ledger (filled in by the shared FrameReaders).
+  FrameReadStats rx;
+
+  /// The "net" object of a node report; launcher-side merges sum these
+  /// field by field.
+  Json ToJson() const;
 };
 
 class TcpTransport final : public Transport {
@@ -114,45 +142,62 @@ class TcpTransport final : public Transport {
   SimTime MeterBusy(PrincipalId id) const;
 
  private:
-  struct Connection {
-    int fd = -1;
-    /// Which local principal owns this connection (a process can host many:
-    /// the launcher hosts every client, each with its own connections).
-    PrincipalId local = -1;
-    /// Peer identity: the dial target, or the HELLO announcement on an
-    /// accepted connection (-1 until the HELLO arrives).
-    PrincipalId peer = -1;
-    bool dialed = false;        // we own reconnect for this connection
-    bool connecting = false;    // non-blocking connect in flight
-    bool hello_received = false;
-    FrameReader reader;
-    /// Write queue: flat byte chunks already framed. head_offset_ tracks
-    /// the partially-written front chunk.
-    std::deque<Bytes> write_queue;
-    size_t head_offset = 0;
-    size_t queued_bytes = 0;
-  };
-
   struct LocalNode {
     MessageHandler* handler = nullptr;
     std::unique_ptr<RtCpuMeter> meter;
     bool up = true;
   };
 
+  struct Connection {
+    Connection(size_t max_queued_bytes, size_t max_frame, BlockPool* pool,
+               FrameReadStats* stats)
+        : reader(max_frame, pool, stats), write_queue(max_queued_bytes) {}
+
+    int fd = -1;
+    /// Which local principal owns this connection (a process can host many:
+    /// the launcher hosts every client, each with its own connections).
+    PrincipalId local = -1;
+    /// Hoisted locals_ entry for `local` — the receive drain consults it
+    /// per frame, so it must not pay a map lookup per message. Stable:
+    /// locals_ is a std::map and entries are never erased.
+    LocalNode* owner = nullptr;
+    /// Peer identity: the dial target, or the HELLO announcement on an
+    /// accepted connection (-1 until the HELLO arrives).
+    PrincipalId peer = -1;
+    /// Position in connections_ (swap-remove keeps closes O(1)).
+    size_t index = 0;
+    bool dialed = false;        // we own reconnect for this connection
+    bool connecting = false;    // non-blocking connect in flight
+    bool hello_received = false;
+    /// A flush is parked on the loop's post queue for this connection —
+    /// further enqueues in the same io batch ride the same flush.
+    bool flush_pending = false;
+    FrameReader reader;
+    WriteQueue write_queue;
+  };
+
   bool IsLocal(PrincipalId id) const { return locals_.count(id) > 0; }
   bool IsReplicaPrincipal(PrincipalId id) const;
+  std::shared_ptr<Connection> NewConnection();
   void StartListener(PrincipalId id);
   void DialPeer(PrincipalId local, PrincipalId peer);
   void ScheduleRedial(PrincipalId local, PrincipalId peer, SimTime delay);
-  void OnListenerReadable(int listen_fd);
+  void OnListenerReadable(PrincipalId local, int listen_fd);
   void OnConnectionEvent(const std::shared_ptr<Connection>& conn,
                          uint32_t events);
   void FinishConnect(const std::shared_ptr<Connection>& conn);
+  /// Validate the opening HELLO of `conn`; false means the connection was
+  /// closed (bad magic/fingerprint, or a sender that must not dial us).
+  bool AcceptHello(const std::shared_ptr<Connection>& conn,
+                   const Payload& body);
   void DrainReadable(const std::shared_ptr<Connection>& conn);
   void FlushWrites(const std::shared_ptr<Connection>& conn);
+  /// Defer one FlushWrites to the end of the current io batch.
+  void RequestFlush(const std::shared_ptr<Connection>& conn);
   void CloseConnection(const std::shared_ptr<Connection>& conn,
                        const char* why);
-  void EnqueueFrame(const std::shared_ptr<Connection>& conn, Bytes frame);
+  void EnqueueFrame(const std::shared_ptr<Connection>& conn,
+                    std::shared_ptr<const FrameBuffer> frame);
   void DeliverLocally(PrincipalId from, PrincipalId to, Payload payload);
   /// The established connection for (local, peer), nullptr when none.
   std::shared_ptr<Connection> ConnectionFor(PrincipalId local,
@@ -162,6 +207,16 @@ class TcpTransport final : public Transport {
   const TcpTransportOptions options_;
   Status status_;
   TcpCounters counters_;
+  /// Receive blocks shared by every connection of this transport.
+  BlockPool pool_;
+  /// Encode-once memo for fan-out loops that call Send() once per peer
+  /// with the same immutable payload (ReplicaBase::SendToMany): the last
+  /// wrapped buffer id keeps its frame so repeats skip the CRC pass and
+  /// share one buffer across write queues. Id 0 (empty payload) never
+  /// memoizes.
+  uint64_t memo_payload_id_ = 0;
+  std::shared_ptr<const FrameBuffer> memo_frame_;
+  bool memo_reused_ = false;
 
   std::map<PrincipalId, LocalNode> locals_;
   /// Listener fds per local replica id.
@@ -170,12 +225,18 @@ class TcpTransport final : public Transport {
   /// routing table Send consults.
   std::map<std::pair<PrincipalId, PrincipalId>, std::shared_ptr<Connection>>
       peers_;
-  /// All live connections (including half-open ones awaiting HELLO).
+  /// All live connections (including half-open ones awaiting HELLO);
+  /// unordered, swap-removed via Connection::index.
   std::vector<std::shared_ptr<Connection>> connections_;
   /// Dialer state: current backoff per (local, peer).
   std::map<std::pair<PrincipalId, PrincipalId>, SimTime> backoff_;
+  /// Connections with frames enqueued this io batch, drained by one posted
+  /// callback (flush_scheduled_ guards the post; Connection::flush_pending
+  /// guards the per-connection entry).
+  std::vector<std::shared_ptr<Connection>> flush_queue_;
+  bool flush_scheduled_ = false;
   /// Lifetime token for closures parked in the event loop (redials, local
-  /// deliveries): expired means the transport is gone, do nothing.
+  /// deliveries, deferred flushes): expired means the transport is gone.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

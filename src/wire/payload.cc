@@ -6,18 +6,33 @@ namespace seemore {
 
 namespace {
 std::atomic<uint64_t> g_next_payload_id{1};
+
+uint64_t NextPayloadId() {
+  return g_next_payload_id.fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace
 
 Payload::Rep::Rep(Bytes b)
-    : bytes(std::move(b)),
-      id(g_next_payload_id.fetch_add(1, std::memory_order_relaxed)) {}
+    : storage(std::move(b)),
+      block(nullptr),
+      data(storage.data()),
+      size(storage.size()),
+      id(NextPayloadId()) {}
+
+Payload::Rep::Rep(std::shared_ptr<const Bytes> block_in, size_t offset,
+                  size_t len)
+    : storage(),
+      block(std::move(block_in)),
+      data(block->data() + offset),
+      size(len),
+      id(NextPayloadId()) {}
 
 Payload::Payload(Bytes bytes)
     : rep_(std::make_shared<const Rep>(std::move(bytes))) {}
 
-const Bytes& Payload::EmptyBytes() {
-  static const Bytes* empty = new Bytes();
-  return *empty;
+Payload Payload::View(std::shared_ptr<const Bytes> block, size_t offset,
+                      size_t len) {
+  return Payload(std::make_shared<const Rep>(std::move(block), offset, len));
 }
 
 }  // namespace seemore

@@ -5,9 +5,16 @@
 // allocation: every copy of the Payload (per-receiver delivery closures,
 // CPU-queue entries, duplicated deliveries) is a refcount bump, never a byte
 // copy. Immutability is what makes the sharing safe — a Byzantine receiver
-// that wants to mutate "its" message must copy the bytes out first, so it
-// can never corrupt the other receivers' view of the frame
+// that wants to mutate "its" message must copy the bytes out first
+// (ToBytes), so it can never corrupt the other receivers' view of the frame
 // (tests/payload_test.cc pins this down).
+//
+// A Payload either owns its bytes outright or is a *view* into a shared
+// immutable block (Payload::View): the rt receive path parses frames in
+// place inside pooled read blocks and hands each body to the handler as a
+// view, so a received message costs zero copies. The aliased range
+// [offset, offset+len) is never mutated for the life of the block; bytes
+// of the block outside the view's range carry no such promise.
 //
 // Every distinct buffer gets a process-unique id; (id, offset, length)
 // names an immutable byte range for the lifetime of the process, which is
@@ -35,17 +42,29 @@ class Payload {
   /// call sites keep reading naturally.
   Payload(Bytes bytes);  // NOLINT(google-explicit-constructor)
 
-  /// The underlying bytes (an empty buffer for a default Payload).
-  const Bytes& bytes() const { return rep_ ? rep_->bytes : EmptyBytes(); }
-  const uint8_t* data() const { return bytes().data(); }
-  size_t size() const { return rep_ ? rep_->bytes.size() : 0; }
+  /// A payload aliasing [offset, offset+len) of a shared immutable block —
+  /// the block stays alive (and that range stays unmodified) for as long
+  /// as any view of it does. Gets its own fresh buffer id: views into the
+  /// same block are distinct identities, because the surrounding block
+  /// bytes differ even when the ranges happen to coincide.
+  static Payload View(std::shared_ptr<const Bytes> block, size_t offset,
+                      size_t len);
+
+  /// The underlying bytes (nullptr/0 for a default Payload).
+  const uint8_t* data() const { return rep_ ? rep_->data : nullptr; }
+  size_t size() const { return rep_ ? rep_->size : 0; }
   bool empty() const { return size() == 0; }
+
+  /// An owned, mutable copy of the bytes — the only mutable view a
+  /// receiver can ever get.
+  Bytes ToBytes() const { return Bytes(data(), data() + size()); }
 
   /// Process-unique identity of the underlying buffer; equal ids imply
   /// identical bytes forever. 0 for the empty payload.
   uint64_t id() const { return rep_ ? rep_->id : 0; }
 
-  /// True if both payloads share one buffer (not a content comparison).
+  /// True if both payloads share one storage rep (not a content
+  /// comparison).
   bool SharesBufferWith(const Payload& other) const {
     return rep_ != nullptr && rep_ == other.rep_;
   }
@@ -53,11 +72,15 @@ class Payload {
  private:
   struct Rep {
     explicit Rep(Bytes b);
-    const Bytes bytes;
+    Rep(std::shared_ptr<const Bytes> block_in, size_t offset, size_t len);
+    const Bytes storage;  // owned bytes (empty for views)
+    const std::shared_ptr<const Bytes> block;  // view backing (null if owned)
+    const uint8_t* const data;
+    const size_t size;
     const uint64_t id;
   };
 
-  static const Bytes& EmptyBytes();
+  explicit Payload(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
 
   std::shared_ptr<const Rep> rep_;
 };

@@ -14,7 +14,7 @@ namespace {
 class Recorder : public MessageHandler {
  public:
   void OnMessage(PrincipalId from, Payload payload) override {
-    messages.emplace_back(from, payload.bytes());
+    messages.emplace_back(from, payload.ToBytes());
   }
   std::vector<std::pair<PrincipalId, Bytes>> messages;
 };

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "crypto/memo.h"
@@ -20,7 +21,7 @@ TEST(PayloadTest, WrapsBytesAndAssignsUniqueIds) {
 
   Payload a(Bytes{1, 2, 3});
   Payload b(Bytes{1, 2, 3});
-  EXPECT_EQ(a.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(a.ToBytes(), (Bytes{1, 2, 3}));
   EXPECT_NE(a.id(), 0u);
   // Identical contents, distinct buffers: identity is per-buffer.
   EXPECT_NE(a.id(), b.id());
@@ -32,13 +33,36 @@ TEST(PayloadTest, WrapsBytesAndAssignsUniqueIds) {
   EXPECT_EQ(copy.data(), a.data());  // no byte copy
 }
 
+TEST(PayloadViewTest, ViewAliasesTheBlockWithoutCopying) {
+  auto block =
+      std::make_shared<const Bytes>(Bytes{0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Payload view = Payload::View(block, 2, 5);
+  EXPECT_EQ(view.size(), 5u);
+  EXPECT_EQ(view.data(), block->data() + 2);  // aliases, never copies
+  EXPECT_EQ(view.ToBytes(), (Bytes{2, 3, 4, 5, 6}));
+  EXPECT_NE(view.id(), 0u);
+
+  // Two views of the same range are distinct buffer identities: the memo
+  // must never conflate them (surrounding block bytes differ in general).
+  Payload again = Payload::View(block, 2, 5);
+  EXPECT_NE(again.id(), view.id());
+  EXPECT_FALSE(again.SharesBufferWith(view));
+
+  // The view keeps the block alive after the last external reference dies.
+  const Bytes* raw = block.get();
+  block.reset();
+  EXPECT_EQ(view.data(), raw->data() + 2);
+  EXPECT_EQ(view.ToBytes(), (Bytes{2, 3, 4, 5, 6}));
+}
+
 TEST(PayloadTest, MakeDecoderCarriesBufferIdentity) {
   Payload p(Bytes{42, 7});
   Decoder dec = MakeDecoder(p);
   EXPECT_EQ(dec.buffer_id(), p.id());
   EXPECT_EQ(dec.GetU8(), 42);
   EXPECT_EQ(dec.pos(), 1u);
-  Decoder plain(p.bytes());
+  const Bytes owned = p.ToBytes();
+  Decoder plain(owned);
   EXPECT_EQ(plain.buffer_id(), 0u);
 }
 
@@ -112,7 +136,7 @@ class PayloadRecorder : public MessageHandler {
 class MutatingRecorder : public MessageHandler {
  public:
   void OnMessage(PrincipalId, Payload payload) override {
-    Bytes mine = payload.bytes();  // the only way to a mutable view
+    Bytes mine = payload.ToBytes();  // the only way to a mutable view
     for (auto& b : mine) b ^= 0xff;
     mutated.push_back(std::move(mine));
     payloads.push_back(std::move(payload));
@@ -146,7 +170,7 @@ TEST(PayloadAliasingTest, MulticastSharesOneBufferAcrossReceivers) {
       handlers[1].payloads[0].SharesBufferWith(handlers[2].payloads[0]));
   EXPECT_TRUE(
       handlers[2].payloads[0].SharesBufferWith(handlers[3].payloads[0]));
-  EXPECT_EQ(handlers[1].payloads[0].bytes(), frame);
+  EXPECT_EQ(handlers[1].payloads[0].ToBytes(), frame);
 }
 
 TEST(PayloadAliasingTest, DuplicatedDeliveryAliasesTheSameFrame) {
@@ -161,8 +185,8 @@ TEST(PayloadAliasingTest, DuplicatedDeliveryAliasesTheSameFrame) {
   sim.Run();
   ASSERT_EQ(b.payloads.size(), 2u);  // duplicated in flight
   EXPECT_TRUE(b.payloads[0].SharesBufferWith(b.payloads[1]));
-  EXPECT_EQ(b.payloads[0].bytes(), (Bytes{1, 2, 3}));
-  EXPECT_EQ(b.payloads[1].bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(b.payloads[0].ToBytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(b.payloads[1].ToBytes(), (Bytes{1, 2, 3}));
 }
 
 TEST(PayloadAliasingTest, MutatingReceiverCannotCorruptOtherReceivers) {
@@ -186,9 +210,9 @@ TEST(PayloadAliasingTest, MutatingReceiverCannotCorruptOtherReceivers) {
   for (const Bytes& m : byzantine.mutated) EXPECT_NE(m, frame);
   // ...but every aliased view of the shared buffer is pristine, including
   // the mutator's own second (duplicated) delivery.
-  for (const Payload& p : byzantine.payloads) EXPECT_EQ(p.bytes(), frame);
+  for (const Payload& p : byzantine.payloads) EXPECT_EQ(p.ToBytes(), frame);
   for (const Payload& p : honest2.payloads) {
-    EXPECT_EQ(p.bytes(), frame);
+    EXPECT_EQ(p.ToBytes(), frame);
     EXPECT_TRUE(p.SharesBufferWith(byzantine.payloads[0]));
   }
 }

@@ -30,9 +30,9 @@ TEST(RtFrame, RoundTripVariousSizes) {
 
     FrameReader reader;
     ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
-    Bytes out;
+    Payload out;
     ASSERT_TRUE(reader.Next(&out));
-    EXPECT_EQ(out, body);
+    EXPECT_EQ(out.ToBytes(), body);
     EXPECT_FALSE(reader.Next(&out));
     EXPECT_EQ(reader.buffered(), 0u);
   }
@@ -55,8 +55,8 @@ TEST(RtFrame, EveryByteBoundary) {
     std::vector<Bytes> decoded;
     for (const uint8_t byte : stream) {
       ASSERT_TRUE(reader.Feed(&byte, 1).ok());
-      Bytes out;
-      while (reader.Next(&out)) decoded.push_back(out);
+      Payload out;
+      while (reader.Next(&out)) decoded.push_back(out.ToBytes());
     }
     ASSERT_EQ(decoded.size(), bodies.size());
     for (size_t i = 0; i < bodies.size(); ++i) EXPECT_EQ(decoded[i], bodies[i]);
@@ -68,8 +68,8 @@ TEST(RtFrame, EveryByteBoundary) {
     ASSERT_TRUE(reader.Feed(stream.data(), split).ok());
     ASSERT_TRUE(reader.Feed(stream.data() + split, stream.size() - split).ok());
     std::vector<Bytes> decoded;
-    Bytes out;
-    while (reader.Next(&out)) decoded.push_back(out);
+    Payload out;
+    while (reader.Next(&out)) decoded.push_back(out.ToBytes());
     ASSERT_EQ(decoded.size(), bodies.size()) << "split at " << split;
     for (size_t i = 0; i < bodies.size(); ++i) EXPECT_EQ(decoded[i], bodies[i]);
     EXPECT_EQ(reader.frames_decoded(), bodies.size());
@@ -91,7 +91,7 @@ TEST(RtFrame, OversizedLengthPrefixIsTypedErrorAndPoisons) {
   const Bytes good = EncodeFrame(MakeBody(8));
   EXPECT_EQ(reader.Feed(good.data(), good.size()).code(),
             StatusCode::kCorruption);
-  Bytes out;
+  Payload out;
   EXPECT_FALSE(reader.Next(&out));
 }
 
@@ -145,7 +145,7 @@ TEST(RtFrame, MaxFrameBoundaryExact) {
   FrameReader reader(/*max_frame=*/64);
   const Bytes frame = EncodeFrame(MakeBody(64));  // exactly at the cap
   ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
-  Bytes out;
+  Payload out;
   ASSERT_TRUE(reader.Next(&out));
   EXPECT_EQ(out.size(), 64u);
 }
@@ -153,7 +153,7 @@ TEST(RtFrame, MaxFrameBoundaryExact) {
 TEST(RtFrame, LongStreamStaysCompact) {
   FrameReader reader;
   const Bytes frame = EncodeFrame(MakeBody(200));
-  Bytes out;
+  Payload out;
   for (int i = 0; i < 1000; ++i) {
     ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
     ASSERT_TRUE(reader.Next(&out));
@@ -168,10 +168,10 @@ TEST(RtFrame, HelloRoundTrip) {
 
   FrameReader reader;
   ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
-  Bytes body;
+  Payload body;
   ASSERT_TRUE(reader.Next(&body));
 
-  const Result<Hello> decoded = DecodeHello(body);
+  const Result<Hello> decoded = DecodeHello(body.data(), body.size());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->sender, 7);
   EXPECT_EQ(decoded->fingerprint, 0xfeedbeefcafe1234ULL);
@@ -181,8 +181,9 @@ TEST(RtFrame, HelloRejectsWrongMagicAndTruncation) {
   const Bytes frame = EncodeHello(Hello{1, 42});
   FrameReader reader;
   ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
-  Bytes body;
-  ASSERT_TRUE(reader.Next(&body));
+  Payload received;
+  ASSERT_TRUE(reader.Next(&received));
+  const Bytes body = received.ToBytes();
 
   Bytes wrong_magic = body;
   wrong_magic[0] ^= 0xff;

@@ -32,7 +32,7 @@ bool RunUntil(EventLoop* loop, const std::function<bool()>& done,
 struct RecordingHandler final : public MessageHandler {
   void OnMessage(PrincipalId from, Payload payload) override {
     froms.push_back(from);
-    messages.push_back(payload.bytes());
+    messages.push_back(payload.ToBytes());
   }
   std::vector<PrincipalId> froms;
   std::vector<Bytes> messages;
@@ -217,6 +217,82 @@ TEST(RtTransport, SendWithoutConnectionDropsSilently) {
   node0.Send(0, 2, Payload(AsBytes("into the void")));
   loop.Run(Millis(20));
   EXPECT_EQ(node0.counters().dropped_no_connection, 1u);
+}
+
+TEST(RtTransport, MulticastEncodesOnceAndFansOutSharedFrames) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  TcpTransportOptions options;
+  options.num_replicas = 3;
+  options.base_port = 19180;
+  options.fingerprint = 3;
+
+  TcpTransport node0(&loop, options);
+  TcpTransport node1(&loop, options);
+  TcpTransport node2(&loop, options);
+  RecordingHandler handler0, handler1, handler2;
+  node0.Register(0, Zone::kPrivate, &handler0, true);
+  node1.Register(1, Zone::kPrivate, &handler1, true);
+  node2.Register(2, Zone::kPrivate, &handler2, true);
+
+  ASSERT_TRUE(RunUntil(&loop, [&] {
+    return node2.ConnectedTo(0) && node2.ConnectedTo(1);
+  })) << "replica 2 never reached its peers";
+
+  node2.Multicast(2, {0, 1, 2}, Payload(AsBytes("broadcast")));
+  ASSERT_TRUE(RunUntil(&loop, [&] {
+    return !handler0.messages.empty() && !handler1.messages.empty();
+  }));
+  EXPECT_EQ(handler0.messages[0], AsBytes("broadcast"));
+  EXPECT_EQ(handler1.messages[0], AsBytes("broadcast"));
+  EXPECT_TRUE(handler2.messages.empty());  // skips the sender
+
+  // Encode-once fan-out: ONE FrameBuffer built, one enqueue per remote.
+  EXPECT_EQ(node2.counters().multicast_encodes, 1u);
+  EXPECT_EQ(node2.counters().multicast_enqueues, 2u);
+  EXPECT_EQ(node2.counters().messages_sent, 2u);
+  // The flush went through the vectored path, HELLOs included.
+  EXPECT_GE(node2.counters().writev_syscalls, 1u);
+  EXPECT_GE(node2.counters().frames_sent, 4u);  // 2 HELLOs + 2 multicasts
+  // Receive side handed the bodies out as zero-copy views.
+  EXPECT_GE(node0.counters().rx.frames_aliased, 1u);
+  EXPECT_EQ(node0.counters().rx.frames_copied, 0u);
+}
+
+TEST(RtTransport, BackpressureChargesAndDropsPerPeerQueue) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.init_status().ok());
+
+  TcpTransportOptions options;
+  options.num_replicas = 3;
+  options.base_port = 19190;
+  options.fingerprint = 9;
+  // Cap below one big frame: HELLOs (25 wire bytes) fit, the payload
+  // below cannot, so the drop is deterministic — no socket timing.
+  options.max_queued_bytes = 64;
+
+  TcpTransport node0(&loop, options);
+  TcpTransport node1(&loop, options);
+  TcpTransport node2(&loop, options);
+  RecordingHandler handler0, handler1, handler2;
+  node0.Register(0, Zone::kPrivate, &handler0, true);
+  node1.Register(1, Zone::kPrivate, &handler1, true);
+  node2.Register(2, Zone::kPrivate, &handler2, true);
+  ASSERT_TRUE(RunUntil(&loop, [&] {
+    return node2.ConnectedTo(0) && node2.ConnectedTo(1);
+  }));
+
+  // A multicast frame shared by both peer queues still charges EACH queue
+  // its full wire size: both enqueues exceed the cap, both drop.
+  const uint64_t drops_before = node2.counters().dropped_backpressure;
+  node2.Multicast(2, {0, 1}, Payload(Bytes(200, 0xcd)));
+  EXPECT_EQ(node2.counters().dropped_backpressure, drops_before + 2);
+
+  // Small frames still flow afterwards: the drop never wedged the queue.
+  node2.Send(2, 0, Payload(AsBytes("small")));
+  ASSERT_TRUE(RunUntil(&loop, [&] { return !handler0.messages.empty(); }));
+  EXPECT_EQ(handler0.messages[0], AsBytes("small"));
 }
 
 TEST(RtScenario, BackendFieldRoundTripsThroughJson) {
