@@ -165,9 +165,18 @@ class SimNetwork : public Transport {
 
   /// Administratively cut / restore both directions of a link.
   void SetLinkUp(PrincipalId a, PrincipalId b, bool up);
+  /// Cut / restore ONE direction of a link (asymmetric loss: from -> to
+  /// drops while to -> from still delivers).
+  void SetDirectedLinkUp(PrincipalId from, PrincipalId to, bool up);
+  /// Impose extra fixed delay + uniform jitter + probabilistic loss (ppm)
+  /// on one direction of a link. All-zero removes the shaping. Unshaped
+  /// links draw no extra randomness, so runs without shaping stay
+  /// bit-identical to pre-shaping builds.
+  void ShapeDirectedLink(PrincipalId from, PrincipalId to, SimTime delay,
+                         SimTime jitter, uint32_t drop_ppm);
   /// Detach / reattach a node entirely (models a crashed machine's NIC).
   void SetNodeUp(PrincipalId id, bool up) override;
-  /// Restore all links and nodes.
+  /// Restore all links and nodes (directed cuts and shaping included).
   void HealAll();
 
   Zone ZoneOf(PrincipalId id) const;
@@ -187,12 +196,23 @@ class SimNetwork : public Transport {
     bool up = true;
   };
 
+  /// Per-direction shaping installed by ShapeDirectedLink.
+  struct DirectedShape {
+    SimTime delay = 0;
+    SimTime jitter = 0;
+    uint32_t drop_ppm = 0;
+  };
+
   static uint64_t LinkKey(PrincipalId a, PrincipalId b);
+  /// Unswapped key: (from, to) and (to, from) are distinct links.
+  static uint64_t DirectedKey(PrincipalId from, PrincipalId to);
 
   Simulator* sim_;
   NetworkConfig config_;
   std::unordered_map<PrincipalId, NodeEntry> nodes_;
   std::unordered_set<uint64_t> cut_links_;
+  std::unordered_set<uint64_t> directed_cuts_;
+  std::unordered_map<uint64_t, DirectedShape> directed_shapes_;
   /// CPUs created by Register(); AddNode callers own theirs externally.
   std::vector<std::unique_ptr<NodeCpu>> owned_cpus_;
   NetCounters counters_;

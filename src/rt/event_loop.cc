@@ -44,10 +44,17 @@ EventLoop::~EventLoop() {
 
 EventId EventLoop::ScheduleAfter(SimTime delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
-  const SimTime deadline = Now() + delay;
+  return ScheduleAt(Now() + delay, std::move(fn));
+}
+
+EventId EventLoop::ScheduleAt(SimTime deadline, std::function<void()> fn) {
+  const SimTime now = Now();
+  if (deadline < now) deadline = now;
   const EventId id = next_timer_id_++;
   timers_.emplace(id, Timer{deadline, std::move(fn)});
-  by_deadline_.emplace(deadline, id);
+  // multimap::insert places equal keys at the upper bound of their range,
+  // so same-deadline timers fire in scheduling order.
+  by_deadline_.insert(std::make_pair(deadline, id));
   RearmTimerFd();
   return id;
 }

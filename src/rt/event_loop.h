@@ -53,6 +53,12 @@ class EventLoop final : public TimerService {
   /// --- TimerService -------------------------------------------------------
   SimTime Now() const override { return clock_.Now(); }
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn) override;
+  /// Absolute-deadline form. Two timers with the same deadline fire in
+  /// scheduling order — callers that precompute monotone release times
+  /// (the transport's fault plane) rely on this to keep FIFO, where the
+  /// relative form would smear ties by the clock skew between computing a
+  /// delay and re-reading Now() here.
+  EventId ScheduleAt(SimTime deadline, std::function<void()> fn);
   bool CancelEvent(EventId id) override;
 
   /// --- fd watching --------------------------------------------------------

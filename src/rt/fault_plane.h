@@ -1,0 +1,103 @@
+// Runtime fault plane for the real TCP backend (DESIGN.md §12).
+//
+// A FaultPlane sits between TcpTransport's write queues / frame reader and
+// the sockets: every outbound frame asks ShouldDropOutbound/HoldFor before
+// it is enqueued, every inbound frame asks ShouldDropInbound before it is
+// handed to the replica. Cutting a directed link (from -> to) therefore
+// drops frames at BOTH endpoints — the sender refuses to enqueue them and
+// the receiver refuses to deliver any that were already in flight — so a
+// partition is airtight the instant the command lands, without tc/iptables
+// or any OS-level tooling, and without tearing down the TCP connections
+// (the fault is a network condition, not a process death; HELLOs and
+// control frames are never filtered).
+//
+// Links are DIRECTED: cutting 4 -> 0 leaves 0 -> 4 delivering, which is
+// the asymmetric one-way loss the paper never stresses. A cloud partition
+// is just every private<->public pair cut in both directions.
+//
+// Shaping (per-link delay/jitter/drop) is deterministic: the jitter and
+// drop draws come from a per-plane LCG seeded by the cluster fingerprint,
+// and delayed frames keep per-link FIFO order (a frame never overtakes an
+// earlier one on the same directed link — release times are monotone per
+// link).
+//
+// Everything here is plain single-threaded state mutated on the owning
+// EventLoop thread, like the rest of the transport.
+
+#ifndef SEEMORE_RT_FAULT_PLANE_H_
+#define SEEMORE_RT_FAULT_PLANE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "util/time.h"
+
+namespace seemore {
+namespace rt {
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(uint64_t seed = 0)
+      : rng_(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL) {}
+
+  /// Per-directed-link traffic shaping.
+  struct Shape {
+    SimTime delay = 0;      // fixed extra latency
+    SimTime jitter = 0;     // uniform extra [0, jitter)
+    uint32_t drop_ppm = 0;  // drop probability, parts-per-million
+  };
+
+  /// --- command side (driven by CONTROL frames) ---------------------------
+  void CutLink(int from, int to);
+  void RestoreLink(int from, int to);
+  /// Cut every private<->public replica pair in both directions
+  /// (trusted = id < trusted_count, per the hybrid model §3.1).
+  void PartitionClouds(int trusted_count, int num_replicas);
+  /// Clear every cut and every shape. Returns true when anything was
+  /// cleared (the transport uses this to reset dial backoff only on a real
+  /// heal).
+  bool Heal();
+  void ShapeLink(int from, int to, const Shape& shape);
+
+  /// --- filter side (transport hot path) ----------------------------------
+  /// Anything to check at all? One branch on the hot path when idle.
+  bool active() const { return !cut_.empty() || !shapes_.empty(); }
+
+  /// Outbound: drop when the directed link is cut, or by the link's
+  /// drop_ppm draw.
+  bool ShouldDropOutbound(PrincipalId from, PrincipalId to);
+  /// Inbound: drop only when the directed link is cut (probabilistic loss
+  /// already happened on the send side; applying it twice would square the
+  /// configured rate).
+  bool ShouldDropInbound(PrincipalId from, PrincipalId to) const;
+  /// How long an outbound frame on from -> to must be held before it may
+  /// hit the socket. 0 = send now. Holds are monotone per directed link,
+  /// preserving FIFO order under jitter.
+  SimTime HoldFor(PrincipalId from, PrincipalId to, SimTime now);
+
+  bool IsCut(int from, int to) const {
+    return cut_.count(DirectedKey(from, to)) != 0;
+  }
+
+ private:
+  static uint64_t DirectedKey(PrincipalId from, PrincipalId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+  uint64_t NextRandom();
+
+  std::unordered_set<uint64_t> cut_;
+  std::unordered_map<uint64_t, Shape> shapes_;
+  /// Last scheduled release per shaped link, for FIFO under jitter.
+  std::unordered_map<uint64_t, SimTime> last_release_;
+  uint64_t rng_;
+};
+
+}  // namespace rt
+}  // namespace seemore
+
+#endif  // SEEMORE_RT_FAULT_PLANE_H_

@@ -16,6 +16,11 @@ namespace {
 constexpr uint32_t kHelloMagic = 0x544d5253;  // "SMRT"
 constexpr uint8_t kHelloVersion = 1;
 
+/// CONTROL body: a distinct magic so a data frame mis-routed onto the
+/// control path (or vice versa) dies with a typed error at the decoder.
+constexpr uint32_t kControlMagic = 0x544c5443;  // "CTLT"
+constexpr uint8_t kControlVersion = 1;
+
 uint32_t BodyCrc(const uint8_t* data, size_t len) {
   // Hardware CRC paths may prefetch; never hand them a null pointer.
   static const uint8_t kZero = 0;
@@ -74,6 +79,55 @@ Result<Hello> DecodeHello(const uint8_t* data, size_t len) {
     return Status::InvalidArgument("unsupported transport version");
   }
   return hello;
+}
+
+Bytes EncodeFaultCommandBody(const FaultCommand& command) {
+  Encoder enc;
+  enc.PutU32(kControlMagic);
+  enc.PutU8(kControlVersion);
+  enc.PutU8(static_cast<uint8_t>(command.kind));
+  enc.PutU32(static_cast<uint32_t>(command.from));
+  enc.PutU32(static_cast<uint32_t>(command.to));
+  enc.PutU32(static_cast<uint32_t>(command.replica));
+  enc.PutU32(command.byz_flags);
+  enc.PutU8(command.mode);
+  enc.PutU64(command.delay_us);
+  enc.PutU64(command.jitter_us);
+  enc.PutU32(command.drop_ppm);
+  enc.PutU32(command.value);
+  return enc.Take();
+}
+
+Result<FaultCommand> DecodeFaultCommand(const uint8_t* data, size_t len) {
+  Decoder dec(data, len);
+  const uint32_t magic = dec.GetU32();
+  const uint8_t version = dec.GetU8();
+  const uint8_t kind = dec.GetU8();
+  FaultCommand command;
+  command.from = static_cast<int32_t>(dec.GetU32());
+  command.to = static_cast<int32_t>(dec.GetU32());
+  command.replica = static_cast<int32_t>(dec.GetU32());
+  command.byz_flags = dec.GetU32();
+  command.mode = dec.GetU8();
+  command.delay_us = dec.GetU64();
+  command.jitter_us = dec.GetU64();
+  command.drop_ppm = dec.GetU32();
+  command.value = dec.GetU32();
+  if (!dec.ok() || !dec.AtEnd()) {
+    return Status::Corruption("malformed CONTROL frame");
+  }
+  if (magic != kControlMagic) {
+    return Status::Corruption("CONTROL magic mismatch (not a fault command)");
+  }
+  if (version != kControlVersion) {
+    return Status::InvalidArgument("unsupported control version");
+  }
+  if (kind < static_cast<uint8_t>(ControlKind::kCutLink) ||
+      kind > static_cast<uint8_t>(ControlKind::kShapeLink)) {
+    return Status::Corruption("unknown control command kind");
+  }
+  command.kind = static_cast<ControlKind>(kind);
+  return command;
 }
 
 std::shared_ptr<Bytes> BlockPool::Acquire() {

@@ -110,6 +110,51 @@ inline Result<Hello> DecodeHello(const Bytes& body) {
   return DecodeHello(body.data(), body.size());
 }
 
+/// Typed fault commands for the runtime fault plane (DESIGN.md §12). The
+/// launcher registers a control principal with the cluster and sends these
+/// as ordinary frames down its HELLO-authenticated connections; a node
+/// recognizes the control principal and decodes every frame from it as a
+/// FaultCommand instead of handing it to the replica.
+enum class ControlKind : uint8_t {
+  kCutLink = 1,      // drop frames on the directed link from -> to
+  kRestoreLink = 2,  // undo kCutLink for from -> to
+  kPartition = 3,    // cut every private<->public replica pair, both ways
+  kHeal = 4,         // undo kPartition/kCutLink state and reset dial backoff
+  kSetByzantine = 5, // replica applies byz_flags via ReplicaBase::SetByzantine
+  kSwitchMode = 6,   // mode-switch request: the switch authority acts on it
+  kQueryPrimary = 7, // ask a node who it believes is primary
+  kPrimaryReply = 8, // node -> launcher answer to kQueryPrimary (value = id)
+  kShapeLink = 9,    // per-link delay/jitter/drop on the directed from -> to
+};
+
+/// One control-channel command. The layout is fixed across kinds (unused
+/// fields ride along as zeros) so the codec stays a single strict
+/// encode/decode pair: magic, version, kind, from, to, replica, byz_flags,
+/// mode, delay_us, jitter_us, drop_ppm, value.
+struct FaultCommand {
+  ControlKind kind = ControlKind::kHeal;
+  int32_t from = -1;         // directed-link source (kCutLink/kRestoreLink/kShapeLink)
+  int32_t to = -1;           // directed-link destination
+  int32_t replica = -1;      // target replica (kSetByzantine)
+  uint32_t byz_flags = 0;    // kSetByzantine payload
+  uint8_t mode = 0;          // kSwitchMode target (SeeMoReMode numeric value)
+  uint64_t delay_us = 0;     // kShapeLink: fixed extra delay
+  uint64_t jitter_us = 0;    // kShapeLink: uniform extra jitter bound
+  uint32_t drop_ppm = 0;     // kShapeLink: drop probability, parts-per-million
+  uint32_t value = 0;        // kPrimaryReply: the primary's id (+1, 0 = unknown)
+};
+
+/// CONTROL body bytes, unframed — sent through the transport like any other
+/// message body.
+Bytes EncodeFaultCommandBody(const FaultCommand& command);
+/// Decode a received frame *body* as a FaultCommand. Any trailing or
+/// missing byte, wrong magic or unknown kind is a typed Corruption /
+/// InvalidArgument — exactly the HELLO codec's contract.
+Result<FaultCommand> DecodeFaultCommand(const uint8_t* data, size_t len);
+inline Result<FaultCommand> DecodeFaultCommand(const Bytes& body) {
+  return DecodeFaultCommand(body.data(), body.size());
+}
+
 /// Pool of fixed-size receive blocks shared by every connection of a
 /// transport. A block handed out by Acquire is exclusively the reader's to
 /// fill; once the reader rolls past it the block comes back via Recycle,

@@ -9,13 +9,16 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "harness/policies.h"
 #include "rt/event_loop.h"
+#include "rt/posix_medium.h"
 #include "rt/tcp_transport.h"
 #include "smr/client.h"
 
@@ -101,12 +104,30 @@ class Launcher {
   Result<TcpRunReport> Run();
 
  private:
+  /// Receives CONTROL replies (kPrimaryReply) addressed to the launcher's
+  /// fault-controller principal.
+  struct ControlSink : MessageHandler {
+    explicit ControlSink(Launcher* launcher) : launcher(launcher) {}
+    void OnMessage(PrincipalId from, Payload payload) override {
+      launcher->OnControlReply(from, std::move(payload));
+    }
+    Launcher* launcher;
+  };
+
   Status Setup();
   Status SpawnChild(Child& child);
   void KillChild(Child& child);
   void KillAll(int sig);
   Status AwaitCluster();
   void ScheduleRun();
+  void ApplyScheduledEvent(const scenario::ScenarioEvent& event);
+  void FinishCrashPrimary();
+  Status TamperWal(const scenario::ScenarioEvent& event);
+  /// Send one fault command over the control channel to a single node /
+  /// every live node.
+  void SendControl(int replica, const FaultCommand& command);
+  void BroadcastControl(const FaultCommand& command);
+  void OnControlReply(PrincipalId from, Payload payload);
   void ReapAll();
   void CollectReports(TcpRunReport& report);
   void CheckInvariants(TcpRunReport& report);
@@ -129,6 +150,14 @@ class Launcher {
   std::vector<std::unique_ptr<SimClient>> clients_;
 
   std::vector<scenario::AppliedEvent> applied_;
+  /// Replicas the schedule has turned Byzantine: their reports are excluded
+  /// from the agreement and convergence checks (a faulty node's digests are
+  /// allowed to lie), mirroring the sim engine's ScheduleState.byzantine.
+  std::set<int> byzantine_;
+  /// Per-replica tallies of kPrimaryReply answers for an in-flight
+  /// crash-primary event (empty when none is pending).
+  std::vector<int> primary_votes_;
+  ControlSink control_sink_{this};
   SimTime t0_ = 0;
   SimTime measure_start_ = 0;
   SimTime measure_end_ = 0;
@@ -234,39 +263,7 @@ void Launcher::ScheduleRun() {
 
   for (const scenario::ScenarioEvent& event : spec_.schedule) {
     const SimTime at = event.at < 0 ? 0 : event.at;
-    loop_->ScheduleAfter(at, [this, event] {
-      Child& child = children_[static_cast<size_t>(event.replica)];
-      scenario::AppliedEvent applied;
-      applied.at = loop_->Now() - t0_;
-      switch (event.kind) {
-        case scenario::EventKind::kCrash:
-          KillChild(child);
-          applied.description = "crash replica " + std::to_string(child.id) +
-                                " (SIGKILL)";
-          break;
-        case scenario::EventKind::kRecover:
-        case scenario::EventKind::kRestart: {
-          if (child.alive) {
-            applied.description = "restart skipped: replica " +
-                                  std::to_string(child.id) + " is alive";
-            break;
-          }
-          const Status spawned = SpawnChild(child);
-          applied.description =
-              spawned.ok()
-                  ? "respawn replica " + std::to_string(child.id) +
-                        (child.data_dir.empty() ? " (fresh)"
-                                                : " (durable data dir)")
-                  : "respawn failed: " + spawned.ToString();
-          break;
-        }
-        default:
-          applied.description = "unsupported event skipped";
-          break;
-      }
-      Note(applied.description);
-      applied_.push_back(std::move(applied));
-    });
+    loop_->ScheduleAfter(at, [this, event] { ApplyScheduledEvent(event); });
   }
 
   loop_->ScheduleAfter(spec_.plan.warmup + spec_.plan.measure, [this] {
@@ -277,6 +274,242 @@ void Launcher::ScheduleRun() {
   loop_->ScheduleAfter(spec_.plan.warmup + spec_.plan.measure +
                            spec_.plan.drain,
                        [this] { loop_->Stop(); });
+}
+
+void Launcher::SendControl(int replica, const FaultCommand& command) {
+  transport_->Send(kFaultControllerId, replica,
+                   Payload(EncodeFaultCommandBody(command)));
+}
+
+void Launcher::BroadcastControl(const FaultCommand& command) {
+  for (const Child& child : children_) {
+    if (child.alive) SendControl(child.id, command);
+  }
+}
+
+void Launcher::OnControlReply(PrincipalId from, Payload payload) {
+  Result<FaultCommand> command =
+      DecodeFaultCommand(payload.data(), payload.size());
+  if (!command.ok()) {
+    Note("bad control reply from " + std::to_string(from) + ": " +
+         command.status().ToString());
+    return;
+  }
+  if (command->kind == ControlKind::kPrimaryReply && command->value > 0 &&
+      !primary_votes_.empty()) {
+    const int primary = static_cast<int>(command->value) - 1;
+    if (primary >= 0 && primary < config_.n()) {
+      primary_votes_[static_cast<size_t>(primary)] += 1;
+    }
+  }
+}
+
+Status Launcher::TamperWal(const scenario::ScenarioEvent& event) {
+  Child& child = children_[static_cast<size_t>(event.replica)];
+  if (child.alive) {
+    return Status::FailedPrecondition("wal tampering target is not crashed");
+  }
+  if (child.data_dir.empty()) {
+    return Status::FailedPrecondition("wal tampering requires durability");
+  }
+  // Same semantics as Cluster::TruncateWalTail / CorruptWalTail, applied to
+  // the dead process's on-disk WAL through the same medium type the node
+  // itself writes with.
+  PosixMedium medium(child.data_dir);
+  SEEMORE_RETURN_IF_ERROR(medium.status());
+  const std::vector<std::string> segments = medium.List("wal-");
+  if (segments.empty()) {
+    return Status::FailedPrecondition("no wal segments to tamper");
+  }
+  const std::string& last = segments.back();
+  SEEMORE_ASSIGN_OR_RETURN(uint64_t size, medium.SizeOf(last));
+  if (event.kind == scenario::EventKind::kTruncateLog) {
+    const uint64_t bytes_from_end = static_cast<uint64_t>(event.arg);
+    const uint64_t cut = bytes_from_end >= size ? 0 : size - bytes_from_end;
+    return medium.TruncateTo(last, cut);
+  }
+  if (size == 0) return Status::FailedPrecondition("empty wal segment");
+  const uint64_t offset_from_end = static_cast<uint64_t>(event.arg);
+  const uint64_t offset =
+      offset_from_end >= size ? 0 : size - 1 - offset_from_end;
+  // PosixMedium has no FlipBit (real disks don't corrupt on request);
+  // flip the bit directly in the segment file.
+  const std::string path = child.data_dir + "/" + last;
+  const int fd = open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return Status::Internal("cannot open " + path);
+  uint8_t byte = 0;
+  if (pread(fd, &byte, 1, static_cast<off_t>(offset)) != 1) {
+    close(fd);
+    return Status::Internal("cannot read " + path);
+  }
+  byte ^= 1u;
+  const bool wrote = pwrite(fd, &byte, 1, static_cast<off_t>(offset)) == 1;
+  close(fd);
+  if (!wrote) return Status::Internal("cannot write " + path);
+  return Status::Ok();
+}
+
+void Launcher::ApplyScheduledEvent(const scenario::ScenarioEvent& event) {
+  using scenario::EventKind;
+  scenario::AppliedEvent applied;
+  applied.at = loop_->Now() - t0_;
+  switch (event.kind) {
+    case EventKind::kCrash:
+    case EventKind::kPowerLoss: {
+      // A SIGKILL is both: the process loses its memory, the data dir keeps
+      // whatever reached the filesystem.
+      Child& child = children_[static_cast<size_t>(event.replica)];
+      KillChild(child);
+      applied.description =
+          (event.kind == EventKind::kCrash
+               ? "crash replica " + std::to_string(child.id)
+               : "power loss at replica " + std::to_string(child.id)) +
+          " (SIGKILL)";
+      break;
+    }
+    case EventKind::kRecover:
+    case EventKind::kRestart: {
+      Child& child = children_[static_cast<size_t>(event.replica)];
+      if (child.alive) {
+        applied.description = "restart skipped: replica " +
+                              std::to_string(child.id) + " is alive";
+        break;
+      }
+      const Status spawned = SpawnChild(child);
+      applied.description =
+          spawned.ok()
+              ? "respawn replica " + std::to_string(child.id) +
+                    (child.data_dir.empty() ? " (fresh)"
+                                            : " (durable data dir)")
+              : "respawn failed: " + spawned.ToString();
+      break;
+    }
+    case EventKind::kTruncateLog:
+    case EventKind::kCorruptLog: {
+      const Status status = TamperWal(event);
+      applied.description =
+          (event.kind == EventKind::kTruncateLog
+               ? "truncate replica " + std::to_string(event.replica) +
+                     "'s wal tail by " + std::to_string(event.arg) + " bytes"
+               : "flip a bit " + std::to_string(event.arg) +
+                     " bytes before the end of replica " +
+                     std::to_string(event.replica) + "'s wal") +
+          (status.ok() ? "" : " (" + status.ToString() + ")");
+      break;
+    }
+    case EventKind::kByzantine: {
+      FaultCommand command;
+      command.kind = ControlKind::kSetByzantine;
+      command.replica = event.replica;
+      command.byz_flags = event.byz_flags;
+      SendControl(event.replica, command);
+      if (event.byz_flags != kByzNone) {
+        byzantine_.insert(event.replica);
+      } else {
+        byzantine_.erase(event.replica);
+      }
+      applied.description = "replica " + std::to_string(event.replica) +
+                            " turns Byzantine (" +
+                            scenario::ByzFlagsToken(event.byz_flags) + ")";
+      break;
+    }
+    case EventKind::kSwitch: {
+      FaultCommand command;
+      command.kind = ControlKind::kSwitchMode;
+      command.mode = static_cast<uint8_t>(event.target_mode);
+      // Broadcast: each node checks whether it is the switch authority.
+      BroadcastControl(command);
+      applied.description = std::string("switch mode to ") +
+                            scenario::SeeMoReModeToken(event.target_mode);
+      break;
+    }
+    case EventKind::kPartitionClouds: {
+      FaultCommand command;
+      command.kind = ControlKind::kPartition;
+      BroadcastControl(command);
+      applied.description =
+          "partition the private cloud from the public cloud";
+      break;
+    }
+    case EventKind::kHealClouds: {
+      FaultCommand command;
+      command.kind = ControlKind::kHeal;
+      BroadcastControl(command);
+      applied.description = "heal the cross-cloud partition";
+      break;
+    }
+    case EventKind::kCutLink:
+    case EventKind::kRestoreLink: {
+      const bool cut = event.kind == EventKind::kCutLink;
+      FaultCommand command;
+      command.kind = cut ? ControlKind::kCutLink : ControlKind::kRestoreLink;
+      command.from = event.replica;
+      command.to = event.peer;
+      // Both endpoints (and everyone else, harmlessly) learn of the cut, so
+      // the direction is enforced at the sender and the receiver.
+      BroadcastControl(command);
+      applied.description = std::string(cut ? "cut" : "restore") +
+                            " the directed link " +
+                            std::to_string(event.replica) + " -> " +
+                            std::to_string(event.peer);
+      break;
+    }
+    case EventKind::kShapeLink: {
+      FaultCommand command;
+      command.kind = ControlKind::kShapeLink;
+      command.from = event.replica;
+      command.to = event.peer;
+      command.delay_us = static_cast<uint64_t>(event.delay / kNanosPerMicro);
+      command.jitter_us =
+          static_cast<uint64_t>(event.jitter / kNanosPerMicro);
+      command.drop_ppm = static_cast<uint32_t>(event.arg);
+      BroadcastControl(command);
+      applied.description =
+          "shape the directed link " + std::to_string(event.replica) +
+          " -> " + std::to_string(event.peer) + " (+" +
+          std::to_string(event.delay / kNanosPerMicro) + "us delay, " +
+          std::to_string(event.jitter / kNanosPerMicro) + "us jitter, " +
+          std::to_string(event.arg) + "ppm drop)";
+      break;
+    }
+    case EventKind::kCrashPrimary: {
+      // Nobody here knows the view; ask every live node over the control
+      // channel and kill the plurality answer once the replies are in.
+      primary_votes_.assign(static_cast<size_t>(config_.n()), 0);
+      FaultCommand query;
+      query.kind = ControlKind::kQueryPrimary;
+      BroadcastControl(query);
+      loop_->ScheduleAfter(Millis(300), [this] { FinishCrashPrimary(); });
+      return;  // the decision records the applied event
+    }
+  }
+  Note(applied.description);
+  applied_.push_back(std::move(applied));
+}
+
+void Launcher::FinishCrashPrimary() {
+  scenario::AppliedEvent applied;
+  applied.at = loop_->Now() - t0_;
+  int best = -1;
+  for (int r = 0; r < config_.n(); ++r) {
+    if (primary_votes_[static_cast<size_t>(r)] == 0) continue;
+    if (best < 0 || primary_votes_[static_cast<size_t>(r)] >
+                        primary_votes_[static_cast<size_t>(best)]) {
+      best = r;
+    }
+  }
+  primary_votes_.clear();
+  if (best < 0) {
+    applied.description =
+        "crash the current primary (skipped: no replica answered the "
+        "primary query)";
+  } else {
+    KillChild(children_[static_cast<size_t>(best)]);
+    applied.description = "crash the current primary (replica " +
+                          std::to_string(best) + ", SIGKILL)";
+  }
+  Note(applied.description);
+  applied_.push_back(std::move(applied));
 }
 
 void Launcher::ReapAll() {
@@ -333,6 +566,9 @@ void Launcher::CheckInvariants(TcpRunReport& report) {
     const Json* samples = node.Find("digest_samples");
     const Json* id = node.Find("id");
     if (samples == nullptr || !samples->is_array() || id == nullptr) continue;
+    // A Byzantine replica's report is allowed to lie; only honest nodes
+    // participate in the agreement check (same rule as the sim engine).
+    if (byzantine_.count(static_cast<int>(id->AsInt())) > 0) continue;
     for (const Json& sample : samples->items()) {
       // A partially written report can parse as JSON yet miss fields; skip
       // malformed samples rather than crash the launcher on them.
@@ -365,6 +601,11 @@ void Launcher::CheckInvariants(TcpRunReport& report) {
   for (const Json& node : report.nodes) {
     const Json* crashed = node.Find("crashed");
     if (crashed != nullptr && crashed->AsBool()) continue;
+    const Json* node_id = node.Find("id");
+    if (node_id != nullptr &&
+        byzantine_.count(static_cast<int>(node_id->AsInt())) > 0) {
+      continue;
+    }
     const Json* last = node.Find("last_executed");
     const Json* digest = node.Find("state_digest");
     if (last == nullptr || digest == nullptr) continue;
@@ -414,6 +655,12 @@ Result<TcpRunReport> Launcher::Run() {
   transport_ = std::make_unique<TcpTransport>(loop_.get(), transport_options);
   keystore_ =
       std::make_unique<KeyStore>(spec_.seed ^ 0x5eed'c0de'5eed'c0deULL);
+
+  // The fault controller dials every node like a client; those HELLO'd
+  // connections are the control channel the schedule speaks over (and the
+  // path kPrimaryReply answers come back on).
+  transport_->Register(kFaultControllerId, Zone::kClient, &control_sink_,
+                       /*metered=*/false);
 
   for (int i = 0; i < spec_.clients; ++i) {
     ClientOptions client_options;
@@ -495,22 +742,18 @@ Status ValidateForTcp(const scenario::ScenarioSpec& spec) {
     return Status::InvalidArgument(
         "tcp backend runs one cluster per call (no sweep plan)");
   }
+  // The fault plane + control channel cover every schedule kind the sim
+  // engine does; the supported set IS the full table, and the error text is
+  // derived from it so the message can never drift from scenario::names.
+  const std::vector<scenario::EventKind>& supported =
+      scenario::AllEventKinds();
   for (const scenario::ScenarioEvent& event : spec.schedule) {
-    switch (event.kind) {
-      case scenario::EventKind::kCrash:
-        break;
-      case scenario::EventKind::kRecover:
-        break;
-      case scenario::EventKind::kRestart:
-        if (!spec.durability.enabled) {
-          return Status::InvalidArgument(
-              "tcp restart event requires durability");
-        }
-        break;
-      default:
-        return Status::InvalidArgument(
-            "tcp backend supports only crash/recover/restart events (got " +
-            event.ToString() + ")");
+    if (std::find(supported.begin(), supported.end(), event.kind) ==
+        supported.end()) {
+      return Status::InvalidArgument(
+          "tcp backend supports only " +
+          scenario::EventKindTokenList(supported) + " events (got " +
+          event.ToString() + ")");
     }
   }
   return Status::Ok();

@@ -5,13 +5,21 @@
 // it spawns one node process per replica, hosts every closed-loop SimClient
 // itself on its own EventLoop/TcpTransport (so measurement happens where
 // the requests originate, exactly like the simulator's client model), and
-// translates the spec's schedule into process-level faults — kCrash is a
-// SIGKILL, kRestart/kRecover respawn the process (reusing its durable data
-// directory when the spec enables durability, so recovery runs the real
-// WAL/snapshot path). At the end it SIGTERMs the survivors, collects their
-// per-node report JSONs, and checks cross-process agreement/convergence
-// from the reported digest samples — the closest a multi-process run can
-// get to Cluster::CheckAgreement.
+// translates the spec's schedule into real faults. Process-level kinds are
+// signals and file surgery — kCrash/kPowerLoss are SIGKILLs,
+// kRestart/kRecover respawn the process (reusing its durable data directory
+// when the spec enables durability, so recovery runs the real WAL/snapshot
+// path), kTruncateLog/kCorruptLog operate on the dead process's WAL files.
+// Network- and replica-level kinds ride the control channel: the launcher
+// registers the fault-controller principal (kFaultControllerId) on its own
+// transport and sends typed CONTROL frames that each node's TcpTransport
+// fault plane (partitions, directed cuts, link shaping) or Node (Byzantine
+// flags, mode switches, primary queries for kCrashPrimary) applies. At the
+// end it SIGTERMs the survivors, collects their per-node report JSONs, and
+// checks cross-process agreement/convergence from the reported digest
+// samples — the closest a multi-process run can get to
+// Cluster::CheckAgreement. Replicas the schedule turned Byzantine are
+// excluded from both checks, mirroring the sim engine.
 //
 // Timeline semantics match the simulator's lifecycle: t=0 is when every
 // node answered the readiness gate; warmup resets client stats; the
@@ -84,9 +92,9 @@ struct TcpRunReport {
 };
 
 /// Spec constraints the tcp backend imposes (checked before any spawn):
-/// only kCrash / kRecover / kRestart schedule events (faults are process
-/// kills; partitions and Byzantine flags have no process-level analogue
-/// yet), and no sweep plan (one process cluster per call).
+/// no sweep plan (one process cluster per call). Every schedule kind the
+/// sim engine supports now has a process-level or control-channel
+/// implementation, so nothing else is rejected.
 Status ValidateForTcp(const scenario::ScenarioSpec& spec);
 
 /// Run the spec against a real localhost cluster. Fails on spawn/setup

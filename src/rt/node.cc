@@ -140,8 +140,12 @@ Status Node::Init() {
   transport_options.num_replicas = config.n();
   transport_options.base_port = options_.base_port;
   transport_options.fingerprint = spec_.seed;
+  transport_options.control_principal = kFaultControllerId;
+  transport_options.trusted_count = config.s;
   transport_ =
       std::make_unique<TcpTransport>(loop_.get(), transport_options);
+  transport_->SetControlHandler(
+      [this](const FaultCommand& command) { OnControl(command); });
 
   // Same keystore derivation as Cluster: every process of a run derives the
   // identical per-principal keys from the spec seed.
@@ -153,6 +157,59 @@ Status Node::Init() {
   if (replica_ == nullptr) return Status::Internal("unknown protocol kind");
   SEEMORE_RETURN_IF_ERROR(transport_->status());  // listener bind outcome
   return InitDurability();
+}
+
+int Node::CurrentPrimary() const {
+  const ClusterConfig& config = cluster_options_.config;
+  switch (config.kind) {
+    case ProtocolKind::kSeeMoRe:
+      return static_cast<const SeeMoReReplica*>(replica_.get())
+          ->current_primary();
+    case ProtocolKind::kCft:
+      return config.FlatPrimary(
+          static_cast<const PaxosReplica*>(replica_.get())->view());
+    case ProtocolKind::kBft:
+    case ProtocolKind::kSUpRight:
+      return config.FlatPrimary(
+          static_cast<const PbftReplica*>(replica_.get())->view());
+  }
+  return -1;
+}
+
+void Node::OnControl(const FaultCommand& command) {
+  switch (command.kind) {
+    case ControlKind::kSetByzantine:
+      if (command.replica == options_.replica_id) {
+        replica_->SetByzantine(command.byz_flags);
+      }
+      return;
+    case ControlKind::kSwitchMode: {
+      if (cluster_options_.config.kind != ProtocolKind::kSeeMoRe) return;
+      auto* seemore = static_cast<SeeMoReReplica*>(replica_.get());
+      const SeeMoReMode target = static_cast<SeeMoReMode>(command.mode);
+      // The switch must be requested on the new view's trusted authority
+      // (engine.cc RequestSwitch); the command is broadcast, so each node
+      // checks whether that authority is itself.
+      if (seemore->SwitchAuthority(target, seemore->view() + 1) ==
+          options_.replica_id) {
+        (void)seemore->RequestModeSwitch(target);
+      }
+      return;
+    }
+    case ControlKind::kQueryPrimary: {
+      FaultCommand reply;
+      reply.kind = ControlKind::kPrimaryReply;
+      reply.replica = options_.replica_id;
+      // +1 so "unknown primary" (no reply field set) stays distinct from
+      // replica 0.
+      reply.value = static_cast<uint32_t>(CurrentPrimary() + 1);
+      transport_->Send(options_.replica_id, kFaultControllerId,
+                       Payload(EncodeFaultCommandBody(reply)));
+      return;
+    }
+    default:
+      return;  // link-level kinds were consumed by the transport
+  }
 }
 
 Status Node::Serve() {

@@ -77,6 +77,13 @@ class Node {
  private:
   Status InitDurability();
   std::unique_ptr<ReplicaBase> MakeReplica();
+  /// Node-level fault commands forwarded by the transport's control
+  /// channel: Byzantine flags (the same SetByzantine path the sim engine
+  /// uses), mode-switch requests, primary queries.
+  void OnControl(const FaultCommand& command);
+  /// This node's current belief about the primary id (per-protocol view
+  /// resolution, mirroring the engine's ResolvePrimary).
+  int CurrentPrimary() const;
 
   const scenario::ScenarioSpec spec_;
   const NodeOptions options_;

@@ -56,6 +56,9 @@ Json TcpCounters::ToJson() const {
   json.Set("frames_sent", frames_sent);
   json.Set("multicast_encodes", multicast_encodes);
   json.Set("multicast_enqueues", multicast_enqueues);
+  json.Set("fault_dropped_tx", fault_dropped_tx);
+  json.Set("fault_dropped_rx", fault_dropped_rx);
+  json.Set("fault_delayed", fault_delayed);
   json.Set("rx_frames_aliased", rx.frames_aliased);
   json.Set("rx_frames_copied", rx.frames_copied);
   json.Set("rx_bytes_aliased", rx.bytes_aliased);
@@ -64,7 +67,9 @@ Json TcpCounters::ToJson() const {
 }
 
 TcpTransport::TcpTransport(EventLoop* loop, TcpTransportOptions options)
-    : loop_(loop), options_(std::move(options)) {}
+    : loop_(loop),
+      options_(std::move(options)),
+      fault_plane_(options_.fingerprint) {}
 
 TcpTransport::~TcpTransport() {
   for (const std::shared_ptr<Connection>& conn : connections_) {
@@ -333,7 +338,29 @@ void TcpTransport::DrainReadable(const std::shared_ptr<Connection>& conn) {
           if (!AcceptHello(conn, body)) return;
           continue;
         }
+        // Every frame from the control principal is a fault command; one
+        // that fails the strict decode kills the connection exactly like a
+        // garbage data frame.
+        if (conn->peer == options_.control_principal &&
+            options_.control_principal >= 0) {
+          Result<FaultCommand> command =
+              DecodeFaultCommand(body.data(), body.size());
+          if (!command.ok()) {
+            ++counters_.frame_errors;
+            CloseConnection(conn, "bad CONTROL");
+            return;
+          }
+          ApplyControl(*command);
+          continue;
+        }
         ++counters_.messages_received;
+        // A cut directed link is enforced at BOTH ends: frames already in
+        // flight when the cut landed are refused here.
+        if (fault_plane_.active() &&
+            fault_plane_.ShouldDropInbound(conn->peer, conn->local)) {
+          ++counters_.fault_dropped_rx;
+          continue;
+        }
         if (owner == nullptr || !owner->up || owner->handler == nullptr) {
           ++counters_.dropped_node_down;
           continue;
@@ -471,7 +498,10 @@ void TcpTransport::Send(PrincipalId from, PrincipalId to, Payload payload) {
     ++counters_.dropped_no_connection;
     return;
   }
-  ++counters_.messages_sent;
+  if (fault_plane_.active() && fault_plane_.ShouldDropOutbound(from, to)) {
+    ++counters_.fault_dropped_tx;
+    return;
+  }
   // Fan-out loops (SendToMany) pass the same immutable buffer once per
   // peer: wrap it once and share the frame, like an explicit Multicast.
   std::shared_ptr<const FrameBuffer> frame;
@@ -491,7 +521,45 @@ void TcpTransport::Send(PrincipalId from, PrincipalId to, Payload payload) {
     memo_frame_ = frame;
     memo_reused_ = false;
   }
+  if (fault_plane_.active()) {
+    const SimTime now = loop_->Now();
+    const SimTime hold = fault_plane_.HoldFor(from, to, now);
+    if (hold > 0) {
+      ++counters_.fault_delayed;
+      DeferFrame(from, to, std::move(frame), now + hold);
+      return;
+    }
+  }
+  ++counters_.messages_sent;
   EnqueueFrame(conn, frame);
+}
+
+void TcpTransport::DeferFrame(PrincipalId from, PrincipalId to,
+                              std::shared_ptr<const FrameBuffer> frame,
+                              SimTime release_at) {
+  // Absolute deadline: the fault plane's release times are monotone per
+  // directed link, and ScheduleAt fires equal deadlines in scheduling
+  // order, so shaped frames keep FIFO. The relative form would re-read the
+  // clock and smear clamped-equal releases by per-call skew, reordering.
+  std::weak_ptr<bool> alive = alive_;
+  loop_->ScheduleAt(
+      release_at, [this, alive, from, to, frame = std::move(frame)] {
+        if (alive.expired()) return;
+        // The link may have been cut (or the connection died) while the
+        // frame was held; either way the frame is loss, as it would be on
+        // a real slow link.
+        if (fault_plane_.IsCut(from, to)) {
+          ++counters_.fault_dropped_tx;
+          return;
+        }
+        std::shared_ptr<Connection> conn = ConnectionFor(from, to);
+        if (conn == nullptr || !conn->hello_received) {
+          ++counters_.dropped_no_connection;
+          return;
+        }
+        ++counters_.messages_sent;
+        EnqueueFrame(conn, frame);
+      });
 }
 
 void TcpTransport::Multicast(PrincipalId from,
@@ -519,12 +587,25 @@ void TcpTransport::Multicast(PrincipalId from,
       ++counters_.dropped_no_connection;
       continue;
     }
+    if (fault_plane_.active() && fault_plane_.ShouldDropOutbound(from, to)) {
+      ++counters_.fault_dropped_tx;
+      continue;
+    }
     if (frame == nullptr) {
       frame = FrameBuffer::Wrap(payload);
       ++counters_.multicast_encodes;
     }
-    ++counters_.messages_sent;
     ++counters_.multicast_enqueues;
+    if (fault_plane_.active()) {
+      const SimTime now = loop_->Now();
+      const SimTime hold = fault_plane_.HoldFor(from, to, now);
+      if (hold > 0) {
+        ++counters_.fault_delayed;
+        DeferFrame(from, to, frame, now + hold);
+        continue;
+      }
+    }
+    ++counters_.messages_sent;
     EnqueueFrame(conn, frame);
   }
 }
@@ -565,6 +646,48 @@ bool TcpTransport::ConnectedTo(PrincipalId peer) const {
     if (key.second == peer && conn->hello_received) return true;
   }
   return false;
+}
+
+void TcpTransport::ApplyControl(const FaultCommand& command) {
+  switch (command.kind) {
+    case ControlKind::kCutLink:
+      fault_plane_.CutLink(command.from, command.to);
+      return;
+    case ControlKind::kRestoreLink:
+      fault_plane_.RestoreLink(command.from, command.to);
+      ResetDialBackoff();
+      return;
+    case ControlKind::kPartition:
+      fault_plane_.PartitionClouds(options_.trusted_count,
+                                   options_.num_replicas);
+      return;
+    case ControlKind::kHeal:
+      if (fault_plane_.Heal()) ResetDialBackoff();
+      return;
+    case ControlKind::kShapeLink: {
+      FaultPlane::Shape shape;
+      shape.delay = Micros(static_cast<int64_t>(command.delay_us));
+      shape.jitter = Micros(static_cast<int64_t>(command.jitter_us));
+      shape.drop_ppm = command.drop_ppm;
+      fault_plane_.ShapeLink(command.from, command.to, shape);
+      return;
+    }
+    default:
+      // Node-level commands (Byzantine flags, mode switches, primary
+      // queries) belong to whoever hosts the replica.
+      if (control_handler_) control_handler_(command);
+      return;
+  }
+}
+
+void TcpTransport::ResetDialBackoff() {
+  for (auto& [key, backoff] : backoff_) {
+    backoff = options_.reconnect_initial;
+    // ScheduleRedial no-ops at fire time when a connection already exists,
+    // so an extra round here only costs churn, never duplicates routes
+    // (a superseded connection is closed by AcceptHello).
+    ScheduleRedial(key.first, key.second, options_.reconnect_initial);
+  }
 }
 
 }  // namespace rt

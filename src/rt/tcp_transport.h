@@ -37,12 +37,19 @@
 
 #include "net/transport.h"
 #include "rt/event_loop.h"
+#include "rt/fault_plane.h"
 #include "rt/frame.h"
 #include "rt/write_queue.h"
 #include "util/json.h"
 
 namespace seemore {
 namespace rt {
+
+/// Principal id the launcher's fault controller registers as: above every
+/// client id (clients are kClientIdBase + i) so AcceptHello admits it via
+/// the client rule, yet recognizable by every node as the one principal
+/// whose frames are CONTROL commands, not protocol messages.
+inline constexpr PrincipalId kFaultControllerId = kClientIdBase * 2 - 1;
 
 /// Accounting-only CpuMeter: real nodes burn real CPU, so Charge() tracks
 /// the cost-model total for report provenance but never delays delivery
@@ -73,6 +80,13 @@ struct TcpTransportOptions {
   /// (backpressure as loss, which the protocols tolerate by design).
   size_t max_queued_bytes = 8u << 20;
   size_t max_frame = kMaxFrameBytes;
+  /// Frames from this peer are decoded as FaultCommands and applied to the
+  /// fault plane instead of reaching the replica. -1 = no control channel
+  /// (the launcher's own transport, tests).
+  PrincipalId control_principal = -1;
+  /// Private-cloud size (s): kPartition cuts every pair spanning
+  /// id < trusted_count and id >= trusted_count.
+  int trusted_count = 0;
 };
 
 /// Transport counters (report provenance; mirrors SimNetwork's NetCounters
@@ -101,6 +115,12 @@ struct TcpCounters {
   /// enqueues is how many per-peer queues carried one.
   uint64_t multicast_encodes = 0;
   uint64_t multicast_enqueues = 0;
+  /// Fault-plane ledger: frames refused before the socket (cut link or
+  /// drop_ppm draw), frames refused after arrival (the other endpoint of a
+  /// cut enforcing it on in-flight traffic), frames held by link shaping.
+  uint64_t fault_dropped_tx = 0;
+  uint64_t fault_dropped_rx = 0;
+  uint64_t fault_delayed = 0;
   /// Receive-side copy ledger (filled in by the shared FrameReaders).
   FrameReadStats rx;
 
@@ -140,6 +160,21 @@ class TcpTransport final : public Transport {
   /// Accumulated cost-model busy time of a metered local node (0 when
   /// unmetered/unknown) — report provenance.
   SimTime MeterBusy(PrincipalId id) const;
+
+  /// --- fault plane --------------------------------------------------------
+  /// Apply one control command: link-level kinds mutate the fault plane
+  /// here; anything else (Byzantine flags, mode switches, primary queries)
+  /// is forwarded to the control handler the Node installed.
+  void ApplyControl(const FaultCommand& command);
+  /// Receives the node-level commands ApplyControl does not consume.
+  void SetControlHandler(std::function<void(const FaultCommand&)> handler) {
+    control_handler_ = std::move(handler);
+  }
+  /// Floor every dialer's backoff back to reconnect_initial and schedule an
+  /// immediate redial round — a heal must not wait out backoff a partition
+  /// (or peer death) inflated to the 800ms ceiling.
+  void ResetDialBackoff();
+  FaultPlane& fault_plane() { return fault_plane_; }
 
  private:
   struct LocalNode {
@@ -198,6 +233,13 @@ class TcpTransport final : public Transport {
                        const char* why);
   void EnqueueFrame(const std::shared_ptr<Connection>& conn,
                     std::shared_ptr<const FrameBuffer> frame);
+  /// Hold a shaped frame until the absolute `release_at`, then enqueue it
+  /// on whatever connection to the peer exists at release time (a vanished
+  /// connection is loss — exactly what a delayed frame on a dead link
+  /// would be).
+  void DeferFrame(PrincipalId from, PrincipalId to,
+                  std::shared_ptr<const FrameBuffer> frame,
+                  SimTime release_at);
   void DeliverLocally(PrincipalId from, PrincipalId to, Payload payload);
   /// The established connection for (local, peer), nullptr when none.
   std::shared_ptr<Connection> ConnectionFor(PrincipalId local,
@@ -207,6 +249,9 @@ class TcpTransport final : public Transport {
   const TcpTransportOptions options_;
   Status status_;
   TcpCounters counters_;
+  /// Per-peer-per-direction drop/delay filter between queues and sockets.
+  FaultPlane fault_plane_;
+  std::function<void(const FaultCommand&)> control_handler_;
   /// Receive blocks shared by every connection of this transport.
   BlockPool pool_;
   /// Encode-once memo for fan-out loops that call Send() once per peer

@@ -46,6 +46,11 @@ ScenarioBuilder& ScenarioBuilder::CloudSizes(int s, int p) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::Backend(BackendKind backend) {
+  spec_.backend = backend;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::Batching(int batch_max, int pipeline_max) {
   spec_.tuning.batch_max = batch_max;
   spec_.tuning.pipeline_max = pipeline_max;
@@ -269,6 +274,41 @@ ScenarioBuilder& ScenarioBuilder::CorruptLogAt(SimTime at, int replica,
   event.kind = EventKind::kCorruptLog;
   event.replica = replica;
   event.arg = offset_from_end;
+  spec_.schedule.push_back(event);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::CutLinkAt(SimTime at, int from, int to) {
+  ScenarioEvent event;
+  event.at = at;
+  event.kind = EventKind::kCutLink;
+  event.replica = from;
+  event.peer = to;
+  spec_.schedule.push_back(event);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::RestoreLinkAt(SimTime at, int from, int to) {
+  ScenarioEvent event;
+  event.at = at;
+  event.kind = EventKind::kRestoreLink;
+  event.replica = from;
+  event.peer = to;
+  spec_.schedule.push_back(event);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::ShapeLinkAt(SimTime at, int from, int to,
+                                              SimTime delay, SimTime jitter,
+                                              int64_t drop_ppm) {
+  ScenarioEvent event;
+  event.at = at;
+  event.kind = EventKind::kShapeLink;
+  event.replica = from;
+  event.peer = to;
+  event.delay = delay;
+  event.jitter = jitter;
+  event.arg = drop_ppm;
   spec_.schedule.push_back(event);
   return *this;
 }

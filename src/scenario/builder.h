@@ -43,6 +43,8 @@ class ScenarioBuilder {
   ScenarioBuilder& SUpRight(int c, int m);
   /// Explicit cloud sizes (otherwise derived; see TopologySpec).
   ScenarioBuilder& CloudSizes(int s, int p);
+  /// Which runtime the spec targets (sim is the default; see BackendKind).
+  ScenarioBuilder& Backend(BackendKind backend);
 
   /// --- tuning --------------------------------------------------------------
   ScenarioBuilder& Batching(int batch_max, int pipeline_max);
@@ -93,6 +95,11 @@ class ScenarioBuilder {
                                  int64_t bytes_from_end);
   ScenarioBuilder& CorruptLogAt(SimTime at, int replica,
                                 int64_t offset_from_end);
+  /// Directed-link faults: the link `from -> to`, that one direction only.
+  ScenarioBuilder& CutLinkAt(SimTime at, int from, int to);
+  ScenarioBuilder& RestoreLinkAt(SimTime at, int from, int to);
+  ScenarioBuilder& ShapeLinkAt(SimTime at, int from, int to, SimTime delay,
+                               SimTime jitter, int64_t drop_ppm);
 
   /// The spec so far, unvalidated (callers may keep editing).
   const ScenarioSpec& spec() const { return spec_; }

@@ -125,6 +125,17 @@ Status ApplyEvent(Cluster& cluster, const ScenarioEvent& event,
       if (!status.ok()) description += " (" + status.ToString() + ")";
       return status;
     }
+    case EventKind::kCutLink:
+      cluster.net().SetDirectedLinkUp(event.replica, event.peer, false);
+      return Status::Ok();
+    case EventKind::kRestoreLink:
+      cluster.net().SetDirectedLinkUp(event.replica, event.peer, true);
+      return Status::Ok();
+    case EventKind::kShapeLink:
+      cluster.net().ShapeDirectedLink(event.replica, event.peer, event.delay,
+                                      event.jitter,
+                                      static_cast<uint32_t>(event.arg));
+      return Status::Ok();
   }
   return Status::Ok();
 }

@@ -214,6 +214,12 @@ const char* EventKindToken(EventKind kind) {
       return "truncate-log";
     case EventKind::kCorruptLog:
       return "corrupt-log";
+    case EventKind::kCutLink:
+      return "cut-link";
+    case EventKind::kRestoreLink:
+      return "restore-link";
+    case EventKind::kShapeLink:
+      return "shape-link";
   }
   return "?";
 }
@@ -222,11 +228,9 @@ Result<EventKind> EventKindFromToken(const std::string& token) {
   for (EventKind kind : AllEventKinds()) {
     if (token == EventKindToken(kind)) return kind;
   }
-  return Status::InvalidArgument(
-      "unknown event kind: \"" + token +
-      "\" (expected crash | recover | byzantine | switch | crash-primary | "
-      "partition-clouds | heal-clouds | restart | power-loss | truncate-log "
-      "| corrupt-log)");
+  return Status::InvalidArgument("unknown event kind: \"" + token +
+                                 "\" (expected " +
+                                 EventKindTokenList(AllEventKinds()) + ")");
 }
 
 const std::vector<EventKind>& AllEventKinds() {
@@ -236,8 +240,18 @@ const std::vector<EventKind>& AllEventKinds() {
       EventKind::kCrashPrimary, EventKind::kPartitionClouds,
       EventKind::kHealClouds,   EventKind::kRestart,
       EventKind::kPowerLoss,    EventKind::kTruncateLog,
-      EventKind::kCorruptLog};
+      EventKind::kCorruptLog,   EventKind::kCutLink,
+      EventKind::kRestoreLink,  EventKind::kShapeLink};
   return kAll;
+}
+
+std::string EventKindTokenList(const std::vector<EventKind>& kinds) {
+  std::string list;
+  for (EventKind kind : kinds) {
+    if (!list.empty()) list += " | ";
+    list += EventKindToken(kind);
+  }
+  return list;
 }
 
 }  // namespace scenario

@@ -53,6 +53,10 @@ enum class EventKind : uint8_t {
   kPowerLoss = 9,    // crash `replica` AND roll its disk to durable state
   kTruncateLog = 10, // chop `arg` bytes off the crashed replica's WAL tail
   kCorruptLog = 11,  // flip a bit `arg` bytes before the WAL tail end
+  /// Directed-link events (the fault plane; `replica` -> `peer`):
+  kCutLink = 12,     // drop all frames replica -> peer (one direction!)
+  kRestoreLink = 13, // undo kCutLink for replica -> peer
+  kShapeLink = 14,   // extra delay/jitter (+ drop ppm in `arg`) on replica -> peer
 };
 
 /// --- protocol kind ("seemore" | "cft" | "bft" | "supright") --------------
@@ -88,10 +92,14 @@ const std::vector<StateMachineKind>& AllStateMachineKinds();
 
 /// --- schedule event ("crash" | "recover" | "byzantine" | "switch" |
 /// "crash-primary" | "partition-clouds" | "heal-clouds" | "restart" |
-/// "power-loss" | "truncate-log" | "corrupt-log") --------------------------
+/// "power-loss" | "truncate-log" | "corrupt-log" | "cut-link" |
+/// "restore-link" | "shape-link") ------------------------------------------
 const char* EventKindToken(EventKind kind);
 Result<EventKind> EventKindFromToken(const std::string& token);
 const std::vector<EventKind>& AllEventKinds();
+/// " | "-joined tokens of `kinds` — shared by every "supported events are
+/// ..." error message, so the text can't drift from the actual table.
+std::string EventKindTokenList(const std::vector<EventKind>& kinds);
 
 }  // namespace scenario
 }  // namespace seemore

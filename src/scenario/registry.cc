@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "consensus/replica_base.h"
 #include "scenario/builder.h"
 #include "util/logging.h"
 
@@ -224,6 +225,51 @@ ScenarioSpec CrossCloudPartition() {
   return builder.spec();
 }
 
+/// The two tcp-first robustness scenarios: both default to the process
+/// backend (BackendKind::kTcp) so `seemore_ctl --scenario=...` exercises the
+/// launcher's control channel, but they remain plain specs — `--smoke` and
+/// the sim backend run them through SimNetwork's equivalent fault hooks.
+ScenarioSpec ByzBackupTcp() {
+  ScenarioBuilder builder(PaperBaseSpec(/*seed=*/97));
+  builder.Name("byz-backup-tcp")
+      .Description(
+          "A public backup turns Byzantine (wrong votes + lying to clients) "
+          "mid-load on the real-process backend: the launcher flips the "
+          "replica's behaviour flags over the control channel, and the "
+          "honest majority must keep committing and converge without it")
+      .SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Backend(BackendKind::kTcp)
+      .Clients(16)
+      .Kv(128, 0.5)
+      .ByzantineAt(Millis(150), 3, kByzWrongVotes | kByzLieToClients)
+      .Warmup(Millis(100))
+      .Measure(Millis(500))
+      .Drain(Millis(500))
+      .CheckConvergence();
+  return builder.spec();
+}
+
+ScenarioSpec OneWayLink() {
+  ScenarioBuilder builder(PaperBaseSpec(/*seed=*/101));
+  builder.Name("one-way-link")
+      .Description(
+          "Asymmetric failure: replica 3 can hear replica 0 but frames "
+          "3 -> 0 vanish for 150ms (the classic half-open link TCP alone "
+          "cannot model), then the direction is restored; the protocol must "
+          "ride out the asymmetry and converge")
+      .SeeMoRe(SeeMoReMode::kLion, 1, 1)
+      .Backend(BackendKind::kTcp)
+      .Clients(16)
+      .Echo(0, 0)
+      .CutLinkAt(Millis(150), 3, 0)
+      .RestoreLinkAt(Millis(300), 3, 0)
+      .Warmup(Millis(100))
+      .Measure(Millis(500))
+      .Drain(Millis(500))
+      .CheckConvergence();
+  return builder.spec();
+}
+
 /// The kill-restart / kill-rejoin twins differ in exactly one schedule
 /// event: the comeback replica is either a FRESH process rebuilt from its
 /// durable WAL + snapshot store (restart) or the crashed process resuming
@@ -371,6 +417,8 @@ const std::vector<NamedScenario>& AllScenarios() {
     factories.push_back(ViewChangeStress);
     factories.push_back(ModeSwitchStorm);
     factories.push_back(CrossCloudPartition);
+    factories.push_back(ByzBackupTcp);
+    factories.push_back(OneWayLink);
     factories.push_back([] {
       return KillComeback(/*durable_restart=*/true, /*replica=*/0, "primary",
                           /*seed=*/71);

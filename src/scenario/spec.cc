@@ -89,6 +89,21 @@ std::string ScenarioEvent::ToString() const {
               " bytes before the end of replica " + std::to_string(replica) +
               "'s wal";
       break;
+    case EventKind::kCutLink:
+      text += "cut the directed link " + std::to_string(replica) + " -> " +
+              std::to_string(peer);
+      break;
+    case EventKind::kRestoreLink:
+      text += "restore the directed link " + std::to_string(replica) +
+              " -> " + std::to_string(peer);
+      break;
+    case EventKind::kShapeLink:
+      text += "shape the directed link " + std::to_string(replica) + " -> " +
+              std::to_string(peer) + " (+" +
+              std::to_string(ToWholeMicros(delay)) + "us delay, " +
+              std::to_string(ToWholeMicros(jitter)) + "us jitter, " +
+              std::to_string(arg) + "ppm drop)";
+      break;
   }
   return text;
 }
@@ -204,6 +219,33 @@ Status ScenarioSpec::Validate() const {
           return Status::InvalidArgument(
               where + ": replica " + std::to_string(event.replica) +
               " out of range [0, " + std::to_string(n) + ")");
+        }
+        break;
+      case EventKind::kCutLink:
+      case EventKind::kRestoreLink:
+      case EventKind::kShapeLink:
+        if (event.replica < 0 || event.replica >= n) {
+          return Status::InvalidArgument(
+              where + ": replica " + std::to_string(event.replica) +
+              " out of range [0, " + std::to_string(n) + ")");
+        }
+        if (event.peer < 0 || event.peer >= n) {
+          return Status::InvalidArgument(
+              where + ": peer " + std::to_string(event.peer) +
+              " out of range [0, " + std::to_string(n) + ")");
+        }
+        if (event.peer == event.replica) {
+          return Status::InvalidArgument(
+              where + ": a directed link needs two distinct replicas");
+        }
+        if (event.delay < 0 || event.jitter < 0) {
+          return Status::InvalidArgument(
+              where + ": delay and jitter must be >= 0");
+        }
+        if (event.kind == EventKind::kShapeLink &&
+            (event.arg < 0 || event.arg > 1000000)) {
+          return Status::InvalidArgument(
+              where + ": drop ppm (arg) must be in [0, 1000000]");
         }
         break;
       case EventKind::kSwitch:
@@ -399,6 +441,18 @@ Json ScenarioSpec::ToJson() const {
         e.Set("replica", event.replica);
         e.Set("arg", event.arg);
         break;
+      case EventKind::kCutLink:
+      case EventKind::kRestoreLink:
+        e.Set("replica", event.replica);
+        e.Set("peer", event.peer);
+        break;
+      case EventKind::kShapeLink:
+        e.Set("replica", event.replica);
+        e.Set("peer", event.peer);
+        e.Set("delay_us", ToWholeMicros(event.delay));
+        e.Set("jitter_us", ToWholeMicros(event.jitter));
+        e.Set("arg", event.arg);
+        break;
     }
     events.Append(std::move(e));
   }
@@ -590,6 +644,9 @@ Result<ScenarioSpec> ScenarioSpec::FromJson(const Json& json) {
                                  SeeMoReModeFromToken(mode_token));
       }
       SEEMORE_RETURN_IF_ERROR(reader.ReadInt("arg", &event.arg));
+      SEEMORE_RETURN_IF_ERROR(reader.ReadInt("peer", &event.peer));
+      SEEMORE_RETURN_IF_ERROR(ReadTime(reader, "delay_us", &event.delay));
+      SEEMORE_RETURN_IF_ERROR(ReadTime(reader, "jitter_us", &event.jitter));
       SEEMORE_RETURN_IF_ERROR(reader.Finish(where));
       spec.schedule.push_back(event);
     }

@@ -65,8 +65,15 @@ struct ScenarioEvent {
   uint32_t byz_flags = 0;                      // byzantine
   SeeMoReMode target_mode = SeeMoReMode::kLion;  // switch
   /// truncate-log: bytes chopped off the WAL tail; corrupt-log: bit-flip
-  /// offset counted back from the WAL tail end.
+  /// offset counted back from the WAL tail end; shape-link: drop
+  /// probability in parts-per-million.
   int64_t arg = 0;
+  /// Directed-link events (cut-link / restore-link / shape-link): the link
+  /// is `replica` -> `peer`, that one direction only.
+  int peer = -1;
+  /// shape-link: extra fixed latency and uniform jitter bound on the link.
+  SimTime delay = 0;
+  SimTime jitter = 0;
 
   /// "t=30ms crash replica 2" — used by reports and seemore_ctl.
   std::string ToString() const;

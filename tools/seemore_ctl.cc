@@ -130,6 +130,59 @@ Status ParseTimeEvents(const FlagSet& flags, const std::string& flag,
   return Status::Ok();
 }
 
+/// "<from>-<to>@<ms>" directed-link schedules for cut-link / restore-link.
+Status ParseLinkEvents(const FlagSet& flags, const std::string& flag,
+                       scenario::EventKind kind,
+                       scenario::ScenarioBuilder& builder) {
+  for (const std::string& spec : SplitString(flags.GetString(flag), ',')) {
+    const std::vector<std::string> at_parts = SplitString(spec, '@');
+    const std::vector<std::string> ends =
+        at_parts.size() == 2 ? SplitString(at_parts[0], '-')
+                             : std::vector<std::string>();
+    if (ends.size() != 2) {
+      return Status::InvalidArgument("expected --" + flag +
+                                     "=<from>-<to>@<ms>, got: " + spec);
+    }
+    const int from = std::atoi(ends[0].c_str());
+    const int to = std::atoi(ends[1].c_str());
+    const SimTime at = Millis(std::atoll(at_parts[1].c_str()));
+    if (kind == scenario::EventKind::kCutLink) {
+      builder.CutLinkAt(at, from, to);
+    } else {
+      builder.RestoreLinkAt(at, from, to);
+    }
+  }
+  return Status::Ok();
+}
+
+/// "<from>-<to>:<delay_us>:<jitter_us>:<ppm>@<ms>" shaping schedules.
+Status ParseShapeEvents(const FlagSet& flags,
+                        scenario::ScenarioBuilder& builder) {
+  for (const std::string& spec :
+       SplitString(flags.GetString("shape-link"), ',')) {
+    const std::vector<std::string> at_parts = SplitString(spec, '@');
+    const std::vector<std::string> fields =
+        at_parts.size() == 2 ? SplitString(at_parts[0], ':')
+                             : std::vector<std::string>();
+    const std::vector<std::string> ends =
+        fields.size() == 4 ? SplitString(fields[0], '-')
+                           : std::vector<std::string>();
+    if (ends.size() != 2) {
+      return Status::InvalidArgument(
+          "expected --shape-link=<from>-<to>:<delay_us>:<jitter_us>:<ppm>"
+          "@<ms>, got: " +
+          spec);
+    }
+    builder.ShapeLinkAt(Millis(std::atoll(at_parts[1].c_str())),
+                        std::atoi(ends[0].c_str()),
+                        std::atoi(ends[1].c_str()),
+                        Micros(std::atoll(fields[1].c_str())),
+                        Micros(std::atoll(fields[2].c_str())),
+                        std::atoll(fields[3].c_str()));
+  }
+  return Status::Ok();
+}
+
 Result<ScenarioSpec> SpecFromFlags(const FlagSet& flags) {
   scenario::ScenarioBuilder builder;
   builder.Name("cli");
@@ -231,6 +284,11 @@ Result<ScenarioSpec> SpecFromFlags(const FlagSet& flags) {
       flags, "partition", scenario::EventKind::kPartitionClouds, builder));
   SEEMORE_RETURN_IF_ERROR(ParseTimeEvents(
       flags, "heal", scenario::EventKind::kHealClouds, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseLinkEvents(
+      flags, "cut-link", scenario::EventKind::kCutLink, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseLinkEvents(
+      flags, "restore-link", scenario::EventKind::kRestoreLink, builder));
+  SEEMORE_RETURN_IF_ERROR(ParseShapeEvents(flags, builder));
 
   // Durability + the restart/fault-injection family it enables.
   if (flags.GetBool("durable") || flags.WasSet("durable-fsync") ||
@@ -620,6 +678,14 @@ int main(int argc, char** argv) {
   flags.AddRepeatedString("partition", "",
                   "schedule: <ms>[,...] cut all private<->public links");
   flags.AddRepeatedString("heal", "", "schedule: <ms>[,...] restore partitioned links");
+  flags.AddRepeatedString("cut-link", "",
+                  "schedule: <from>-<to>@<ms>[,...] drop all frames "
+                  "from -> to (ONE direction; the reverse keeps flowing)");
+  flags.AddRepeatedString("restore-link", "",
+                  "schedule: <from>-<to>@<ms>[,...] undo a --cut-link");
+  flags.AddRepeatedString("shape-link", "",
+                  "schedule: <from>-<to>:<delay_us>:<jitter_us>:<ppm>@<ms>"
+                  "[,...] impose extra delay/jitter/loss on from -> to");
   flags.AddBool("durable", false,
                 "give every replica a durable WAL + snapshot store (in the "
                 "simulated storage medium; see --restart)");
